@@ -1,0 +1,100 @@
+// Ablation: distinct-cycle vs multiplicity estimators for 4-cycles
+// (Section 4 / Lemma 4.3-4.4).
+//
+// The paper's estimator counts *distinct* cycles detected through sampled
+// wedges (f_G + f_B); the natural alternative sums per-wedge tallies T_w
+// (unbiased after /4). This bench characterizes both on a light family
+// (disjoint cycles) and on the overused-wedge extremal K_{2,c}, at sample
+// sizes pinned to the paper's m/T^{3/8} budget. The distinct counter pays
+// a ~3-4x upward bias (a cycle is found through any of its 4 wedges) but
+// is the estimator the good-wedge analysis proves O(1) bounds for; the
+// multiplicity sum is unbiased and often tighter empirically, but its
+// Chebyshev analysis breaks on overused wedges — the bench prints both so
+// the tradeoff the paper navigates is visible.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/four_cycle.h"
+#include "exact/four_cycle.h"
+#include "gen/planted.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace {
+
+struct Pair {
+  std::vector<double> distinct;
+  std::vector<double> multiplicity;
+};
+
+Pair Estimates(const Graph& g, std::size_t sample, int trials,
+               std::uint64_t seed_base) {
+  Pair out;
+  stream::AdjacencyListStream s(&g, 7757);
+  for (int t = 0; t < trials; ++t) {
+    core::FourCycleOptions options;
+    options.sample_size = sample;
+    options.seed = seed_base + t;
+    core::TwoPassFourCycleCounter counter(options);
+    stream::RunPasses(s, &counter);
+    core::FourCycleResult res = counter.result();
+    out.distinct.push_back(res.estimate);
+    out.multiplicity.push_back(res.multiplicity_estimate);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const int kTrials = full ? 80 : 40;
+
+  bench::PrintHeader(
+      "Ablation: distinct-count vs multiplicity 4-cycle estimators (Sec. 4)",
+      "good-wedge analysis backs the distinct counter; summing T_w is "
+      "heavy-tailed on overused wedges");
+
+  gen::PlantedBackground bg{.stars = 10, .star_degree = 80};
+  struct Family {
+    const char* name;
+    Graph graph;
+    double truth;
+  };
+  const std::size_t kDisjoint = full ? 6000 : 2500;
+  const std::size_t kCommon = full ? 700 : 400;  // K_{2,c}: T = C(c,2)
+  std::vector<Family> families;
+  families.push_back({"disjoint", gen::PlantedDisjointFourCycles(kDisjoint, bg),
+                      static_cast<double>(kDisjoint)});
+  families.push_back(
+      {"overused(K2c)", gen::PlantedHeavyDiagonalFourCycles(kCommon, bg),
+       static_cast<double>(kCommon) * (kCommon - 1) / 2.0});
+
+  std::printf("%16s %8s %10s %8s | %10s %10s | %10s %10s\n", "family", "m",
+              "T", "m'", "dist med/T", "dist rstd", "mult med/T",
+              "mult rstd");
+  for (const Family& f : families) {
+    // The paper's budget: a small multiple of m / T^{3/8}.
+    std::size_t sample = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                4.0 * f.graph.num_edges() / std::pow(f.truth, 3.0 / 8.0)));
+    Pair p = Estimates(f.graph, sample, kTrials, 300);
+    bench::TrialStats sd = bench::Summarize(p.distinct, f.truth, 1.0);
+    bench::TrialStats sm = bench::Summarize(p.multiplicity, f.truth, 1.0);
+    std::printf("%16s %8zu %10.0f %8zu | %10.2f %10.2f | %10.2f %10.2f\n",
+                f.name, f.graph.num_edges(), f.truth, sample,
+                sd.median / f.truth, sd.stddev / f.truth,
+                sm.median / f.truth, sm.stddev / f.truth);
+  }
+  std::printf("\nexpected shape: the distinct counter sits a constant "
+              "factor (~3-4x) above T with bounded spread on both families "
+              "— the O(1)-approximation Theorem 4.6 proves; the unbiased "
+              "multiplicity sum is competitive here but has no worst-case "
+              "guarantee on overused wedges.\n");
+  return 0;
+}

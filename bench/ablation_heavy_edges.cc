@@ -1,0 +1,89 @@
+// Ablation: the lightest-edge rule (Section 2.1 / Section 3).
+//
+// The paper's central design choice is to count a sampled triangle only at
+// its "lightest" edge (argmin H_{e,τ}). This bench compares the full
+// Theorem 3.7 estimator against the same machinery with the rule disabled
+// (estimate k·T'/3) on three T-matched planted families:
+//   disjoint   — all edges in <= 1 triangle (rule shouldn't matter),
+//   shared-vertex — a vertex in every triangle but all edges light,
+//   heavy-edge — one edge in every triangle (the adversarial case).
+// Expected: comparable error on the light families; an order-of-magnitude
+// variance gap on the heavy-edge family.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/two_pass_triangle.h"
+#include "gen/planted.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace {
+
+std::vector<double> Estimates(const Graph& g, std::size_t sample, bool rule,
+                              int trials, std::uint64_t seed_base) {
+  std::vector<double> out;
+  stream::AdjacencyListStream s(&g, 55337);
+  for (int t = 0; t < trials; ++t) {
+    core::TwoPassTriangleOptions options;
+    options.sample_size = sample;
+    options.seed = seed_base + t;
+    options.use_lightest_edge_rule = rule;
+    core::TwoPassTriangleCounter counter(options);
+    stream::RunPasses(s, &counter);
+    out.push_back(counter.Estimate());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const std::size_t kT = full ? 8000 : 3000;
+  const int kTrials = full ? 80 : 40;
+
+  bench::PrintHeader(
+      "Ablation: lightest-edge rule of Theorem 3.7 (Section 2.1)",
+      "without the rule, heavy edges make the estimator variance "
+      "Theta(T_e^2)-large; the rule restores concentration");
+
+  gen::PlantedBackground bg{.stars = 10, .star_degree = 100};
+  struct Family {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Family> families;
+  families.push_back({"disjoint", gen::PlantedDisjointTriangles(kT, bg)});
+  families.push_back(
+      {"shared-vertex", gen::PlantedSharedVertexTriangles(kT, bg)});
+  families.push_back({"heavy-edge", gen::PlantedHeavyEdgeTriangles(kT, bg)});
+
+  const double truth = static_cast<double>(kT);
+  std::printf("T = %zu per family, %d trials, sample m' = m/16\n\n", kT,
+              kTrials);
+  std::printf("%14s %8s | %10s %10s | %10s %10s | %9s\n", "family", "m",
+              "rel-std", "med-err", "rel-std", "med-err", "std ratio");
+  std::printf("%14s %8s | %21s | %21s |\n", "", "", "   with rule (Thm 3.7)",
+              "   without rule");
+  for (const Family& f : families) {
+    std::size_t sample = f.graph.num_edges() / 16;
+    auto with_rule = Estimates(f.graph, sample, true, kTrials, 100);
+    auto without = Estimates(f.graph, sample, false, kTrials, 100);
+    bench::TrialStats sw = bench::Summarize(with_rule, truth, 0.25);
+    bench::TrialStats so = bench::Summarize(without, truth, 0.25);
+    std::printf("%14s %8zu | %10.3f %10.3f | %10.3f %10.3f | %9.1f\n",
+                f.name, f.graph.num_edges(), sw.stddev / truth,
+                sw.median_rel_error, so.stddev / truth, so.median_rel_error,
+                so.stddev / std::max(sw.stddev, 1e-9));
+  }
+  std::printf("\nexpected shape: 'std ratio' <= 1 on the light families "
+              "(the rule's pair-subsampling costs a little there) and >> 1 "
+              "on heavy-edge — the rule is what makes (1+eps) possible at "
+              "m/T^{2/3} on adversarial inputs.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shared infrastructure for the Table 1 / Figure 1 reproduction benches.
+//
+// Each bench binary prints a deterministic, paper-style table (fixed seeds)
+// followed by a PASS/FAIL-style shape verdict where applicable. `--full`
+// enlarges the sweeps; default sizes keep every binary in the tens of
+// seconds on a laptop core.
+
+#ifndef CYCLESTREAM_BENCH_BENCH_UTIL_H_
+#define CYCLESTREAM_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cyclestream {
+namespace bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+struct TrialStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double median_rel_error = 0.0;  // vs a supplied truth
+  double frac_within = 0.0;       // |est - truth| <= tol * truth
+};
+
+inline TrialStats Summarize(std::vector<double> estimates, double truth,
+                            double tolerance) {
+  TrialStats s;
+  if (estimates.empty()) return s;
+  const double n = static_cast<double>(estimates.size());
+  for (double e : estimates) s.mean += e;
+  s.mean /= n;
+  for (double e : estimates) s.stddev += (e - s.mean) * (e - s.mean);
+  s.stddev = estimates.size() > 1 ? std::sqrt(s.stddev / (n - 1)) : 0.0;
+  std::vector<double> sorted = estimates;
+  std::sort(sorted.begin(), sorted.end());
+  s.median = sorted[sorted.size() / 2];
+  if (truth > 0) {
+    std::vector<double> rel;
+    int within = 0;
+    for (double e : estimates) {
+      rel.push_back(std::abs(e - truth) / truth);
+      within += std::abs(e - truth) <= tolerance * truth;
+    }
+    std::sort(rel.begin(), rel.end());
+    s.median_rel_error = rel[rel.size() / 2];
+    s.frac_within = within / n;
+  }
+  return s;
+}
+
+/// Smallest sample size from a geometric grid for which `success_rate(m')`
+/// reaches `target`. The grid is {base, base*step, ...} capped at max_value.
+inline std::size_t MinimalSample(
+    std::size_t base, double step, std::size_t max_value, double target,
+    const std::function<double(std::size_t)>& success_rate) {
+  std::size_t m_prime = base;
+  while (true) {
+    if (success_rate(m_prime) >= target) return m_prime;
+    if (m_prime >= max_value) return max_value;
+    m_prime = std::min<std::size_t>(
+        max_value, static_cast<std::size_t>(std::ceil(m_prime * step)));
+  }
+}
+
+/// Human-friendly bytes.
+inline std::string FormatBytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+inline void PrintHeader(const char* title, const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+/// Fits the slope of log(y) against log(x) (least squares) — used to verify
+/// scaling exponents ("the shape") against the paper's predictions.
+inline double LogLogSlope(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = n * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace bench
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Figure 1b / Theorem 5.2: constant-pass triangle counting needs
+// Ω(m / T^{2/3}) space (conditional on 3-party NOF disjointness), which the
+// two-pass algorithm of Theorem 3.7 matches — i.e. the multipass complexity
+// of adjacency-list triangle counting is settled at m / T^{2/3}.
+//
+// Executes the reduction on 3-DISJ gadgets (0 vs k³ triangles) and sweeps
+// the two-pass algorithm's sample size across the m / T^{2/3} threshold:
+// the success jump happening right there, on the adversarial instance
+// itself, exhibits both the lower bound's bite below and the algorithm's
+// tightness above.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/two_pass_triangle.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_triangle.h"
+#include "lowerbound/protocol.h"
+
+namespace cyclestream {
+namespace {
+
+struct SweepPoint {
+  double accuracy = 0.0;
+  std::size_t max_message = 0;
+  std::size_t total_comm = 0;
+};
+
+SweepPoint Measure(std::size_t r, std::size_t k, std::size_t sample,
+                   int instances, int trials_per_instance) {
+  int correct = 0, total = 0;
+  SweepPoint point;
+  for (int inst = 0; inst < instances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto disj =
+          lowerbound::ThreeDisjInstance::Random(r, answer, 131 + inst);
+      lowerbound::Gadget gadget = lowerbound::BuildThreeDisjGadget(disj, k);
+      const double threshold =
+          static_cast<double>(k) * k * k / 2.0;
+      for (int t = 0; t < trials_per_instance; ++t) {
+        core::TwoPassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = 2000 * inst + 10 * t + answer;
+        core::TwoPassTriangleCounter counter(options);
+        lowerbound::ProtocolRun run =
+            lowerbound::RunProtocol(gadget, &counter, 11 + t);
+        bool guess = counter.Estimate() >= threshold;
+        correct += (guess == answer);
+        ++total;
+        point.max_message = std::max(point.max_message, run.max_message_bytes);
+        point.total_comm = std::max(point.total_comm, run.total_message_bytes);
+      }
+    }
+  }
+  point.accuracy = static_cast<double>(correct) / total;
+  return point;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const std::size_t r = full ? 120 : 60;
+  const std::size_t k = full ? 16 : 12;  // T = k^3
+  const int kInstances = full ? 6 : 4;
+  const int kTrials = full ? 8 : 5;
+
+  bench::PrintHeader(
+      "Figure 1b / Theorem 5.2: multipass triangle counting vs 3-DISJ",
+      "constant-pass distinguishing 0 vs T triangles needs "
+      "Omega(f_d(m/T^{2/3})); Theorem 3.7 matches at O(m/T^{2/3})");
+
+  auto disj = lowerbound::ThreeDisjInstance::Random(r, true, 1);
+  lowerbound::Gadget probe = lowerbound::BuildThreeDisjGadget(disj, k);
+  const double m = static_cast<double>(probe.graph.num_edges());
+  const double t_cycles = static_cast<double>(probe.promised_cycles);
+  const double threshold = m / std::pow(t_cycles, 2.0 / 3.0);
+  std::printf("gadget: r=%zu k=%zu -> m=%zu, T=k^3=%.0f, m/T^(2/3)=%.0f "
+              "(m/sqrt(T)=%.0f for contrast)\n\n",
+              r, k, probe.graph.num_edges(), t_cycles, threshold,
+              m / std::sqrt(t_cycles));
+
+  std::printf("%12s %14s %10s %14s %14s\n", "m'", "m'/(m/T^2/3)", "accuracy",
+              "max message", "total comm");
+  for (double factor : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+    std::size_t sample = std::max<std::size_t>(
+        2, static_cast<std::size_t>(factor * threshold));
+    SweepPoint pt = Measure(r, k, sample, kInstances, kTrials);
+    std::printf("%12zu %14.2f %10.2f %14s %14s\n", sample, factor,
+                pt.accuracy, bench::FormatBytes(pt.max_message).c_str(),
+                bench::FormatBytes(pt.total_comm).c_str());
+  }
+  std::printf("\nexpected shape: accuracy crosses toward 1.0 within a small "
+              "constant factor of m/T^(2/3) — sublinear in m (the gadget "
+              "has m/T^(2/3) << m), matching Theorem 3.7's upper bound.\n");
+  return 0;
+}

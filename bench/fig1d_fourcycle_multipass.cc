@@ -1,0 +1,105 @@
+// Figure 1d / Theorem 5.4: multipass 4-cycle counting needs Ω(m / T^{2/3})
+// space (via two-party disjointness) — so ℓ=4 is "intermediate": impossible
+// in one pass at sublinear space (Fig 1c), possible in two passes at
+// O(m / T^{3/8}) (Theorem 4.6), with the true multipass complexity between
+// the two exponents.
+//
+// We execute the reduction on the double-projective-plane gadget (0 vs
+// k^{3/2} 4-cycles) and sweep the two-pass algorithm's sample size: the
+// success crossover happens at a sublinear fraction of m, bracketed by the
+// theorem's Ω(m/T^{2/3}) floor and the algorithm's O(m/T^{3/8}) ceiling —
+// both printed for comparison.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/four_cycle.h"
+#include "gen/projective_plane.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_four_cycle.h"
+#include "lowerbound/protocol.h"
+
+namespace cyclestream {
+namespace {
+
+struct SweepPoint {
+  double accuracy = 0.0;
+  std::size_t max_message = 0;
+};
+
+SweepPoint Measure(std::uint64_t q1, std::uint64_t q2, std::size_t sample,
+                   int instances, int trials_per_instance) {
+  int correct = 0, total = 0;
+  SweepPoint point;
+  const std::size_t bits = lowerbound::DisjGadgetBits(q1);
+  for (int inst = 0; inst < instances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto disj = lowerbound::DisjInstance::Random(bits, answer, 23 + inst);
+      lowerbound::Gadget gadget =
+          lowerbound::BuildDisjFourCycleGadget(disj, q1, q2);
+      // Decision threshold: half the instance-independent T = |E(H2)|.
+      const double decide =
+          static_cast<double>((q2 + 1) * gen::ProjectivePlaneSide(q2)) / 2.0;
+      for (int t = 0; t < trials_per_instance; ++t) {
+        core::FourCycleOptions options;
+        options.sample_size = sample;
+        options.seed = 4000 * inst + 10 * t + answer;
+        core::TwoPassFourCycleCounter counter(options);
+        lowerbound::ProtocolRun run =
+            lowerbound::RunProtocol(gadget, &counter, 29 + t);
+        bool guess = counter.Estimate() >= decide;
+        correct += (guess == answer);
+        ++total;
+        point.max_message = std::max(point.max_message, run.max_message_bytes);
+      }
+    }
+  }
+  point.accuracy = static_cast<double>(correct) / total;
+  return point;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const std::uint64_t q1 = full ? 7 : 5;   // outer plane: r = q1²+q1+1 blocks
+  const std::uint64_t q2 = full ? 11 : 7;  // inner plane: k = q2²+q2+1
+  const int kInstances = full ? 6 : 4;
+  const int kTrials = full ? 6 : 4;
+
+  bench::PrintHeader(
+      "Figure 1d / Theorem 5.4: multipass 4-cycle counting vs DISJ",
+      "constant-pass distinguishing 0 vs T 4-cycles needs Omega(m/T^{2/3}); "
+      "Theorem 4.6 achieves O(m/T^{3/8}) in two passes");
+
+  auto disj = lowerbound::DisjInstance::Random(
+      lowerbound::DisjGadgetBits(q1), true, 1);
+  lowerbound::Gadget probe =
+      lowerbound::BuildDisjFourCycleGadget(disj, q1, q2);
+  const double m = static_cast<double>(probe.graph.num_edges());
+  const double t_cycles = static_cast<double>(probe.promised_cycles);
+  const double lower_line = m / std::pow(t_cycles, 2.0 / 3.0);
+  const double upper_line = m / std::pow(t_cycles, 3.0 / 8.0);
+  std::printf("gadget: H1=PG(2,%llu), H2=PG(2,%llu) -> m=%zu, T=|E(H2)|=%.0f\n",
+              (unsigned long long)q1, (unsigned long long)q2,
+              probe.graph.num_edges(), t_cycles);
+  std::printf("theorem floor m/T^(2/3) = %.0f; algorithm ceiling m/T^(3/8) "
+              "= %.0f; m = %.0f\n\n", lower_line, upper_line, m);
+
+  std::printf("%12s %10s %10s %14s\n", "m'", "m'/m", "accuracy",
+              "max message");
+  for (double frac : {0.01, 0.03, 0.1, 0.3, 0.6}) {
+    std::size_t sample =
+        std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
+    SweepPoint pt = Measure(q1, q2, sample, kInstances, kTrials);
+    std::printf("%12zu %10.2f %10.2f %14s\n", sample, frac, pt.accuracy,
+                bench::FormatBytes(pt.max_message).c_str());
+  }
+  std::printf("\nexpected shape: accuracy reaches ~1.0 at a sublinear "
+              "fraction of m (between the floor and ceiling lines) — unlike "
+              "the one-pass case (Fig 1c), multipass ℓ=4 is sublinear.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Figure 1e / Theorem 5.5: counting ℓ-cycles for ℓ >= 5 needs Ω(m) space
+// for any constant number of passes (unconditional, via disjointness).
+//
+// The gadget routes every potential ℓ-cycle through one Alice bit and one
+// Bob bit on the same index; the graph has 0 or T ℓ-cycles accordingly. We
+// run the natural sampling approach — keep a bottom-m' edge sample and count
+// ℓ-cycles inside the stored subgraph — and show that a detected cycle
+// requires all of its input-dependent edges to be sampled, so accuracy stays
+// at chance for every constant sampling fraction; only m' ~ m decides. The
+// theorem says this is not a weakness of sampling: *no* sublinear algorithm
+// exists.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "exact/cycle.h"
+#include "graph/graph.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_long_cycle.h"
+#include "lowerbound/protocol.h"
+#include "sampling/bottom_k.h"
+#include "stream/algorithm.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace {
+
+// One-pass "sampled subgraph" ℓ-cycle detector: keeps a bottom-m' edge
+// sample, then counts ℓ-cycles among the stored edges offline.
+class SampledSubgraphCycleCounter : public stream::StreamAlgorithm {
+ public:
+  SampledSubgraphCycleCounter(int length, std::size_t sample_size,
+                              std::uint64_t seed)
+      : length_(length), sample_(std::max<std::size_t>(sample_size, 1),
+                                 Mix64(seed) ^ 0x7777777777777777ULL) {}
+
+  int passes() const override { return 1; }
+  void OnPair(VertexId u, VertexId v) override {
+    ++pairs_;
+    sample_.Offer(MakeEdgeKey(u, v), true);
+  }
+  std::size_t CurrentSpaceBytes() const override {
+    return sample_.MemoryBytes();
+  }
+
+  std::uint64_t CountSampledCycles() const {
+    GraphBuilder builder;
+    sample_.ForEach([&](EdgeKey key, const bool&) {
+      builder.AddEdge(EdgeKeyLo(key), EdgeKeyHi(key));
+    });
+    Graph g = builder.Build();
+    return exact::CountSimpleCycles(g, length_);
+  }
+
+  std::size_t edge_count() const { return pairs_ / 2; }
+
+ private:
+  int length_;
+  std::size_t pairs_ = 0;
+  sampling::BottomKSampler<bool> sample_;
+};
+
+struct SweepPoint {
+  double accuracy = 0.0;
+  std::size_t max_message = 0;
+};
+
+SweepPoint Measure(int length, std::size_t r, std::size_t budget,
+                   std::size_t sample, int instances,
+                   int trials_per_instance) {
+  int correct = 0, total = 0;
+  SweepPoint point;
+  for (int inst = 0; inst < instances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto disj = lowerbound::DisjInstance::Random(r, answer, 41 + inst);
+      lowerbound::Gadget gadget =
+          lowerbound::BuildLongCycleGadget(disj, length, budget);
+      for (int t = 0; t < trials_per_instance; ++t) {
+        SampledSubgraphCycleCounter counter(
+            length, sample, 5000 * inst + 10 * t + answer);
+        lowerbound::ProtocolRun run =
+            lowerbound::RunProtocol(gadget, &counter, 31 + t);
+        bool guess = counter.CountSampledCycles() > 0;
+        correct += (guess == answer);
+        ++total;
+        point.max_message = std::max(point.max_message, run.max_message_bytes);
+      }
+    }
+  }
+  point.accuracy = static_cast<double>(correct) / total;
+  return point;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  // Sizes are bounded by the offline DFS used to inspect sampled subgraphs
+  // (the gadget's hubs make cycle enumeration quadratic in T).
+  const std::size_t r = full ? 4000 : 2000;
+  const std::size_t kBudget = full ? 200 : 100;  // T
+  const int kInstances = full ? 4 : 2;
+  const int kTrials = full ? 4 : 2;
+
+  bench::PrintHeader(
+      "Figure 1e / Theorem 5.5: ℓ-cycle counting (ℓ >= 5) vs DISJ",
+      "any constant-pass algorithm distinguishing 0 vs T ℓ-cycles needs "
+      "Omega(m) space (unconditional)");
+
+  for (int length : {5, 6}) {
+    auto disj = lowerbound::DisjInstance::Random(r, true, 1);
+    lowerbound::Gadget probe =
+        lowerbound::BuildLongCycleGadget(disj, length, kBudget);
+    const double m = static_cast<double>(probe.graph.num_edges());
+    std::printf("\n-- ℓ = %d: gadget m = %zu, T = %zu --\n", length,
+                probe.graph.num_edges(), kBudget);
+    std::printf("%12s %10s %10s %14s\n", "m'", "m'/m", "accuracy",
+                "max message");
+    for (double frac : {0.05, 0.15, 0.4, 0.7, 1.0}) {
+      std::size_t sample =
+          std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
+      SweepPoint pt =
+          Measure(length, r, kBudget, sample, kInstances, kTrials);
+      std::printf("%12zu %10.2f %10.2f %14s\n", sample, frac, pt.accuracy,
+                  bench::FormatBytes(pt.max_message).c_str());
+    }
+  }
+  std::printf("\nexpected shape: accuracy stays near 0.5 at every constant "
+              "sampling fraction below 1 and only reaches 1.0 at m' = m — "
+              "consistent with the Omega(m) bound (contrast Fig 1b/1d where "
+              "sublinear crossover points exist).\n");
+  return 0;
+}

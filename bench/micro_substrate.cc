@@ -1,0 +1,133 @@
+// Microbenchmarks for the substrate: stream replay, samplers, exact
+// counters, generators, and the end-to-end estimators. google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "core/one_pass_triangle.h"
+#include "core/two_pass_triangle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/projective_plane.h"
+#include "sampling/bottom_k.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace {
+
+const Graph& SharedGraph() {
+  static const Graph* g = new Graph(gen::ErdosRenyiGnp(20000, 6.0 / 20000, 42));
+  return *g;
+}
+
+const Graph& SharedSocialGraph() {
+  static const Graph* g =
+      new Graph(gen::ChungLuPowerLaw(20000, 8.0, 2.3, 42));
+  return *g;
+}
+
+void BM_RngNext64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next64());
+  }
+}
+BENCHMARK(BM_RngNext64);
+
+void BM_BottomKOffer(benchmark::State& state) {
+  sampling::BottomKSampler<std::uint32_t> sampler(
+      static_cast<std::size_t>(state.range(0)), 7);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    sampler.Offer(key++, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BottomKOffer)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_StreamReplay(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  stream::AdjacencyListStream s(&g, 3);
+  struct NullSink {
+    std::size_t pairs = 0;
+    void BeginList(VertexId) {}
+    void OnPair(VertexId, VertexId) { ++pairs; }
+    void EndList(VertexId) {}
+  };
+  for (auto _ : state) {
+    NullSink sink;
+    s.ReplayPass(sink);
+    benchmark::DoNotOptimize(sink.pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_StreamReplay);
+
+void BM_ExactTriangles(benchmark::State& state) {
+  const Graph& g = SharedSocialGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::CountTriangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ExactTriangles);
+
+void BM_ExactFourCycles(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::CountFourCycles(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ExactFourCycles);
+
+void BM_ProjectivePlane(benchmark::State& state) {
+  const std::uint64_t q = state.range(0);
+  for (auto _ : state) {
+    Graph g = gen::ProjectivePlaneGraph(q);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_ProjectivePlane)->Arg(11)->Arg(23);
+
+void BM_TwoPassTriangleEndToEnd(benchmark::State& state) {
+  const Graph& g = SharedSocialGraph();
+  stream::AdjacencyListStream s(&g, 5);
+  const std::size_t sample = g.num_edges() / state.range(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::TwoPassTriangleOptions options;
+    options.sample_size = sample;
+    options.seed = ++seed;
+    core::TwoPassTriangleCounter counter(options);
+    stream::RunPasses(s, &counter);
+    benchmark::DoNotOptimize(counter.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * g.num_edges());
+}
+BENCHMARK(BM_TwoPassTriangleEndToEnd)->Arg(8)->Arg(64);
+
+void BM_OnePassTriangleEndToEnd(benchmark::State& state) {
+  const Graph& g = SharedSocialGraph();
+  stream::AdjacencyListStream s(&g, 5);
+  const std::size_t sample = g.num_edges() / state.range(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::OnePassTriangleOptions options;
+    options.sample_size = sample;
+    options.seed = ++seed;
+    core::OnePassTriangleCounter counter(options);
+    stream::RunPasses(s, &counter);
+    benchmark::DoNotOptimize(counter.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_OnePassTriangleEndToEnd)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace cyclestream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Model comparison (paper Section 1.1): what the adjacency-list promise is
+// worth.
+//
+// The same graphs are streamed (a) in arbitrary order, one copy per edge,
+// and (b) in adjacency-list order. At matched sample sizes we compare the
+// one-pass estimators available in each model, plus the two-pass Theorem
+// 3.7 algorithm that only exists because of the list promise. Detection in
+// the arbitrary-order model needs two sampled edges (rate (m'/m)²) versus
+// one (m'/m) with lists — visible as the accuracy gap below; the paper's
+// point is that this gap is fundamental (one-pass arbitrary-order 0-vs-T
+// distinguishing is Ω(m), yet adjacency-list streams admit m/T^{2/3}).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/arbitrary_triangle.h"
+#include "core/one_pass_triangle.h"
+#include "core/two_pass_triangle.h"
+#include "gen/planted.h"
+#include "stream/adjacency_stream.h"
+#include "stream/arbitrary_stream.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace {
+
+struct Row {
+  bench::TrialStats arbitrary;
+  bench::TrialStats list_one_pass;
+  bench::TrialStats list_two_pass;
+};
+
+Row Measure(const Graph& g, std::size_t sample, double truth, int trials) {
+  Row row;
+  std::vector<double> arb, one, two;
+  stream::ArbitraryOrderStream as(&g, 77);
+  stream::AdjacencyListStream ls(&g, 77);
+  for (int t = 0; t < trials; ++t) {
+    {
+      core::ArbitraryTriangleOptions options;
+      options.sample_size = sample;
+      options.seed = 100 + t;
+      core::ArbitraryOrderTriangleCounter counter(options);
+      stream::RunEdgePasses(as, &counter);
+      arb.push_back(counter.Estimate());
+    }
+    {
+      core::OnePassTriangleOptions options;
+      options.sample_size = sample;
+      options.seed = 100 + t;
+      core::OnePassTriangleCounter counter(options);
+      stream::RunPasses(ls, &counter);
+      one.push_back(counter.Estimate());
+    }
+    {
+      core::TwoPassTriangleOptions options;
+      options.sample_size = sample;
+      options.seed = 100 + t;
+      core::TwoPassTriangleCounter counter(options);
+      stream::RunPasses(ls, &counter);
+      two.push_back(counter.Estimate());
+    }
+  }
+  row.arbitrary = bench::Summarize(arb, truth, 0.25);
+  row.list_one_pass = bench::Summarize(one, truth, 0.25);
+  row.list_two_pass = bench::Summarize(two, truth, 0.25);
+  return row;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const int kTrials = full ? 40 : 20;
+
+  bench::PrintHeader(
+      "Model comparison: arbitrary-order vs adjacency-list streams (Sec 1.1)",
+      "arbitrary-order one-pass detection needs two sampled edges ((m'/m)^2) "
+      "vs one with the list promise; two passes + lists give m/T^{2/3}");
+
+  gen::PlantedBackground bg{.stars = 10, .star_degree = 100};
+  Graph g = gen::PlantedDisjointTriangles(2000, bg);
+  const double truth = 2000.0;
+  std::printf("graph: m=%zu, T=%.0f (disjoint planted)\n\n", g.num_edges(),
+              truth);
+  std::printf("%8s | %21s | %21s | %21s\n", "", "arbitrary 1-pass",
+              "adj-list 1-pass", "adj-list 2-pass (3.7)");
+  std::printf("%8s | %10s %10s | %10s %10s | %10s %10s\n", "m'/m", "relerr",
+              "+-25%", "relerr", "+-25%", "relerr", "+-25%");
+  for (std::size_t divisor : {4, 8, 16, 32}) {
+    std::size_t sample = g.num_edges() / divisor;
+    Row row = Measure(g, sample, truth, kTrials);
+    std::printf("%7s%zu | %10.3f %10.2f | %10.3f %10.2f | %10.3f %10.2f\n",
+                "1/", divisor, row.arbitrary.median_rel_error,
+                row.arbitrary.frac_within, row.list_one_pass.median_rel_error,
+                row.list_one_pass.frac_within,
+                row.list_two_pass.median_rel_error,
+                row.list_two_pass.frac_within);
+  }
+  std::printf("\nexpected shape: at equal budgets the arbitrary-order column "
+              "degrades quadratically faster as m' shrinks; the adjacency-"
+              "list columns hold (the promise the paper's model buys).\n");
+  return 0;
+}

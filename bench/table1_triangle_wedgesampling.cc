@@ -1,0 +1,118 @@
+// Table 1, row "Triangle | 1 pass | Õ(P2 / T)" (Buriol et al. [12]).
+//
+// The oldest bound in the table: reservoir-sample the implicit wedge stream
+// and watch closures; Θ(P2 / T) slots suffice. We sweep T at (approximately)
+// fixed P2 and find the minimal reservoir for (1 ± 0.25) accuracy in >= 80%
+// of trials — slope −1 in T — and then show the row's weakness that
+// motivates the m-parameterized bounds: at fixed m and T, inflating P2 with
+// wedge-heavy background blows the requirement up while Theorem 3.7's
+// m/T^{2/3} is untouched.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/two_pass_triangle.h"
+#include "core/wedge_sampling_triangle.h"
+#include "gen/planted.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace {
+
+std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
+                                   int trials, std::uint64_t seed_base) {
+  std::vector<double> out;
+  stream::AdjacencyListStream s(&g, 424243);
+  for (int t = 0; t < trials; ++t) {
+    core::WedgeSamplingOptions options;
+    options.reservoir_size = reservoir;
+    options.seed = seed_base + t;
+    core::WedgeSamplingTriangleCounter counter(options);
+    stream::RunPasses(s, &counter);
+    out.push_back(counter.Estimate());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  const bool full = bench::HasFlag(argc, argv, "--full");
+  const int kTrials = full ? 21 : 13;
+  const double kEps = 0.25;
+
+  bench::PrintHeader(
+      "Table 1: one-pass wedge sampling, O(P2/T) (Buriol et al. [12])",
+      "reservoir of Theta(P2/T) wedges gives (1 +- eps); degrades on "
+      "wedge-heavy graphs, unlike the m-parameterized algorithms");
+
+  // Part 1: P2/T scaling. Fixed star background (fixed P2 share), T sweep.
+  gen::PlantedBackground bg{.stars = 40, .star_degree = 40};  // P2 += 31200
+  std::printf("%8s %10s %10s %12s %8s\n", "T", "P2", "P2/T", "minimal m'",
+              "ratio");
+  std::vector<double> log_t, log_min;
+  for (std::size_t t_count : {500, 2000, 8000, 32000}) {
+    Graph g = gen::PlantedDisjointTriangles(t_count, bg);
+    const double p2 = static_cast<double>(g.WedgeCount());
+    const double truth = static_cast<double>(t_count);
+    const double predicted = p2 / truth;
+    auto success = [&](std::size_t reservoir) {
+      return bench::Summarize(
+                 WedgeEstimates(g, reservoir, kTrials, 100 + t_count), truth,
+                 kEps)
+          .frac_within;
+    };
+    std::size_t minimal = bench::MinimalSample(
+        std::max<std::size_t>(8, static_cast<std::size_t>(predicted / 2)),
+        1.5, static_cast<std::size_t>(p2) + 1, 0.8, success);
+    std::printf("%8zu %10.0f %10.1f %12zu %8.2f\n", t_count, p2, predicted,
+                minimal, minimal / predicted);
+    log_t.push_back(truth);
+    log_min.push_back(static_cast<double>(minimal));
+  }
+  double slope = bench::LogLogSlope(log_t, log_min);
+  std::printf("\nlog-log slope of minimal reservoir vs T: %+.3f (predicted "
+              "-1)\nshape verdict: %s\n", slope,
+              (slope < -0.6 && slope > -1.4) ? "CONSISTENT with P2/T"
+                                              : "INCONSISTENT");
+
+  // Part 2: the weakness motivating the m-parameterized rows. Fixed m, T,
+  // and a fixed budget of 2000 slots; the background hub degree inflates P2
+  // by ~25x. The wedge sampler needs Θ(P2/T) and falls over; Theorem 3.7
+  // needs m/T^{2/3} (independent of P2) and does not.
+  std::printf("\nwedge-heavy stress (T = 2000, m ~ 46k, budget = 2000 "
+              "slots):\n");
+  std::printf("%12s %10s %12s | %14s %14s\n", "hub degree", "P2", "P2/T",
+              "wedge relerr", "Thm3.7 relerr");
+  const std::size_t kBudget = 2000;
+  for (std::size_t degree : {40u, 200u, 1000u}) {
+    gen::PlantedBackground heavy{.stars = 40000 / degree,
+                                 .star_degree = degree};
+    Graph g = gen::PlantedDisjointTriangles(2000, heavy);
+    const double p2 = static_cast<double>(g.WedgeCount());
+    auto wedge =
+        bench::Summarize(WedgeEstimates(g, kBudget, kTrials, 900), 2000, kEps);
+    stream::AdjacencyListStream s(&g, 424243);
+    std::vector<double> two;
+    for (int t = 0; t < kTrials; ++t) {
+      core::TwoPassTriangleOptions options;
+      options.sample_size = kBudget;
+      options.seed = 700 + t;
+      core::TwoPassTriangleCounter counter(options);
+      stream::RunPasses(s, &counter);
+      two.push_back(counter.Estimate());
+    }
+    auto thm = bench::Summarize(two, 2000, kEps);
+    std::printf("%12zu %10.0f %12.1f | %14.3f %14.3f\n", degree, p2,
+                p2 / 2000.0, wedge.median_rel_error, thm.median_rel_error);
+  }
+  std::printf("\nexpected shape: both columns accurate at low hub degree; "
+              "as P2/T outgrows the fixed budget the wedge sampler's error "
+              "explodes while Theorem 3.7 stays accurate — why Table 1 "
+              "parameterizes by m, not P2.\n");
+  return 0;
+}

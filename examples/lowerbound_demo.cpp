@@ -1,0 +1,69 @@
+// Lower bounds you can run: the Figure 1c reduction, live.
+//
+// Builds matched INDEX gadget instances (0 vs k 4-cycles hidden in a
+// projective-plane scaffold) and runs the one-pass 4-cycle estimator as a
+// two-player communication protocol. Shows the message the streaming
+// algorithm would have to send from Alice to Bob, and that sublinear
+// messages reduce the protocol to coin-flipping — Theorem 5.3 in action.
+//
+//   ./lowerbound_demo
+
+#include <cstdio>
+
+#include "core/one_pass_four_cycle.h"
+#include "exact/four_cycle.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_four_cycle.h"
+#include "lowerbound/protocol.h"
+
+int main() {
+  using namespace cyclestream;
+  const std::uint64_t q = 13;  // PG(2,13): r = 183 per side
+  const std::size_t k = 6;     // T = k 4-cycles in 1-instances
+  const std::size_t bits = lowerbound::IndexGadgetBits(q);
+
+  std::printf("INDEX instance size: %zu bits (edges of the PG(2,%llu) "
+              "incidence graph)\n\n", bits, (unsigned long long)q);
+
+  for (bool answer : {true, false}) {
+    auto inst = lowerbound::IndexInstance::Random(bits, answer, 5);
+    lowerbound::Gadget gadget =
+        lowerbound::BuildIndexFourCycleGadget(inst, q, k);
+    std::printf("instance with s[index]=%d: m=%zu, exact 4-cycles=%llu "
+                "(promised %llu)\n",
+                answer ? 1 : 0, gadget.graph.num_edges(),
+                (unsigned long long)exact::CountFourCycles(gadget.graph),
+                (unsigned long long)gadget.promised_cycles);
+  }
+
+  std::printf("\nrunning the one-pass estimator as Alice->Bob protocol:\n");
+  std::printf("%10s %12s %26s\n", "m'/m", "message", "estimates on 1/0 pair");
+  auto yes = lowerbound::IndexInstance::Random(bits, true, 5);
+  auto no = lowerbound::IndexInstance::Random(bits, false, 5);
+  lowerbound::Gadget g_yes = lowerbound::BuildIndexFourCycleGadget(yes, q, k);
+  lowerbound::Gadget g_no = lowerbound::BuildIndexFourCycleGadget(no, q, k);
+  const std::size_t m = g_yes.graph.num_edges();
+  for (double frac : {0.05, 0.25, 1.0}) {
+    double est[2];
+    std::size_t message = 0;
+    int idx = 0;
+    for (lowerbound::Gadget* gadget : {&g_yes, &g_no}) {
+      core::OnePassFourCycleOptions options;
+      options.sample_size =
+          std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
+      options.seed = 17;
+      core::OnePassFourCycleCounter counter(options);
+      lowerbound::ProtocolRun run =
+          lowerbound::RunProtocol(*gadget, &counter, 23);
+      est[idx++] = counter.Estimate();
+      message = std::max(message, run.max_message_bytes);
+    }
+    std::printf("%10.2f %11zuB %13.1f / %-10.1f %s\n", frac, message, est[0],
+                est[1],
+                frac >= 1.0 ? "<- only the full graph separates 0 from T"
+                            : "");
+  }
+  std::printf("\nTheorem 5.3: no one-pass algorithm can do better — the "
+              "INDEX bit costs Omega(m) bits of message.\n");
+  return 0;
+}

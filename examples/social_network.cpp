@@ -1,0 +1,79 @@
+// Social-network analysis with sublinear memory: triangle count and
+// transitivity of a power-law graph (the paper's motivating applications:
+// clustering coefficients, community structure, spam detection).
+//
+// Sweeps the space budget to show the accuracy/space tradeoff of the
+// two-pass algorithm (Theorem 3.7) against the one-pass baseline at equal
+// budgets. Accepts an optional SNAP edge-list path to analyze real data:
+//
+//   ./social_network [path/to/edges.txt]
+
+#include <cstdio>
+#include <string>
+
+#include "core/median.h"
+#include "core/wedge_sampling_triangle.h"
+#include "exact/local.h"
+#include "exact/triangle.h"
+#include "io/datasets.h"
+#include "io/edge_list.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+
+  Graph g;
+  std::string source;
+  if (argc > 1) {
+    auto loaded = io::ReadEdgeList(argv[1]);
+    if (!loaded) {
+      std::fprintf(stderr, "could not read edge list: %s\n", argv[1]);
+      return 1;
+    }
+    g = std::move(*loaded);
+    source = argv[1];
+  } else {
+    g = io::GetDataset("social-small");
+    source = "dataset 'social-small' (Chung-Lu power law stand-in)";
+  }
+
+  const std::uint64_t exact = exact::CountTriangles(g);
+  const std::uint64_t wedges = g.WedgeCount();
+  std::printf("source: %s\n", source.c_str());
+  std::printf("n=%zu m=%zu wedges=%llu max-degree=%zu\n", g.num_vertices(),
+              g.num_edges(), (unsigned long long)wedges, g.MaxDegree());
+  std::printf("exact T=%llu, transitivity 3T/W=%.4f\n\n",
+              (unsigned long long)exact,
+              wedges ? 3.0 * exact / wedges : 0.0);
+
+  stream::AdjacencyListStream s(&g, 99);
+  std::printf("%10s %14s %10s | %14s %10s\n", "m'/m", "2-pass est",
+              "err", "1-pass est", "err");
+  for (std::size_t divisor : {4, 16, 64, 256}) {
+    std::size_t sample = std::max<std::size_t>(8, g.num_edges() / divisor);
+    auto two = core::EstimateTriangles(s, sample, 5, 11);
+    auto one = core::EstimateTrianglesOnePass(s, sample, 5, 13);
+    std::printf("%9s%zu %14.0f %9.1f%% | %14.0f %9.1f%%\n", "1/", divisor,
+                two.estimate,
+                exact ? 100.0 * (two.estimate - exact) / exact : 0.0,
+                one.estimate,
+                exact ? 100.0 * (one.estimate - exact) / exact : 0.0);
+  }
+  std::printf("\nthe two-pass estimator (Theorem 3.7) holds accuracy at "
+              "smaller budgets than the one-pass baseline, per Table 1.\n");
+
+  // Clustering statistics — the applications the paper's introduction
+  // motivates. The streaming transitivity estimate uses a wedge reservoir
+  // of 2000 slots, independent of graph size.
+  core::WedgeSamplingOptions wopts;
+  wopts.reservoir_size = 2000;
+  wopts.seed = 17;
+  core::WedgeSamplingTriangleCounter wedge(wopts);
+  stream::RunPasses(s, &wedge);
+  std::printf("\nclustering: transitivity exact %.4f, streamed %.4f "
+              "(2000-slot wedge reservoir); avg local coefficient %.4f\n",
+              exact::Transitivity(g), wedge.result().transitivity_estimate,
+              exact::AverageClusteringCoefficient(g));
+  return 0;
+}

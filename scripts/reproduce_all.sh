@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and every reproduction
+# bench, and captures the outputs at the repository root. Pass --full to
+# run the enlarged bench sweeps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [[ -f "$b" && -x "$b" ]]; then
+    echo "### $b $FULL_FLAG" | tee -a bench_output.txt
+    "$b" $FULL_FLAG 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+
+echo "done: see test_output.txt and bench_output.txt"

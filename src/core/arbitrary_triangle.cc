@@ -1,0 +1,112 @@
+#include "core/arbitrary_triangle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+ArbitraryOrderTriangleCounter::ArbitraryOrderTriangleCounter(
+    const ArbitraryTriangleOptions& options)
+    : options_(options),
+      edge_sample_(std::max<std::size_t>(options.sample_size, 1),
+                   Mix64(options.seed) ^ 0x8888888888888888ULL) {
+  CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+void ArbitraryOrderTriangleCounter::OnEdgeEvicted(EdgeKey key,
+                                                  EdgeState&& state) {
+  // Detections through wedges containing this edge are no longer backed by
+  // the sample; roll them back (the partner edge keeps no record, so each
+  // detection is subtracted exactly once — whichever wedge edge dies first
+  // takes it with it).
+  detections_ -= state.detections;
+  for (VertexId endpoint : {state.lo, state.hi}) {
+    auto it = edges_by_vertex_.find(endpoint);
+    if (it == edges_by_vertex_.end()) continue;
+    auto& vec = it->second;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == key) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) edges_by_vertex_.erase(it);
+  }
+}
+
+void ArbitraryOrderTriangleCounter::OnEdge(VertexId u, VertexId v) {
+  ++edge_events_;
+  EdgeKey closing = MakeEdgeKey(u, v);
+
+  // Detect wedges u-x-v with both edges sampled: iterate the sparser
+  // endpoint's sampled incident edges and probe for the partner.
+  VertexId a = u, b = v;
+  auto au = edges_by_vertex_.find(a);
+  auto bv = edges_by_vertex_.find(b);
+  std::size_t da = au == edges_by_vertex_.end() ? 0 : au->second.size();
+  std::size_t db = bv == edges_by_vertex_.end() ? 0 : bv->second.size();
+  if (db < da) {
+    std::swap(a, b);
+    std::swap(au, bv);
+    std::swap(da, db);
+  }
+  if (da > 0) {
+    // Copy: detections mutate nothing, but keep iteration clearly safe.
+    for (EdgeKey first : au->second) {
+      if (first == closing) continue;
+      VertexId x = OtherEndpoint(first, a);
+      if (x == b) continue;
+      EdgeKey second = MakeEdgeKey(x, b);
+      EdgeState* st2 = edge_sample_.Find(second);
+      if (st2 == nullptr) continue;
+      // Wedge a-x-b fully sampled; {u, v} closes the triangle. Attribute
+      // the detection to exactly one wedge edge (the one with the larger
+      // priority — the first to be evicted if either ever is), so rollback
+      // happens exactly once.
+      ++detections_;
+      if (edge_sample_.PriorityOf(first) > edge_sample_.PriorityOf(second)) {
+        edge_sample_.Find(first)->detections += 1;
+      } else {
+        st2->detections += 1;
+      }
+    }
+  }
+
+  // Offer the closing edge to the sample.
+  EdgeState state;
+  state.lo = EdgeKeyLo(closing);
+  state.hi = EdgeKeyHi(closing);
+  auto result = edge_sample_.Offer(
+      closing, std::move(state),
+      [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
+  if (result == sampling::OfferResult::kInserted) {
+    edges_by_vertex_[EdgeKeyLo(closing)].push_back(closing);
+    edges_by_vertex_[EdgeKeyHi(closing)].push_back(closing);
+  }
+}
+
+std::size_t ArbitraryOrderTriangleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  return edge_sample_.MemoryBytes() +
+         edges_by_vertex_.size() * kMapEntryOverhead +
+         2 * edge_sample_.size() * sizeof(EdgeKey);
+}
+
+ArbitraryTriangleResult ArbitraryOrderTriangleCounter::result() const {
+  ArbitraryTriangleResult res;
+  res.edge_count = edge_events_;
+  res.detections = detections_;
+  res.edge_sample_size = edge_sample_.size();
+  const double m = static_cast<double>(res.edge_count);
+  const double s = static_cast<double>(res.edge_sample_size);
+  res.k_squared = (s >= 2.0 && m > s) ? m * (m - 1.0) / (s * (s - 1.0)) : 1.0;
+  res.estimate = res.k_squared * static_cast<double>(detections_);
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

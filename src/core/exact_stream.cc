@@ -1,0 +1,41 @@
+#include "core/exact_stream.h"
+
+namespace cyclestream {
+namespace core {
+
+void ExactStreamTriangleCounter::BeginList(VertexId /*u*/) {
+  current_list_.clear();
+}
+
+void ExactStreamTriangleCounter::OnPair(VertexId u, VertexId v) {
+  ++pair_events_;
+  current_list_.push_back(v);
+  (void)u;
+}
+
+void ExactStreamTriangleCounter::EndList(VertexId u) {
+  // A triangle {x, y, u} is counted at u's list iff edge {x, y} has fully
+  // appeared in earlier lists — true exactly when u's list is the last of
+  // the three, so each triangle is counted once. Edge states are updated
+  // only after the scan so that pairs within this list don't self-trigger.
+  for (std::size_t i = 0; i < current_list_.size(); ++i) {
+    for (std::size_t j = i + 1; j < current_list_.size(); ++j) {
+      auto it = edge_state_.find(MakeEdgeKey(current_list_[i], current_list_[j]));
+      if (it != edge_state_.end() && it->second == 2) ++triangles_;
+    }
+  }
+  for (VertexId v : current_list_) {
+    ++edge_state_[MakeEdgeKey(u, v)];
+  }
+  current_list_.clear();
+}
+
+std::size_t ExactStreamTriangleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 16;
+  return edge_state_.size() *
+             (sizeof(EdgeKey) + sizeof(std::uint8_t) + kMapEntryOverhead) +
+         current_list_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,45 @@
+// Trivial O(m)-space one-pass exact triangle counter — Table 1's "trivial
+// O(m)" baseline. Stores every edge and counts each triangle at the last of
+// its three adjacency lists. Used as the space/accuracy reference point the
+// sublinear algorithms are compared against.
+
+#ifndef CYCLESTREAM_CORE_EXACT_STREAM_H_
+#define CYCLESTREAM_CORE_EXACT_STREAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "stream/algorithm.h"
+
+namespace cyclestream {
+namespace core {
+
+/// One-pass exact triangle counting with Θ(m) state.
+class ExactStreamTriangleCounter : public stream::StreamAlgorithm {
+ public:
+  ExactStreamTriangleCounter() = default;
+
+  int passes() const override { return 1; }
+
+  void BeginList(VertexId u) override;
+  void OnPair(VertexId u, VertexId v) override;
+  void EndList(VertexId u) override;
+  std::size_t CurrentSpaceBytes() const override;
+
+  std::uint64_t triangles() const { return triangles_; }
+  std::uint64_t edge_count() const { return pair_events_ / 2; }
+
+ private:
+  // 0 = unseen, 1 = one copy seen, 2 = both copies seen.
+  std::unordered_map<EdgeKey, std::uint8_t> edge_state_;
+  std::vector<VertexId> current_list_;
+  std::uint64_t pair_events_ = 0;
+  std::uint64_t triangles_ = 0;
+};
+
+}  // namespace core
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_EXACT_STREAM_H_

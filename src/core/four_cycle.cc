@@ -1,0 +1,136 @@
+#include "core/four_cycle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+namespace {
+
+// Canonical key of the 4-cycle with diagonals {a, b} and {c, d}.
+std::uint64_t CycleKey(EdgeKey diag1, EdgeKey diag2) {
+  EdgeKey lo = std::min(diag1, diag2);
+  EdgeKey hi = std::max(diag1, diag2);
+  return Mix128To64(lo, hi);
+}
+
+}  // namespace
+
+TwoPassFourCycleCounter::TwoPassFourCycleCounter(
+    const FourCycleOptions& options)
+    : options_(options),
+      edge_sample_(std::max<std::size_t>(options.sample_size, 1),
+                   Mix64(options.seed) ^ 0x5555555555555555ULL) {
+  CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+void TwoPassFourCycleCounter::BeginPass(int pass) { pass_ = pass; }
+
+void TwoPassFourCycleCounter::BuildWedges() {
+  // Group sampled edges by endpoint and form every wedge inside S.
+  std::unordered_map<VertexId, std::vector<VertexId>> incident;
+  edge_sample_.ForEach([&](EdgeKey /*key*/, const EdgeEntry& e) {
+    incident[e.lo].push_back(e.hi);
+    incident[e.hi].push_back(e.lo);
+  });
+  for (auto& [center, others] : incident) {
+    std::sort(others.begin(), others.end());
+    for (std::size_t i = 0; i < others.size(); ++i) {
+      for (std::size_t j = i + 1; j < others.size(); ++j) {
+        if (options_.max_wedges != 0 &&
+            wedges_.size() >= options_.max_wedges) {
+          wedge_cap_hit_ = true;
+          return;
+        }
+        WedgeState state;
+        state.wedge = MakeWedge(center, others[i], others[j]);
+        std::uint32_t idx = static_cast<std::uint32_t>(wedges_.size());
+        wedges_.push_back(state);
+        wedge_watchers_[state.wedge.end_lo].push_back(idx);
+        wedge_watchers_[state.wedge.end_hi].push_back(idx);
+      }
+    }
+  }
+}
+
+void TwoPassFourCycleCounter::OnPair(VertexId u, VertexId v) {
+  if (pass_ == 0) {
+    ++pair_events_;
+    EdgeKey key = MakeEdgeKey(u, v);
+    edge_sample_.Offer(key, EdgeEntry{EdgeKeyLo(key), EdgeKeyHi(key)});
+    return;
+  }
+  // Pass 2: flag wedges having endpoint v.
+  auto wit = wedge_watchers_.find(v);
+  if (wit == wedge_watchers_.end()) return;
+  for (std::uint32_t idx : wit->second) {
+    WedgeState& ws = wedges_[idx];
+    if (!ws.flag_lo && !ws.flag_hi) touched_wedges_.push_back(idx);
+    if (ws.wedge.end_lo == v) {
+      ws.flag_lo = true;
+    } else {
+      ws.flag_hi = true;
+    }
+  }
+  (void)u;
+}
+
+void TwoPassFourCycleCounter::EndList(VertexId u) {
+  if (pass_ != 1) return;
+  for (std::uint32_t idx : touched_wedges_) {
+    WedgeState& ws = wedges_[idx];
+    if (ws.flag_lo && ws.flag_hi && u != ws.wedge.center) {
+      // z = u closes the 4-cycle center-end_lo-z-end_hi.
+      ++ws.count;
+      ++wedge_incidences_;
+      found_cycles_.insert(
+          CycleKey(MakeEdgeKey(ws.wedge.center, u),
+                   WedgeEndpointsKey(ws.wedge)));
+    }
+    ws.flag_lo = ws.flag_hi = false;
+  }
+  touched_wedges_.clear();
+}
+
+void TwoPassFourCycleCounter::EndPass(int pass) {
+  if (pass == 0) {
+    BuildWedges();
+  } else {
+    finished_ = true;
+  }
+}
+
+std::size_t TwoPassFourCycleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  constexpr std::size_t kSetEntryOverhead = 24;
+  return edge_sample_.MemoryBytes() +
+         wedges_.capacity() * sizeof(WedgeState) +
+         wedge_watchers_.size() * kMapEntryOverhead +
+         2 * wedges_.size() * sizeof(std::uint32_t) +
+         found_cycles_.size() * kSetEntryOverhead +
+         touched_wedges_.capacity() * sizeof(std::uint32_t);
+}
+
+FourCycleResult TwoPassFourCycleCounter::result() const {
+  CYCLESTREAM_CHECK(finished_);
+  FourCycleResult res;
+  res.edge_count = pair_events_ / 2;
+  res.edge_sample_size = edge_sample_.size();
+  res.wedge_count = wedges_.size();
+  res.distinct_cycles = found_cycles_.size();
+  res.wedge_incidences = wedge_incidences_;
+  res.wedge_cap_hit = wedge_cap_hit_;
+  const double m = static_cast<double>(res.edge_count);
+  const double s = static_cast<double>(res.edge_sample_size);
+  res.k_squared = (s >= 2.0 && m > s) ? m * (m - 1.0) / (s * (s - 1.0)) : 1.0;
+  res.estimate = res.k_squared * static_cast<double>(res.distinct_cycles);
+  res.multiplicity_estimate =
+      res.k_squared * static_cast<double>(wedge_incidences_) / 4.0;
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,140 @@
+#include "core/median.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+ParallelCopies::ParallelCopies(
+    std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies)
+    : copies_(std::move(copies)) {
+  CYCLESTREAM_CHECK(!copies_.empty());
+  for (const auto& copy : copies_) {
+    CYCLESTREAM_CHECK_EQ(copy->passes(), copies_.front()->passes());
+  }
+}
+
+int ParallelCopies::passes() const { return copies_.front()->passes(); }
+
+bool ParallelCopies::requires_same_order() const {
+  for (const auto& copy : copies_) {
+    if (copy->requires_same_order()) return true;
+  }
+  return false;
+}
+
+void ParallelCopies::BeginPass(int pass) {
+  for (auto& copy : copies_) copy->BeginPass(pass);
+}
+
+void ParallelCopies::BeginList(VertexId u) {
+  for (auto& copy : copies_) copy->BeginList(u);
+}
+
+void ParallelCopies::OnPair(VertexId u, VertexId v) {
+  for (auto& copy : copies_) copy->OnPair(u, v);
+}
+
+void ParallelCopies::EndList(VertexId u) {
+  for (auto& copy : copies_) copy->EndList(u);
+}
+
+void ParallelCopies::EndPass(int pass) {
+  for (auto& copy : copies_) copy->EndPass(pass);
+}
+
+std::size_t ParallelCopies::CurrentSpaceBytes() const {
+  std::size_t total = 0;
+  for (const auto& copy : copies_) total += copy->CurrentSpaceBytes();
+  return total;
+}
+
+double Median(std::vector<double> values) {
+  CYCLESTREAM_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+namespace {
+
+// Shared driver: builds `copies` algorithms via `make`, runs them in
+// parallel over the stream, extracts per-copy estimates via `extract`.
+AmplifiedEstimate RunAmplified(
+    const stream::AdjacencyListStream& stream, int copies, std::uint64_t seed,
+    const std::function<std::unique_ptr<stream::StreamAlgorithm>(std::uint64_t)>&
+        make,
+    const std::function<double(stream::StreamAlgorithm*)>& extract) {
+  CYCLESTREAM_CHECK_GE(copies, 1);
+  std::vector<std::unique_ptr<stream::StreamAlgorithm>> algos;
+  algos.reserve(copies);
+  for (int c = 0; c < copies; ++c) {
+    algos.push_back(make(Mix128To64(seed, static_cast<std::uint64_t>(c))));
+  }
+  ParallelCopies group(std::move(algos));
+  AmplifiedEstimate out;
+  out.report = stream::RunPasses(stream, &group);
+  out.copy_estimates.reserve(copies);
+  for (std::size_t c = 0; c < group.num_copies(); ++c) {
+    out.copy_estimates.push_back(extract(group.copy(c)));
+  }
+  out.estimate = Median(out.copy_estimates);
+  return out;
+}
+
+}  // namespace
+
+AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
+                                    std::size_t sample_size, int copies,
+                                    std::uint64_t seed) {
+  return RunAmplified(
+      stream, copies, seed,
+      [&](std::uint64_t copy_seed) {
+        TwoPassTriangleOptions options;
+        options.sample_size = sample_size;
+        options.seed = copy_seed;
+        return std::make_unique<TwoPassTriangleCounter>(options);
+      },
+      [](stream::StreamAlgorithm* algo) {
+        return static_cast<TwoPassTriangleCounter*>(algo)->Estimate();
+      });
+}
+
+AmplifiedEstimate EstimateTrianglesOnePass(
+    const stream::AdjacencyListStream& stream, std::size_t sample_size,
+    int copies, std::uint64_t seed) {
+  return RunAmplified(
+      stream, copies, seed,
+      [&](std::uint64_t copy_seed) {
+        OnePassTriangleOptions options;
+        options.sample_size = sample_size;
+        options.seed = copy_seed;
+        return std::make_unique<OnePassTriangleCounter>(options);
+      },
+      [](stream::StreamAlgorithm* algo) {
+        return static_cast<OnePassTriangleCounter*>(algo)->Estimate();
+      });
+}
+
+AmplifiedEstimate EstimateFourCycles(const stream::AdjacencyListStream& stream,
+                                     std::size_t sample_size, int copies,
+                                     std::uint64_t seed) {
+  return RunAmplified(
+      stream, copies, seed,
+      [&](std::uint64_t copy_seed) {
+        FourCycleOptions options;
+        options.sample_size = sample_size;
+        options.seed = copy_seed;
+        return std::make_unique<TwoPassFourCycleCounter>(options);
+      },
+      [](stream::StreamAlgorithm* algo) {
+        return static_cast<TwoPassFourCycleCounter*>(algo)->Estimate();
+      });
+}
+
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,79 @@
+// Median-of-independent-copies amplification (the log(1/δ) wrapper used by
+// Theorems 3.7 and 4.6) plus convenience one-call estimators.
+//
+// `ParallelCopies` multiplexes one physical stream into R independent
+// algorithm copies — the streaming-faithful way to amplify: the stream is
+// still read passes() times, and total space is the sum over copies.
+
+#ifndef CYCLESTREAM_CORE_MEDIAN_H_
+#define CYCLESTREAM_CORE_MEDIAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/four_cycle.h"
+#include "core/one_pass_triangle.h"
+#include "core/two_pass_triangle.h"
+#include "stream/adjacency_stream.h"
+#include "stream/algorithm.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace core {
+
+/// Runs R copies of an algorithm as one StreamAlgorithm. All copies must
+/// take the same number of passes.
+class ParallelCopies : public stream::StreamAlgorithm {
+ public:
+  explicit ParallelCopies(
+      std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies);
+
+  int passes() const override;
+  bool requires_same_order() const override;
+
+  void BeginPass(int pass) override;
+  void BeginList(VertexId u) override;
+  void OnPair(VertexId u, VertexId v) override;
+  void EndList(VertexId u) override;
+  void EndPass(int pass) override;
+  std::size_t CurrentSpaceBytes() const override;
+
+  std::size_t num_copies() const { return copies_.size(); }
+  stream::StreamAlgorithm* copy(std::size_t i) { return copies_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies_;
+};
+
+/// Median of a vector (by value; averages the middle pair for even sizes).
+double Median(std::vector<double> values);
+
+/// Aggregated outcome of a median-amplified run.
+struct AmplifiedEstimate {
+  double estimate = 0.0;               // median over copies
+  std::vector<double> copy_estimates;  // raw per-copy estimates
+  stream::RunReport report;            // space/pass report for all copies
+};
+
+/// Theorem 3.7 end-to-end: median of `copies` independent two-pass triangle
+/// estimators with per-copy sample size `sample_size`.
+AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
+                                    std::size_t sample_size, int copies,
+                                    std::uint64_t seed);
+
+/// One-pass baseline end-to-end (MVV'16 style).
+AmplifiedEstimate EstimateTrianglesOnePass(
+    const stream::AdjacencyListStream& stream, std::size_t sample_size,
+    int copies, std::uint64_t seed);
+
+/// Theorem 4.6 end-to-end: median of `copies` two-pass 4-cycle estimators.
+AmplifiedEstimate EstimateFourCycles(const stream::AdjacencyListStream& stream,
+                                     std::size_t sample_size, int copies,
+                                     std::uint64_t seed);
+
+}  // namespace core
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_MEDIAN_H_

@@ -1,0 +1,182 @@
+#include "core/one_pass_four_cycle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+OnePassFourCycleCounter::OnePassFourCycleCounter(
+    const OnePassFourCycleOptions& options)
+    : options_(options),
+      edge_sample_(std::max<std::size_t>(options.sample_size, 1),
+                   Mix64(options.seed) ^ 0x6666666666666666ULL) {
+  CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+void OnePassFourCycleCounter::AddWedgesForNewEdge(EdgeKey key, VertexId lo,
+                                                  VertexId hi) {
+  // Pair the new edge with every sampled edge sharing an endpoint.
+  for (VertexId center : {lo, hi}) {
+    VertexId new_end = OtherEndpoint(key, center);
+    auto it = edges_by_vertex_.find(center);
+    if (it == edges_by_vertex_.end()) continue;
+    for (EdgeKey other : it->second) {
+      if (other == key) continue;
+      VertexId other_end = OtherEndpoint(other, center);
+      if (other_end == new_end) continue;
+      std::uint32_t idx;
+      if (!free_wedges_.empty()) {
+        idx = free_wedges_.back();
+        free_wedges_.pop_back();
+        wedges_[idx] = WedgeState{};
+      } else {
+        idx = static_cast<std::uint32_t>(wedges_.size());
+        wedges_.emplace_back();
+      }
+      WedgeState& w = wedges_[idx];
+      w.wedge = MakeWedge(center, new_end, other_end);
+      w.edge_a = MakeEdgeKey(center, w.wedge.end_lo);
+      w.edge_b = MakeEdgeKey(center, w.wedge.end_hi);
+      w.live = true;
+      ++live_wedges_;
+      wedge_watchers_[w.wedge.end_lo].push_back(idx);
+      wedge_watchers_[w.wedge.end_hi].push_back(idx);
+      edge_sample_.Find(key)->wedges.push_back(idx);
+      edge_sample_.Find(other)->wedges.push_back(idx);
+    }
+  }
+}
+
+void OnePassFourCycleCounter::RemoveWedge(std::uint32_t idx) {
+  WedgeState& w = wedges_[idx];
+  if (!w.live) return;
+  detections_ -= w.detections;
+  for (VertexId endpoint : {w.wedge.end_lo, w.wedge.end_hi}) {
+    auto it = wedge_watchers_.find(endpoint);
+    if (it == wedge_watchers_.end()) continue;
+    auto& vec = it->second;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == idx) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) wedge_watchers_.erase(it);
+  }
+  // Detach from the surviving edge's wedge list (the evicted edge's state is
+  // being destroyed by the sampler).
+  for (EdgeKey ekey : {w.edge_a, w.edge_b}) {
+    EdgeState* st = edge_sample_.Find(ekey);
+    if (st == nullptr) continue;
+    auto& vec = st->wedges;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == idx) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+  }
+  w.live = false;
+  --live_wedges_;
+  free_wedges_.push_back(idx);
+}
+
+void OnePassFourCycleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
+  std::vector<std::uint32_t> wedges = std::move(state.wedges);
+  for (std::uint32_t idx : wedges) RemoveWedge(idx);
+  for (VertexId endpoint : {state.lo, state.hi}) {
+    auto it = edges_by_vertex_.find(endpoint);
+    if (it == edges_by_vertex_.end()) continue;
+    auto& vec = it->second;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == key) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) edges_by_vertex_.erase(it);
+  }
+}
+
+void OnePassFourCycleCounter::OnPair(VertexId u, VertexId v) {
+  ++pair_events_;
+  EdgeKey key = MakeEdgeKey(u, v);
+  EdgeState state;
+  state.lo = EdgeKeyLo(key);
+  state.hi = EdgeKeyHi(key);
+  auto result = edge_sample_.Offer(
+      key, std::move(state),
+      [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
+  if (result == sampling::OfferResult::kInserted) {
+    edges_by_vertex_[EdgeKeyLo(key)].push_back(key);
+    edges_by_vertex_[EdgeKeyHi(key)].push_back(key);
+    AddWedgesForNewEdge(key, EdgeKeyLo(key), EdgeKeyHi(key));
+  } else if (result == sampling::OfferResult::kAlreadyPresent) {
+    edge_sample_.Find(key)->seen_twice = true;
+  }
+
+  // Flag wedges having endpoint v.
+  auto wit = wedge_watchers_.find(v);
+  if (wit != wedge_watchers_.end()) {
+    for (std::uint32_t idx : wit->second) {
+      WedgeState& w = wedges_[idx];
+      if (!w.flag_lo && !w.flag_hi) touched_wedges_.push_back(idx);
+      if (w.wedge.end_lo == v) {
+        w.flag_lo = true;
+      } else {
+        w.flag_hi = true;
+      }
+    }
+  }
+}
+
+void OnePassFourCycleCounter::EndList(VertexId u) {
+  for (std::uint32_t idx : touched_wedges_) {
+    WedgeState& w = wedges_[idx];
+    if (!w.live) continue;
+    if (w.flag_lo && w.flag_hi && u != w.wedge.center) {
+      const EdgeState* a = edge_sample_.Find(w.edge_a);
+      const EdgeState* b = edge_sample_.Find(w.edge_b);
+      if (a != nullptr && b != nullptr && a->seen_twice && b->seen_twice) {
+        ++w.detections;
+        ++detections_;
+      }
+    }
+    w.flag_lo = w.flag_hi = false;
+  }
+  touched_wedges_.clear();
+}
+
+std::size_t OnePassFourCycleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  return edge_sample_.MemoryBytes() +
+         wedges_.capacity() * sizeof(WedgeState) +
+         wedge_watchers_.size() * kMapEntryOverhead +
+         edges_by_vertex_.size() * kMapEntryOverhead +
+         2 * live_wedges_ * sizeof(std::uint32_t) +
+         2 * edge_sample_.size() * sizeof(EdgeKey) +
+         (touched_wedges_.capacity() + free_wedges_.capacity()) *
+             sizeof(std::uint32_t);
+}
+
+OnePassFourCycleResult OnePassFourCycleCounter::result() const {
+  OnePassFourCycleResult res;
+  res.edge_count = pair_events_ / 2;
+  res.detections = detections_;
+  res.edge_sample_size = edge_sample_.size();
+  res.wedge_count = live_wedges_;
+  const double m = static_cast<double>(res.edge_count);
+  const double s = static_cast<double>(res.edge_sample_size);
+  res.k_squared = (s >= 2.0 && m > s) ? m * (m - 1.0) / (s * (s - 1.0)) : 1.0;
+  res.estimate = res.k_squared * static_cast<double>(detections_);
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

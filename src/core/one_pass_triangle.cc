@@ -1,0 +1,111 @@
+#include "core/one_pass_triangle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+OnePassTriangleCounter::OnePassTriangleCounter(
+    const OnePassTriangleOptions& options)
+    : options_(options),
+      edge_sample_(std::max<std::size_t>(options.sample_size, 1),
+                   Mix64(options.seed) ^ 0x3333333333333333ULL) {
+  CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+void OnePassTriangleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
+  detections_ -= state.detections;
+  for (VertexId endpoint : {state.lo, state.hi}) {
+    auto it = edge_watchers_.find(endpoint);
+    if (it == edge_watchers_.end()) continue;
+    auto& vec = it->second;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == key) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) edge_watchers_.erase(it);
+  }
+}
+
+void OnePassTriangleCounter::BeginPass(int pass) {
+  CYCLESTREAM_CHECK_EQ(pass, 0);
+}
+
+void OnePassTriangleCounter::OnPair(VertexId u, VertexId v) {
+  ++pair_events_;
+  EdgeKey key = MakeEdgeKey(u, v);
+  EdgeState state;
+  state.lo = EdgeKeyLo(key);
+  state.hi = EdgeKeyHi(key);
+  auto result = edge_sample_.Offer(
+      key, std::move(state),
+      [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
+  if (result == sampling::OfferResult::kInserted) {
+    edge_watchers_[EdgeKeyLo(key)].push_back(key);
+    edge_watchers_[EdgeKeyHi(key)].push_back(key);
+  } else if (result == sampling::OfferResult::kAlreadyPresent) {
+    // Second copy of a sampled edge: from the next list onward, completions
+    // close a triangle whose earliest edge is this one.
+    EdgeState* st = edge_sample_.Find(key);
+    st->seen_twice = true;
+  }
+
+  // Flag sampled edges having endpoint v.
+  auto wit = edge_watchers_.find(v);
+  if (wit != edge_watchers_.end()) {
+    for (EdgeKey wkey : wit->second) {
+      EdgeState* st = edge_sample_.Find(wkey);
+      if (st == nullptr) continue;
+      if (!st->flag_lo && !st->flag_hi) touched_edges_.push_back(wkey);
+      if (st->lo == v) {
+        st->flag_lo = true;
+      } else {
+        st->flag_hi = true;
+      }
+    }
+  }
+}
+
+void OnePassTriangleCounter::EndList(VertexId /*u*/) {
+  for (EdgeKey key : touched_edges_) {
+    EdgeState* st = edge_sample_.Find(key);
+    if (st == nullptr) continue;
+    if (st->flag_lo && st->flag_hi && st->seen_twice) {
+      ++st->detections;
+      ++detections_;
+    }
+    if (st != nullptr) st->flag_lo = st->flag_hi = false;
+  }
+  touched_edges_.clear();
+  finished_ = true;  // result is defined whenever the stream has ended
+}
+
+std::size_t OnePassTriangleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  return edge_sample_.MemoryBytes() +
+         edge_watchers_.size() * kMapEntryOverhead +
+         2 * edge_sample_.size() * sizeof(EdgeKey) +
+         touched_edges_.capacity() * sizeof(EdgeKey);
+}
+
+OnePassTriangleResult OnePassTriangleCounter::result() const {
+  OnePassTriangleResult res;
+  res.edge_count = pair_events_ / 2;
+  res.detections = detections_;
+  res.edge_sample_size = edge_sample_.size();
+  res.k = res.edge_sample_size == 0
+              ? 1.0
+              : static_cast<double>(res.edge_count) /
+                    static_cast<double>(res.edge_sample_size);
+  res.estimate = res.k * static_cast<double>(detections_);
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,152 @@
+#include "core/triangle_distinguisher.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace core {
+
+TriangleDistinguisher::TriangleDistinguisher(
+    const TriangleDistinguisherOptions& options)
+    : options_(options),
+      edge_sample_(std::max<std::size_t>(options.sample_size, 1),
+                   Mix64(options.seed) ^ 0x4444444444444444ULL) {
+  CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+void TriangleDistinguisher::BeginPass(int pass) { pass_ = pass; }
+
+void TriangleDistinguisher::OnPair(VertexId u, VertexId v) {
+  if (pass_ == 0) {
+    ++pair_events_;
+    EdgeKey key = MakeEdgeKey(u, v);
+    EdgeState state{EdgeKeyLo(key), EdgeKeyHi(key), false, false};
+    auto result = edge_sample_.Offer(
+        key, std::move(state), [this](EdgeKey k, EdgeState&& evicted) {
+          for (VertexId endpoint : {evicted.lo, evicted.hi}) {
+            auto it = edge_watchers_.find(endpoint);
+            if (it == edge_watchers_.end()) continue;
+            auto& vec = it->second;
+            for (std::size_t i = 0; i < vec.size(); ++i) {
+              if (vec[i] == k) {
+                vec[i] = vec.back();
+                vec.pop_back();
+                break;
+              }
+            }
+            if (vec.empty()) edge_watchers_.erase(it);
+          }
+        });
+    if (result == sampling::OfferResult::kInserted) {
+      edge_watchers_[EdgeKeyLo(key)].push_back(key);
+      edge_watchers_[EdgeKeyHi(key)].push_back(key);
+    }
+    return;  // counting happens only in the second pass
+  }
+
+  auto wit = edge_watchers_.find(v);
+  if (wit != edge_watchers_.end()) {
+    for (EdgeKey key : wit->second) {
+      EdgeState* st = edge_sample_.Find(key);
+      if (st == nullptr) continue;
+      if (!st->flag_lo && !st->flag_hi) touched_edges_.push_back(key);
+      if (st->lo == v) {
+        st->flag_lo = true;
+      } else {
+        st->flag_hi = true;
+      }
+    }
+  }
+}
+
+void TriangleDistinguisher::EndList(VertexId /*u*/) {
+  if (pass_ != 1) return;
+  for (EdgeKey key : touched_edges_) {
+    EdgeState* st = edge_sample_.Find(key);
+    if (st == nullptr) continue;
+    if (st->flag_lo && st->flag_hi) ++incidences_;
+    st->flag_lo = st->flag_hi = false;
+  }
+  touched_edges_.clear();
+}
+
+std::size_t TriangleDistinguisher::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  return edge_sample_.MemoryBytes() +
+         edge_watchers_.size() * kMapEntryOverhead +
+         2 * edge_sample_.size() * sizeof(EdgeKey) +
+         touched_edges_.capacity() * sizeof(EdgeKey);
+}
+
+namespace {
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+std::uint64_t ReadU64(const std::vector<std::uint8_t>& in, std::size_t* pos) {
+  CYCLESTREAM_CHECK_LE(*pos + 8, in.size());
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TriangleDistinguisher::SerializeState() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 * 8 + 8 * edge_sample_.size());
+  AppendU64(&out, static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
+  AppendU64(&out, pair_events_);
+  AppendU64(&out, incidences_);
+  AppendU64(&out, edge_sample_.size());
+  edge_sample_.ForEach([&](EdgeKey key, const EdgeState& state) {
+    // Flags are per-list transients; boundaries only.
+    CYCLESTREAM_CHECK(!state.flag_lo && !state.flag_hi);
+    AppendU64(&out, key);
+  });
+  return out;
+}
+
+void TriangleDistinguisher::RestoreState(
+    const std::vector<std::uint8_t>& bytes) {
+  CYCLESTREAM_CHECK_EQ(edge_sample_.size(), 0u);
+  std::size_t pos = 0;
+  pass_ = static_cast<int>(ReadU64(bytes, &pos)) - 1;
+  pair_events_ = ReadU64(bytes, &pos);
+  incidences_ = ReadU64(bytes, &pos);
+  std::uint64_t count = ReadU64(bytes, &pos);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EdgeKey key = ReadU64(bytes, &pos);
+    EdgeState state{EdgeKeyLo(key), EdgeKeyHi(key), false, false};
+    auto result = edge_sample_.Offer(key, std::move(state));
+    CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
+    edge_watchers_[EdgeKeyLo(key)].push_back(key);
+    edge_watchers_[EdgeKeyHi(key)].push_back(key);
+  }
+  CYCLESTREAM_CHECK_EQ(pos, bytes.size());
+}
+
+TriangleDistinguisherResult TriangleDistinguisher::result() const {
+  TriangleDistinguisherResult res;
+  res.edge_count = pair_events_ / 2;
+  res.incidences = incidences_;
+  res.edge_sample_size = edge_sample_.size();
+  res.found_triangle = incidences_ > 0;
+  double k = res.edge_sample_size == 0
+                 ? 1.0
+                 : static_cast<double>(res.edge_count) /
+                       static_cast<double>(res.edge_sample_size);
+  res.naive_estimate = k * static_cast<double>(incidences_) / 3.0;
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,96 @@
+#include "core/wedge_sampling_triangle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace core {
+
+WedgeSamplingTriangleCounter::WedgeSamplingTriangleCounter(
+    const WedgeSamplingOptions& options)
+    : options_(options), rng_(Mix64(options.seed) ^ 0x9999999999999999ULL) {
+  CYCLESTREAM_CHECK_GE(options.reservoir_size, 1u);
+  reservoir_.reserve(options.reservoir_size);
+}
+
+void WedgeSamplingTriangleCounter::WatchSlot(std::uint32_t slot) {
+  closure_watch_[WedgeEndpointsKey(reservoir_[slot].wedge)].push_back(slot);
+}
+
+void WedgeSamplingTriangleCounter::UnwatchSlot(std::uint32_t slot) {
+  auto it = closure_watch_.find(WedgeEndpointsKey(reservoir_[slot].wedge));
+  if (it == closure_watch_.end()) return;
+  auto& vec = it->second;
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (vec[i] == slot) {
+      vec[i] = vec.back();
+      vec.pop_back();
+      break;
+    }
+  }
+  if (vec.empty()) closure_watch_.erase(it);
+}
+
+void WedgeSamplingTriangleCounter::OfferWedge(const Wedge& w) {
+  ++wedge_count_;
+  if (reservoir_.size() < options_.reservoir_size) {
+    reservoir_.push_back(Slot{w, false});
+    WatchSlot(static_cast<std::uint32_t>(reservoir_.size() - 1));
+    return;
+  }
+  std::uint64_t j = rng_.NextBounded(wedge_count_);
+  if (j < options_.reservoir_size) {
+    std::uint32_t slot = static_cast<std::uint32_t>(j);
+    UnwatchSlot(slot);
+    reservoir_[slot] = Slot{w, false};
+    WatchSlot(slot);
+  }
+}
+
+void WedgeSamplingTriangleCounter::BeginList(VertexId u) {
+  current_center_ = u;
+  current_list_.clear();
+}
+
+void WedgeSamplingTriangleCounter::OnPair(VertexId u, VertexId v) {
+  // Closure check first: the arriving pair {u, v} closes watched wedges
+  // with endpoint set {u, v}. (A wedge sampled in this same list has its
+  // closing edge at the endpoints' own later lists, never here, since
+  // endpoints differ from the center.)
+  auto it = closure_watch_.find(MakeEdgeKey(u, v));
+  if (it != closure_watch_.end()) {
+    for (std::uint32_t slot : it->second) reservoir_[slot].closed = true;
+  }
+
+  // New wedges between v and every earlier entry of the current list.
+  for (VertexId prev : current_list_) {
+    OfferWedge(MakeWedge(current_center_, prev, v));
+  }
+  current_list_.push_back(v);
+}
+
+std::size_t WedgeSamplingTriangleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  return reservoir_.capacity() * sizeof(Slot) +
+         closure_watch_.size() * kMapEntryOverhead +
+         reservoir_.size() * sizeof(std::uint32_t) +
+         current_list_.capacity() * sizeof(VertexId);
+}
+
+WedgeSamplingResult WedgeSamplingTriangleCounter::result() const {
+  WedgeSamplingResult res;
+  res.wedge_count = wedge_count_;
+  res.sampled = reservoir_.size();
+  for (const Slot& slot : reservoir_) res.closed += slot.closed;
+  if (res.sampled > 0) {
+    double closed_frac =
+        static_cast<double>(res.closed) / static_cast<double>(res.sampled);
+    res.estimate = closed_frac * static_cast<double>(wedge_count_) / 2.0;
+    res.transitivity_estimate = 1.5 * closed_frac;
+  }
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

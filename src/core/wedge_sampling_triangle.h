@@ -1,0 +1,84 @@
+// One-pass wedge-sampling triangle estimation, Õ(P2 / T) space — Table 1's
+// first row (Buriol et al., PODS'06 lineage; also the scheme behind
+// Jha–Seshadhri–Pinar's random-order algorithm the paper cites).
+//
+// In adjacency-list order every wedge u-c-w is visible inside c's list, so
+// a uniform wedge sample needs no edge storage: reservoir-sample m' wedges
+// from the implicit wedge stream (Σ_c C(deg c, 2) = P2 items) and watch
+// whether the closing edge {u, w} arrives in a later list. The closing edge
+// appears in u's and w's lists, so a triangle's wedge at center c is
+// closable iff c's list is not the last of the three — exactly 2 of each
+// triangle's 3 wedges, under any order. Hence
+//     T̂ = (closed fraction) * P2 / 2,
+// a consistent estimator needing m' = Θ(P2 / (ε² T)) reservoir slots: cheap
+// on wedge-light graphs, useless on wedge-heavy ones — which is why Table 1
+// lists it separately from the m/sqrt(T) and m/T^{2/3} algorithms.
+
+#ifndef CYCLESTREAM_CORE_WEDGE_SAMPLING_TRIANGLE_H_
+#define CYCLESTREAM_CORE_WEDGE_SAMPLING_TRIANGLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/wedge.h"
+#include "stream/algorithm.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace core {
+
+struct WedgeSamplingOptions {
+  /// Reservoir capacity m' = Θ(P2 / (ε² T)).
+  std::size_t reservoir_size = 1;
+  std::uint64_t seed = 1;
+};
+
+struct WedgeSamplingResult {
+  double estimate = 0.0;
+  std::uint64_t wedge_count = 0;    // P2, learned during the pass
+  std::size_t sampled = 0;          // wedges in the final reservoir
+  std::size_t closed = 0;           // sampled wedges whose closer arrived
+  double transitivity_estimate = 0.0;  // 3T / P2 ~ 1.5 * closed fraction
+};
+
+/// Single-pass reservoir wedge sampler; exact when the reservoir holds all
+/// P2 wedges.
+class WedgeSamplingTriangleCounter : public stream::StreamAlgorithm {
+ public:
+  explicit WedgeSamplingTriangleCounter(const WedgeSamplingOptions& options);
+
+  int passes() const override { return 1; }
+
+  void BeginList(VertexId u) override;
+  void OnPair(VertexId u, VertexId v) override;
+  std::size_t CurrentSpaceBytes() const override;
+
+  WedgeSamplingResult result() const;
+  double Estimate() const { return result().estimate; }
+
+ private:
+  struct Slot {
+    Wedge wedge;
+    bool closed = false;
+  };
+
+  void OfferWedge(const Wedge& w);
+  void WatchSlot(std::uint32_t slot);
+  void UnwatchSlot(std::uint32_t slot);
+
+  WedgeSamplingOptions options_;
+  Rng rng_;
+  std::uint64_t wedge_count_ = 0;
+  std::vector<Slot> reservoir_;
+  // Closure watch: endpoint-pair key -> reservoir slots waiting for it.
+  std::unordered_map<EdgeKey, std::vector<std::uint32_t>> closure_watch_;
+  std::vector<VertexId> current_list_;
+  VertexId current_center_ = 0;
+};
+
+}  // namespace core
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_WEDGE_SAMPLING_TRIANGLE_H_

@@ -1,0 +1,60 @@
+#include "exact/cycle.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace exact {
+
+namespace {
+
+// Iterative-friendly recursive path extension. `anchor` is the minimum-id
+// vertex of every cycle counted from it; the path may only visit vertices
+// with id > anchor.
+class CycleDfs {
+ public:
+  CycleDfs(const Graph& g, int length)
+      : g_(g), length_(length), on_path_(g.num_vertices(), false) {}
+
+  std::uint64_t Run() {
+    std::uint64_t twice_count = 0;
+    for (std::size_t s = 0; s < g_.num_vertices(); ++s) {
+      anchor_ = static_cast<VertexId>(s);
+      count_ = 0;
+      Extend(anchor_, 1);
+      twice_count += count_;
+    }
+    return twice_count / 2;
+  }
+
+ private:
+  void Extend(VertexId v, int depth) {
+    if (depth == length_) {
+      if (g_.HasEdge(v, anchor_)) ++count_;
+      return;
+    }
+    on_path_[v] = true;
+    for (VertexId w : g_.neighbors(v)) {
+      if (w <= anchor_ || on_path_[w]) continue;
+      Extend(w, depth + 1);
+    }
+    on_path_[v] = false;
+  }
+
+  const Graph& g_;
+  const int length_;
+  std::vector<bool> on_path_;
+  VertexId anchor_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t CountSimpleCycles(const Graph& g, int length) {
+  CYCLESTREAM_CHECK_GE(length, 3);
+  return CycleDfs(g, length).Run();
+}
+
+}  // namespace exact
+}  // namespace cyclestream

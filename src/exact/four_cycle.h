@@ -1,0 +1,51 @@
+// Exact 4-cycle counting with per-edge and per-wedge counts.
+//
+// Counting identity: for an unordered vertex pair {x, y}, let M_{xy} be the
+// number of common neighbors (wedges with endpoints {x, y}). Every unordered
+// pair of distinct common neighbors closes a distinct 4-cycle with diagonal
+// {x, y}, and every 4-cycle has exactly two diagonals, so
+//     C4(G) = (1/2) * Σ_{x<y} C(M_{xy}, 2).
+// The same bookkeeping yields T_w (4-cycles through wedge w) = M_{xy} - 1 for
+// w = x-c-y, and per-edge counts T_e = Σ over wedges using e of (M - 1).
+// These feed Definition 4.1's heavy/overused classification (exact/heavy.h).
+
+#ifndef CYCLESTREAM_EXACT_FOUR_CYCLE_H_
+#define CYCLESTREAM_EXACT_FOUR_CYCLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "graph/wedge.h"
+
+namespace cyclestream {
+namespace exact {
+
+/// Number of 4-cycles in `g`. Time O(Σ_v deg(v)^2), memory O(#wedge pairs).
+std::uint64_t CountFourCycles(const Graph& g);
+
+/// Full 4-cycle statistics.
+struct FourCycleCounts {
+  std::uint64_t total = 0;
+  /// T_e per edge; edges in no 4-cycle are absent. Σ values = 4 * total.
+  std::unordered_map<EdgeKey, std::uint64_t> per_edge;
+  /// T_w per wedge (keyed by WedgeHashKey); wedges in no 4-cycle absent.
+  /// Σ values = 4 * total (each cycle contains 4 wedges, each in it once).
+  std::unordered_map<std::uint64_t, std::uint64_t> per_wedge;
+};
+
+FourCycleCounts CountFourCyclesDetailed(const Graph& g);
+
+/// Invokes `fn(a, x, b, y)` once per 4-cycle a-x-b-y (edges ax, xb, by, ya);
+/// the representative orientation is canonical but unspecified. Intended for
+/// validation on small/medium graphs; time O(Σ deg² + #cycles).
+void ForEachFourCycle(
+    const Graph& g,
+    const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn);
+
+}  // namespace exact
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_EXACT_FOUR_CYCLE_H_

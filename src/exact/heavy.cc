@@ -1,0 +1,78 @@
+#include "exact/heavy.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "exact/four_cycle.h"
+#include "graph/wedge.h"
+
+namespace cyclestream {
+namespace exact {
+
+FourCycleHeavinessReport ClassifyFourCycles(const Graph& g) {
+  FourCycleHeavinessReport report;
+  FourCycleCounts counts = CountFourCyclesDetailed(g);
+  report.total_cycles = counts.total;
+  if (counts.total == 0) return report;
+
+  const double t = static_cast<double>(counts.total);
+  report.edge_heavy_threshold = 40.0 * std::sqrt(t);
+  report.wedge_overused_threshold = 40.0 * std::pow(t, 0.25);
+
+  std::unordered_set<EdgeKey> heavy_edges;
+  for (const auto& [edge, te] : counts.per_edge) {
+    if (static_cast<double>(te) >= report.edge_heavy_threshold) {
+      heavy_edges.insert(edge);
+    }
+  }
+  report.heavy_edges = heavy_edges.size();
+
+  auto wedge_is_good = [&](const Wedge& w, std::uint64_t tw) {
+    if (static_cast<double>(tw) >= report.wedge_overused_threshold) {
+      return false;  // overused
+    }
+    return !heavy_edges.contains(MakeEdgeKey(w.center, w.end_lo)) &&
+           !heavy_edges.contains(MakeEdgeKey(w.center, w.end_hi));
+  };
+
+  // Tally wedge classes over wedges that lie in at least one cycle.
+  std::unordered_set<std::uint64_t> good_wedges;
+  for (std::size_t c = 0; c < g.num_vertices(); ++c) {
+    auto nbrs = g.neighbors(static_cast<VertexId>(c));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        Wedge w = MakeWedge(static_cast<VertexId>(c), nbrs[i], nbrs[j]);
+        auto it = counts.per_wedge.find(WedgeHashKey(w));
+        if (it == counts.per_wedge.end()) continue;
+        ++report.wedges_in_cycles;
+        bool overused = static_cast<double>(it->second) >=
+                        report.wedge_overused_threshold;
+        bool good = wedge_is_good(w, it->second);
+        if (!good) ++report.bad_wedges;
+        if (overused) ++report.overused_wedges;
+        if (good) good_wedges.insert(WedgeHashKey(w));
+      }
+    }
+  }
+
+  // A cycle a-x-b-y is good if any of its 4 wedges (x-a-y, x-b-y, a-x-b,
+  // a-y-b) is good.
+  ForEachFourCycle(g, [&](VertexId a, VertexId x, VertexId b, VertexId y) {
+    const Wedge wedges[4] = {
+        MakeWedge(a, x, y),
+        MakeWedge(b, x, y),
+        MakeWedge(x, a, b),
+        MakeWedge(y, a, b),
+    };
+    for (const Wedge& w : wedges) {
+      if (good_wedges.contains(WedgeHashKey(w))) {
+        ++report.good_cycles;
+        break;
+      }
+    }
+  });
+  return report;
+}
+
+}  // namespace exact
+}  // namespace cyclestream

@@ -1,0 +1,40 @@
+// Heavy-edge / overused-wedge classification for 4-cycles (Definition 4.1)
+// and the good-cycle count |F_G| (Lemma 4.2).
+//
+// The 4-cycle algorithm's correctness rests on Lemma 4.2: at least a constant
+// fraction (the paper proves >= T/50) of all 4-cycles contain a "good" wedge
+// — one that is not overused (< 40 T^{1/4} cycles through it) and has neither
+// edge heavy (< 40 sqrt(T) cycles through it). This module computes the
+// classification exactly so tests can validate the lemma across generators
+// and benches can report how heaviness drives estimator variance.
+
+#ifndef CYCLESTREAM_EXACT_HEAVY_H_
+#define CYCLESTREAM_EXACT_HEAVY_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace exact {
+
+/// Exact Definition 4.1 statistics for a graph.
+struct FourCycleHeavinessReport {
+  std::uint64_t total_cycles = 0;    // T
+  std::uint64_t good_cycles = 0;     // |F_G|: cycles with >= 1 good wedge
+  std::uint64_t heavy_edges = 0;     // edges with T_e >= 40 sqrt(T)
+  std::uint64_t overused_wedges = 0; // wedges with T_w >= 40 T^{1/4}
+  std::uint64_t bad_wedges = 0;      // overused or containing a heavy edge
+  std::uint64_t wedges_in_cycles = 0;
+  double edge_heavy_threshold = 0.0;   // 40 sqrt(T)
+  double wedge_overused_threshold = 0.0;  // 40 T^{1/4}
+};
+
+/// Classifies all wedges/edges per Definition 4.1 and counts good 4-cycles.
+/// Time O(Σ deg² + T); intended for validation-scale graphs.
+FourCycleHeavinessReport ClassifyFourCycles(const Graph& g);
+
+}  // namespace exact
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_EXACT_HEAVY_H_

@@ -1,0 +1,52 @@
+#include "exact/local.h"
+
+#include "exact/triangle.h"
+
+namespace cyclestream {
+namespace exact {
+
+std::vector<std::uint64_t> CountTrianglesPerVertex(const Graph& g) {
+  std::vector<std::uint64_t> counts(g.num_vertices(), 0);
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    ++counts[u];
+    ++counts[v];
+    ++counts[w];
+  });
+  return counts;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  std::vector<std::uint64_t> triangles = CountTrianglesPerVertex(g);
+  std::vector<double> coeffs(g.num_vertices(), 0.0);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    std::uint64_t d = g.degree(static_cast<VertexId>(v));
+    if (d >= 2) {
+      coeffs[v] = static_cast<double>(triangles[v]) /
+                  (static_cast<double>(d) * (d - 1) / 2.0);
+    }
+  }
+  return coeffs;
+}
+
+double AverageClusteringCoefficient(const Graph& g) {
+  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+  double sum = 0.0;
+  std::size_t eligible = 0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(static_cast<VertexId>(v)) >= 2) {
+      sum += coeffs[v];
+      ++eligible;
+    }
+  }
+  return eligible == 0 ? 0.0 : sum / static_cast<double>(eligible);
+}
+
+double Transitivity(const Graph& g) {
+  std::uint64_t wedges = g.WedgeCount();
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace exact
+}  // namespace cyclestream

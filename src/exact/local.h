@@ -1,0 +1,34 @@
+// Local (per-vertex) triangle statistics — the quantities behind the
+// paper's motivating applications (Section 1): clustering coefficients,
+// transitivity, local triangle counts for spam detection (Becchetti et al.)
+// and community structure.
+
+#ifndef CYCLESTREAM_EXACT_LOCAL_H_
+#define CYCLESTREAM_EXACT_LOCAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace exact {
+
+/// Number of triangles through each vertex (size n; Σ = 3T).
+std::vector<std::uint64_t> CountTrianglesPerVertex(const Graph& g);
+
+/// Local clustering coefficient per vertex: triangles(v) / C(deg(v), 2),
+/// and 0 for degree < 2.
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Average of the local clustering coefficients over vertices with
+/// degree >= 2 (Watts–Strogatz clustering; distinct from transitivity).
+double AverageClusteringCoefficient(const Graph& g);
+
+/// Transitivity (global clustering coefficient): 3T / P2, in [0, 1].
+double Transitivity(const Graph& g);
+
+}  // namespace exact
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_EXACT_LOCAL_H_

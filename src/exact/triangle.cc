@@ -1,0 +1,94 @@
+#include "exact/triangle.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cyclestream {
+namespace exact {
+
+namespace {
+
+// Rank vertices by (degree, id); orient edges low rank -> high rank. The
+// resulting out-degree is O(sqrt(m)), which bounds the intersection work.
+struct Orientation {
+  std::vector<std::vector<VertexId>> out;  // sorted by rank
+  std::vector<std::uint32_t> rank;
+};
+
+Orientation Orient(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  Orientation o;
+  o.rank.resize(n);
+  std::vector<VertexId> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    auto da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  for (std::size_t i = 0; i < n; ++i) o.rank[order[i]] = static_cast<std::uint32_t>(i);
+
+  o.out.resize(n);
+  for (const Edge& e : g.edges()) {
+    VertexId lo_rank = o.rank[e.u] < o.rank[e.v] ? e.u : e.v;
+    VertexId hi_rank = lo_rank == e.u ? e.v : e.u;
+    o.out[lo_rank].push_back(hi_rank);
+  }
+  for (auto& list : o.out) {
+    std::sort(list.begin(), list.end(),
+              [&](VertexId a, VertexId b) { return o.rank[a] < o.rank[b]; });
+  }
+  return o;
+}
+
+}  // namespace
+
+void ForEachTriangle(
+    const Graph& g,
+    const std::function<void(VertexId, VertexId, VertexId)>& fn) {
+  Orientation o = Orient(g);
+  const std::size_t n = g.num_vertices();
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto& nu = o.out[u];
+    for (VertexId v : nu) {
+      const auto& nv = o.out[v];
+      // Merge-intersect nu and nv (both sorted by rank).
+      std::size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        std::uint32_t ri = o.rank[nu[i]], rj = o.rank[nv[j]];
+        if (ri < rj) {
+          ++i;
+        } else if (ri > rj) {
+          ++j;
+        } else {
+          fn(static_cast<VertexId>(u), v, nu[i]);
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t CountTriangles(const Graph& g) {
+  std::uint64_t count = 0;
+  ForEachTriangle(g, [&](VertexId, VertexId, VertexId) { ++count; });
+  return count;
+}
+
+TriangleCounts CountTrianglesPerEdge(const Graph& g) {
+  TriangleCounts counts;
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    ++counts.total;
+    ++counts.per_edge[MakeEdgeKey(u, v)];
+    ++counts.per_edge[MakeEdgeKey(v, w)];
+    ++counts.per_edge[MakeEdgeKey(u, w)];
+  });
+  return counts;
+}
+
+std::uint64_t EdgesInTriangles(const Graph& g) {
+  return CountTrianglesPerEdge(g).per_edge.size();
+}
+
+}  // namespace exact
+}  // namespace cyclestream

@@ -1,0 +1,46 @@
+// Exact triangle counting and enumeration (offline, non-streaming).
+//
+// Ground truth for every triangle experiment. The forward algorithm runs in
+// O(m^{3/2}) time: orient each edge from lower to higher rank in a
+// degree-then-id order and intersect out-neighborhoods, so every triangle is
+// enumerated exactly once.
+
+#ifndef CYCLESTREAM_EXACT_TRIANGLE_H_
+#define CYCLESTREAM_EXACT_TRIANGLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cyclestream {
+namespace exact {
+
+/// Number of triangles in `g`.
+std::uint64_t CountTriangles(const Graph& g);
+
+/// Invokes `fn(u, v, w)` once per triangle (vertex order unspecified but
+/// the three ids are distinct and pairwise adjacent).
+void ForEachTriangle(const Graph& g,
+                     const std::function<void(VertexId, VertexId, VertexId)>& fn);
+
+/// Per-edge triangle counts: T(e) for every edge in at least one triangle.
+/// Edges in no triangle are absent from the map. Σ values = 3 * CountTriangles.
+struct TriangleCounts {
+  std::uint64_t total = 0;
+  std::unordered_map<EdgeKey, std::uint64_t> per_edge;
+};
+
+TriangleCounts CountTrianglesPerEdge(const Graph& g);
+
+/// Number of edges that participate in at least one triangle. The paper
+/// (Section 2.1, citing [15]) uses: any graph with T triangles has at least
+/// T^{2/3} such edges, and at most m^{3/2} triangles in total.
+std::uint64_t EdgesInTriangles(const Graph& g);
+
+}  // namespace exact
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_EXACT_TRIANGLE_H_

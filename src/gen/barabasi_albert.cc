@@ -1,0 +1,50 @@
+#include "gen/barabasi_albert.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace gen {
+
+Graph BarabasiAlbert(std::size_t n, std::size_t attach_per_step,
+                     std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GE(attach_per_step, 1u);
+  CYCLESTREAM_CHECK_GT(n, attach_per_step);
+  GraphBuilder builder(n);
+  Rng rng(seed);
+
+  // `endpoints` holds every edge endpoint; uniform draws from it implement
+  // degree-proportional selection.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * n * attach_per_step);
+
+  const std::size_t seed_size = attach_per_step + 1;
+  for (std::size_t u = 0; u < seed_size; ++u) {
+    for (std::size_t v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      endpoints.push_back(static_cast<VertexId>(u));
+      endpoints.push_back(static_cast<VertexId>(v));
+    }
+  }
+
+  std::unordered_set<VertexId> targets;
+  for (std::size_t v = seed_size; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < attach_per_step) {
+      targets.insert(endpoints[rng.NextBounded(endpoints.size())]);
+    }
+    for (VertexId t : targets) {
+      builder.AddEdge(static_cast<VertexId>(v), t);
+      endpoints.push_back(static_cast<VertexId>(v));
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace cyclestream

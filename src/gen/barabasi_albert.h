@@ -1,0 +1,23 @@
+// Barabási–Albert preferential-attachment graphs.
+
+#ifndef CYCLESTREAM_GEN_BARABASI_ALBERT_H_
+#define CYCLESTREAM_GEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace gen {
+
+/// Preferential attachment: starts from a clique on `attach_per_step + 1`
+/// vertices; each new vertex attaches to `attach_per_step` distinct existing
+/// vertices chosen proportionally to degree. Produces hub-dominated graphs
+/// (another heavy-edge stressor for the sampling estimators).
+Graph BarabasiAlbert(std::size_t n, std::size_t attach_per_step,
+                     std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_BARABASI_ALBERT_H_

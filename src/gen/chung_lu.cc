@@ -1,0 +1,92 @@
+#include "gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/types.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace gen {
+
+namespace {
+
+// Miller–Hagberg efficient Chung-Lu sampling for weights sorted
+// non-increasing: within row i, walk j with geometric skips under the upper
+// bound q = min(1, w_i w_j / W) at the current j (valid because w is
+// non-increasing), then accept the landed pair with probability p/q.
+// Expected time O(n + m).
+void SampleSortedChungLu(const std::vector<double>& w, double total_weight,
+                         Rng* rng, GraphBuilder* builder,
+                         const std::vector<VertexId>& original_id) {
+  const std::size_t n = w.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (w[i] <= 0.0) break;
+    std::size_t j = i + 1;
+    double q = std::min(1.0, w[i] * w[j] / total_weight);
+    while (j < n && q > 0.0) {
+      if (q < 1.0) {
+        double r = rng->NextDouble();
+        j += static_cast<std::size_t>(
+            std::floor(std::log1p(-r) / std::log1p(-q)));
+      }
+      if (j >= n) break;
+      double p = std::min(1.0, w[i] * w[j] / total_weight);
+      if (rng->NextDouble() < p / q) {
+        builder->AddEdge(original_id[i], original_id[j]);
+      }
+      q = p;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+Graph ChungLu(const std::vector<double>& weights, std::uint64_t seed) {
+  const std::size_t n = weights.size();
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+  const double total_weight =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  CYCLESTREAM_CHECK_GT(total_weight, 0.0);
+
+  // Sort vertices by weight (descending) so skipping applies; emit edges
+  // under original ids.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return weights[a] != weights[b] ? weights[a] > weights[b] : a < b;
+  });
+  std::vector<double> sorted_w(n);
+  for (std::size_t i = 0; i < n; ++i) sorted_w[i] = weights[order[i]];
+
+  Rng rng(seed);
+  SampleSortedChungLu(sorted_w, total_weight, &rng, &builder, order);
+  return builder.Build();
+}
+
+Graph ChungLuPowerLaw(std::size_t n, double avg_degree, double gamma,
+                      std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GT(gamma, 1.0);
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / (gamma - 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), exponent);
+    sum += weights[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& w : weights) w *= scale;
+  // Cap weights at sqrt(total) so pair probabilities stay below 1 (the
+  // standard Chung-Lu cap); keeps the model well-defined for small gamma.
+  const double total = avg_degree * static_cast<double>(n);
+  const double cap = std::sqrt(total);
+  for (double& w : weights) w = std::min(w, cap);
+  return ChungLu(weights, seed);
+}
+
+}  // namespace gen
+}  // namespace cyclestream

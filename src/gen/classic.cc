@@ -1,0 +1,79 @@
+#include "gen/classic.h"
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace gen {
+
+Graph Complete(std::size_t n) {
+  GraphBuilder builder(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return builder.Build();
+}
+
+Graph CompleteBipartite(std::size_t a, std::size_t b) {
+  GraphBuilder builder(a + b);
+  for (std::size_t u = 0; u < a; ++u) {
+    for (std::size_t v = 0; v < b; ++v) {
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(a + v));
+    }
+  }
+  return builder.Build();
+}
+
+Graph CycleGraph(std::size_t n) {
+  CYCLESTREAM_CHECK_GE(n, 3u);
+  GraphBuilder builder(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    builder.AddEdge(static_cast<VertexId>(v),
+                    static_cast<VertexId>((v + 1) % n));
+  }
+  return builder.Build();
+}
+
+Graph PathGraph(std::size_t n) {
+  GraphBuilder builder(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    builder.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(v + 1));
+  }
+  return builder.Build();
+}
+
+Graph Star(std::size_t leaves) {
+  GraphBuilder builder(leaves + 1);
+  for (std::size_t v = 1; v <= leaves; ++v) {
+    builder.AddEdge(0, static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+Graph Petersen() {
+  GraphBuilder builder(10);
+  // Outer 5-cycle 0-4, inner pentagram 5-9, spokes i -> i+5.
+  for (int i = 0; i < 5; ++i) {
+    builder.AddEdge(i, (i + 1) % 5);
+    builder.AddEdge(5 + i, 5 + (i + 2) % 5);
+    builder.AddEdge(i, 5 + i);
+  }
+  return builder.Build();
+}
+
+Graph DisjointUnion(const Graph& g, std::size_t copies) {
+  const std::size_t n = g.num_vertices();
+  GraphBuilder builder(n * copies);
+  for (std::size_t c = 0; c < copies; ++c) {
+    const VertexId offset = static_cast<VertexId>(c * n);
+    for (const Edge& e : g.edges()) {
+      builder.AddEdge(e.u + offset, e.v + offset);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace cyclestream

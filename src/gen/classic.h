@@ -1,0 +1,39 @@
+// Deterministic classic graphs used throughout tests and gadgets.
+
+#ifndef CYCLESTREAM_GEN_CLASSIC_H_
+#define CYCLESTREAM_GEN_CLASSIC_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace gen {
+
+/// Complete graph K_n. Triangles: C(n,3); 4-cycles: 3 * C(n,4).
+Graph Complete(std::size_t n);
+
+/// Complete bipartite K_{a,b} (left ids 0..a-1, right ids a..a+b-1).
+/// Triangle-free; 4-cycles: C(a,2) * C(b,2).
+Graph CompleteBipartite(std::size_t a, std::size_t b);
+
+/// Simple cycle C_n (n >= 3): exactly one n-cycle, no shorter cycles (n > 3).
+Graph CycleGraph(std::size_t n);
+
+/// Simple path P_n on n vertices (acyclic).
+Graph PathGraph(std::size_t n);
+
+/// Star K_{1,n}: center 0, leaves 1..n (acyclic).
+Graph Star(std::size_t leaves);
+
+/// The Petersen graph: 10 vertices, 15 edges, girth 5, exactly twelve
+/// 5-cycles, no triangles or 4-cycles. A compact girth test vector.
+Graph Petersen();
+
+/// Disjoint union placing `copies` copies of `g` side by side.
+Graph DisjointUnion(const Graph& g, std::size_t copies);
+
+}  // namespace gen
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_CLASSIC_H_

@@ -1,0 +1,78 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/types.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace gen {
+
+Graph ErdosRenyiGnp(std::size_t n, double p, std::uint64_t seed) {
+  CYCLESTREAM_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder builder(n);
+  if (n < 2 || p == 0.0) return builder.Build();
+
+  Rng rng(seed);
+  if (p >= 1.0) {
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      }
+    }
+    return builder.Build();
+  }
+
+  // Geometric skipping over the linearized upper triangle.
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  bool first = true;
+  // Hit indices are monotone, so decode (u, v) with a forward-only cursor:
+  // row_base is the linear index of pair (u, u+1). Amortized O(n + m).
+  std::uint64_t u = 0;
+  std::uint64_t row_base = 0;
+  while (true) {
+    double r = rng.NextDouble();
+    // Number of misses before the next hit: floor(log(1-r)/log(1-p)).
+    std::uint64_t skip =
+        static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log1mp));
+    if (first) {
+      idx = skip;
+      first = false;
+    } else {
+      idx += skip + 1;
+    }
+    if (idx >= total) break;
+    while (idx - row_base >= n - 1 - u) {
+      row_base += n - 1 - u;
+      ++u;
+    }
+    std::uint64_t v = u + 1 + (idx - row_base);
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  CYCLESTREAM_CHECK_LE(m, total);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  std::unordered_set<EdgeKey> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (chosen.insert(MakeEdgeKey(u, v)).second) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace cyclestream

@@ -1,0 +1,24 @@
+// Erdős–Rényi random graphs.
+
+#ifndef CYCLESTREAM_GEN_ERDOS_RENYI_H_
+#define CYCLESTREAM_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace gen {
+
+/// G(n, p): each of the C(n, 2) edges present independently with prob `p`.
+/// Uses geometric skipping, so the cost is O(n + m) rather than O(n^2).
+Graph ErdosRenyiGnp(std::size_t n, double p, std::uint64_t seed);
+
+/// G(n, m): a uniform graph with exactly `m` distinct edges
+/// (m <= C(n, 2) required).
+Graph ErdosRenyiGnm(std::size_t n, std::size_t m, std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_ERDOS_RENYI_H_

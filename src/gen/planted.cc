@@ -1,0 +1,135 @@
+#include "gen/planted.h"
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace gen {
+
+namespace {
+
+// Appends the star-forest background starting at vertex id `next`.
+void AddBackground(const PlantedBackground& bg, VertexId next,
+                   GraphBuilder* builder) {
+  for (std::size_t s = 0; s < bg.stars; ++s) {
+    VertexId hub = next++;
+    for (std::size_t l = 0; l < bg.star_degree; ++l) {
+      builder->AddEdge(hub, next++);
+    }
+  }
+}
+
+}  // namespace
+
+Graph PlantedDisjointTriangles(std::size_t count,
+                               const PlantedBackground& background) {
+  GraphBuilder builder;
+  VertexId next = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId a = next++, b = next++, c = next++;
+    builder.AddEdge(a, b);
+    builder.AddEdge(b, c);
+    builder.AddEdge(a, c);
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+Graph PlantedHeavyEdgeTriangles(std::size_t count,
+                                const PlantedBackground& background) {
+  GraphBuilder builder;
+  VertexId a = 0, b = 1;
+  VertexId next = 2;
+  builder.AddEdge(a, b);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId c = next++;
+    builder.AddEdge(a, c);
+    builder.AddEdge(b, c);
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+Graph PlantedBookForest(std::size_t books, std::size_t pages,
+                        const PlantedBackground& background) {
+  GraphBuilder builder;
+  VertexId next = 0;
+  for (std::size_t b = 0; b < books; ++b) {
+    VertexId u = next++, v = next++;
+    builder.AddEdge(u, v);
+    for (std::size_t p = 0; p < pages; ++p) {
+      VertexId c = next++;
+      builder.AddEdge(u, c);
+      builder.AddEdge(v, c);
+    }
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+Graph PlantedClique(std::size_t clique_size,
+                    const PlantedBackground& background) {
+  GraphBuilder builder;
+  for (std::size_t u = 0; u < clique_size; ++u) {
+    for (std::size_t v = u + 1; v < clique_size; ++v) {
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  AddBackground(background, static_cast<VertexId>(clique_size), &builder);
+  return builder.Build();
+}
+
+Graph PlantedSharedVertexTriangles(std::size_t count,
+                                   const PlantedBackground& background) {
+  GraphBuilder builder;
+  VertexId hub = 0;
+  VertexId next = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId x = next++, y = next++;
+    builder.AddEdge(hub, x);
+    builder.AddEdge(hub, y);
+    builder.AddEdge(x, y);
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+Graph PlantedDisjointFourCycles(std::size_t count,
+                                const PlantedBackground& background) {
+  return PlantedDisjointCycles(4, count, background);
+}
+
+Graph PlantedHeavyDiagonalFourCycles(std::size_t common_neighbors,
+                                     const PlantedBackground& background) {
+  GraphBuilder builder;
+  VertexId u = 0, w = 1;
+  VertexId next = 2;
+  for (std::size_t i = 0; i < common_neighbors; ++i) {
+    VertexId z = next++;
+    builder.AddEdge(u, z);
+    builder.AddEdge(w, z);
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+Graph PlantedDisjointCycles(int length, std::size_t count,
+                            const PlantedBackground& background) {
+  CYCLESTREAM_CHECK_GE(length, 3);
+  GraphBuilder builder;
+  VertexId next = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId first = next;
+    for (int j = 0; j + 1 < length; ++j) {
+      builder.AddEdge(next, next + 1);
+      ++next;
+    }
+    builder.AddEdge(next, first);
+    ++next;
+  }
+  AddBackground(background, next, &builder);
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace cyclestream

@@ -1,0 +1,80 @@
+// Planted-cycle workloads with exactly known counts.
+//
+// The Table 1 benches need graphs where m and T vary independently; planted
+// constructions give exact T (no Monte Carlo ground-truth needed) by pairing
+// a cycle-free background (a star forest: girth infinity, arbitrary edge
+// count, hub-shaped adjacency lists) with planted structures on dedicated
+// vertices. The heavy variants concentrate all cycles on one edge / one
+// wedge / one vertex — the adversarial shapes motivating the paper's
+// lightest-edge rule (Section 2.1) and good-wedge analysis (Section 2.2).
+
+#ifndef CYCLESTREAM_GEN_PLANTED_H_
+#define CYCLESTREAM_GEN_PLANTED_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace gen {
+
+/// Background shape shared by the planted generators.
+struct PlantedBackground {
+  /// Star forest: `stars` hubs each with `star_degree` leaves
+  /// (adds stars * star_degree edges, no cycles of any length).
+  std::size_t stars = 0;
+  std::size_t star_degree = 0;
+};
+
+/// `count` vertex-disjoint triangles plus background. T = count exactly;
+/// every edge lies in at most one triangle (all edges light).
+Graph PlantedDisjointTriangles(std::size_t count,
+                               const PlantedBackground& background);
+
+/// `count` triangles all sharing a single edge {a, b} (a, b plus `count`
+/// common neighbors). T = count; T_e(ab) = count — the maximally heavy edge.
+Graph PlantedHeavyEdgeTriangles(std::size_t count,
+                                const PlantedBackground& background);
+
+/// A clique on `clique_size` vertices plus background: T = C(clique_size, 3)
+/// triangles packed into C(clique_size, 2) = Θ(T^{2/3}) edges — the extremal
+/// case for the "at least T^{2/3} edges lie in triangles" bound that the
+/// 0-vs-T distinguisher's analysis is tight against.
+Graph PlantedClique(std::size_t clique_size,
+                    const PlantedBackground& background);
+
+/// A forest of `books` disjoint "books": each book is one spine edge shared
+/// by `pages` triangles. T = books * pages; every spine edge has
+/// T_e = pages. With books = pages = sqrt(T) this is the instance on which
+/// plain one-pass edge sampling needs Θ(m / sqrt(T)) space (spine-edge
+/// variance), while the two-pass lightest-edge rule stays near m/T — the
+/// separation behind Table 1's one-pass vs two-pass rows.
+Graph PlantedBookForest(std::size_t books, std::size_t pages,
+                        const PlantedBackground& background);
+
+/// `count` triangles sharing one vertex but no edge (a bowtie fan).
+/// T = count; every edge is in exactly one triangle, but one vertex's
+/// adjacency list touches all of them.
+Graph PlantedSharedVertexTriangles(std::size_t count,
+                                   const PlantedBackground& background);
+
+/// `count` vertex-disjoint 4-cycles plus background. C4 = count exactly.
+Graph PlantedDisjointFourCycles(std::size_t count,
+                                const PlantedBackground& background);
+
+/// Two endpoints u, w with `common_neighbors` shared neighbors: every pair of
+/// shared neighbors closes a 4-cycle, so C4 = C(common_neighbors, 2), all
+/// sharing the diagonal {u, w} — maximally heavy wedges and edges (K_{2,c}).
+Graph PlantedHeavyDiagonalFourCycles(std::size_t common_neighbors,
+                                     const PlantedBackground& background);
+
+/// `count` vertex-disjoint simple cycles of `length` >= 3 plus background.
+/// The number of `length`-cycles is exactly count (and no other cycle
+/// lengths exist besides those cycles).
+Graph PlantedDisjointCycles(int length, std::size_t count,
+                            const PlantedBackground& background);
+
+}  // namespace gen
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_PLANTED_H_

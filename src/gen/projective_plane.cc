@@ -1,0 +1,75 @@
+#include "gen/projective_plane.h"
+
+#include <array>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace gen {
+
+namespace {
+
+// Normalized homogeneous coordinates over GF(q): the canonical representative
+// of each projective point/line has its first nonzero coordinate equal to 1.
+// Enumeration order: (1, a, b) for a, b in [0, q); then (0, 1, a); then
+// (0, 0, 1) — q² + q + 1 triples.
+using Triple = std::array<std::uint32_t, 3>;
+
+std::vector<Triple> NormalizedTriples(std::uint64_t q) {
+  std::vector<Triple> out;
+  out.reserve(q * q + q + 1);
+  for (std::uint32_t a = 0; a < q; ++a) {
+    for (std::uint32_t b = 0; b < q; ++b) {
+      out.push_back({1, a, b});
+    }
+  }
+  for (std::uint32_t a = 0; a < q; ++a) out.push_back({0, 1, a});
+  out.push_back({0, 0, 1});
+  return out;
+}
+
+}  // namespace
+
+bool IsPrime(std::uint64_t q) {
+  if (q < 2) return false;
+  for (std::uint64_t d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t NextPrime(std::uint64_t q) {
+  while (!IsPrime(q)) ++q;
+  return q;
+}
+
+std::size_t ProjectivePlaneSide(std::uint64_t q) {
+  return static_cast<std::size_t>(q * q + q + 1);
+}
+
+Graph ProjectivePlaneGraph(std::uint64_t q) {
+  CYCLESTREAM_CHECK(IsPrime(q));
+  const std::size_t r = ProjectivePlaneSide(q);
+  std::vector<Triple> points = NormalizedTriples(q);
+  std::vector<Triple> lines = points;  // the plane is self-dual
+
+  GraphBuilder builder(2 * r);
+  for (std::size_t p = 0; p < r; ++p) {
+    for (std::size_t l = 0; l < r; ++l) {
+      std::uint64_t dot = 0;
+      for (int c = 0; c < 3; ++c) {
+        dot += static_cast<std::uint64_t>(points[p][c]) * lines[l][c];
+      }
+      if (dot % q == 0) {
+        builder.AddEdge(static_cast<VertexId>(p),
+                        static_cast<VertexId>(r + l));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace gen
+}  // namespace cyclestream

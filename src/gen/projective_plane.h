@@ -1,0 +1,39 @@
+// Incidence graphs of projective planes PG(2, q) — the girth-6 extremal
+// graphs of Section 5.2.
+//
+// For prime q, the field plane of order q has q² + q + 1 points and as many
+// lines; each line contains q + 1 points and each point lies on q + 1 lines.
+// The bipartite point/line incidence graph therefore has 2(q² + q + 1)
+// vertices, is (q + 1)-regular with (q + 1)(q² + q + 1) = Θ(r^{3/2}) edges
+// (r = q² + q + 1 per side), and is 4-cycle-free: two distinct points lie on
+// exactly one common line and two distinct lines meet in exactly one point.
+// These are the densest possible C4-free bipartite graphs up to constants
+// (Bondy–Simonovits), which is what makes the Theorem 5.3/5.4 gadgets hard.
+
+#ifndef CYCLESTREAM_GEN_PROJECTIVE_PLANE_H_
+#define CYCLESTREAM_GEN_PROJECTIVE_PLANE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace gen {
+
+/// True iff q is a prime (the orders this generator supports).
+bool IsPrime(std::uint64_t q);
+
+/// Smallest prime q' >= q.
+std::uint64_t NextPrime(std::uint64_t q);
+
+/// Number of points (= lines) of PG(2, q): q² + q + 1.
+std::size_t ProjectivePlaneSide(std::uint64_t q);
+
+/// Point/line incidence graph of PG(2, q) for prime q. Points get ids
+/// 0 .. r-1 and lines r .. 2r-1 where r = q² + q + 1.
+Graph ProjectivePlaneGraph(std::uint64_t q);
+
+}  // namespace gen
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_PROJECTIVE_PLANE_H_

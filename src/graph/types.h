@@ -1,0 +1,63 @@
+// Core graph value types shared across cyclestream.
+
+#ifndef CYCLESTREAM_GRAPH_TYPES_H_
+#define CYCLESTREAM_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Vertex identifier. Graphs in this library are laptop-scale (the paper's
+/// algorithms target graphs whose *edge lists* fit on disk but not in the
+/// sublinear working memory); 32 bits cover every workload we generate.
+using VertexId = std::uint32_t;
+
+/// Canonical key of an undirected edge: smaller endpoint in the high word.
+/// Keys are totally ordered and hashable, and identify an edge regardless of
+/// the direction in which it was observed in the stream.
+using EdgeKey = std::uint64_t;
+
+/// An undirected edge; endpoints may be stored in either order.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+};
+
+/// Builds the canonical key for edge {u, v}. Self-loops are not valid edges.
+inline EdgeKey MakeEdgeKey(VertexId u, VertexId v) {
+  CYCLESTREAM_CHECK_NE(u, v);
+  VertexId lo = u < v ? u : v;
+  VertexId hi = u < v ? v : u;
+  return (static_cast<EdgeKey>(lo) << 32) | hi;
+}
+
+inline EdgeKey MakeEdgeKey(const Edge& e) { return MakeEdgeKey(e.u, e.v); }
+
+/// Smaller endpoint of a canonical edge key.
+inline VertexId EdgeKeyLo(EdgeKey key) {
+  return static_cast<VertexId>(key >> 32);
+}
+
+/// Larger endpoint of a canonical edge key.
+inline VertexId EdgeKeyHi(EdgeKey key) {
+  return static_cast<VertexId>(key & 0xffffffffULL);
+}
+
+/// Decodes a canonical edge key back into an edge (lo, hi).
+inline Edge EdgeFromKey(EdgeKey key) { return Edge{EdgeKeyLo(key), EdgeKeyHi(key)}; }
+
+/// Given edge {u, v} (as a key) and one endpoint, returns the other.
+inline VertexId OtherEndpoint(EdgeKey key, VertexId endpoint) {
+  VertexId lo = EdgeKeyLo(key);
+  VertexId hi = EdgeKeyHi(key);
+  CYCLESTREAM_CHECK(endpoint == lo || endpoint == hi);
+  return endpoint == lo ? hi : lo;
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_TYPES_H_

@@ -1,0 +1,51 @@
+// Wedge (path of length two) value type.
+//
+// The 4-cycle algorithm of Section 4 samples edges and forms wedges inside
+// the sample; the heaviness analysis (Definition 4.1) classifies wedges by
+// the number of 4-cycles through them. A wedge u-center-w is identified by
+// its center and its unordered endpoint pair.
+
+#ifndef CYCLESTREAM_GRAPH_WEDGE_H_
+#define CYCLESTREAM_GRAPH_WEDGE_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+
+/// A path of length two: end_lo - center - end_hi, with end_lo < end_hi.
+struct Wedge {
+  VertexId center = 0;
+  VertexId end_lo = 0;
+  VertexId end_hi = 0;
+
+  friend bool operator==(const Wedge& a, const Wedge& b) = default;
+};
+
+/// Canonicalizes a wedge from its center and two (unordered) endpoints.
+inline Wedge MakeWedge(VertexId center, VertexId a, VertexId b) {
+  CYCLESTREAM_CHECK_NE(a, b);
+  CYCLESTREAM_CHECK_NE(a, center);
+  CYCLESTREAM_CHECK_NE(b, center);
+  return a < b ? Wedge{center, a, b} : Wedge{center, b, a};
+}
+
+/// 64-bit key identifying a wedge; collision-free for n < 2^21 and hash-grade
+/// unique beyond that (keys feed unordered_map, not exact identity proofs,
+/// except in tests which stay far below the threshold).
+inline std::uint64_t WedgeHashKey(const Wedge& w) {
+  return Mix128To64(
+      (static_cast<std::uint64_t>(w.end_lo) << 32) | w.end_hi, w.center);
+}
+
+/// Canonical key for the unordered endpoint pair of a wedge. Two wedges with
+/// the same endpoint-pair key form a 4-cycle.
+inline EdgeKey WedgeEndpointsKey(const Wedge& w) {
+  return (static_cast<EdgeKey>(w.end_lo) << 32) | w.end_hi;
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_WEDGE_H_

@@ -1,0 +1,79 @@
+#include "io/datasets.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "gen/projective_plane.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace io {
+
+namespace {
+
+struct Recipe {
+  std::string description;
+  std::function<Graph()> build;
+};
+
+const std::unordered_map<std::string, Recipe>& Registry() {
+  static const auto* registry = new std::unordered_map<std::string, Recipe>{
+      {"social-small",
+       {"Chung-Lu power law (gamma=2.3, n=20k, avg deg 8): social-network "
+        "stand-in with hubs and heavy edges",
+        [] { return gen::ChungLuPowerLaw(20000, 8.0, 2.3, 0xC0FFEE01); }}},
+      {"social-medium",
+       {"Chung-Lu power law (gamma=2.1, n=100k, avg deg 10): larger social "
+        "stand-in, heavier tail",
+        [] { return gen::ChungLuPowerLaw(100000, 10.0, 2.1, 0xC0FFEE02); }}},
+      {"web-hubs",
+       {"Barabasi-Albert (n=50k, m0=8): preferential attachment, web-graph "
+        "hub structure",
+        [] { return gen::BarabasiAlbert(50000, 8, 0xC0FFEE03); }}},
+      {"collab-uniform",
+       {"Erdos-Renyi G(n=30k, avg deg 12): uniform baseline with light "
+        "edges everywhere",
+        [] { return gen::ErdosRenyiGnp(30000, 12.0 / 29999.0, 0xC0FFEE04); }}},
+      {"girth6-q31",
+       {"PG(2,31) incidence graph: 1986 vertices, 32-regular, girth 6 "
+        "(triangle- and 4-cycle-free extremal graph)",
+        [] { return gen::ProjectivePlaneGraph(31); }}},
+      {"planted-tri-10k",
+       {"10k disjoint planted triangles over a star-forest background "
+        "(m ~ 180k, T = 10000 exactly)",
+        [] {
+          gen::PlantedBackground bg;
+          bg.stars = 300;
+          bg.star_degree = 500;
+          return gen::PlantedDisjointTriangles(10000, bg);
+        }}},
+  };
+  return *registry;
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> ListDatasets() {
+  std::vector<DatasetInfo> out;
+  for (const auto& [name, recipe] : Registry()) {
+    out.push_back({name, recipe.description});
+  }
+  return out;
+}
+
+bool HasDataset(const std::string& name) {
+  return Registry().contains(name);
+}
+
+Graph GetDataset(const std::string& name) {
+  auto it = Registry().find(name);
+  CYCLESTREAM_CHECK(it != Registry().end());
+  return it->second.build();
+}
+
+}  // namespace io
+}  // namespace cyclestream

@@ -1,0 +1,39 @@
+// Named, seeded synthetic datasets — reproducible stand-ins for the public
+// graphs typically used in streaming triangle-counting evaluations.
+//
+// The repository has no network access, so instead of shipping SNAP files we
+// register generator recipes whose degree shapes mimic the usual suspects
+// (social graphs, web graphs, collaboration graphs). Each dataset is fully
+// determined by its name; `io::ReadEdgeList` remains the path for real data.
+
+#ifndef CYCLESTREAM_IO_DATASETS_H_
+#define CYCLESTREAM_IO_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace io {
+
+/// A registered dataset recipe.
+struct DatasetInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All registered dataset names with descriptions.
+std::vector<DatasetInfo> ListDatasets();
+
+/// Materializes a dataset by name. CHECK-fails on unknown names
+/// (use ListDatasets() to discover valid ones).
+Graph GetDataset(const std::string& name);
+
+/// True iff `name` is registered.
+bool HasDataset(const std::string& name);
+
+}  // namespace io
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_IO_DATASETS_H_

@@ -1,0 +1,44 @@
+#include "io/edge_list.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cyclestream {
+namespace io {
+
+std::optional<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  GraphBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip comments and blank lines.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#' || line[start] == '%') continue;
+    std::istringstream fields(line);
+    long long u = 0, v = 0;
+    if (!(fields >> u >> v) || u < 0 || v < 0 ||
+        u > static_cast<long long>(0xffffffffu) ||
+        v > static_cast<long long>(0xffffffffu)) {
+      return std::nullopt;
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+bool WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# cyclestream edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace io
+}  // namespace cyclestream

@@ -1,0 +1,28 @@
+// Plain-text edge-list I/O (SNAP format): one "u v" pair per line,
+// '#'-prefixed comment lines ignored. Lets real public graphs (e.g. SNAP
+// datasets) drop into every example and bench unchanged.
+
+#ifndef CYCLESTREAM_IO_EDGE_LIST_H_
+#define CYCLESTREAM_IO_EDGE_LIST_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace io {
+
+/// Reads a graph from an edge-list file. Vertex ids are used as-is
+/// (non-contiguous ids produce isolated vertices). Self-loops and duplicate
+/// edges are dropped per the library's simple-graph convention. Returns
+/// nullopt if the file cannot be opened or contains a malformed line.
+std::optional<Graph> ReadEdgeList(const std::string& path);
+
+/// Writes `g` as an edge list with a header comment. Returns success.
+bool WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace io
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_IO_EDGE_LIST_H_

@@ -1,0 +1,106 @@
+#include "lowerbound/comm_problems.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+IndexInstance IndexInstance::Random(std::size_t r, bool answer,
+                                    std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  Rng rng(seed);
+  IndexInstance inst;
+  inst.bits.resize(r);
+  for (auto& b : inst.bits) b = rng.NextBernoulli(0.5) ? 1 : 0;
+  inst.index = static_cast<std::size_t>(rng.NextBounded(r));
+  inst.bits[inst.index] = answer ? 1 : 0;
+  return inst;
+}
+
+bool DisjInstance::Answer() const {
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    if (s1[i] && s2[i]) return true;
+  }
+  return false;
+}
+
+DisjInstance DisjInstance::Random(std::size_t r, bool intersecting,
+                                  std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  Rng rng(seed);
+  DisjInstance inst;
+  inst.s1.assign(r, 0);
+  inst.s2.assign(r, 0);
+  // Disjointly partition indices between the two strings (hard-distribution
+  // style: each index belongs to at most one player), then plant one common
+  // index if requested.
+  for (std::size_t i = 0; i < r; ++i) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        inst.s1[i] = 1;
+        break;
+      case 1:
+        inst.s2[i] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  if (intersecting) {
+    std::size_t x = static_cast<std::size_t>(rng.NextBounded(r));
+    inst.s1[x] = inst.s2[x] = 1;
+  } else {
+    for (std::size_t i = 0; i < r; ++i) {
+      if (inst.s1[i] && inst.s2[i]) inst.s2[i] = 0;
+    }
+  }
+  return inst;
+}
+
+bool ThreeDisjInstance::Answer() const {
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    if (s1[i] && s2[i] && s3[i]) return true;
+  }
+  return false;
+}
+
+ThreeDisjInstance ThreeDisjInstance::Random(std::size_t r, bool intersecting,
+                                            std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  Rng rng(seed);
+  ThreeDisjInstance inst;
+  inst.s1.assign(r, 0);
+  inst.s2.assign(r, 0);
+  inst.s3.assign(r, 0);
+  std::uint8_t* strings[3] = {inst.s1.data(), inst.s2.data(), inst.s3.data()};
+  for (std::size_t i = 0; i < r; ++i) {
+    // Allow any pattern except all-three-ones.
+    for (int p = 0; p < 3; ++p) strings[p][i] = rng.NextBernoulli(0.5) ? 1 : 0;
+    if (inst.s1[i] && inst.s2[i] && inst.s3[i]) {
+      strings[rng.NextBounded(3)][i] = 0;
+    }
+  }
+  if (intersecting) {
+    std::size_t x = static_cast<std::size_t>(rng.NextBounded(r));
+    inst.s1[x] = inst.s2[x] = inst.s3[x] = 1;
+  }
+  return inst;
+}
+
+PointerJumpInstance PointerJumpInstance::Random(std::size_t r, bool answer,
+                                                std::uint64_t seed) {
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  Rng rng(seed);
+  PointerJumpInstance inst;
+  inst.e1 = static_cast<std::size_t>(rng.NextBounded(r));
+  inst.e2.resize(r);
+  for (auto& p : inst.e2) p = static_cast<std::uint32_t>(rng.NextBounded(r));
+  inst.e3.resize(r);
+  for (auto& b : inst.e3) b = rng.NextBernoulli(0.5) ? 1 : 0;
+  inst.e3[inst.e2[inst.e1]] = answer ? 1 : 0;
+  return inst;
+}
+
+}  // namespace lowerbound
+}  // namespace cyclestream

@@ -1,0 +1,78 @@
+// Instances of the communication problems behind Section 5's reductions:
+// INDEX, two-party Disjointness, three-party NOF Pointer Jumping, and
+// three-party NOF Disjointness.
+//
+// Generators produce random instances with a *planted* answer bit so gadget
+// graphs can be built in matched 0/T-cycle pairs; the protocol simulator
+// (lowerbound/protocol.h) then runs a streaming algorithm as the players'
+// message.
+
+#ifndef CYCLESTREAM_LOWERBOUND_COMM_PROBLEMS_H_
+#define CYCLESTREAM_LOWERBOUND_COMM_PROBLEMS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// INDEX_r: Alice holds bits s ∈ {0,1}^r, Bob an index x; output s_x.
+/// One-way communication complexity Ω(r).
+struct IndexInstance {
+  std::vector<std::uint8_t> bits;
+  std::size_t index = 0;
+
+  bool Answer() const { return bits[index] != 0; }
+
+  /// Random instance with `r` bits, each 1 w.p. 1/2, except bits[index]
+  /// which is forced to `answer`.
+  static IndexInstance Random(std::size_t r, bool answer, std::uint64_t seed);
+};
+
+/// DISJ_r: Alice holds s1, Bob s2; output 1 iff some x has s1_x = s2_x = 1.
+/// Communication complexity Ω(r) (Kalyanasundaram–Schnitger, Razborov).
+struct DisjInstance {
+  std::vector<std::uint8_t> s1;
+  std::vector<std::uint8_t> s2;
+
+  bool Answer() const;
+
+  /// Random instance: each string has ~density*r ones placed to have exactly
+  /// one common index when `intersecting`, none otherwise.
+  static DisjInstance Random(std::size_t r, bool intersecting,
+                             std::uint64_t seed);
+};
+
+/// 3-DISJ_r in the number-on-forehead model: three strings; player i misses
+/// string i. Output 1 iff some x has s1_x = s2_x = s3_x = 1.
+struct ThreeDisjInstance {
+  std::vector<std::uint8_t> s1;
+  std::vector<std::uint8_t> s2;
+  std::vector<std::uint8_t> s3;
+
+  bool Answer() const;
+
+  static ThreeDisjInstance Random(std::size_t r, bool intersecting,
+                                  std::uint64_t seed);
+};
+
+/// 3-PJ_r in the NOF model (paper Section 5): a 4-layer graph
+/// V1 = {v*}, V2, V3 of size r, V4 = {v40, v41}; every vertex in layers 1-3
+/// has out-degree one. E1 = the pointer v* -> V2 (Alice doesn't see it),
+/// E2: V2 -> V3 (Bob doesn't see it), E3: V3 -> V4 (Charlie doesn't see it).
+/// Output: which of v40/v41 the directed path from v* reaches.
+struct PointerJumpInstance {
+  std::size_t e1 = 0;                  // index into V2
+  std::vector<std::uint32_t> e2;       // V2 -> V3 pointers
+  std::vector<std::uint8_t> e3;        // V3 -> {v40, v41} bits
+
+  bool Answer() const { return e3[e2[e1]] != 0; }
+
+  static PointerJumpInstance Random(std::size_t r, bool answer,
+                                    std::uint64_t seed);
+};
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_COMM_PROBLEMS_H_

@@ -1,0 +1,38 @@
+// Common shape of the Figure 1 lower-bound gadgets: a graph, the promised
+// cycle count, and the assignment of adjacency lists to players.
+
+#ifndef CYCLESTREAM_LOWERBOUND_GADGET_H_
+#define CYCLESTREAM_LOWERBOUND_GADGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// Player indices used by the gadgets.
+enum Player : int { kAlice = 0, kBob = 1, kCharlie = 2 };
+
+/// A lower-bound instance graph.
+struct Gadget {
+  Graph graph;
+  /// Length ℓ of the cycles the reduction is about.
+  int cycle_length = 3;
+  /// Exact number of ℓ-cycles the construction promises: 0 for 0-instances,
+  /// the theorem's T for 1-instances.
+  std::uint64_t promised_cycles = 0;
+  /// The communication problem's answer this gadget encodes.
+  bool answer = false;
+  /// player_of[v] ∈ {kAlice, kBob, kCharlie}: which player inserts v's
+  /// adjacency list.
+  std::vector<int> player_of;
+  int num_players = 2;
+};
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_GADGET_H_

@@ -1,0 +1,135 @@
+#include "lowerbound/gadget_four_cycle.h"
+
+#include "gen/projective_plane.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+std::size_t IndexGadgetBits(std::uint64_t q) {
+  return gen::ProjectivePlaneGraph(q).num_edges();
+}
+
+Gadget BuildIndexFourCycleGadget(const IndexInstance& instance,
+                                 std::uint64_t q, std::size_t k) {
+  Graph h = gen::ProjectivePlaneGraph(q);
+  const std::size_t r = gen::ProjectivePlaneSide(q);
+  CYCLESTREAM_CHECK_EQ(instance.bits.size(), h.num_edges());
+  CYCLESTREAM_CHECK_LT(instance.index, h.num_edges());
+  CYCLESTREAM_CHECK_GE(k, 1u);
+
+  // H's edges (u, v) have u < r (point side -> a_u) and v >= r
+  // (line side -> b_{v-r}).
+  // Vertex layout: A = [0, r); B = [r, 2r);
+  // C_i = [2r + ik, 2r + (i+1)k); D_j = [2r + rk + jk, ...).
+  const std::size_t n = 2 * r + 2 * r * k;
+  GraphBuilder builder(n);
+  auto a = [&](std::size_t i) { return static_cast<VertexId>(i); };
+  auto b = [&](std::size_t j) { return static_cast<VertexId>(r + j); };
+  auto c = [&](std::size_t i, std::size_t t) {
+    return static_cast<VertexId>(2 * r + i * k + t);
+  };
+  auto d = [&](std::size_t j, std::size_t t) {
+    return static_cast<VertexId>(2 * r + r * k + j * k + t);
+  };
+
+  // Alice: H's edges masked by her bits.
+  const auto& h_edges = h.edges();
+  for (std::size_t e = 0; e < h_edges.size(); ++e) {
+    if (!instance.bits[e]) continue;
+    std::size_t i = h_edges[e].u;        // point side
+    std::size_t j = h_edges[e].v - r;    // line side
+    builder.AddEdge(a(i), b(j));
+  }
+  // Fixed stars: a_i × C_i and b_j × D_j.
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t t = 0; t < k; ++t) builder.AddEdge(a(i), c(i, t));
+  }
+  for (std::size_t j = 0; j < r; ++j) {
+    for (std::size_t t = 0; t < k; ++t) builder.AddEdge(b(j), d(j, t));
+  }
+  // Bob: size-k matching between C_x and D_y for his index edge (x, y).
+  std::size_t x = h_edges[instance.index].u;
+  std::size_t y = h_edges[instance.index].v - r;
+  for (std::size_t t = 0; t < k; ++t) builder.AddEdge(c(x, t), d(y, t));
+
+  Gadget gadget;
+  gadget.graph = builder.Build();
+  gadget.cycle_length = 4;
+  gadget.answer = instance.Answer();
+  gadget.promised_cycles = gadget.answer ? k : 0;
+  gadget.num_players = 2;
+  gadget.player_of.assign(n, kBob);
+  for (std::size_t i = 0; i < 2 * r; ++i) gadget.player_of[i] = kAlice;
+  return gadget;
+}
+
+std::size_t DisjGadgetBits(std::uint64_t q1) {
+  return gen::ProjectivePlaneGraph(q1).num_edges();
+}
+
+Gadget BuildDisjFourCycleGadget(const DisjInstance& instance, std::uint64_t q1,
+                                std::uint64_t q2) {
+  Graph h1 = gen::ProjectivePlaneGraph(q1);
+  Graph h2 = gen::ProjectivePlaneGraph(q2);
+  const std::size_t r = gen::ProjectivePlaneSide(q1);
+  const std::size_t k = gen::ProjectivePlaneSide(q2);
+  CYCLESTREAM_CHECK_EQ(instance.s1.size(), h1.num_edges());
+  CYCLESTREAM_CHECK_EQ(instance.s2.size(), h1.num_edges());
+
+  // Vertex layout: A blocks, B blocks (Alice); C blocks, D blocks (Bob);
+  // each block has k vertices, r blocks per family.
+  const std::size_t n = 4 * r * k;
+  GraphBuilder builder(n);
+  auto a = [&](std::size_t i, std::size_t t) {
+    return static_cast<VertexId>(i * k + t);
+  };
+  auto b = [&](std::size_t j, std::size_t t) {
+    return static_cast<VertexId>(r * k + j * k + t);
+  };
+  auto c = [&](std::size_t i, std::size_t t) {
+    return static_cast<VertexId>(2 * r * k + i * k + t);
+  };
+  auto d = [&](std::size_t j, std::size_t t) {
+    return static_cast<VertexId>(3 * r * k + j * k + t);
+  };
+
+  // Fixed H2 copies: A_i—C_i and B_i—D_i for all i. H2's edge (s, t) has
+  // s < k on the point side and t - k on the line side.
+  for (std::size_t i = 0; i < r; ++i) {
+    for (const Edge& e : h2.edges()) {
+      std::size_t s = e.u;
+      std::size_t t = e.v - k;
+      builder.AddEdge(a(i, s), c(i, t));
+      builder.AddEdge(b(i, s), d(i, t));
+    }
+  }
+
+  // Per-H1-edge identity matchings masked by the players' bits.
+  const auto& h1_edges = h1.edges();
+  std::uint64_t common = 0;
+  for (std::size_t e = 0; e < h1_edges.size(); ++e) {
+    std::size_t i = h1_edges[e].u;       // point side of H1
+    std::size_t j = h1_edges[e].v - r;   // line side of H1
+    if (instance.s1[e]) {
+      for (std::size_t t = 0; t < k; ++t) builder.AddEdge(a(i, t), b(j, t));
+    }
+    if (instance.s2[e]) {
+      for (std::size_t t = 0; t < k; ++t) builder.AddEdge(c(i, t), d(j, t));
+    }
+    if (instance.s1[e] && instance.s2[e]) ++common;
+  }
+
+  Gadget gadget;
+  gadget.graph = builder.Build();
+  gadget.cycle_length = 4;
+  gadget.answer = instance.Answer();
+  gadget.promised_cycles = common * h2.num_edges();
+  gadget.num_players = 2;
+  gadget.player_of.assign(n, kBob);
+  for (std::size_t i = 0; i < 2 * r * k; ++i) gadget.player_of[i] = kAlice;
+  return gadget;
+}
+
+}  // namespace lowerbound
+}  // namespace cyclestream

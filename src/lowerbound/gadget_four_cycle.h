@@ -1,0 +1,49 @@
+// 4-cycle lower-bound gadgets: Figure 1c (Theorem 5.3, one-pass Ω(m) via
+// INDEX) and Figure 1d (Theorem 5.4, multipass Ω(m/T^{2/3}) via DISJ).
+//
+// Both use the projective-plane incidence graphs of Section 5.2 as their
+// 4-cycle-free bipartite scaffolding: r = q² + q + 1 vertices per side and
+// Θ(r^{3/2}) edges is the extremal density, which forces the instance size
+// (the number of Alice's bits) up to Θ(r^{3/2}) = Θ(m).
+
+#ifndef CYCLESTREAM_LOWERBOUND_GADGET_FOUR_CYCLE_H_
+#define CYCLESTREAM_LOWERBOUND_GADGET_FOUR_CYCLE_H_
+
+#include <cstdint>
+
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// Number of INDEX bits used by BuildIndexFourCycleGadget for plane order q:
+/// one per edge of the PG(2, q) incidence graph, (q+1)(q²+q+1).
+std::size_t IndexGadgetBits(std::uint64_t q);
+
+/// Figure 1c / Theorem 5.3. Alice owns A = {a_i} and B = {b_j}
+/// (r = q²+q+1 each) carrying her bits on the edges of the 4-cycle-free
+/// incidence graph H; Bob owns blocks C_i, D_j of size k, with fixed stars
+/// a_i×C_i, b_j×D_j and a size-k matching C_x — D_y where (x, y) is the
+/// H-edge holding Bob's index. The graph has k 4-cycles iff s_index = 1,
+/// else none. `instance.bits.size()` must equal IndexGadgetBits(q).
+Gadget BuildIndexFourCycleGadget(const IndexInstance& instance,
+                                 std::uint64_t q, std::size_t k);
+
+/// Number of DISJ bits used by BuildDisjFourCycleGadget for outer plane
+/// order q1 (the strings live on the edges of H1).
+std::size_t DisjGadgetBits(std::uint64_t q1);
+
+/// Figure 1d / Theorem 5.4. Outer scaffold H1 = PG(2, q1) incidence graph on
+/// r+r vertices; inner scaffold H2 = PG(2, q2) on k+k (both 4-cycle-free).
+/// Alice owns blocks A_i, B_i of size k, Bob owns C_i, D_i; fixed copies of
+/// H2 connect A_i—C_i and B_i—D_i; for each H1-edge (i, j), an identity
+/// matching A_i—B_j iff Alice's bit and C_i—D_j iff Bob's bit. Each common
+/// bit contributes |E(H2)| = (q2+1)(q2²+q2+1) = Θ(k^{3/2}) 4-cycles.
+Gadget BuildDisjFourCycleGadget(const DisjInstance& instance, std::uint64_t q1,
+                                std::uint64_t q2);
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_GADGET_FOUR_CYCLE_H_

@@ -1,0 +1,59 @@
+#include "lowerbound/gadget_long_cycle.h"
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+Gadget BuildLongCycleGadget(const DisjInstance& instance, int cycle_length,
+                            std::size_t cycle_budget) {
+  CYCLESTREAM_CHECK_GE(cycle_length, 5);
+  CYCLESTREAM_CHECK_GE(cycle_budget, 1u);
+  const std::size_t r = instance.s1.size();
+  CYCLESTREAM_CHECK_EQ(instance.s2.size(), r);
+  const std::size_t t_count = cycle_budget;
+  const std::size_t d_count = static_cast<std::size_t>(cycle_length - 4);
+
+  // Vertex layout: A = [0, r+1); B = [r+1, 2r+1); C = [2r+1, 2r+1+T);
+  // D = [2r+1+T, 2r+1+T+ℓ-4).
+  const std::size_t n = (2 * r + 1) + t_count + d_count;
+  GraphBuilder builder(n);
+  auto a = [&](std::size_t i) { return static_cast<VertexId>(i); };  // 0-based
+  const VertexId a_hub = a(r);  // a_{r+1} in the paper's 1-based notation
+  auto b = [&](std::size_t i) { return static_cast<VertexId>(r + 1 + i); };
+  auto c = [&](std::size_t t) {
+    return static_cast<VertexId>(2 * r + 1 + t);
+  };
+  auto d = [&](std::size_t i) {
+    return static_cast<VertexId>(2 * r + 1 + t_count + i);
+  };
+  const VertexId d_last = d(d_count - 1);
+
+  for (std::size_t i = 0; i < r; ++i) builder.AddEdge(a(i), b(i));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    builder.AddEdge(a_hub, c(t));
+    builder.AddEdge(d_last, c(t));
+  }
+  for (std::size_t i = 0; i + 1 < d_count; ++i) {
+    builder.AddEdge(d(i), d(i + 1));
+  }
+  std::uint64_t common = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    if (instance.s1[i]) builder.AddEdge(a(i), a_hub);
+    if (instance.s2[i]) builder.AddEdge(b(i), d(0));
+    if (instance.s1[i] && instance.s2[i]) ++common;
+  }
+
+  Gadget gadget;
+  gadget.graph = builder.Build();
+  gadget.cycle_length = cycle_length;
+  gadget.answer = instance.Answer();
+  gadget.promised_cycles = common * static_cast<std::uint64_t>(t_count);
+  gadget.num_players = 2;
+  gadget.player_of.assign(n, kBob);
+  for (std::size_t i = 0; i <= r; ++i) gadget.player_of[a(i)] = kAlice;
+  return gadget;
+}
+
+}  // namespace lowerbound
+}  // namespace cyclestream

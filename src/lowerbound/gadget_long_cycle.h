@@ -1,0 +1,33 @@
+// ℓ-cycle (ℓ >= 5) lower-bound gadget: Figure 1e / Theorem 5.5 — counting
+// ℓ-cycles requires Ω(m) space for any constant number of passes, via
+// two-party Disjointness.
+
+#ifndef CYCLESTREAM_LOWERBOUND_GADGET_LONG_CYCLE_H_
+#define CYCLESTREAM_LOWERBOUND_GADGET_LONG_CYCLE_H_
+
+#include <cstdint>
+
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// Figure 1e / Theorem 5.5. Alice owns A = {a_1..a_{r+1}}; Bob owns
+/// B = {b_1..b_r}, C = {c_1..c_T}, and the path D = {d_1..d_{ℓ-4}}.
+/// Fixed edges: (a_i, b_i); (a_{r+1}, c_t) and (d_{ℓ-4}, c_t) for all t; the
+/// path d_1-…-d_{ℓ-4}. Input edges: (a_i, a_{r+1}) iff s1_i = 1 and
+/// (b_i, d_1) iff s2_i = 1. Each common index yields exactly
+/// `cycle_budget` ℓ-cycles (a_{r+1} → a_i → b_i → d_1 → … → d_{ℓ-4} → c_t →
+/// a_{r+1}); disjoint instances are ℓ-cycle-free. Θ(r + T) edges.
+///
+/// The promised count is exact for instances with at most one common index
+/// (which DisjInstance::Random guarantees); with two or more common indices
+/// and ℓ = 6, additional cycles of the form a_i-a_hub-a_j-b_j-d_1-b_i arise.
+Gadget BuildLongCycleGadget(const DisjInstance& instance, int cycle_length,
+                            std::size_t cycle_budget);
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_GADGET_LONG_CYCLE_H_

@@ -1,0 +1,119 @@
+#include "lowerbound/gadget_triangle.h"
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+Gadget BuildPointerJumpingGadget(const PointerJumpInstance& instance,
+                                 std::size_t k) {
+  const std::size_t r = instance.e2.size();
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  CYCLESTREAM_CHECK_GE(k, 1u);
+  CYCLESTREAM_CHECK_LT(instance.e1, r);
+
+  // Vertex layout: A = [0, r); B = [r, r+k); C_i = [r+k+ik, r+k+(i+1)k).
+  const VertexId a_base = 0;
+  const VertexId b_base = static_cast<VertexId>(r);
+  const VertexId c_base = static_cast<VertexId>(r + k);
+  const std::size_t n = r + k + r * k;
+
+  GraphBuilder builder(n);
+  auto a = [&](std::size_t i) { return static_cast<VertexId>(a_base + i); };
+  auto b = [&](std::size_t j) { return static_cast<VertexId>(b_base + j); };
+  auto c = [&](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(c_base + i * k + j);
+  };
+
+  // E1 (known to Bob and Charlie): B × C_{e1}.
+  for (std::size_t x = 0; x < k; ++x) {
+    for (std::size_t y = 0; y < k; ++y) {
+      builder.AddEdge(b(x), c(instance.e1, y));
+    }
+  }
+  // E2 (known to Alice and Charlie): C_i × a_{e2[i]}.
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t y = 0; y < k; ++y) {
+      builder.AddEdge(c(i, y), a(instance.e2[i]));
+    }
+  }
+  // E3 (known to Alice and Bob): a_i × B for bits that point to v41.
+  for (std::size_t i = 0; i < r; ++i) {
+    if (!instance.e3[i]) continue;
+    for (std::size_t x = 0; x < k; ++x) {
+      builder.AddEdge(a(i), b(x));
+    }
+  }
+
+  Gadget gadget;
+  gadget.graph = builder.Build();
+  gadget.cycle_length = 3;
+  gadget.answer = instance.Answer();
+  gadget.promised_cycles =
+      gadget.answer ? static_cast<std::uint64_t>(k) * k : 0;
+  gadget.num_players = 3;
+  gadget.player_of.assign(n, kCharlie);
+  for (std::size_t i = 0; i < r; ++i) gadget.player_of[a(i)] = kAlice;
+  for (std::size_t x = 0; x < k; ++x) gadget.player_of[b(x)] = kBob;
+  return gadget;
+}
+
+Gadget BuildThreeDisjGadget(const ThreeDisjInstance& instance, std::size_t k) {
+  const std::size_t r = instance.s1.size();
+  CYCLESTREAM_CHECK_GE(r, 1u);
+  CYCLESTREAM_CHECK_GE(k, 1u);
+  CYCLESTREAM_CHECK_EQ(instance.s2.size(), r);
+  CYCLESTREAM_CHECK_EQ(instance.s3.size(), r);
+
+  // Vertex layout: A blocks, then B blocks, then C blocks.
+  const std::size_t n = 3 * r * k;
+  GraphBuilder builder(n);
+  auto a = [&](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(i * k + j);
+  };
+  auto b = [&](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(r * k + i * k + j);
+  };
+  auto c = [&](std::size_t i, std::size_t j) {
+    return static_cast<VertexId>(2 * r * k + i * k + j);
+  };
+
+  std::uint64_t common = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    if (instance.s1[i]) {
+      for (std::size_t x = 0; x < k; ++x) {
+        for (std::size_t y = 0; y < k; ++y) builder.AddEdge(a(i, x), c(i, y));
+      }
+    }
+    if (instance.s2[i]) {
+      for (std::size_t x = 0; x < k; ++x) {
+        for (std::size_t y = 0; y < k; ++y) builder.AddEdge(a(i, x), b(i, y));
+      }
+    }
+    if (instance.s3[i]) {
+      for (std::size_t x = 0; x < k; ++x) {
+        for (std::size_t y = 0; y < k; ++y) builder.AddEdge(b(i, x), c(i, y));
+      }
+    }
+    if (instance.s1[i] && instance.s2[i] && instance.s3[i]) ++common;
+  }
+
+  Gadget gadget;
+  gadget.graph = builder.Build();
+  gadget.cycle_length = 3;
+  gadget.answer = instance.Answer();
+  gadget.promised_cycles =
+      common * static_cast<std::uint64_t>(k) * k * k;
+  gadget.num_players = 3;
+  gadget.player_of.assign(n, kAlice);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      gadget.player_of[b(i, j)] = kBob;
+      gadget.player_of[c(i, j)] = kCharlie;
+    }
+  }
+  return gadget;
+}
+
+}  // namespace lowerbound
+}  // namespace cyclestream

@@ -1,0 +1,40 @@
+// Triangle-counting lower-bound gadgets: Figure 1a (Theorem 5.1) and
+// Figure 1b (Theorem 5.2).
+
+#ifndef CYCLESTREAM_LOWERBOUND_GADGET_TRIANGLE_H_
+#define CYCLESTREAM_LOWERBOUND_GADGET_TRIANGLE_H_
+
+#include <cstdint>
+
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// Figure 1a / Theorem 5.1 — one-pass triangle counting is Ω(f_pj(m/√T))
+/// hard via 3-party NOF Pointer Jumping.
+///
+/// Encoding (r = instance size, k = block size): Alice owns A = {a_1..a_r},
+/// Bob owns a block B of k vertices, Charlie owns blocks C_1..C_r of k each.
+/// Edges: B × C_{e1} (complete bipartite, k²); C_i × {a_{e2[i]}} for all i
+/// (k each); a_i × B for every i with e3[i] = 1 (k each). The graph has
+/// k² triangles iff the pointer path lands on v41, else none.
+/// Θ(rk + k²) edges; the theorem sets k = Θ(√T), r = Θ(m/√T).
+Gadget BuildPointerJumpingGadget(const PointerJumpInstance& instance,
+                                 std::size_t k);
+
+/// Figure 1b / Theorem 5.2 — constant-pass triangle counting is
+/// Ω(f_d(m/T^{2/3})) hard via 3-party NOF Disjointness.
+///
+/// Encoding: blocks A_i (Alice), B_i (Bob), C_i (Charlie) of size k for
+/// i ∈ [r]; complete bipartite A_i×C_i iff s1_i, A_i×B_i iff s2_i,
+/// B_i×C_i iff s3_i. Each common index contributes k³ triangles (the
+/// random generator plants at most one). Θ(rk²) edges; the theorem sets
+/// k = Θ(T^{1/3}), r = m/T^{2/3}.
+Gadget BuildThreeDisjGadget(const ThreeDisjInstance& instance, std::size_t k);
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_GADGET_TRIANGLE_H_

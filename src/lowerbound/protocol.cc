@@ -1,0 +1,80 @@
+#include "lowerbound/protocol.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+stream::AdjacencyListStream MakeProtocolStream(const Gadget& gadget,
+                                               std::uint64_t seed) {
+  const std::size_t n = gadget.graph.num_vertices();
+  CYCLESTREAM_CHECK_EQ(gadget.player_of.size(), n);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order.data(), order.size());
+  // Stable grouping by player preserves the within-player shuffle.
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return gadget.player_of[a] < gadget.player_of[b];
+  });
+  return stream::AdjacencyListStream(&gadget.graph, std::move(order),
+                                     Mix64(seed));
+}
+
+ProtocolRun RunProtocol(const Gadget& gadget,
+                        stream::StreamAlgorithm* algorithm,
+                        std::uint64_t seed) {
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  stream::AdjacencyListStream protocol_stream = MakeProtocolStream(gadget, seed);
+  const std::vector<VertexId>& order = protocol_stream.list_order();
+
+  ProtocolRun run;
+  const int passes = algorithm->passes();
+  for (int pass = 0; pass < passes; ++pass) {
+    algorithm->BeginPass(pass);
+    int current_player =
+        order.empty() ? kAlice : gadget.player_of[order.front()];
+    for (VertexId u : order) {
+      if (gadget.player_of[u] != current_player) {
+        // Player boundary: the algorithm state is the message.
+        std::size_t bytes = algorithm->CurrentSpaceBytes();
+        run.message_bytes.push_back(bytes);
+        current_player = gadget.player_of[u];
+      }
+      algorithm->BeginList(u);
+      for (VertexId v : protocol_stream.ListOf(u)) algorithm->OnPair(u, v);
+      algorithm->EndList(u);
+      run.peak_space_bytes =
+          std::max(run.peak_space_bytes, algorithm->CurrentSpaceBytes());
+    }
+    algorithm->EndPass(pass);
+    if (pass + 1 < passes) {
+      // Multi-pass: the last player sends the state back to the first.
+      run.message_bytes.push_back(algorithm->CurrentSpaceBytes());
+    }
+  }
+  for (std::size_t bytes : run.message_bytes) {
+    run.max_message_bytes = std::max(run.max_message_bytes, bytes);
+    run.total_message_bytes += bytes;
+  }
+  return run;
+}
+
+ProtocolRun RunSerializedDistinguisherProtocol(
+    const Gadget& gadget, const core::TriangleDistinguisherOptions& options,
+    std::uint64_t seed, core::TriangleDistinguisherResult* result) {
+  CYCLESTREAM_CHECK(result != nullptr);
+  std::unique_ptr<core::TriangleDistinguisher> final_player;
+  ProtocolRun run = RunSerializedProtocol<core::TriangleDistinguisher>(
+      gadget, options, seed, &final_player);
+  *result = final_player->result();
+  return run;
+}
+
+}  // namespace lowerbound
+}  // namespace cyclestream

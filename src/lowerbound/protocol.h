@@ -1,0 +1,125 @@
+// Communication-protocol simulation over the Figure 1 gadgets.
+//
+// The reductions of Section 5.1 turn a streaming algorithm into a protocol:
+// each player inserts the adjacency lists of their vertices, then ships the
+// algorithm's working state to the next player. This module executes that
+// construction literally — the gadget's lists are streamed grouped by player
+// and the algorithm's CurrentSpaceBytes() at each player boundary is the
+// message size. One pass of a c-pass algorithm crosses (players - 1)
+// boundaries; total communication = Σ message sizes, and the protocol output
+// is derived from the final estimate (> promised/2 → "1").
+
+#ifndef CYCLESTREAM_LOWERBOUND_PROTOCOL_H_
+#define CYCLESTREAM_LOWERBOUND_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/triangle_distinguisher.h"
+#include "lowerbound/gadget.h"
+#include "stream/adjacency_stream.h"
+#include "stream/algorithm.h"
+
+namespace cyclestream {
+namespace lowerbound {
+
+/// Outcome of running a streaming algorithm as a communication protocol.
+struct ProtocolRun {
+  /// State size at every player boundary, in stream order across all passes.
+  std::vector<std::size_t> message_bytes;
+  /// Largest single message (the one-way communication cost per round).
+  std::size_t max_message_bytes = 0;
+  /// Sum over all boundaries and passes (the multi-round total).
+  std::size_t total_message_bytes = 0;
+  /// Peak working space of the algorithm anywhere in the run.
+  std::size_t peak_space_bytes = 0;
+};
+
+/// Builds the player-grouped adjacency-list stream for a gadget: all of
+/// Alice's lists, then Bob's, then (if present) Charlie's; order within each
+/// player and within each list shuffled from `seed`.
+stream::AdjacencyListStream MakeProtocolStream(const Gadget& gadget,
+                                               std::uint64_t seed);
+
+/// Runs all passes of `algorithm` over the gadget's player-grouped stream,
+/// recording the message sizes. The caller reads the estimate from the
+/// concrete algorithm afterwards.
+ProtocolRun RunProtocol(const Gadget& gadget, stream::StreamAlgorithm* algorithm,
+                        std::uint64_t seed);
+
+/// The reduction made fully literal: each player is a SEPARATE algorithm
+/// instance; at every boundary the current player's state is serialized to
+/// bytes and the next player resumes from those bytes alone. message_bytes
+/// are the actual serialized sizes. The final player's instance is written
+/// to *final_player, whose result must be identical to a monolithic
+/// RunProtocol with the same options and seeds — asserted in tests.
+///
+/// `Algo` must provide SerializeState()/RestoreState() (e.g.
+/// core::TriangleDistinguisher, core::TwoPassTriangleCounter) and be
+/// constructible from `Options`.
+template <typename Algo, typename Options>
+ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
+                                  std::uint64_t seed,
+                                  std::unique_ptr<Algo>* final_player) {
+  stream::AdjacencyListStream protocol_stream =
+      MakeProtocolStream(gadget, seed);
+  const std::vector<VertexId>& order = protocol_stream.list_order();
+
+  ProtocolRun run;
+  // Contiguous per-player segments of the list order.
+  std::vector<std::pair<std::size_t, std::size_t>> segments;  // [begin, end)
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= order.size(); ++i) {
+    if (i == order.size() ||
+        gadget.player_of[order[i]] != gadget.player_of[order[begin]]) {
+      segments.push_back({begin, i});
+      begin = i;
+    }
+  }
+
+  const int passes = Algo(options).passes();
+  std::vector<std::uint8_t> wire;
+  bool first_segment = true;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const auto& [seg_begin, seg_end] : segments) {
+      // A brand-new player knowing only the public options and the wire.
+      auto player = std::make_unique<Algo>(options);
+      if (!first_segment) player->RestoreState(wire);
+      if (seg_begin == 0) player->BeginPass(pass);
+      for (std::size_t i = seg_begin; i < seg_end; ++i) {
+        VertexId u = order[i];
+        player->BeginList(u);
+        for (VertexId v : protocol_stream.ListOf(u)) player->OnPair(u, v);
+        player->EndList(u);
+        run.peak_space_bytes =
+            std::max(run.peak_space_bytes, player->CurrentSpaceBytes());
+      }
+      if (seg_end == order.size()) player->EndPass(pass);
+      bool last_overall = pass + 1 == passes && seg_end == order.size();
+      if (!last_overall) {
+        wire = player->SerializeState();
+        run.message_bytes.push_back(wire.size());
+      } else {
+        *final_player = std::move(player);
+      }
+      first_segment = false;
+    }
+  }
+  for (std::size_t bytes : run.message_bytes) {
+    run.max_message_bytes = std::max(run.max_message_bytes, bytes);
+    run.total_message_bytes += bytes;
+  }
+  return run;
+}
+
+/// Convenience wrapper over RunSerializedProtocol for the two-pass
+/// distinguisher (kept for the benches' C-style call sites).
+ProtocolRun RunSerializedDistinguisherProtocol(
+    const Gadget& gadget, const core::TriangleDistinguisherOptions& options,
+    std::uint64_t seed, core::TriangleDistinguisherResult* result);
+
+}  // namespace lowerbound
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_LOWERBOUND_PROTOCOL_H_

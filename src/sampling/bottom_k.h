@@ -1,0 +1,165 @@
+// Fixed-size uniform sampling via hash priorities ("bottom-k sampling").
+//
+// This is the "hash-based sampling method" the paper relies on (Section 2.1):
+// each item's priority is a fixed seeded hash of its key, and the sample is
+// the set of items with the k smallest priorities seen so far. Two properties
+// make it the right primitive for adjacency-list algorithms:
+//
+//   1. The final sample is a uniform random size-k subset of the distinct
+//      keys offered (priorities are i.i.d.-like and fixed per key).
+//   2. The admission threshold (k-th smallest priority) only decreases over
+//      time, so any member of the *final* sample was admitted the first time
+//      it was offered. The two-pass triangle algorithm needs exactly this:
+//      a sampled edge starts collecting triangles at its first appearance.
+//
+// The sampler supports eviction callbacks (so owners can tear down per-item
+// side state such as watcher lists) and explicit erasure (the triangle
+// algorithm removes candidate (edge, triangle) pairs when the edge leaves the
+// edge sample). The internal heap is compacted whenever stale entries would
+// exceed a constant factor of the capacity, keeping live memory O(k).
+
+#ifndef CYCLESTREAM_SAMPLING_BOTTOM_K_H_
+#define CYCLESTREAM_SAMPLING_BOTTOM_K_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace sampling {
+
+/// Outcome of offering a key to the sampler.
+enum class OfferResult {
+  kRejected,        // priority above threshold; not admitted
+  kInserted,        // admitted (possibly evicting the current maximum)
+  kAlreadyPresent,  // key already in the sample; offer is a no-op
+};
+
+/// Bottom-k sampler keyed by 64-bit keys with per-key payloads.
+template <typename Payload>
+class BottomKSampler {
+ public:
+  /// `capacity` is k (must be positive); `hash_seed` fixes the priority
+  /// function, and therefore the sample, for a given key sequence.
+  BottomKSampler(std::size_t capacity, std::uint64_t hash_seed)
+      : capacity_(capacity), hash_(hash_seed) {
+    CYCLESTREAM_CHECK_GT(capacity, 0u);
+    members_.reserve(capacity + 1);
+  }
+
+  /// Priority of a key under this sampler's hash; stable across offers.
+  std::uint64_t PriorityOf(std::uint64_t key) const { return hash_.Hash(key); }
+
+  /// Offers `key`; on admission stores `payload`. `on_evict(key, payload&&)`
+  /// is invoked for any member displaced to keep the size at capacity.
+  template <typename EvictFn>
+  OfferResult Offer(std::uint64_t key, Payload payload, EvictFn&& on_evict) {
+    if (members_.contains(key)) return OfferResult::kAlreadyPresent;
+    const std::uint64_t priority = PriorityOf(key);
+    if (members_.size() >= capacity_ && priority >= MaxLivePriority()) {
+      return OfferResult::kRejected;
+    }
+    members_.emplace(key, std::move(payload));
+    heap_.push({priority, key});
+    while (members_.size() > capacity_) {
+      auto [top_priority, top_key] = heap_.top();
+      heap_.pop();
+      auto it = members_.find(top_key);
+      if (it == members_.end()) continue;  // stale entry from Erase()
+      Payload evicted = std::move(it->second);
+      members_.erase(it);
+      on_evict(top_key, std::move(evicted));
+    }
+    MaybeCompact();
+    return OfferResult::kInserted;
+  }
+
+  /// Offer without an eviction callback.
+  OfferResult Offer(std::uint64_t key, Payload payload) {
+    return Offer(key, std::move(payload),
+                 [](std::uint64_t, Payload&&) {});
+  }
+
+  /// Removes `key` if present (no eviction callback). Returns true if erased.
+  bool Erase(std::uint64_t key) {
+    bool erased = members_.erase(key) > 0;
+    if (erased) MaybeCompact();
+    return erased;
+  }
+
+  bool Contains(std::uint64_t key) const { return members_.contains(key); }
+
+  /// Pointer to the payload of `key`, or nullptr if absent. Stable until the
+  /// next Offer/Erase.
+  Payload* Find(std::uint64_t key) {
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+  }
+
+  const Payload* Find(std::uint64_t key) const {
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+  }
+
+  /// Iterates members as fn(key, payload&). Order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [key, payload] : members_) fn(key, payload);
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, payload] : members_) fn(key, payload);
+  }
+
+  std::size_t size() const { return members_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate live footprint in bytes (hash map + heap).
+  std::size_t MemoryBytes() const {
+    constexpr std::size_t kMapOverheadPerEntry = 16;  // node/bucket overhead
+    return members_.size() *
+               (sizeof(std::uint64_t) + sizeof(Payload) +
+                kMapOverheadPerEntry) +
+           heap_.size() * sizeof(HeapEntry);
+  }
+
+ private:
+  using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;  // priority, key
+
+  std::uint64_t MaxLivePriority() {
+    while (!heap_.empty() && !members_.contains(heap_.top().second)) {
+      heap_.pop();
+    }
+    CYCLESTREAM_CHECK(!heap_.empty());
+    return heap_.top().first;
+  }
+
+  void MaybeCompact() {
+    if (heap_.size() <= 2 * capacity_ + 16 ||
+        heap_.size() <= 2 * members_.size()) {
+      return;
+    }
+    std::vector<HeapEntry> live;
+    live.reserve(members_.size());
+    for (const auto& [key, payload] : members_) {
+      live.push_back({PriorityOf(key), key});
+    }
+    heap_ = std::priority_queue<HeapEntry>(live.begin(), live.end());
+  }
+
+  std::size_t capacity_;
+  SeededHash hash_;
+  std::unordered_map<std::uint64_t, Payload> members_;
+  std::priority_queue<HeapEntry> heap_;
+};
+
+}  // namespace sampling
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SAMPLING_BOTTOM_K_H_

@@ -1,0 +1,61 @@
+// Classic reservoir sampling (Algorithm R / Vitter).
+//
+// Used where the sampled universe is only ever offered once per item and no
+// first-appearance admission property is needed (contrast with
+// BottomKSampler, which the paper's algorithms require). Kept in the library
+// as the natural baseline sampler and for tests comparing sampling schemes.
+
+#ifndef CYCLESTREAM_SAMPLING_RESERVOIR_H_
+#define CYCLESTREAM_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace sampling {
+
+/// Uniform fixed-size sample of a stream of items, one offer per item.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    CYCLESTREAM_CHECK_GT(capacity, 0u);
+    sample_.reserve(capacity);
+  }
+
+  /// Offers the next item; returns true if it is (currently) in the sample.
+  bool Offer(const T& item) {
+    ++offered_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return true;
+    }
+    std::uint64_t j = rng_.NextBounded(offered_);
+    if (j < capacity_) {
+      sample_[j] = item;
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  std::uint64_t offered() const { return offered_; }
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t MemoryBytes() const { return sample_.capacity() * sizeof(T); }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t offered_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace sampling
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SAMPLING_RESERVOIR_H_

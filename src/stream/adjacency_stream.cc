@@ -1,0 +1,62 @@
+#include "stream/adjacency_stream.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace stream {
+
+AdjacencyListStream::AdjacencyListStream(const Graph* graph,
+                                         std::uint64_t seed)
+    : graph_(graph) {
+  CYCLESTREAM_CHECK(graph != nullptr);
+  list_order_.resize(graph_->num_vertices());
+  std::iota(list_order_.begin(), list_order_.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(list_order_.data(), list_order_.size());
+  BuildShuffledLists(Mix64(seed) ^ 0x517cc1b727220a95ULL);
+}
+
+AdjacencyListStream::AdjacencyListStream(const Graph* graph,
+                                         std::vector<VertexId> list_order,
+                                         std::uint64_t seed)
+    : graph_(graph), list_order_(std::move(list_order)) {
+  CYCLESTREAM_CHECK(graph != nullptr);
+  // The order must be a permutation of all vertices: each list appears once.
+  std::vector<bool> seen(graph_->num_vertices(), false);
+  CYCLESTREAM_CHECK_EQ(list_order_.size(), graph_->num_vertices());
+  for (VertexId v : list_order_) {
+    CYCLESTREAM_CHECK_LT(static_cast<std::size_t>(v), seen.size());
+    CYCLESTREAM_CHECK(!seen[v]);
+    seen[v] = true;
+  }
+  BuildShuffledLists(Mix64(seed) ^ 0x517cc1b727220a95ULL);
+}
+
+void AdjacencyListStream::BuildShuffledLists(std::uint64_t seed) {
+  const std::size_t n = graph_->num_vertices();
+  list_offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    list_offsets_[v + 1] =
+        list_offsets_[v] + graph_->degree(static_cast<VertexId>(v));
+  }
+  list_entries_.resize(list_offsets_[n]);
+  Rng rng(seed);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto nbrs = graph_->neighbors(static_cast<VertexId>(v));
+    std::copy(nbrs.begin(), nbrs.end(),
+              list_entries_.begin() + list_offsets_[v]);
+    rng.Shuffle(list_entries_.data() + list_offsets_[v], nbrs.size());
+  }
+}
+
+std::span<const VertexId> AdjacencyListStream::ListOf(VertexId u) const {
+  return {list_entries_.data() + list_offsets_[u],
+          list_entries_.data() + list_offsets_[u + 1]};
+}
+
+}  // namespace stream
+}  // namespace cyclestream

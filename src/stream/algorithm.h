@@ -1,0 +1,57 @@
+// Interface implemented by adjacency-list streaming algorithms.
+//
+// The model (paper Section 1.2): the stream is a sequence of ordered pairs
+// `uv`; both `uv` and `vu` appear for every edge {u, v}; all pairs with the
+// same first vertex (the adjacency list of that vertex) appear consecutively,
+// in arbitrary order within the list, and the lists themselves appear in
+// arbitrary order. Multi-pass algorithms may require that later passes replay
+// the same ordering (the two-pass triangle algorithm does; the 4-cycle
+// algorithm does not).
+//
+// Space accounting: `CurrentSpaceBytes()` must return the algorithm's live
+// working-state footprint. The driver samples it at every list boundary and
+// reports the peak, so the paper's space bounds are measured quantities.
+
+#ifndef CYCLESTREAM_STREAM_ALGORITHM_H_
+#define CYCLESTREAM_STREAM_ALGORITHM_H_
+
+#include <cstddef>
+
+#include "graph/types.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// Base class for algorithms consuming adjacency-list streams.
+///
+/// Callback order per pass, for each adjacency list in stream order:
+///   BeginList(u); OnPair(u, v) for each neighbor v in list order; EndList(u).
+/// Wrapped by BeginPass(p) / EndPass(p) for p = 0 .. passes()-1.
+class StreamAlgorithm {
+ public:
+  virtual ~StreamAlgorithm() = default;
+
+  /// Number of passes this algorithm takes over the stream.
+  virtual int passes() const = 0;
+
+  /// True if passes after the first must replay the first pass's order.
+  /// (Always legal for the driver to replay; this documents the requirement.)
+  virtual bool requires_same_order() const { return false; }
+
+  virtual void BeginPass(int pass) { (void)pass; }
+  virtual void BeginList(VertexId u) { (void)u; }
+
+  /// One stream element: the ordered pair `uv` (edge {u,v} seen from u).
+  virtual void OnPair(VertexId u, VertexId v) = 0;
+
+  virtual void EndList(VertexId u) { (void)u; }
+  virtual void EndPass(int pass) { (void)pass; }
+
+  /// Live working-state footprint in bytes (see file comment).
+  virtual std::size_t CurrentSpaceBytes() const = 0;
+};
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_ALGORITHM_H_

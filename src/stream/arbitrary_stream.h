@@ -1,0 +1,74 @@
+// The arbitrary-order (single-copy) insertion stream model.
+//
+// The paper's Section 1.1 contrasts the adjacency-list model against the
+// classic arbitrary-order model, where each edge appears exactly once at an
+// arbitrary position and no grouping promise holds. In that model sublinear
+// one-pass triangle counting is impossible without extra parameters (Ω(m)
+// to distinguish 0 from T < n triangles [Braverman et al.]), which is what
+// makes the adjacency-list results interesting. This substrate exists so
+// the model gap is measurable: bench/model_comparison runs matched
+// estimators over both models on the same graphs.
+
+#ifndef CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
+#define CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// Interface for algorithms over arbitrary-order edge streams.
+class EdgeStreamAlgorithm {
+ public:
+  virtual ~EdgeStreamAlgorithm() = default;
+
+  virtual int passes() const = 0;
+  virtual void BeginPass(int pass) { (void)pass; }
+  /// One stream element: the undirected edge {u, v}, seen exactly once.
+  virtual void OnEdge(VertexId u, VertexId v) = 0;
+  virtual void EndPass(int pass) { (void)pass; }
+  virtual std::size_t CurrentSpaceBytes() const = 0;
+};
+
+/// A graph materialized as a replayable arbitrary-order edge stream.
+class ArbitraryOrderStream {
+ public:
+  /// Edge order shuffled deterministically from `seed`.
+  ArbitraryOrderStream(const Graph* graph, std::uint64_t seed);
+
+  const Graph& graph() const { return *graph_; }
+  std::size_t stream_length() const { return order_.size(); }
+
+  /// The edges in stream order.
+  const std::vector<Edge>& order() const { return order_; }
+
+  template <typename Sink>
+  void ReplayPass(Sink&& fn) const {
+    for (const Edge& e : order_) fn.OnEdge(e.u, e.v);
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<Edge> order_;
+};
+
+/// Run report mirroring stream::RunReport for edge streams.
+struct EdgeRunReport {
+  std::size_t peak_space_bytes = 0;
+  std::size_t edges_processed = 0;
+  int passes = 0;
+};
+
+/// Runs all passes of `algorithm` over `stream`, sampling space after every
+/// edge (the model has no list boundaries).
+EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
+                            EdgeStreamAlgorithm* algorithm);
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_

@@ -1,0 +1,57 @@
+#include "stream/driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace stream {
+
+namespace {
+
+// Adapter turning ReplayPass callbacks into StreamAlgorithm calls while
+// sampling space at list boundaries.
+class MeteredSink {
+ public:
+  MeteredSink(StreamAlgorithm* algorithm, RunReport* report)
+      : algorithm_(algorithm), report_(report) {}
+
+  void BeginList(VertexId u) { algorithm_->BeginList(u); }
+
+  void OnPair(VertexId u, VertexId v) {
+    algorithm_->OnPair(u, v);
+    ++report_->pairs_processed;
+  }
+
+  void EndList(VertexId u) {
+    algorithm_->EndList(u);
+    report_->peak_space_bytes =
+        std::max(report_->peak_space_bytes, algorithm_->CurrentSpaceBytes());
+  }
+
+ private:
+  StreamAlgorithm* algorithm_;
+  RunReport* report_;
+};
+
+}  // namespace
+
+RunReport RunPasses(const AdjacencyListStream& stream,
+                    StreamAlgorithm* algorithm) {
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  RunReport report;
+  report.passes = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes, 1);
+  MeteredSink sink(algorithm, &report);
+  for (int pass = 0; pass < report.passes; ++pass) {
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    algorithm->EndPass(pass);
+    report.peak_space_bytes =
+        std::max(report.peak_space_bytes, algorithm->CurrentSpaceBytes());
+  }
+  return report;
+}
+
+}  // namespace stream
+}  // namespace cyclestream

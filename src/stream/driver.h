@@ -1,0 +1,34 @@
+// Multi-pass driver: runs a StreamAlgorithm over an AdjacencyListStream and
+// measures its peak working space.
+
+#ifndef CYCLESTREAM_STREAM_DRIVER_H_
+#define CYCLESTREAM_STREAM_DRIVER_H_
+
+#include <cstddef>
+
+#include "stream/adjacency_stream.h"
+#include "stream/algorithm.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// Result of driving an algorithm over a stream.
+struct RunReport {
+  /// Peak of CurrentSpaceBytes() sampled at every list boundary and at pass
+  /// boundaries.
+  std::size_t peak_space_bytes = 0;
+  /// Total pairs delivered across all passes.
+  std::size_t pairs_processed = 0;
+  int passes = 0;
+};
+
+/// Runs all of `algorithm`'s passes over `stream` (replaying the identical
+/// order each pass) and returns the space/throughput report. The algorithm's
+/// estimate is read from the concrete algorithm object afterwards.
+RunReport RunPasses(const AdjacencyListStream& stream,
+                    StreamAlgorithm* algorithm);
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_DRIVER_H_

@@ -1,0 +1,54 @@
+// Lightweight invariant checking for cyclestream.
+//
+// CHECK-style macros in the spirit of the database codebases this library is
+// modeled on (Arrow, RocksDB): fatal assertions that are always on, used at
+// API boundaries and for internal invariants whose violation indicates a
+// programming error rather than a recoverable condition. Streaming estimators
+// are randomized, so recoverable "bad luck" is reported through return values
+// instead; CHECK failures always mean a bug or misuse.
+
+#ifndef CYCLESTREAM_UTIL_CHECK_H_
+#define CYCLESTREAM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cyclestream {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cyclestream
+
+/// Aborts with a diagnostic if `expr` is false. Always enabled.
+#define CYCLESTREAM_CHECK(expr)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::cyclestream::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                                    \
+  } while (0)
+
+/// Convenience comparison checks; evaluate arguments exactly once.
+#define CYCLESTREAM_CHECK_OP(a, b, op)                                  \
+  do {                                                                   \
+    auto&& cyclestream_check_a = (a);                                    \
+    auto&& cyclestream_check_b = (b);                                    \
+    if (!(cyclestream_check_a op cyclestream_check_b)) {                 \
+      ::cyclestream::internal::CheckFailed(__FILE__, __LINE__,           \
+                                           #a " " #op " " #b);           \
+    }                                                                    \
+  } while (0)
+
+#define CYCLESTREAM_CHECK_EQ(a, b) CYCLESTREAM_CHECK_OP(a, b, ==)
+#define CYCLESTREAM_CHECK_NE(a, b) CYCLESTREAM_CHECK_OP(a, b, !=)
+#define CYCLESTREAM_CHECK_LT(a, b) CYCLESTREAM_CHECK_OP(a, b, <)
+#define CYCLESTREAM_CHECK_LE(a, b) CYCLESTREAM_CHECK_OP(a, b, <=)
+#define CYCLESTREAM_CHECK_GT(a, b) CYCLESTREAM_CHECK_OP(a, b, >)
+#define CYCLESTREAM_CHECK_GE(a, b) CYCLESTREAM_CHECK_OP(a, b, >=)
+
+#endif  // CYCLESTREAM_UTIL_CHECK_H_

@@ -1,0 +1,60 @@
+// Deterministic, seedable pseudo-random generation.
+//
+// All randomized components of cyclestream (samplers, generators, estimator
+// copies) draw from `Rng`, a thin wrapper over xoshiro256**, seeded via
+// SplitMix64. Every experiment in the repository is reproducible from a
+// single 64-bit seed. <random> engines are deliberately avoided for the hot
+// paths: their distributions are implementation-defined, which would make
+// test expectations non-portable.
+
+#ifndef CYCLESTREAM_UTIL_RANDOM_H_
+#define CYCLESTREAM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace cyclestream {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and as a cheap stateless mixer.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// xoshiro256** generator with utilities for the ranges this library needs.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0);
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next64();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Forks an independent generator; deterministic given this Rng's state.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of `data[0..n)`.
+  template <typename T>
+  void Shuffle(T* data, std::size_t n) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      T tmp = data[i - 1];
+      data[i - 1] = data[j];
+      data[j] = tmp;
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_RANDOM_H_

@@ -1,0 +1,142 @@
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/arbitrary_triangle.h"
+#include "exact/triangle.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "stream/arbitrary_stream.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace {
+
+struct EdgeRecorder {
+  std::vector<Edge> edges;
+  void OnEdge(VertexId u, VertexId v) { edges.push_back({u, v}); }
+};
+
+TEST(ArbitraryOrderStream, EveryEdgeExactlyOnce) {
+  Graph g = gen::ErdosRenyiGnp(60, 0.2, 1);
+  stream::ArbitraryOrderStream s(&g, 7);
+  EdgeRecorder rec;
+  s.ReplayPass(rec);
+  EXPECT_EQ(rec.edges.size(), g.num_edges());
+  std::map<EdgeKey, int> seen;
+  for (const Edge& e : rec.edges) ++seen[MakeEdgeKey(e.u, e.v)];
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(seen.size(), g.num_edges());
+}
+
+TEST(ArbitraryOrderStream, SeededShuffleReplaysIdentically) {
+  Graph g = gen::ErdosRenyiGnp(40, 0.25, 2);
+  stream::ArbitraryOrderStream s1(&g, 9), s2(&g, 9), s3(&g, 10);
+  EXPECT_EQ(s1.order(), s2.order());
+  EXPECT_NE(s1.order(), s3.order());
+}
+
+TEST(ArbitraryOrderStream, RunEdgePassesReports) {
+  Graph g = gen::Complete(8);
+  stream::ArbitraryOrderStream s(&g, 3);
+  core::ArbitraryTriangleOptions options;
+  options.sample_size = g.num_edges();
+  core::ArbitraryOrderTriangleCounter counter(options);
+  stream::EdgeRunReport report = stream::RunEdgePasses(s, &counter);
+  EXPECT_EQ(report.edges_processed, g.num_edges());
+  EXPECT_EQ(report.passes, 1);
+  EXPECT_GT(report.peak_space_bytes, 0u);
+}
+
+double RunArbitrary(const Graph& g, std::size_t sample,
+                    std::uint64_t algo_seed, std::uint64_t stream_seed) {
+  stream::ArbitraryOrderStream s(&g, stream_seed);
+  core::ArbitraryTriangleOptions options;
+  options.sample_size = sample;
+  options.seed = algo_seed;
+  core::ArbitraryOrderTriangleCounter counter(options);
+  stream::RunEdgePasses(s, &counter);
+  return counter.Estimate();
+}
+
+TEST(ArbitraryTriangle, ExactWhenSampleCoversGraph) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::Complete(8));
+  graphs.push_back(testing_util::TwoTrianglesSharedEdge());
+  graphs.push_back(gen::ErdosRenyiGnp(50, 0.25, 1));
+  graphs.push_back(gen::Petersen());
+  for (const Graph& g : graphs) {
+    const double t = static_cast<double>(exact::CountTriangles(g));
+    for (std::uint64_t stream_seed : {1, 2, 3, 4}) {
+      EXPECT_DOUBLE_EQ(RunArbitrary(g, g.num_edges() + 2, 7, stream_seed), t)
+          << "stream_seed " << stream_seed;
+    }
+  }
+}
+
+TEST(ArbitraryTriangle, UnbiasedOverSamplingRandomness) {
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 25};
+  Graph g = gen::PlantedDisjointTriangles(200, bg);
+  std::vector<double> estimates;
+  for (int trial = 0; trial < 300; ++trial) {
+    estimates.push_back(RunArbitrary(g, g.num_edges() / 3, 600 + trial, 5));
+  }
+  double sem = testing_util::StdDev(estimates) / std::sqrt(300.0);
+  EXPECT_NEAR(testing_util::Mean(estimates), 200.0, 5 * sem + 2.0);
+}
+
+TEST(ArbitraryTriangle, EvictionRollbackKeepsCountsConsistent) {
+  // Tiny sample over a triangle-dense graph: massive churn must not leave
+  // phantom detections (estimate stays finite and non-negative; with a
+  // sample too small to hold two wedge edges, detections hit zero).
+  Graph g = gen::Complete(20);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stream::ArbitraryOrderStream s(&g, seed + 1);
+    core::ArbitraryTriangleOptions options;
+    options.sample_size = 2;
+    options.seed = seed;
+    core::ArbitraryOrderTriangleCounter counter(options);
+    stream::RunEdgePasses(s, &counter);
+    auto res = counter.result();
+    EXPECT_GE(res.estimate, 0.0);
+    EXPECT_LE(res.detections, 1u);  // at most the surviving pair's wedge
+  }
+}
+
+TEST(ArbitraryTriangle, NeedsTwoSampledEdgesPerDetection) {
+  // Structural contrast with the adjacency-list model: at the same sample
+  // size, the arbitrary-order detection count is ~ (m'/m)^2 * T while the
+  // list-order one-pass counter detects ~ (m'/m) * T.
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 50};
+  Graph g = gen::PlantedDisjointTriangles(600, bg);
+  const std::size_t sample = g.num_edges() / 10;
+  double arb_detections = 0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    stream::ArbitraryOrderStream s(&g, trial + 1);
+    core::ArbitraryTriangleOptions options;
+    options.sample_size = sample;
+    options.seed = 900 + trial;
+    core::ArbitraryOrderTriangleCounter counter(options);
+    stream::RunEdgePasses(s, &counter);
+    arb_detections += counter.result().detections;
+  }
+  arb_detections /= kTrials;
+  // Expected ~ T * (m'/m)^2 * (order factor <= 1): for m'/m = 1/10 and
+  // T = 600 that is at most 6; the list-order counter at the same budget
+  // detects ~ 60. Assert the quadratic-vs-linear gap loosely.
+  EXPECT_LT(arb_detections, 12.0);
+}
+
+TEST(ArbitraryTriangle, ZeroTriangleGraphs) {
+  Graph g = gen::CompleteBipartite(15, 15);
+  for (std::uint64_t seed : {1, 2, 3}) {
+    EXPECT_DOUBLE_EQ(RunArbitrary(g, g.num_edges() / 4, seed, seed), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cyclestream

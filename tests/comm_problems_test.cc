@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "lowerbound/comm_problems.h"
+
+namespace cyclestream {
+namespace lowerbound {
+namespace {
+
+TEST(IndexInstance, PlantsAnswer) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto yes = IndexInstance::Random(100, true, seed);
+    EXPECT_TRUE(yes.Answer());
+    EXPECT_EQ(yes.bits.size(), 100u);
+    auto no = IndexInstance::Random(100, false, seed);
+    EXPECT_FALSE(no.Answer());
+  }
+}
+
+TEST(IndexInstance, BitsAreBalanced) {
+  auto inst = IndexInstance::Random(10000, true, 7);
+  int ones = 0;
+  for (auto b : inst.bits) ones += b;
+  EXPECT_GT(ones, 4500);
+  EXPECT_LT(ones, 5500);
+}
+
+TEST(DisjInstance, IntersectingHasExactlyOneCommonIndex) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = DisjInstance::Random(200, true, seed);
+    EXPECT_TRUE(inst.Answer());
+    int common = 0;
+    for (std::size_t i = 0; i < 200; ++i) common += (inst.s1[i] && inst.s2[i]);
+    EXPECT_EQ(common, 1) << "seed " << seed;
+  }
+}
+
+TEST(DisjInstance, DisjointHasNoCommonIndex) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto inst = DisjInstance::Random(200, false, seed);
+    EXPECT_FALSE(inst.Answer());
+  }
+}
+
+TEST(DisjInstance, StringsAreNonTrivial) {
+  auto inst = DisjInstance::Random(1000, false, 3);
+  int ones1 = 0, ones2 = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ones1 += inst.s1[i];
+    ones2 += inst.s2[i];
+  }
+  EXPECT_GT(ones1, 100);
+  EXPECT_GT(ones2, 100);
+}
+
+TEST(ThreeDisjInstance, PlantsAnswer) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto yes = ThreeDisjInstance::Random(150, true, seed);
+    EXPECT_TRUE(yes.Answer());
+    int common = 0;
+    for (std::size_t i = 0; i < 150; ++i) {
+      common += (yes.s1[i] && yes.s2[i] && yes.s3[i]);
+    }
+    EXPECT_EQ(common, 1) << "seed " << seed;
+    auto no = ThreeDisjInstance::Random(150, false, seed);
+    EXPECT_FALSE(no.Answer());
+  }
+}
+
+TEST(ThreeDisjInstance, PairwiseOverlapsAllowed) {
+  // NOF disjointness is only about triple-wise intersection; pairwise
+  // overlaps must exist (otherwise the instance is degenerate / easy).
+  auto inst = ThreeDisjInstance::Random(2000, false, 5);
+  int pairwise = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    pairwise += (inst.s1[i] && inst.s2[i]);
+  }
+  EXPECT_GT(pairwise, 100);
+}
+
+TEST(PointerJumpInstance, PlantsAnswer) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto yes = PointerJumpInstance::Random(64, true, seed);
+    EXPECT_TRUE(yes.Answer());
+    auto no = PointerJumpInstance::Random(64, false, seed);
+    EXPECT_FALSE(no.Answer());
+    EXPECT_LT(yes.e1, 64u);
+    for (auto p : yes.e2) EXPECT_LT(p, 64u);
+  }
+}
+
+TEST(PointerJumpInstance, OnlyPathBitForced) {
+  // Bits off the pointer path stay random: across seeds, some instance has
+  // a 1 somewhere besides the path end even when answer = false.
+  bool found_stray_one = false;
+  for (std::uint64_t seed = 0; seed < 10 && !found_stray_one; ++seed) {
+    auto inst = PointerJumpInstance::Random(64, false, seed);
+    for (std::size_t i = 0; i < inst.e3.size(); ++i) {
+      if (i != inst.e2[inst.e1] && inst.e3[i]) found_stray_one = true;
+    }
+  }
+  EXPECT_TRUE(found_stray_one);
+}
+
+}  // namespace
+}  // namespace lowerbound
+}  // namespace cyclestream

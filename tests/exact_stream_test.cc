@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_stream.h"
+#include "exact/triangle.h"
+#include "gen/chung_lu.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace core {
+namespace {
+
+using testing_util::RunOn;
+
+class ExactStreamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExactStreamSweep, MatchesOfflineCountOnRandomGraphs) {
+  auto [graph_seed, stream_seed] = GetParam();
+  Graph g = gen::ErdosRenyiGnp(80, 0.15, graph_seed);
+  ExactStreamTriangleCounter counter;
+  RunOn(g, &counter, stream_seed);
+  EXPECT_EQ(counter.triangles(), exact::CountTriangles(g));
+  EXPECT_EQ(counter.edge_count(), g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactStreamSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(5, 6)));
+
+TEST(ExactStream, KnownGraphs) {
+  for (std::uint64_t stream_seed : {1, 2, 3}) {
+    ExactStreamTriangleCounter c1;
+    RunOn(gen::Complete(10), &c1, stream_seed);
+    EXPECT_EQ(c1.triangles(), 120u);
+
+    ExactStreamTriangleCounter c2;
+    RunOn(gen::Petersen(), &c2, stream_seed);
+    EXPECT_EQ(c2.triangles(), 0u);
+  }
+}
+
+TEST(ExactStream, SkewedGraph) {
+  Graph g = gen::ChungLuPowerLaw(2000, 8.0, 2.3, 5);
+  ExactStreamTriangleCounter counter;
+  RunOn(g, &counter, 7);
+  EXPECT_EQ(counter.triangles(), exact::CountTriangles(g));
+}
+
+TEST(ExactStream, SpaceIsLinearInEdges) {
+  Graph g = gen::ErdosRenyiGnp(500, 0.05, 1);
+  ExactStreamTriangleCounter counter;
+  auto report = RunOn(g, &counter, 2);
+  // Θ(m) state: at least 9 bytes per edge (key + state), under ~64.
+  EXPECT_GE(report.peak_space_bytes, 9 * g.num_edges());
+  EXPECT_LE(report.peak_space_bytes, 64 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,169 @@
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exact/cycle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace exact {
+namespace {
+
+TEST(Triangles, KnownGraphs) {
+  EXPECT_EQ(CountTriangles(gen::Complete(3)), 1u);
+  EXPECT_EQ(CountTriangles(gen::Complete(4)), 4u);
+  EXPECT_EQ(CountTriangles(gen::Complete(5)), 10u);
+  EXPECT_EQ(CountTriangles(gen::Complete(10)), 120u);
+  EXPECT_EQ(CountTriangles(gen::CompleteBipartite(5, 5)), 0u);
+  EXPECT_EQ(CountTriangles(gen::CycleGraph(5)), 0u);
+  EXPECT_EQ(CountTriangles(gen::Petersen()), 0u);
+  EXPECT_EQ(CountTriangles(gen::Star(10)), 0u);
+  EXPECT_EQ(CountTriangles(Graph()), 0u);
+}
+
+TEST(Triangles, EnumerationIsExactlyOnce) {
+  Graph g = gen::Complete(6);
+  std::set<std::tuple<VertexId, VertexId, VertexId>> seen;
+  ForEachTriangle(g, [&](VertexId u, VertexId v, VertexId w) {
+    std::vector<VertexId> t{u, v, w};
+    std::sort(t.begin(), t.end());
+    EXPECT_TRUE(seen.insert({t[0], t[1], t[2]}).second)
+        << "duplicate triangle";
+    EXPECT_TRUE(g.HasEdge(u, v));
+    EXPECT_TRUE(g.HasEdge(v, w));
+    EXPECT_TRUE(g.HasEdge(u, w));
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Triangles, MatchesDfsCounterOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(60, 0.15, seed);
+    EXPECT_EQ(CountTriangles(g), CountSimpleCycles(g, 3)) << "seed " << seed;
+  }
+}
+
+TEST(Triangles, PerEdgeSumsToThreeT) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(80, 0.12, seed);
+    TriangleCounts counts = CountTrianglesPerEdge(g);
+    std::uint64_t sum = 0;
+    for (const auto& [key, te] : counts.per_edge) sum += te;
+    EXPECT_EQ(sum, 3 * counts.total);
+  }
+}
+
+TEST(Triangles, PerEdgeKnownValues) {
+  Graph g = testing_util::TwoTrianglesSharedEdge();
+  TriangleCounts counts = CountTrianglesPerEdge(g);
+  EXPECT_EQ(counts.total, 2u);
+  EXPECT_EQ(counts.per_edge[MakeEdgeKey(0, 1)], 2u);
+  EXPECT_EQ(counts.per_edge[MakeEdgeKey(0, 2)], 1u);
+  EXPECT_EQ(counts.per_edge[MakeEdgeKey(1, 3)], 1u);
+}
+
+TEST(Triangles, EdgesInTriangles) {
+  EXPECT_EQ(EdgesInTriangles(gen::Complete(4)), 6u);
+  EXPECT_EQ(EdgesInTriangles(gen::CycleGraph(6)), 0u);
+  Graph g = testing_util::TwoTrianglesSharedEdge();
+  EXPECT_EQ(EdgesInTriangles(g), 5u);
+}
+
+TEST(FourCycles, KnownGraphs) {
+  EXPECT_EQ(CountFourCycles(gen::Complete(4)), 3u);
+  EXPECT_EQ(CountFourCycles(gen::Complete(5)), 15u);   // 3 * C(5,4)
+  EXPECT_EQ(CountFourCycles(gen::Complete(6)), 45u);   // 3 * C(6,4)
+  EXPECT_EQ(CountFourCycles(gen::CompleteBipartite(2, 2)), 1u);
+  EXPECT_EQ(CountFourCycles(gen::CompleteBipartite(3, 3)), 9u);
+  EXPECT_EQ(CountFourCycles(gen::CycleGraph(4)), 1u);
+  EXPECT_EQ(CountFourCycles(gen::CycleGraph(5)), 0u);
+  EXPECT_EQ(CountFourCycles(gen::Petersen()), 0u);
+  EXPECT_EQ(CountFourCycles(Graph()), 0u);
+}
+
+TEST(FourCycles, MatchesDfsCounterOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(50, 0.15, seed);
+    EXPECT_EQ(CountFourCycles(g), CountSimpleCycles(g, 4)) << "seed " << seed;
+  }
+}
+
+TEST(FourCycles, DetailedSumsMatch) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(50, 0.18, seed);
+    FourCycleCounts counts = CountFourCyclesDetailed(g);
+    EXPECT_EQ(counts.total, CountFourCycles(g));
+    std::uint64_t edge_sum = 0, wedge_sum = 0;
+    for (const auto& [key, c] : counts.per_edge) edge_sum += c;
+    for (const auto& [key, c] : counts.per_wedge) wedge_sum += c;
+    // Each 4-cycle has 4 edges and 4 wedges.
+    EXPECT_EQ(edge_sum, 4 * counts.total) << "seed " << seed;
+    EXPECT_EQ(wedge_sum, 4 * counts.total) << "seed " << seed;
+  }
+}
+
+TEST(FourCycles, PerWedgeKnownValues) {
+  // K_{2,3}: diagonal pair = the two left vertices, 3 common neighbors.
+  Graph g = gen::CompleteBipartite(2, 3);
+  FourCycleCounts counts = CountFourCyclesDetailed(g);
+  EXPECT_EQ(counts.total, 3u);
+  // Every wedge centered at a right vertex (0-r-1) lies in 2 cycles.
+  Wedge w = MakeWedge(2, 0, 1);
+  EXPECT_EQ(counts.per_wedge[WedgeHashKey(w)], 2u);
+}
+
+TEST(FourCycles, EnumerationMatchesCount) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(40, 0.2, seed);
+    std::uint64_t enumerated = 0;
+    std::set<std::uint64_t> distinct;
+    ForEachFourCycle(g, [&](VertexId a, VertexId x, VertexId b, VertexId y) {
+      ++enumerated;
+      EXPECT_TRUE(g.HasEdge(a, x));
+      EXPECT_TRUE(g.HasEdge(x, b));
+      EXPECT_TRUE(g.HasEdge(b, y));
+      EXPECT_TRUE(g.HasEdge(y, a));
+      std::vector<VertexId> vs{a, x, b, y};
+      std::sort(vs.begin(), vs.end());
+      EXPECT_TRUE(vs[0] < vs[1] && vs[1] < vs[2] && vs[2] < vs[3]);
+    });
+    EXPECT_EQ(enumerated, CountFourCycles(g)) << "seed " << seed;
+  }
+}
+
+TEST(Cycles, RejectsShortLengths) {
+  EXPECT_DEATH(CountSimpleCycles(gen::Complete(4), 2), "length");
+}
+
+TEST(Cycles, CompleteGraphCycleCounts) {
+  // # of ℓ-cycles in K_n: C(n, ℓ) * (ℓ-1)! / 2.
+  Graph k6 = gen::Complete(6);
+  EXPECT_EQ(CountSimpleCycles(k6, 3), 20u);
+  EXPECT_EQ(CountSimpleCycles(k6, 4), 45u);
+  EXPECT_EQ(CountSimpleCycles(k6, 5), 72u);
+  EXPECT_EQ(CountSimpleCycles(k6, 6), 60u);
+}
+
+TEST(Cycles, CompleteBipartiteSixCycles) {
+  // 6-cycles in K_{3,3}: choose 3 on each side: orderings -> 6.
+  EXPECT_EQ(CountSimpleCycles(gen::CompleteBipartite(3, 3), 6), 6u);
+  EXPECT_EQ(CountSimpleCycles(gen::CompleteBipartite(3, 3), 5), 0u);
+}
+
+TEST(Cycles, AcyclicGraphs) {
+  for (int len = 3; len <= 7; ++len) {
+    EXPECT_EQ(CountSimpleCycles(gen::PathGraph(20), len), 0u);
+    EXPECT_EQ(CountSimpleCycles(gen::Star(10), len), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace exact
+}  // namespace cyclestream

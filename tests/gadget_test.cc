@@ -1,0 +1,168 @@
+// Validates every Figure 1 construction: exact cycle counts match the
+// theorems' promises on both 0- and 1-instances, edge counts scale as
+// claimed, and player assignments are well-formed.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "exact/cycle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/projective_plane.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_four_cycle.h"
+#include "lowerbound/gadget_long_cycle.h"
+#include "lowerbound/gadget_triangle.h"
+
+namespace cyclestream {
+namespace lowerbound {
+namespace {
+
+void ExpectWellFormed(const Gadget& g) {
+  EXPECT_EQ(g.player_of.size(), g.graph.num_vertices());
+  for (int p : g.player_of) {
+    EXPECT_GE(p, kAlice);
+    EXPECT_LT(p, g.num_players);
+  }
+}
+
+class PointerJumpGadgetTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PointerJumpGadgetTest, TriangleCountMatchesPromise) {
+  auto [r, k, answer] = GetParam();
+  auto inst = PointerJumpInstance::Random(r, answer, 7 * r + k);
+  Gadget g = BuildPointerJumpingGadget(inst, k);
+  ExpectWellFormed(g);
+  EXPECT_EQ(g.answer, answer);
+  std::uint64_t expected =
+      answer ? static_cast<std::uint64_t>(k) * k : 0;
+  EXPECT_EQ(g.promised_cycles, expected);
+  EXPECT_EQ(exact::CountTriangles(g.graph), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PointerJumpGadgetTest,
+    ::testing::Combine(::testing::Values(5, 16, 40),
+                       ::testing::Values(2, 6),
+                       ::testing::Bool()));
+
+TEST(PointerJumpGadget, EdgeCountScaling) {
+  // m = Θ(rk + k²).
+  auto inst = PointerJumpInstance::Random(64, true, 3);
+  Gadget g = BuildPointerJumpingGadget(inst, 8);
+  EXPECT_GE(g.graph.num_edges(), 64u * 8 / 2);
+  EXPECT_LE(g.graph.num_edges(), 3 * (64 * 8 + 64));
+}
+
+class ThreeDisjGadgetTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ThreeDisjGadgetTest, TriangleCountMatchesPromise) {
+  auto [r, k, answer] = GetParam();
+  auto inst = ThreeDisjInstance::Random(r, answer, 11 * r + k);
+  Gadget g = BuildThreeDisjGadget(inst, k);
+  ExpectWellFormed(g);
+  std::uint64_t expected =
+      answer ? static_cast<std::uint64_t>(k) * k * k : 0;
+  EXPECT_EQ(g.promised_cycles, expected);
+  EXPECT_EQ(exact::CountTriangles(g.graph), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ThreeDisjGadgetTest,
+    ::testing::Combine(::testing::Values(4, 12, 30),
+                       ::testing::Values(2, 5),
+                       ::testing::Bool()));
+
+class IndexGadgetTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, bool>> {};
+
+TEST_P(IndexGadgetTest, FourCycleCountMatchesPromise) {
+  auto [q, k, answer] = GetParam();
+  auto inst = IndexInstance::Random(IndexGadgetBits(q), answer, q * 100 + k);
+  Gadget g = BuildIndexFourCycleGadget(inst, q, k);
+  ExpectWellFormed(g);
+  std::uint64_t expected = answer ? static_cast<std::uint64_t>(k) : 0;
+  EXPECT_EQ(g.promised_cycles, expected);
+  EXPECT_EQ(exact::CountFourCycles(g.graph), expected);
+  // The triangle side is irrelevant to the theorem but must be clean too
+  // for the distinguishing experiments to be meaningful.
+  EXPECT_EQ(exact::CountTriangles(g.graph), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IndexGadgetTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 5),
+                       ::testing::Values(1, 4, 9),
+                       ::testing::Bool()));
+
+TEST(IndexGadget, EdgeCountDominatedByScaffolding) {
+  // m = Θ(r^{3/2} + rk): Alice's bit-edges are a constant fraction — that
+  // is what makes the INDEX instance size Θ(m).
+  const std::uint64_t q = 7;
+  auto inst = IndexInstance::Random(IndexGadgetBits(q), true, 5);
+  Gadget g = BuildIndexFourCycleGadget(inst, q, 2);
+  const double r = static_cast<double>(gen::ProjectivePlaneSide(q));
+  EXPECT_GT(static_cast<double>(g.graph.num_edges()), 0.3 * std::pow(r, 1.5));
+}
+
+class DisjFourCycleGadgetTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, bool>> {};
+
+TEST_P(DisjFourCycleGadgetTest, FourCycleCountMatchesPromise) {
+  auto [q1, q2, answer] = GetParam();
+  auto inst = DisjInstance::Random(DisjGadgetBits(q1), answer, q1 * 37 + q2);
+  Gadget g = BuildDisjFourCycleGadget(inst, q1, q2);
+  ExpectWellFormed(g);
+  const std::uint64_t h2_edges =
+      (q2 + 1) * gen::ProjectivePlaneSide(q2);
+  std::uint64_t expected = answer ? h2_edges : 0;
+  EXPECT_EQ(g.promised_cycles, expected);
+  EXPECT_EQ(exact::CountFourCycles(g.graph), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DisjFourCycleGadgetTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3),
+                       ::testing::Values<std::uint64_t>(2, 3),
+                       ::testing::Bool()));
+
+class LongCycleGadgetTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(LongCycleGadgetTest, CycleCountMatchesPromise) {
+  auto [length, r, budget, answer] = GetParam();
+  auto inst = DisjInstance::Random(r, answer, length * 13 + r);
+  Gadget g = BuildLongCycleGadget(inst, length, budget);
+  ExpectWellFormed(g);
+  std::uint64_t expected = answer ? static_cast<std::uint64_t>(budget) : 0;
+  EXPECT_EQ(g.promised_cycles, expected);
+  EXPECT_EQ(exact::CountSimpleCycles(g.graph, length), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LongCycleGadgetTest,
+    ::testing::Combine(::testing::Values(5, 6, 7, 8),
+                       ::testing::Values(6, 20),
+                       ::testing::Values(1, 9),
+                       ::testing::Bool()));
+
+TEST(LongCycleGadget, EdgeCountLinearInRAndT) {
+  auto inst = DisjInstance::Random(500, false, 3);
+  Gadget g = BuildLongCycleGadget(inst, 6, 300);
+  // m = r (matching) + bits + 2T + path <= 4(r + T).
+  EXPECT_LE(g.graph.num_edges(), 4 * (500 + 300));
+  EXPECT_GE(g.graph.num_edges(), 500u + 2 * 300);
+}
+
+TEST(LongCycleGadget, RejectsShortCycles) {
+  auto inst = DisjInstance::Random(10, true, 1);
+  EXPECT_DEATH(BuildLongCycleGadget(inst, 4, 5), "cycle_length");
+}
+
+}  // namespace
+}  // namespace lowerbound
+}  // namespace cyclestream

@@ -1,0 +1,214 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "exact/cycle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+
+namespace cyclestream {
+namespace gen {
+namespace {
+
+TEST(ErdosRenyi, GnpEdgeCountNearExpectation) {
+  const std::size_t n = 2000;
+  const double p = 0.01;
+  Graph g = ErdosRenyiGnp(n, p, 1);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.num_edges(), expected, 5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, GnpExtremes) {
+  EXPECT_EQ(ErdosRenyiGnp(100, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(20, 1.0, 1).num_edges(), 190u);
+  EXPECT_EQ(ErdosRenyiGnp(0, 0.5, 1).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(1, 0.5, 1).num_edges(), 0u);
+}
+
+TEST(ErdosRenyi, GnpDeterministicPerSeed) {
+  Graph a = ErdosRenyiGnp(500, 0.02, 77);
+  Graph b = ErdosRenyiGnp(500, 0.02, 77);
+  EXPECT_EQ(a.edges(), b.edges());
+  Graph c = ErdosRenyiGnp(500, 0.02, 78);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(ErdosRenyi, GnmExactEdgeCount) {
+  Graph g = ErdosRenyiGnm(300, 1234, 5);
+  EXPECT_EQ(g.num_edges(), 1234u);
+  EXPECT_EQ(g.num_vertices(), 300u);
+}
+
+TEST(ErdosRenyi, GnmFullGraph) {
+  Graph g = ErdosRenyiGnm(10, 45, 5);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(ChungLu, AverageDegreeRoughlyMatches) {
+  const std::size_t n = 20000;
+  Graph g = ChungLuPowerLaw(n, 8.0, 2.5, 3);
+  double avg = 2.0 * g.num_edges() / n;
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(ChungLu, ProducesSkewedDegrees) {
+  Graph g = ChungLuPowerLaw(20000, 8.0, 2.1, 4);
+  // Power-law graphs have hubs far above the mean degree.
+  EXPECT_GT(g.MaxDegree(), 20 * 2 * g.num_edges() / g.num_vertices());
+}
+
+TEST(ChungLu, ExplicitWeightsRespected) {
+  // Two heavy vertices among light ones: the heavy pair's edge probability
+  // approaches 1.
+  std::vector<double> w(100, 0.1);
+  w[0] = w[1] = 40.0;
+  int hits = 0;
+  for (int t = 0; t < 50; ++t) {
+    Graph g = ChungLu(w, 100 + t);
+    hits += g.HasEdge(0, 1);
+  }
+  EXPECT_GT(hits, 40);
+}
+
+TEST(BarabasiAlbert, SizesAndMinDegree) {
+  const std::size_t n = 5000, m0 = 3;
+  Graph g = BarabasiAlbert(n, m0, 6);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Seed clique C(4,2)=6 edges + (n - 4) * 3 attachments.
+  EXPECT_EQ(g.num_edges(), 6 + (n - (m0 + 1)) * m0);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_GE(g.degree(static_cast<VertexId>(v)), m0);
+  }
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  Graph g = BarabasiAlbert(10000, 2, 7);
+  EXPECT_GT(g.MaxDegree(), 50u);
+}
+
+TEST(Classic, CompleteGraphCounts) {
+  Graph k6 = Complete(6);
+  EXPECT_EQ(k6.num_edges(), 15u);
+  EXPECT_EQ(exact::CountTriangles(k6), 20u);       // C(6,3)
+  EXPECT_EQ(exact::CountFourCycles(k6), 45u);      // 3 * C(6,4)
+}
+
+TEST(Classic, CompleteBipartiteCounts) {
+  Graph g = CompleteBipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(exact::CountTriangles(g), 0u);
+  EXPECT_EQ(exact::CountFourCycles(g), 18u);  // C(3,2) * C(4,2)
+}
+
+TEST(Classic, CycleGraphHasOneCycle) {
+  for (std::size_t n : {3u, 4u, 5u, 8u}) {
+    Graph g = CycleGraph(n);
+    EXPECT_EQ(g.num_edges(), n);
+    EXPECT_EQ(exact::CountSimpleCycles(g, static_cast<int>(n)), 1u);
+  }
+}
+
+TEST(Classic, PetersenGirthFive) {
+  Graph g = Petersen();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(exact::CountTriangles(g), 0u);
+  EXPECT_EQ(exact::CountFourCycles(g), 0u);
+  EXPECT_EQ(exact::CountSimpleCycles(g, 5), 12u);
+  EXPECT_EQ(exact::CountSimpleCycles(g, 6), 10u);
+}
+
+TEST(Planted, DisjointTrianglesExact) {
+  PlantedBackground bg{.stars = 10, .star_degree = 20};
+  for (std::size_t count : {0u, 1u, 17u, 200u}) {
+    Graph g = PlantedDisjointTriangles(count, bg);
+    EXPECT_EQ(exact::CountTriangles(g), count);
+    EXPECT_EQ(g.num_edges(), 3 * count + 200);
+  }
+}
+
+TEST(Planted, HeavyEdgeTrianglesExactAndHeavy) {
+  PlantedBackground bg{.stars = 5, .star_degree = 10};
+  Graph g = PlantedHeavyEdgeTriangles(50, bg);
+  auto counts = exact::CountTrianglesPerEdge(g);
+  EXPECT_EQ(counts.total, 50u);
+  EXPECT_EQ(counts.per_edge[MakeEdgeKey(0, 1)], 50u);  // the shared edge
+}
+
+TEST(Planted, CliqueCountsAndExtremality) {
+  PlantedBackground bg{.stars = 4, .star_degree = 10};
+  Graph g = PlantedClique(20, bg);
+  EXPECT_EQ(exact::CountTriangles(g), 1140u);  // C(20,3)
+  EXPECT_EQ(g.num_edges(), 190u + 40u);
+  // Edges in triangles ~ T^{2/3} up to constants (the extremal shape).
+  double t = 1140.0;
+  double edges_in = static_cast<double>(exact::EdgesInTriangles(g));
+  EXPECT_GE(edges_in, std::pow(t, 2.0 / 3.0));
+  EXPECT_LE(edges_in, 2.0 * std::pow(t, 2.0 / 3.0));
+}
+
+TEST(Planted, BookForestExactCounts) {
+  PlantedBackground bg{.stars = 3, .star_degree = 9};
+  Graph g = PlantedBookForest(12, 7, bg);
+  auto counts = exact::CountTrianglesPerEdge(g);
+  EXPECT_EQ(counts.total, 12u * 7u);
+  EXPECT_EQ(g.num_edges(), 12 * (1 + 2 * 7) + 27);
+  // Every spine edge carries exactly `pages` triangles.
+  EXPECT_EQ(counts.per_edge[MakeEdgeKey(0, 1)], 7u);
+}
+
+TEST(Planted, SharedVertexTrianglesExactAndLight) {
+  PlantedBackground bg;
+  Graph g = PlantedSharedVertexTriangles(30, bg);
+  auto counts = exact::CountTrianglesPerEdge(g);
+  EXPECT_EQ(counts.total, 30u);
+  for (const auto& [key, te] : counts.per_edge) EXPECT_EQ(te, 1u);
+  EXPECT_EQ(g.degree(0), 60u);  // the hub
+}
+
+TEST(Planted, DisjointFourCyclesExact) {
+  PlantedBackground bg{.stars = 3, .star_degree = 7};
+  for (std::size_t count : {0u, 1u, 25u}) {
+    Graph g = PlantedDisjointFourCycles(count, bg);
+    EXPECT_EQ(exact::CountFourCycles(g), count);
+    EXPECT_EQ(exact::CountTriangles(g), 0u);
+  }
+}
+
+TEST(Planted, HeavyDiagonalFourCyclesBinomial) {
+  PlantedBackground bg;
+  for (std::size_t c : {2u, 5u, 20u}) {
+    Graph g = PlantedHeavyDiagonalFourCycles(c, bg);
+    EXPECT_EQ(exact::CountFourCycles(g), c * (c - 1) / 2);
+  }
+}
+
+TEST(Planted, DisjointLongCyclesExact) {
+  PlantedBackground bg{.stars = 2, .star_degree = 5};
+  for (int len : {5, 6, 7}) {
+    Graph g = PlantedDisjointCycles(len, 12, bg);
+    EXPECT_EQ(exact::CountSimpleCycles(g, len), 12u);
+    // No cycles of nearby lengths.
+    EXPECT_EQ(exact::CountSimpleCycles(g, len - 1), 0u);
+    EXPECT_EQ(exact::CountSimpleCycles(g, len + 1), 0u);
+  }
+}
+
+TEST(Planted, BackgroundIsAcyclic) {
+  PlantedBackground bg{.stars = 4, .star_degree = 6};
+  Graph g = PlantedDisjointTriangles(0, bg);
+  EXPECT_EQ(g.num_edges(), 24u);
+  for (int len = 3; len <= 6; ++len) {
+    EXPECT_EQ(exact::CountSimpleCycles(g, len), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace cyclestream

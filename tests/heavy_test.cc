@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "exact/heavy.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+
+namespace cyclestream {
+namespace exact {
+namespace {
+
+TEST(Heaviness, EmptyAndCycleFreeGraphs) {
+  FourCycleHeavinessReport r = ClassifyFourCycles(gen::PathGraph(10));
+  EXPECT_EQ(r.total_cycles, 0u);
+  EXPECT_EQ(r.good_cycles, 0u);
+  EXPECT_EQ(r.heavy_edges, 0u);
+}
+
+TEST(Heaviness, SmallGraphEverythingGood) {
+  // One 4-cycle: thresholds 40*sqrt(1)=40 and 40*1=40 far exceed any count,
+  // so all wedges are good and the cycle is good.
+  FourCycleHeavinessReport r = ClassifyFourCycles(gen::CycleGraph(4));
+  EXPECT_EQ(r.total_cycles, 1u);
+  EXPECT_EQ(r.good_cycles, 1u);
+  EXPECT_EQ(r.heavy_edges, 0u);
+  EXPECT_EQ(r.overused_wedges, 0u);
+  EXPECT_EQ(r.wedges_in_cycles, 4u);
+}
+
+TEST(Heaviness, HeavyDiagonalGraphHasOverusedWedges) {
+  // K_{2,c} with c = 1500 common neighbors of {u, w}: T = C(c, 2) = 1124250.
+  // Every wedge u-z-w (centered at a common neighbor) lies in c - 2 = 1498
+  // cycles, above the overuse threshold 40 * T^{1/4} ~ 1303, so all c of
+  // them are overused. The u/w-centered wedges z-u-z' lie in exactly one
+  // cycle each and every edge is in c - 1 = 1499 < 40 * sqrt(T) ~ 42412
+  // cycles (light), so those wedges are good — every cycle stays good,
+  // exactly the structure Lemma 4.2's proof leans on.
+  gen::PlantedBackground bg;
+  const std::size_t c = 1500;
+  Graph g = gen::PlantedHeavyDiagonalFourCycles(c, bg);
+  FourCycleHeavinessReport r = ClassifyFourCycles(g);
+  EXPECT_EQ(r.total_cycles, c * (c - 1) / 2);
+  EXPECT_EQ(r.overused_wedges, c);
+  EXPECT_EQ(r.heavy_edges, 0u);
+  EXPECT_EQ(r.good_cycles, r.total_cycles);
+}
+
+TEST(Heaviness, DisjointCyclesAllGood) {
+  gen::PlantedBackground bg{.stars = 2, .star_degree = 5};
+  Graph g = gen::PlantedDisjointFourCycles(500, bg);
+  FourCycleHeavinessReport r = ClassifyFourCycles(g);
+  EXPECT_EQ(r.total_cycles, 500u);
+  EXPECT_EQ(r.good_cycles, 500u);
+  EXPECT_EQ(r.heavy_edges, 0u);
+  EXPECT_EQ(r.bad_wedges, 0u);
+}
+
+TEST(Heaviness, ThresholdsMatchDefinition) {
+  gen::PlantedBackground bg;
+  Graph g = gen::PlantedDisjointFourCycles(81, bg);
+  FourCycleHeavinessReport r = ClassifyFourCycles(g);
+  EXPECT_DOUBLE_EQ(r.edge_heavy_threshold, 40.0 * 9.0);
+  EXPECT_DOUBLE_EQ(r.wedge_overused_threshold, 40.0 * 3.0);
+}
+
+TEST(Heaviness, RandomGraphsReportConsistent) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(60, 0.2, seed);
+    FourCycleHeavinessReport r = ClassifyFourCycles(g);
+    EXPECT_LE(r.good_cycles, r.total_cycles);
+    EXPECT_LE(r.overused_wedges, r.bad_wedges);
+    EXPECT_LE(r.bad_wedges, r.wedges_in_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace exact
+}  // namespace cyclestream

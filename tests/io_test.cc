@@ -1,0 +1,109 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exact/triangle.h"
+#include "gen/erdos_renyi.h"
+#include "io/datasets.h"
+#include "io/edge_list.h"
+
+namespace cyclestream {
+namespace io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeList, RoundTrip) {
+  Graph g = gen::ErdosRenyiGnp(60, 0.2, 1);
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path));
+  auto back = ReadEdgeList(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, ParsesCommentsAndWhitespace) {
+  std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style header\n";
+    out << "% matrix-market-style comment\n";
+    out << "\n";
+    out << "0 1\n";
+    out << "  1\t2  \n";
+    out << "2 0\n";
+  }
+  auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(exact::CountTriangles(*g), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, DropsSelfLoopsAndDuplicates) {
+  std::string path = TempPath("dirty.txt");
+  {
+    std::ofstream out(path);
+    out << "0 0\n0 1\n1 0\n0 1\n";
+  }
+  auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, MissingFileFails) {
+  EXPECT_FALSE(ReadEdgeList("/nonexistent/nope.txt").has_value());
+}
+
+TEST(EdgeList, MalformedLineFails) {
+  std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nhello world\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, NegativeIdsFail) {
+  std::string path = TempPath("neg.txt");
+  {
+    std::ofstream out(path);
+    out << "-1 2\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Datasets, RegistryListsAndResolves) {
+  auto list = ListDatasets();
+  EXPECT_GE(list.size(), 5u);
+  for (const auto& info : list) {
+    EXPECT_TRUE(HasDataset(info.name));
+    EXPECT_FALSE(info.description.empty());
+  }
+  EXPECT_FALSE(HasDataset("definitely-not-a-dataset"));
+}
+
+TEST(Datasets, DeterministicMaterialization) {
+  Graph a = GetDataset("girth6-q31");
+  Graph b = GetDataset("girth6-q31");
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.num_vertices(), 2u * (31 * 31 + 31 + 1));
+}
+
+TEST(Datasets, PlantedDatasetHasExactCount) {
+  Graph g = GetDataset("planted-tri-10k");
+  EXPECT_EQ(exact::CountTriangles(g), 10000u);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace cyclestream

@@ -1,0 +1,82 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "exact/local.h"
+#include "exact/triangle.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace exact {
+namespace {
+
+TEST(Local, PerVertexSumsToThreeT) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(70, 0.15, seed);
+    auto per_vertex = CountTrianglesPerVertex(g);
+    std::uint64_t sum =
+        std::accumulate(per_vertex.begin(), per_vertex.end(), 0ULL);
+    EXPECT_EQ(sum, 3 * CountTriangles(g));
+  }
+}
+
+TEST(Local, CompleteGraphAllOnes) {
+  Graph g = gen::Complete(7);
+  // Each vertex is in C(6,2) = 15 triangles; coefficient 1 everywhere.
+  auto per_vertex = CountTrianglesPerVertex(g);
+  for (auto t : per_vertex) EXPECT_EQ(t, 15u);
+  for (double c : LocalClusteringCoefficients(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(Transitivity(g), 1.0);
+}
+
+TEST(Local, TriangleFreeAllZero) {
+  Graph g = gen::CompleteBipartite(6, 6);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(Transitivity(g), 0.0);
+}
+
+TEST(Local, BookGraphValues) {
+  // One book: spine {0,1}, pages 2..4 (3 triangles). Spine endpoints are in
+  // 3 triangles with degree 4 (C(4,2) = 6); pages in 1 with degree 2.
+  gen::PlantedBackground bg;
+  Graph g = gen::PlantedHeavyEdgeTriangles(3, bg);
+  auto per_vertex = CountTrianglesPerVertex(g);
+  EXPECT_EQ(per_vertex[0], 3u);
+  EXPECT_EQ(per_vertex[1], 3u);
+  EXPECT_EQ(per_vertex[2], 1u);
+  auto coeffs = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(coeffs[0], 0.5);   // 3 / C(4,2)
+  EXPECT_DOUBLE_EQ(coeffs[2], 1.0);   // 1 / C(2,2)
+}
+
+TEST(Local, TransitivityVsAverageClusteringDiffer) {
+  // The classic example where the two notions diverge: a hub-heavy graph.
+  // Star + one triangle at two leaves: transitivity is dragged down by the
+  // hub's many open wedges, while most eligible vertices have coefficient 1.
+  GraphBuilder b(7);
+  for (VertexId v = 1; v <= 5; ++v) b.AddEdge(0, v);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  double transitivity = exact::Transitivity(g);
+  double average = exact::AverageClusteringCoefficient(g);
+  EXPECT_LT(transitivity, average);
+  // 1 triangle, wedges: C(5,2) + 2 * C(2,2) = 12 -> 3/12.
+  EXPECT_DOUBLE_EQ(transitivity, 0.25);
+}
+
+TEST(Local, TransitivityIsOnZeroOneScale) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = gen::ErdosRenyiGnp(50, 0.3, seed);
+    double t = Transitivity(g);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace exact
+}  // namespace cyclestream

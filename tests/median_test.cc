@@ -1,0 +1,100 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/median.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace core {
+namespace {
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0, 5.0, 5.0, 5.0}), 5.0);
+}
+
+TEST(ParallelCopies, AggregatesSpaceAndEstimates) {
+  Graph g = gen::Complete(8);
+  stream::AdjacencyListStream s(&g, 3);
+  // Sample large enough that S = E and Q holds all 3T candidate pairs.
+  AmplifiedEstimate out = EstimateTriangles(s, 4 * g.num_edges(), 5, 42);
+  EXPECT_EQ(out.copy_estimates.size(), 5u);
+  // Full sample in every copy: exact everywhere.
+  for (double est : out.copy_estimates) EXPECT_DOUBLE_EQ(est, 56.0);
+  EXPECT_DOUBLE_EQ(out.estimate, 56.0);
+  EXPECT_EQ(out.report.passes, 2);
+}
+
+TEST(ParallelCopies, CopiesAreIndependent) {
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 25};
+  Graph g = gen::PlantedDisjointTriangles(100, bg);
+  stream::AdjacencyListStream s(&g, 5);
+  AmplifiedEstimate out = EstimateTriangles(s, g.num_edges() / 8, 9, 77);
+  // Sub-sampled copies should not all agree exactly (independent sampling).
+  bool all_same = true;
+  for (double est : out.copy_estimates) {
+    if (est != out.copy_estimates.front()) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(ParallelCopies, RejectsMixedPassCounts) {
+  std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies;
+  TwoPassTriangleOptions two;
+  two.sample_size = 4;
+  copies.push_back(std::make_unique<TwoPassTriangleCounter>(two));
+  OnePassTriangleOptions one;
+  one.sample_size = 4;
+  copies.push_back(std::make_unique<OnePassTriangleCounter>(one));
+  EXPECT_DEATH(ParallelCopies{std::move(copies)}, "passes");
+}
+
+TEST(MedianAmplification, ImprovesFailureProbability) {
+  // Theorem 3.7's wrapper: at a sample size where single copies sometimes
+  // miss badly, the median-of-9 must land within 50% nearly always.
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 40};
+  Graph g = gen::PlantedDisjointTriangles(400, bg);
+  stream::AdjacencyListStream s(&g, 13);
+  const std::size_t sample = g.num_edges() / 10;
+  int single_good = 0, median_good = 0;
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    AmplifiedEstimate single = EstimateTriangles(s, sample, 1, 1000 + trial);
+    AmplifiedEstimate med = EstimateTriangles(s, sample, 9, 5000 + trial);
+    single_good += std::abs(single.estimate - 400.0) <= 200.0;
+    median_good += std::abs(med.estimate - 400.0) <= 200.0;
+  }
+  EXPECT_GE(median_good, single_good);
+  EXPECT_GE(median_good, kTrials - 2);
+}
+
+TEST(OnePassWrapper, Works) {
+  Graph g = gen::Complete(9);
+  stream::AdjacencyListStream s(&g, 2);
+  AmplifiedEstimate out = EstimateTrianglesOnePass(s, g.num_edges(), 3, 8);
+  EXPECT_DOUBLE_EQ(out.estimate, 84.0);  // C(9,3)
+  EXPECT_EQ(out.report.passes, 1);
+}
+
+TEST(FourCycleWrapper, Works) {
+  Graph g = gen::CompleteBipartite(4, 4);
+  stream::AdjacencyListStream s(&g, 2);
+  AmplifiedEstimate out = EstimateFourCycles(s, g.num_edges(), 3, 8);
+  EXPECT_DOUBLE_EQ(out.estimate,
+                   static_cast<double>(exact::CountFourCycles(g)));
+  EXPECT_EQ(out.report.passes, 2);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,96 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/one_pass_four_cycle.h"
+#include "exact/four_cycle.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace core {
+namespace {
+
+using testing_util::RunOn;
+
+OnePassFourCycleResult RunAlgo(const Graph& g, std::size_t sample_size,
+                               std::uint64_t algo_seed,
+                               std::uint64_t stream_seed) {
+  OnePassFourCycleOptions options;
+  options.sample_size = sample_size;
+  options.seed = algo_seed;
+  OnePassFourCycleCounter counter(options);
+  RunOn(g, &counter, stream_seed);
+  return counter.result();
+}
+
+TEST(OnePassFourCycle, ExactWhenSampleCoversGraph) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::Complete(7));
+  graphs.push_back(gen::CompleteBipartite(4, 5));
+  graphs.push_back(gen::ErdosRenyiGnp(35, 0.3, 1));
+  graphs.push_back(gen::CycleGraph(4));
+  graphs.push_back(gen::Petersen());
+  for (const Graph& g : graphs) {
+    const double t = static_cast<double>(exact::CountFourCycles(g));
+    for (std::uint64_t stream_seed : {1, 2, 3, 4}) {
+      OnePassFourCycleResult res =
+          RunAlgo(g, g.num_edges() + 3, 11, stream_seed);
+      EXPECT_DOUBLE_EQ(res.estimate, t) << "stream_seed " << stream_seed;
+      EXPECT_EQ(res.detections, static_cast<std::uint64_t>(t));
+    }
+  }
+}
+
+TEST(OnePassFourCycle, UnbiasedOverSamplingRandomness) {
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 20};
+  Graph g = gen::PlantedDisjointFourCycles(150, bg);
+  std::vector<double> estimates;
+  for (int trial = 0; trial < 250; ++trial) {
+    estimates.push_back(
+        RunAlgo(g, g.num_edges() / 3, 400 + trial, 9).estimate);
+  }
+  double sem = testing_util::StdDev(estimates) / std::sqrt(250.0);
+  EXPECT_NEAR(testing_util::Mean(estimates), 150.0, 5 * sem + 2.0);
+}
+
+TEST(OnePassFourCycle, ZeroCycleGraphs) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    EXPECT_DOUBLE_EQ(RunAlgo(gen::Petersen(), 8, seed, seed).estimate, 0.0);
+    EXPECT_DOUBLE_EQ(
+        RunAlgo(gen::Star(30), 12, seed, seed).estimate, 0.0);
+  }
+}
+
+TEST(OnePassFourCycle, WedgeStateTracksSample) {
+  // Full sample of a star: all wedges materialize.
+  Graph g = gen::Star(10);
+  OnePassFourCycleResult res = RunAlgo(g, g.num_edges(), 2, 3);
+  EXPECT_EQ(res.wedge_count, 45u);  // C(10,2)
+  EXPECT_EQ(res.detections, 0u);
+}
+
+TEST(OnePassFourCycle, EvictionRollsBackCleanly) {
+  // Tiny sample over a cycle-rich graph: heavy churn of edges and wedges
+  // must never corrupt the counters (estimate stays finite/non-negative).
+  Graph g = gen::CompleteBipartite(12, 12);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    OnePassFourCycleResult res = RunAlgo(g, 6, seed, seed + 1);
+    EXPECT_GE(res.estimate, 0.0);
+    EXPECT_EQ(res.edge_count, 144u);
+  }
+}
+
+TEST(OnePassFourCycle, SinglePass) {
+  OnePassFourCycleOptions options;
+  options.sample_size = 4;
+  OnePassFourCycleCounter counter(options);
+  EXPECT_EQ(counter.passes(), 1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "exact/cycle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/projective_plane.h"
+
+namespace cyclestream {
+namespace gen {
+namespace {
+
+TEST(Primes, IsPrime) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(31));
+  EXPECT_FALSE(IsPrime(49));
+  EXPECT_TRUE(IsPrime(97));
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(8), 11u);
+  EXPECT_EQ(NextPrime(90), 97u);
+}
+
+class ProjectivePlaneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProjectivePlaneTest, VertexAndEdgeCounts) {
+  const std::uint64_t q = GetParam();
+  Graph g = ProjectivePlaneGraph(q);
+  const std::size_t r = ProjectivePlaneSide(q);
+  EXPECT_EQ(r, q * q + q + 1);
+  EXPECT_EQ(g.num_vertices(), 2 * r);
+  EXPECT_EQ(g.num_edges(), (q + 1) * r);
+}
+
+TEST_P(ProjectivePlaneTest, IsRegular) {
+  const std::uint64_t q = GetParam();
+  Graph g = ProjectivePlaneGraph(q);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.degree(static_cast<VertexId>(v)), q + 1) << "vertex " << v;
+  }
+}
+
+TEST_P(ProjectivePlaneTest, IsBipartitePointsVsLines) {
+  const std::uint64_t q = GetParam();
+  Graph g = ProjectivePlaneGraph(q);
+  const std::size_t r = ProjectivePlaneSide(q);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(static_cast<std::size_t>(e.u), r);
+    EXPECT_GE(static_cast<std::size_t>(e.v), r);
+  }
+}
+
+TEST_P(ProjectivePlaneTest, GirthSix) {
+  const std::uint64_t q = GetParam();
+  Graph g = ProjectivePlaneGraph(q);
+  EXPECT_EQ(exact::CountTriangles(g), 0u);
+  EXPECT_EQ(exact::CountFourCycles(g), 0u);
+  if (q <= 7) {
+    // 6-cycles must exist (girth exactly 6, not more). The DFS counter is
+    // exponential in degree, so check existence only at small orders.
+    EXPECT_GT(exact::CountSimpleCycles(g, 6), 0u);
+  }
+}
+
+TEST_P(ProjectivePlaneTest, DensityIsExtremal) {
+  // m = (q+1) r ~ r^{3/2}: check the ratio m / r^{3/2} is bounded above and
+  // below by constants (Section 5.2's requirement).
+  const std::uint64_t q = GetParam();
+  Graph g = ProjectivePlaneGraph(q);
+  const double r = static_cast<double>(ProjectivePlaneSide(q));
+  const double ratio = static_cast<double>(g.num_edges()) / std::pow(r, 1.5);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ProjectivePlaneTest,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
+TEST(ProjectivePlane, TwoPointsShareExactlyOneLine) {
+  Graph g = ProjectivePlaneGraph(5);
+  const std::size_t r = ProjectivePlaneSide(5);
+  // For each pair of points, exactly one common line neighbor.
+  for (std::size_t p1 = 0; p1 < r; ++p1) {
+    for (std::size_t p2 = p1 + 1; p2 < r; ++p2) {
+      auto n1 = g.neighbors(static_cast<VertexId>(p1));
+      int common = 0;
+      for (VertexId line : n1) {
+        if (g.HasEdge(static_cast<VertexId>(p2), line)) ++common;
+      }
+      ASSERT_EQ(common, 1) << "points " << p1 << ", " << p2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace cyclestream

@@ -1,0 +1,241 @@
+// The Section 5.1 reduction machinery, executed: streaming algorithms run as
+// communication protocols over the gadgets must (a) keep lists grouped by
+// player, (b) solve the underlying communication problem when the algorithm
+// is powerful enough, and (c) exhibit message sizes equal to algorithm state.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_stream.h"
+#include "core/four_cycle.h"
+#include "core/two_pass_triangle.h"
+#include "lowerbound/comm_problems.h"
+#include "lowerbound/gadget_four_cycle.h"
+#include "lowerbound/gadget_long_cycle.h"
+#include "lowerbound/gadget_triangle.h"
+#include "lowerbound/protocol.h"
+
+namespace cyclestream {
+namespace lowerbound {
+namespace {
+
+TEST(ProtocolStream, ListsGroupedByPlayer) {
+  auto inst = ThreeDisjInstance::Random(10, true, 3);
+  Gadget g = BuildThreeDisjGadget(inst, 3);
+  stream::AdjacencyListStream s = MakeProtocolStream(g, 5);
+  // Player indices along the list order must be non-decreasing.
+  int prev = kAlice;
+  for (VertexId v : s.list_order()) {
+    EXPECT_GE(g.player_of[v], prev);
+    prev = g.player_of[v];
+  }
+}
+
+TEST(ProtocolStream, WithinPlayerOrderIsSeeded) {
+  auto inst = ThreeDisjInstance::Random(10, true, 3);
+  Gadget g = BuildThreeDisjGadget(inst, 3);
+  stream::AdjacencyListStream s1 = MakeProtocolStream(g, 5);
+  stream::AdjacencyListStream s2 = MakeProtocolStream(g, 5);
+  stream::AdjacencyListStream s3 = MakeProtocolStream(g, 6);
+  EXPECT_EQ(s1.list_order(), s2.list_order());
+  EXPECT_NE(s1.list_order(), s3.list_order());
+}
+
+TEST(Protocol, ExactAlgorithmSolvesThreeDisj) {
+  // An exact triangle counter run as a protocol decides 3-DISJ perfectly.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(12, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::ExactStreamTriangleCounter counter;
+      RunProtocol(g, &counter, seed);
+      bool output = counter.triangles() > 0;
+      EXPECT_EQ(output, answer) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Protocol, ExactAlgorithmSolvesPointerJumping) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = PointerJumpInstance::Random(16, answer, seed);
+      Gadget g = BuildPointerJumpingGadget(inst, 3);
+      core::ExactStreamTriangleCounter counter;
+      RunProtocol(g, &counter, seed);
+      EXPECT_EQ(counter.triangles() > 0, answer) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Protocol, TwoPassCounterSolvesThreeDisjWithFullSample) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(10, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::TwoPassTriangleOptions options;
+      options.sample_size = g.graph.num_edges() + 1;
+      options.seed = seed + 1;
+      core::TwoPassTriangleCounter counter(options);
+      RunProtocol(g, &counter, seed);
+      EXPECT_EQ(counter.Estimate() > 0, answer) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Protocol, MessageCountMatchesPassesAndPlayers) {
+  auto inst = ThreeDisjInstance::Random(8, true, 2);
+  Gadget g = BuildThreeDisjGadget(inst, 2);  // 3 players
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 16;
+  core::TwoPassTriangleCounter counter(options);
+  ProtocolRun run = RunProtocol(g, &counter, 3);
+  // Two boundaries per pass, plus one wrap-around message between passes.
+  EXPECT_EQ(run.message_bytes.size(), 2u * 2 + 1);
+  EXPECT_GT(run.max_message_bytes, 0u);
+  EXPECT_GE(run.total_message_bytes, run.max_message_bytes);
+  EXPECT_GE(run.peak_space_bytes, run.max_message_bytes);
+}
+
+TEST(Protocol, TrivialAlgorithmMessageIsLinear) {
+  // The O(m) baseline's message is proportional to the edges seen — the
+  // cost the lower bound says is unavoidable for 4-cycles in one pass.
+  auto inst = IndexInstance::Random(IndexGadgetBits(3), true, 1);
+  Gadget g = BuildIndexFourCycleGadget(inst, 3, 2);
+  core::ExactStreamTriangleCounter counter;
+  ProtocolRun run = RunProtocol(g, &counter, 4);
+  EXPECT_GT(run.max_message_bytes, 9 * g.graph.num_edges() / 4);
+}
+
+TEST(Protocol, SublinearFourCycleMessageIsSmall) {
+  // A sublinear-space 4-cycle estimator sends a small message — and, per
+  // Theorem 5.3, cannot reliably decide INDEX (the bench demonstrates the
+  // failure rate; here we verify the message-size side of the tradeoff).
+  auto inst = IndexInstance::Random(IndexGadgetBits(5), true, 1);
+  Gadget g = BuildIndexFourCycleGadget(inst, 5, 2);
+  core::FourCycleOptions options;
+  options.sample_size = g.graph.num_edges() / 50 + 1;
+  options.seed = 9;
+  core::TwoPassFourCycleCounter counter(options);
+  ProtocolRun run = RunProtocol(g, &counter, 4);
+  core::ExactStreamTriangleCounter trivial;
+  ProtocolRun trivial_run = RunProtocol(g, &trivial, 4);
+  EXPECT_LT(run.max_message_bytes, trivial_run.max_message_bytes / 4);
+}
+
+TEST(SerializedProtocol, MatchesMonolithicRunExactly) {
+  // The literal protocol: separate player instances exchanging serialized
+  // state must reproduce the monolithic run bit for bit.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(10, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::TriangleDistinguisherOptions options;
+      options.sample_size = g.graph.num_edges() / 3 + 1;
+      options.seed = 41 + seed;
+
+      core::TriangleDistinguisher monolithic(options);
+      RunProtocol(g, &monolithic, seed);
+      auto mono_result = monolithic.result();
+
+      core::TriangleDistinguisherResult serialized_result;
+      RunSerializedDistinguisherProtocol(g, options, seed,
+                                         &serialized_result);
+      EXPECT_EQ(serialized_result.found_triangle, mono_result.found_triangle);
+      EXPECT_EQ(serialized_result.incidences, mono_result.incidences);
+      EXPECT_EQ(serialized_result.edge_count, mono_result.edge_count);
+      EXPECT_EQ(serialized_result.edge_sample_size,
+                mono_result.edge_sample_size);
+    }
+  }
+}
+
+TEST(SerializedProtocol, MessageSizeIsLinearInSample) {
+  auto inst = ThreeDisjInstance::Random(20, true, 3);
+  Gadget g = BuildThreeDisjGadget(inst, 4);
+  for (std::size_t sample : {8u, 32u, 128u}) {
+    core::TriangleDistinguisherOptions options;
+    options.sample_size = sample;
+    options.seed = 5;
+    core::TriangleDistinguisherResult result;
+    ProtocolRun run =
+        RunSerializedDistinguisherProtocol(g, options, 7, &result);
+    // Wire format: 4 u64 header words + 8 bytes per sampled edge.
+    EXPECT_LE(run.max_message_bytes, 32 + 8 * sample);
+    EXPECT_GE(run.max_message_bytes, 32u);
+    // 3 players, 2 passes: 5 internal boundaries.
+    EXPECT_EQ(run.message_bytes.size(), 5u);
+  }
+}
+
+TEST(SerializedProtocol, DecidesThreeDisj) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(8, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::TriangleDistinguisherOptions options;
+      options.sample_size = g.graph.num_edges() + 1;  // exact regime
+      options.seed = seed;
+      core::TriangleDistinguisherResult result;
+      RunSerializedDistinguisherProtocol(g, options, seed, &result);
+      EXPECT_EQ(result.found_triangle, answer) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SerializedProtocol, TwoPassCounterMatchesMonolithicExactly) {
+  // The paper's main algorithm run as a literal protocol: the full S/Q/H
+  // state crosses the wire as bytes and the outcome must match the
+  // monolithic run exactly (estimate, T', |Q| and ρ statistics).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(10, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::TwoPassTriangleOptions options;
+      options.sample_size = g.graph.num_edges() / 2 + 1;
+      options.seed = 19 + seed;
+
+      core::TwoPassTriangleCounter monolithic(options);
+      RunProtocol(g, &monolithic, seed);
+      auto mono = monolithic.result();
+
+      std::unique_ptr<core::TwoPassTriangleCounter> final_player;
+      RunSerializedProtocol<core::TwoPassTriangleCounter>(g, options, seed,
+                                                          &final_player);
+      auto ser = final_player->result();
+      EXPECT_DOUBLE_EQ(ser.estimate, mono.estimate) << "seed " << seed;
+      EXPECT_EQ(ser.candidate_pairs, mono.candidate_pairs);
+      EXPECT_EQ(ser.rho_hits, mono.rho_hits);
+      EXPECT_EQ(ser.pair_sample_size, mono.pair_sample_size);
+      EXPECT_EQ(ser.edge_sample_size, mono.edge_sample_size);
+    }
+  }
+}
+
+TEST(SerializedProtocol, TwoPassCounterExactRegimeDecides) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (bool answer : {false, true}) {
+      auto inst = ThreeDisjInstance::Random(8, answer, seed);
+      Gadget g = BuildThreeDisjGadget(inst, 3);
+      core::TwoPassTriangleOptions options;
+      options.sample_size = 4 * g.graph.num_edges();
+      options.seed = seed;
+      std::unique_ptr<core::TwoPassTriangleCounter> final_player;
+      RunSerializedProtocol<core::TwoPassTriangleCounter>(g, options, seed,
+                                                          &final_player);
+      EXPECT_EQ(final_player->Estimate() > 0, answer) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Protocol, LongCycleGadgetRunsEndToEnd) {
+  auto inst = DisjInstance::Random(50, true, 8);
+  Gadget g = BuildLongCycleGadget(inst, 5, 20);
+  core::ExactStreamTriangleCounter counter;  // any algorithm exercises it
+  ProtocolRun run = RunProtocol(g, &counter, 2);
+  EXPECT_EQ(run.message_bytes.size(), 1u);  // 2 players, 1 pass
+}
+
+}  // namespace
+}  // namespace lowerbound
+}  // namespace cyclestream

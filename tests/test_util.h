@@ -1,0 +1,58 @@
+// Shared helpers for cyclestream tests.
+
+#ifndef CYCLESTREAM_TESTS_TEST_UTIL_H_
+#define CYCLESTREAM_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/adjacency_stream.h"
+#include "stream/algorithm.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace testing_util {
+
+/// Runs `algo` over `g` streamed with `stream_seed`; returns the run report.
+inline stream::RunReport RunOn(const Graph& g, stream::StreamAlgorithm* algo,
+                               std::uint64_t stream_seed) {
+  stream::AdjacencyListStream s(&g, stream_seed);
+  return stream::RunPasses(s, algo);
+}
+
+/// Small named graphs used across tests.
+inline Graph Triangle() {
+  return Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+inline Graph TwoTrianglesSharedEdge() {
+  // Triangles {0,1,2} and {0,1,3} share edge {0,1}.
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {0, 3}});
+}
+
+inline Graph Square() {
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+}
+
+/// Mean of a vector.
+inline double Mean(const std::vector<double>& xs) {
+  double s = 0;
+  for (double x : xs) s += x;
+  return xs.empty() ? 0.0 : s / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation.
+inline double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace testing_util
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_TESTS_TEST_UTIL_H_

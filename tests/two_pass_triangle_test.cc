@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/two_pass_triangle.h"
+#include "exact/triangle.h"
+#include "gen/chung_lu.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace core {
+namespace {
+
+using testing_util::RunOn;
+
+double RunEstimate(const Graph& g, std::size_t sample_size,
+                   std::uint64_t algo_seed, std::uint64_t stream_seed) {
+  TwoPassTriangleOptions options;
+  options.sample_size = sample_size;
+  options.seed = algo_seed;
+  TwoPassTriangleCounter counter(options);
+  RunOn(g, &counter, stream_seed);
+  return counter.Estimate();
+}
+
+TEST(TwoPassTriangle, ExactWhenSampleCoversGraph) {
+  // With m' >= m the algorithm degenerates to an exact count: S = E,
+  // Q = all (edge, triangle) pairs, and each triangle has exactly one
+  // lightest edge.
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::Complete(8));
+  graphs.push_back(testing_util::TwoTrianglesSharedEdge());
+  graphs.push_back(gen::ErdosRenyiGnp(40, 0.3, 1));
+  graphs.push_back(gen::CompleteBipartite(6, 6));  // zero triangles
+  graphs.push_back(gen::Petersen());
+  for (const Graph& g : graphs) {
+    const double t = static_cast<double>(exact::CountTriangles(g));
+    for (std::uint64_t stream_seed : {1, 2, 3}) {
+      double est = RunEstimate(g, 10 * g.num_edges() + 10, 5, stream_seed);
+      EXPECT_DOUBLE_EQ(est, t)
+          << "m=" << g.num_edges() << " stream_seed=" << stream_seed;
+    }
+  }
+}
+
+class TwoPassExactSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TwoPassExactSweep, ExactOnRandomGraphsAnyOrder) {
+  auto [graph_seed, stream_seed] = GetParam();
+  Graph g = gen::ErdosRenyiGnp(60, 0.2, graph_seed);
+  const double t = static_cast<double>(exact::CountTriangles(g));
+  double est = RunEstimate(g, 2 * g.num_edges() + 1, 99, stream_seed);
+  EXPECT_DOUBLE_EQ(est, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TwoPassExactSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(10, 20, 30)));
+
+TEST(TwoPassTriangle, UnbiasedOverSamplingRandomness) {
+  // Mean of many independent runs approaches T (Lemma 3.1).
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 25};
+  Graph g = gen::PlantedDisjointTriangles(100, bg);
+  const double t = 100.0;
+  const std::uint64_t stream_seed = 7;
+  std::vector<double> estimates;
+  for (std::uint64_t s = 0; s < 300; ++s) {
+    estimates.push_back(RunEstimate(g, g.num_edges() / 6, 1000 + s, stream_seed));
+  }
+  double mean = testing_util::Mean(estimates);
+  double sem = testing_util::StdDev(estimates) / std::sqrt(300.0);
+  EXPECT_NEAR(mean, t, 5 * sem + 1e-9);
+}
+
+TEST(TwoPassTriangle, ConcentratesAtPaperSampleSize) {
+  // m' = C * m / T^{2/3} gives small relative error with high probability.
+  gen::PlantedBackground bg{.stars = 10, .star_degree = 100};
+  Graph g = gen::PlantedDisjointTriangles(1000, bg);  // m = 4000, T = 1000
+  const double t = 1000.0;
+  const std::size_t sample =
+      static_cast<std::size_t>(8.0 * g.num_edges() / std::pow(t, 2.0 / 3.0));
+  int good = 0;
+  const int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double est = RunEstimate(g, sample, 500 + trial, 11 + trial);
+    if (std::abs(est - t) <= 0.5 * t) ++good;
+  }
+  EXPECT_GE(good, 3 * kTrials / 4);
+}
+
+TEST(TwoPassTriangle, HandlesHeavyEdgeGraph) {
+  // The adversarial instance for naive estimators: all triangles share one
+  // edge. The lightest-edge rule keeps the estimator concentrated.
+  gen::PlantedBackground bg{.stars = 8, .star_degree = 50};
+  Graph g = gen::PlantedHeavyEdgeTriangles(500, bg);  // T = 500
+  const double t = 500.0;
+  std::vector<double> estimates;
+  for (int trial = 0; trial < 60; ++trial) {
+    estimates.push_back(RunEstimate(g, g.num_edges() / 4, 900 + trial, 13));
+  }
+  // Concentration: relative std-dev bounded, mean near T.
+  EXPECT_NEAR(testing_util::Mean(estimates), t, 0.25 * t);
+  EXPECT_LT(testing_util::StdDev(estimates), 1.2 * t);
+}
+
+TEST(TwoPassTriangle, AblationNaiveEstimatorIsWildOnHeavyEdge) {
+  // With the lightest-edge rule disabled the estimate collapses to
+  // k * T'/3, which on the book graph is bimodal: ~2T/3 when the heavy edge
+  // is missed, ~kT/3 when it is sampled. The rule-based estimator stays far
+  // better concentrated on the identical runs.
+  gen::PlantedBackground bg{.stars = 4, .star_degree = 50};
+  const double t = 2000.0;
+  Graph g = gen::PlantedHeavyEdgeTriangles(2000, bg);
+  const std::size_t sample = g.num_edges() / 16;
+  std::vector<double> naive, with_rule;
+  for (int trial = 0; trial < 60; ++trial) {
+    for (bool use_rule : {false, true}) {
+      TwoPassTriangleOptions options;
+      options.sample_size = sample;
+      options.seed = 900 + trial;  // same seed: identical samples
+      options.use_lightest_edge_rule = use_rule;
+      TwoPassTriangleCounter counter(options);
+      RunOn(g, &counter, 13);
+      (use_rule ? with_rule : naive).push_back(counter.Estimate());
+    }
+  }
+  // Some run caught the heavy edge and exploded.
+  EXPECT_GT(*std::max_element(naive.begin(), naive.end()), 3 * t);
+  // The lightest-edge rule cuts the spread by a large factor.
+  EXPECT_GT(testing_util::StdDev(naive),
+            1.5 * testing_util::StdDev(with_rule));
+}
+
+TEST(TwoPassTriangle, ZeroTriangleGraphsEstimateZero) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    Graph g = gen::CompleteBipartite(30, 30);
+    double est = RunEstimate(g, g.num_edges() / 10, seed, seed);
+    EXPECT_DOUBLE_EQ(est, 0.0);
+  }
+}
+
+TEST(TwoPassTriangle, ResultDiagnosticsConsistent) {
+  Graph g = gen::Complete(10);
+  TwoPassTriangleOptions options;
+  options.sample_size = 15;
+  options.seed = 3;
+  TwoPassTriangleCounter counter(options);
+  RunOn(g, &counter, 21);
+  TwoPassTriangleResult res = counter.result();
+  EXPECT_EQ(res.edge_count, g.num_edges());
+  EXPECT_EQ(res.edge_sample_size, 15u);
+  EXPECT_DOUBLE_EQ(res.k, 45.0 / 15.0);
+  EXPECT_LE(res.rho_hits, res.pair_sample_size);
+  // Candidate pairs: Σ_{e in S} T(e) > 0 for K10 with any 15 edges.
+  EXPECT_GT(res.candidate_pairs, 0u);
+}
+
+TEST(TwoPassTriangle, SpaceScalesWithSampleSizeNotGraph) {
+  Graph small = gen::ErdosRenyiGnp(200, 0.1, 1);
+  Graph large = gen::ErdosRenyiGnp(800, 0.05, 1);
+  auto peak = [](const Graph& g, std::size_t m_prime) {
+    TwoPassTriangleOptions options;
+    options.sample_size = m_prime;
+    options.seed = 5;
+    TwoPassTriangleCounter counter(options);
+    return RunOn(g, &counter, 9).peak_space_bytes;
+  };
+  // Quadrupling the sample size should grow space ~4x on the same graph.
+  std::size_t s1 = peak(large, 100);
+  std::size_t s4 = peak(large, 400);
+  EXPECT_GT(s4, 2 * s1);
+  EXPECT_LT(s4, 10 * s1);
+  // Same sample size on a 4x-larger graph should grow space far less than
+  // the graph grew.
+  std::size_t small_s = peak(small, 200);
+  std::size_t large_s = peak(large, 200);
+  EXPECT_LT(large_s, 3 * small_s);
+}
+
+TEST(TwoPassTriangle, RequiresSameOrderFlag) {
+  TwoPassTriangleOptions options;
+  options.sample_size = 4;
+  TwoPassTriangleCounter counter(options);
+  EXPECT_EQ(counter.passes(), 2);
+  EXPECT_TRUE(counter.requires_same_order());
+}
+
+TEST(TwoPassTriangle, SampleSizeOneStillRuns) {
+  Graph g = gen::Complete(6);
+  TwoPassTriangleOptions options;
+  options.sample_size = 1;
+  options.seed = 8;
+  TwoPassTriangleCounter counter(options);
+  RunOn(g, &counter, 2);
+  EXPECT_GE(counter.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cyclestream

@@ -1,0 +1,141 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVectors) {
+  // Reference outputs for seed 0 (Vigna's splitmix64.c).
+  std::uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(&state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(&state), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next64() == b.Next64());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(9);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws));
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(p);
+    EXPECT_NEAR(hits / 20000.0, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v.data(), v.size());
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent1(21), parent2(21);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.Next64(), child2.Next64());
+  // Child stream differs from what the parent produces next.
+  Rng parent3(21);
+  Rng child3 = parent3.Fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += (child3.Next64() == parent3.Next64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Mix64, IsInjectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip ~32 output bits on average.
+  double total_flips = 0;
+  for (std::uint64_t x = 1; x <= 1000; ++x) {
+    total_flips += __builtin_popcountll(Mix64(x) ^ Mix64(x ^ 1));
+  }
+  EXPECT_NEAR(total_flips / 1000, 32.0, 3.0);
+}
+
+TEST(Mix128To64, OrderSensitive) {
+  EXPECT_NE(Mix128To64(1, 2), Mix128To64(2, 1));
+}
+
+TEST(SeededHash, DifferentSeedsGiveDifferentFunctions) {
+  SeededHash h1(1), h2(2);
+  int equal = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) equal += (h1.Hash(x) == h2.Hash(x));
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SeededHash, StablePerSeed) {
+  SeededHash h1(99), h2(99);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+}
+
+TEST(SeededHash, HashOutputsLookUniform) {
+  SeededHash h(5);
+  // Bucket the top 3 bits over sequential keys; expect rough balance.
+  int counts[8] = {0};
+  constexpr int kDraws = 80000;
+  for (std::uint64_t x = 0; x < kDraws; ++x) ++counts[h.Hash(x) >> 61];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 8, 5 * std::sqrt(kDraws));
+}
+
+}  // namespace
+}  // namespace cyclestream
