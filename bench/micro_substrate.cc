@@ -13,6 +13,7 @@
 #include "sampling/bottom_k.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
+#include "stream/validator.h"
 #include "util/random.h"
 
 namespace cyclestream {
@@ -65,6 +66,29 @@ void BM_StreamReplay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_StreamReplay);
+
+// Cost of online validation per pair: same replay as BM_StreamReplay but
+// with a StreamValidator consuming every event. The items/s delta against
+// BM_StreamReplay is the strict-mode overhead.
+void BM_StreamReplayValidated(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  stream::AdjacencyListStream s(&g, 3);
+  for (auto _ : state) {
+    stream::StreamValidator validator(&g);
+    struct Forward {
+      stream::StreamValidator* v;
+      void BeginList(VertexId u) { v->BeginList(u); }
+      void OnPair(VertexId u, VertexId w) { v->OnPair(u, w); }
+      void EndList(VertexId u) { v->EndList(u); }
+    } sink{&validator};
+    validator.BeginPass(0);
+    s.ReplayPass(sink);
+    validator.EndPass(0);
+    benchmark::DoNotOptimize(validator.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_StreamReplayValidated);
 
 void BM_ExactTriangles(benchmark::State& state) {
   const Graph& g = SharedSocialGraph();
@@ -126,6 +150,27 @@ void BM_OnePassTriangleEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_OnePassTriangleEndToEnd)->Arg(8)->Arg(64);
+
+// End-to-end strict mode: the two-pass estimator driven through
+// RunPassesChecked. Compare against BM_TwoPassTriangleEndToEnd at the same
+// sample divisor for the full-pipeline validation overhead.
+void BM_TwoPassTriangleChecked(benchmark::State& state) {
+  const Graph& g = SharedSocialGraph();
+  stream::AdjacencyListStream s(&g, 5);
+  const std::size_t sample = g.num_edges() / state.range(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::TwoPassTriangleOptions options;
+    options.sample_size = sample;
+    options.seed = ++seed;
+    core::TwoPassTriangleCounter counter(options);
+    auto report = stream::RunPassesChecked(s, &counter);
+    benchmark::DoNotOptimize(report.ok());
+    benchmark::DoNotOptimize(counter.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * g.num_edges());
+}
+BENCHMARK(BM_TwoPassTriangleChecked)->Arg(8)->Arg(64);
 
 }  // namespace
 }  // namespace cyclestream

@@ -44,7 +44,10 @@ bool Load(const std::string& name, Graph* out) {
     return true;
   }
   auto g = io::ReadEdgeList(name);
-  if (!g) return false;
+  if (!g) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return false;
+  }
   *out = std::move(*g);
   return true;
 }

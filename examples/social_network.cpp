@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     auto loaded = io::ReadEdgeList(argv[1]);
     if (!loaded) {
-      std::fprintf(stderr, "could not read edge list: %s\n", argv[1]);
+      std::fprintf(stderr, "could not read edge list: %s\n",
+                   loaded.status().ToString().c_str());
       return 1;
     }
     g = std::move(*loaded);

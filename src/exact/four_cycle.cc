@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/overflow.h"
+
 namespace cyclestream {
 namespace exact {
 
@@ -27,8 +29,10 @@ std::unordered_map<EdgeKey, std::uint64_t> WedgeEndpointCounts(
 
 std::uint64_t CountFourCycles(const Graph& g) {
   std::uint64_t twice_total = 0;
+  // C(M, 2) per endpoint pair: M can reach n-2, so the product is widened
+  // and the running sum checked rather than left to wrap.
   for (const auto& [pair, m] : WedgeEndpointCounts(g)) {
-    twice_total += m * (m - 1) / 2;
+    twice_total = CheckedAdd(twice_total, Choose2(m));
   }
   return twice_total / 2;
 }
@@ -38,7 +42,7 @@ FourCycleCounts CountFourCyclesDetailed(const Graph& g) {
   auto endpoint_counts = WedgeEndpointCounts(g);
   std::uint64_t twice_total = 0;
   for (const auto& [pair, m] : endpoint_counts) {
-    twice_total += m * (m - 1) / 2;
+    twice_total = CheckedAdd(twice_total, Choose2(m));
   }
   counts.total = twice_total / 2;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/overflow.h"
 
 namespace cyclestream {
 
@@ -86,8 +87,9 @@ std::size_t Graph::MaxDegree() const {
 std::uint64_t Graph::WedgeCount() const {
   std::uint64_t total = 0;
   for (std::size_t v = 0; v < num_vertices(); ++v) {
-    std::uint64_t d = degree(static_cast<VertexId>(v));
-    total += d * (d - 1) / 2;
+    // Choose2 widens through 128 bits: d*(d-1) wraps 64 bits at d ~ 2^32,
+    // which 32-bit ids permit.
+    total = CheckedAdd(total, Choose2(degree(static_cast<VertexId>(v))));
   }
   return total;
 }

@@ -1,32 +1,104 @@
 #include "io/edge_list.h"
 
-#include <cstdio>
+#include <charconv>
+#include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <limits>
+#include <string_view>
+#include <utility>
 
 namespace cyclestream {
 namespace io {
 
-std::optional<Graph> ReadEdgeList(const std::string& path) {
+namespace {
+
+constexpr std::string_view kSpace = " \t\r";
+
+std::string_view Trim(std::string_view s) {
+  const std::size_t first = s.find_first_not_of(kSpace);
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = s.find_last_not_of(kSpace);
+  return s.substr(first, last - first + 1);
+}
+
+// Parses one vertex id from the front of `s`, advancing `s` past it.
+// Returns a line-local error message on failure.
+Status ParseVertexId(std::string_view* s, VertexId* out) {
+  std::string_view token = *s;
+  const std::size_t end = token.find_first_of(kSpace);
+  if (end != std::string_view::npos) token = token.substr(0, end);
+  if (token.empty()) {
+    return Status::InvalidArgument("expected two vertex ids");
+  }
+  if (token.front() == '-') {
+    return Status::InvalidArgument("negative vertex id '" +
+                                   std::string(token) + "'");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc() && ptr == token.data() + token.size() &&
+       value > std::numeric_limits<VertexId>::max())) {
+    return Status::OutOfRange("vertex id '" + std::string(token) +
+                              "' exceeds the 32-bit id space");
+  }
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("malformed vertex id '" +
+                                   std::string(token) + "'");
+  }
+  *out = static_cast<VertexId>(value);
+  s->remove_prefix(static_cast<std::size_t>(ptr - s->data()));
+  *s = Trim(*s);
+  return Status::Ok();
+}
+
+Status AtLine(const std::string& path, std::size_t line_number,
+              const Status& cause) {
+  return Status(cause.code(), path + ":" + std::to_string(line_number) +
+                                  ": " + cause.message());
+}
+
+}  // namespace
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return Status::NotFound("cannot open edge-list file '" + path + "'");
+  }
   GraphBuilder builder;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view rest = Trim(line);
     // Skip comments and blank lines.
-    std::size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos) continue;
-    if (line[start] == '#' || line[start] == '%') continue;
-    std::istringstream fields(line);
-    long long u = 0, v = 0;
-    if (!(fields >> u >> v) || u < 0 || v < 0 ||
-        u > static_cast<long long>(0xffffffffu) ||
-        v > static_cast<long long>(0xffffffffu)) {
-      return std::nullopt;
+    if (rest.empty() || rest.front() == '#' || rest.front() == '%') continue;
+    VertexId u = 0, v = 0;
+    if (Status s = ParseVertexId(&rest, &u); !s.ok()) {
+      return AtLine(path, line_number, s);
     }
-    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (Status s = ParseVertexId(&rest, &v); !s.ok()) {
+      return AtLine(path, line_number, s);
+    }
+    if (!rest.empty()) {
+      return AtLine(path, line_number,
+                    Status::InvalidArgument("trailing garbage '" +
+                                            std::string(rest) +
+                                            "' after edge"));
+    }
+    builder.AddEdge(u, v);
+  }
+  if (in.bad()) {
+    return Status::DataLoss("read error in edge-list file '" + path + "'");
   }
   return builder.Build();
+}
+
+std::optional<Graph> TryReadEdgeList(const std::string& path) {
+  StatusOr<Graph> result = ReadEdgeList(path);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result).value();
 }
 
 bool WriteEdgeList(const Graph& g, const std::string& path) {

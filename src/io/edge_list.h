@@ -9,15 +9,23 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace io {
 
 /// Reads a graph from an edge-list file. Vertex ids are used as-is
 /// (non-contiguous ids produce isolated vertices). Self-loops and duplicate
-/// edges are dropped per the library's simple-graph convention. Returns
-/// nullopt if the file cannot be opened or contains a malformed line.
-std::optional<Graph> ReadEdgeList(const std::string& path);
+/// edges are dropped per the library's simple-graph convention.
+///
+/// Malformed input is rejected with a `path:line:`-prefixed diagnostic:
+/// missing fields, trailing garbage after the pair, negative ids, and ids
+/// that overflow the 32-bit vertex-id space all name the offending line.
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+/// Back-compat shim over `ReadEdgeList`: nullopt on any error, discarding
+/// the diagnostic. Prefer the StatusOr overload in new code.
+std::optional<Graph> TryReadEdgeList(const std::string& path);
 
 /// Writes `g` as an edge list with a header comment. Returns success.
 bool WriteEdgeList(const Graph& g, const std::string& path);

@@ -1,13 +1,31 @@
-// Multi-pass driver: runs a StreamAlgorithm over an AdjacencyListStream and
-// measures its peak working space.
+// Multi-pass driver: runs a StreamAlgorithm over an adjacency-list stream
+// and measures its peak working space.
+//
+// Two modes:
+//   - `RunPasses` trusts the stream (the historical behaviour): the stream
+//     is assumed to honour the model contract, and a malformed stream
+//     produces an arbitrary estimate or a CHECK abort inside the algorithm.
+//   - `RunPassesChecked` is the opt-in strict mode: a `StreamValidator`
+//     observes every event before the algorithm does, the algorithm stops
+//     receiving elements at the first contract violation, and the run
+//     returns an error `Status` (with the violation's stream position)
+//     instead of a wrong answer.
+//
+// Both are templates over the stream type so `AdjacencyListStream` and
+// `FaultInjectingStream` (or any type with `graph()` / `ReplayPass`) drive
+// identically.
 
 #ifndef CYCLESTREAM_STREAM_DRIVER_H_
 #define CYCLESTREAM_STREAM_DRIVER_H_
 
+#include <algorithm>
 #include <cstddef>
 
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
+#include "stream/validator.h"
+#include "util/check.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace stream {
@@ -22,11 +40,120 @@ struct RunReport {
   int passes = 0;
 };
 
+namespace internal {
+
+// Adapter turning ReplayPass callbacks into StreamAlgorithm calls while
+// sampling space at list boundaries.
+class MeteredSink {
+ public:
+  MeteredSink(StreamAlgorithm* algorithm, RunReport* report)
+      : algorithm_(algorithm), report_(report) {}
+
+  void BeginList(VertexId u) { algorithm_->BeginList(u); }
+
+  void OnPair(VertexId u, VertexId v) {
+    algorithm_->OnPair(u, v);
+    ++report_->pairs_processed;
+  }
+
+  void EndList(VertexId u) {
+    algorithm_->EndList(u);
+    report_->peak_space_bytes =
+        std::max(report_->peak_space_bytes, algorithm_->CurrentSpaceBytes());
+  }
+
+ private:
+  StreamAlgorithm* algorithm_;
+  RunReport* report_;
+};
+
+// MeteredSink with a validator in front: the validator sees every event
+// first, and the algorithm stops receiving events at the first violation so
+// it is never fed contract-breaking input.
+class ValidatedSink {
+ public:
+  ValidatedSink(StreamAlgorithm* algorithm, RunReport* report,
+                StreamValidator* validator)
+      : inner_(algorithm, report), validator_(validator) {}
+
+  void BeginList(VertexId u) {
+    validator_->BeginList(u);
+    if (validator_->ok()) inner_.BeginList(u);
+  }
+
+  void OnPair(VertexId u, VertexId v) {
+    validator_->OnPair(u, v);
+    if (validator_->ok()) inner_.OnPair(u, v);
+  }
+
+  void EndList(VertexId u) {
+    validator_->EndList(u);
+    if (validator_->ok()) inner_.EndList(u);
+  }
+
+ private:
+  MeteredSink inner_;
+  StreamValidator* validator_;
+};
+
+// FaultInjectingStream keeps a pass cursor; rewind it so a driver call
+// always starts from pass 0. No-op for plain streams.
+template <typename StreamT>
+void RewindIfResettable(const StreamT& stream) {
+  if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
+}
+
+}  // namespace internal
+
 /// Runs all of `algorithm`'s passes over `stream` (replaying the identical
 /// order each pass) and returns the space/throughput report. The algorithm's
-/// estimate is read from the concrete algorithm object afterwards.
-RunReport RunPasses(const AdjacencyListStream& stream,
-                    StreamAlgorithm* algorithm);
+/// estimate is read from the concrete algorithm object afterwards. The
+/// stream is trusted; use `RunPassesChecked` for untrusted streams.
+template <typename StreamT>
+RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm) {
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  internal::RewindIfResettable(stream);
+  RunReport report;
+  report.passes = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes, 1);
+  internal::MeteredSink sink(algorithm, &report);
+  for (int pass = 0; pass < report.passes; ++pass) {
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    algorithm->EndPass(pass);
+    report.peak_space_bytes =
+        std::max(report.peak_space_bytes, algorithm->CurrentSpaceBytes());
+  }
+  return report;
+}
+
+/// Strict-mode driver: validates the stream online while running the
+/// algorithm. On the first model-contract violation the algorithm stops
+/// receiving events, the remaining passes are skipped, and the violation is
+/// returned as an error Status (position included). The algorithm's
+/// estimate is only meaningful when the returned status is OK.
+template <typename StreamT>
+StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
+                                     StreamAlgorithm* algorithm) {
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  internal::RewindIfResettable(stream);
+  RunReport report;
+  report.passes = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes, 1);
+  StreamValidator validator(&stream.graph());
+  internal::ValidatedSink sink(algorithm, &report, &validator);
+  for (int pass = 0; pass < report.passes; ++pass) {
+    validator.BeginPass(pass);
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    validator.EndPass(pass);
+    algorithm->EndPass(pass);
+    report.peak_space_bytes =
+        std::max(report.peak_space_bytes, algorithm->CurrentSpaceBytes());
+    if (!validator.ok()) return validator.ToStatus();
+  }
+  return report;
+}
 
 }  // namespace stream
 }  // namespace cyclestream

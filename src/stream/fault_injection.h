@@ -1,0 +1,169 @@
+// Deliberate model violations: a fault-injecting stream decorator.
+//
+// `FaultInjectingStream` wraps an `AdjacencyListStream` and replays it with
+// one seeded, deterministic violation of the adjacency-list contract — the
+// exact violation classes `stream::StreamValidator` detects. It exists to
+// make the model boundary executable: tests inject each fault and assert the
+// validator flags it (and nothing else), benches measure what estimators do
+// when the model's promises bend, and `RunPassesChecked` demonstrates
+// recoverable rejection instead of a wrong estimate or a CHECK abort.
+//
+// The decorator mirrors the `AdjacencyListStream` replay interface
+// (`graph()`, `stream_length()`, `ReplayPass(sink)`) so it drops into the
+// driver and the validator unchanged. Faults that depend on the pass number
+// (truncating pass 1, diverging replay) key off an internal pass counter
+// advanced by each `ReplayPass` call; `ResetPasses()` rewinds it so one
+// decorator can be replayed from scratch.
+
+#ifndef CYCLESTREAM_STREAM_FAULT_INJECTION_H_
+#define CYCLESTREAM_STREAM_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "stream/adjacency_stream.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// The injectable violation classes (matching `ViolationKind` coverage).
+enum class FaultKind {
+  kNone,              // pass-through; wrapping overhead only
+  kSplitList,         // one list is delivered in two separated segments
+  kDropPair,          // one stream element vanishes
+  kDuplicatePair,     // one stream element is delivered twice
+  kDropReverseEdge,   // edge {u,v}: the copy in the later list vanishes
+  kTruncatePass,      // the target pass stops mid-stream
+  kReplayDivergence,  // the target pass permutes one list's entries
+};
+
+/// Stable, log-friendly name of a fault kind ("split-list", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// Which fault to inject and where. Targets are derived deterministically
+/// from `seed` in the decorator's constructor, so a spec plus a stream seed
+/// reproduces the same corrupted stream bit for bit.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  /// Pass to corrupt (0-based). `kReplayDivergence` requires pass >= 1 —
+  /// pass 0 *defines* the order, so only later passes can diverge from it.
+  int pass = 0;
+  std::uint64_t seed = 0;
+};
+
+/// An `AdjacencyListStream` with one injected model violation.
+class FaultInjectingStream {
+ public:
+  /// Wraps `base` (which must outlive the decorator). CHECK-fails if the
+  /// graph cannot host the fault (e.g. splitting a list needs a vertex of
+  /// degree >= 2, dropping a pair needs an edge).
+  FaultInjectingStream(const AdjacencyListStream* base, FaultSpec spec);
+
+  const Graph& graph() const { return base_->graph(); }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Length of an *uncorrupted* pass (2m); a faulty pass may deliver fewer
+  /// or more pairs.
+  std::size_t stream_length() const { return base_->stream_length(); }
+
+  /// Stream position (pair index) at which the fault first manifests in the
+  /// corrupted pass. For `kSplitList` this is the first pair of the second
+  /// segment; for `kReplayDivergence` the first permuted pair.
+  std::size_t fault_position() const { return fault_position_; }
+
+  /// Pass counter advanced by ReplayPass; `ResetPasses()` rewinds so the
+  /// stream can be replayed from pass 0 again.
+  int next_pass() const { return next_pass_; }
+  void ResetPasses() const { next_pass_ = 0; }
+
+  /// Replays the next pass, injecting the configured fault if this is the
+  /// target pass. Mirrors `AdjacencyListStream::ReplayPass`.
+  template <typename Sink>
+  void ReplayPass(Sink&& sink) const {
+    const int pass = next_pass_++;
+    const bool corrupt = pass == spec_.pass && spec_.kind != FaultKind::kNone;
+    std::size_t emitted = 0;  // pairs delivered so far this pass
+    // Deferred second segment of a split list.
+    bool split_pending = false;
+    for (VertexId u : base_->list_order()) {
+      auto list = base_->ListOf(u);
+      if (corrupt && spec_.kind == FaultKind::kSplitList &&
+          u == target_list_) {
+        // First segment now; remember to emit the rest after the next list.
+        const std::size_t half = list.size() / 2;
+        sink.BeginList(u);
+        for (std::size_t i = 0; i < half; ++i) sink.OnPair(u, list[i]);
+        sink.EndList(u);
+        emitted += half;
+        split_pending = true;
+        continue;
+      }
+      sink.BeginList(u);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const VertexId v = list[i];
+        if (corrupt && u == target_list_ && i == target_index_) {
+          switch (spec_.kind) {
+            case FaultKind::kDropPair:
+            case FaultKind::kDropReverseEdge:
+              continue;  // this element vanishes
+            case FaultKind::kDuplicatePair:
+              sink.OnPair(u, v);
+              ++emitted;
+              break;
+            case FaultKind::kReplayDivergence:
+              // Swap entries target_index_ and target_index_ + 1.
+              sink.OnPair(u, list[i + 1]);
+              sink.OnPair(u, v);
+              emitted += 2;
+              ++i;
+              continue;
+            default:
+              break;
+          }
+        }
+        if (corrupt && spec_.kind == FaultKind::kTruncatePass &&
+            emitted == truncate_after_) {
+          return;  // mid-list, no EndList, no further lists
+        }
+        sink.OnPair(u, v);
+        ++emitted;
+      }
+      sink.EndList(u);
+      if (split_pending) {
+        split_pending = false;
+        EmitSecondSegment(sink, &emitted);
+      }
+    }
+    // Target list was last in order: the second segment still reopens it.
+    if (split_pending) EmitSecondSegment(sink, &emitted);
+  }
+
+ private:
+  // Second half of the split target list, reopening a closed list.
+  template <typename Sink>
+  void EmitSecondSegment(Sink&& sink, std::size_t* emitted) const {
+    auto split = base_->ListOf(target_list_);
+    sink.BeginList(target_list_);
+    for (std::size_t i = split.size() / 2; i < split.size(); ++i) {
+      sink.OnPair(target_list_, split[i]);
+      ++*emitted;
+    }
+    sink.EndList(target_list_);
+  }
+
+  const AdjacencyListStream* base_;
+  FaultSpec spec_;
+  mutable int next_pass_ = 0;
+
+  VertexId target_list_ = 0;      // list hosting the fault
+  std::size_t target_index_ = 0;  // index within that list
+  std::size_t truncate_after_ = 0;
+  std::size_t fault_position_ = 0;
+};
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_FAULT_INJECTION_H_

@@ -1,0 +1,239 @@
+#include "stream/validator.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace stream {
+
+namespace {
+
+// Order-sensitive fingerprint of a list's pair sequence: position is mixed
+// in, so permuting a list changes the fingerprint (with 64-bit collision
+// probability). Used for within-list replay checking in O(1) per list.
+std::uint64_t ExtendFingerprint(std::uint64_t fp, VertexId v,
+                                std::size_t index) {
+  return Mix128To64(fp, Mix128To64(v, static_cast<std::uint64_t>(index)));
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kSplitList: return "split-list";
+    case ViolationKind::kInterleavedList: return "interleaved-list";
+    case ViolationKind::kForeignPair: return "foreign-pair";
+    case ViolationKind::kDuplicatePair: return "duplicate-pair";
+    case ViolationKind::kMissingPair: return "missing-pair";
+    case ViolationKind::kTruncatedPass: return "truncated-pass";
+    case ViolationKind::kReplayDivergence: return "replay-divergence";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::string out = ViolationKindName(kind);
+  out += " at pass " + std::to_string(pass);
+  out += " pair " + std::to_string(position);
+  out += " (list " + std::to_string(list) + ")";
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+StreamValidator::StreamValidator(const Graph* graph) : graph_(graph) {
+  CYCLESTREAM_CHECK(graph != nullptr);
+  closed_.assign(graph_->num_vertices(), false);
+  first_pass_order_.reserve(graph_->num_vertices());
+  first_pass_fingerprints_.reserve(graph_->num_vertices());
+}
+
+void StreamValidator::Report(ViolationKind kind, VertexId list,
+                             std::string detail) {
+  if (violation_.has_value()) return;  // keep the first
+  // A provisional missing-pair is chronologically earlier than the current
+  // event, so it wins (unless the caller discarded it as a split first).
+  if (pending_missing_.has_value()) {
+    FlushPending();
+    return;
+  }
+  Violation v;
+  v.kind = kind;
+  v.pass = pass_;
+  v.position = position_;
+  v.list = list;
+  v.detail = std::move(detail);
+  violation_ = std::move(v);
+}
+
+void StreamValidator::FlushPending() {
+  if (!violation_.has_value() && pending_missing_.has_value()) {
+    violation_ = std::move(*pending_missing_);
+  }
+  pending_missing_.reset();
+}
+
+void StreamValidator::BeginPass(int pass) {
+  CYCLESTREAM_CHECK(!in_pass_);
+  CYCLESTREAM_CHECK_EQ(pass, pass_ + 1);  // consecutive, starting at 0
+  pass_ = pass;
+  in_pass_ = true;
+  position_ = 0;
+  list_open_ = false;
+  open_list_index_ = 0;
+  closed_.assign(graph_->num_vertices(), false);
+}
+
+void StreamValidator::BeginList(VertexId u) {
+  CYCLESTREAM_CHECK(in_pass_);
+  if (list_open_) {
+    Report(ViolationKind::kInterleavedList, u,
+           "list " + std::to_string(u) + " begins while list " +
+               std::to_string(open_list_) + " is still open");
+  }
+  if (static_cast<std::size_t>(u) >= graph_->num_vertices()) {
+    Report(ViolationKind::kForeignPair, u,
+           "list of unknown vertex " + std::to_string(u));
+  } else if (closed_[u]) {
+    // The short first segment of this list was stashed as a provisional
+    // missing-pair; the reopen proves the real fault is a split.
+    if (pending_missing_.has_value() && pending_missing_->list == u) {
+      pending_missing_.reset();
+    }
+    Report(ViolationKind::kSplitList, u,
+           "list " + std::to_string(u) +
+               " reopened after it ended (contiguity break)");
+  }
+  if (pass_ > 0 && ok()) {
+    if (open_list_index_ >= first_pass_order_.size() ||
+        first_pass_order_[open_list_index_] != u) {
+      const std::string expected =
+          open_list_index_ < first_pass_order_.size()
+              ? std::to_string(first_pass_order_[open_list_index_])
+              : "<end of pass>";
+      Report(ViolationKind::kReplayDivergence, u,
+             "pass " + std::to_string(pass_) + " streams list " +
+                 std::to_string(u) + " where pass 0 streamed " + expected);
+    }
+  }
+  list_open_ = true;
+  open_list_ = u;
+  pairs_in_list_ = 0;
+  list_fingerprint_ = 0;
+  seen_in_list_.clear();
+}
+
+void StreamValidator::OnPair(VertexId u, VertexId v) {
+  CYCLESTREAM_CHECK(in_pass_);
+  if (!list_open_ || u != open_list_) {
+    Report(ViolationKind::kInterleavedList, u,
+           "pair (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") delivered outside list " + std::to_string(u) +
+               " (contiguity break)");
+  } else if (static_cast<std::size_t>(u) >= graph_->num_vertices() ||
+             !graph_->HasEdge(u, v)) {
+    Report(ViolationKind::kForeignPair, u,
+           "pair (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") is not an edge of the graph");
+  } else if (!seen_in_list_.insert(v).second) {
+    Report(ViolationKind::kDuplicatePair, u,
+           "pair (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") delivered twice in one list");
+  }
+  list_fingerprint_ = ExtendFingerprint(list_fingerprint_, v, pairs_in_list_);
+  ++pairs_in_list_;
+  ++position_;
+}
+
+void StreamValidator::EndList(VertexId u) {
+  CYCLESTREAM_CHECK(in_pass_);
+  if (!list_open_ || u != open_list_) {
+    Report(ViolationKind::kInterleavedList, u,
+           "EndList(" + std::to_string(u) + ") without matching BeginList");
+    list_open_ = false;
+    return;
+  }
+  const bool known = static_cast<std::size_t>(u) < graph_->num_vertices();
+  if (known && !closed_[u] && pairs_in_list_ < graph_->degree(u) && ok() &&
+      !pending_missing_.has_value()) {
+    // Identify a missing neighbor for the diagnostic (O(deg) once, only on
+    // the already-failing path). Stashed, not reported: if this list reopens
+    // later in the pass the truth is a split, not a drop.
+    std::string missing;
+    for (VertexId w : graph_->neighbors(u)) {
+      if (!seen_in_list_.contains(w)) {
+        missing = std::to_string(w);
+        break;
+      }
+    }
+    Violation v;
+    v.kind = ViolationKind::kMissingPair;
+    v.pass = pass_;
+    v.position = position_;
+    v.list = u;
+    v.detail = "list " + std::to_string(u) + " ended with " +
+               std::to_string(pairs_in_list_) + " of " +
+               std::to_string(graph_->degree(u)) + " pairs (missing neighbor " +
+               missing + ")";
+    pending_missing_ = std::move(v);
+  }
+  if (pass_ == 0) {
+    first_pass_order_.push_back(u);
+    first_pass_fingerprints_.push_back(list_fingerprint_);
+  } else if (ok() && open_list_index_ < first_pass_fingerprints_.size() &&
+             first_pass_order_[open_list_index_] == u &&
+             first_pass_fingerprints_[open_list_index_] !=
+                 list_fingerprint_) {
+    Report(ViolationKind::kReplayDivergence, u,
+           "within-list order of list " + std::to_string(u) +
+               " differs from pass 0");
+  }
+  if (known) closed_[u] = true;
+  list_open_ = false;
+  ++open_list_index_;
+}
+
+void StreamValidator::EndPass(int pass) {
+  CYCLESTREAM_CHECK(in_pass_);
+  CYCLESTREAM_CHECK_EQ(pass, pass_);
+  FlushPending();  // a short list that never reopened really is a drop
+  if (list_open_) {
+    Report(ViolationKind::kTruncatedPass, open_list_,
+           "pass ended inside list " + std::to_string(open_list_));
+    list_open_ = false;
+  } else if (ok() && position_ < 2 * graph_->num_edges()) {
+    Report(ViolationKind::kTruncatedPass, 0,
+           "pass delivered " + std::to_string(position_) + " of " +
+               std::to_string(2 * graph_->num_edges()) + " pairs");
+  } else if (pass_ > 0 && ok() &&
+             open_list_index_ != first_pass_order_.size()) {
+    Report(ViolationKind::kReplayDivergence, 0,
+           "pass streamed " + std::to_string(open_list_index_) +
+               " lists where pass 0 streamed " +
+               std::to_string(first_pass_order_.size()));
+  }
+  if (pass_ == 0) first_pass_pairs_ = position_;
+  in_pass_ = false;
+}
+
+Status StreamValidator::ToStatus() const {
+  if (ok()) return Status::Ok();
+  const Violation& v = *violation_;
+  switch (v.kind) {
+    case ViolationKind::kMissingPair:
+    case ViolationKind::kTruncatedPass:
+      return Status::DataLoss(v.ToString());
+    case ViolationKind::kForeignPair:
+    case ViolationKind::kDuplicatePair:
+      return Status::InvalidArgument(v.ToString());
+    default:
+      return Status::FailedPrecondition(v.ToString());
+  }
+}
+
+}  // namespace stream
+}  // namespace cyclestream

@@ -1,0 +1,162 @@
+// Online validation of the adjacency-list model's contract.
+//
+// The model makes exactly one structural promise — every adjacency list is
+// contiguous — plus, for multi-pass algorithms, the replay promise that later
+// passes deliver the identical order. Every algorithm in Table 1 silently
+// assumes both. `StreamValidator` turns those assumptions into an executable
+// contract: it consumes the same BeginPass/BeginList/OnPair/EndList/EndPass
+// events an algorithm does, uses O(n) working space, and reports the *first*
+// violation together with its stream position (pass, pair index, list).
+//
+// Detected violation classes (see `stream/fault_injection.h` for the
+// matching injectors):
+//   - split / interleaved adjacency lists (contiguity break) — a short list
+//     that later reopens is classified as a split, not a missing pair,
+//   - pairs that are not edges of the underlying graph (foreign pairs),
+//   - duplicated pairs within a list,
+//   - dropped pairs — including a present forward copy whose reverse copy
+//     never appears (missing reverse edge),
+//   - truncated passes (stream ends mid-list or short of 2m pairs),
+//   - replay divergence between passes (list order or within-list order).
+//
+// Detection is online: foreign/duplicate pairs are flagged at the offending
+// pair, dropped pairs at the end of the short list, truncation at end of
+// pass, divergence at the first differing list boundary. Within-list replay
+// divergence is caught by per-list order fingerprints (O(n) total), so no
+// pass is ever buffered.
+
+#ifndef CYCLESTREAM_STREAM_VALIDATOR_H_
+#define CYCLESTREAM_STREAM_VALIDATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// Classes of model-contract violations a stream can exhibit.
+enum class ViolationKind {
+  kSplitList,        // a list begins again after it already ended
+  kInterleavedList,  // a list begins while another is still open
+  kForeignPair,      // pair (u, v) where {u, v} is not an edge / u unknown
+  kDuplicatePair,    // the same pair delivered twice in one list
+  kMissingPair,      // a list ended before delivering its full degree
+  kTruncatedPass,    // pass ended mid-list or short of the full stream
+  kReplayDivergence, // a later pass diverged from the first pass's order
+};
+
+/// Name of a violation kind ("split-list", ...). Stable, test-friendly.
+const char* ViolationKindName(ViolationKind kind);
+
+/// The first contract violation observed in a stream.
+struct Violation {
+  ViolationKind kind;
+  int pass = 0;               // pass in which the violation surfaced
+  std::size_t position = 0;   // pairs delivered before the violation (0-based)
+  VertexId list = 0;          // adjacency list being streamed (if any)
+  std::string detail;         // human-readable specifics
+
+  /// "replay-divergence at pass 1 pair 17 (list 4): ..." — the message used
+  /// for the Status produced by `StreamValidator::ToStatus()`.
+  std::string ToString() const;
+};
+
+/// Sink that checks a stream of adjacency-list events against the model
+/// contract for `graph`. Feed it events (directly, via
+/// `AdjacencyListStream::ReplayPass`, or through `RunPassesChecked`), then
+/// inspect `ok()` / `violation()` / `ToStatus()`. Only the first violation
+/// is recorded; subsequent events are still consumed cheaply so a driver
+/// can finish its replay loop without special-casing.
+class StreamValidator {
+ public:
+  /// Validates against `graph` (the ground truth for pair membership and
+  /// degrees). `graph` must outlive the validator.
+  explicit StreamValidator(const Graph* graph);
+
+  /// Begins pass `pass` (0-based, consecutive). Must be called before the
+  /// pass's list events; `EndPass` must close it.
+  void BeginPass(int pass);
+
+  void BeginList(VertexId u);
+  void OnPair(VertexId u, VertexId v);
+  void EndList(VertexId u);
+
+  /// Ends the current pass, running end-of-pass checks (truncation).
+  void EndPass(int pass);
+
+  /// True while no violation has been observed.
+  bool ok() const { return !violation_.has_value(); }
+
+  /// The first violation, if any.
+  const std::optional<Violation>& violation() const { return violation_; }
+
+  /// OK, or a Status describing the first violation (kFailedPrecondition
+  /// for contiguity/replay breaks, kDataLoss for missing pairs/truncation,
+  /// kInvalidArgument for foreign/duplicate pairs).
+  Status ToStatus() const;
+
+ private:
+  void Report(ViolationKind kind, VertexId list, std::string detail);
+  void FlushPending();
+
+  const Graph* graph_;
+  std::optional<Violation> violation_;
+  // A short list is only *provisionally* a missing pair: if the same list
+  // reopens later in the pass, the truth is a split list. The provisional
+  // violation is promoted at the next unrelated violation or at EndPass,
+  // keeping its original (earlier) position.
+  std::optional<Violation> pending_missing_;
+
+  int pass_ = -1;
+  bool in_pass_ = false;
+  std::size_t position_ = 0;        // pairs delivered this pass
+  bool list_open_ = false;
+  VertexId open_list_ = 0;
+  std::size_t open_list_index_ = 0;  // lists begun this pass
+  std::size_t pairs_in_list_ = 0;
+  std::uint64_t list_fingerprint_ = 0;
+  std::unordered_set<VertexId> seen_in_list_;  // O(max degree) <= O(n)
+
+  std::vector<bool> closed_;  // lists already completed this pass
+
+  // Pass-0 record for replay checking: list order and one order-sensitive
+  // fingerprint per list. O(n) total.
+  std::vector<VertexId> first_pass_order_;
+  std::vector<std::uint64_t> first_pass_fingerprints_;
+  std::size_t first_pass_pairs_ = 0;
+};
+
+/// Convenience: replays `passes` passes of `stream` through a fresh
+/// validator and returns the resulting Status. Works for any stream with
+/// `graph()` and `ReplayPass(sink)` (AdjacencyListStream,
+/// FaultInjectingStream, ...).
+template <typename StreamT>
+Status ValidateStream(const StreamT& stream, int passes = 1) {
+  if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
+  StreamValidator validator(&stream.graph());
+  struct Forward {
+    StreamValidator* v;
+    void BeginList(VertexId u) { v->BeginList(u); }
+    void OnPair(VertexId u, VertexId w) { v->OnPair(u, w); }
+    void EndList(VertexId u) { v->EndList(u); }
+  } sink{&validator};
+  for (int pass = 0; pass < passes; ++pass) {
+    validator.BeginPass(pass);
+    stream.ReplayPass(sink);
+    validator.EndPass(pass);
+  }
+  return validator.ToStatus();
+}
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_VALIDATOR_H_

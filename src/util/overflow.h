@@ -1,0 +1,45 @@
+// Overflow-safe integer accumulation.
+//
+// Cycle counts are polynomial in degrees: C(d, 2) wedge terms, C(M, 2)
+// wedge-pair terms, sums of both over all vertices. With 32-bit vertex ids a
+// degree can reach 2^32 - 1, at which point the naive `d * (d - 1) / 2`
+// wraps in 64 bits before the halving. These helpers widen through
+// `unsigned __int128` and CHECK that the *result* fits, so counters are
+// either exact or loudly wrong — never silently truncated.
+
+#ifndef CYCLESTREAM_UTIL_OVERFLOW_H_
+#define CYCLESTREAM_UTIL_OVERFLOW_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// C(n, 2) = n*(n-1)/2 computed without intermediate overflow. Exact for
+/// every n whose result fits in 64 bits (n up to ~6.07e9, i.e. every
+/// 32-bit-id degree).
+inline std::uint64_t Choose2(std::uint64_t n) {
+  unsigned __int128 wide =
+      (static_cast<unsigned __int128>(n) * (n - (n > 0 ? 1 : 0))) / 2;
+  CYCLESTREAM_CHECK(wide <= std::numeric_limits<std::uint64_t>::max());
+  return static_cast<std::uint64_t>(wide);
+}
+
+/// a + b with a CHECK against 64-bit wraparound.
+inline std::uint64_t CheckedAdd(std::uint64_t a, std::uint64_t b) {
+  CYCLESTREAM_CHECK(a <= std::numeric_limits<std::uint64_t>::max() - b);
+  return a + b;
+}
+
+/// a * b with a CHECK against 64-bit wraparound.
+inline std::uint64_t CheckedMul(std::uint64_t a, std::uint64_t b) {
+  unsigned __int128 wide = static_cast<unsigned __int128>(a) * b;
+  CYCLESTREAM_CHECK(wide <= std::numeric_limits<std::uint64_t>::max());
+  return static_cast<std::uint64_t>(wide);
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_OVERFLOW_H_

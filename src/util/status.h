@@ -1,0 +1,157 @@
+// Recoverable error reporting for cyclestream.
+//
+// `Status` / `StatusOr<T>` in the spirit of the database codebases this
+// library is modeled on (Arrow, RocksDB): the complement of `util/check.h`.
+// CHECK failures mean a programming error — they abort. A non-OK `Status`
+// means *bad input*: a malformed edge-list file, a stream that violates the
+// adjacency-list model's contract, a truncated pass. Those are conditions a
+// caller can detect, report, and recover from, so they travel through return
+// values rather than assertions. No exceptions cross the public API.
+
+#ifndef CYCLESTREAM_UTIL_STATUS_H_
+#define CYCLESTREAM_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Canonical error categories (a deliberately small subset of the
+/// Arrow/absl vocabulary — only codes this library actually produces).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // malformed input (bad file, bad parameter)
+  kNotFound,            // missing file / unknown name
+  kDataLoss,            // stream truncated or elements missing
+  kFailedPrecondition,  // model contract violated (contiguity, replay)
+  kOutOfRange,          // value outside the representable range
+  kInternal,            // should-not-happen, but recoverable
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Success-or-error result of an operation. Cheap to copy when OK (no
+/// allocation); carries a message when not.
+class Status {
+ public:
+  /// Default status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CYCLESTREAM_CHECK(code != StatusCode::kOk || message_.empty());
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "InvalidArgument: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A `T` or the `Status` explaining why there is none. Accessing the value
+/// of a non-OK StatusOr is a programming error (CHECK), mirroring
+/// `std::optional` plus a reason.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status; `status` must not be OK (an OK status
+  /// with no value is meaningless).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    CYCLESTREAM_CHECK(!status_.ok());
+  }
+
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CYCLESTREAM_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CYCLESTREAM_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CYCLESTREAM_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` if this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_STATUS_H_

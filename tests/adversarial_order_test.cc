@@ -27,6 +27,7 @@
 #include "gen/planted.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
+#include "stream/validator.h"
 
 namespace cyclestream {
 namespace {
@@ -165,6 +166,39 @@ TEST_P(AdversarialOrderTest, FourCycleCountersExactUnderAnyOrder) {
       EXPECT_DOUBLE_EQ(counter.Estimate(), t)
           << "one-pass " << OrderName(o) << " m=" << g.num_edges();
     }
+  }
+}
+
+TEST_P(AdversarialOrderTest, CleanStreamsValidateUnderAnyOrder) {
+  // Adversarial orders are legal orders: the validator must accept every
+  // crafted ordering (including multi-pass replays) without a false alarm.
+  const Order o = GetParam();
+  for (const Graph& g : Zoo()) {
+    stream::AdjacencyListStream s(&g, MakeOrder(g, o), 5);
+    Status status = stream::ValidateStream(s, 3);
+    EXPECT_TRUE(status.ok())
+        << OrderName(o) << " m=" << g.num_edges() << ": " << status.ToString();
+  }
+}
+
+TEST_P(AdversarialOrderTest, CheckedDriverMatchesTrustedDriverUnderAnyOrder) {
+  // RunPassesChecked adds validation, not behaviour: on legal streams the
+  // estimate and report must match the trusted driver exactly.
+  const Order o = GetParam();
+  for (const Graph& g : Zoo()) {
+    if (g.num_edges() == 0) continue;
+    stream::AdjacencyListStream s(&g, MakeOrder(g, o), 5);
+    core::TwoPassTriangleOptions options;
+    options.sample_size = 8 * g.num_edges() + 8;
+    options.seed = 7;
+    core::TwoPassTriangleCounter trusted(options);
+    core::TwoPassTriangleCounter checked(options);
+    stream::RunReport report = stream::RunPasses(s, &trusted);
+    auto checked_report = stream::RunPassesChecked(s, &checked);
+    ASSERT_TRUE(checked_report.ok()) << checked_report.status().ToString();
+    EXPECT_DOUBLE_EQ(checked.Estimate(), trusted.Estimate()) << OrderName(o);
+    EXPECT_EQ(checked_report->pairs_processed, report.pairs_processed);
+    EXPECT_EQ(checked_report->peak_space_bytes, report.peak_space_bytes);
   }
 }
 

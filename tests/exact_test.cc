@@ -88,6 +88,18 @@ TEST(FourCycles, KnownGraphs) {
   EXPECT_EQ(CountFourCycles(Graph()), 0u);
 }
 
+TEST(FourCycles, DenseGraphCountsExceedThirtyTwoBits) {
+  // Overflow regression: K_450 has 3*C(450,4) ~ 5.06e9 four-cycles, past
+  // 2^32. All accumulation paths (wedge C(M,2) products, running sums)
+  // must stay exact in 64 bits instead of truncating.
+  Graph g = gen::Complete(450);
+  const std::uint64_t expected = 3ULL * (450ULL * 449 * 448 * 447) / 24;
+  EXPECT_GT(expected, (1ULL << 32));
+  EXPECT_EQ(CountFourCycles(g), expected);
+  // Wedge count of K_450: 450 * C(449, 2).
+  EXPECT_EQ(g.WedgeCount(), 450ULL * (449 * 448 / 2));
+}
+
 TEST(FourCycles, MatchesDfsCounterOnRandomGraphs) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     Graph g = gen::ErdosRenyiGnp(50, 0.15, seed);

@@ -59,16 +59,22 @@ TEST(EdgeList, DropsSelfLoopsAndDuplicates) {
 }
 
 TEST(EdgeList, MissingFileFails) {
-  EXPECT_FALSE(ReadEdgeList("/nonexistent/nope.txt").has_value());
+  auto g = ReadEdgeList("/nonexistent/nope.txt");
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
 }
 
-TEST(EdgeList, MalformedLineFails) {
+TEST(EdgeList, MalformedLineFailsWithLineNumber) {
   std::string path = TempPath("bad.txt");
   {
     std::ofstream out(path);
     out << "0 1\nhello world\n";
   }
-  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  auto g = ReadEdgeList(path);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(path + ":2:"), std::string::npos)
+      << g.status().ToString();
   std::remove(path.c_str());
 }
 
@@ -78,8 +84,68 @@ TEST(EdgeList, NegativeIdsFail) {
     std::ofstream out(path);
     out << "-1 2\n";
   }
-  EXPECT_FALSE(ReadEdgeList(path).has_value());
+  auto g = ReadEdgeList(path);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_NE(g.status().message().find("negative"), std::string::npos)
+      << g.status().ToString();
   std::remove(path.c_str());
+}
+
+TEST(EdgeList, TrailingGarbageFails) {
+  std::string path = TempPath("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 2 weight=3\n";
+  }
+  auto g = ReadEdgeList(path);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(path + ":2:"), std::string::npos);
+  EXPECT_NE(g.status().message().find("trailing garbage"), std::string::npos)
+      << g.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, OverflowingIdsFail) {
+  std::string path = TempPath("overflow.txt");
+  for (const char* id : {"4294967296", "99999999999999999999"}) {
+    {
+      std::ofstream out(path);
+      out << "0 " << id << "\n";
+    }
+    auto g = ReadEdgeList(path);
+    EXPECT_FALSE(g.has_value()) << id;
+    EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange) << id;
+    EXPECT_NE(g.status().message().find(path + ":1:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, MissingSecondFieldFails) {
+  std::string path = TempPath("short.txt");
+  {
+    std::ofstream out(path);
+    out << "7\n";
+  }
+  auto g = ReadEdgeList(path);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_NE(g.status().message().find("expected two vertex ids"),
+            std::string::npos)
+      << g.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, OptionalShimMatchesStatusOr) {
+  std::string good = TempPath("shim_good.txt");
+  {
+    std::ofstream out(good);
+    out << "0 1\n1 2\n";
+  }
+  auto g = TryReadEdgeList(good);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_FALSE(TryReadEdgeList("/nonexistent/nope.txt").has_value());
+  std::remove(good.c_str());
 }
 
 TEST(Datasets, RegistryListsAndResolves) {

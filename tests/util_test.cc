@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "util/hashing.h"
+#include "util/overflow.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace {
@@ -126,6 +128,69 @@ TEST(SeededHash, DifferentSeedsGiveDifferentFunctions) {
 TEST(SeededHash, StablePerSeed) {
   SeededHash h1(99), h2(99);
   for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+}
+
+TEST(Status, OkAndErrorBasics) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad line");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.message(), "bad line");
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad line");
+  EXPECT_EQ(err, Status::InvalidArgument("bad line"));
+  EXPECT_FALSE(err == Status::DataLoss("bad line"));
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+}
+
+TEST(StatusOr, HoldsValueOrError) {
+  StatusOr<int> value(7);
+  EXPECT_TRUE(value.ok());
+  EXPECT_TRUE(static_cast<bool>(value));
+  EXPECT_EQ(*value, 7);
+  EXPECT_EQ(value.value_or(-1), 7);
+  EXPECT_TRUE(value.status().ok());
+
+  StatusOr<int> error(Status::NotFound("nope"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyValueMovesOut) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1, 2, 3});
+  std::vector<int> out = *std::move(v);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Overflow, Choose2MatchesSmallValues) {
+  EXPECT_EQ(Choose2(0), 0u);
+  EXPECT_EQ(Choose2(1), 0u);
+  EXPECT_EQ(Choose2(2), 1u);
+  EXPECT_EQ(Choose2(5), 10u);
+  EXPECT_EQ(Choose2(1000), 499500u);
+}
+
+TEST(Overflow, Choose2SurvivesCountsWhoseProductWraps) {
+  // n * (n - 1) wraps uint64 for n > 2^32; the widened form must not.
+  const std::uint64_t n = (1ULL << 32) + 1;
+  EXPECT_EQ(Choose2(n), (n / 2) * n);  // C(2^32+1, 2) = 2^31 * (2^32+1)
+  // The naive expression demonstrably differs: its product wrapped.
+  EXPECT_NE(Choose2(n), n * (n - 1) / 2);
+  EXPECT_EQ(Choose2(1ULL << 32), (1ULL << 63) - (1ULL << 31));
+}
+
+TEST(Overflow, CheckedArithmeticPassesInRange) {
+  EXPECT_EQ(CheckedAdd(1ULL << 62, 1ULL << 62), 1ULL << 63);
+  EXPECT_EQ(CheckedMul(1ULL << 31, 1ULL << 31), 1ULL << 62);
 }
 
 TEST(SeededHash, HashOutputsLookUniform) {
