@@ -24,18 +24,17 @@ namespace {
 
 std::vector<double> Estimates(const Graph& g, std::size_t sample, bool rule,
                               int trials, std::uint64_t seed_base) {
-  std::vector<double> out;
   stream::AdjacencyListStream s(&g, 55337);
-  for (int t = 0; t < trials; ++t) {
-    core::TwoPassTriangleOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    options.use_lightest_edge_rule = rule;
-    core::TwoPassTriangleCounter counter(options);
-    stream::RunPasses(s, &counter);
-    out.push_back(counter.Estimate());
-  }
-  return out;
+  return runtime::TrialRunner::Estimates(bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::TwoPassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        options.use_lightest_edge_rule = rule;
+        core::TwoPassTriangleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
 }
 
 }  // namespace
@@ -43,12 +42,12 @@ std::vector<double> Estimates(const Graph& g, std::size_t sample, bool rule,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t kT = full ? 8000 : 3000;
-  const int kTrials = full ? 80 : 40;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t kT = opts.full ? 8000 : 3000;
+  const int kTrials = opts.full ? 80 : 40;
 
   bench::PrintHeader(
-      "Ablation: lightest-edge rule of Theorem 3.7 (Section 2.1)",
+      opts, "Ablation: lightest-edge rule of Theorem 3.7 (Section 2.1)",
       "without the rule, heavy edges make the estimator variance "
       "Theta(T_e^2)-large; the rule restores concentration");
 
@@ -64,24 +63,32 @@ int main(int argc, char** argv) {
   families.push_back({"heavy-edge", gen::PlantedHeavyEdgeTriangles(kT, bg)});
 
   const double truth = static_cast<double>(kT);
-  std::printf("T = %zu per family, %d trials, sample m' = m/16\n\n", kT,
-              kTrials);
-  std::printf("%14s %8s | %10s %10s | %10s %10s | %9s\n", "family", "m",
-              "rel-std", "med-err", "rel-std", "med-err", "std ratio");
-  std::printf("%14s %8s | %21s | %21s |\n", "", "", "   with rule (Thm 3.7)",
-              "   without rule");
+  bench::Note(opts, "T = %zu per family, %d trials, sample m' = m/16\n\n",
+              kT, kTrials);
+  bench::Note(opts,
+              "column pairs: with rule (Thm 3.7) | without rule\n");
+  bench::Table table(opts, {{"family", 14, bench::kColStr},
+                            {"m", 8, bench::kColInt},
+                            {"rule rel-std", 13, 3},
+                            {"rule med-err", 13, 3},
+                            {"|", 1, bench::kColStr},
+                            {"bare rel-std", 13, 3},
+                            {"bare med-err", 13, 3},
+                            {"std ratio", 10, 1}});
+  table.PrintHeader();
   for (const Family& f : families) {
     std::size_t sample = f.graph.num_edges() / 16;
     auto with_rule = Estimates(f.graph, sample, true, kTrials, 100);
     auto without = Estimates(f.graph, sample, false, kTrials, 100);
     bench::TrialStats sw = bench::Summarize(with_rule, truth, 0.25);
     bench::TrialStats so = bench::Summarize(without, truth, 0.25);
-    std::printf("%14s %8zu | %10.3f %10.3f | %10.3f %10.3f | %9.1f\n",
-                f.name, f.graph.num_edges(), sw.stddev / truth,
-                sw.median_rel_error, so.stddev / truth, so.median_rel_error,
-                so.stddev / std::max(sw.stddev, 1e-9));
+    table.PrintRow({f.name, f.graph.num_edges(), sw.stddev / truth,
+                    sw.median_rel_error, "|", so.stddev / truth,
+                    so.median_rel_error,
+                    so.stddev / std::max(sw.stddev, 1e-9)});
   }
-  std::printf("\nexpected shape: 'std ratio' <= 1 on the light families "
+  bench::Note(opts,
+              "\nexpected shape: 'std ratio' <= 1 on the light families "
               "(the rule's pair-subsampling costs a little there) and >> 1 "
               "on heavy-edge — the rule is what makes (1+eps) possible at "
               "m/T^{2/3} on adversarial inputs.\n");

@@ -1,21 +1,40 @@
 // Shared infrastructure for the Table 1 / Figure 1 reproduction benches.
 //
 // Each bench binary prints a deterministic, paper-style table (fixed seeds)
-// followed by a PASS/FAIL-style shape verdict where applicable. `--full`
-// enlarges the sweeps; default sizes keep every binary in the tens of
-// seconds on a laptop core.
+// followed by a PASS/FAIL-style shape verdict where applicable. All binaries
+// accept:
+//   --full        enlarge the sweeps (default sizes keep every binary in the
+//                 tens of seconds on a laptop core)
+//   --threads N   fan trials out over N worker threads (default: all
+//                 hardware threads). Results are bit-identical for every N:
+//                 trial seeds are derived per trial index
+//                 (runtime::TrialSeed), never from scheduling.
+//   --csv         machine-readable output: tables become CSV (one header row
+//                 + data rows), prose becomes '#'-prefixed comments.
+//
+// Trial batches run through the shared runtime::TrialRunner returned by
+// bench::Runner(); call bench::ParseOptions first so --threads takes effect.
 
 #ifndef CYCLESTREAM_BENCH_BENCH_UTIL_H_
 #define CYCLESTREAM_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "core/median.h"
+#include "runtime/thread_pool.h"
+#include "runtime/trial_runner.h"
 
 namespace cyclestream {
 namespace bench {
@@ -27,6 +46,78 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Value of `--flag N`; `fallback` when absent or malformed.
+inline int FlagValue(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      int value = std::atoi(argv[i + 1]);
+      return value > 0 ? value : fallback;
+    }
+  }
+  return fallback;
+}
+
+/// Flags shared by every bench binary.
+struct BenchOptions {
+  bool full = false;
+  bool csv = false;
+  int threads = 1;  // resolved worker count (>= 1)
+};
+
+namespace internal {
+
+inline std::unique_ptr<runtime::TrialRunner>& RunnerSlot() {
+  static std::unique_ptr<runtime::TrialRunner> runner;
+  return runner;
+}
+
+struct RunInfo {
+  std::chrono::steady_clock::time_point start;
+  int threads = 1;
+};
+
+inline RunInfo& GlobalRunInfo() {
+  static RunInfo info;
+  return info;
+}
+
+// Wall time goes to stderr so stdout (the table / CSV) stays bit-identical
+// across thread counts.
+inline void PrintElapsedAtExit() {
+  const RunInfo& info = GlobalRunInfo();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - info.start)
+                    .count();
+  std::fprintf(stderr, "[bench] threads=%d wall=%.2fs\n", info.threads, secs);
+}
+
+}  // namespace internal
+
+/// Parses the shared flags and configures the shared trial runner.
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions opts;
+  opts.full = HasFlag(argc, argv, "--full");
+  opts.csv = HasFlag(argc, argv, "--csv");
+  opts.threads =
+      FlagValue(argc, argv, "--threads", runtime::HardwareThreads());
+  internal::RunnerSlot() =
+      std::make_unique<runtime::TrialRunner>(opts.threads);
+  internal::GlobalRunInfo() = {std::chrono::steady_clock::now(),
+                               opts.threads};
+  std::atexit(internal::PrintElapsedAtExit);
+  return opts;
+}
+
+/// The shared trial runner (created by ParseOptions; defaults to all
+/// hardware threads if ParseOptions was never called).
+inline runtime::TrialRunner& Runner() {
+  if (internal::RunnerSlot() == nullptr) {
+    internal::RunnerSlot() =
+        std::make_unique<runtime::TrialRunner>(runtime::HardwareThreads());
+  }
+  return *internal::RunnerSlot();
+}
+
 struct TrialStats {
   double mean = 0.0;
   double median = 0.0;
@@ -35,6 +126,8 @@ struct TrialStats {
   double frac_within = 0.0;       // |est - truth| <= tol * truth
 };
 
+/// Summary statistics of a trial batch. Medians average the middle pair on
+/// even sizes (matching core::Median); an empty batch yields all zeros.
 inline TrialStats Summarize(std::vector<double> estimates, double truth,
                             double tolerance) {
   TrialStats s;
@@ -44,9 +137,7 @@ inline TrialStats Summarize(std::vector<double> estimates, double truth,
   s.mean /= n;
   for (double e : estimates) s.stddev += (e - s.mean) * (e - s.mean);
   s.stddev = estimates.size() > 1 ? std::sqrt(s.stddev / (n - 1)) : 0.0;
-  std::vector<double> sorted = estimates;
-  std::sort(sorted.begin(), sorted.end());
-  s.median = sorted[sorted.size() / 2];
+  s.median = core::Median(estimates);
   if (truth > 0) {
     std::vector<double> rel;
     int within = 0;
@@ -54,8 +145,7 @@ inline TrialStats Summarize(std::vector<double> estimates, double truth,
       rel.push_back(std::abs(e - truth) / truth);
       within += std::abs(e - truth) <= tolerance * truth;
     }
-    std::sort(rel.begin(), rel.end());
-    s.median_rel_error = rel[rel.size() / 2];
+    s.median_rel_error = core::Median(std::move(rel));
     s.frac_within = within / n;
   }
   return s;
@@ -88,12 +178,146 @@ inline std::string FormatBytes(std::size_t bytes) {
   return buf;
 }
 
-inline void PrintHeader(const char* title, const char* claim) {
-  std::printf("==============================================================================\n");
-  std::printf("%s\n", title);
-  std::printf("paper claim: %s\n", claim);
-  std::printf("==============================================================================\n");
+/// printf-style prose line. In CSV mode every line is prefixed with "# " so
+/// the output stays machine-readable.
+inline void Note(const BenchOptions& opts, const char* fmt, ...) {
+  char buf[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (!opts.csv) {
+    std::fputs(buf, stdout);
+    return;
+  }
+  const char* line = buf;
+  while (*line != '\0') {
+    const char* newline = std::strchr(line, '\n');
+    std::size_t len = newline ? static_cast<std::size_t>(newline - line)
+                              : std::strlen(line);
+    if (len > 0) std::printf("# %.*s", static_cast<int>(len), line);
+    std::printf("\n");
+    if (newline == nullptr) break;
+    line = newline + 1;
+  }
 }
+
+inline void PrintHeader(const BenchOptions& opts, const char* title,
+                        const char* claim) {
+  const char* prefix = opts.csv ? "# " : "";
+  if (!opts.csv) {
+    std::printf("==========================================================="
+                "===================\n");
+  }
+  std::printf("%s%s\n", prefix, title);
+  std::printf("%spaper claim: %s\n", prefix, claim);
+  if (!opts.csv) {
+    std::printf("==========================================================="
+                "===================\n");
+  }
+}
+
+/// Column kinds for Table: non-negative values are fixed-point precisions
+/// for doubles; kColInt formats integers; kColStr strings.
+constexpr int kColInt = -1;
+constexpr int kColStr = -2;
+
+struct Column {
+  const char* name;
+  int width;      // table-mode cell width (right-aligned)
+  int precision;  // >= 0, kColInt, or kColStr
+};
+
+/// One table cell; implicit from the value types the benches use.
+class Cell {
+ public:
+  Cell(double v) : num_(v), kind_(kNum) {}                       // NOLINT
+  Cell(int v) : num_(v), int_(static_cast<unsigned long long>(v)),
+                kind_(kInt) {}                                   // NOLINT
+  Cell(std::size_t v) : num_(static_cast<double>(v)), int_(v),
+                        kind_(kInt) {}                           // NOLINT
+  Cell(unsigned long long v) : num_(static_cast<double>(v)), int_(v),
+                               kind_(kInt) {}                    // NOLINT
+  Cell(const char* s) : str_(s), kind_(kStr) {}                  // NOLINT
+  Cell(const std::string& s) : str_(s), kind_(kStr) {}           // NOLINT
+
+  std::string Format(const Column& column) const {
+    char buf[64];
+    if (column.precision == kColStr) return str_;
+    if (column.precision == kColInt) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    kind_ == kNum ? static_cast<unsigned long long>(num_)
+                                  : int_);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.*f", column.precision, num_);
+    }
+    return buf;
+  }
+
+ private:
+  double num_ = 0.0;
+  unsigned long long int_ = 0;
+  std::string str_;
+  enum Kind { kNum, kInt, kStr } kind_;
+};
+
+/// A paper-style aligned table that degrades to CSV under --csv. The
+/// printed values are identical in both modes (same precision), so CSV rows
+/// are exactly the table rows, comma-separated.
+class Table {
+ public:
+  Table(const BenchOptions& opts, std::vector<Column> columns)
+      : csv_(opts.csv), columns_(std::move(columns)) {}
+
+  std::string FormatHeader() const {
+    std::string out;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (csv_) {
+        if (i > 0) out += ',';
+        out += columns_[i].name;
+      } else {
+        if (i > 0) out += ' ';
+        out += Pad(columns_[i].name, columns_[i].width);
+      }
+    }
+    return out;
+  }
+
+  std::string FormatRow(std::initializer_list<Cell> cells) const {
+    std::string out;
+    std::size_t i = 0;
+    for (const Cell& cell : cells) {
+      const Column& column = columns_[std::min(i, columns_.size() - 1)];
+      std::string text = cell.Format(column);
+      if (csv_) {
+        if (i > 0) out += ',';
+        out += text;
+      } else {
+        if (i > 0) out += ' ';
+        out += Pad(text, column.width);
+      }
+      ++i;
+    }
+    return out;
+  }
+
+  void PrintHeader() const { std::printf("%s\n", FormatHeader().c_str()); }
+
+  void PrintRow(std::initializer_list<Cell> cells) const {
+    std::printf("%s\n", FormatRow(cells).c_str());
+  }
+
+ private:
+  static std::string Pad(std::string text, int width) {
+    while (static_cast<int>(text.size()) < width) {
+      text.insert(text.begin(), ' ');
+    }
+    return text;
+  }
+
+  bool csv_;
+  std::vector<Column> columns_;
+};
 
 /// Fits the slope of log(y) against log(x) (least squares) — used to verify
 /// scaling exponents ("the shape") against the paper's predictions.

@@ -26,32 +26,34 @@ struct SweepPoint {
   std::size_t max_message = 0;
 };
 
-SweepPoint Measure(std::size_t r, std::size_t k, std::size_t sample,
-                   int instances, int trials_per_instance) {
-  int correct = 0, total = 0;
-  SweepPoint point;
-  for (int inst = 0; inst < instances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto pj = lowerbound::PointerJumpInstance::Random(r, answer, 97 + inst);
-      lowerbound::Gadget gadget =
-          lowerbound::BuildPointerJumpingGadget(pj, k);
-      const double threshold = static_cast<double>(k) * k / 2.0;
-      for (int t = 0; t < trials_per_instance; ++t) {
+// Gadgets are built once per (instance, answer) and shared read-only across
+// the trial fan-out; each trial derives its counter and protocol seeds from
+// its TrialRunner seed, so results are independent of the thread count.
+SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
+                   double threshold, std::size_t sample,
+                   int trials_per_gadget, std::uint64_t seed_base) {
+  const std::size_t total = gadgets.size() * trials_per_gadget;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget =
+            gadgets[index / trials_per_gadget];
         core::OnePassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = 1000 * inst + 10 * t + answer;
+        options.seed = seed;
         core::OnePassTriangleCounter counter(options);
-        lowerbound::ProtocolRun run =
-            lowerbound::RunProtocol(gadget, &counter, 7 + t);
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
         bool guess = counter.Estimate() >= threshold;
-        correct += (guess == answer);
-        ++total;
-        point.max_message =
-            std::max(point.max_message, run.max_message_bytes);
-      }
-    }
-  }
-  point.accuracy = static_cast<double>(correct) / total;
+        runtime::TrialResult r;
+        r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        return r;
+      });
+  SweepPoint point;
+  double correct = 0;
+  for (const runtime::TrialResult& r : results) correct += r.estimate;
+  point.accuracy = correct / static_cast<double>(total);
+  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
   return point;
 }
 
@@ -60,36 +62,50 @@ SweepPoint Measure(std::size_t r, std::size_t k, std::size_t sample,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t r = full ? 600 : 300;
-  const std::size_t k = full ? 56 : 40;  // T = k^2
-  const int kInstances = full ? 6 : 4;
-  const int kTrials = full ? 8 : 5;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t r = opts.full ? 600 : 300;
+  const std::size_t k = opts.full ? 56 : 40;  // T = k^2
+  const int kInstances = opts.full ? 6 : 4;
+  const int kTrials = opts.full ? 8 : 5;
 
   bench::PrintHeader(
-      "Figure 1a / Theorem 5.1: one-pass triangle counting vs 3-PJ",
+      opts, "Figure 1a / Theorem 5.1: one-pass triangle counting vs 3-PJ",
       "one-pass distinguishing 0 vs T triangles needs Omega(f_pj(m/sqrt(T))) "
       "space; conjectured Omega(m/sqrt(T))");
 
-  // Report the gadget's dimensions from a representative instance.
-  auto pj = lowerbound::PointerJumpInstance::Random(r, true, 1);
-  lowerbound::Gadget probe = lowerbound::BuildPointerJumpingGadget(pj, k);
+  std::vector<lowerbound::Gadget> gadgets;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto pj = lowerbound::PointerJumpInstance::Random(r, answer, 97 + inst);
+      gadgets.push_back(lowerbound::BuildPointerJumpingGadget(pj, k));
+    }
+  }
+  // gadgets[1] is the first answer=true instance; answer=false gadgets
+  // promise 0 cycles, so probe the true one for T.
+  const lowerbound::Gadget& probe = gadgets[1];
   const double m = static_cast<double>(probe.graph.num_edges());
   const double t_cycles = static_cast<double>(probe.promised_cycles);
   const double threshold = m / std::sqrt(t_cycles);
-  std::printf("gadget: r=%zu k=%zu -> m=%zu, T=k^2=%.0f, m/sqrt(T)=%.0f\n\n",
+  const double decision = static_cast<double>(k) * k / 2.0;
+  bench::Note(opts,
+              "gadget: r=%zu k=%zu -> m=%zu, T=k^2=%.0f, m/sqrt(T)=%.0f\n\n",
               r, k, probe.graph.num_edges(), t_cycles, threshold);
 
-  std::printf("%12s %12s %10s %14s\n", "m'", "m'/(m/sqrtT)", "accuracy",
-              "max message");
+  bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                            {"m'/(m/sqrtT)", 12, 2},
+                            {"accuracy", 10, 2},
+                            {"max message", 14, bench::kColStr}});
+  table.PrintHeader();
   for (double factor : {0.25, 1.0, 4.0, 16.0, 64.0}) {
     std::size_t sample = std::max<std::size_t>(
         2, static_cast<std::size_t>(factor * threshold));
-    SweepPoint pt = Measure(r, k, sample, kInstances, kTrials);
-    std::printf("%12zu %12.2f %10.2f %14s\n", sample, factor, pt.accuracy,
-                bench::FormatBytes(pt.max_message).c_str());
+    SweepPoint pt = Measure(gadgets, decision, sample, kTrials,
+                            500 + static_cast<std::uint64_t>(factor * 16));
+    table.PrintRow({sample, factor, pt.accuracy,
+                    bench::FormatBytes(pt.max_message)});
   }
-  std::printf("\nexpected shape: accuracy ~0.5 at small m' (the message is "
+  bench::Note(opts,
+              "\nexpected shape: accuracy ~0.5 at small m' (the message is "
               "too small to carry the pointer), rising toward 1.0 once m' "
               "exceeds m/sqrt(T) by a constant factor.\n");
   return 0;

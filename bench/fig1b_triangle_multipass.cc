@@ -27,33 +27,38 @@ struct SweepPoint {
   std::size_t total_comm = 0;
 };
 
-SweepPoint Measure(std::size_t r, std::size_t k, std::size_t sample,
-                   int instances, int trials_per_instance) {
-  int correct = 0, total = 0;
-  SweepPoint point;
-  for (int inst = 0; inst < instances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto disj =
-          lowerbound::ThreeDisjInstance::Random(r, answer, 131 + inst);
-      lowerbound::Gadget gadget = lowerbound::BuildThreeDisjGadget(disj, k);
-      const double threshold =
-          static_cast<double>(k) * k * k / 2.0;
-      for (int t = 0; t < trials_per_instance; ++t) {
+// Gadgets are prebuilt and shared read-only across the trial fan-out;
+// counter and protocol seeds both derive from the per-trial seed.
+SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
+                   double threshold, std::size_t sample,
+                   int trials_per_gadget, std::uint64_t seed_base) {
+  const std::size_t total = gadgets.size() * trials_per_gadget;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget =
+            gadgets[index / trials_per_gadget];
         core::TwoPassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = 2000 * inst + 10 * t + answer;
+        options.seed = seed;
         core::TwoPassTriangleCounter counter(options);
-        lowerbound::ProtocolRun run =
-            lowerbound::RunProtocol(gadget, &counter, 11 + t);
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
         bool guess = counter.Estimate() >= threshold;
-        correct += (guess == answer);
-        ++total;
-        point.max_message = std::max(point.max_message, run.max_message_bytes);
-        point.total_comm = std::max(point.total_comm, run.total_message_bytes);
-      }
-    }
+        runtime::TrialResult r;
+        r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        r.aux = static_cast<double>(run.total_message_bytes);
+        return r;
+      });
+  SweepPoint point;
+  double correct = 0;
+  for (const runtime::TrialResult& r : results) {
+    correct += r.estimate;
+    point.total_comm = std::max(
+        point.total_comm, static_cast<std::size_t>(r.aux));
   }
-  point.accuracy = static_cast<double>(correct) / total;
+  point.accuracy = correct / static_cast<double>(total);
+  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
   return point;
 }
 
@@ -62,38 +67,55 @@ SweepPoint Measure(std::size_t r, std::size_t k, std::size_t sample,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t r = full ? 120 : 60;
-  const std::size_t k = full ? 16 : 12;  // T = k^3
-  const int kInstances = full ? 6 : 4;
-  const int kTrials = full ? 8 : 5;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t r = opts.full ? 120 : 60;
+  const std::size_t k = opts.full ? 16 : 12;  // T = k^3
+  const int kInstances = opts.full ? 6 : 4;
+  const int kTrials = opts.full ? 8 : 5;
 
   bench::PrintHeader(
-      "Figure 1b / Theorem 5.2: multipass triangle counting vs 3-DISJ",
+      opts, "Figure 1b / Theorem 5.2: multipass triangle counting vs 3-DISJ",
       "constant-pass distinguishing 0 vs T triangles needs "
       "Omega(f_d(m/T^{2/3})); Theorem 3.7 matches at O(m/T^{2/3})");
 
-  auto disj = lowerbound::ThreeDisjInstance::Random(r, true, 1);
-  lowerbound::Gadget probe = lowerbound::BuildThreeDisjGadget(disj, k);
+  std::vector<lowerbound::Gadget> gadgets;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto disj =
+          lowerbound::ThreeDisjInstance::Random(r, answer, 131 + inst);
+      gadgets.push_back(lowerbound::BuildThreeDisjGadget(disj, k));
+    }
+  }
+  // gadgets[1] is the first answer=true instance; answer=false gadgets
+  // promise 0 cycles, so probe the true one for T.
+  const lowerbound::Gadget& probe = gadgets[1];
   const double m = static_cast<double>(probe.graph.num_edges());
   const double t_cycles = static_cast<double>(probe.promised_cycles);
   const double threshold = m / std::pow(t_cycles, 2.0 / 3.0);
-  std::printf("gadget: r=%zu k=%zu -> m=%zu, T=k^3=%.0f, m/T^(2/3)=%.0f "
+  const double decision = static_cast<double>(k) * k * k / 2.0;
+  bench::Note(opts,
+              "gadget: r=%zu k=%zu -> m=%zu, T=k^3=%.0f, m/T^(2/3)=%.0f "
               "(m/sqrt(T)=%.0f for contrast)\n\n",
               r, k, probe.graph.num_edges(), t_cycles, threshold,
               m / std::sqrt(t_cycles));
 
-  std::printf("%12s %14s %10s %14s %14s\n", "m'", "m'/(m/T^2/3)", "accuracy",
-              "max message", "total comm");
+  bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                            {"m'/(m/T^2/3)", 14, 2},
+                            {"accuracy", 10, 2},
+                            {"max message", 14, bench::kColStr},
+                            {"total comm", 14, bench::kColStr}});
+  table.PrintHeader();
   for (double factor : {0.25, 1.0, 4.0, 16.0, 64.0}) {
     std::size_t sample = std::max<std::size_t>(
         2, static_cast<std::size_t>(factor * threshold));
-    SweepPoint pt = Measure(r, k, sample, kInstances, kTrials);
-    std::printf("%12zu %14.2f %10.2f %14s %14s\n", sample, factor,
-                pt.accuracy, bench::FormatBytes(pt.max_message).c_str(),
-                bench::FormatBytes(pt.total_comm).c_str());
+    SweepPoint pt = Measure(gadgets, decision, sample, kTrials,
+                            700 + static_cast<std::uint64_t>(factor * 16));
+    table.PrintRow({sample, factor, pt.accuracy,
+                    bench::FormatBytes(pt.max_message),
+                    bench::FormatBytes(pt.total_comm)});
   }
-  std::printf("\nexpected shape: accuracy crosses toward 1.0 within a small "
+  bench::Note(opts,
+              "\nexpected shape: accuracy crosses toward 1.0 within a small "
               "constant factor of m/T^(2/3) — sublinear in m (the gadget "
               "has m/T^(2/3) << m), matching Theorem 3.7's upper bound.\n");
   return 0;

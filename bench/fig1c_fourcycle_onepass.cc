@@ -51,32 +51,32 @@ struct SweepPoint {
   std::size_t max_message = 0;
 };
 
-SweepPoint Measure(std::uint64_t q, std::size_t k, std::size_t sample,
-                   int instances, int trials_per_instance) {
-  int correct = 0, total = 0;
-  SweepPoint point;
-  const std::size_t bits = lowerbound::IndexGadgetBits(q);
-  for (int inst = 0; inst < instances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto idx = lowerbound::IndexInstance::Random(bits, answer, 17 + inst);
-      lowerbound::Gadget gadget =
-          lowerbound::BuildIndexFourCycleGadget(idx, q, k);
-      const double threshold = static_cast<double>(k) / 2.0;
-      for (int t = 0; t < trials_per_instance; ++t) {
+// Gadgets are prebuilt and shared read-only across the trial fan-out.
+SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
+                   double threshold, std::size_t sample,
+                   int trials_per_gadget, std::uint64_t seed_base) {
+  const std::size_t total = gadgets.size() * trials_per_gadget;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget =
+            gadgets[index / trials_per_gadget];
         core::OnePassFourCycleOptions options;
         options.sample_size = sample;
-        options.seed = 3000 * inst + 10 * t + answer;
+        options.seed = seed;
         core::OnePassFourCycleCounter counter(options);
-        lowerbound::ProtocolRun run =
-            lowerbound::RunProtocol(gadget, &counter, 13 + t);
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
         bool guess = counter.Estimate() >= threshold;
-        correct += (guess == answer);
-        ++total;
-        point.max_message = std::max(point.max_message, run.max_message_bytes);
-      }
-    }
-  }
-  point.accuracy = static_cast<double>(correct) / total;
+        runtime::TrialResult r;
+        r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        return r;
+      });
+  SweepPoint point;
+  double correct = 0;
+  for (const runtime::TrialResult& r : results) correct += r.estimate;
+  point.accuracy = correct / static_cast<double>(total);
+  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
   return point;
 }
 
@@ -85,57 +85,72 @@ SweepPoint Measure(std::uint64_t q, std::size_t k, std::size_t sample,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::uint64_t q = full ? 31 : 23;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::uint64_t q = opts.full ? 31 : 23;
   const std::size_t k = 8;  // T = k, well under m^{1/3}
-  const int kInstances = full ? 6 : 4;
-  const int kTrials = full ? 6 : 4;
+  const int kInstances = opts.full ? 6 : 4;
+  const int kTrials = opts.full ? 6 : 4;
 
   bench::PrintHeader(
-      "Figure 1c / Theorem 5.3: one-pass 4-cycle counting vs INDEX",
+      opts, "Figure 1c / Theorem 5.3: one-pass 4-cycle counting vs INDEX",
       "one pass needs Omega(m) space to distinguish 0 vs T <= m^{1/3} "
       "4-cycles (unconditional)");
 
-  auto idx =
-      lowerbound::IndexInstance::Random(lowerbound::IndexGadgetBits(q), true, 1);
-  lowerbound::Gadget probe = lowerbound::BuildIndexFourCycleGadget(idx, q, k);
-  const std::size_t m = probe.graph.num_edges();
-  std::printf("gadget: PG(2,%llu), k=%zu -> m=%zu, T=k=%llu (m^(1/3)=%.0f)\n\n",
+  const std::size_t bits = lowerbound::IndexGadgetBits(q);
+  std::vector<lowerbound::Gadget> gadgets;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto idx = lowerbound::IndexInstance::Random(bits, answer, 17 + inst);
+      gadgets.push_back(lowerbound::BuildIndexFourCycleGadget(idx, q, k));
+    }
+  }
+  // gadgets[1] is the first answer=true instance (answer=false promises 0).
+  const std::size_t m = gadgets[1].graph.num_edges();
+  const double threshold = static_cast<double>(k) / 2.0;
+  bench::Note(opts,
+              "gadget: PG(2,%llu), k=%zu -> m=%zu, T=k=%llu (m^(1/3)=%.0f)\n\n",
               (unsigned long long)q, k, m,
-              (unsigned long long)probe.promised_cycles,
+              (unsigned long long)gadgets[1].promised_cycles,
               std::cbrt(static_cast<double>(m)));
 
-  std::printf("%12s %10s %10s %14s\n", "m'", "m'/m", "accuracy",
-              "max message");
+  bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                            {"m'/m", 10, 2},
+                            {"accuracy", 10, 2},
+                            {"max message", 14, bench::kColStr}});
+  table.PrintHeader();
   for (double frac : {0.02, 0.05, 0.15, 0.4, 1.0}) {
     std::size_t sample =
         std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
-    SweepPoint pt = Measure(q, k, sample, kInstances, kTrials);
-    std::printf("%12zu %10.2f %10.2f %14s\n", sample, frac, pt.accuracy,
-                bench::FormatBytes(pt.max_message).c_str());
+    SweepPoint pt = Measure(gadgets, threshold, sample, kTrials,
+                            300 + static_cast<std::uint64_t>(frac * 100));
+    table.PrintRow({sample, frac, pt.accuracy,
+                    bench::FormatBytes(pt.max_message)});
   }
 
   // The trivial O(m) baseline decides perfectly; measure its message.
-  int correct = 0;
-  std::size_t trivial_message = 0;
-  for (int inst = 0; inst < kInstances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto inst_idx = lowerbound::IndexInstance::Random(
-          lowerbound::IndexGadgetBits(q), answer, 17 + inst);
-      lowerbound::Gadget gadget =
-          lowerbound::BuildIndexFourCycleGadget(inst_idx, q, k);
-      StoreAllFourCycleCounter counter;
-      lowerbound::ProtocolRun run =
-          lowerbound::RunProtocol(gadget, &counter, 19);
-      correct += ((counter.Count() > 0) == answer);
-      trivial_message = std::max(trivial_message, run.max_message_bytes);
-    }
-  }
-  std::printf("\ntrivial O(m) baseline: accuracy %.2f, message %s (linear "
+  // (StoreAllFourCycleCounter is stateful per run, so each trial builds its
+  // own counter inside the fan-out.)
+  std::vector<runtime::TrialResult> baseline = bench::Runner().Run(
+      gadgets.size(), 977, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget = gadgets[index];
+        StoreAllFourCycleCounter counter;
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
+        runtime::TrialResult r;
+        r.estimate = ((counter.Count() > 0) == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        return r;
+      });
+  double trivial_correct = 0;
+  for (const runtime::TrialResult& r : baseline) trivial_correct += r.estimate;
+  bench::Note(opts,
+              "\ntrivial O(m) baseline: accuracy %.2f, message %s (linear "
               "in m, as the theorem says is necessary)\n",
-              correct / (2.0 * kInstances),
-              bench::FormatBytes(trivial_message).c_str());
-  std::printf("expected shape: sampling accuracy hugs 0.5 for any constant "
+              trivial_correct / static_cast<double>(baseline.size()),
+              bench::FormatBytes(
+                  runtime::TrialRunner::MaxPeakSpace(baseline)).c_str());
+  bench::Note(opts,
+              "expected shape: sampling accuracy hugs 0.5 for any constant "
               "m'/m fraction well below 1 — only the full graph decides.\n");
   return 0;
 }

@@ -28,34 +28,32 @@ struct SweepPoint {
   std::size_t max_message = 0;
 };
 
-SweepPoint Measure(std::uint64_t q1, std::uint64_t q2, std::size_t sample,
-                   int instances, int trials_per_instance) {
-  int correct = 0, total = 0;
-  SweepPoint point;
-  const std::size_t bits = lowerbound::DisjGadgetBits(q1);
-  for (int inst = 0; inst < instances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto disj = lowerbound::DisjInstance::Random(bits, answer, 23 + inst);
-      lowerbound::Gadget gadget =
-          lowerbound::BuildDisjFourCycleGadget(disj, q1, q2);
-      // Decision threshold: half the instance-independent T = |E(H2)|.
-      const double decide =
-          static_cast<double>((q2 + 1) * gen::ProjectivePlaneSide(q2)) / 2.0;
-      for (int t = 0; t < trials_per_instance; ++t) {
+// Gadgets are prebuilt and shared read-only across the trial fan-out.
+SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
+                   double threshold, std::size_t sample,
+                   int trials_per_gadget, std::uint64_t seed_base) {
+  const std::size_t total = gadgets.size() * trials_per_gadget;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget =
+            gadgets[index / trials_per_gadget];
         core::FourCycleOptions options;
         options.sample_size = sample;
-        options.seed = 4000 * inst + 10 * t + answer;
+        options.seed = seed;
         core::TwoPassFourCycleCounter counter(options);
-        lowerbound::ProtocolRun run =
-            lowerbound::RunProtocol(gadget, &counter, 29 + t);
-        bool guess = counter.Estimate() >= decide;
-        correct += (guess == answer);
-        ++total;
-        point.max_message = std::max(point.max_message, run.max_message_bytes);
-      }
-    }
-  }
-  point.accuracy = static_cast<double>(correct) / total;
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
+        bool guess = counter.Estimate() >= threshold;
+        runtime::TrialResult r;
+        r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        return r;
+      });
+  SweepPoint point;
+  double correct = 0;
+  for (const runtime::TrialResult& r : results) correct += r.estimate;
+  point.accuracy = correct / static_cast<double>(total);
+  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
   return point;
 }
 
@@ -64,41 +62,57 @@ SweepPoint Measure(std::uint64_t q1, std::uint64_t q2, std::size_t sample,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::uint64_t q1 = full ? 7 : 5;   // outer plane: r = q1²+q1+1 blocks
-  const std::uint64_t q2 = full ? 11 : 7;  // inner plane: k = q2²+q2+1
-  const int kInstances = full ? 6 : 4;
-  const int kTrials = full ? 6 : 4;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::uint64_t q1 = opts.full ? 7 : 5;   // outer plane: r blocks
+  const std::uint64_t q2 = opts.full ? 11 : 7;  // inner plane: k = q2²+q2+1
+  const int kInstances = opts.full ? 6 : 4;
+  const int kTrials = opts.full ? 6 : 4;
 
   bench::PrintHeader(
-      "Figure 1d / Theorem 5.4: multipass 4-cycle counting vs DISJ",
+      opts, "Figure 1d / Theorem 5.4: multipass 4-cycle counting vs DISJ",
       "constant-pass distinguishing 0 vs T 4-cycles needs Omega(m/T^{2/3}); "
       "Theorem 4.6 achieves O(m/T^{3/8}) in two passes");
 
-  auto disj = lowerbound::DisjInstance::Random(
-      lowerbound::DisjGadgetBits(q1), true, 1);
-  lowerbound::Gadget probe =
-      lowerbound::BuildDisjFourCycleGadget(disj, q1, q2);
+  const std::size_t bits = lowerbound::DisjGadgetBits(q1);
+  std::vector<lowerbound::Gadget> gadgets;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    for (bool answer : {false, true}) {
+      auto disj = lowerbound::DisjInstance::Random(bits, answer, 23 + inst);
+      gadgets.push_back(lowerbound::BuildDisjFourCycleGadget(disj, q1, q2));
+    }
+  }
+  // gadgets[1] is the first answer=true instance (answer=false promises 0).
+  const lowerbound::Gadget& probe = gadgets[1];
   const double m = static_cast<double>(probe.graph.num_edges());
   const double t_cycles = static_cast<double>(probe.promised_cycles);
   const double lower_line = m / std::pow(t_cycles, 2.0 / 3.0);
   const double upper_line = m / std::pow(t_cycles, 3.0 / 8.0);
-  std::printf("gadget: H1=PG(2,%llu), H2=PG(2,%llu) -> m=%zu, T=|E(H2)|=%.0f\n",
+  // Decision threshold: half the instance-independent T = |E(H2)|.
+  const double decide =
+      static_cast<double>((q2 + 1) * gen::ProjectivePlaneSide(q2)) / 2.0;
+  bench::Note(opts,
+              "gadget: H1=PG(2,%llu), H2=PG(2,%llu) -> m=%zu, T=|E(H2)|=%.0f\n",
               (unsigned long long)q1, (unsigned long long)q2,
               probe.graph.num_edges(), t_cycles);
-  std::printf("theorem floor m/T^(2/3) = %.0f; algorithm ceiling m/T^(3/8) "
+  bench::Note(opts,
+              "theorem floor m/T^(2/3) = %.0f; algorithm ceiling m/T^(3/8) "
               "= %.0f; m = %.0f\n\n", lower_line, upper_line, m);
 
-  std::printf("%12s %10s %10s %14s\n", "m'", "m'/m", "accuracy",
-              "max message");
+  bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                            {"m'/m", 10, 2},
+                            {"accuracy", 10, 2},
+                            {"max message", 14, bench::kColStr}});
+  table.PrintHeader();
   for (double frac : {0.01, 0.03, 0.1, 0.3, 0.6}) {
     std::size_t sample =
         std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
-    SweepPoint pt = Measure(q1, q2, sample, kInstances, kTrials);
-    std::printf("%12zu %10.2f %10.2f %14s\n", sample, frac, pt.accuracy,
-                bench::FormatBytes(pt.max_message).c_str());
+    SweepPoint pt = Measure(gadgets, decide, sample, kTrials,
+                            400 + static_cast<std::uint64_t>(frac * 100));
+    table.PrintRow({sample, frac, pt.accuracy,
+                    bench::FormatBytes(pt.max_message)});
   }
-  std::printf("\nexpected shape: accuracy reaches ~1.0 at a sublinear "
+  bench::Note(opts,
+              "\nexpected shape: accuracy reaches ~1.0 at a sublinear "
               "fraction of m (between the floor and ceiling lines) — unlike "
               "the one-pass case (Fig 1c), multipass ℓ=4 is sublinear.\n");
   return 0;

@@ -66,29 +66,30 @@ struct SweepPoint {
   std::size_t max_message = 0;
 };
 
-SweepPoint Measure(int length, std::size_t r, std::size_t budget,
-                   std::size_t sample, int instances,
-                   int trials_per_instance) {
-  int correct = 0, total = 0;
-  SweepPoint point;
-  for (int inst = 0; inst < instances; ++inst) {
-    for (bool answer : {false, true}) {
-      auto disj = lowerbound::DisjInstance::Random(r, answer, 41 + inst);
-      lowerbound::Gadget gadget =
-          lowerbound::BuildLongCycleGadget(disj, length, budget);
-      for (int t = 0; t < trials_per_instance; ++t) {
-        SampledSubgraphCycleCounter counter(
-            length, sample, 5000 * inst + 10 * t + answer);
-        lowerbound::ProtocolRun run =
-            lowerbound::RunProtocol(gadget, &counter, 31 + t);
+// Gadgets are prebuilt (per cycle length) and shared read-only across the
+// trial fan-out; sampler and protocol seeds derive from the trial seed.
+SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
+                   int length, std::size_t sample, int trials_per_gadget,
+                   std::uint64_t seed_base) {
+  const std::size_t total = gadgets.size() * trials_per_gadget;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+        const lowerbound::Gadget& gadget =
+            gadgets[index / trials_per_gadget];
+        SampledSubgraphCycleCounter counter(length, sample, seed);
+        lowerbound::ProtocolRun run = lowerbound::RunProtocol(
+            gadget, &counter, runtime::TrialSeed(seed, 1));
         bool guess = counter.CountSampledCycles() > 0;
-        correct += (guess == answer);
-        ++total;
-        point.max_message = std::max(point.max_message, run.max_message_bytes);
-      }
-    }
-  }
-  point.accuracy = static_cast<double>(correct) / total;
+        runtime::TrialResult r;
+        r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
+        r.peak_space_bytes = run.max_message_bytes;
+        return r;
+      });
+  SweepPoint point;
+  double correct = 0;
+  for (const runtime::TrialResult& r : results) correct += r.estimate;
+  point.accuracy = correct / static_cast<double>(total);
+  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
   return point;
 }
 
@@ -97,38 +98,48 @@ SweepPoint Measure(int length, std::size_t r, std::size_t budget,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
   // Sizes are bounded by the offline DFS used to inspect sampled subgraphs
   // (the gadget's hubs make cycle enumeration quadratic in T).
-  const std::size_t r = full ? 4000 : 2000;
-  const std::size_t kBudget = full ? 200 : 100;  // T
-  const int kInstances = full ? 4 : 2;
-  const int kTrials = full ? 4 : 2;
+  const std::size_t r = opts.full ? 4000 : 2000;
+  const std::size_t kBudget = opts.full ? 200 : 100;  // T
+  const int kInstances = opts.full ? 4 : 2;
+  const int kTrials = opts.full ? 4 : 2;
 
   bench::PrintHeader(
-      "Figure 1e / Theorem 5.5: ℓ-cycle counting (ℓ >= 5) vs DISJ",
+      opts, "Figure 1e / Theorem 5.5: ℓ-cycle counting (ℓ >= 5) vs DISJ",
       "any constant-pass algorithm distinguishing 0 vs T ℓ-cycles needs "
       "Omega(m) space (unconditional)");
 
   for (int length : {5, 6}) {
-    auto disj = lowerbound::DisjInstance::Random(r, true, 1);
-    lowerbound::Gadget probe =
-        lowerbound::BuildLongCycleGadget(disj, length, kBudget);
-    const double m = static_cast<double>(probe.graph.num_edges());
-    std::printf("\n-- ℓ = %d: gadget m = %zu, T = %zu --\n", length,
-                probe.graph.num_edges(), kBudget);
-    std::printf("%12s %10s %10s %14s\n", "m'", "m'/m", "accuracy",
-                "max message");
+    std::vector<lowerbound::Gadget> gadgets;
+    for (int inst = 0; inst < kInstances; ++inst) {
+      for (bool answer : {false, true}) {
+        auto disj = lowerbound::DisjInstance::Random(r, answer, 41 + inst);
+        gadgets.push_back(
+            lowerbound::BuildLongCycleGadget(disj, length, kBudget));
+      }
+    }
+    const double m = static_cast<double>(gadgets.front().graph.num_edges());
+    bench::Note(opts, "\n-- ℓ = %d: gadget m = %zu, T = %zu --\n", length,
+                gadgets.front().graph.num_edges(), kBudget);
+    bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                              {"m'/m", 10, 2},
+                              {"accuracy", 10, 2},
+                              {"max message", 14, bench::kColStr}});
+    table.PrintHeader();
     for (double frac : {0.05, 0.15, 0.4, 0.7, 1.0}) {
       std::size_t sample =
           std::max<std::size_t>(2, static_cast<std::size_t>(frac * m));
-      SweepPoint pt =
-          Measure(length, r, kBudget, sample, kInstances, kTrials);
-      std::printf("%12zu %10.2f %10.2f %14s\n", sample, frac, pt.accuracy,
-                  bench::FormatBytes(pt.max_message).c_str());
+      SweepPoint pt = Measure(gadgets, length, sample, kTrials,
+                              600 + 1000 * length +
+                                  static_cast<std::uint64_t>(frac * 100));
+      table.PrintRow({sample, frac, pt.accuracy,
+                      bench::FormatBytes(pt.max_message)});
     }
   }
-  std::printf("\nexpected shape: accuracy stays near 0.5 at every constant "
+  bench::Note(opts,
+              "\nexpected shape: accuracy stays near 0.5 at every constant "
               "sampling fraction below 1 and only reaches 1.0 at m' = m — "
               "consistent with the Omega(m) bound (contrast Fig 1b/1d where "
               "sublinear crossover points exist).\n");

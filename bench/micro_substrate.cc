@@ -3,8 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/median.h"
 #include "core/one_pass_triangle.h"
 #include "core/two_pass_triangle.h"
+#include "runtime/thread_pool.h"
+#include "runtime/trial_runner.h"
 #include "exact/four_cycle.h"
 #include "exact/triangle.h"
 #include "gen/chung_lu.h"
@@ -171,6 +174,60 @@ void BM_TwoPassTriangleChecked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4 * g.num_edges());
 }
 BENCHMARK(BM_TwoPassTriangleChecked)->Arg(8)->Arg(64);
+
+void BM_TrialSeed(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::TrialSeed(42, i++));
+  }
+}
+BENCHMARK(BM_TrialSeed);
+
+// Round-trip cost of one pool task (submit + execute + future wait): the
+// per-trial overhead floor of the parallel TrialRunner path.
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.Submit([] {}).wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThreadPoolSubmit)->Arg(1)->Arg(4);
+
+// TrialRunner fan-out over a cheap trial fn: scheduling overhead per batch.
+void BM_TrialRunnerFanOut(benchmark::State& state) {
+  runtime::TrialRunner runner(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto results =
+        runner.Run(64, 7, [](std::size_t, std::uint64_t seed) {
+          return runtime::TrialResult{
+              .estimate = static_cast<double>(seed & 0xff)};
+        });
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TrialRunnerFanOut)->Arg(1)->Arg(4);
+
+// Median amplification end-to-end: sequential (lockstep) vs pool-backed
+// chunk-per-worker execution of the same copies. Identical estimates by
+// construction; the items/s gap is the parallel speedup.
+void BM_EstimateTrianglesAmplified(benchmark::State& state) {
+  const Graph& g = SharedSocialGraph();
+  stream::AdjacencyListStream s(&g, 5);
+  const int threads = static_cast<int>(state.range(0));
+  runtime::ThreadPool pool(threads);
+  const int kCopies = 9;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto out = core::EstimateTriangles(s, g.num_edges() / 16, kCopies,
+                                       ++seed,
+                                       threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(out.estimate);
+  }
+  state.SetItemsProcessed(state.iterations() * kCopies * 4 * g.num_edges());
+}
+BENCHMARK(BM_EstimateTrianglesAmplified)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace cyclestream

@@ -50,18 +50,21 @@ struct Outcome {
 
 Outcome RunTrials(const Graph& g, std::size_t sample, int trials,
                   std::uint64_t seed_base) {
-  Outcome out;
   stream::AdjacencyListStream s(&g, 31337);
-  for (int t = 0; t < trials; ++t) {
-    core::FourCycleOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    core::TwoPassFourCycleCounter counter(options);
-    stream::RunReport report = stream::RunPasses(s, &counter);
-    out.estimates.push_back(counter.Estimate());
-    out.peak_space = std::max(out.peak_space, report.peak_space_bytes);
-  }
-  return out;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::FourCycleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::TwoPassFourCycleCounter counter(options);
+        stream::RunReport report = stream::RunPasses(s, &counter);
+        runtime::TrialResult r;
+        r.estimate = counter.Estimate();
+        r.peak_space_bytes = report.peak_space_bytes;
+        return r;
+      });
+  return {runtime::TrialRunner::Estimates(results),
+          runtime::TrialRunner::MaxPeakSpace(results)};
 }
 
 double FracWithinFactor(const std::vector<double>& estimates, double truth,
@@ -76,18 +79,24 @@ double FracWithinFactor(const std::vector<double>& estimates, double truth,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t kEdges = full ? 250000 : 100000;
-  const int kTrials = full ? 21 : 13;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t kEdges = opts.full ? 250000 : 100000;
+  const int kTrials = opts.full ? 21 : 13;
   const double kFactor = 8.0;
 
   bench::PrintHeader(
-      "Table 1 / Theorem 4.6: two-pass O(1)-approx 4-cycle counting",
+      opts, "Table 1 / Theorem 4.6: two-pass O(1)-approx 4-cycle counting",
       "space m' = O(m / T^{3/8}) suffices for an O(1) approximation");
 
   std::vector<std::size_t> block_sizes = {6, 9, 13, 19};  // T = C(c,2)^2
-  std::printf("%8s %8s %11s %12s %8s %12s %10s\n", "T", "m", "m/T^(3/8)",
-              "minimal m'", "ratio", "med est/T", "space@min");
+  bench::Table table(opts, {{"T", 8, bench::kColInt},
+                            {"m", 8, bench::kColInt},
+                            {"m/T^(3/8)", 11, 0},
+                            {"minimal m'", 12, bench::kColInt},
+                            {"ratio", 8, 2},
+                            {"med est/T", 12, 2},
+                            {"space@min", 10, bench::kColStr}});
+  table.PrintHeader();
   std::vector<double> log_t, log_min;
   for (std::size_t c : block_sizes) {
     const std::size_t t_count = (c * (c - 1) / 2) * (c * (c - 1) / 2);
@@ -107,18 +116,17 @@ int main(int argc, char** argv) {
     Outcome at_min = RunTrials(g, minimal, kTrials, 200 + t_count);
     bench::TrialStats stats = bench::Summarize(at_min.estimates, truth, 1.0);
 
-    std::printf("%8zu %8zu %11.0f %12zu %8.2f %12.2f %10s\n", t_count,
-                g.num_edges(), predicted, minimal, minimal / predicted,
-                stats.median / truth,
-                bench::FormatBytes(at_min.peak_space).c_str());
+    table.PrintRow({t_count, g.num_edges(), predicted, minimal,
+                    minimal / predicted, stats.median / truth,
+                    bench::FormatBytes(at_min.peak_space)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
   }
 
   double slope = bench::LogLogSlope(log_t, log_min);
-  std::printf("\nlog-log slope of minimal m' vs T: %+.3f (paper predicts "
-              "-3/8 = -0.375)\n", slope);
-  std::printf("shape verdict: %s\n",
+  bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
+              "predicts -3/8 = -0.375)\n", slope);
+  bench::Note(opts, "shape verdict: %s\n",
               (slope < -0.15 && slope > -0.75) ? "CONSISTENT with m/T^(3/8)"
                                                 : "INCONSISTENT");
   return 0;

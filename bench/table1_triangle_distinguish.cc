@@ -35,16 +35,19 @@ Graph MakeWorkload(std::size_t clique_size, std::size_t target_edges) {
 double DetectionRate(const Graph& g, std::size_t sample, int trials,
                      std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 2718281);
-  int found = 0;
-  for (int t = 0; t < trials; ++t) {
-    core::TriangleDistinguisherOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    core::TriangleDistinguisher d(options);
-    stream::RunPasses(s, &d);
-    found += d.result().found_triangle;
-  }
-  return static_cast<double>(found) / trials;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::TriangleDistinguisherOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::TriangleDistinguisher d(options);
+        stream::RunPasses(s, &d);
+        return runtime::TrialResult{
+            .estimate = d.result().found_triangle ? 1.0 : 0.0};
+      });
+  double found = 0;
+  for (const runtime::TrialResult& r : results) found += r.estimate;
+  return found / trials;
 }
 
 }  // namespace
@@ -52,12 +55,12 @@ double DetectionRate(const Graph& g, std::size_t sample, int trials,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t kEdges = full ? 200000 : 60000;
-  const int kTrials = full ? 60 : 25;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t kEdges = opts.full ? 200000 : 60000;
+  const int kTrials = opts.full ? 60 : 25;
 
   bench::PrintHeader(
-      "Table 1: two-pass 0-vs-T triangle distinguishing (MVV'16)",
+      opts, "Table 1: two-pass 0-vs-T triangle distinguishing (MVV'16)",
       "m' = O(m/T^{2/3}) sampled edges hit a triangle edge w.h.p. "
       "(>= T^{2/3} edges lie in triangles)");
 
@@ -68,20 +71,25 @@ int main(int argc, char** argv) {
   const double threshold =
       static_cast<double>(yes.num_edges()) / std::pow(kT, 2.0 / 3.0);
 
-  std::printf("m = %zu, T = C(%zu,3) = %zu (on %zu clique edges), "
+  bench::Note(opts,
+              "m = %zu, T = C(%zu,3) = %zu (on %zu clique edges), "
               "m/T^(2/3) = %.0f\n\n",
               yes.num_edges(), kClique, kT, kClique * (kClique - 1) / 2,
               threshold);
-  std::printf("%12s %10s %16s %16s\n", "m'", "m'/thresh", "P(detect | T)",
-              "P(detect | 0)");
+  bench::Table table(opts, {{"m'", 12, bench::kColInt},
+                            {"m'/thresh", 10, 3},
+                            {"P(detect | T)", 16, 2},
+                            {"P(detect | 0)", 16, 2}});
+  table.PrintHeader();
   for (double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     std::size_t sample = std::max<std::size_t>(
         1, static_cast<std::size_t>(factor * threshold));
     double p_yes = DetectionRate(yes, sample, kTrials, 500);
     double p_no = DetectionRate(no, sample, kTrials, 900);
-    std::printf("%12zu %10.3f %16.2f %16.2f\n", sample, factor, p_yes, p_no);
+    table.PrintRow({sample, factor, p_yes, p_no});
   }
-  std::printf("\nexpected shape: middle column rises from ~1-1/e toward 1.0 "
+  bench::Note(opts,
+              "\nexpected shape: middle column rises from ~1-1/e toward 1.0 "
               "around m'/thresh ~ 1; right column identically 0.\n");
   return 0;
 }

@@ -37,32 +37,30 @@ Graph MakeWorkload(std::size_t side, std::size_t target_edges) {
 
 std::vector<double> OnePassEstimates(const Graph& g, std::size_t sample,
                                      int trials, std::uint64_t seed_base) {
-  std::vector<double> out;
   stream::AdjacencyListStream s(&g, 104729);
-  for (int t = 0; t < trials; ++t) {
-    core::OnePassTriangleOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    core::OnePassTriangleCounter counter(options);
-    stream::RunPasses(s, &counter);
-    out.push_back(counter.Estimate());
-  }
-  return out;
+  return runtime::TrialRunner::Estimates(bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::OnePassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::OnePassTriangleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
 }
 
 std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
                                      int trials, std::uint64_t seed_base) {
-  std::vector<double> out;
   stream::AdjacencyListStream s(&g, 104729);
-  for (int t = 0; t < trials; ++t) {
-    core::TwoPassTriangleOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    core::TwoPassTriangleCounter counter(options);
-    stream::RunPasses(s, &counter);
-    out.push_back(counter.Estimate());
-  }
-  return out;
+  return runtime::TrialRunner::Estimates(bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::TwoPassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::TwoPassTriangleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
 }
 
 }  // namespace
@@ -70,18 +68,26 @@ std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t kEdges = full ? 300000 : 120000;
-  const int kTrials = full ? 21 : 13;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t kEdges = opts.full ? 300000 : 120000;
+  const int kTrials = opts.full ? 21 : 13;
   const double kEps = 0.25;
 
   bench::PrintHeader(
+      opts,
       "Table 1: one-pass triangle counting, O(m / sqrt(T)) (MVV'16 baseline)",
       "one pass needs m/sqrt(T); two passes (Thm 3.7) only m/T^{2/3}");
 
   std::vector<std::size_t> sides = {32, 64, 128, 192};  // T = side^2
-  std::printf("%8s %8s %10s %12s %8s | %12s %14s\n", "T", "m", "m/sqrt(T)",
-              "min m' (1p)", "ratio", "min m' (2p)", "1p/2p space");
+  bench::Table table(opts, {{"T", 8, bench::kColInt},
+                            {"m", 8, bench::kColInt},
+                            {"m/sqrt(T)", 10, 0},
+                            {"min m' (1p)", 12, bench::kColInt},
+                            {"ratio", 8, 2},
+                            {"|", 1, bench::kColStr},
+                            {"min m' (2p)", 12, bench::kColInt},
+                            {"1p/2p space", 14, 2}});
+  table.PrintHeader();
   std::vector<double> log_t, log_min;
   for (std::size_t side : sides) {
     const std::size_t t_count = side * side;
@@ -111,18 +117,19 @@ int main(int argc, char** argv) {
                                       m / std::pow(truth, 2.0 / 3.0) / 8)),
         1.5, g.num_edges(), 0.8, success2);
 
-    std::printf("%8zu %8zu %10.0f %12zu %8.2f | %12zu %14.2f\n", t_count,
-                g.num_edges(), predicted, minimal1, minimal1 / predicted,
-                minimal2,
-                static_cast<double>(minimal1) / static_cast<double>(minimal2));
+    table.PrintRow({t_count, g.num_edges(), predicted, minimal1,
+                    minimal1 / predicted, "|", minimal2,
+                    static_cast<double>(minimal1) /
+                        static_cast<double>(minimal2)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal1));
   }
 
   double slope = bench::LogLogSlope(log_t, log_min);
-  std::printf("\nlog-log slope of one-pass minimal m' vs T: %+.3f (predicted "
-              "-1/2 = -0.500)\n", slope);
-  std::printf("shape verdict: %s; two-pass needs less space at large T: %s\n",
+  bench::Note(opts, "\nlog-log slope of one-pass minimal m' vs T: %+.3f "
+              "(predicted -1/2 = -0.500)\n", slope);
+  bench::Note(opts,
+              "shape verdict: %s; two-pass needs less space at large T: %s\n",
               (slope < -0.25 && slope > -0.8) ? "CONSISTENT with m/sqrt(T)"
                                                : "INCONSISTENT",
               "see 1p/2p column (> 1 means Theorem 3.7 wins)");

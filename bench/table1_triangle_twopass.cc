@@ -40,18 +40,21 @@ struct TrialOutcome {
 
 TrialOutcome RunTrials(const Graph& g, std::size_t sample, int trials,
                        std::uint64_t seed_base) {
-  TrialOutcome out;
   stream::AdjacencyListStream s(&g, 104729);
-  for (int t = 0; t < trials; ++t) {
-    core::TwoPassTriangleOptions options;
-    options.sample_size = sample;
-    options.seed = seed_base + t;
-    core::TwoPassTriangleCounter counter(options);
-    stream::RunReport report = stream::RunPasses(s, &counter);
-    out.estimates.push_back(counter.Estimate());
-    out.peak_space = std::max(out.peak_space, report.peak_space_bytes);
-  }
-  return out;
+  std::vector<runtime::TrialResult> results = bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::TwoPassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::TwoPassTriangleCounter counter(options);
+        stream::RunReport report = stream::RunPasses(s, &counter);
+        runtime::TrialResult r;
+        r.estimate = counter.Estimate();
+        r.peak_space_bytes = report.peak_space_bytes;
+        return r;
+      });
+  return {runtime::TrialRunner::Estimates(results),
+          runtime::TrialRunner::MaxPeakSpace(results)};
 }
 
 }  // namespace
@@ -59,19 +62,25 @@ TrialOutcome RunTrials(const Graph& g, std::size_t sample, int trials,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const std::size_t kEdges = full ? 300000 : 120000;
-  const int kTrials = full ? 21 : 13;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const std::size_t kEdges = opts.full ? 300000 : 120000;
+  const int kTrials = opts.full ? 21 : 13;
   const double kEps = 0.25;
 
   bench::PrintHeader(
-      "Table 1 / Theorem 3.7: two-pass (1+eps) triangle counting",
+      opts, "Table 1 / Theorem 3.7: two-pass (1+eps) triangle counting",
       "space m' = O(m / T^{2/3}) suffices for (1 +- eps) with prob 2/3");
 
   std::vector<std::size_t> clique_sizes = {20, 32, 50, 80};
-  std::printf("%8s %8s %10s %12s %12s %8s %10s %10s\n", "T", "m",
-              "m/T^(2/3)", "minimal m'", "ratio", "relerr", "frac+-25%",
-              "space@min");
+  bench::Table table(opts, {{"T", 8, bench::kColInt},
+                            {"m", 8, bench::kColInt},
+                            {"m/T^(2/3)", 10, 0},
+                            {"minimal m'", 12, bench::kColInt},
+                            {"ratio", 12, 2},
+                            {"relerr", 8, 3},
+                            {"frac+-25%", 10, 2},
+                            {"space@min", 10, bench::kColStr}});
+  table.PrintHeader();
   std::vector<double> log_t, log_min;
   for (std::size_t c : clique_sizes) {
     const std::size_t t_count = c * (c - 1) * (c - 2) / 6;
@@ -91,18 +100,17 @@ int main(int argc, char** argv) {
     TrialOutcome at_min = RunTrials(g, minimal, kTrials, 77 + t_count);
     bench::TrialStats stats = bench::Summarize(at_min.estimates, truth, kEps);
 
-    std::printf("%8zu %8zu %10.0f %12zu %12.2f %8.3f %10.2f %10s\n", t_count,
-                g.num_edges(), predicted, minimal, minimal / predicted,
-                stats.median_rel_error, stats.frac_within,
-                bench::FormatBytes(at_min.peak_space).c_str());
+    table.PrintRow({t_count, g.num_edges(), predicted, minimal,
+                    minimal / predicted, stats.median_rel_error,
+                    stats.frac_within, bench::FormatBytes(at_min.peak_space)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
   }
 
   double slope = bench::LogLogSlope(log_t, log_min);
-  std::printf("\nlog-log slope of minimal m' vs T: %+.3f (paper predicts "
-              "-2/3 = -0.667)\n", slope);
-  std::printf("shape verdict: %s\n",
+  bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
+              "predicts -2/3 = -0.667)\n", slope);
+  bench::Note(opts, "shape verdict: %s\n",
               (slope < -0.35 && slope > -1.05) ? "CONSISTENT with m/T^(2/3)"
                                                 : "INCONSISTENT");
   return 0;

@@ -23,17 +23,30 @@ namespace {
 
 std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
                                    int trials, std::uint64_t seed_base) {
-  std::vector<double> out;
   stream::AdjacencyListStream s(&g, 424243);
-  for (int t = 0; t < trials; ++t) {
-    core::WedgeSamplingOptions options;
-    options.reservoir_size = reservoir;
-    options.seed = seed_base + t;
-    core::WedgeSamplingTriangleCounter counter(options);
-    stream::RunPasses(s, &counter);
-    out.push_back(counter.Estimate());
-  }
-  return out;
+  return runtime::TrialRunner::Estimates(bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::WedgeSamplingOptions options;
+        options.reservoir_size = reservoir;
+        options.seed = seed;
+        core::WedgeSamplingTriangleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
+}
+
+std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
+                                     int trials, std::uint64_t seed_base) {
+  stream::AdjacencyListStream s(&g, 424243);
+  return runtime::TrialRunner::Estimates(bench::Runner().Run(
+      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+        core::TwoPassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = seed;
+        core::TwoPassTriangleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
 }
 
 }  // namespace
@@ -41,19 +54,23 @@ std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
 
 int main(int argc, char** argv) {
   using namespace cyclestream;
-  const bool full = bench::HasFlag(argc, argv, "--full");
-  const int kTrials = full ? 21 : 13;
+  const bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  const int kTrials = opts.full ? 21 : 13;
   const double kEps = 0.25;
 
   bench::PrintHeader(
-      "Table 1: one-pass wedge sampling, O(P2/T) (Buriol et al. [12])",
+      opts, "Table 1: one-pass wedge sampling, O(P2/T) (Buriol et al. [12])",
       "reservoir of Theta(P2/T) wedges gives (1 +- eps); degrades on "
       "wedge-heavy graphs, unlike the m-parameterized algorithms");
 
   // Part 1: P2/T scaling. Fixed star background (fixed P2 share), T sweep.
   gen::PlantedBackground bg{.stars = 40, .star_degree = 40};  // P2 += 31200
-  std::printf("%8s %10s %10s %12s %8s\n", "T", "P2", "P2/T", "minimal m'",
-              "ratio");
+  bench::Table scaling(opts, {{"T", 8, bench::kColInt},
+                              {"P2", 10, 0},
+                              {"P2/T", 10, 1},
+                              {"minimal m'", 12, bench::kColInt},
+                              {"ratio", 8, 2}});
+  scaling.PrintHeader();
   std::vector<double> log_t, log_min;
   for (std::size_t t_count : {500, 2000, 8000, 32000}) {
     Graph g = gen::PlantedDisjointTriangles(t_count, bg);
@@ -69,13 +86,13 @@ int main(int argc, char** argv) {
     std::size_t minimal = bench::MinimalSample(
         std::max<std::size_t>(8, static_cast<std::size_t>(predicted / 2)),
         1.5, static_cast<std::size_t>(p2) + 1, 0.8, success);
-    std::printf("%8zu %10.0f %10.1f %12zu %8.2f\n", t_count, p2, predicted,
-                minimal, minimal / predicted);
+    scaling.PrintRow({t_count, p2, predicted, minimal, minimal / predicted});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
   }
   double slope = bench::LogLogSlope(log_t, log_min);
-  std::printf("\nlog-log slope of minimal reservoir vs T: %+.3f (predicted "
+  bench::Note(opts,
+              "\nlog-log slope of minimal reservoir vs T: %+.3f (predicted "
               "-1)\nshape verdict: %s\n", slope,
               (slope < -0.6 && slope > -1.4) ? "CONSISTENT with P2/T"
                                               : "INCONSISTENT");
@@ -84,10 +101,16 @@ int main(int argc, char** argv) {
   // and a fixed budget of 2000 slots; the background hub degree inflates P2
   // by ~25x. The wedge sampler needs Θ(P2/T) and falls over; Theorem 3.7
   // needs m/T^{2/3} (independent of P2) and does not.
-  std::printf("\nwedge-heavy stress (T = 2000, m ~ 46k, budget = 2000 "
+  bench::Note(opts,
+              "\nwedge-heavy stress (T = 2000, m ~ 46k, budget = 2000 "
               "slots):\n");
-  std::printf("%12s %10s %12s | %14s %14s\n", "hub degree", "P2", "P2/T",
-              "wedge relerr", "Thm3.7 relerr");
+  bench::Table stress(opts, {{"hub degree", 12, bench::kColInt},
+                             {"P2", 10, 0},
+                             {"P2/T", 12, 1},
+                             {"|", 1, bench::kColStr},
+                             {"wedge relerr", 14, 3},
+                             {"Thm3.7 relerr", 14, 3}});
+  stress.PrintHeader();
   const std::size_t kBudget = 2000;
   for (std::size_t degree : {40u, 200u, 1000u}) {
     gen::PlantedBackground heavy{.stars = 40000 / degree,
@@ -96,21 +119,13 @@ int main(int argc, char** argv) {
     const double p2 = static_cast<double>(g.WedgeCount());
     auto wedge =
         bench::Summarize(WedgeEstimates(g, kBudget, kTrials, 900), 2000, kEps);
-    stream::AdjacencyListStream s(&g, 424243);
-    std::vector<double> two;
-    for (int t = 0; t < kTrials; ++t) {
-      core::TwoPassTriangleOptions options;
-      options.sample_size = kBudget;
-      options.seed = 700 + t;
-      core::TwoPassTriangleCounter counter(options);
-      stream::RunPasses(s, &counter);
-      two.push_back(counter.Estimate());
-    }
-    auto thm = bench::Summarize(two, 2000, kEps);
-    std::printf("%12zu %10.0f %12.1f | %14.3f %14.3f\n", degree, p2,
-                p2 / 2000.0, wedge.median_rel_error, thm.median_rel_error);
+    auto thm = bench::Summarize(TwoPassEstimates(g, kBudget, kTrials, 700),
+                                2000, kEps);
+    stress.PrintRow({degree, p2, p2 / 2000.0, "|", wedge.median_rel_error,
+                     thm.median_rel_error});
   }
-  std::printf("\nexpected shape: both columns accurate at low hub degree; "
+  bench::Note(opts,
+              "\nexpected shape: both columns accurate at low hub degree; "
               "as P2/T outgrows the fixed budget the wedge sampler's error "
               "explodes while Theorem 3.7 stays accurate — why Table 1 "
               "parameterizes by m, not P2.\n");

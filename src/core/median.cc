@@ -1,7 +1,9 @@
 #include "core/median.h"
 
 #include <algorithm>
+#include <future>
 
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -52,6 +54,85 @@ std::size_t ParallelCopies::CurrentSpaceBytes() const {
   return total;
 }
 
+namespace {
+
+// Non-owning view over a contiguous range of copies, driven as one
+// StreamAlgorithm by a single worker.
+class CopySpan : public stream::StreamAlgorithm {
+ public:
+  CopySpan(std::unique_ptr<stream::StreamAlgorithm>* copies, std::size_t n)
+      : copies_(copies), n_(n) {}
+
+  int passes() const override { return copies_[0]->passes(); }
+  bool requires_same_order() const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (copies_[i]->requires_same_order()) return true;
+    }
+    return false;
+  }
+  void BeginPass(int pass) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginPass(pass);
+  }
+  void BeginList(VertexId u) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginList(u);
+  }
+  void OnPair(VertexId u, VertexId v) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnPair(u, v);
+  }
+  void EndList(VertexId u) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndList(u);
+  }
+  void EndPass(int pass) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndPass(pass);
+  }
+  std::size_t CurrentSpaceBytes() const override {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n_; ++i) total += copies_[i]->CurrentSpaceBytes();
+    return total;
+  }
+
+ private:
+  std::unique_ptr<stream::StreamAlgorithm>* copies_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+stream::RunReport ParallelCopies::Run(const stream::AdjacencyListStream& stream,
+                                      runtime::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 || copies_.size() <= 1) {
+    return stream::RunPasses(stream, this);
+  }
+  const std::size_t chunks = std::min<std::size_t>(
+      static_cast<std::size_t>(pool->num_threads()), copies_.size());
+  std::vector<stream::RunReport> chunk_reports(chunks);
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Even partition: remaining copies split over remaining chunks.
+    const std::size_t end = begin + (copies_.size() - begin) / (chunks - c);
+    pending.push_back(pool->Submit([this, &stream, &chunk_reports, c, begin,
+                                    end] {
+      CopySpan span(&copies_[begin], end - begin);
+      chunk_reports[c] = stream::RunPasses(stream, &span);
+    }));
+    begin = end;
+  }
+  for (auto& future : pending) future.get();
+
+  stream::RunReport merged;
+  merged.passes = passes();
+  // The stream is multiplexed to all copies: one logical read per pass,
+  // matching the sequential report regardless of how many workers replayed.
+  merged.pairs_processed = stream.stream_length() *
+                           static_cast<std::size_t>(merged.passes);
+  for (const stream::RunReport& r : chunk_reports) {
+    merged.peak_space_bytes += r.peak_space_bytes;
+  }
+  return merged;
+}
+
 double Median(std::vector<double> values) {
   CYCLESTREAM_CHECK(!values.empty());
   std::sort(values.begin(), values.end());
@@ -63,9 +144,12 @@ double Median(std::vector<double> values) {
 namespace {
 
 // Shared driver: builds `copies` algorithms via `make`, runs them in
-// parallel over the stream, extracts per-copy estimates via `extract`.
+// parallel over the stream (on `pool` when given), extracts per-copy
+// estimates via `extract`. Copy c's seed is Mix128To64(seed, c) in every
+// mode, so the estimates are independent of the pool.
 AmplifiedEstimate RunAmplified(
     const stream::AdjacencyListStream& stream, int copies, std::uint64_t seed,
+    runtime::ThreadPool* pool,
     const std::function<std::unique_ptr<stream::StreamAlgorithm>(std::uint64_t)>&
         make,
     const std::function<double(stream::StreamAlgorithm*)>& extract) {
@@ -77,7 +161,7 @@ AmplifiedEstimate RunAmplified(
   }
   ParallelCopies group(std::move(algos));
   AmplifiedEstimate out;
-  out.report = stream::RunPasses(stream, &group);
+  out.report = group.Run(stream, pool);
   out.copy_estimates.reserve(copies);
   for (std::size_t c = 0; c < group.num_copies(); ++c) {
     out.copy_estimates.push_back(extract(group.copy(c)));
@@ -90,9 +174,10 @@ AmplifiedEstimate RunAmplified(
 
 AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
                                     std::size_t sample_size, int copies,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    runtime::ThreadPool* pool) {
   return RunAmplified(
-      stream, copies, seed,
+      stream, copies, seed, pool,
       [&](std::uint64_t copy_seed) {
         TwoPassTriangleOptions options;
         options.sample_size = sample_size;
@@ -106,9 +191,9 @@ AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
 
 AmplifiedEstimate EstimateTrianglesOnePass(
     const stream::AdjacencyListStream& stream, std::size_t sample_size,
-    int copies, std::uint64_t seed) {
+    int copies, std::uint64_t seed, runtime::ThreadPool* pool) {
   return RunAmplified(
-      stream, copies, seed,
+      stream, copies, seed, pool,
       [&](std::uint64_t copy_seed) {
         OnePassTriangleOptions options;
         options.sample_size = sample_size;
@@ -122,9 +207,10 @@ AmplifiedEstimate EstimateTrianglesOnePass(
 
 AmplifiedEstimate EstimateFourCycles(const stream::AdjacencyListStream& stream,
                                      std::size_t sample_size, int copies,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     runtime::ThreadPool* pool) {
   return RunAmplified(
-      stream, copies, seed,
+      stream, copies, seed, pool,
       [&](std::uint64_t copy_seed) {
         FourCycleOptions options;
         options.sample_size = sample_size;

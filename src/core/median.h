@@ -21,6 +21,10 @@
 #include "stream/driver.h"
 
 namespace cyclestream {
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
 namespace core {
 
 /// Runs R copies of an algorithm as one StreamAlgorithm. All copies must
@@ -43,6 +47,18 @@ class ParallelCopies : public stream::StreamAlgorithm {
   std::size_t num_copies() const { return copies_.size(); }
   stream::StreamAlgorithm* copy(std::size_t i) { return copies_[i].get(); }
 
+  /// Drives every copy over all of its passes. With `pool == nullptr` this
+  /// is exactly `stream::RunPasses(stream, this)` — the copies march in
+  /// lockstep through one replay per pass. With a pool, the copies are
+  /// partitioned into one contiguous chunk per worker; each worker replays
+  /// the stream once per pass for its chunk. Copies never share mutable
+  /// state, so each copy's final state (and estimate) is bit-identical
+  /// between the two modes; only `peak_space_bytes` differs (the parallel
+  /// path reports the sum of per-chunk peaks, an upper bound on the
+  /// lockstep peak).
+  stream::RunReport Run(const stream::AdjacencyListStream& stream,
+                        runtime::ThreadPool* pool = nullptr);
+
  private:
   std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies_;
 };
@@ -59,19 +75,32 @@ struct AmplifiedEstimate {
 
 /// Theorem 3.7 end-to-end: median of `copies` independent two-pass triangle
 /// estimators with per-copy sample size `sample_size`.
+///
+/// All three `Estimate*` wrappers accept an optional thread pool. With
+/// `pool == nullptr` (the default) the copies run in lockstep through a
+/// single `ParallelCopies` group, the historical sequential path. With a
+/// pool, the copies are partitioned into one contiguous chunk per worker and
+/// each chunk's pass-1/pass-2 state is built on the pool while the (shared,
+/// read-only) stream is replayed once per pass per chunk. Copy c's seed is
+/// `Mix128To64(seed, c)` in both paths, so `copy_estimates` and `estimate`
+/// are bit-identical regardless of the pool or its size (tested). The
+/// report differs only in `peak_space_bytes`: the parallel path reports the
+/// sum of per-chunk peaks, an upper bound on the lockstep peak.
 AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
                                     std::size_t sample_size, int copies,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed,
+                                    runtime::ThreadPool* pool = nullptr);
 
 /// One-pass baseline end-to-end (MVV'16 style).
 AmplifiedEstimate EstimateTrianglesOnePass(
     const stream::AdjacencyListStream& stream, std::size_t sample_size,
-    int copies, std::uint64_t seed);
+    int copies, std::uint64_t seed, runtime::ThreadPool* pool = nullptr);
 
 /// Theorem 4.6 end-to-end: median of `copies` two-pass 4-cycle estimators.
 AmplifiedEstimate EstimateFourCycles(const stream::AdjacencyListStream& stream,
                                      std::size_t sample_size, int copies,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     runtime::ThreadPool* pool = nullptr);
 
 }  // namespace core
 }  // namespace cyclestream

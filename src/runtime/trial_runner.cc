@@ -1,0 +1,79 @@
+#include "runtime/trial_runner.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace cyclestream {
+namespace runtime {
+
+std::uint64_t TrialSeed(std::uint64_t base_seed, std::size_t trial_index) {
+  // State of a SplitMix64 generator seeded with base_seed after trial_index
+  // steps; one more step yields stream element trial_index in O(1).
+  std::uint64_t state =
+      base_seed + static_cast<std::uint64_t>(trial_index) *
+                      0x9e3779b97f4a7c15ULL;
+  return SplitMix64(&state);
+}
+
+TrialRunner::TrialRunner(int num_threads) {
+  if (num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+TrialRunner::TrialRunner(ThreadPool* pool) : pool_(pool) {
+  if (pool_ != nullptr && pool_->num_threads() <= 1) pool_ = nullptr;
+}
+
+int TrialRunner::num_threads() const {
+  return pool_ == nullptr ? 1 : pool_->num_threads();
+}
+
+std::vector<TrialResult> TrialRunner::Run(std::size_t num_trials,
+                                          std::uint64_t base_seed,
+                                          const TrialFn& fn) const {
+  return Map<TrialResult>(
+      num_trials, base_seed, [&fn](std::size_t i, std::uint64_t seed) {
+        const auto start = std::chrono::steady_clock::now();
+        TrialResult result = fn(i, seed);
+        result.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return result;
+      });
+}
+
+std::vector<double> TrialRunner::Estimates(
+    const std::vector<TrialResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const TrialResult& r : results) out.push_back(r.estimate);
+  return out;
+}
+
+std::vector<double> TrialRunner::AuxEstimates(
+    const std::vector<TrialResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const TrialResult& r : results) out.push_back(r.aux);
+  return out;
+}
+
+std::size_t TrialRunner::MaxPeakSpace(const std::vector<TrialResult>& results) {
+  std::size_t peak = 0;
+  for (const TrialResult& r : results)
+    peak = std::max(peak, r.peak_space_bytes);
+  return peak;
+}
+
+double TrialRunner::TotalWallSeconds(const std::vector<TrialResult>& results) {
+  double total = 0.0;
+  for (const TrialResult& r : results) total += r.wall_seconds;
+  return total;
+}
+
+}  // namespace runtime
+}  // namespace cyclestream

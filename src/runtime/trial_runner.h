@@ -1,0 +1,114 @@
+// Deterministic parallel execution of independent trials.
+//
+// Every Table 1 / Figure 1 bench and every median-amplified estimator run is
+// a batch of (spec × seed) trials that are mutually independent — exactly
+// the workload a thread pool absorbs. `TrialRunner` fans a batch out over a
+// `ThreadPool` under a strict determinism contract:
+//
+//   * Trial i receives the seed `TrialSeed(base_seed, i)` — element i of the
+//     SplitMix64 stream seeded by `base_seed`. Seeds depend only on
+//     (base_seed, i), never on which worker runs the trial or when.
+//   * Results are written to slot i of the output vector.
+//   * The trial function must be a pure function of (trial_index, seed) and
+//     of state it does not mutate (shared Graphs and streams are read-only).
+//
+// Under that contract the result vector is bit-identical for any thread
+// count and any scheduling — verified by tests/runtime_test.cc — so benches
+// may default to all hardware threads without changing a single printed
+// digit. Only the per-trial wall times vary across runs.
+
+#ifndef CYCLESTREAM_RUNTIME_TRIAL_RUNNER_H_
+#define CYCLESTREAM_RUNTIME_TRIAL_RUNNER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace cyclestream {
+namespace runtime {
+
+/// Seed for trial `trial_index` of a batch: the trial_index-th output of a
+/// SplitMix64 generator seeded with `base_seed`. O(1), collision-resistant
+/// across both arguments, and independent of scheduling by construction.
+std::uint64_t TrialSeed(std::uint64_t base_seed, std::size_t trial_index);
+
+/// What one trial reports back. `estimate` is the statistic under study,
+/// `aux` an optional secondary statistic (e.g. the ablation estimator from
+/// the same run); `wall_seconds` is measured by the runner around the trial
+/// function and is the only scheduling-dependent field.
+struct TrialResult {
+  double estimate = 0.0;
+  double aux = 0.0;
+  std::size_t peak_space_bytes = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Fans batches of independent trials out over a thread pool (or runs them
+/// inline when constructed with one thread).
+class TrialRunner {
+ public:
+  /// Runner with its own pool of `num_threads` workers; `num_threads <= 1`
+  /// means no pool — trials run inline on the calling thread.
+  explicit TrialRunner(int num_threads);
+
+  /// Runner over a borrowed pool (not owned; may be null for inline runs).
+  /// `pool` must outlive the runner.
+  explicit TrialRunner(ThreadPool* pool);
+
+  /// Worker count this runner fans out to (1 when running inline).
+  int num_threads() const;
+
+  /// The pool trials run on, or null when running inline.
+  ThreadPool* pool() const { return pool_; }
+
+  using TrialFn = std::function<TrialResult(std::size_t trial_index,
+                                            std::uint64_t seed)>;
+
+  /// Runs `fn(i, TrialSeed(base_seed, i))` for i in [0, num_trials) and
+  /// returns the results in trial order, with wall_seconds filled in.
+  std::vector<TrialResult> Run(std::size_t num_trials, std::uint64_t base_seed,
+                               const TrialFn& fn) const;
+
+  /// Generic deterministic map: out[i] = fn(i, TrialSeed(base_seed, i)).
+  /// `R` must be default-constructible and move-assignable. Exceptions from
+  /// `fn` propagate to the caller after all trials finish or are drained.
+  template <typename R, typename Fn>
+  std::vector<R> Map(std::size_t n, std::uint64_t base_seed, Fn&& fn) const {
+    std::vector<R> out(n);
+    if (pool_ == nullptr || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = fn(i, TrialSeed(base_seed, i));
+      return out;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pending.push_back(pool_->Submit([&out, &fn, base_seed, i] {
+        out[i] = fn(i, TrialSeed(base_seed, i));
+      }));
+    }
+    for (auto& future : pending) future.get();
+    return out;
+  }
+
+  /// Projections over a result batch.
+  static std::vector<double> Estimates(const std::vector<TrialResult>& results);
+  static std::vector<double> AuxEstimates(
+      const std::vector<TrialResult>& results);
+  static std::size_t MaxPeakSpace(const std::vector<TrialResult>& results);
+  static double TotalWallSeconds(const std::vector<TrialResult>& results);
+
+ private:
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // null => run trials inline
+};
+
+}  // namespace runtime
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_RUNTIME_TRIAL_RUNNER_H_

@@ -1,0 +1,139 @@
+// Tests for the bench support library: flag parsing, Summarize (median
+// semantics matching core::Median, empty-batch safety), MinimalSample,
+// FormatBytes, and the Table/Cell dual table/CSV emitter.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include <gtest/gtest.h>
+
+namespace cyclestream {
+namespace {
+
+char** MakeArgv(std::vector<const char*>& storage) {
+  return const_cast<char**>(storage.data());
+}
+
+TEST(BenchFlagsTest, HasFlagAndFlagValue) {
+  std::vector<const char*> args = {"prog", "--full", "--threads", "6"};
+  char** argv = MakeArgv(args);
+  int argc = static_cast<int>(args.size());
+  EXPECT_TRUE(bench::HasFlag(argc, argv, "--full"));
+  EXPECT_FALSE(bench::HasFlag(argc, argv, "--csv"));
+  EXPECT_EQ(bench::FlagValue(argc, argv, "--threads", 1), 6);
+  EXPECT_EQ(bench::FlagValue(argc, argv, "--missing", 3), 3);
+}
+
+TEST(BenchFlagsTest, FlagValueRejectsNonPositive) {
+  std::vector<const char*> args = {"prog", "--threads", "0"};
+  char** argv = MakeArgv(args);
+  EXPECT_EQ(bench::FlagValue(static_cast<int>(args.size()), argv, "--threads",
+                             4),
+            4);
+}
+
+TEST(SummarizeTest, EmptyBatchYieldsZerosWithoutDividing) {
+  bench::TrialStats s = bench::Summarize({}, 10.0, 0.25);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.median_rel_error, 0.0);
+  EXPECT_EQ(s.frac_within, 0.0);
+}
+
+TEST(SummarizeTest, EvenSizeMedianAveragesMiddlePair) {
+  // Median of {1,2,3,4} must be 2.5 (matching core::Median), not 3.
+  bench::TrialStats s = bench::Summarize({4.0, 1.0, 3.0, 2.0}, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, core::Median({4.0, 1.0, 3.0, 2.0}));
+  // Relative errors vs truth 2: {1, 0.5, 0.5, 0} -> median 0.5.
+  EXPECT_DOUBLE_EQ(s.median_rel_error, 0.5);
+}
+
+TEST(SummarizeTest, OddSizeMedianAndFracWithin) {
+  bench::TrialStats s = bench::Summarize({8.0, 10.0, 13.0}, 10.0, 0.25);
+  EXPECT_DOUBLE_EQ(s.median, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 31.0 / 3.0);
+  EXPECT_NEAR(s.frac_within, 2.0 / 3.0, 1e-12);  // 13 is 30% off
+}
+
+TEST(SummarizeTest, SingleElementHasZeroStddev) {
+  bench::TrialStats s = bench::Summarize({5.0}, 5.0, 0.25);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.frac_within, 1.0);
+}
+
+TEST(MinimalSampleTest, FindsFirstGridPointReachingTarget) {
+  std::vector<std::size_t> probed;
+  std::size_t found = bench::MinimalSample(
+      4, 2.0, 1000, 0.8, [&](std::size_t m) {
+        probed.push_back(m);
+        return m >= 30 ? 1.0 : 0.0;
+      });
+  EXPECT_EQ(found, 32u);
+  EXPECT_EQ(probed, (std::vector<std::size_t>{4, 8, 16, 32}));
+}
+
+TEST(MinimalSampleTest, CapsAtMaxValue) {
+  std::size_t found =
+      bench::MinimalSample(4, 2.0, 20, 0.8, [](std::size_t) { return 0.0; });
+  EXPECT_EQ(found, 20u);
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(bench::FormatBytes(512), "512B");
+  EXPECT_EQ(bench::FormatBytes(2048), "2.0KiB");
+  EXPECT_EQ(bench::FormatBytes(3 * 1024 * 1024), "3.0MiB");
+}
+
+TEST(TableTest, TableModeAlignsAndCsvModeJoins) {
+  bench::BenchOptions table_opts;  // csv = false
+  bench::BenchOptions csv_opts;
+  csv_opts.csv = true;
+  std::vector<bench::Column> columns = {{"T", 6, bench::kColInt},
+                                        {"ratio", 8, 2},
+                                        {"space", 8, bench::kColStr}};
+  bench::Table table(table_opts, columns);
+  bench::Table csv(csv_opts, columns);
+
+  EXPECT_EQ(table.FormatHeader(), "     T    ratio    space");
+  EXPECT_EQ(csv.FormatHeader(), "T,ratio,space");
+
+  EXPECT_EQ(table.FormatRow({std::size_t{1200}, 1.5, "3.1KiB"}),
+            "  1200     1.50   3.1KiB");
+  EXPECT_EQ(csv.FormatRow({std::size_t{1200}, 1.5, "3.1KiB"}),
+            "1200,1.50,3.1KiB");
+}
+
+TEST(TableTest, ValuesIdenticalAcrossModes) {
+  // The CSV cells must be exactly the table cells (same precision), so
+  // table output and CSV output describe the same run.
+  bench::BenchOptions table_opts;
+  bench::BenchOptions csv_opts;
+  csv_opts.csv = true;
+  std::vector<bench::Column> columns = {{"a", 10, 3}, {"b", 10, bench::kColInt}};
+  bench::Table table(table_opts, columns);
+  bench::Table csv(csv_opts, columns);
+  std::string aligned = table.FormatRow({0.123456, std::size_t{42}});
+  std::string joined = csv.FormatRow({0.123456, std::size_t{42}});
+  // Strip alignment spaces from the table row and compare.
+  std::string stripped;
+  for (char c : aligned) {
+    if (c != ' ') stripped += c;
+    else if (!stripped.empty() && stripped.back() != ',') stripped += ',';
+  }
+  EXPECT_EQ(stripped, joined);
+}
+
+TEST(TableTest, IntColumnFormatsDoublesAsIntegers) {
+  bench::BenchOptions opts;
+  opts.csv = true;
+  bench::Table table(opts, {{"n", 6, bench::kColInt}});
+  EXPECT_EQ(table.FormatRow({7.0}), "7");
+  EXPECT_EQ(table.FormatRow({std::size_t{9}}), "9");
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,183 @@
+// Degenerate-oracle sweep: every estimator, given enough space to hold the
+// whole input (m' >= m, and for Q-bounded estimators enough candidate slots
+// that nothing is ever evicted) and copies = 1, must return the exact cycle
+// count — on every generator family and several seeds. This pins the
+// "degenerates to exact" contracts the headers promise and guards the
+// estimator plumbing against silent bias regressions.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "core/median.h"
+#include "core/one_pass_four_cycle.h"
+#include "core/wedge_sampling_triangle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "gen/projective_plane.h"
+#include <gtest/gtest.h>
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace {
+
+struct OracleCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+// Every generator family in gen/, kept small enough that exact counting and
+// full-storage streaming stay fast. Seeded generators consume the seed;
+// fixed constructions vary their size with it so each instantiation still
+// differs.
+const OracleCase kCases[] = {
+    {"ErdosRenyiGnp",
+     [](std::uint64_t s) { return gen::ErdosRenyiGnp(60, 0.12, s); }},
+    {"ErdosRenyiGnm",
+     [](std::uint64_t s) { return gen::ErdosRenyiGnm(60, 220, s); }},
+    {"ChungLuPowerLaw",
+     [](std::uint64_t s) { return gen::ChungLuPowerLaw(80, 6.0, 2.3, s); }},
+    {"BarabasiAlbert",
+     [](std::uint64_t s) { return gen::BarabasiAlbert(70, 3, s); }},
+    {"PlantedDisjointTriangles",
+     [](std::uint64_t s) {
+       return gen::PlantedDisjointTriangles(
+           10 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedHeavyEdgeTriangles",
+     [](std::uint64_t s) {
+       return gen::PlantedHeavyEdgeTriangles(
+           12 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedSharedVertexTriangles",
+     [](std::uint64_t s) {
+       return gen::PlantedSharedVertexTriangles(
+           12 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedClique",
+     [](std::uint64_t s) {
+       return gen::PlantedClique(
+           8 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedBookForest",
+     [](std::uint64_t s) {
+       return gen::PlantedBookForest(
+           4 + s, 5, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedDisjointFourCycles",
+     [](std::uint64_t s) {
+       return gen::PlantedDisjointFourCycles(
+           10 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedHeavyDiagonalFourCycles",
+     [](std::uint64_t s) {
+       return gen::PlantedHeavyDiagonalFourCycles(
+           6 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"PlantedDisjointCycles",
+     [](std::uint64_t s) {
+       return gen::PlantedDisjointCycles(
+           5, 8 + s, gen::PlantedBackground{.stars = 3, .star_degree = 8});
+     }},
+    {"ProjectivePlaneGraph",
+     [](std::uint64_t s) { return gen::ProjectivePlaneGraph(s % 2 ? 5 : 7); }},
+    {"Complete", [](std::uint64_t s) { return gen::Complete(8 + s); }},
+    {"CompleteBipartite",
+     [](std::uint64_t s) { return gen::CompleteBipartite(5 + s, 6); }},
+    {"CycleGraph", [](std::uint64_t s) { return gen::CycleGraph(20 + s); }},
+    {"PathGraph", [](std::uint64_t s) { return gen::PathGraph(15 + s); }},
+    {"Star", [](std::uint64_t s) { return gen::Star(10 + s); }},
+    {"Petersen", [](std::uint64_t) { return gen::Petersen(); }},
+};
+
+class DegenerateOracleTest
+    : public ::testing::TestWithParam<std::tuple<OracleCase, std::uint64_t>> {
+ protected:
+  Graph MakeGraph() const {
+    return std::get<0>(GetParam()).make(std::get<1>(GetParam()));
+  }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(DegenerateOracleTest, TwoPassTriangleExactAtFullSpace) {
+  Graph g = MakeGraph();
+  const std::uint64_t truth = exact::CountTriangles(g);
+  stream::AdjacencyListStream s(&g, 7 + seed());
+  // Q's capacity is a fixed multiple of sample_size; 3T candidate pairs can
+  // coexist, so size past max(m, 3T) to guarantee no eviction.
+  const std::size_t sample =
+      std::max<std::size_t>(g.num_edges(),
+                            3 * static_cast<std::size_t>(truth)) +
+      8;
+  core::AmplifiedEstimate out =
+      core::EstimateTriangles(s, sample, /*copies=*/1, 100 + seed());
+  EXPECT_EQ(out.estimate, static_cast<double>(truth));
+}
+
+TEST_P(DegenerateOracleTest, OnePassTriangleExactAtFullSpace) {
+  Graph g = MakeGraph();
+  const std::uint64_t truth = exact::CountTriangles(g);
+  stream::AdjacencyListStream s(&g, 11 + seed());
+  const std::size_t sample = std::max<std::size_t>(g.num_edges(), 1);
+  core::AmplifiedEstimate out =
+      core::EstimateTrianglesOnePass(s, sample, /*copies=*/1, 200 + seed());
+  EXPECT_EQ(out.estimate, static_cast<double>(truth));
+}
+
+TEST_P(DegenerateOracleTest, WedgeSamplingExactAtFullReservoir) {
+  Graph g = MakeGraph();
+  const std::uint64_t truth = exact::CountTriangles(g);
+  stream::AdjacencyListStream s(&g, 13 + seed());
+  core::WedgeSamplingOptions options;
+  options.reservoir_size =
+      std::max<std::uint64_t>(g.WedgeCount(), 1);  // holds every wedge
+  options.seed = 300 + seed();
+  core::WedgeSamplingTriangleCounter counter(options);
+  stream::RunPasses(s, &counter);
+  // Exact up to FP rounding: the estimate is (closed/sampled) * P2 / 2, and
+  // the division can cost an ULP even when the reservoir holds every wedge.
+  EXPECT_DOUBLE_EQ(counter.Estimate(), static_cast<double>(truth));
+}
+
+TEST_P(DegenerateOracleTest, TwoPassFourCycleExactAtFullSpace) {
+  Graph g = MakeGraph();
+  const std::uint64_t truth = exact::CountFourCycles(g);
+  stream::AdjacencyListStream s(&g, 17 + seed());
+  const std::size_t sample = std::max<std::size_t>(g.num_edges(), 1);
+  core::AmplifiedEstimate out =
+      core::EstimateFourCycles(s, sample, /*copies=*/1, 400 + seed());
+  EXPECT_EQ(out.estimate, static_cast<double>(truth));
+}
+
+TEST_P(DegenerateOracleTest, OnePassFourCycleExactAtFullSpace) {
+  Graph g = MakeGraph();
+  const std::uint64_t truth = exact::CountFourCycles(g);
+  stream::AdjacencyListStream s(&g, 19 + seed());
+  core::OnePassFourCycleOptions options;
+  options.sample_size = std::max<std::size_t>(g.num_edges(), 1);
+  options.seed = 500 + seed();
+  core::OnePassFourCycleCounter counter(options);
+  stream::RunPasses(s, &counter);
+  EXPECT_EQ(counter.Estimate(), static_cast<double>(truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, DegenerateOracleTest,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    [](const ::testing::TestParamInfo<DegenerateOracleTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param).name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,136 @@
+// Statistical harness for the estimators' unbiasedness claims, run through
+// the TrialRunner so the pooled-trial fan-out is the same machinery the
+// benches use.
+//
+// Each test pools >= 200 independent trials of an estimator on a fixed
+// graph and checks the z-score of the sample mean against the exact count:
+//   z = (mean - truth) / (stddev / sqrt(n)).
+// For an unbiased estimator z is asymptotically N(0,1); |z| < 4.5 bounds
+// the per-test false-failure rate at ~7e-6 while still catching any real
+// bias beyond a small fraction of a standard error. Seeds are fixed, so
+// failures are reproducible, and results are thread-count independent.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/one_pass_triangle.h"
+#include "core/two_pass_triangle.h"
+#include "core/four_cycle.h"
+#include "core/wedge_sampling_triangle.h"
+#include "exact/four_cycle.h"
+#include "exact/triangle.h"
+#include "gen/planted.h"
+#include <gtest/gtest.h>
+#include "runtime/trial_runner.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+#include "test_util.h"
+
+namespace cyclestream {
+namespace {
+
+constexpr int kTrials = 240;
+constexpr double kMaxAbsZ = 4.5;
+
+double ZScore(const std::vector<double>& estimates, double truth) {
+  const double mean = testing_util::Mean(estimates);
+  const double sd = testing_util::StdDev(estimates);
+  EXPECT_GT(sd, 0.0) << "degenerate sample; z-score undefined";
+  return (mean - truth) /
+         (sd / std::sqrt(static_cast<double>(estimates.size())));
+}
+
+// One shared runner: 4 threads exercises the parallel fan-out in every test
+// (results are identical to a sequential run by the determinism contract).
+runtime::TrialRunner& Runner() {
+  static runtime::TrialRunner* runner = new runtime::TrialRunner(4);
+  return *runner;
+}
+
+template <typename Counter, typename Options>
+std::vector<double> PooledEstimates(const stream::AdjacencyListStream& s,
+                                    Options options,
+                                    std::uint64_t base_seed) {
+  return runtime::TrialRunner::Estimates(Runner().Run(
+      kTrials, base_seed, [&](std::size_t, std::uint64_t seed) {
+        Options local = options;  // per-trial copy; no shared mutation
+        local.seed = seed;
+        Counter counter(local);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate()};
+      }));
+}
+
+TEST(StatisticalTest, OnePassTriangleCounterIsUnbiased) {
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 40};
+  Graph g = gen::PlantedDisjointTriangles(400, bg);
+  const double truth = static_cast<double>(exact::CountTriangles(g));
+  stream::AdjacencyListStream s(&g, 11);
+  core::OnePassTriangleOptions options;
+  options.sample_size = g.num_edges() / 8;
+  std::vector<double> estimates =
+      PooledEstimates<core::OnePassTriangleCounter>(s, options, 1001);
+  EXPECT_LT(std::abs(ZScore(estimates, truth)), kMaxAbsZ);
+}
+
+TEST(StatisticalTest, WedgeSamplingTriangleCounterIsUnbiased) {
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 20};
+  Graph g = gen::PlantedSharedVertexTriangles(300, bg);
+  const double truth = static_cast<double>(exact::CountTriangles(g));
+  stream::AdjacencyListStream s(&g, 17);
+  core::WedgeSamplingOptions options;
+  options.reservoir_size = 400;
+  std::vector<double> estimates =
+      PooledEstimates<core::WedgeSamplingTriangleCounter>(s, options, 2002);
+  EXPECT_LT(std::abs(ZScore(estimates, truth)), kMaxAbsZ);
+}
+
+TEST(StatisticalTest, TwoPassTriangleCounterIsUnbiased) {
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 40};
+  Graph g = gen::PlantedClique(24, bg);
+  const double truth = static_cast<double>(exact::CountTriangles(g));
+  stream::AdjacencyListStream s(&g, 23);
+  core::TwoPassTriangleOptions options;
+  options.sample_size = g.num_edges() / 4;
+  std::vector<double> estimates =
+      PooledEstimates<core::TwoPassTriangleCounter>(s, options, 3003);
+  EXPECT_LT(std::abs(ZScore(estimates, truth)), kMaxAbsZ);
+}
+
+// The heavy-edge family is where an un-careful estimator shows bias; the
+// lightest-edge rule must stay centered there too.
+TEST(StatisticalTest, TwoPassTriangleCounterIsUnbiasedOnHeavyEdges) {
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 40};
+  Graph g = gen::PlantedHeavyEdgeTriangles(500, bg);
+  const double truth = static_cast<double>(exact::CountTriangles(g));
+  stream::AdjacencyListStream s(&g, 29);
+  core::TwoPassTriangleOptions options;
+  options.sample_size = g.num_edges() / 4;
+  std::vector<double> estimates =
+      PooledEstimates<core::TwoPassTriangleCounter>(s, options, 4004);
+  EXPECT_LT(std::abs(ZScore(estimates, truth)), kMaxAbsZ);
+}
+
+// The 4-cycle multiplicity estimate (sum of per-wedge tallies / 4) is the
+// unbiased statistic Lemma 4.3 analyzes; check it on disjoint 4-cycles.
+TEST(StatisticalTest, FourCycleMultiplicityEstimateIsUnbiased) {
+  gen::PlantedBackground bg{.stars = 6, .star_degree = 20};
+  Graph g = gen::PlantedDisjointFourCycles(300, bg);
+  const double truth = static_cast<double>(exact::CountFourCycles(g));
+  stream::AdjacencyListStream s(&g, 37);
+  std::vector<double> estimates = runtime::TrialRunner::Estimates(
+      Runner().Run(kTrials, 5005, [&](std::size_t, std::uint64_t seed) {
+        core::FourCycleOptions options;
+        options.sample_size = g.num_edges() / 4;
+        options.seed = seed;
+        core::TwoPassFourCycleCounter counter(options);
+        stream::RunPasses(s, &counter);
+        return runtime::TrialResult{
+            .estimate = counter.result().multiplicity_estimate};
+      }));
+  EXPECT_LT(std::abs(ZScore(estimates, truth)), kMaxAbsZ);
+}
+
+}  // namespace
+}  // namespace cyclestream
