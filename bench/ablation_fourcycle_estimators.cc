@@ -32,22 +32,29 @@ struct Pair {
 
 // One counter run yields both statistics; TrialResult carries the distinct
 // estimate in .estimate and the multiplicity estimate in .aux.
-Pair Estimates(const Graph& g, std::size_t sample, int trials,
-               std::uint64_t seed_base) {
+Pair Estimates(const Graph& g, const char* family, std::size_t sample,
+               int trials, std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 7757);
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("family", obs::Json(family));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      std::string("fourcycle_estimators/") + family, trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::FourCycleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TwoPassFourCycleCounter counter(options);
-        stream::RunPasses(s, &counter);
+        const stream::RunReport report = ctx.Run(s, &counter);
         core::FourCycleResult res = counter.result();
         runtime::TrialResult r;
         r.estimate = res.estimate;
         r.aux = res.multiplicity_estimate;
+        r.peak_space_bytes = report.peak_space_bytes;
         return r;
-      });
+      },
+      std::move(config));
   return {runtime::TrialRunner::Estimates(results),
           runtime::TrialRunner::AuxEstimates(results)};
 }
@@ -97,7 +104,7 @@ int main(int argc, char** argv) {
     std::size_t sample = std::max<std::size_t>(
         16, static_cast<std::size_t>(
                 4.0 * f.graph.num_edges() / std::pow(f.truth, 3.0 / 8.0)));
-    Pair p = Estimates(f.graph, sample, kTrials, 300);
+    Pair p = Estimates(f.graph, f.name, sample, kTrials, 300);
     bench::TrialStats sd = bench::Summarize(p.distinct, f.truth, 1.0);
     bench::TrialStats sm = bench::Summarize(p.multiplicity, f.truth, 1.0);
     table.PrintRow({f.name, f.graph.num_edges(), f.truth, sample, "|",

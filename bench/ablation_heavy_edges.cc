@@ -22,19 +22,30 @@
 namespace cyclestream {
 namespace {
 
-std::vector<double> Estimates(const Graph& g, std::size_t sample, bool rule,
-                              int trials, std::uint64_t seed_base) {
+std::vector<double> Estimates(const Graph& g, const char* family,
+                              std::size_t sample, bool rule, int trials,
+                              std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 55337);
-  return runtime::TrialRunner::Estimates(bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("family", obs::Json(family));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  config.Set("lightest_edge_rule", obs::Json(rule));
+  return runtime::TrialRunner::Estimates(bench::RunBatch(
+      std::string(family) + (rule ? "/with-rule" : "/without-rule"), trials,
+      seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::TwoPassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         options.use_lightest_edge_rule = rule;
         core::TwoPassTriangleCounter counter(options);
-        stream::RunPasses(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate()};
-      }));
+        const stream::RunReport report = ctx.Run(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate(),
+                                    .peak_space_bytes =
+                                        report.peak_space_bytes};
+      },
+      std::move(config)));
 }
 
 }  // namespace
@@ -78,8 +89,8 @@ int main(int argc, char** argv) {
   table.PrintHeader();
   for (const Family& f : families) {
     std::size_t sample = f.graph.num_edges() / 16;
-    auto with_rule = Estimates(f.graph, sample, true, kTrials, 100);
-    auto without = Estimates(f.graph, sample, false, kTrials, 100);
+    auto with_rule = Estimates(f.graph, f.name, sample, true, kTrials, 100);
+    auto without = Estimates(f.graph, f.name, sample, false, kTrials, 100);
     bench::TrialStats sw = bench::Summarize(with_rule, truth, 0.25);
     bench::TrialStats so = bench::Summarize(without, truth, 0.25);
     table.PrintRow({f.name, f.graph.num_edges(), sw.stddev / truth,

@@ -11,9 +11,25 @@
 //                 (runtime::TrialSeed), never from scheduling.
 //   --csv         machine-readable output: tables become CSV (one header row
 //                 + data rows), prose becomes '#'-prefixed comments.
+//   --metrics-out FILE   write a JSONL run manifest: run header, per-batch
+//                 per-trial estimate/space/time records, space timelines,
+//                 curve points + slope verdicts, a MetricsRegistry snapshot,
+//                 and a run_end trailer (schema: src/obs/manifest.h;
+//                 consumer: scripts/bench_report.py).
+//   --trace-out FILE     write a timelines-only manifest (run header +
+//                 timeline + run_end) — for fine-grained space traces kept
+//                 apart from the metrics manifest.
+//   --trace-stride N     additionally sample space mid-list every N pairs
+//                 in traced trials (default: list boundaries only).
+//
+// None of the new flags touch stdout: manifests go to their files, wall
+// time to stderr, so bench tables stay byte-identical traced or not.
 //
 // Trial batches run through the shared runtime::TrialRunner returned by
 // bench::Runner(); call bench::ParseOptions first so --threads takes effect.
+// Batches that should appear in manifests go through bench::RunBatch, which
+// traces trial 0, collects per-trial timings outside the deterministic
+// result slots, and emits the batch/timeline records.
 
 #ifndef CYCLESTREAM_BENCH_BENCH_UTIL_H_
 #define CYCLESTREAM_BENCH_BENCH_UTIL_H_
@@ -29,12 +45,19 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/median.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/space_tracer.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trial_runner.h"
+#include "stream/driver.h"
 
 namespace cyclestream {
 namespace bench {
@@ -57,11 +80,22 @@ inline int FlagValue(int argc, char** argv, const char* flag, int fallback) {
   return fallback;
 }
 
+/// Value of `--flag STR`; empty when absent.
+inline std::string FlagString(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return "";
+}
+
 /// Flags shared by every bench binary.
 struct BenchOptions {
   bool full = false;
   bool csv = false;
   int threads = 1;  // resolved worker count (>= 1)
+  std::string metrics_out;       // --metrics-out FILE ("" = off)
+  std::string trace_out;         // --trace-out FILE ("" = off)
+  std::uint64_t trace_stride = 0;  // --trace-stride N (0 = boundaries only)
 };
 
 namespace internal {
@@ -91,20 +125,143 @@ inline void PrintElapsedAtExit() {
   std::fprintf(stderr, "[bench] threads=%d wall=%.2fs\n", info.threads, secs);
 }
 
+// Manifest/metrics state behind --metrics-out / --trace-out. One instance
+// per bench process (function-static); inert unless Configure() saw one of
+// the flags, so untraced runs pay nothing but a null check.
+class Observability {
+ public:
+  static Observability& Get() {
+    static Observability instance;
+    return instance;
+  }
+
+  void Configure(const BenchOptions& opts, int argc, char** argv) {
+    trace_stride_ = opts.trace_stride;
+    if (!opts.metrics_out.empty()) {
+      auto writer = obs::ManifestWriter::Open(opts.metrics_out);
+      if (!writer.ok()) {
+        std::fprintf(stderr, "[bench] %s\n",
+                     writer.status().message().c_str());
+      } else {
+        metrics_writer_.emplace(std::move(writer).value());
+        registry_ = std::make_unique<obs::MetricsRegistry>();
+      }
+    }
+    if (!opts.trace_out.empty()) {
+      auto writer = obs::ManifestWriter::Open(opts.trace_out);
+      if (!writer.ok()) {
+        std::fprintf(stderr, "[bench] %s\n",
+                     writer.status().message().c_str());
+      } else {
+        trace_writer_.emplace(std::move(writer).value());
+      }
+    }
+    if (!enabled()) return;
+    obs::Json run = obs::MakeRecord("run");
+    run.Set("bench", obs::Json(BenchName(argc, argv)));
+    run.Set("git", obs::Json(obs::GitDescribe()));
+    run.Set("threads", obs::Json(opts.threads));
+    run.Set("full", obs::Json(opts.full));
+    run.Set("trace_stride", obs::Json(opts.trace_stride));
+    obs::Json args = obs::Json::Array();
+    for (int i = 1; i < argc; ++i) args.Push(obs::Json(argv[i]));
+    run.Set("argv", std::move(args));
+    WriteAll(run);
+  }
+
+  bool enabled() const {
+    return metrics_writer_.has_value() || trace_writer_.has_value();
+  }
+  std::uint64_t trace_stride() const { return trace_stride_; }
+
+  /// The run's metrics registry, or null when --metrics-out is off.
+  obs::MetricsRegistry* registry() { return registry_.get(); }
+
+  /// batch / curve_point / slope / metrics records: metrics manifest only.
+  void WriteMetricsRecord(const obs::Json& record) {
+    if (metrics_writer_.has_value()) metrics_writer_->Write(record);
+  }
+
+  /// timeline records: both manifests (--trace-out exists to carry big
+  /// timelines separately, but the metrics manifest stays self-contained).
+  void WriteTimelineRecord(const obs::Json& record) {
+    WriteAll(record);
+  }
+
+  /// Flushes the registry snapshot + run_end trailers. Registered atexit
+  /// by ParseOptions; idempotent.
+  void Finish() {
+    if (finished_ || !enabled()) return;
+    finished_ = true;
+    if (registry_ != nullptr) {
+      obs::Json metrics = obs::MakeRecord("metrics");
+      metrics.Set("metrics", registry_->Read().ToJson());
+      WriteMetricsRecord(metrics);
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            GlobalRunInfo().start)
+                            .count();
+    // Each writer's trailer counts that writer's records (including the
+    // trailer itself) so a truncated manifest is detectable.
+    if (metrics_writer_.has_value()) {
+      metrics_writer_->Write(EndRecord(metrics_writer_->records_written(), wall));
+    }
+    if (trace_writer_.has_value()) {
+      trace_writer_->Write(EndRecord(trace_writer_->records_written(), wall));
+    }
+  }
+
+ private:
+  static std::string BenchName(int argc, char** argv) {
+    if (argc < 1 || argv[0] == nullptr) return "unknown";
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+
+  static obs::Json EndRecord(std::size_t records_before, double wall) {
+    obs::Json end = obs::MakeRecord("run_end");
+    end.Set("records", obs::Json(records_before + 1));  // + this trailer
+    end.Set("wall_seconds", obs::Json(wall));
+    return end;
+  }
+
+  void WriteAll(const obs::Json& record) {
+    if (metrics_writer_.has_value()) metrics_writer_->Write(record);
+    if (trace_writer_.has_value()) trace_writer_->Write(record);
+  }
+
+  std::optional<obs::ManifestWriter> metrics_writer_;
+  std::optional<obs::ManifestWriter> trace_writer_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::uint64_t trace_stride_ = 0;
+  bool finished_ = false;
+};
+
+inline void FinishObservabilityAtExit() { Observability::Get().Finish(); }
+
 }  // namespace internal
 
-/// Parses the shared flags and configures the shared trial runner.
+/// Parses the shared flags, configures the shared trial runner, and opens
+/// the run manifests when --metrics-out / --trace-out are given.
 inline BenchOptions ParseOptions(int argc, char** argv) {
   BenchOptions opts;
   opts.full = HasFlag(argc, argv, "--full");
   opts.csv = HasFlag(argc, argv, "--csv");
   opts.threads =
       FlagValue(argc, argv, "--threads", runtime::HardwareThreads());
+  opts.metrics_out = FlagString(argc, argv, "--metrics-out");
+  opts.trace_out = FlagString(argc, argv, "--trace-out");
+  opts.trace_stride = static_cast<std::uint64_t>(
+      FlagValue(argc, argv, "--trace-stride", 0));
   internal::RunnerSlot() =
       std::make_unique<runtime::TrialRunner>(opts.threads);
   internal::GlobalRunInfo() = {std::chrono::steady_clock::now(),
                                opts.threads};
   std::atexit(internal::PrintElapsedAtExit);
+  internal::Observability::Get().Configure(opts, argc, argv);
+  std::atexit(internal::FinishObservabilityAtExit);
   return opts;
 }
 
@@ -116,6 +273,126 @@ inline runtime::TrialRunner& Runner() {
         std::make_unique<runtime::TrialRunner>(runtime::HardwareThreads());
   }
   return *internal::RunnerSlot();
+}
+
+/// Per-trial context handed to RunBatch's trial function. `tracer` is
+/// non-null only for the batch's traced trial (trial 0, single-writer);
+/// `Run` routes a driver call through it plus the run's metrics registry,
+/// so a trial body reads identically traced or untraced:
+///
+///   bench::RunBatch("label", trials, seed, [&](const bench::TrialCtx& ctx) {
+///     core::SomeCounter algo(...);
+///     auto report = ctx.Run(stream, &algo);
+///     return runtime::TrialResult{algo.Estimate(), 0.0,
+///                                 report.peak_space_bytes};
+///   });
+struct TrialCtx {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  obs::SpaceTracer* tracer = nullptr;
+
+  template <typename StreamT>
+  stream::RunReport Run(const StreamT& s, stream::StreamAlgorithm* algo) const {
+    return stream::RunPasses(
+        s, algo,
+        stream::TraceOptions{tracer,
+                             internal::Observability::Get().registry()});
+  }
+};
+
+/// Runs `trials` trials through the shared Runner (same seeds/slots as
+/// Runner().Run, so printed numbers are unchanged) and, when manifests are
+/// open, records the batch: per-trial estimate/aux/space plus wall and
+/// queue-wait timings (kept out of the returned deterministic results), a
+/// space timeline for trial 0, and wall/queue-wait histograms in the
+/// metrics registry. `config` is an arbitrary JSON object identifying the
+/// batch's parameters (m, T, sample size, ...).
+inline std::vector<runtime::TrialResult> RunBatch(
+    const std::string& label, std::size_t trials, std::uint64_t base_seed,
+    const std::function<runtime::TrialResult(const TrialCtx&)>& fn,
+    obs::Json config = obs::Json::Object()) {
+  internal::Observability& ob = internal::Observability::Get();
+  obs::SpaceTracer tracer(ob.trace_stride());
+  obs::SpaceTracer* traced = ob.enabled() ? &tracer : nullptr;
+  std::vector<runtime::TrialTiming> timings;
+  std::vector<runtime::TrialResult> results = Runner().Run(
+      trials, base_seed,
+      [&fn, traced](std::size_t i, std::uint64_t seed) {
+        TrialCtx ctx{i, seed, i == 0 ? traced : nullptr};
+        return fn(ctx);
+      },
+      &timings);
+  if (!ob.enabled()) return results;
+
+  obs::Json batch = obs::MakeRecord("batch");
+  batch.Set("label", obs::Json(label));
+  batch.Set("trials", obs::Json(trials));
+  batch.Set("base_seed", obs::Json(base_seed));
+  batch.Set("config", std::move(config));
+  obs::Json rows = obs::Json::Array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    obs::Json row = obs::Json::Object();
+    row.Set("trial", obs::Json(i));
+    row.Set("seed", obs::Json(runtime::TrialSeed(base_seed, i)));
+    row.Set("estimate", obs::Json(results[i].estimate));
+    row.Set("aux", obs::Json(results[i].aux));
+    row.Set("peak_space_bytes", obs::Json(results[i].peak_space_bytes));
+    row.Set("wall_seconds", obs::Json(timings[i].wall_seconds));
+    row.Set("queue_wait_seconds", obs::Json(timings[i].queue_wait_seconds));
+    rows.Push(std::move(row));
+  }
+  batch.Set("results", std::move(rows));
+  ob.WriteMetricsRecord(batch);
+
+  if (!tracer.timelines().empty()) {
+    obs::Json timeline = obs::MakeRecord("timeline");
+    timeline.Set("label", obs::Json(label));
+    timeline.Set("trial", obs::Json(0));
+    timeline.Set("seed", obs::Json(runtime::TrialSeed(base_seed, 0)));
+    timeline.Set("pair_stride", obs::Json(tracer.pair_stride()));
+    timeline.Set("max_space_bytes", obs::Json(tracer.MaxSpaceBytes()));
+    timeline.Set("passes", tracer.ToJson());
+    ob.WriteTimelineRecord(timeline);
+  }
+
+  if (obs::MetricsRegistry* registry = ob.registry()) {
+    static const std::vector<double> kSecondsBounds = {
+        1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+    obs::Histogram wall =
+        registry->GetHistogram("bench.trial_wall_seconds", kSecondsBounds);
+    obs::Histogram wait = registry->GetHistogram(
+        "bench.trial_queue_wait_seconds", kSecondsBounds);
+    for (const runtime::TrialTiming& t : timings) {
+      wall.Observe(t.wall_seconds);
+      wait.Observe(t.queue_wait_seconds);
+    }
+    registry->GetCounter("bench.trials").Increment(trials);
+    registry->GetCounter("bench.batches").Increment();
+  }
+  return results;
+}
+
+/// Records one (x, y) point of a named measured curve (e.g. minimal sample
+/// size vs T) in the metrics manifest. No-op when manifests are off.
+inline void CurvePoint(const std::string& curve, double x, double y) {
+  obs::Json point = obs::MakeRecord("curve_point");
+  point.Set("curve", obs::Json(curve));
+  point.Set("x", obs::Json(x));
+  point.Set("y", obs::Json(y));
+  internal::Observability::Get().WriteMetricsRecord(point);
+}
+
+/// Records a curve's measured log-log slope against the paper's predicted
+/// exponent, with the bench's own consistency verdict. No-op when
+/// manifests are off.
+inline void Slope(const std::string& curve, double measured, double predicted,
+                  bool consistent) {
+  obs::Json slope = obs::MakeRecord("slope");
+  slope.Set("curve", obs::Json(curve));
+  slope.Set("measured", obs::Json(measured));
+  slope.Set("predicted", obs::Json(predicted));
+  slope.Set("consistent", obs::Json(consistent));
+  internal::Observability::Get().WriteMetricsRecord(slope);
 }
 
 struct TrialStats {

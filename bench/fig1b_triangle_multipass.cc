@@ -33,23 +33,28 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
                    double threshold, std::size_t sample,
                    int trials_per_gadget, std::uint64_t seed_base) {
   const std::size_t total = gadgets.size() * trials_per_gadget;
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("sample", obs::Json(sample));
+  config.Set("gadgets", obs::Json(gadgets.size()));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      "protocol/sample=" + std::to_string(sample), total, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         const lowerbound::Gadget& gadget =
-            gadgets[index / trials_per_gadget];
+            gadgets[ctx.index / trials_per_gadget];
         core::TwoPassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
         lowerbound::ProtocolRun run = lowerbound::RunProtocol(
-            gadget, &counter, runtime::TrialSeed(seed, 1));
+            gadget, &counter, runtime::TrialSeed(ctx.seed, 1));
         bool guess = counter.Estimate() >= threshold;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
         r.peak_space_bytes = run.max_message_bytes;
         r.aux = static_cast<double>(run.total_message_bytes);
         return r;
-      });
+      },
+      std::move(config));
   SweepPoint point;
   double correct = 0;
   for (const runtime::TrialResult& r : results) {
@@ -113,6 +118,8 @@ int main(int argc, char** argv) {
     table.PrintRow({sample, factor, pt.accuracy,
                     bench::FormatBytes(pt.max_message),
                     bench::FormatBytes(pt.total_comm)});
+    bench::CurvePoint("fig1b_accuracy_vs_sample",
+                      static_cast<double>(sample), pt.accuracy);
   }
   bench::Note(opts,
               "\nexpected shape: accuracy crosses toward 1.0 within a small "

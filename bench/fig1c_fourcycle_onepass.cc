@@ -56,22 +56,27 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
                    double threshold, std::size_t sample,
                    int trials_per_gadget, std::uint64_t seed_base) {
   const std::size_t total = gadgets.size() * trials_per_gadget;
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("sample", obs::Json(sample));
+  config.Set("gadgets", obs::Json(gadgets.size()));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      "protocol/sample=" + std::to_string(sample), total, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         const lowerbound::Gadget& gadget =
-            gadgets[index / trials_per_gadget];
+            gadgets[ctx.index / trials_per_gadget];
         core::OnePassFourCycleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::OnePassFourCycleCounter counter(options);
         lowerbound::ProtocolRun run = lowerbound::RunProtocol(
-            gadget, &counter, runtime::TrialSeed(seed, 1));
+            gadget, &counter, runtime::TrialSeed(ctx.seed, 1));
         bool guess = counter.Estimate() >= threshold;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
         r.peak_space_bytes = run.max_message_bytes;
         return r;
-      });
+      },
+      std::move(config));
   SweepPoint point;
   double correct = 0;
   for (const runtime::TrialResult& r : results) correct += r.estimate;
@@ -125,17 +130,20 @@ int main(int argc, char** argv) {
                             300 + static_cast<std::uint64_t>(frac * 100));
     table.PrintRow({sample, frac, pt.accuracy,
                     bench::FormatBytes(pt.max_message)});
+    bench::CurvePoint("fig1c_accuracy_vs_sample",
+                      static_cast<double>(sample), pt.accuracy);
   }
 
   // The trivial O(m) baseline decides perfectly; measure its message.
   // (StoreAllFourCycleCounter is stateful per run, so each trial builds its
   // own counter inside the fan-out.)
-  std::vector<runtime::TrialResult> baseline = bench::Runner().Run(
-      gadgets.size(), 977, [&](std::size_t index, std::uint64_t seed) {
-        const lowerbound::Gadget& gadget = gadgets[index];
+  std::vector<runtime::TrialResult> baseline = bench::RunBatch(
+      "protocol/store-all-baseline", gadgets.size(), 977,
+      [&](const bench::TrialCtx& ctx) {
+        const lowerbound::Gadget& gadget = gadgets[ctx.index];
         StoreAllFourCycleCounter counter;
         lowerbound::ProtocolRun run = lowerbound::RunProtocol(
-            gadget, &counter, runtime::TrialSeed(seed, 1));
+            gadget, &counter, runtime::TrialSeed(ctx.seed, 1));
         runtime::TrialResult r;
         r.estimate = ((counter.Count() > 0) == gadget.answer) ? 1.0 : 0.0;
         r.peak_space_bytes = run.max_message_bytes;

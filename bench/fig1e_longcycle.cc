@@ -72,19 +72,27 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
                    int length, std::size_t sample, int trials_per_gadget,
                    std::uint64_t seed_base) {
   const std::size_t total = gadgets.size() * trials_per_gadget;
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      total, seed_base, [&](std::size_t index, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("length", obs::Json(length));
+  config.Set("sample", obs::Json(sample));
+  config.Set("gadgets", obs::Json(gadgets.size()));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      "protocol/l=" + std::to_string(length) +
+          "/sample=" + std::to_string(sample),
+      total, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         const lowerbound::Gadget& gadget =
-            gadgets[index / trials_per_gadget];
-        SampledSubgraphCycleCounter counter(length, sample, seed);
+            gadgets[ctx.index / trials_per_gadget];
+        SampledSubgraphCycleCounter counter(length, sample, ctx.seed);
         lowerbound::ProtocolRun run = lowerbound::RunProtocol(
-            gadget, &counter, runtime::TrialSeed(seed, 1));
+            gadget, &counter, runtime::TrialSeed(ctx.seed, 1));
         bool guess = counter.CountSampledCycles() > 0;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
         r.peak_space_bytes = run.max_message_bytes;
         return r;
-      });
+      },
+      std::move(config));
   SweepPoint point;
   double correct = 0;
   for (const runtime::TrialResult& r : results) correct += r.estimate;
@@ -136,6 +144,8 @@ int main(int argc, char** argv) {
                                   static_cast<std::uint64_t>(frac * 100));
       table.PrintRow({sample, frac, pt.accuracy,
                       bench::FormatBytes(pt.max_message)});
+      bench::CurvePoint("fig1e_accuracy_vs_sample",
+                        static_cast<double>(sample), pt.accuracy);
     }
   }
   bench::Note(opts,

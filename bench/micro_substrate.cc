@@ -3,7 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/median.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "core/one_pass_triangle.h"
 #include "core/two_pass_triangle.h"
 #include "runtime/thread_pool.h"
@@ -21,6 +28,14 @@
 
 namespace cyclestream {
 namespace {
+
+// Registry for counters surfaced in the --metrics-out manifest (validator
+// work counts, primarily). Never torn down: benchmarks may register from
+// static-init contexts.
+obs::MetricsRegistry& MicroRegistry() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return *registry;
+}
 
 const Graph& SharedGraph() {
   static const Graph* g = new Graph(gen::ErdosRenyiGnp(20000, 6.0 / 20000, 42));
@@ -90,6 +105,19 @@ void BM_StreamReplayValidated(benchmark::State& state) {
     benchmark::DoNotOptimize(validator.ok());
   }
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+  // One untimed replay feeds the validator work counters surfaced in the
+  // --metrics-out manifest (per-iteration export would skew the timing).
+  stream::StreamValidator validator(&g);
+  struct Forward {
+    stream::StreamValidator* v;
+    void BeginList(VertexId u) { v->BeginList(u); }
+    void OnPair(VertexId u, VertexId w) { v->OnPair(u, w); }
+    void EndList(VertexId u) { v->EndList(u); }
+  } sink{&validator};
+  validator.BeginPass(0);
+  s.ReplayPass(sink);
+  validator.EndPass(0);
+  validator.ExportMetrics(&MicroRegistry());
 }
 BENCHMARK(BM_StreamReplayValidated);
 
@@ -232,4 +260,64 @@ BENCHMARK(BM_EstimateTrianglesAmplified)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace cyclestream
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips the repo-wide manifest
+// flags (google-benchmark rejects unrecognized arguments) and, when
+// --metrics-out is given, writes a JSONL manifest with the registry
+// snapshot after the benchmarks finish. --trace-out is accepted but inert:
+// microbenchmarks have no traced stream runs.
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  std::string metrics_out;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value_of = [&](std::string_view prefix) -> const char* {
+      if (arg.rfind(prefix, 0) == 0 && arg.size() > prefix.size()) {
+        return argv[i] + prefix.size();
+      }
+      return nullptr;
+    };
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (const char* v = value_of("--metrics-out=")) {
+      metrics_out = v;
+      continue;
+    }
+    if ((arg == "--trace-out" || arg == "--trace-stride") && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (value_of("--trace-out=") || value_of("--trace-stride=")) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    auto writer = obs::ManifestWriter::Open(metrics_out);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "warning: --metrics-out %s: %s\n",
+                   metrics_out.c_str(),
+                   std::string(writer.status().message()).c_str());
+      return 0;
+    }
+    obs::Json run = obs::MakeRecord("run");
+    run.Set("bench", obs::Json("micro_substrate"));
+    run.Set("git", obs::Json(obs::GitDescribe()));
+    writer->Write(run);
+    obs::Json metrics = obs::MakeRecord("metrics");
+    metrics.Set("metrics", MicroRegistry().Read().ToJson());
+    writer->Write(metrics);
+    obs::Json end = obs::MakeRecord("run_end");
+    // +1: the trailer counts itself, so a truncated file never matches.
+    end.Set("records", obs::Json(writer->records_written() + 1));
+    writer->Write(end);
+  }
+  return 0;
+}

@@ -37,36 +37,55 @@ Row Measure(const Graph& g, std::size_t sample, double truth, int trials) {
   Row row;
   stream::ArbitraryOrderStream as(&g, 77);
   stream::AdjacencyListStream ls(&g, 77);
+  auto config = [&] {
+    obs::Json c = obs::Json::Object();
+    c.Set("m", obs::Json(g.num_edges()));
+    c.Set("sample", obs::Json(sample));
+    return c;
+  };
+  const std::string suffix = "/sample=" + std::to_string(sample);
+  // Arbitrary-order streams go through RunEdgePasses (no list boundaries),
+  // so this batch is untraced; the list-model batches below trace normally.
   std::vector<double> arb =
-      runtime::TrialRunner::Estimates(bench::Runner().Run(
-          trials, 100, [&](std::size_t, std::uint64_t seed) {
+      runtime::TrialRunner::Estimates(bench::RunBatch(
+          "arbitrary_onepass" + suffix, trials, 100,
+          [&](const bench::TrialCtx& ctx) {
             core::ArbitraryTriangleOptions options;
             options.sample_size = sample;
-            options.seed = seed;
+            options.seed = ctx.seed;
             core::ArbitraryOrderTriangleCounter counter(options);
             stream::RunEdgePasses(as, &counter);
             return runtime::TrialResult{.estimate = counter.Estimate()};
-          }));
+          },
+          config()));
   std::vector<double> one =
-      runtime::TrialRunner::Estimates(bench::Runner().Run(
-          trials, 200, [&](std::size_t, std::uint64_t seed) {
+      runtime::TrialRunner::Estimates(bench::RunBatch(
+          "list_onepass" + suffix, trials, 200,
+          [&](const bench::TrialCtx& ctx) {
             core::OnePassTriangleOptions options;
             options.sample_size = sample;
-            options.seed = seed;
+            options.seed = ctx.seed;
             core::OnePassTriangleCounter counter(options);
-            stream::RunPasses(ls, &counter);
-            return runtime::TrialResult{.estimate = counter.Estimate()};
-          }));
+            const stream::RunReport report = ctx.Run(ls, &counter);
+            return runtime::TrialResult{.estimate = counter.Estimate(),
+                                        .peak_space_bytes =
+                                            report.peak_space_bytes};
+          },
+          config()));
   std::vector<double> two =
-      runtime::TrialRunner::Estimates(bench::Runner().Run(
-          trials, 300, [&](std::size_t, std::uint64_t seed) {
+      runtime::TrialRunner::Estimates(bench::RunBatch(
+          "list_twopass" + suffix, trials, 300,
+          [&](const bench::TrialCtx& ctx) {
             core::TwoPassTriangleOptions options;
             options.sample_size = sample;
-            options.seed = seed;
+            options.seed = ctx.seed;
             core::TwoPassTriangleCounter counter(options);
-            stream::RunPasses(ls, &counter);
-            return runtime::TrialResult{.estimate = counter.Estimate()};
-          }));
+            const stream::RunReport report = ctx.Run(ls, &counter);
+            return runtime::TrialResult{.estimate = counter.Estimate(),
+                                        .peak_space_bytes =
+                                            report.peak_space_bytes};
+          },
+          config()));
   row.arbitrary = bench::Summarize(arb, truth, 0.25);
   row.list_one_pass = bench::Summarize(one, truth, 0.25);
   row.list_two_pass = bench::Summarize(two, truth, 0.25);

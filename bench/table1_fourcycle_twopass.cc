@@ -48,21 +48,29 @@ struct Outcome {
   std::size_t peak_space = 0;
 };
 
-Outcome RunTrials(const Graph& g, std::size_t sample, int trials,
-                  std::uint64_t seed_base) {
+Outcome RunTrials(const Graph& g, std::size_t t_count, std::size_t sample,
+                  int trials, std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 31337);
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("T", obs::Json(t_count));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      "fourcycle/T=" + std::to_string(t_count) +
+          "/sample=" + std::to_string(sample),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::FourCycleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TwoPassFourCycleCounter counter(options);
-        stream::RunReport report = stream::RunPasses(s, &counter);
+        stream::RunReport report = ctx.Run(s, &counter);
         runtime::TrialResult r;
         r.estimate = counter.Estimate();
         r.peak_space_bytes = report.peak_space_bytes;
         return r;
-      });
+      },
+      std::move(config));
   return {runtime::TrialRunner::Estimates(results),
           runtime::TrialRunner::MaxPeakSpace(results)};
 }
@@ -106,14 +114,14 @@ int main(int argc, char** argv) {
     const double predicted = m / std::pow(truth, 3.0 / 8.0);
 
     auto success = [&](std::size_t m_prime) {
-      Outcome out = RunTrials(g, m_prime, kTrials, 100 + t_count);
+      Outcome out = RunTrials(g, t_count, m_prime, kTrials, 100 + t_count);
       return FracWithinFactor(out.estimates, truth, kFactor);
     };
     std::size_t minimal = bench::MinimalSample(
         std::max<std::size_t>(16, static_cast<std::size_t>(predicted / 16)),
         1.5, g.num_edges(), 0.8, success);
 
-    Outcome at_min = RunTrials(g, minimal, kTrials, 200 + t_count);
+    Outcome at_min = RunTrials(g, t_count, minimal, kTrials, 200 + t_count);
     bench::TrialStats stats = bench::Summarize(at_min.estimates, truth, 1.0);
 
     table.PrintRow({t_count, g.num_edges(), predicted, minimal,
@@ -121,9 +129,13 @@ int main(int argc, char** argv) {
                     bench::FormatBytes(at_min.peak_space)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
+    bench::CurvePoint("fourcycle_min_sample_vs_T", truth,
+                      static_cast<double>(minimal));
   }
 
   double slope = bench::LogLogSlope(log_t, log_min);
+  bench::Slope("fourcycle_min_sample_vs_T", slope, -3.0 / 8.0,
+               slope < -0.15 && slope > -0.75);
   bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
               "predicts -3/8 = -0.375)\n", slope);
   bench::Note(opts, "shape verdict: %s\n",

@@ -32,19 +32,28 @@ Graph MakeWorkload(std::size_t clique_size, std::size_t target_edges) {
   return gen::PlantedClique(clique_size, bg);
 }
 
-double DetectionRate(const Graph& g, std::size_t sample, int trials,
-                     std::uint64_t seed_base) {
+double DetectionRate(const Graph& g, const char* variant, std::size_t sample,
+                     int trials, std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 2718281);
-  std::vector<runtime::TrialResult> results = bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("variant", obs::Json(variant));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      std::string("distinguish/") + variant +
+          "/sample=" + std::to_string(sample),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::TriangleDistinguisherOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TriangleDistinguisher d(options);
-        stream::RunPasses(s, &d);
+        const stream::RunReport report = ctx.Run(s, &d);
         return runtime::TrialResult{
-            .estimate = d.result().found_triangle ? 1.0 : 0.0};
-      });
+            .estimate = d.result().found_triangle ? 1.0 : 0.0,
+            .peak_space_bytes = report.peak_space_bytes};
+      },
+      std::move(config));
   double found = 0;
   for (const runtime::TrialResult& r : results) found += r.estimate;
   return found / trials;
@@ -84,9 +93,11 @@ int main(int argc, char** argv) {
   for (double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     std::size_t sample = std::max<std::size_t>(
         1, static_cast<std::size_t>(factor * threshold));
-    double p_yes = DetectionRate(yes, sample, kTrials, 500);
-    double p_no = DetectionRate(no, sample, kTrials, 900);
+    double p_yes = DetectionRate(yes, "planted", sample, kTrials, 500);
+    double p_no = DetectionRate(no, "triangle-free", sample, kTrials, 900);
     table.PrintRow({sample, factor, p_yes, p_no});
+    bench::CurvePoint("distinguish_detect_vs_sample",
+                      static_cast<double>(sample), p_yes);
   }
   bench::Note(opts,
               "\nexpected shape: middle column rises from ~1-1/e toward 1.0 "

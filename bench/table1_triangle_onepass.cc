@@ -35,32 +35,55 @@ Graph MakeWorkload(std::size_t side, std::size_t target_edges) {
   return gen::PlantedBookForest(side, side, bg);
 }
 
-std::vector<double> OnePassEstimates(const Graph& g, std::size_t sample,
-                                     int trials, std::uint64_t seed_base) {
-  stream::AdjacencyListStream s(&g, 104729);
-  return runtime::TrialRunner::Estimates(bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
-        core::OnePassTriangleOptions options;
-        options.sample_size = sample;
-        options.seed = seed;
-        core::OnePassTriangleCounter counter(options);
-        stream::RunPasses(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate()};
-      }));
+obs::Json BatchConfig(const Graph& g, std::size_t t_count,
+                      std::size_t sample) {
+  obs::Json config = obs::Json::Object();
+  config.Set("T", obs::Json(t_count));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  return config;
 }
 
-std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
-                                     int trials, std::uint64_t seed_base) {
+std::vector<double> OnePassEstimates(const Graph& g, std::size_t t_count,
+                                     std::size_t sample, int trials,
+                                     std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 104729);
-  return runtime::TrialRunner::Estimates(bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  return runtime::TrialRunner::Estimates(bench::RunBatch(
+      "onepass/T=" + std::to_string(t_count) +
+          "/sample=" + std::to_string(sample),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
+        core::OnePassTriangleOptions options;
+        options.sample_size = sample;
+        options.seed = ctx.seed;
+        core::OnePassTriangleCounter counter(options);
+        const stream::RunReport report = ctx.Run(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate(),
+                                    .peak_space_bytes =
+                                        report.peak_space_bytes};
+      },
+      BatchConfig(g, t_count, sample)));
+}
+
+std::vector<double> TwoPassEstimates(const Graph& g, std::size_t t_count,
+                                     std::size_t sample, int trials,
+                                     std::uint64_t seed_base) {
+  stream::AdjacencyListStream s(&g, 104729);
+  return runtime::TrialRunner::Estimates(bench::RunBatch(
+      "twopass/T=" + std::to_string(t_count) +
+          "/sample=" + std::to_string(sample),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::TwoPassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
-        stream::RunPasses(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate()};
-      }));
+        const stream::RunReport report = ctx.Run(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate(),
+                                    .peak_space_bytes =
+                                        report.peak_space_bytes};
+      },
+      BatchConfig(g, t_count, sample)));
 }
 
 }  // namespace
@@ -98,8 +121,9 @@ int main(int argc, char** argv) {
 
     auto success1 = [&](std::size_t m_prime) {
       return bench::Summarize(
-                 OnePassEstimates(g, m_prime, kTrials, 3000 + t_count), truth,
-                 kEps)
+                 OnePassEstimates(g, t_count, m_prime, kTrials,
+                                  3000 + t_count),
+                 truth, kEps)
           .frac_within;
     };
     std::size_t minimal1 = bench::MinimalSample(
@@ -108,8 +132,9 @@ int main(int argc, char** argv) {
 
     auto success2 = [&](std::size_t m_prime) {
       return bench::Summarize(
-                 TwoPassEstimates(g, m_prime, kTrials, 4000 + t_count), truth,
-                 kEps)
+                 TwoPassEstimates(g, t_count, m_prime, kTrials,
+                                  4000 + t_count),
+                 truth, kEps)
           .frac_within;
     };
     std::size_t minimal2 = bench::MinimalSample(
@@ -123,9 +148,13 @@ int main(int argc, char** argv) {
                         static_cast<double>(minimal2)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal1));
+    bench::CurvePoint("onepass_min_sample_vs_T", truth,
+                      static_cast<double>(minimal1));
   }
 
   double slope = bench::LogLogSlope(log_t, log_min);
+  bench::Slope("onepass_min_sample_vs_T", slope, -0.5,
+               slope < -0.25 && slope > -0.8);
   bench::Note(opts, "\nlog-log slope of one-pass minimal m' vs T: %+.3f "
               "(predicted -1/2 = -0.500)\n", slope);
   bench::Note(opts,

@@ -24,29 +24,47 @@ namespace {
 std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
                                    int trials, std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 424243);
-  return runtime::TrialRunner::Estimates(bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("reservoir", obs::Json(reservoir));
+  return runtime::TrialRunner::Estimates(bench::RunBatch(
+      "wedge/reservoir=" + std::to_string(reservoir) +
+          "/seed=" + std::to_string(seed_base),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::WedgeSamplingOptions options;
         options.reservoir_size = reservoir;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::WedgeSamplingTriangleCounter counter(options);
-        stream::RunPasses(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate()};
-      }));
+        const stream::RunReport report = ctx.Run(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate(),
+                                    .peak_space_bytes =
+                                        report.peak_space_bytes};
+      },
+      std::move(config)));
 }
 
 std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
                                      int trials, std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 424243);
-  return runtime::TrialRunner::Estimates(bench::Runner().Run(
-      trials, seed_base, [&](std::size_t, std::uint64_t seed) {
+  obs::Json config = obs::Json::Object();
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  return runtime::TrialRunner::Estimates(bench::RunBatch(
+      "twopass/sample=" + std::to_string(sample) +
+          "/seed=" + std::to_string(seed_base),
+      trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
         core::TwoPassTriangleOptions options;
         options.sample_size = sample;
-        options.seed = seed;
+        options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
-        stream::RunPasses(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate()};
-      }));
+        const stream::RunReport report = ctx.Run(s, &counter);
+        return runtime::TrialResult{.estimate = counter.Estimate(),
+                                    .peak_space_bytes =
+                                        report.peak_space_bytes};
+      },
+      std::move(config)));
 }
 
 }  // namespace
@@ -89,8 +107,12 @@ int main(int argc, char** argv) {
     scaling.PrintRow({t_count, p2, predicted, minimal, minimal / predicted});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
+    bench::CurvePoint("wedge_min_reservoir_vs_T", truth,
+                      static_cast<double>(minimal));
   }
   double slope = bench::LogLogSlope(log_t, log_min);
+  bench::Slope("wedge_min_reservoir_vs_T", slope, -1.0,
+               slope < -0.6 && slope > -1.4);
   bench::Note(opts,
               "\nlog-log slope of minimal reservoir vs T: %+.3f (predicted "
               "-1)\nshape verdict: %s\n", slope,

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Validate, summarize, and baseline JSONL bench manifests.
+
+The C++ benches emit newline-delimited JSON run manifests via
+``--metrics-out`` / ``--trace-out`` (see src/obs/manifest.h for the schema).
+This script is their consumer:
+
+  validate  — schema-check one or more manifests (record types, required
+              fields, schema_version, run_end truncation trailer).
+  report    — human-readable summary: batches, space curves with fitted
+              log-log slopes, measured-vs-predicted slope checks, metrics.
+  baseline  — regenerate BENCH_baseline.json from a set of manifests
+              (curves, fitted slopes, and the benches' own slope verdicts).
+
+Slope checking: benches record ``slope`` lines with the measured log-log
+slope of a space curve, the model's predicted exponent (e.g. -2/3 for the
+two-pass triangle sample-size curve), and the bench's own consistency
+verdict. ``validate``/``report`` fail (exit 1) if any slope record is
+inconsistent, or if a curve's points refit to a slope that disagrees with
+the recorded measurement beyond a small tolerance.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+# Required fields per record type (beyond "record" and "schema_version").
+REQUIRED_FIELDS = {
+    "run": ["bench", "git"],
+    "batch": ["label", "trials", "base_seed", "results"],
+    "timeline": ["label", "trial", "seed", "pair_stride",
+                 "max_space_bytes", "passes"],
+    "curve_point": ["curve", "x", "y"],
+    "slope": ["curve", "measured", "predicted", "consistent"],
+    "metrics": ["metrics"],
+    "run_end": ["records"],
+}
+
+RESULT_FIELDS = ["trial", "seed", "estimate", "aux", "peak_space_bytes",
+                 "wall_seconds", "queue_wait_seconds"]
+
+# |refit - recorded| tolerance when refitting a curve's slope from its
+# curve_point records (the bench fits the same least-squares line, so any
+# gap beyond float noise means the manifest is internally inconsistent).
+REFIT_TOLERANCE = 1e-6
+
+
+class ManifestError(Exception):
+    pass
+
+
+def read_manifest(path):
+    """Parses one JSONL manifest into a list of records. Raises
+    ManifestError on unparseable lines; schema checks are separate."""
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ManifestError(f"{path}:{lineno}: bad JSON: {e}") from e
+    if not records:
+        raise ManifestError(f"{path}: empty manifest")
+    return records
+
+
+def check_schema(path, records):
+    """Returns a list of schema-violation strings (empty == valid)."""
+    errors = []
+
+    def err(i, msg):
+        errors.append(f"{path}: record {i + 1}: {msg}")
+
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            err(i, "not a JSON object")
+            continue
+        rtype = rec.get("record")
+        if rtype not in REQUIRED_FIELDS:
+            err(i, f"unknown record type {rtype!r}")
+            continue
+        if rec.get("schema_version") != SCHEMA_VERSION:
+            err(i, f"schema_version {rec.get('schema_version')!r} != "
+                   f"{SCHEMA_VERSION}")
+        for field in REQUIRED_FIELDS[rtype]:
+            if field not in rec:
+                err(i, f"{rtype} record missing field {field!r}")
+        if rtype == "batch":
+            for j, row in enumerate(rec.get("results", [])):
+                for field in RESULT_FIELDS:
+                    if field not in row:
+                        err(i, f"batch result {j} missing {field!r}")
+
+    if records and isinstance(records[0], dict):
+        if records[0].get("record") != "run":
+            errors.append(f"{path}: first record is not 'run'")
+    last = records[-1] if isinstance(records[-1], dict) else {}
+    if last.get("record") != "run_end":
+        errors.append(f"{path}: last record is not 'run_end' "
+                      "(truncated manifest?)")
+    elif last.get("records") != len(records):
+        errors.append(f"{path}: run_end.records={last.get('records')} but "
+                      f"manifest has {len(records)} records")
+    return errors
+
+
+def fit_slope(points):
+    """Least-squares slope of log(y) vs log(x); None if underdetermined."""
+    logs = [(math.log(x), math.log(y)) for x, y in points if x > 0 and y > 0]
+    if len(logs) < 2:
+        return None
+    n = len(logs)
+    mx = sum(p[0] for p in logs) / n
+    my = sum(p[1] for p in logs) / n
+    denom = sum((p[0] - mx) ** 2 for p in logs)
+    if denom == 0:
+        return None
+    return sum((p[0] - mx) * (p[1] - my) for p in logs) / denom
+
+
+def collect(records):
+    """Groups a manifest's records: run header, batches, curves, slopes,
+    timelines, metrics snapshots."""
+    out = {"run": None, "batches": [], "curves": {}, "slopes": [],
+           "timelines": [], "metrics": []}
+    for rec in records:
+        rtype = rec.get("record")
+        if rtype == "run" and out["run"] is None:
+            out["run"] = rec
+        elif rtype == "batch":
+            out["batches"].append(rec)
+        elif rtype == "curve_point":
+            out["curves"].setdefault(rec["curve"], []).append(
+                (rec["x"], rec["y"]))
+        elif rtype == "slope":
+            out["slopes"].append(rec)
+        elif rtype == "timeline":
+            out["timelines"].append(rec)
+        elif rtype == "metrics":
+            out["metrics"].append(rec["metrics"])
+    return out
+
+
+def check_slopes(path, grouped):
+    """Cross-checks slope records against their curves. Returns error
+    strings for inconsistent verdicts or measurement/refit mismatches."""
+    errors = []
+    for slope in grouped["slopes"]:
+        curve = slope["curve"]
+        if not slope["consistent"]:
+            errors.append(
+                f"{path}: curve {curve!r}: measured slope "
+                f"{slope['measured']:.3f} inconsistent with predicted "
+                f"{slope['predicted']:.3f}")
+        refit = fit_slope(grouped["curves"].get(curve, []))
+        if refit is not None and \
+                abs(refit - slope["measured"]) > REFIT_TOLERANCE:
+            errors.append(
+                f"{path}: curve {curve!r}: recorded measured slope "
+                f"{slope['measured']:.6f} but points refit to {refit:.6f}")
+    return errors
+
+
+def check_timelines(path, grouped):
+    """The timeline's recorded max must equal the max over its points."""
+    errors = []
+    for tl in grouped["timelines"]:
+        point_max = 0
+        for pass_tl in tl.get("passes", []):
+            for _, space in pass_tl.get("points", []):
+                point_max = max(point_max, space)
+        if point_max != tl["max_space_bytes"]:
+            errors.append(
+                f"{path}: timeline {tl['label']!r}: max_space_bytes="
+                f"{tl['max_space_bytes']} but points max to {point_max}")
+    return errors
+
+
+def cmd_validate(args):
+    failed = False
+    for path in args.manifests:
+        try:
+            records = read_manifest(path)
+        except ManifestError as e:
+            print(f"FAIL {e}")
+            failed = True
+            continue
+        errors = check_schema(path, records)
+        if not errors:
+            grouped = collect(records)
+            errors += check_slopes(path, grouped)
+            errors += check_timelines(path, grouped)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"FAIL {e}")
+        else:
+            print(f"OK   {path}: {len(records)} records")
+    return 1 if failed else 0
+
+
+def cmd_report(args):
+    failed = False
+    for path in args.manifests:
+        records = read_manifest(path)
+        grouped = collect(records)
+        run = grouped["run"] or {}
+        print(f"== {path} ==")
+        print(f"bench: {run.get('bench', '?')}  git: {run.get('git', '?')}  "
+              f"threads: {run.get('threads', '?')}")
+        for batch in grouped["batches"]:
+            results = batch["results"]
+            est = [r["estimate"] for r in results]
+            wall = sum(r["wall_seconds"] for r in results)
+            peak = max((r["peak_space_bytes"] for r in results), default=0)
+            mean = sum(est) / len(est) if est else 0.0
+            print(f"  batch {batch['label']}: {batch['trials']} trials, "
+                  f"mean estimate {mean:.4g}, peak space {peak}B, "
+                  f"wall {wall:.3f}s")
+        for tl in grouped["timelines"]:
+            npoints = sum(len(p.get("points", [])) for p in tl["passes"])
+            print(f"  timeline {tl['label']}: {len(tl['passes'])} passes, "
+                  f"{npoints} points, max {tl['max_space_bytes']}B")
+        for curve, points in sorted(grouped["curves"].items()):
+            refit = fit_slope(points)
+            slope_str = f", fitted slope {refit:.3f}" if refit is not None \
+                else ""
+            print(f"  curve {curve}: {len(points)} points{slope_str}")
+        for slope in grouped["slopes"]:
+            verdict = "OK" if slope["consistent"] else "INCONSISTENT"
+            print(f"  slope {slope['curve']}: measured "
+                  f"{slope['measured']:.3f} vs predicted "
+                  f"{slope['predicted']:.3f} [{verdict}]")
+            if not slope["consistent"]:
+                failed = True
+        for snap in grouped["metrics"]:
+            counters = snap.get("counters", {})
+            for name in sorted(counters):
+                print(f"  metric {name} = {counters[name]}")
+    return 1 if failed else 0
+
+
+def cmd_baseline(args):
+    baseline = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "scripts/bench_report.py baseline",
+        "benches": {},
+    }
+    for path in args.manifests:
+        records = read_manifest(path)
+        errors = check_schema(path, records)
+        if errors:
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+            return 1
+        grouped = collect(records)
+        run = grouped["run"] or {}
+        bench = run.get("bench", os.path.basename(path))
+        entry = {"git": run.get("git", "unknown"), "curves": {}, "slopes": []}
+        for curve, points in sorted(grouped["curves"].items()):
+            refit = fit_slope(points)
+            entry["curves"][curve] = {
+                "points": [[x, y] for x, y in points],
+                "fitted_slope": refit,
+            }
+        for slope in grouped["slopes"]:
+            entry["slopes"].append({
+                "curve": slope["curve"],
+                "measured": slope["measured"],
+                "predicted": slope["predicted"],
+                "consistent": slope["consistent"],
+            })
+        batches = {}
+        for batch in grouped["batches"]:
+            results = batch["results"]
+            est = sorted(r["estimate"] for r in results)
+            batches[batch["label"]] = {
+                "trials": batch["trials"],
+                "base_seed": batch["base_seed"],
+                "median_estimate": est[len(est) // 2] if est else 0.0,
+                "max_peak_space_bytes": max(
+                    (r["peak_space_bytes"] for r in results), default=0),
+            }
+        entry["batches"] = batches
+        baseline["benches"][bench] = entry
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(baseline['benches'])} benches")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="schema-check manifests")
+    p.add_argument("manifests", nargs="+")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("report", help="summarize manifests")
+    p.add_argument("manifests", nargs="+")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("baseline", help="regenerate BENCH_baseline.json")
+    p.add_argument("manifests", nargs="+")
+    p.add_argument("--out", default="BENCH_baseline.json")
+    p.set_defaults(func=cmd_baseline)
+
+    args = parser.parse_args()
+    try:
+        return args.func(args)
+    except ManifestError as e:
+        print(f"FAIL {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace obs {
+
+struct MetricsRegistry::HistogramInfo {
+  std::vector<double> bounds;
+};
+
+struct MetricsRegistry::Shard {
+  struct HistogramCells {
+    const HistogramInfo* info = nullptr;
+    std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 (overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint64_t> counters;
+  std::unordered_map<std::string, HistogramCells> histograms;
+};
+
+namespace {
+
+std::uint64_t NextRegistryId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  // Cache keyed by registry id, not pointer: an id is never reused, so a
+  // stale entry for a destroyed registry can't alias a new one allocated
+  // at the same address. Entries for dead registries are just inert map
+  // slots in the (small, per-thread) cache.
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  auto it = cache.find(id_);
+  if (it != cache.end()) return it->second;
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  cache.emplace(id_, raw);
+  return raw;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  return Counter(this, std::string(name));
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name,
+                                        std::vector<double> bounds) {
+  CYCLESTREAM_CHECK(!bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    CYCLESTREAM_CHECK(bounds[i - 1] < bounds[i]);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = layouts_.find(name);
+  if (it == layouts_.end()) {
+    auto info = std::make_unique<HistogramInfo>();
+    info->bounds = std::move(bounds);
+    layouts_.emplace(std::string(name), std::move(info));
+  }
+  return Histogram(this, std::string(name));
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       std::uint64_t delta) {
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->counters[name] += delta;
+}
+
+void MetricsRegistry::ObserveHistogram(const std::string& name, double value) {
+  const HistogramInfo* info = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = layouts_.find(name);
+    CYCLESTREAM_CHECK(it != layouts_.end());  // GetHistogram registered it
+    info = it->second.get();
+  }
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  Shard::HistogramCells& cells = shard->histograms[name];
+  if (cells.info == nullptr) {
+    cells.info = info;
+    cells.bucket_counts.assign(info->bounds.size() + 1, 0);
+  }
+  auto it = std::lower_bound(info->bounds.begin(), info->bounds.end(), value);
+  cells.bucket_counts[static_cast<std::size_t>(it - info->bounds.begin())]++;
+  cells.count++;
+  cells.sum += value;
+}
+
+Snapshot MetricsRegistry::Read() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, cells] : shard->histograms) {
+      HistogramSnapshot& merged = out.histograms[name];
+      if (merged.bounds.empty()) {
+        merged.bounds = cells.info->bounds;
+        merged.bucket_counts.assign(merged.bounds.size() + 1, 0);
+      }
+      for (std::size_t i = 0; i < cells.bucket_counts.size(); ++i) {
+        merged.bucket_counts[i] += cells.bucket_counts[i];
+      }
+      merged.count += cells.count;
+      merged.sum += cells.sum;
+    }
+  }
+  return out;
+}
+
+void Counter::Increment(std::uint64_t delta) {
+  if (registry_ == nullptr) return;
+  registry_->IncrementCounter(name_, delta);
+}
+
+void Histogram::Observe(double value) {
+  if (registry_ == nullptr) return;
+  registry_->ObserveHistogram(name_, value);
+}
+
+Json Snapshot::ToJson() const {
+  Json counters_json = Json::Object();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, Json(value));
+  }
+  Json histograms_json = Json::Object();
+  for (const auto& [name, h] : histograms) {
+    Json buckets = Json::Array();
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      Json bucket = Json::Object();
+      bucket.Set("le", i < h.bounds.size() ? Json(h.bounds[i]) : Json());
+      bucket.Set("count", Json(h.bucket_counts[i]));
+      buckets.Push(std::move(bucket));
+    }
+    Json entry = Json::Object();
+    entry.Set("count", Json(h.count));
+    entry.Set("sum", Json(h.sum));
+    entry.Set("buckets", std::move(buckets));
+    histograms_json.Set(name, std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters_json));
+  out.Set("histograms", std::move(histograms_json));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cyclestream

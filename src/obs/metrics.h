@@ -1,0 +1,137 @@
+// MetricsRegistry: named counters and fixed-bucket histograms for the
+// observability layer.
+//
+// Writes go to per-thread shards (each shard has its own mutex, so the
+// hot path never contends with other writer threads); `Read()` merges all
+// shards under the registry lock into a name-sorted `Snapshot`. This makes
+// `Counter::Increment` cheap enough to call from trial workers and stream
+// sinks without perturbing the timings it is meant to observe.
+//
+// Handles (`Counter`, `Histogram`) are small value types bound to one
+// registry + metric name; they stay valid as long as the registry lives.
+// Reads are intended for after-the-join reporting, not for lock-free
+// mid-run sampling: `Read()` takes every shard mutex once.
+
+#ifndef CYCLESTREAM_OBS_METRICS_H_
+#define CYCLESTREAM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cyclestream {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Handle to a named monotonically increasing counter. Copyable; writes
+/// through the owning registry's shard for the calling thread.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Increment(std::uint64_t delta = 1);
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+};
+
+/// Handle to a named fixed-bucket histogram. `Observe(v)` increments the
+/// first bucket whose upper bound is >= v, or the implicit overflow
+/// bucket; count and sum are tracked alongside.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Observe(double value);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+};
+
+/// Merged view of a histogram at read time. `bucket_counts` has one entry
+/// per upper bound in `bounds` plus a final overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Merged view of the whole registry; maps are name-sorted so serialized
+/// output is deterministic.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters":{name:value,...},
+  ///  "histograms":{name:{"count":..,"sum":..,
+  ///                      "buckets":[{"le":bound|null,"count":..},...]}}}
+  Json ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns a handle to the counter `name`, creating it on first write.
+  Counter GetCounter(std::string_view name);
+
+  /// Returns a handle to the histogram `name` with the given upper bucket
+  /// bounds (must be strictly increasing and non-empty; CHECKed). Bounds
+  /// are fixed by the first registration; later calls for the same name
+  /// reuse them.
+  Histogram GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merges all per-thread shards into one snapshot. Safe to call while
+  /// writers are active (each shard is locked briefly), but intended for
+  /// after workers have quiesced.
+  Snapshot Read() const;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  struct HistogramInfo;
+  struct Shard;
+
+  /// The calling thread's shard, created on first use. Shards are owned
+  /// by the registry; the thread-local cache is keyed by registry id so a
+  /// destroyed registry's entries can never be mistaken for a live one's.
+  Shard* LocalShard();
+
+  void IncrementCounter(const std::string& name, std::uint64_t delta);
+  void ObserveHistogram(const std::string& name, double value);
+
+  const std::uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Bucket layouts shared by every shard's instance of a histogram; behind
+  // unique_ptr so addresses stay stable as the map grows.
+  std::map<std::string, std::unique_ptr<HistogramInfo>, std::less<>> layouts_;
+};
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_METRICS_H_

@@ -1,0 +1,108 @@
+// SpaceTracer: records an algorithm's `CurrentSpaceBytes()` over the
+// course of a multi-pass run into per-pass timelines.
+//
+// The stream driver (see `stream/driver.h`) owns the sampling points: it
+// calls `Sample()` at every adjacency-list boundary (the model's natural
+// measurement granularity), optionally mid-list every `pair_stride` pairs
+// for long lists, and once more at each pass end so the timeline maximum
+// equals `RunReport::peak_space_bytes` exactly. The tracer itself is a
+// passive container — single-writer, no locking — so only one trial per
+// run should carry one (bench_util traces trial 0).
+
+#ifndef CYCLESTREAM_OBS_SPACE_TRACER_H_
+#define CYCLESTREAM_OBS_SPACE_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cyclestream {
+namespace obs {
+
+/// One sample: space in bytes after `pairs_processed` pairs of the pass.
+struct SpacePoint {
+  std::uint64_t pairs_processed = 0;
+  std::uint64_t space_bytes = 0;
+};
+
+/// All samples taken during one pass, in stream order.
+struct SpaceTimeline {
+  std::size_t pass = 0;
+  std::vector<SpacePoint> points;
+
+  std::uint64_t MaxSpaceBytes() const {
+    std::uint64_t max = 0;
+    for (const SpacePoint& p : points) {
+      if (p.space_bytes > max) max = p.space_bytes;
+    }
+    return max;
+  }
+};
+
+class SpaceTracer {
+ public:
+  /// `pair_stride` > 0 additionally samples mid-list every that many pairs;
+  /// 0 (default) samples only at list boundaries and pass ends.
+  explicit SpaceTracer(std::uint64_t pair_stride = 0)
+      : pair_stride_(pair_stride) {}
+
+  std::uint64_t pair_stride() const { return pair_stride_; }
+
+  /// Driver hooks -----------------------------------------------------
+
+  void BeginPass(std::size_t pass) {
+    timelines_.push_back(SpaceTimeline{pass, {}});
+  }
+
+  /// Records one (pairs_processed, space) point for the current pass.
+  void Sample(std::uint64_t pairs_processed, std::uint64_t space_bytes) {
+    if (timelines_.empty()) return;  // driver always BeginPass()es first
+    timelines_.back().points.push_back(SpacePoint{pairs_processed, space_bytes});
+  }
+
+  /// Results ----------------------------------------------------------
+
+  const std::vector<SpaceTimeline>& timelines() const { return timelines_; }
+
+  /// Max space over every pass; equals RunReport::peak_space_bytes for
+  /// the run the driver traced (tested in obs_test).
+  std::uint64_t MaxSpaceBytes() const {
+    std::uint64_t max = 0;
+    for (const SpaceTimeline& t : timelines_) {
+      const std::uint64_t pass_max = t.MaxSpaceBytes();
+      if (pass_max > max) max = pass_max;
+    }
+    return max;
+  }
+
+  /// [{"pass":0,"points":[[pairs,bytes],...]},...] — points as 2-arrays
+  /// to keep long timelines compact in JSONL.
+  Json ToJson() const {
+    Json passes = Json::Array();
+    for (const SpaceTimeline& t : timelines_) {
+      Json points = Json::Array();
+      for (const SpacePoint& p : t.points) {
+        Json point = Json::Array();
+        point.Push(Json(p.pairs_processed));
+        point.Push(Json(p.space_bytes));
+        points.Push(std::move(point));
+      }
+      Json pass = Json::Object();
+      pass.Set("pass", Json(t.pass));
+      pass.Set("points", std::move(points));
+      passes.Push(std::move(pass));
+    }
+    return passes;
+  }
+
+ private:
+  std::uint64_t pair_stride_;
+  std::vector<SpaceTimeline> timelines_;
+};
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_SPACE_TRACER_H_

@@ -31,17 +31,33 @@ int TrialRunner::num_threads() const {
   return pool_ == nullptr ? 1 : pool_->num_threads();
 }
 
-std::vector<TrialResult> TrialRunner::Run(std::size_t num_trials,
-                                          std::uint64_t base_seed,
-                                          const TrialFn& fn) const {
+std::vector<TrialResult> TrialRunner::Run(
+    std::size_t num_trials, std::uint64_t base_seed, const TrialFn& fn,
+    std::vector<TrialTiming>* timings) const {
+  if (timings != nullptr) {
+    timings->assign(num_trials, TrialTiming{});
+  }
+  // Submission time for queue-wait measurement: one timestamp for the
+  // batch, taken just before the Map fans out. Queue wait for inline runs
+  // stays 0 — there is no queue.
+  const auto submit = std::chrono::steady_clock::now();
+  const bool inline_run = pool_ == nullptr || num_trials <= 1;
   return Map<TrialResult>(
-      num_trials, base_seed, [&fn](std::size_t i, std::uint64_t seed) {
+      num_trials, base_seed,
+      [&fn, timings, submit, inline_run](std::size_t i, std::uint64_t seed) {
         const auto start = std::chrono::steady_clock::now();
         TrialResult result = fn(i, seed);
-        result.wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
+        if (timings != nullptr) {
+          // Slot i is owned by trial i (pre-sized above), so no locking.
+          TrialTiming& t = (*timings)[i];
+          t.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+          t.queue_wait_seconds =
+              inline_run
+                  ? 0.0
+                  : std::chrono::duration<double>(start - submit).count();
+        }
         return result;
       });
 }
@@ -69,9 +85,16 @@ std::size_t TrialRunner::MaxPeakSpace(const std::vector<TrialResult>& results) {
   return peak;
 }
 
-double TrialRunner::TotalWallSeconds(const std::vector<TrialResult>& results) {
+double TrialRunner::TotalWallSeconds(const std::vector<TrialTiming>& timings) {
   double total = 0.0;
-  for (const TrialResult& r : results) total += r.wall_seconds;
+  for (const TrialTiming& t : timings) total += t.wall_seconds;
+  return total;
+}
+
+double TrialRunner::TotalQueueWaitSeconds(
+    const std::vector<TrialTiming>& timings) {
+  double total = 0.0;
+  for (const TrialTiming& t : timings) total += t.queue_wait_seconds;
   return total;
 }
 

@@ -38,15 +38,27 @@ namespace runtime {
 /// across both arguments, and independent of scheduling by construction.
 std::uint64_t TrialSeed(std::uint64_t base_seed, std::size_t trial_index);
 
-/// What one trial reports back. `estimate` is the statistic under study,
+/// What one trial reports back: `estimate` is the statistic under study,
 /// `aux` an optional secondary statistic (e.g. the ablation estimator from
-/// the same run); `wall_seconds` is measured by the runner around the trial
-/// function and is the only scheduling-dependent field.
+/// the same run). Every field is a deterministic function of
+/// (trial_index, seed) — timing lives in `TrialTiming`, outside the
+/// deterministic result slots, so results can be compared bit-for-bit
+/// across thread counts.
 struct TrialResult {
   double estimate = 0.0;
   double aux = 0.0;
   std::size_t peak_space_bytes = 0;
+};
+
+/// Scheduling-dependent observations about one trial, collected by the
+/// runner (not the trial function) and kept strictly apart from
+/// `TrialResult`.
+struct TrialTiming {
+  /// Time inside the trial function.
   double wall_seconds = 0.0;
+  /// Time between batch submission and the trial starting on a worker
+  /// (0 when trials run inline on the calling thread).
+  double queue_wait_seconds = 0.0;
 };
 
 /// Fans batches of independent trials out over a thread pool (or runs them
@@ -71,9 +83,12 @@ class TrialRunner {
                                             std::uint64_t seed)>;
 
   /// Runs `fn(i, TrialSeed(base_seed, i))` for i in [0, num_trials) and
-  /// returns the results in trial order, with wall_seconds filled in.
+  /// returns the results in trial order. If `timings` is non-null it is
+  /// resized to num_trials and timings[i] receives trial i's wall time and
+  /// queue wait; the results themselves are identical either way.
   std::vector<TrialResult> Run(std::size_t num_trials, std::uint64_t base_seed,
-                               const TrialFn& fn) const;
+                               const TrialFn& fn,
+                               std::vector<TrialTiming>* timings = nullptr) const;
 
   /// Generic deterministic map: out[i] = fn(i, TrialSeed(base_seed, i)).
   /// `R` must be default-constructible and move-assignable. Exceptions from
@@ -101,7 +116,8 @@ class TrialRunner {
   static std::vector<double> AuxEstimates(
       const std::vector<TrialResult>& results);
   static std::size_t MaxPeakSpace(const std::vector<TrialResult>& results);
-  static double TotalWallSeconds(const std::vector<TrialResult>& results);
+  static double TotalWallSeconds(const std::vector<TrialTiming>& timings);
+  static double TotalQueueWaitSeconds(const std::vector<TrialTiming>& timings);
 
  private:
   std::unique_ptr<ThreadPool> owned_pool_;

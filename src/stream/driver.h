@@ -14,13 +14,24 @@
 // Both are templates over the stream type so `AdjacencyListStream` and
 // `FaultInjectingStream` (or any type with `graph()` / `ReplayPass`) drive
 // identically.
+//
+// Observability: both drivers take an optional `TraceOptions`. A
+// `SpaceTracer` receives the same space samples the report's peak is
+// computed from (plus optional mid-list samples every `pair_stride`
+// pairs), so the tracer's timeline max equals `peak_space_bytes` exactly;
+// a `MetricsRegistry` receives driver/validator counters at the end of
+// the run. Tracing never touches the algorithm's inputs, so traced and
+// untraced runs produce bit-identical estimates.
 
 #ifndef CYCLESTREAM_STREAM_DRIVER_H_
 #define CYCLESTREAM_STREAM_DRIVER_H_
 
 #include <algorithm>
 #include <cstddef>
+#include <vector>
 
+#include "obs/metrics.h"
+#include "obs/space_tracer.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
 #include "stream/validator.h"
@@ -30,14 +41,37 @@
 namespace cyclestream {
 namespace stream {
 
+/// Space/throughput of one pass (RunReport::per_pass).
+struct PassReport {
+  /// Peak of CurrentSpaceBytes() within this pass.
+  std::size_t peak_space_bytes = 0;
+  /// Pairs delivered in this pass.
+  std::size_t pairs_processed = 0;
+};
+
 /// Result of driving an algorithm over a stream.
 struct RunReport {
   /// Peak of CurrentSpaceBytes() sampled at every list boundary and at pass
-  /// boundaries.
+  /// boundaries, across all passes.
   std::size_t peak_space_bytes = 0;
   /// Total pairs delivered across all passes.
   std::size_t pairs_processed = 0;
   int passes = 0;
+  /// Per-pass breakdown; size() == passes completed (may be < passes if a
+  /// checked run aborted on a violation).
+  std::vector<PassReport> per_pass;
+};
+
+/// Optional instrumentation for a driver run. Default-constructed ==
+/// untraced: the driver's behaviour and the algorithm's inputs are
+/// identical either way.
+struct TraceOptions {
+  /// If set, receives BeginPass + a space sample at every list boundary
+  /// (and mid-list per the tracer's pair_stride) and at each pass end.
+  obs::SpaceTracer* tracer = nullptr;
+  /// If set, receives "driver.*" counters (and, for checked runs,
+  /// "validator.*") when the run finishes.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 namespace internal {
@@ -46,25 +80,55 @@ namespace internal {
 // sampling space at list boundaries.
 class MeteredSink {
  public:
-  MeteredSink(StreamAlgorithm* algorithm, RunReport* report)
-      : algorithm_(algorithm), report_(report) {}
+  MeteredSink(StreamAlgorithm* algorithm, RunReport* report,
+              obs::SpaceTracer* tracer = nullptr)
+      : algorithm_(algorithm),
+        report_(report),
+        tracer_(tracer),
+        pair_stride_(tracer != nullptr ? tracer->pair_stride() : 0) {}
+
+  void BeginPass(int pass) {
+    report_->per_pass.emplace_back();
+    if (tracer_ != nullptr) tracer_->BeginPass(static_cast<std::size_t>(pass));
+  }
 
   void BeginList(VertexId u) { algorithm_->BeginList(u); }
 
   void OnPair(VertexId u, VertexId v) {
     algorithm_->OnPair(u, v);
     ++report_->pairs_processed;
+    ++report_->per_pass.back().pairs_processed;
+    if (pair_stride_ != 0 &&
+        report_->per_pass.back().pairs_processed % pair_stride_ == 0) {
+      // Mid-list sample: finer timeline resolution for long lists. Not
+      // fed into the peak (the model measures at list boundaries), and
+      // CurrentSpaceBytes() mid-list is <= the boundary value for every
+      // algorithm here, so the timeline max is unaffected.
+      tracer_->Sample(report_->per_pass.back().pairs_processed,
+                      algorithm_->CurrentSpaceBytes());
+    }
   }
 
   void EndList(VertexId u) {
     algorithm_->EndList(u);
-    report_->peak_space_bytes =
-        std::max(report_->peak_space_bytes, algorithm_->CurrentSpaceBytes());
+    SampleSpace();
   }
 
+  void EndPass() { SampleSpace(); }
+
  private:
+  void SampleSpace() {
+    const std::size_t space = algorithm_->CurrentSpaceBytes();
+    PassReport& pass = report_->per_pass.back();
+    pass.peak_space_bytes = std::max(pass.peak_space_bytes, space);
+    report_->peak_space_bytes = std::max(report_->peak_space_bytes, space);
+    if (tracer_ != nullptr) tracer_->Sample(pass.pairs_processed, space);
+  }
+
   StreamAlgorithm* algorithm_;
   RunReport* report_;
+  obs::SpaceTracer* tracer_;
+  std::size_t pair_stride_;
 };
 
 // MeteredSink with a validator in front: the validator sees every event
@@ -73,8 +137,11 @@ class MeteredSink {
 class ValidatedSink {
  public:
   ValidatedSink(StreamAlgorithm* algorithm, RunReport* report,
-                StreamValidator* validator)
-      : inner_(algorithm, report), validator_(validator) {}
+                StreamValidator* validator,
+                obs::SpaceTracer* tracer = nullptr)
+      : inner_(algorithm, report, tracer), validator_(validator) {}
+
+  void BeginPass(int pass) { inner_.BeginPass(pass); }
 
   void BeginList(VertexId u) {
     validator_->BeginList(u);
@@ -91,6 +158,8 @@ class ValidatedSink {
     if (validator_->ok()) inner_.EndList(u);
   }
 
+  void EndPass() { inner_.EndPass(); }
+
  private:
   MeteredSink inner_;
   StreamValidator* validator_;
@@ -103,6 +172,16 @@ void RewindIfResettable(const StreamT& stream) {
   if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
 }
 
+inline void ExportDriverMetrics(const RunReport& report,
+                                obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("driver.runs").Increment();
+  metrics->GetCounter("driver.passes")
+      .Increment(report.per_pass.size());
+  metrics->GetCounter("driver.pairs_processed")
+      .Increment(report.pairs_processed);
+}
+
 }  // namespace internal
 
 /// Runs all of `algorithm`'s passes over `stream` (replaying the identical
@@ -110,20 +189,25 @@ void RewindIfResettable(const StreamT& stream) {
 /// estimate is read from the concrete algorithm object afterwards. The
 /// stream is trusted; use `RunPassesChecked` for untrusted streams.
 template <typename StreamT>
-RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm) {
+RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm,
+                    const TraceOptions& trace = {}) {
   CYCLESTREAM_CHECK(algorithm != nullptr);
   internal::RewindIfResettable(stream);
   RunReport report;
   report.passes = algorithm->passes();
   CYCLESTREAM_CHECK_GE(report.passes, 1);
-  internal::MeteredSink sink(algorithm, &report);
+  internal::MeteredSink sink(algorithm, &report, trace.tracer);
   for (int pass = 0; pass < report.passes; ++pass) {
+    sink.BeginPass(pass);
     algorithm->BeginPass(pass);
     stream.ReplayPass(sink);
     algorithm->EndPass(pass);
-    report.peak_space_bytes =
-        std::max(report.peak_space_bytes, algorithm->CurrentSpaceBytes());
+    // Sample once more after EndPass: pass-end state (e.g. a second-pass
+    // accumulator) counts toward the peak, and the tracer must see every
+    // sample the peak is computed from.
+    sink.EndPass();
   }
+  internal::ExportDriverMetrics(report, trace.metrics);
   return report;
 }
 
@@ -134,24 +218,30 @@ RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm) {
 /// estimate is only meaningful when the returned status is OK.
 template <typename StreamT>
 StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
-                                     StreamAlgorithm* algorithm) {
+                                     StreamAlgorithm* algorithm,
+                                     const TraceOptions& trace = {}) {
   CYCLESTREAM_CHECK(algorithm != nullptr);
   internal::RewindIfResettable(stream);
   RunReport report;
   report.passes = algorithm->passes();
   CYCLESTREAM_CHECK_GE(report.passes, 1);
   StreamValidator validator(&stream.graph());
-  internal::ValidatedSink sink(algorithm, &report, &validator);
+  internal::ValidatedSink sink(algorithm, &report, &validator, trace.tracer);
   for (int pass = 0; pass < report.passes; ++pass) {
+    sink.BeginPass(pass);
     validator.BeginPass(pass);
     algorithm->BeginPass(pass);
     stream.ReplayPass(sink);
     validator.EndPass(pass);
     algorithm->EndPass(pass);
-    report.peak_space_bytes =
-        std::max(report.peak_space_bytes, algorithm->CurrentSpaceBytes());
-    if (!validator.ok()) return validator.ToStatus();
+    sink.EndPass();
+    if (!validator.ok()) {
+      if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+      return validator.ToStatus();
+    }
   }
+  internal::ExportDriverMetrics(report, trace.metrics);
+  if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
   return report;
 }
 

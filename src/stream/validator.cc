@@ -52,8 +52,14 @@ StreamValidator::StreamValidator(const Graph* graph) : graph_(graph) {
   first_pass_fingerprints_.reserve(graph_->num_vertices());
 }
 
+void StreamValidator::CountViolation(ViolationKind kind) {
+  ++counters_.violations_total;
+  ++counters_.violations_by_kind[static_cast<std::size_t>(kind)];
+}
+
 void StreamValidator::Report(ViolationKind kind, VertexId list,
                              std::string detail) {
+  CountViolation(kind);  // every observed violation, not just the first
   if (violation_.has_value()) return;  // keep the first
   // A provisional missing-pair is chronologically earlier than the current
   // event, so it wins (unless the caller discarded it as a split first).
@@ -71,13 +77,18 @@ void StreamValidator::Report(ViolationKind kind, VertexId list,
 }
 
 void StreamValidator::FlushPending() {
-  if (!violation_.has_value() && pending_missing_.has_value()) {
-    violation_ = std::move(*pending_missing_);
+  if (pending_missing_.has_value()) {
+    // Only now is the stash a confirmed drop (a reopen would have
+    // discarded it as a split), so only now does it count.
+    CountViolation(ViolationKind::kMissingPair);
+    if (!violation_.has_value()) violation_ = std::move(*pending_missing_);
   }
   pending_missing_.reset();
 }
 
 void StreamValidator::BeginPass(int pass) {
+  ++counters_.events_checked;
+  ++counters_.passes_checked;
   CYCLESTREAM_CHECK(!in_pass_);
   CYCLESTREAM_CHECK_EQ(pass, pass_ + 1);  // consecutive, starting at 0
   pass_ = pass;
@@ -89,6 +100,8 @@ void StreamValidator::BeginPass(int pass) {
 }
 
 void StreamValidator::BeginList(VertexId u) {
+  ++counters_.events_checked;
+  ++counters_.lists_checked;
   CYCLESTREAM_CHECK(in_pass_);
   if (list_open_) {
     Report(ViolationKind::kInterleavedList, u,
@@ -128,6 +141,8 @@ void StreamValidator::BeginList(VertexId u) {
 }
 
 void StreamValidator::OnPair(VertexId u, VertexId v) {
+  ++counters_.events_checked;
+  ++counters_.pairs_checked;
   CYCLESTREAM_CHECK(in_pass_);
   if (!list_open_ || u != open_list_) {
     Report(ViolationKind::kInterleavedList, u,
@@ -150,6 +165,7 @@ void StreamValidator::OnPair(VertexId u, VertexId v) {
 }
 
 void StreamValidator::EndList(VertexId u) {
+  ++counters_.events_checked;
   CYCLESTREAM_CHECK(in_pass_);
   if (!list_open_ || u != open_list_) {
     Report(ViolationKind::kInterleavedList, u,
@@ -198,6 +214,7 @@ void StreamValidator::EndList(VertexId u) {
 }
 
 void StreamValidator::EndPass(int pass) {
+  ++counters_.events_checked;
   CYCLESTREAM_CHECK(in_pass_);
   CYCLESTREAM_CHECK_EQ(pass, pass_);
   FlushPending();  // a short list that never reopened really is a drop
@@ -218,6 +235,27 @@ void StreamValidator::EndPass(int pass) {
   }
   if (pass_ == 0) first_pass_pairs_ = position_;
   in_pass_ = false;
+}
+
+void StreamValidator::ExportMetrics(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("validator.events_checked")
+      .Increment(counters_.events_checked);
+  metrics->GetCounter("validator.passes_checked")
+      .Increment(counters_.passes_checked);
+  metrics->GetCounter("validator.lists_checked")
+      .Increment(counters_.lists_checked);
+  metrics->GetCounter("validator.pairs_checked")
+      .Increment(counters_.pairs_checked);
+  metrics->GetCounter("validator.violations_total")
+      .Increment(counters_.violations_total);
+  for (std::size_t i = 0; i < kNumViolationKinds; ++i) {
+    if (counters_.violations_by_kind[i] == 0) continue;
+    metrics
+        ->GetCounter(std::string("validator.violations.") +
+                     ViolationKindName(static_cast<ViolationKind>(i)))
+        .Increment(counters_.violations_by_kind[i]);
+  }
 }
 
 Status StreamValidator::ToStatus() const {

@@ -28,6 +28,7 @@
 #ifndef CYCLESTREAM_STREAM_VALIDATOR_H_
 #define CYCLESTREAM_STREAM_VALIDATOR_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -37,6 +38,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace cyclestream {
@@ -52,6 +54,9 @@ enum class ViolationKind {
   kTruncatedPass,    // pass ended mid-list or short of the full stream
   kReplayDivergence, // a later pass diverged from the first pass's order
 };
+
+/// Number of ViolationKind values (for by-kind counter arrays).
+inline constexpr std::size_t kNumViolationKinds = 7;
 
 /// Name of a violation kind ("split-list", ...). Stable, test-friendly.
 const char* ViolationKindName(ViolationKind kind);
@@ -103,12 +108,33 @@ class StreamValidator {
   /// kInvalidArgument for foreign/duplicate pairs).
   Status ToStatus() const;
 
+  /// Work/violation tallies over the validator's lifetime. Unlike
+  /// `violation()` (first only), `violations_by_kind` counts every
+  /// violation *observed* — a provisional missing-pair counts only once
+  /// it is confirmed (a reopen reclassifies it as the split it really is).
+  struct CheckCounters {
+    std::uint64_t events_checked = 0;  // all Begin*/On*/End* events
+    std::uint64_t passes_checked = 0;
+    std::uint64_t lists_checked = 0;
+    std::uint64_t pairs_checked = 0;
+    std::uint64_t violations_total = 0;
+    std::array<std::uint64_t, kNumViolationKinds> violations_by_kind{};
+  };
+  const CheckCounters& counters() const { return counters_; }
+
+  /// Publishes the counters to `metrics` as "validator.events_checked",
+  /// "validator.pairs_checked", "validator.violations_total", and
+  /// "validator.violations.<kind-name>" (only kinds with count > 0).
+  void ExportMetrics(obs::MetricsRegistry* metrics) const;
+
  private:
   void Report(ViolationKind kind, VertexId list, std::string detail);
   void FlushPending();
+  void CountViolation(ViolationKind kind);
 
   const Graph* graph_;
   std::optional<Violation> violation_;
+  CheckCounters counters_;
   // A short list is only *provisionally* a missing pair: if the same list
   // reopens later in the pass, the truth is a split list. The provisional
   // violation is promoted at the next unrelated violation or at EndPass,

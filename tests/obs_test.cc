@@ -1,0 +1,406 @@
+// Tests for the observability layer: JSON round-trips, the metrics
+// registry under concurrent writers, space-timeline/driver agreement, and
+// JSONL manifest files.
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/one_pass_triangle.h"
+#include "core/two_pass_triangle.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/space_tracer.h"
+#include "runtime/trial_runner.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+#include "stream/fault_injection.h"
+#include "stream/validator.h"
+
+namespace cyclestream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, Uint64RoundTripsExactly) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  obs::Json j(big);
+  EXPECT_EQ(j.Dump(), "18446744073709551615");
+  auto parsed = obs::Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsUint64(), big);
+  EXPECT_EQ(*parsed, j);
+}
+
+TEST(Json, NegativeIntRoundTrips) {
+  obs::Json j(static_cast<std::int64_t>(-42));
+  EXPECT_EQ(j.Dump(), "-42");
+  auto parsed = obs::Json::Parse("-42");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsInt64(), -42);
+}
+
+TEST(Json, DoubleRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789, -2.5}) {
+    obs::Json j(v);
+    auto parsed = obs::Json::Parse(j.Dump());
+    ASSERT_TRUE(parsed.ok()) << j.Dump();
+    EXPECT_EQ(parsed->AsDouble(), v) << j.Dump();
+  }
+}
+
+TEST(Json, NestedStructureRoundTrips) {
+  obs::Json rec = obs::Json::Object();
+  rec.Set("name", obs::Json("bench"));
+  rec.Set("seed", obs::Json(std::uint64_t{12345678901234567ULL}));
+  rec.Set("ok", obs::Json(true));
+  rec.Set("none", obs::Json());
+  obs::Json arr = obs::Json::Array();
+  arr.Push(obs::Json(1));
+  arr.Push(obs::Json(2.5));
+  obs::Json inner = obs::Json::Object();
+  inner.Set("k", obs::Json("v\"with\\escapes\n"));
+  arr.Push(std::move(inner));
+  rec.Set("points", std::move(arr));
+
+  auto parsed = obs::Json::Parse(rec.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rec);
+  // Keys keep insertion order, so Dump is deterministic.
+  EXPECT_EQ(parsed->Dump(), rec.Dump());
+}
+
+TEST(Json, ObjectSetReplacesAndFinds) {
+  obs::Json o = obs::Json::Object();
+  o.Set("a", obs::Json(1));
+  o.Set("a", obs::Json(2));
+  EXPECT_EQ(o.size(), 1u);
+  ASSERT_NE(o.Find("a"), nullptr);
+  EXPECT_EQ(o.Find("a")->AsUint64(), 2u);
+  EXPECT_EQ(o.Find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "truth", "\"unterminated",
+        "{\"a\":1} trailing", "nan"}) {
+    EXPECT_FALSE(obs::Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Json, ParseRejectsDeepNesting) {
+  std::string deep(512, '[');
+  deep += std::string(512, ']');
+  EXPECT_FALSE(obs::Json::Parse(deep).ok());
+}
+
+// ------------------------------------------------------------- Metrics --
+
+TEST(MetricsRegistry, CountsAcrossThreads) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter c = registry.GetCounter("test.count");
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+      registry.GetCounter("test.delta").Increment(5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::Snapshot snap = registry.Read();
+  EXPECT_EQ(snap.counters.at("test.count"), kThreads * kIncrements);
+  EXPECT_EQ(snap.counters.at("test.delta"), kThreads * 5u);
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundaries) {
+  obs::MetricsRegistry registry;
+  obs::Histogram h = registry.GetHistogram("lat", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket le=1
+  h.Observe(1.0);    // le is inclusive: bucket le=1
+  h.Observe(5.0);    // bucket le=10
+  h.Observe(100.0);  // bucket le=100
+  h.Observe(1e6);    // overflow
+  obs::Snapshot snap = registry.Read();
+  const obs::HistogramSnapshot& hs = snap.histograms.at("lat");
+  ASSERT_EQ(hs.bounds.size(), 3u);
+  ASSERT_EQ(hs.bucket_counts.size(), 4u);
+  EXPECT_EQ(hs.bucket_counts[0], 2u);
+  EXPECT_EQ(hs.bucket_counts[1], 1u);
+  EXPECT_EQ(hs.bucket_counts[2], 1u);
+  EXPECT_EQ(hs.bucket_counts[3], 1u);
+  EXPECT_EQ(hs.count, 5u);
+  EXPECT_DOUBLE_EQ(hs.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistry, SnapshotToJsonShape) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a").Increment(3);
+  registry.GetHistogram("h", {2.0}).Observe(1.0);
+  obs::Json j = registry.Read().ToJson();
+  ASSERT_NE(j.Find("counters"), nullptr);
+  EXPECT_EQ(j.Find("counters")->Find("a")->AsUint64(), 3u);
+  const obs::Json* h = j.Find("histograms")->Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->AsUint64(), 1u);
+  // Buckets: le=2 then the null-bound overflow bucket.
+  ASSERT_EQ(h->Find("buckets")->size(), 2u);
+  EXPECT_TRUE(h->Find("buckets")->at(1).Find("le")->is_null());
+  // The snapshot serialization itself round-trips.
+  auto parsed = obs::Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, j);
+}
+
+// ------------------------------------------------- Tracer + driver -----
+
+TEST(SpaceTracer, TimelineMaxMatchesReportedPeak) {
+  Graph g = gen::ErdosRenyiGnp(200, 0.08, 11);
+  stream::AdjacencyListStream s(&g, 3);
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 64;
+  options.seed = 7;
+  core::TwoPassTriangleCounter counter(options);
+  obs::SpaceTracer tracer;
+  stream::RunReport report =
+      stream::RunPasses(s, &counter, stream::TraceOptions{&tracer, nullptr});
+  ASSERT_EQ(tracer.timelines().size(), 2u);
+  EXPECT_EQ(tracer.MaxSpaceBytes(), report.peak_space_bytes);
+  // Per-pass timelines agree with the per-pass reports too.
+  for (std::size_t p = 0; p < tracer.timelines().size(); ++p) {
+    EXPECT_EQ(tracer.timelines()[p].MaxSpaceBytes(),
+              report.per_pass[p].peak_space_bytes);
+    EXPECT_FALSE(tracer.timelines()[p].points.empty());
+  }
+}
+
+TEST(SpaceTracer, MidListStrideAddsPointsWithoutChangingMax) {
+  Graph g = gen::ErdosRenyiGnp(150, 0.1, 4);
+  stream::AdjacencyListStream s(&g, 9);
+  auto run = [&](std::uint64_t stride) {
+    core::OnePassTriangleOptions options;
+    options.sample_size = 32;
+    options.seed = 5;
+    core::OnePassTriangleCounter counter(options);
+    obs::SpaceTracer tracer(stride);
+    stream::RunPasses(s, &counter, stream::TraceOptions{&tracer, nullptr});
+    return tracer;
+  };
+  obs::SpaceTracer coarse = run(0);
+  obs::SpaceTracer fine = run(16);
+  EXPECT_GT(fine.timelines()[0].points.size(),
+            coarse.timelines()[0].points.size());
+  EXPECT_EQ(fine.MaxSpaceBytes(), coarse.MaxSpaceBytes());
+}
+
+TEST(Driver, TracedAndUntracedRunsAreBitIdentical) {
+  Graph g = gen::ErdosRenyiGnp(200, 0.08, 21);
+  stream::AdjacencyListStream s(&g, 13);
+  auto estimate = [&](bool traced) {
+    core::TwoPassTriangleOptions options;
+    options.sample_size = 48;
+    options.seed = 99;
+    core::TwoPassTriangleCounter counter(options);
+    obs::SpaceTracer tracer(8);
+    obs::MetricsRegistry registry;
+    stream::TraceOptions trace;
+    if (traced) {
+      trace.tracer = &tracer;
+      trace.metrics = &registry;
+    }
+    stream::RunPasses(s, &counter, trace);
+    return counter.Estimate();
+  };
+  EXPECT_EQ(estimate(false), estimate(true));
+}
+
+TEST(Driver, PerPassReportsSumToTotals) {
+  Graph g = gen::ErdosRenyiGnp(120, 0.1, 31);
+  stream::AdjacencyListStream s(&g, 5);
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 32;
+  options.seed = 3;
+  core::TwoPassTriangleCounter counter(options);
+  stream::RunReport report = stream::RunPasses(s, &counter);
+  ASSERT_EQ(report.per_pass.size(), static_cast<std::size_t>(report.passes));
+  std::size_t pairs = 0, peak = 0;
+  for (const stream::PassReport& p : report.per_pass) {
+    pairs += p.pairs_processed;
+    peak = std::max(peak, p.peak_space_bytes);
+  }
+  EXPECT_EQ(pairs, report.pairs_processed);
+  EXPECT_EQ(peak, report.peak_space_bytes);
+  // Each pass delivers the full stream.
+  for (const stream::PassReport& p : report.per_pass) {
+    EXPECT_EQ(p.pairs_processed, 2 * g.num_edges());
+  }
+}
+
+TEST(Driver, ExportsDriverMetrics) {
+  Graph g = gen::ErdosRenyiGnp(100, 0.1, 41);
+  stream::AdjacencyListStream s(&g, 7);
+  obs::MetricsRegistry registry;
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 16;
+  options.seed = 1;
+  core::TwoPassTriangleCounter counter(options);
+  stream::RunPasses(s, &counter, stream::TraceOptions{nullptr, &registry});
+  obs::Snapshot snap = registry.Read();
+  EXPECT_EQ(snap.counters.at("driver.runs"), 1u);
+  EXPECT_EQ(snap.counters.at("driver.passes"), 2u);
+  EXPECT_EQ(snap.counters.at("driver.pairs_processed"), 4 * g.num_edges());
+}
+
+// ---------------------------------------------- Validator counters -----
+
+TEST(ValidatorCounters, CleanStreamCountsWorkNoViolations) {
+  Graph g = gen::ErdosRenyiGnp(80, 0.1, 51);
+  stream::AdjacencyListStream s(&g, 3);
+  obs::MetricsRegistry registry;
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 16;
+  options.seed = 2;
+  core::TwoPassTriangleCounter counter(options);
+  auto report = stream::RunPassesChecked(
+      s, &counter, stream::TraceOptions{nullptr, &registry});
+  ASSERT_TRUE(report.ok());
+  obs::Snapshot snap = registry.Read();
+  EXPECT_EQ(snap.counters.at("validator.passes_checked"), 2u);
+  EXPECT_EQ(snap.counters.at("validator.pairs_checked"), 4 * g.num_edges());
+  EXPECT_EQ(snap.counters.at("validator.lists_checked"),
+            2 * g.num_vertices());
+  EXPECT_EQ(snap.counters.at("validator.violations_total"), 0u);
+  EXPECT_GT(snap.counters.at("validator.events_checked"),
+            snap.counters.at("validator.pairs_checked"));
+}
+
+TEST(ValidatorCounters, InjectedFaultIsCountedByKind) {
+  Graph g = gen::ErdosRenyiGnp(80, 0.1, 61);
+  stream::AdjacencyListStream base(&g, 5);
+  stream::FaultInjectingStream faulty(
+      &base, {stream::FaultKind::kDuplicatePair, 0, 17});
+  obs::MetricsRegistry registry;
+  core::OnePassTriangleOptions options;
+  options.sample_size = 16;
+  options.seed = 2;
+  core::OnePassTriangleCounter counter(options);
+  auto report = stream::RunPassesChecked(
+      faulty, &counter, stream::TraceOptions{nullptr, &registry});
+  EXPECT_FALSE(report.ok());
+  obs::Snapshot snap = registry.Read();
+  EXPECT_GE(snap.counters.at("validator.violations_total"), 1u);
+  EXPECT_GE(snap.counters.at("validator.violations.duplicate-pair"), 1u);
+}
+
+// ---------------------------------------------- TrialRunner timing -----
+
+TEST(TrialRunnerTiming, TimingsDoNotPerturbResults) {
+  auto fn = [](std::size_t i, std::uint64_t seed) {
+    runtime::TrialResult r;
+    r.estimate = static_cast<double>(seed >> 8) + static_cast<double>(i);
+    r.peak_space_bytes = static_cast<std::size_t>(seed & 0xfff);
+    return r;
+  };
+  runtime::TrialRunner parallel(4);
+  runtime::TrialRunner inline_runner(1);
+  std::vector<runtime::TrialTiming> timings;
+  auto with = parallel.Run(64, 42, fn, &timings);
+  auto without = parallel.Run(64, 42, fn);
+  auto sequential = inline_runner.Run(64, 42, fn);
+  ASSERT_EQ(timings.size(), 64u);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].estimate, without[i].estimate);
+    EXPECT_EQ(with[i].estimate, sequential[i].estimate);
+    EXPECT_EQ(with[i].peak_space_bytes, sequential[i].peak_space_bytes);
+  }
+  for (const runtime::TrialTiming& t : timings) {
+    EXPECT_GE(t.wall_seconds, 0.0);
+    EXPECT_GE(t.queue_wait_seconds, 0.0);
+  }
+  // Inline runs have no queue: waits are exactly zero.
+  std::vector<runtime::TrialTiming> inline_timings;
+  inline_runner.Run(8, 7, fn, &inline_timings);
+  for (const runtime::TrialTiming& t : inline_timings) {
+    EXPECT_EQ(t.queue_wait_seconds, 0.0);
+  }
+  EXPECT_GE(runtime::TrialRunner::TotalWallSeconds(timings), 0.0);
+  EXPECT_GE(runtime::TrialRunner::TotalQueueWaitSeconds(timings), 0.0);
+}
+
+// ------------------------------------------------------- Manifests -----
+
+TEST(ManifestWriter, WritesParseableJsonlWithTrailer) {
+  const std::string path = TempPath("manifest_test.jsonl");
+  {
+    auto writer = obs::ManifestWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    obs::Json run = obs::MakeRecord("run");
+    run.Set("bench", obs::Json("obs_test"));
+    run.Set("git", obs::Json(obs::GitDescribe()));
+    writer->Write(run);
+    obs::Json batch = obs::MakeRecord("batch");
+    batch.Set("label", obs::Json("demo"));
+    batch.Set("seed", obs::Json(std::uint64_t{9876543210123456789ULL}));
+    writer->Write(batch);
+    obs::Json end = obs::MakeRecord("run_end");
+    end.Set("records", obs::Json(writer->records_written() + 1));
+    writer->Write(end);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<obs::Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = obs::Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    records.push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].Find("record")->AsString(), "run");
+  EXPECT_EQ(records[0].Find("schema_version")->AsUint64(),
+            static_cast<std::uint64_t>(obs::kManifestSchemaVersion));
+  EXPECT_EQ(records[1].Find("seed")->AsUint64(), 9876543210123456789ULL);
+  EXPECT_EQ(records[2].Find("record")->AsString(), "run_end");
+  // The trailer's count covers every line including itself.
+  EXPECT_EQ(records[2].Find("records")->AsUint64(), records.size());
+}
+
+TEST(ManifestWriter, OpenFailsOnBadPath) {
+  auto writer = obs::ManifestWriter::Open("/nonexistent_dir_xyz/m.jsonl");
+  EXPECT_FALSE(writer.ok());
+}
+
+TEST(SpaceTracer, ToJsonRoundTrips) {
+  obs::SpaceTracer tracer;
+  tracer.BeginPass(0);
+  tracer.Sample(10, 128);
+  tracer.Sample(20, 256);
+  tracer.BeginPass(1);
+  tracer.Sample(10, 64);
+  obs::Json j = tracer.ToJson();
+  auto parsed = obs::Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, j);
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->at(0).Find("pass")->AsUint64(), 0u);
+  EXPECT_EQ(parsed->at(0).Find("points")->size(), 2u);
+  EXPECT_EQ(parsed->at(0).Find("points")->at(1).at(1).AsUint64(), 256u);
+}
+
+}  // namespace
+}  // namespace cyclestream
