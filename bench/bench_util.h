@@ -291,8 +291,12 @@ struct TrialCtx {
   std::uint64_t seed = 0;
   obs::SpaceTracer* tracer = nullptr;
 
-  template <typename StreamT>
-  stream::RunReport Run(const StreamT& s, stream::StreamAlgorithm* algo) const {
+  /// AlgoT is deduced: every bench passes a concrete (final) estimator
+  /// pointer, so the whole driver path devirtualizes (one OnListBatch call
+  /// per adjacency list). Passing a StreamAlgorithm* still works and is
+  /// bit-identical.
+  template <typename StreamT, typename AlgoT>
+  stream::RunReport Run(const StreamT& s, AlgoT* algo) const {
     return stream::RunPasses(
         s, algo,
         stream::TraceOptions{tracer,

@@ -3,7 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -84,6 +88,105 @@ void BM_StreamReplay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_StreamReplay);
+
+// Minimal batch-capable algorithm for replay-throughput measurement: the
+// per-element sum keeps the compiler from collapsing the traversal while
+// the work per pair stays negligible, so the measured time is dispatch +
+// memory traffic — the substrate cost the batched refactor targets.
+class ReplayTally final : public stream::StreamAlgorithm {
+ public:
+  int passes() const override { return 1; }
+  void OnPair(VertexId, VertexId v) override { sum_ += v; }
+  void OnListBatch(VertexId, std::span<const VertexId> list) override {
+    std::uint64_t acc = 0;
+    for (VertexId v : list) acc += v;
+    sum_ += acc;
+  }
+  std::size_t CurrentSpaceBytes() const override { return sizeof(*this); }
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+// 20k-vertex ER graph for the replay-throughput comparison. Denser than
+// SharedGraph() (average degree 32 vs 6): the batched path's advantage is
+// per-pair dispatch eliminated, so it grows with list length, while at
+// degree 6 the per-list boundary work (BeginList/EndList, space sampling)
+// dominates both paths and compresses the ratio toward 1.
+const Graph& SharedReplayGraph() {
+  static const Graph* g =
+      new Graph(gen::ErdosRenyiGnp(20000, 32.0 / 20000, 42));
+  return *g;
+}
+
+const Graph& ReplayGraph(int which) {
+  return which == 0 ? SharedReplayGraph() : SharedSocialGraph();
+}
+
+// The pre-refactor cost: every pair crosses the driver's metering sink and
+// a virtual StreamAlgorithm::OnPair (AlgoT = StreamAlgorithm, PairwiseOnly
+// hides the stream's span delivery). Arg 0 = ER, Arg 1 = power-law.
+void BM_DriverReplayPairwise(benchmark::State& state) {
+  const Graph& g = ReplayGraph(static_cast<int>(state.range(0)));
+  stream::AdjacencyListStream s(&g, 3);
+  stream::PairwiseOnly<stream::AdjacencyListStream> pairwise(&s);
+  for (auto _ : state) {
+    ReplayTally tally;
+    stream::StreamAlgorithm* base = &tally;
+    stream::RunReport report = stream::RunPasses(pairwise, base);
+    benchmark::DoNotOptimize(report.pairs_processed);
+    benchmark::DoNotOptimize(tally.sum());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_DriverReplayPairwise)->Arg(0)->Arg(1);
+
+// The batched path: one devirtualized OnListBatch per adjacency list
+// through the same driver. Items/s over BM_DriverReplayPairwise at the
+// same Arg is the substrate speedup (CI enforces batched >= pairwise via
+// the manifest curves below).
+void BM_DriverReplayBatched(benchmark::State& state) {
+  const Graph& g = ReplayGraph(static_cast<int>(state.range(0)));
+  stream::AdjacencyListStream s(&g, 3);
+  for (auto _ : state) {
+    ReplayTally tally;
+    stream::RunReport report = stream::RunPasses(s, &tally);
+    benchmark::DoNotOptimize(report.pairs_processed);
+    benchmark::DoNotOptimize(tally.sum());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_DriverReplayBatched)->Arg(0)->Arg(1);
+
+// Deterministic replay-throughput measurement for the manifest: best
+// pairs/sec over `reps` driver runs. Used post-run (not under
+// google-benchmark) so the manifest rows exist whenever --metrics-out is
+// given, regardless of --benchmark_filter.
+double MeasureReplayPairsPerSec(const Graph& g, bool batched, int reps) {
+  stream::AdjacencyListStream s(&g, 3);
+  stream::PairwiseOnly<stream::AdjacencyListStream> pairwise(&s);
+  const double pairs = static_cast<double>(2 * g.num_edges());
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    ReplayTally tally;
+    const auto start = std::chrono::steady_clock::now();
+    stream::RunReport report;
+    if (batched) {
+      report = stream::RunPasses(s, &tally);
+    } else {
+      stream::StreamAlgorithm* base = &tally;
+      report = stream::RunPasses(pairwise, base);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(report.pairs_processed);
+    benchmark::DoNotOptimize(tally.sum());
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds > 0.0) best = std::max(best, pairs / seconds);
+  }
+  return best;
+}
 
 // Cost of online validation per pair: same replay as BM_StreamReplay but
 // with a StreamValidator consuming every event. The items/s delta against
@@ -257,6 +360,34 @@ void BM_EstimateTrianglesAmplified(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateTrianglesAmplified)->Arg(1)->Arg(4);
 
+// Replay-throughput rows for the manifest: one curve per (graph family,
+// delivery mode), a single (pairs-per-pass, pairs/sec) point each. The CI
+// smoke step (scripts/bench_report.py validate) fails the run if a
+// "<base>/batched" curve falls below its "<base>/pairwise" sibling.
+void WriteReplayThroughputCurves(obs::ManifestWriter& writer) {
+  constexpr int kReps = 5;
+  struct Row {
+    const char* curve;
+    const Graph* graph;
+    bool batched;
+  };
+  const Row rows[] = {
+      {"replay_throughput/er/pairwise", &SharedReplayGraph(), false},
+      {"replay_throughput/er/batched", &SharedReplayGraph(), true},
+      {"replay_throughput/powerlaw/pairwise", &SharedSocialGraph(), false},
+      {"replay_throughput/powerlaw/batched", &SharedSocialGraph(), true},
+  };
+  for (const Row& row : rows) {
+    const double pairs_per_sec =
+        MeasureReplayPairsPerSec(*row.graph, row.batched, kReps);
+    obs::Json point = obs::MakeRecord("curve_point");
+    point.Set("curve", obs::Json(std::string(row.curve)));
+    point.Set("x", obs::Json(static_cast<double>(2 * row.graph->num_edges())));
+    point.Set("y", obs::Json(pairs_per_sec));
+    writer.Write(point);
+  }
+}
+
 }  // namespace
 }  // namespace cyclestream
 
@@ -311,6 +442,7 @@ int main(int argc, char** argv) {
     run.Set("bench", obs::Json("micro_substrate"));
     run.Set("git", obs::Json(obs::GitDescribe()));
     writer->Write(run);
+    WriteReplayThroughputCurves(*writer);
     obs::Json metrics = obs::MakeRecord("metrics");
     metrics.Set("metrics", MicroRegistry().Read().ToJson());
     writer->Write(metrics);

@@ -170,6 +170,47 @@ def check_slopes(path, grouped):
     return errors
 
 
+def check_throughput_pairs(path, grouped):
+    """Batched delivery must not regress below per-pair delivery: for every
+    curve pair ``<base>/pairwise`` and ``<base>/batched`` (the replay
+    microbenchmark records one such pair per graph family), the batched
+    curve's mean y must be >= the pairwise curve's mean y."""
+    errors = []
+    for curve in sorted(grouped["curves"]):
+        if not curve.endswith("/pairwise"):
+            continue
+        base = curve[: -len("/pairwise")]
+        batched = grouped["curves"].get(base + "/batched")
+        if not batched:
+            continue
+        pairwise_mean = sum(y for _, y in grouped["curves"][curve]) / \
+            len(grouped["curves"][curve])
+        batched_mean = sum(y for _, y in batched) / len(batched)
+        if batched_mean < pairwise_mean:
+            errors.append(
+                f"{path}: curve {base!r}: batched throughput "
+                f"{batched_mean:.4g} below pairwise {pairwise_mean:.4g}")
+    return errors
+
+
+def check_driver_counters(path, grouped):
+    """A run cannot complete more passes than were requested: in every
+    metrics snapshot carrying both counters, driver.passes (completed) must
+    be <= driver.passes_requested."""
+    errors = []
+    for i, snap in enumerate(grouped["metrics"]):
+        counters = snap.get("counters", {})
+        completed = counters.get("driver.passes")
+        requested = counters.get("driver.passes_requested")
+        if completed is None or requested is None:
+            continue
+        if completed > requested:
+            errors.append(
+                f"{path}: metrics snapshot {i}: driver.passes={completed} "
+                f"exceeds driver.passes_requested={requested}")
+    return errors
+
+
 def check_timelines(path, grouped):
     """The timeline's recorded max must equal the max over its points."""
     errors = []
@@ -199,6 +240,8 @@ def cmd_validate(args):
             grouped = collect(records)
             errors += check_slopes(path, grouped)
             errors += check_timelines(path, grouped)
+            errors += check_throughput_pairs(path, grouped)
+            errors += check_driver_counters(path, grouped)
         if errors:
             failed = True
             for e in errors:

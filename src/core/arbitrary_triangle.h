@@ -41,7 +41,7 @@ struct ArbitraryTriangleResult {
 };
 
 /// One-pass sampled-wedge triangle estimator for arbitrary-order streams.
-class ArbitraryOrderTriangleCounter : public stream::EdgeStreamAlgorithm {
+class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
  public:
   explicit ArbitraryOrderTriangleCounter(
       const ArbitraryTriangleOptions& options);

@@ -7,6 +7,7 @@
 #define CYCLESTREAM_CORE_EXACT_STREAM_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -17,7 +18,7 @@ namespace cyclestream {
 namespace core {
 
 /// One-pass exact triangle counting with Θ(m) state.
-class ExactStreamTriangleCounter : public stream::StreamAlgorithm {
+class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
  public:
   ExactStreamTriangleCounter() = default;
 
@@ -25,6 +26,7 @@ class ExactStreamTriangleCounter : public stream::StreamAlgorithm {
 
   void BeginList(VertexId u) override;
   void OnPair(VertexId u, VertexId v) override;
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
 
@@ -32,6 +34,10 @@ class ExactStreamTriangleCounter : public stream::StreamAlgorithm {
   std::uint64_t edge_count() const { return pair_events_ / 2; }
 
  private:
+  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
+  // list instead of per pair. Identical mutation sequence either way.
+  void HandlePair(VertexId u, VertexId v);
+
   // 0 = unseen, 1 = one copy seen, 2 = both copies seen.
   std::unordered_map<EdgeKey, std::uint8_t> edge_state_;
   std::vector<VertexId> current_list_;

@@ -21,6 +21,7 @@
 #define CYCLESTREAM_CORE_FOUR_CYCLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -59,7 +60,7 @@ struct FourCycleResult {
 };
 
 /// Streaming implementation of Theorem 4.6.
-class TwoPassFourCycleCounter : public stream::StreamAlgorithm {
+class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
  public:
   explicit TwoPassFourCycleCounter(const FourCycleOptions& options);
 
@@ -67,6 +68,7 @@ class TwoPassFourCycleCounter : public stream::StreamAlgorithm {
 
   void BeginPass(int pass) override;
   void OnPair(VertexId u, VertexId v) override;
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   void EndPass(int pass) override;
   std::size_t CurrentSpaceBytes() const override;
@@ -75,6 +77,10 @@ class TwoPassFourCycleCounter : public stream::StreamAlgorithm {
   double Estimate() const { return result().estimate; }
 
  private:
+  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
+  // list instead of per pair. Identical mutation sequence either way.
+  void HandlePair(VertexId u, VertexId v);
+
   struct WedgeState {
     Wedge wedge;
     std::uint64_t count = 0;  // T_w restricted to pass-2 detections

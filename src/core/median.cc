@@ -40,6 +40,10 @@ void ParallelCopies::OnPair(VertexId u, VertexId v) {
   for (auto& copy : copies_) copy->OnPair(u, v);
 }
 
+void ParallelCopies::OnListBatch(VertexId u, std::span<const VertexId> list) {
+  for (auto& copy : copies_) copy->OnListBatch(u, list);
+}
+
 void ParallelCopies::EndList(VertexId u) {
   for (auto& copy : copies_) copy->EndList(u);
 }
@@ -78,6 +82,9 @@ class CopySpan : public stream::StreamAlgorithm {
   }
   void OnPair(VertexId u, VertexId v) override {
     for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnPair(u, v);
+  }
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnListBatch(u, list);
   }
   void EndList(VertexId u) override {
     for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndList(u);
@@ -122,11 +129,11 @@ stream::RunReport ParallelCopies::Run(const stream::AdjacencyListStream& stream,
   for (auto& future : pending) future.get();
 
   stream::RunReport merged;
-  merged.passes = passes();
+  merged.passes_requested = passes();
   // The stream is multiplexed to all copies: one logical read per pass,
   // matching the sequential report regardless of how many workers replayed.
   merged.pairs_processed = stream.stream_length() *
-                           static_cast<std::size_t>(merged.passes);
+                           static_cast<std::size_t>(merged.passes_requested);
   for (const stream::RunReport& r : chunk_reports) {
     merged.peak_space_bytes += r.peak_space_bytes;
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/four_cycle.h"
@@ -40,6 +41,9 @@ class ParallelCopies : public stream::StreamAlgorithm {
   void BeginPass(int pass) override;
   void BeginList(VertexId u) override;
   void OnPair(VertexId u, VertexId v) override;
+  /// Forwards the batch to each copy's OnListBatch, so copies with real
+  /// batch implementations keep their fast path under amplification.
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   void EndPass(int pass) override;
   std::size_t CurrentSpaceBytes() const override;

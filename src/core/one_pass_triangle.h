@@ -17,6 +17,7 @@
 #define CYCLESTREAM_CORE_ONE_PASS_TRIANGLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -43,7 +44,7 @@ struct OnePassTriangleResult {
 };
 
 /// Single-pass estimator; exact when sample_size >= m.
-class OnePassTriangleCounter : public stream::StreamAlgorithm {
+class OnePassTriangleCounter final : public stream::StreamAlgorithm {
  public:
   explicit OnePassTriangleCounter(const OnePassTriangleOptions& options);
 
@@ -51,6 +52,7 @@ class OnePassTriangleCounter : public stream::StreamAlgorithm {
 
   void BeginPass(int pass) override;
   void OnPair(VertexId u, VertexId v) override;
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
 
@@ -66,6 +68,10 @@ class OnePassTriangleCounter : public stream::StreamAlgorithm {
     bool flag_hi = false;
     std::uint64_t detections = 0;
   };
+
+  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
+  // list instead of per pair. Identical mutation sequence either way.
+  void HandlePair(VertexId u, VertexId v);
 
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);
 

@@ -13,6 +13,7 @@
 #define CYCLESTREAM_CORE_TRIANGLE_DISTINGUISHER_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -38,7 +39,7 @@ struct TriangleDistinguisherResult {
 };
 
 /// Two-pass distinguisher (second pass may use any list order).
-class TriangleDistinguisher : public stream::StreamAlgorithm {
+class TriangleDistinguisher final : public stream::StreamAlgorithm {
  public:
   explicit TriangleDistinguisher(const TriangleDistinguisherOptions& options);
 
@@ -46,6 +47,7 @@ class TriangleDistinguisher : public stream::StreamAlgorithm {
 
   void BeginPass(int pass) override;
   void OnPair(VertexId u, VertexId v) override;
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
 
@@ -64,6 +66,10 @@ class TriangleDistinguisher : public stream::StreamAlgorithm {
   void RestoreState(const std::vector<std::uint8_t>& bytes);
 
  private:
+  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
+  // list instead of per pair. Identical mutation sequence either way.
+  void HandlePair(VertexId u, VertexId v);
+
   struct EdgeState {
     VertexId lo = 0;
     VertexId hi = 0;

@@ -18,6 +18,7 @@
 #define CYCLESTREAM_CORE_WEDGE_SAMPLING_TRIANGLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +46,7 @@ struct WedgeSamplingResult {
 
 /// Single-pass reservoir wedge sampler; exact when the reservoir holds all
 /// P2 wedges.
-class WedgeSamplingTriangleCounter : public stream::StreamAlgorithm {
+class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
  public:
   explicit WedgeSamplingTriangleCounter(const WedgeSamplingOptions& options);
 
@@ -53,6 +54,7 @@ class WedgeSamplingTriangleCounter : public stream::StreamAlgorithm {
 
   void BeginList(VertexId u) override;
   void OnPair(VertexId u, VertexId v) override;
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   std::size_t CurrentSpaceBytes() const override;
 
   WedgeSamplingResult result() const;
@@ -63,6 +65,11 @@ class WedgeSamplingTriangleCounter : public stream::StreamAlgorithm {
     Wedge wedge;
     bool closed = false;
   };
+
+  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
+  // list instead of per pair. Wedge offers (and thus rng_ draws) happen in
+  // the identical sequence under both deliveries.
+  void HandlePair(VertexId u, VertexId v);
 
   void OfferWedge(const Wedge& w);
   void WatchSlot(std::uint32_t slot);

@@ -26,45 +26,6 @@ stream::AdjacencyListStream MakeProtocolStream(const Gadget& gadget,
                                      Mix64(seed));
 }
 
-ProtocolRun RunProtocol(const Gadget& gadget,
-                        stream::StreamAlgorithm* algorithm,
-                        std::uint64_t seed) {
-  CYCLESTREAM_CHECK(algorithm != nullptr);
-  stream::AdjacencyListStream protocol_stream = MakeProtocolStream(gadget, seed);
-  const std::vector<VertexId>& order = protocol_stream.list_order();
-
-  ProtocolRun run;
-  const int passes = algorithm->passes();
-  for (int pass = 0; pass < passes; ++pass) {
-    algorithm->BeginPass(pass);
-    int current_player =
-        order.empty() ? kAlice : gadget.player_of[order.front()];
-    for (VertexId u : order) {
-      if (gadget.player_of[u] != current_player) {
-        // Player boundary: the algorithm state is the message.
-        std::size_t bytes = algorithm->CurrentSpaceBytes();
-        run.message_bytes.push_back(bytes);
-        current_player = gadget.player_of[u];
-      }
-      algorithm->BeginList(u);
-      for (VertexId v : protocol_stream.ListOf(u)) algorithm->OnPair(u, v);
-      algorithm->EndList(u);
-      run.peak_space_bytes =
-          std::max(run.peak_space_bytes, algorithm->CurrentSpaceBytes());
-    }
-    algorithm->EndPass(pass);
-    if (pass + 1 < passes) {
-      // Multi-pass: the last player sends the state back to the first.
-      run.message_bytes.push_back(algorithm->CurrentSpaceBytes());
-    }
-  }
-  for (std::size_t bytes : run.message_bytes) {
-    run.max_message_bytes = std::max(run.max_message_bytes, bytes);
-    run.total_message_bytes += bytes;
-  }
-  return run;
-}
-
 ProtocolRun RunSerializedDistinguisherProtocol(
     const Gadget& gadget, const core::TriangleDistinguisherOptions& options,
     std::uint64_t seed, core::TriangleDistinguisherResult* result) {

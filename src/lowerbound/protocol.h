@@ -8,10 +8,19 @@
 // message size. One pass of a c-pass algorithm crosses (players - 1)
 // boundaries; total communication = Σ message sizes, and the protocol output
 // is derived from the final estimate (> promised/2 → "1").
+//
+// Delivery goes through the driver's shared `internal::MeteredSink`, not a
+// hand-rolled OnPair loop, so protocol runs get the same metering, the same
+// batch fast path (one devirtualized OnListBatch per list when given a
+// concrete algorithm), and the same optional TraceOptions instrumentation as
+// `stream::RunPasses`. The message points and the space-sampling schedule
+// are unchanged: space is sampled at list boundaries only, with no extra
+// sample after EndPass (messages between passes are read directly).
 
 #ifndef CYCLESTREAM_LOWERBOUND_PROTOCOL_H_
 #define CYCLESTREAM_LOWERBOUND_PROTOCOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +29,8 @@
 #include "lowerbound/gadget.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
+#include "stream/driver.h"
+#include "util/check.h"
 
 namespace cyclestream {
 namespace lowerbound {
@@ -42,11 +53,67 @@ struct ProtocolRun {
 stream::AdjacencyListStream MakeProtocolStream(const Gadget& gadget,
                                                std::uint64_t seed);
 
+namespace internal {
+
+// Tallies max/total over the recorded boundary messages.
+inline void FinishProtocolRun(ProtocolRun* run) {
+  for (std::size_t bytes : run->message_bytes) {
+    run->max_message_bytes = std::max(run->max_message_bytes, bytes);
+    run->total_message_bytes += bytes;
+  }
+}
+
+}  // namespace internal
+
 /// Runs all passes of `algorithm` over the gadget's player-grouped stream,
 /// recording the message sizes. The caller reads the estimate from the
-/// concrete algorithm afterwards.
-ProtocolRun RunProtocol(const Gadget& gadget, stream::StreamAlgorithm* algorithm,
-                        std::uint64_t seed);
+/// concrete algorithm afterwards. Like `stream::RunPasses`, `AlgoT` is
+/// deduced: a concrete algorithm pointer takes the devirtualized batch path,
+/// a `stream::StreamAlgorithm*` the virtual one — bit-identical results.
+/// `trace` instruments the run exactly as in the driver (space timeline plus
+/// "driver.*" counters).
+template <typename AlgoT>
+ProtocolRun RunProtocol(const Gadget& gadget, AlgoT* algorithm,
+                        std::uint64_t seed,
+                        const stream::TraceOptions& trace = {}) {
+  static_assert(std::is_base_of_v<stream::StreamAlgorithm, AlgoT>);
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  stream::AdjacencyListStream protocol_stream =
+      MakeProtocolStream(gadget, seed);
+  const std::vector<VertexId>& order = protocol_stream.list_order();
+
+  ProtocolRun run;
+  stream::RunReport report;
+  report.passes_requested = algorithm->passes();
+  stream::internal::MeteredSink<AlgoT> sink(algorithm, &report, trace.tracer);
+  for (int pass = 0; pass < report.passes_requested; ++pass) {
+    sink.BeginPass(pass);
+    algorithm->BeginPass(pass);
+    int current_player =
+        order.empty() ? kAlice : gadget.player_of[order.front()];
+    for (VertexId u : order) {
+      if (gadget.player_of[u] != current_player) {
+        // Player boundary: the algorithm state is the message.
+        run.message_bytes.push_back(algorithm->CurrentSpaceBytes());
+        current_player = gadget.player_of[u];
+      }
+      sink.BeginList(u);
+      sink.OnList(u, protocol_stream.ListOf(u));
+      sink.EndList(u);  // samples space, exactly as the old per-list max
+    }
+    algorithm->EndPass(pass);
+    // No sink.EndPass(): the protocol's peak is defined over list
+    // boundaries only; pass-end state is measured by the message below.
+    if (pass + 1 < report.passes_requested) {
+      // Multi-pass: the last player sends the state back to the first.
+      run.message_bytes.push_back(algorithm->CurrentSpaceBytes());
+    }
+  }
+  run.peak_space_bytes = report.peak_space_bytes;
+  stream::internal::ExportDriverMetrics(report, trace.metrics);
+  internal::FinishProtocolRun(&run);
+  return run;
+}
 
 /// The reduction made fully literal: each player is a SEPARATE algorithm
 /// instance; at every boundary the current player's state is serialized to
@@ -79,6 +146,10 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
   }
 
   const int passes = Algo(options).passes();
+  // One report across all players: MeteredSink accumulates the global peak
+  // (max over every player's list-boundary samples) into it.
+  stream::RunReport report;
+  report.passes_requested = passes;
   std::vector<std::uint8_t> wire;
   bool first_segment = true;
   for (int pass = 0; pass < passes; ++pass) {
@@ -86,14 +157,14 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
       // A brand-new player knowing only the public options and the wire.
       auto player = std::make_unique<Algo>(options);
       if (!first_segment) player->RestoreState(wire);
+      stream::internal::MeteredSink<Algo> sink(player.get(), &report, nullptr);
+      if (seg_begin == 0) sink.BeginPass(pass);
       if (seg_begin == 0) player->BeginPass(pass);
       for (std::size_t i = seg_begin; i < seg_end; ++i) {
         VertexId u = order[i];
-        player->BeginList(u);
-        for (VertexId v : protocol_stream.ListOf(u)) player->OnPair(u, v);
-        player->EndList(u);
-        run.peak_space_bytes =
-            std::max(run.peak_space_bytes, player->CurrentSpaceBytes());
+        sink.BeginList(u);
+        sink.OnList(u, protocol_stream.ListOf(u));
+        sink.EndList(u);
       }
       if (seg_end == order.size()) player->EndPass(pass);
       bool last_overall = pass + 1 == passes && seg_end == order.size();
@@ -106,10 +177,8 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
       first_segment = false;
     }
   }
-  for (std::size_t bytes : run.message_bytes) {
-    run.max_message_bytes = std::max(run.max_message_bytes, bytes);
-    run.total_message_bytes += bytes;
-  }
+  run.peak_space_bytes = report.peak_space_bytes;
+  internal::FinishProtocolRun(&run);
   return run;
 }
 

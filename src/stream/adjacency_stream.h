@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
@@ -46,12 +47,22 @@ class AdjacencyListStream {
   std::span<const VertexId> ListOf(VertexId u) const;
 
   /// Replays one pass, invoking `fn` like a StreamAlgorithm:
-  /// fn.BeginList(u) / fn.OnPair(u, v) / fn.EndList(u).
+  /// fn.BeginList(u), then the list's pairs, then fn.EndList(u).
+  ///
+  /// Two-level delivery: a sink exposing OnList(u, span) receives each
+  /// adjacency list as one contiguous span (the lists are already stored
+  /// back to back in `list_entries_`); other sinks get the per-pair
+  /// fn.OnPair(u, v) loop. Batched sinks must treat the span exactly like
+  /// the pair sequence (see stream/algorithm.h's bit-identity contract).
   template <typename Sink>
   void ReplayPass(Sink&& fn) const {
     for (VertexId u : list_order_) {
       fn.BeginList(u);
-      for (VertexId v : ListOf(u)) fn.OnPair(u, v);
+      if constexpr (requires { fn.OnList(u, std::span<const VertexId>{}); }) {
+        fn.OnList(u, ListOf(u));
+      } else {
+        for (VertexId v : ListOf(u)) fn.OnPair(u, v);
+      }
       fn.EndList(u);
     }
   }
@@ -64,6 +75,40 @@ class AdjacencyListStream {
   // Within-list orders, stored contiguously with per-vertex offsets.
   std::vector<VertexId> list_entries_;
   std::vector<std::size_t> list_offsets_;
+};
+
+/// Decorator forcing per-pair delivery: replays `stream` while hiding any
+/// OnList capability of the receiving sink, so every pair goes through the
+/// sink's OnPair path. This is the reference delivery for the bit-identity
+/// contract — batch_equivalence_test and the replay microbenchmarks compare
+/// a normal replay against a PairwiseOnly replay of the same stream.
+template <typename StreamT>
+class PairwiseOnly {
+ public:
+  explicit PairwiseOnly(const StreamT* stream) : stream_(stream) {}
+
+  const Graph& graph() const { return stream_->graph(); }
+  std::size_t stream_length() const { return stream_->stream_length(); }
+
+  void ResetPasses() const {
+    if constexpr (requires { stream_->ResetPasses(); }) {
+      stream_->ResetPasses();
+    }
+  }
+
+  template <typename Sink>
+  void ReplayPass(Sink&& fn) const {
+    struct PairShim {
+      std::remove_reference_t<Sink>* sink;
+      void BeginList(VertexId u) { sink->BeginList(u); }
+      void OnPair(VertexId u, VertexId v) { sink->OnPair(u, v); }
+      void EndList(VertexId u) { sink->EndList(u); }
+    } shim{&fn};
+    stream_->ReplayPass(shim);
+  }
+
+ private:
+  const StreamT* stream_;
 };
 
 }  // namespace stream

@@ -16,6 +16,7 @@
 #define CYCLESTREAM_STREAM_ALGORITHM_H_
 
 #include <cstddef>
+#include <span>
 
 #include "graph/types.h"
 
@@ -25,8 +26,18 @@ namespace stream {
 /// Base class for algorithms consuming adjacency-list streams.
 ///
 /// Callback order per pass, for each adjacency list in stream order:
-///   BeginList(u); OnPair(u, v) for each neighbor v in list order; EndList(u).
+///   BeginList(u); the list's pairs; EndList(u).
 /// Wrapped by BeginPass(p) / EndPass(p) for p = 0 .. passes()-1.
+///
+/// The list's pairs arrive through one of two equivalent deliveries:
+///   - per-pair: OnPair(u, v) once per neighbor v, in list order;
+///   - batched: a single OnListBatch(u, span-of-neighbors) call.
+/// The default OnListBatch loops OnPair, so algorithms only implementing
+/// OnPair behave identically under both. Overriders must uphold the
+/// bit-identity contract: for any stream, batched delivery must leave the
+/// algorithm in exactly the state the per-pair loop would — same estimate,
+/// and same CurrentSpaceBytes() at every list boundary (which means the same
+/// container mutation sequences, since space accounting reads capacities).
 class StreamAlgorithm {
  public:
   virtual ~StreamAlgorithm() = default;
@@ -43,6 +54,12 @@ class StreamAlgorithm {
 
   /// One stream element: the ordered pair `uv` (edge {u,v} seen from u).
   virtual void OnPair(VertexId u, VertexId v) = 0;
+
+  /// The whole adjacency list of `u` in stream order — one call replacing
+  /// list.size() OnPair calls (see the bit-identity contract above).
+  virtual void OnListBatch(VertexId u, std::span<const VertexId> list) {
+    for (VertexId v : list) OnPair(u, v);
+  }
 
   virtual void EndList(VertexId u) { (void)u; }
   virtual void EndPass(int pass) { (void)pass; }

@@ -1,8 +1,5 @@
 #include "stream/arbitrary_stream.h"
 
-#include <algorithm>
-
-#include "util/check.h"
 #include "util/random.h"
 
 namespace cyclestream {
@@ -15,31 +12,6 @@ ArbitraryOrderStream::ArbitraryOrderStream(const Graph* graph,
   order_ = graph_->edges();
   Rng rng(seed);
   rng.Shuffle(order_.data(), order_.size());
-}
-
-EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
-                            EdgeStreamAlgorithm* algorithm) {
-  CYCLESTREAM_CHECK(algorithm != nullptr);
-  EdgeRunReport report;
-  report.passes = algorithm->passes();
-  CYCLESTREAM_CHECK_GE(report.passes, 1);
-  struct Sink {
-    EdgeStreamAlgorithm* algo;
-    EdgeRunReport* report;
-    void OnEdge(VertexId u, VertexId v) {
-      algo->OnEdge(u, v);
-      ++report->edges_processed;
-      report->peak_space_bytes =
-          std::max(report->peak_space_bytes, algo->CurrentSpaceBytes());
-    }
-  };
-  Sink sink{algorithm, &report};
-  for (int pass = 0; pass < report.passes; ++pass) {
-    algorithm->BeginPass(pass);
-    stream.ReplayPass(sink);
-    algorithm->EndPass(pass);
-  }
-  return report;
 }
 
 }  // namespace stream

@@ -12,16 +12,27 @@
 #ifndef CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
 #define CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/check.h"
 
 namespace cyclestream {
 namespace stream {
 
 /// Interface for algorithms over arbitrary-order edge streams.
+///
+/// Mirrors StreamAlgorithm's two-level delivery: edges arrive either one
+/// OnEdge(u, v) call at a time or as a single OnEdgeBatch(span) call per
+/// replayed chunk. The default OnEdgeBatch loops OnEdge, and overriders are
+/// bound by the same bit-identity contract as OnListBatch (stream/
+/// algorithm.h): identical estimate and identical CurrentSpaceBytes() after
+/// every edge of the span.
 class EdgeStreamAlgorithm {
  public:
   virtual ~EdgeStreamAlgorithm() = default;
@@ -30,6 +41,11 @@ class EdgeStreamAlgorithm {
   virtual void BeginPass(int pass) { (void)pass; }
   /// One stream element: the undirected edge {u, v}, seen exactly once.
   virtual void OnEdge(VertexId u, VertexId v) = 0;
+  /// A contiguous run of stream elements — one call replacing
+  /// edges.size() OnEdge calls.
+  virtual void OnEdgeBatch(std::span<const Edge> edges) {
+    for (const Edge& e : edges) OnEdge(e.u, e.v);
+  }
   virtual void EndPass(int pass) { (void)pass; }
   virtual std::size_t CurrentSpaceBytes() const = 0;
 };
@@ -46,9 +62,17 @@ class ArbitraryOrderStream {
   /// The edges in stream order.
   const std::vector<Edge>& order() const { return order_; }
 
+  /// Replays one pass. Same capability detection as
+  /// AdjacencyListStream::ReplayPass: a sink exposing OnEdgeBatch receives
+  /// the whole pass as one span (the model has no list boundaries to split
+  /// on); other sinks get the per-edge fn.OnEdge(u, v) loop.
   template <typename Sink>
   void ReplayPass(Sink&& fn) const {
-    for (const Edge& e : order_) fn.OnEdge(e.u, e.v);
+    if constexpr (requires { fn.OnEdgeBatch(std::span<const Edge>{}); }) {
+      fn.OnEdgeBatch(std::span<const Edge>(order_));
+    } else {
+      for (const Edge& e : order_) fn.OnEdge(e.u, e.v);
+    }
   }
 
  private:
@@ -56,7 +80,8 @@ class ArbitraryOrderStream {
   std::vector<Edge> order_;
 };
 
-/// Run report mirroring stream::RunReport for edge streams.
+/// Run report mirroring stream::RunReport for edge streams. There is no
+/// strict mode here, so `passes` is both requested and completed.
 struct EdgeRunReport {
   std::size_t peak_space_bytes = 0;
   std::size_t edges_processed = 0;
@@ -64,9 +89,43 @@ struct EdgeRunReport {
 };
 
 /// Runs all passes of `algorithm` over `stream`, sampling space after every
-/// edge (the model has no list boundaries).
+/// edge (the model has no list boundaries). `AlgoT` is deduced like in
+/// stream::RunPasses: a concrete (final) algorithm pointer devirtualizes
+/// the per-edge calls; an `EdgeStreamAlgorithm*` keeps them virtual.
+/// Because space is sampled after *every* edge, the metering sink consumes
+/// batches by looping its own per-edge handler — results are bit-identical
+/// to per-edge delivery by construction.
+template <typename AlgoT>
 EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
-                            EdgeStreamAlgorithm* algorithm);
+                            AlgoT* algorithm) {
+  static_assert(std::is_base_of_v<EdgeStreamAlgorithm, AlgoT>);
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  EdgeRunReport report;
+  report.passes = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes, 1);
+  struct Sink {
+    AlgoT* algo;
+    EdgeRunReport* report;
+    void OnEdge(VertexId u, VertexId v) {
+      algo->OnEdge(u, v);
+      ++report->edges_processed;
+      report->peak_space_bytes =
+          std::max(report->peak_space_bytes, algo->CurrentSpaceBytes());
+    }
+    void OnEdgeBatch(std::span<const Edge> edges) {
+      // Per-edge space sampling is the report's contract; the batch entry
+      // point only saves the stream-side dispatch.
+      for (const Edge& e : edges) OnEdge(e.u, e.v);
+    }
+  };
+  Sink sink{algorithm, &report};
+  for (int pass = 0; pass < report.passes; ++pass) {
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    algorithm->EndPass(pass);
+  }
+  return report;
+}
 
 }  // namespace stream
 }  // namespace cyclestream

@@ -13,7 +13,20 @@
 //
 // Both are templates over the stream type so `AdjacencyListStream` and
 // `FaultInjectingStream` (or any type with `graph()` / `ReplayPass`) drive
-// identically.
+// identically. They are also templates over the algorithm type: called with
+// a concrete (ideally `final`) algorithm pointer, the metering sinks bind
+// the callbacks statically — one devirtualized OnListBatch per adjacency
+// list instead of 2m virtual OnPair calls per pass. Called through a
+// `StreamAlgorithm*` (the default), dispatch stays virtual and behaviour is
+// unchanged; both entry points produce bit-identical reports and estimates.
+//
+// Batched delivery: streams that expose whole adjacency lists (see
+// AdjacencyListStream::ReplayPass) hand each list to MeteredSink::OnList,
+// which forwards it to the algorithm's OnListBatch. The algorithm-facing
+// contract (stream/algorithm.h) guarantees this is indistinguishable from
+// the per-pair loop. Exception: when a tracer requests mid-list samples
+// (`pair_stride != 0`), the sink falls back to per-pair delivery so every
+// stride sample fires at exactly the same pair count with the same value.
 //
 // Observability: both drivers take an optional `TraceOptions`. A
 // `SpaceTracer` receives the same space samples the report's peak is
@@ -28,6 +41,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -56,9 +71,13 @@ struct RunReport {
   std::size_t peak_space_bytes = 0;
   /// Total pairs delivered across all passes.
   std::size_t pairs_processed = 0;
-  int passes = 0;
-  /// Per-pass breakdown; size() == passes completed (may be < passes if a
-  /// checked run aborted on a violation).
+  /// The algorithm's passes() at launch — the pass count the driver set out
+  /// to run, NOT the number completed. A checked run that aborts on a
+  /// violation completes fewer; `per_pass.size()` is always the count of
+  /// passes actually started/completed.
+  int passes_requested = 0;
+  /// Per-pass breakdown; size() == passes completed (may be <
+  /// passes_requested if a checked run aborted on a violation).
   std::vector<PassReport> per_pass;
 };
 
@@ -77,10 +96,15 @@ struct TraceOptions {
 namespace internal {
 
 // Adapter turning ReplayPass callbacks into StreamAlgorithm calls while
-// sampling space at list boundaries.
+// sampling space at list boundaries. Templating over the concrete algorithm
+// type devirtualizes the per-event calls; AlgoT = StreamAlgorithm (the
+// default) is the type-erased entry point.
+template <typename AlgoT = StreamAlgorithm>
 class MeteredSink {
+  static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
+
  public:
-  MeteredSink(StreamAlgorithm* algorithm, RunReport* report,
+  MeteredSink(AlgoT* algorithm, RunReport* report,
               obs::SpaceTracer* tracer = nullptr)
       : algorithm_(algorithm),
         report_(report),
@@ -109,6 +133,19 @@ class MeteredSink {
     }
   }
 
+  void OnList(VertexId u, std::span<const VertexId> list) {
+    if (pair_stride_ != 0) {
+      // Mid-list stride samples must fire at the exact same pair counts
+      // with the exact same values as per-pair delivery; a whole-list
+      // handoff would move them to the list boundary. Fall back.
+      for (VertexId v : list) OnPair(u, v);
+      return;
+    }
+    algorithm_->OnListBatch(u, list);
+    report_->pairs_processed += list.size();
+    report_->per_pass.back().pairs_processed += list.size();
+  }
+
   void EndList(VertexId u) {
     algorithm_->EndList(u);
     SampleSpace();
@@ -125,7 +162,7 @@ class MeteredSink {
     if (tracer_ != nullptr) tracer_->Sample(pass.pairs_processed, space);
   }
 
-  StreamAlgorithm* algorithm_;
+  AlgoT* algorithm_;
   RunReport* report_;
   obs::SpaceTracer* tracer_;
   std::size_t pair_stride_;
@@ -134,9 +171,10 @@ class MeteredSink {
 // MeteredSink with a validator in front: the validator sees every event
 // first, and the algorithm stops receiving events at the first violation so
 // it is never fed contract-breaking input.
+template <typename AlgoT = StreamAlgorithm>
 class ValidatedSink {
  public:
-  ValidatedSink(StreamAlgorithm* algorithm, RunReport* report,
+  ValidatedSink(AlgoT* algorithm, RunReport* report,
                 StreamValidator* validator,
                 obs::SpaceTracer* tracer = nullptr)
       : inner_(algorithm, report, tracer), validator_(validator) {}
@@ -153,6 +191,19 @@ class ValidatedSink {
     if (validator_->ok()) inner_.OnPair(u, v);
   }
 
+  void OnList(VertexId u, std::span<const VertexId> list) {
+    // The validator consumes the whole span regardless (its counters tally
+    // every violation); its return value is how many leading pairs were
+    // consumed while still ok() — exactly the pairs per-pair delivery
+    // would have handed to the algorithm.
+    const std::size_t ok_prefix = validator_->OnList(u, list);
+    if (ok_prefix == list.size()) {
+      inner_.OnList(u, list);
+    } else {
+      for (std::size_t i = 0; i < ok_prefix; ++i) inner_.OnPair(u, list[i]);
+    }
+  }
+
   void EndList(VertexId u) {
     validator_->EndList(u);
     if (validator_->ok()) inner_.EndList(u);
@@ -161,7 +212,7 @@ class ValidatedSink {
   void EndPass() { inner_.EndPass(); }
 
  private:
-  MeteredSink inner_;
+  MeteredSink<AlgoT> inner_;
   StreamValidator* validator_;
 };
 
@@ -178,6 +229,8 @@ inline void ExportDriverMetrics(const RunReport& report,
   metrics->GetCounter("driver.runs").Increment();
   metrics->GetCounter("driver.passes")
       .Increment(report.per_pass.size());
+  metrics->GetCounter("driver.passes_requested")
+      .Increment(static_cast<std::uint64_t>(report.passes_requested));
   metrics->GetCounter("driver.pairs_processed")
       .Increment(report.pairs_processed);
 }
@@ -188,16 +241,21 @@ inline void ExportDriverMetrics(const RunReport& report,
 /// order each pass) and returns the space/throughput report. The algorithm's
 /// estimate is read from the concrete algorithm object afterwards. The
 /// stream is trusted; use `RunPassesChecked` for untrusted streams.
-template <typename StreamT>
-RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm,
+///
+/// `AlgoT` is deduced: pass a concrete algorithm pointer for the
+/// devirtualized fast path, or a `StreamAlgorithm*` for the type-erased
+/// virtual path — results are bit-identical either way.
+template <typename StreamT, typename AlgoT>
+RunReport RunPasses(const StreamT& stream, AlgoT* algorithm,
                     const TraceOptions& trace = {}) {
+  static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
   internal::RewindIfResettable(stream);
   RunReport report;
-  report.passes = algorithm->passes();
-  CYCLESTREAM_CHECK_GE(report.passes, 1);
-  internal::MeteredSink sink(algorithm, &report, trace.tracer);
-  for (int pass = 0; pass < report.passes; ++pass) {
+  report.passes_requested = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes_requested, 1);
+  internal::MeteredSink<AlgoT> sink(algorithm, &report, trace.tracer);
+  for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     algorithm->BeginPass(pass);
     stream.ReplayPass(sink);
@@ -216,18 +274,20 @@ RunReport RunPasses(const StreamT& stream, StreamAlgorithm* algorithm,
 /// receiving events, the remaining passes are skipped, and the violation is
 /// returned as an error Status (position included). The algorithm's
 /// estimate is only meaningful when the returned status is OK.
-template <typename StreamT>
+template <typename StreamT, typename AlgoT>
 StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
-                                     StreamAlgorithm* algorithm,
+                                     AlgoT* algorithm,
                                      const TraceOptions& trace = {}) {
+  static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
   internal::RewindIfResettable(stream);
   RunReport report;
-  report.passes = algorithm->passes();
-  CYCLESTREAM_CHECK_GE(report.passes, 1);
+  report.passes_requested = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(report.passes_requested, 1);
   StreamValidator validator(&stream.graph());
-  internal::ValidatedSink sink(algorithm, &report, &validator, trace.tracer);
-  for (int pass = 0; pass < report.passes; ++pass) {
+  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator,
+                                      trace.tracer);
+  for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     validator.BeginPass(pass);
     algorithm->BeginPass(pass);

@@ -79,7 +79,12 @@ class FaultInjectingStream {
   void ResetPasses() const { next_pass_ = 0; }
 
   /// Replays the next pass, injecting the configured fault if this is the
-  /// target pass. Mirrors `AdjacencyListStream::ReplayPass`.
+  /// target pass. Mirrors `AdjacencyListStream::ReplayPass`, except that
+  /// delivery is always per-pair: faults split, reorder, drop, and inject
+  /// pairs mid-list, so there is no contiguous span to hand out — and a
+  /// corrupted "list" must not reach an algorithm's batch fast path as if
+  /// it were a well-formed one. Batch-capable sinks simply take their
+  /// OnPair route here (see stream/algorithm.h's default OnListBatch).
   template <typename Sink>
   void ReplayPass(Sink&& sink) const {
     const int pass = next_pass_++;

@@ -140,7 +140,23 @@ void StreamValidator::BeginList(VertexId u) {
   seen_in_list_.clear();
 }
 
-void StreamValidator::OnPair(VertexId u, VertexId v) {
+void StreamValidator::OnPair(VertexId u, VertexId v) { CheckPair(u, v); }
+
+std::size_t StreamValidator::OnList(VertexId u,
+                                    std::span<const VertexId> list) {
+  std::size_t ok_prefix = 0;
+  for (VertexId v : list) {
+    // Track where ok() flips rather than deriving the prefix from the
+    // violation's position: a promoted pending_missing_ records an earlier
+    // position (its short list's end), not the pair that tripped it.
+    const bool was_ok = ok();
+    CheckPair(u, v);
+    if (was_ok && ok()) ++ok_prefix;
+  }
+  return ok_prefix;
+}
+
+void StreamValidator::CheckPair(VertexId u, VertexId v) {
   ++counters_.events_checked;
   ++counters_.pairs_checked;
   CYCLESTREAM_CHECK(in_pass_);

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -92,6 +93,15 @@ class StreamValidator {
 
   void BeginList(VertexId u);
   void OnPair(VertexId u, VertexId v);
+
+  /// Batched form of `list.size()` OnPair calls: checks every element of
+  /// `list` (identical counters, violation positions, and fingerprints to
+  /// the per-pair loop; the whole span is consumed even after a violation)
+  /// and returns the number of leading pairs consumed while `ok()` still
+  /// held — the prefix a strict driver may deliver to its algorithm,
+  /// matching exactly what per-pair interleaving would have delivered.
+  std::size_t OnList(VertexId u, std::span<const VertexId> list);
+
   void EndList(VertexId u);
 
   /// Ends the current pass, running end-of-pass checks (truncation).
@@ -128,6 +138,10 @@ class StreamValidator {
   void ExportMetrics(obs::MetricsRegistry* metrics) const;
 
  private:
+  // The per-pair contract checks, shared verbatim by OnPair and OnList so
+  // the two deliveries observe identical positions and counters.
+  void CheckPair(VertexId u, VertexId v);
+
   void Report(ViolationKind kind, VertexId list, std::string detail);
   void FlushPending();
   void CountViolation(ViolationKind kind);

@@ -269,7 +269,7 @@ TEST(RunPassesChecked, MatchesUncheckedDriverOnCleanStreams) {
   ASSERT_TRUE(strict.ok()) << strict.status().ToString();
   EXPECT_EQ(unchecked.Estimate(), checked.Estimate());
   EXPECT_EQ(plain.pairs_processed, strict->pairs_processed);
-  EXPECT_EQ(plain.passes, strict->passes);
+  EXPECT_EQ(plain.passes_requested, strict->passes_requested);
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ TEST(ParallelCopies, AggregatesSpaceAndEstimates) {
   // Full sample in every copy: exact everywhere.
   for (double est : out.copy_estimates) EXPECT_DOUBLE_EQ(est, 56.0);
   EXPECT_DOUBLE_EQ(out.estimate, 56.0);
-  EXPECT_EQ(out.report.passes, 2);
+  EXPECT_EQ(out.report.passes_requested, 2);
 }
 
 TEST(ParallelCopies, CopiesAreIndependent) {
@@ -83,7 +83,7 @@ TEST(OnePassWrapper, Works) {
   stream::AdjacencyListStream s(&g, 2);
   AmplifiedEstimate out = EstimateTrianglesOnePass(s, g.num_edges(), 3, 8);
   EXPECT_DOUBLE_EQ(out.estimate, 84.0);  // C(9,3)
-  EXPECT_EQ(out.report.passes, 1);
+  EXPECT_EQ(out.report.passes_requested, 1);
 }
 
 TEST(FourCycleWrapper, Works) {
@@ -92,7 +92,7 @@ TEST(FourCycleWrapper, Works) {
   AmplifiedEstimate out = EstimateFourCycles(s, g.num_edges(), 3, 8);
   EXPECT_DOUBLE_EQ(out.estimate,
                    static_cast<double>(exact::CountFourCycles(g)));
-  EXPECT_EQ(out.report.passes, 2);
+  EXPECT_EQ(out.report.passes_requested, 2);
 }
 
 }  // namespace

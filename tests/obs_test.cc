@@ -236,7 +236,8 @@ TEST(Driver, PerPassReportsSumToTotals) {
   options.seed = 3;
   core::TwoPassTriangleCounter counter(options);
   stream::RunReport report = stream::RunPasses(s, &counter);
-  ASSERT_EQ(report.per_pass.size(), static_cast<std::size_t>(report.passes));
+  ASSERT_EQ(report.per_pass.size(),
+            static_cast<std::size_t>(report.passes_requested));
   std::size_t pairs = 0, peak = 0;
   for (const stream::PassReport& p : report.per_pass) {
     pairs += p.pairs_processed;

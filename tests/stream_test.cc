@@ -128,7 +128,7 @@ TEST(Driver, DeliversAllPassesInOrder) {
   AdjacencyListStream s(&g, 3);
   Probe probe(3);
   RunReport report = RunPasses(s, &probe);
-  EXPECT_EQ(report.passes, 3);
+  EXPECT_EQ(report.passes_requested, 3);
   EXPECT_EQ(probe.begin_passes_, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(probe.end_passes_, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(probe.begin_lists_, 3 * g.num_vertices());
