@@ -48,11 +48,7 @@ Pair Estimates(const Graph& g, const char* family, std::size_t sample,
         core::TwoPassFourCycleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
         core::FourCycleResult res = counter.result();
-        runtime::TrialResult r;
-        r.estimate = res.estimate;
-        r.aux = res.multiplicity_estimate;
-        r.peak_space_bytes = report.peak_space_bytes;
-        return r;
+        return ctx.Result(res.estimate, res.multiplicity_estimate, report);
       },
       std::move(config));
   return {runtime::TrialRunner::Estimates(results),

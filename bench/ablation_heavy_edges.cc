@@ -41,9 +41,7 @@ std::vector<double> Estimates(const Graph& g, const char* family,
         options.use_lightest_edge_rule = rule;
         core::TwoPassTriangleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate(),
-                                    .peak_space_bytes =
-                                        report.peak_space_bytes};
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
       std::move(config)));
 }

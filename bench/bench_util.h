@@ -21,6 +21,10 @@
 //                 apart from the metrics manifest.
 //   --trace-stride N     additionally sample space mid-list every N pairs
 //                 in traced trials (default: list boundaries only).
+//   --chrome-trace FILE  write a Chrome trace-event JSON file (loadable in
+//                 Perfetto / chrome://tracing) with execution spans: bench
+//                 phases, trials on their worker lanes, streaming passes,
+//                 strided list windows, and validator work.
 //
 // None of the new flags touch stdout: manifests go to their files, wall
 // time to stderr, so bench tables stay byte-identical traced or not.
@@ -55,6 +59,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trial_runner.h"
 #include "stream/driver.h"
@@ -96,6 +101,7 @@ struct BenchOptions {
   std::string metrics_out;       // --metrics-out FILE ("" = off)
   std::string trace_out;         // --trace-out FILE ("" = off)
   std::uint64_t trace_stride = 0;  // --trace-stride N (0 = boundaries only)
+  std::string chrome_trace;      // --chrome-trace FILE ("" = off)
 };
 
 namespace internal {
@@ -137,6 +143,11 @@ class Observability {
 
   void Configure(const BenchOptions& opts, int argc, char** argv) {
     trace_stride_ = opts.trace_stride;
+    if (!opts.chrome_trace.empty()) {
+      chrome_trace_path_ = opts.chrome_trace;
+      trace_session_ = std::make_unique<obs::TraceSession>();
+      trace_session_->SetProcessName(BenchName(argc, argv));
+    }
     if (!opts.metrics_out.empty()) {
       auto writer = obs::ManifestWriter::Open(opts.metrics_out);
       if (!writer.ok()) {
@@ -177,6 +188,9 @@ class Observability {
   /// The run's metrics registry, or null when --metrics-out is off.
   obs::MetricsRegistry* registry() { return registry_.get(); }
 
+  /// The run's execution-span session, or null when --chrome-trace is off.
+  obs::TraceSession* trace_session() { return trace_session_.get(); }
+
   /// batch / curve_point / slope / metrics records: metrics manifest only.
   void WriteMetricsRecord(const obs::Json& record) {
     if (metrics_writer_.has_value()) metrics_writer_->Write(record);
@@ -188,11 +202,22 @@ class Observability {
     WriteAll(record);
   }
 
-  /// Flushes the registry snapshot + run_end trailers. Registered atexit
-  /// by ParseOptions; idempotent.
+  /// Flushes the chrome trace, registry snapshot + run_end trailers.
+  /// Registered atexit by ParseOptions; idempotent.
   void Finish() {
-    if (finished_ || !enabled()) return;
+    if (finished_) return;
     finished_ = true;
+    if (trace_session_ != nullptr) {
+      const Status status = trace_session_->WriteTo(chrome_trace_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "[bench] %s\n", status.message().c_str());
+      } else {
+        std::fprintf(stderr, "[bench] chrome trace: %s (%zu events)\n",
+                     chrome_trace_path_.c_str(),
+                     trace_session_->event_count());
+      }
+    }
+    if (!enabled()) return;
     if (registry_ != nullptr) {
       obs::Json metrics = obs::MakeRecord("metrics");
       metrics.Set("metrics", registry_->Read().ToJson());
@@ -235,6 +260,8 @@ class Observability {
   std::optional<obs::ManifestWriter> metrics_writer_;
   std::optional<obs::ManifestWriter> trace_writer_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceSession> trace_session_;
+  std::string chrome_trace_path_;
   std::uint64_t trace_stride_ = 0;
   bool finished_ = false;
 };
@@ -255,6 +282,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   opts.trace_out = FlagString(argc, argv, "--trace-out");
   opts.trace_stride = static_cast<std::uint64_t>(
       FlagValue(argc, argv, "--trace-stride", 0));
+  opts.chrome_trace = FlagString(argc, argv, "--chrome-trace");
   internal::RunnerSlot() =
       std::make_unique<runtime::TrialRunner>(opts.threads);
   internal::GlobalRunInfo() = {std::chrono::steady_clock::now(),
@@ -284,12 +312,15 @@ inline runtime::TrialRunner& Runner() {
 ///     core::SomeCounter algo(...);
 ///     auto report = ctx.Run(stream, &algo);
 ///     return runtime::TrialResult{algo.Estimate(), 0.0,
-///                                 report.peak_space_bytes};
+///                                 report.reported_peak_bytes,
+///                                 report.audited_peak_bytes,
+///                                 report.max_divergence_bytes};
 ///   });
 struct TrialCtx {
   std::size_t index = 0;
   std::uint64_t seed = 0;
   obs::SpaceTracer* tracer = nullptr;
+  obs::TraceSession* spans = nullptr;
 
   /// AlgoT is deduced: every bench passes a concrete (final) estimator
   /// pointer, so the whole driver path devirtualizes (one OnListBatch call
@@ -297,10 +328,19 @@ struct TrialCtx {
   /// bit-identical.
   template <typename StreamT, typename AlgoT>
   stream::RunReport Run(const StreamT& s, AlgoT* algo) const {
-    return stream::RunPasses(
-        s, algo,
-        stream::TraceOptions{tracer,
-                             internal::Observability::Get().registry()});
+    stream::TraceOptions trace;
+    trace.tracer = tracer;
+    trace.metrics = internal::Observability::Get().registry();
+    trace.spans = spans;
+    return stream::RunPasses(s, algo, trace);
+  }
+
+  /// Packs a driver report into the trial's result slots.
+  runtime::TrialResult Result(double estimate, double aux,
+                              const stream::RunReport& report) const {
+    return runtime::TrialResult{estimate, aux, report.reported_peak_bytes,
+                                report.audited_peak_bytes,
+                                report.max_divergence_bytes};
   }
 };
 
@@ -318,14 +358,18 @@ inline std::vector<runtime::TrialResult> RunBatch(
   internal::Observability& ob = internal::Observability::Get();
   obs::SpaceTracer tracer(ob.trace_stride());
   obs::SpaceTracer* traced = ob.enabled() ? &tracer : nullptr;
+  obs::TraceSession* spans = ob.trace_session();
+  auto batch_span = obs::TraceSession::Begin(spans, "batch " + label, "bench");
+  batch_span.SetArg("trials", obs::Json(trials));
   std::vector<runtime::TrialTiming> timings;
   std::vector<runtime::TrialResult> results = Runner().Run(
       trials, base_seed,
-      [&fn, traced](std::size_t i, std::uint64_t seed) {
-        TrialCtx ctx{i, seed, i == 0 ? traced : nullptr};
+      [&fn, traced, spans](std::size_t i, std::uint64_t seed) {
+        TrialCtx ctx{i, seed, i == 0 ? traced : nullptr, spans};
         return fn(ctx);
       },
-      &timings);
+      &timings, spans);
+  batch_span.End();
   if (!ob.enabled()) return results;
 
   obs::Json batch = obs::MakeRecord("batch");
@@ -340,7 +384,10 @@ inline std::vector<runtime::TrialResult> RunBatch(
     row.Set("seed", obs::Json(runtime::TrialSeed(base_seed, i)));
     row.Set("estimate", obs::Json(results[i].estimate));
     row.Set("aux", obs::Json(results[i].aux));
-    row.Set("peak_space_bytes", obs::Json(results[i].peak_space_bytes));
+    row.Set("reported_peak_bytes", obs::Json(results[i].reported_peak_bytes));
+    row.Set("audited_peak_bytes", obs::Json(results[i].audited_peak_bytes));
+    row.Set("max_divergence_bytes",
+            obs::Json(results[i].max_divergence_bytes));
     row.Set("wall_seconds", obs::Json(timings[i].wall_seconds));
     row.Set("queue_wait_seconds", obs::Json(timings[i].queue_wait_seconds));
     rows.Push(std::move(row));
@@ -354,7 +401,8 @@ inline std::vector<runtime::TrialResult> RunBatch(
     timeline.Set("trial", obs::Json(0));
     timeline.Set("seed", obs::Json(runtime::TrialSeed(base_seed, 0)));
     timeline.Set("pair_stride", obs::Json(tracer.pair_stride()));
-    timeline.Set("max_space_bytes", obs::Json(tracer.MaxSpaceBytes()));
+    timeline.Set("max_reported_bytes", obs::Json(tracer.MaxReportedBytes()));
+    timeline.Set("max_audited_bytes", obs::Json(tracer.MaxAuditedBytes()));
     timeline.Set("passes", tracer.ToJson());
     ob.WriteTimelineRecord(timeline);
   }
@@ -372,6 +420,29 @@ inline std::vector<runtime::TrialResult> RunBatch(
     }
     registry->GetCounter("bench.trials").Increment(trials);
     registry->GetCounter("bench.batches").Increment();
+    // Per-list distributions from the traced trial's timeline: each point
+    // before the pass-end duplicate is one list-boundary sample, and the
+    // pair-count delta between consecutive samples is that list's length.
+    // Mid-list stride samples would distort the deltas, so skip then.
+    if (tracer.pair_stride() == 0) {
+      obs::Histogram space = registry->GetHistogram(
+          "bench.list_space_bytes", obs::Log2Bounds(6, 30));
+      obs::Histogram sizes = registry->GetHistogram(
+          "bench.list_size_pairs", obs::Log2Bounds(0, 24));
+      for (const obs::SpaceTimeline& t : tracer.timelines()) {
+        std::uint64_t prev_pairs = 0;
+        // points.back() is the extra pass-end sample (same pair count as
+        // the final list boundary) — not a list.
+        const std::size_t lists =
+            t.points.empty() ? 0 : t.points.size() - 1;
+        for (std::size_t i = 0; i < lists; ++i) {
+          space.Observe(static_cast<double>(t.points[i].reported_bytes));
+          sizes.Observe(
+              static_cast<double>(t.points[i].pairs_processed - prev_pairs));
+          prev_pairs = t.points[i].pairs_processed;
+        }
+      }
+    }
   }
   return results;
 }
@@ -397,6 +468,52 @@ inline void Slope(const std::string& curve, double measured, double predicted,
   slope.Set("predicted", obs::Json(predicted));
   slope.Set("consistent", obs::Json(consistent));
   internal::Observability::Get().WriteMetricsRecord(slope);
+}
+
+/// Fits the slope of log(y) against log(x) (least squares) — used to verify
+/// scaling exponents ("the shape") against the paper's predictions.
+inline double LogLogSlope(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = n * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+/// The run's Chrome-trace session (null when --chrome-trace is off) and a
+/// convenience for bench-phase spans around it.
+inline obs::TraceSession* TraceSpans() {
+  return internal::Observability::Get().trace_session();
+}
+
+inline obs::TraceSession::Span Phase(const std::string& name) {
+  return obs::TraceSession::Begin(TraceSpans(), name, "bench");
+}
+
+/// Records the least-squares log-log exponent fit of a measured space
+/// curve (peak bytes vs T) next to the paper's predicted exponent, as a
+/// "fit" manifest record. The points are also re-emitted as curve_point
+/// records so `bench_report.py fit` can refit and cross-check. No-op when
+/// manifests are off.
+inline void FitCurve(const std::string& curve, const std::vector<double>& x,
+                     const std::vector<double>& y, double predicted_exponent) {
+  for (std::size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+    CurvePoint(curve, x[i], y[i]);
+  }
+  const double fitted = LogLogSlope(x, y);
+  obs::Json fit = obs::MakeRecord("fit");
+  fit.Set("curve", obs::Json(curve));
+  fit.Set("fitted_exponent", obs::Json(fitted));
+  fit.Set("predicted_exponent", obs::Json(predicted_exponent));
+  fit.Set("points", obs::Json(std::min(x.size(), y.size())));
+  internal::Observability::Get().WriteMetricsRecord(fit);
 }
 
 struct TrialStats {
@@ -599,23 +716,6 @@ class Table {
   bool csv_;
   std::vector<Column> columns_;
 };
-
-/// Fits the slope of log(y) against log(x) (least squares) — used to verify
-/// scaling exponents ("the shape") against the paper's predictions.
-inline double LogLogSlope(const std::vector<double>& x,
-                          const std::vector<double>& y) {
-  const std::size_t n = std::min(x.size(), y.size());
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double lx = std::log(x[i]), ly = std::log(y[i]);
-    sx += lx;
-    sy += ly;
-    sxx += lx * lx;
-    sxy += lx * ly;
-  }
-  double denom = n * sxx - sx * sx;
-  return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
-}
 
 }  // namespace bench
 }  // namespace cyclestream

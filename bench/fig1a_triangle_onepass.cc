@@ -37,7 +37,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
   config.Set("sample", obs::Json(sample));
   config.Set("gadgets", obs::Json(gadgets.size()));
   // Protocol runs (player-segmented, no driver) carry the max message size
-  // in peak_space_bytes; there is no stream timeline to trace.
+  // in reported_peak_bytes; there is no stream timeline to trace.
   std::vector<runtime::TrialResult> results = bench::RunBatch(
       "protocol/sample=" + std::to_string(sample), total, seed_base,
       [&](const bench::TrialCtx& ctx) {
@@ -52,7 +52,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
         bool guess = counter.Estimate() >= threshold;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
-        r.peak_space_bytes = run.max_message_bytes;
+        r.reported_peak_bytes = run.max_message_bytes;
         return r;
       },
       std::move(config));
@@ -60,7 +60,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
   double correct = 0;
   for (const runtime::TrialResult& r : results) correct += r.estimate;
   point.accuracy = correct / static_cast<double>(total);
-  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
+  point.max_message = runtime::TrialRunner::MaxReportedPeak(results);
   return point;
 }
 

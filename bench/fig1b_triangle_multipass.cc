@@ -50,7 +50,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
         bool guess = counter.Estimate() >= threshold;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
-        r.peak_space_bytes = run.max_message_bytes;
+        r.reported_peak_bytes = run.max_message_bytes;
         r.aux = static_cast<double>(run.total_message_bytes);
         return r;
       },
@@ -63,7 +63,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
         point.total_comm, static_cast<std::size_t>(r.aux));
   }
   point.accuracy = correct / static_cast<double>(total);
-  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
+  point.max_message = runtime::TrialRunner::MaxReportedPeak(results);
   return point;
 }
 

@@ -73,7 +73,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
         bool guess = counter.Estimate() >= threshold;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
-        r.peak_space_bytes = run.max_message_bytes;
+        r.reported_peak_bytes = run.max_message_bytes;
         return r;
       },
       std::move(config));
@@ -81,7 +81,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
   double correct = 0;
   for (const runtime::TrialResult& r : results) correct += r.estimate;
   point.accuracy = correct / static_cast<double>(total);
-  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
+  point.max_message = runtime::TrialRunner::MaxReportedPeak(results);
   return point;
 }
 
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
             gadget, &counter, runtime::TrialSeed(ctx.seed, 1));
         runtime::TrialResult r;
         r.estimate = ((counter.Count() > 0) == gadget.answer) ? 1.0 : 0.0;
-        r.peak_space_bytes = run.max_message_bytes;
+        r.reported_peak_bytes = run.max_message_bytes;
         return r;
       });
   double trivial_correct = 0;
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
               "in m, as the theorem says is necessary)\n",
               trivial_correct / static_cast<double>(baseline.size()),
               bench::FormatBytes(
-                  runtime::TrialRunner::MaxPeakSpace(baseline)).c_str());
+                  runtime::TrialRunner::MaxReportedPeak(baseline)).c_str());
   bench::Note(opts,
               "expected shape: sampling accuracy hugs 0.5 for any constant "
               "m'/m fraction well below 1 — only the full graph decides.\n");

@@ -89,7 +89,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
         bool guess = counter.CountSampledCycles() > 0;
         runtime::TrialResult r;
         r.estimate = (guess == gadget.answer) ? 1.0 : 0.0;
-        r.peak_space_bytes = run.max_message_bytes;
+        r.reported_peak_bytes = run.max_message_bytes;
         return r;
       },
       std::move(config));
@@ -97,7 +97,7 @@ SweepPoint Measure(const std::vector<lowerbound::Gadget>& gadgets,
   double correct = 0;
   for (const runtime::TrialResult& r : results) correct += r.estimate;
   point.accuracy = correct / static_cast<double>(total);
-  point.max_message = runtime::TrialRunner::MaxPeakSpace(results);
+  point.max_message = runtime::TrialRunner::MaxReportedPeak(results);
   return point;
 }
 

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +16,7 @@
 #include "core/median.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/one_pass_triangle.h"
 #include "core/two_pass_triangle.h"
 #include "runtime/thread_pool.h"
@@ -395,10 +397,13 @@ void WriteReplayThroughputCurves(obs::ManifestWriter& writer) {
 // flags (google-benchmark rejects unrecognized arguments) and, when
 // --metrics-out is given, writes a JSONL manifest with the registry
 // snapshot after the benchmarks finish. --trace-out is accepted but inert:
-// microbenchmarks have no traced stream runs.
+// microbenchmarks have no traced stream runs. --chrome-trace wraps the
+// google-benchmark run and the replay-throughput measurement in bench
+// phase spans.
 int main(int argc, char** argv) {
   using namespace cyclestream;
   std::string metrics_out;
+  std::string chrome_trace;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -416,6 +421,14 @@ int main(int argc, char** argv) {
       metrics_out = v;
       continue;
     }
+    if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_trace = argv[++i];
+      continue;
+    }
+    if (const char* v = value_of("--chrome-trace=")) {
+      chrome_trace = v;
+      continue;
+    }
     if ((arg == "--trace-out" || arg == "--trace-stride") && i + 1 < argc) {
       ++i;
       continue;
@@ -428,9 +441,20 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  std::unique_ptr<obs::TraceSession> spans;
+  if (!chrome_trace.empty()) {
+    spans = std::make_unique<obs::TraceSession>();
+    spans->SetProcessName("micro_substrate");
+  }
+  {
+    auto span =
+        obs::TraceSession::Begin(spans.get(), "google-benchmark", "bench");
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   if (!metrics_out.empty()) {
+    auto span =
+        obs::TraceSession::Begin(spans.get(), "replay-throughput", "bench");
     auto writer = obs::ManifestWriter::Open(metrics_out);
     if (!writer.ok()) {
       std::fprintf(stderr, "warning: --metrics-out %s: %s\n",
@@ -450,6 +474,13 @@ int main(int argc, char** argv) {
     // +1: the trailer counts itself, so a truncated file never matches.
     end.Set("records", obs::Json(writer->records_written() + 1));
     writer->Write(end);
+  }
+  if (spans != nullptr) {
+    Status st = spans->WriteTo(chrome_trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: --chrome-trace %s: %s\n",
+                   chrome_trace.c_str(), std::string(st.message()).c_str());
+    }
   }
   return 0;
 }

@@ -67,9 +67,7 @@ Row Measure(const Graph& g, std::size_t sample, double truth, int trials) {
             options.seed = ctx.seed;
             core::OnePassTriangleCounter counter(options);
             const stream::RunReport report = ctx.Run(ls, &counter);
-            return runtime::TrialResult{.estimate = counter.Estimate(),
-                                        .peak_space_bytes =
-                                            report.peak_space_bytes};
+            return ctx.Result(counter.Estimate(), 0.0, report);
           },
           config()));
   std::vector<double> two =
@@ -81,9 +79,7 @@ Row Measure(const Graph& g, std::size_t sample, double truth, int trials) {
             options.seed = ctx.seed;
             core::TwoPassTriangleCounter counter(options);
             const stream::RunReport report = ctx.Run(ls, &counter);
-            return runtime::TrialResult{.estimate = counter.Estimate(),
-                                        .peak_space_bytes =
-                                            report.peak_space_bytes};
+            return ctx.Result(counter.Estimate(), 0.0, report);
           },
           config()));
   row.arbitrary = bench::Summarize(arb, truth, 0.25);

@@ -65,14 +65,11 @@ Outcome RunTrials(const Graph& g, std::size_t t_count, std::size_t sample,
         options.seed = ctx.seed;
         core::TwoPassFourCycleCounter counter(options);
         stream::RunReport report = ctx.Run(s, &counter);
-        runtime::TrialResult r;
-        r.estimate = counter.Estimate();
-        r.peak_space_bytes = report.peak_space_bytes;
-        return r;
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
       std::move(config));
   return {runtime::TrialRunner::Estimates(results),
-          runtime::TrialRunner::MaxPeakSpace(results)};
+          runtime::TrialRunner::MaxReportedPeak(results)};
 }
 
 double FracWithinFactor(const std::vector<double>& estimates, double truth,
@@ -105,7 +102,7 @@ int main(int argc, char** argv) {
                             {"med est/T", 12, 2},
                             {"space@min", 10, bench::kColStr}});
   table.PrintHeader();
-  std::vector<double> log_t, log_min;
+  std::vector<double> log_t, log_min, space_at_min;
   for (std::size_t c : block_sizes) {
     const std::size_t t_count = (c * (c - 1) / 2) * (c * (c - 1) / 2);
     Graph g = MakeWorkload(c, kEdges);
@@ -129,6 +126,7 @@ int main(int argc, char** argv) {
                     bench::FormatBytes(at_min.peak_space)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
+    space_at_min.push_back(static_cast<double>(at_min.peak_space));
     bench::CurvePoint("fourcycle_min_sample_vs_T", truth,
                       static_cast<double>(minimal));
   }
@@ -136,6 +134,7 @@ int main(int argc, char** argv) {
   double slope = bench::LogLogSlope(log_t, log_min);
   bench::Slope("fourcycle_min_sample_vs_T", slope, -3.0 / 8.0,
                slope < -0.15 && slope > -0.75);
+  bench::FitCurve("fourcycle_space_vs_T", log_t, space_at_min, -3.0 / 8.0);
   bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
               "predicts -3/8 = -0.375)\n", slope);
   bench::Note(opts, "shape verdict: %s\n",

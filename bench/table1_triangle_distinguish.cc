@@ -49,14 +49,36 @@ double DetectionRate(const Graph& g, const char* variant, std::size_t sample,
         options.seed = ctx.seed;
         core::TriangleDistinguisher d(options);
         const stream::RunReport report = ctx.Run(s, &d);
-        return runtime::TrialResult{
-            .estimate = d.result().found_triangle ? 1.0 : 0.0,
-            .peak_space_bytes = report.peak_space_bytes};
+        return ctx.Result(d.result().found_triangle ? 1.0 : 0.0, 0.0, report);
       },
       std::move(config));
   double found = 0;
   for (const runtime::TrialResult& r : results) found += r.estimate;
   return found / trials;
+}
+
+// Peak space of the distinguisher at the threshold sample size m/T^{2/3},
+// for the space-vs-T exponent fit (manifest only; no stdout).
+std::size_t SpaceAtThreshold(const Graph& g, std::size_t t_count,
+                             std::size_t sample, int trials,
+                             std::uint64_t seed_base) {
+  stream::AdjacencyListStream s(&g, 2718281);
+  obs::Json config = obs::Json::Object();
+  config.Set("T", obs::Json(t_count));
+  config.Set("m", obs::Json(g.num_edges()));
+  config.Set("sample", obs::Json(sample));
+  std::vector<runtime::TrialResult> results = bench::RunBatch(
+      "distinguish/space/T=" + std::to_string(t_count), trials, seed_base,
+      [&](const bench::TrialCtx& ctx) {
+        core::TriangleDistinguisherOptions options;
+        options.sample_size = sample;
+        options.seed = ctx.seed;
+        core::TriangleDistinguisher d(options);
+        const stream::RunReport report = ctx.Run(s, &d);
+        return ctx.Result(d.result().found_triangle ? 1.0 : 0.0, 0.0, report);
+      },
+      std::move(config));
+  return runtime::TrialRunner::MaxReportedPeak(results);
 }
 
 }  // namespace
@@ -102,5 +124,20 @@ int main(int argc, char** argv) {
   bench::Note(opts,
               "\nexpected shape: middle column rises from ~1-1/e toward 1.0 "
               "around m'/thresh ~ 1; right column identically 0.\n");
+
+  // Space-vs-T fit across clique sizes at the threshold sample size
+  // (manifest records only; the table above is unchanged).
+  std::vector<double> fit_t, fit_space;
+  for (std::size_t c : {20u, 32u, 50u, 80u}) {
+    const std::size_t t_count = c * (c - 1) * (c - 2) / 6;
+    Graph g = MakeWorkload(c, kEdges);
+    const std::size_t sample = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(g.num_edges()) /
+                                    std::pow(t_count, 2.0 / 3.0)));
+    fit_t.push_back(static_cast<double>(t_count));
+    fit_space.push_back(static_cast<double>(
+        SpaceAtThreshold(g, t_count, sample, kTrials, 1300 + t_count)));
+  }
+  bench::FitCurve("distinguish_space_vs_T", fit_t, fit_space, -2.0 / 3.0);
   return 0;
 }

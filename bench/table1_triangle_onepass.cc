@@ -44,11 +44,12 @@ obs::Json BatchConfig(const Graph& g, std::size_t t_count,
   return config;
 }
 
-std::vector<double> OnePassEstimates(const Graph& g, std::size_t t_count,
-                                     std::size_t sample, int trials,
-                                     std::uint64_t seed_base) {
+std::vector<runtime::TrialResult> OnePassResults(const Graph& g,
+                                                 std::size_t t_count,
+                                                 std::size_t sample, int trials,
+                                                 std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 104729);
-  return runtime::TrialRunner::Estimates(bench::RunBatch(
+  return bench::RunBatch(
       "onepass/T=" + std::to_string(t_count) +
           "/sample=" + std::to_string(sample),
       trials, seed_base,
@@ -58,11 +59,16 @@ std::vector<double> OnePassEstimates(const Graph& g, std::size_t t_count,
         options.seed = ctx.seed;
         core::OnePassTriangleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate(),
-                                    .peak_space_bytes =
-                                        report.peak_space_bytes};
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
-      BatchConfig(g, t_count, sample)));
+      BatchConfig(g, t_count, sample));
+}
+
+std::vector<double> OnePassEstimates(const Graph& g, std::size_t t_count,
+                                     std::size_t sample, int trials,
+                                     std::uint64_t seed_base) {
+  return runtime::TrialRunner::Estimates(
+      OnePassResults(g, t_count, sample, trials, seed_base));
 }
 
 std::vector<double> TwoPassEstimates(const Graph& g, std::size_t t_count,
@@ -79,9 +85,7 @@ std::vector<double> TwoPassEstimates(const Graph& g, std::size_t t_count,
         options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate(),
-                                    .peak_space_bytes =
-                                        report.peak_space_bytes};
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
       BatchConfig(g, t_count, sample)));
 }
@@ -111,7 +115,7 @@ int main(int argc, char** argv) {
                             {"min m' (2p)", 12, bench::kColInt},
                             {"1p/2p space", 14, 2}});
   table.PrintHeader();
-  std::vector<double> log_t, log_min;
+  std::vector<double> log_t, log_min, space_at_min;
   for (std::size_t side : sides) {
     const std::size_t t_count = side * side;
     Graph g = MakeWorkload(side, kEdges);
@@ -148,6 +152,9 @@ int main(int argc, char** argv) {
                         static_cast<double>(minimal2)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal1));
+    space_at_min.push_back(static_cast<double>(runtime::TrialRunner::
+        MaxReportedPeak(OnePassResults(g, t_count, minimal1, kTrials,
+                                       3500 + t_count))));
     bench::CurvePoint("onepass_min_sample_vs_T", truth,
                       static_cast<double>(minimal1));
   }
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
   double slope = bench::LogLogSlope(log_t, log_min);
   bench::Slope("onepass_min_sample_vs_T", slope, -0.5,
                slope < -0.25 && slope > -0.8);
+  bench::FitCurve("onepass_space_vs_T", log_t, space_at_min, -0.5);
   bench::Note(opts, "\nlog-log slope of one-pass minimal m' vs T: %+.3f "
               "(predicted -1/2 = -0.500)\n", slope);
   bench::Note(opts,

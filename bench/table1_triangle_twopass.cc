@@ -55,14 +55,11 @@ TrialOutcome RunTrials(const Graph& g, std::size_t t_count, std::size_t sample,
         options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
         stream::RunReport report = ctx.Run(s, &counter);
-        runtime::TrialResult r;
-        r.estimate = counter.Estimate();
-        r.peak_space_bytes = report.peak_space_bytes;
-        return r;
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
       std::move(config));
   return {runtime::TrialRunner::Estimates(results),
-          runtime::TrialRunner::MaxPeakSpace(results)};
+          runtime::TrialRunner::MaxReportedPeak(results)};
 }
 
 }  // namespace
@@ -89,7 +86,7 @@ int main(int argc, char** argv) {
                             {"frac+-25%", 10, 2},
                             {"space@min", 10, bench::kColStr}});
   table.PrintHeader();
-  std::vector<double> log_t, log_min;
+  std::vector<double> log_t, log_min, space_at_min;
   for (std::size_t c : clique_sizes) {
     const std::size_t t_count = c * (c - 1) * (c - 2) / 6;
     Graph g = MakeWorkload(c, kEdges);
@@ -115,6 +112,7 @@ int main(int argc, char** argv) {
                     stats.frac_within, bench::FormatBytes(at_min.peak_space)});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
+    space_at_min.push_back(static_cast<double>(at_min.peak_space));
     bench::CurvePoint("twopass_min_sample_vs_T", truth,
                       static_cast<double>(minimal));
   }
@@ -122,6 +120,7 @@ int main(int argc, char** argv) {
   double slope = bench::LogLogSlope(log_t, log_min);
   bench::Slope("twopass_min_sample_vs_T", slope, -2.0 / 3.0,
                slope < -0.35 && slope > -1.05);
+  bench::FitCurve("twopass_space_vs_T", log_t, space_at_min, -2.0 / 3.0);
   bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
               "predicts -2/3 = -0.667)\n", slope);
   bench::Note(opts, "shape verdict: %s\n",

@@ -21,13 +21,15 @@
 namespace cyclestream {
 namespace {
 
-std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
-                                   int trials, std::uint64_t seed_base) {
+std::vector<runtime::TrialResult> WedgeResults(const Graph& g,
+                                               std::size_t reservoir,
+                                               int trials,
+                                               std::uint64_t seed_base) {
   stream::AdjacencyListStream s(&g, 424243);
   obs::Json config = obs::Json::Object();
   config.Set("m", obs::Json(g.num_edges()));
   config.Set("reservoir", obs::Json(reservoir));
-  return runtime::TrialRunner::Estimates(bench::RunBatch(
+  return bench::RunBatch(
       "wedge/reservoir=" + std::to_string(reservoir) +
           "/seed=" + std::to_string(seed_base),
       trials, seed_base,
@@ -37,11 +39,15 @@ std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
         options.seed = ctx.seed;
         core::WedgeSamplingTriangleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate(),
-                                    .peak_space_bytes =
-                                        report.peak_space_bytes};
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
-      std::move(config)));
+      std::move(config));
+}
+
+std::vector<double> WedgeEstimates(const Graph& g, std::size_t reservoir,
+                                   int trials, std::uint64_t seed_base) {
+  return runtime::TrialRunner::Estimates(
+      WedgeResults(g, reservoir, trials, seed_base));
 }
 
 std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
@@ -60,9 +66,7 @@ std::vector<double> TwoPassEstimates(const Graph& g, std::size_t sample,
         options.seed = ctx.seed;
         core::TwoPassTriangleCounter counter(options);
         const stream::RunReport report = ctx.Run(s, &counter);
-        return runtime::TrialResult{.estimate = counter.Estimate(),
-                                    .peak_space_bytes =
-                                        report.peak_space_bytes};
+        return ctx.Result(counter.Estimate(), 0.0, report);
       },
       std::move(config)));
 }
@@ -89,7 +93,7 @@ int main(int argc, char** argv) {
                               {"minimal m'", 12, bench::kColInt},
                               {"ratio", 8, 2}});
   scaling.PrintHeader();
-  std::vector<double> log_t, log_min;
+  std::vector<double> log_t, log_min, space_at_min;
   for (std::size_t t_count : {500, 2000, 8000, 32000}) {
     Graph g = gen::PlantedDisjointTriangles(t_count, bg);
     const double p2 = static_cast<double>(g.WedgeCount());
@@ -107,12 +111,16 @@ int main(int argc, char** argv) {
     scaling.PrintRow({t_count, p2, predicted, minimal, minimal / predicted});
     log_t.push_back(truth);
     log_min.push_back(static_cast<double>(minimal));
+    space_at_min.push_back(
+        static_cast<double>(runtime::TrialRunner::MaxReportedPeak(
+            WedgeResults(g, minimal, kTrials, 150 + t_count))));
     bench::CurvePoint("wedge_min_reservoir_vs_T", truth,
                       static_cast<double>(minimal));
   }
   double slope = bench::LogLogSlope(log_t, log_min);
   bench::Slope("wedge_min_reservoir_vs_T", slope, -1.0,
                slope < -0.6 && slope > -1.4);
+  bench::FitCurve("wedge_space_vs_T", log_t, space_at_min, -1.0);
   bench::Note(opts,
               "\nlog-log slope of minimal reservoir vs T: %+.3f (predicted "
               "-1)\nshape verdict: %s\n", slope,

@@ -87,9 +87,9 @@ int CmdEstimate(const std::string& source, std::size_t sample, int copies) {
   auto c4 = core::EstimateFourCycles(s, sample, copies, 9);
   std::printf("m=%zu m'=%zu copies=%d\n", g.num_edges(), sample, copies);
   std::printf("triangle estimate: %.0f (peak space %zu bytes)\n",
-              tri.estimate, tri.report.peak_space_bytes);
+              tri.estimate, tri.report.reported_peak_bytes);
   std::printf("4-cycle estimate:  %.0f (peak space %zu bytes)\n",
-              c4.estimate, c4.report.peak_space_bytes);
+              c4.estimate, c4.report.reported_peak_bytes);
   return 0;
 }
 

@@ -39,6 +39,6 @@ int main() {
   std::printf("relative error: %.1f%%\n",
               100.0 * (est.estimate - exact) / exact);
   std::printf("peak working space: %zu bytes (stream carries %zu pairs)\n",
-              est.report.peak_space_bytes, est.report.pairs_processed);
+              est.report.reported_peak_bytes, est.report.pairs_processed);
   return 0;
 }

@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Validate, summarize, and baseline JSONL bench manifests.
+"""Validate, summarize, fit, and baseline JSONL bench manifests.
 
 The C++ benches emit newline-delimited JSON run manifests via
 ``--metrics-out`` / ``--trace-out`` (see src/obs/manifest.h for the schema).
 This script is their consumer:
 
   validate  — schema-check one or more manifests (record types, required
-              fields, schema_version, run_end truncation trailer).
+              fields, schema_version, run_end truncation trailer), plus the
+              ground-truth space audit: every batch result's
+              allocator-audited peak must agree with the self-reported peak
+              within the slack documented in src/obs/accounting.h.
   report    — human-readable summary: batches, space curves with fitted
-              log-log slopes, measured-vs-predicted slope checks, metrics.
+              log-log slopes, exponent fits, slope checks, metrics.
+  fit       — refit every "fit" record's space curve (log-log least
+              squares) and report the fitted exponent next to the paper's
+              predicted exponent; fails if the refit disagrees with the
+              bench's recorded fit.
   baseline  — regenerate BENCH_baseline.json from a set of manifests
-              (curves, fitted slopes, and the benches' own slope verdicts).
+              (curves with fitted exponents, slope verdicts, batch peaks).
 
 Slope checking: benches record ``slope`` lines with the measured log-log
 slope of a space curve, the model's predicted exponent (e.g. -2/3 for the
@@ -28,27 +35,42 @@ import math
 import os
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Required fields per record type (beyond "record" and "schema_version").
 REQUIRED_FIELDS = {
     "run": ["bench", "git"],
     "batch": ["label", "trials", "base_seed", "results"],
     "timeline": ["label", "trial", "seed", "pair_stride",
-                 "max_space_bytes", "passes"],
+                 "max_reported_bytes", "max_audited_bytes", "passes"],
     "curve_point": ["curve", "x", "y"],
     "slope": ["curve", "measured", "predicted", "consistent"],
+    "fit": ["curve", "fitted_exponent", "predicted_exponent", "points"],
     "metrics": ["metrics"],
     "run_end": ["records"],
 }
 
-RESULT_FIELDS = ["trial", "seed", "estimate", "aux", "peak_space_bytes",
+RESULT_FIELDS = ["trial", "seed", "estimate", "aux", "reported_peak_bytes",
+                 "audited_peak_bytes", "max_divergence_bytes",
                  "wall_seconds", "queue_wait_seconds"]
 
-# |refit - recorded| tolerance when refitting a curve's slope from its
-# curve_point records (the bench fits the same least-squares line, so any
-# gap beyond float noise means the manifest is internally inconsistent).
+# |refit - recorded| tolerance when refitting a curve's slope or exponent
+# from its curve_point records (the bench fits the same least-squares line,
+# so any gap beyond float noise means the manifest is internally
+# inconsistent).
 REFIT_TOLERANCE = 1e-6
+
+# Audit slack policy, mirroring obs::WithinAuditSlack in
+# src/obs/accounting.h: each of the two space measurements must bound the
+# other within a multiplier plus an additive term covering pre-reserved
+# buckets and allocator overheads.
+AUDIT_SLACK_MULTIPLIER = 4.0
+AUDIT_SLACK_FLOOR_BYTES = 1 << 16
+AUDIT_SLACK_PER_SLOT_BYTES = 64
+
+# Batch-config keys that carry the estimator's configured slot count
+# (sample size / reservoir capacity), used for the audit slack.
+SLOT_CONFIG_KEYS = ("sample", "reservoir")
 
 
 class ManifestError(Exception):
@@ -129,9 +151,9 @@ def fit_slope(points):
 
 def collect(records):
     """Groups a manifest's records: run header, batches, curves, slopes,
-    timelines, metrics snapshots."""
+    exponent fits, timelines, metrics snapshots."""
     out = {"run": None, "batches": [], "curves": {}, "slopes": [],
-           "timelines": [], "metrics": []}
+           "fits": [], "timelines": [], "metrics": []}
     for rec in records:
         rtype = rec.get("record")
         if rtype == "run" and out["run"] is None:
@@ -143,6 +165,8 @@ def collect(records):
                 (rec["x"], rec["y"]))
         elif rtype == "slope":
             out["slopes"].append(rec)
+        elif rtype == "fit":
+            out["fits"].append(rec)
         elif rtype == "timeline":
             out["timelines"].append(rec)
         elif rtype == "metrics":
@@ -167,6 +191,72 @@ def check_slopes(path, grouped):
             errors.append(
                 f"{path}: curve {curve!r}: recorded measured slope "
                 f"{slope['measured']:.6f} but points refit to {refit:.6f}")
+    return errors
+
+
+def check_fits(path, grouped):
+    """Every "fit" record must agree with a refit of its own curve_point
+    data, and its point count with the number of recorded points."""
+    errors = []
+    for fit in grouped["fits"]:
+        curve = fit["curve"]
+        points = grouped["curves"].get(curve, [])
+        if len(points) != fit["points"]:
+            errors.append(
+                f"{path}: fit {curve!r}: records {fit['points']} points but "
+                f"manifest has {len(points)} curve_point rows")
+        refit = fit_slope(points)
+        if refit is not None and \
+                abs(refit - fit["fitted_exponent"]) > REFIT_TOLERANCE:
+            errors.append(
+                f"{path}: fit {curve!r}: recorded exponent "
+                f"{fit['fitted_exponent']:.6f} but points refit to "
+                f"{refit:.6f}")
+    return errors
+
+
+def audit_slack_bytes(slots):
+    return AUDIT_SLACK_FLOOR_BYTES + AUDIT_SLACK_PER_SLOT_BYTES * slots
+
+
+def within_audit_slack(reported, audited, slots):
+    """Two-sided audit check, mirroring obs::WithinAuditSlack."""
+    add = audit_slack_bytes(slots)
+    return (audited <= AUDIT_SLACK_MULTIPLIER * reported + add and
+            reported <= AUDIT_SLACK_MULTIPLIER * audited + add)
+
+
+def batch_slots(batch):
+    """The estimator's configured slot count from the batch config (0 when
+    the bench recorded none)."""
+    config = batch.get("config", {})
+    for key in SLOT_CONFIG_KEYS:
+        value = config.get(key)
+        if isinstance(value, (int, float)):
+            return int(value)
+    return 0
+
+
+def check_audit(path, grouped):
+    """The ground-truth space audit: in every batch result that carries an
+    allocator-audited peak (> 0; communication protocols and amplified
+    copy-groups report 0), the audited and self-reported peaks must agree
+    within the documented slack."""
+    errors = []
+    for batch in grouped["batches"]:
+        slots = batch_slots(batch)
+        for row in batch.get("results", []):
+            reported = row.get("reported_peak_bytes", 0)
+            audited = row.get("audited_peak_bytes", 0)
+            if audited == 0:
+                continue  # unaudited run (no memory domain)
+            if not within_audit_slack(reported, audited, slots):
+                errors.append(
+                    f"{path}: batch {batch['label']!r} trial "
+                    f"{row.get('trial')}: audited {audited}B vs reported "
+                    f"{reported}B exceeds slack "
+                    f"(x{AUDIT_SLACK_MULTIPLIER:g} + "
+                    f"{audit_slack_bytes(slots)}B, slots={slots})")
     return errors
 
 
@@ -212,17 +302,26 @@ def check_driver_counters(path, grouped):
 
 
 def check_timelines(path, grouped):
-    """The timeline's recorded max must equal the max over its points."""
+    """The timeline's recorded maxima must equal the maxima over its
+    points (each point is a [pairs, reported, audited] triple)."""
     errors = []
     for tl in grouped["timelines"]:
-        point_max = 0
+        reported_max = 0
+        audited_max = 0
         for pass_tl in tl.get("passes", []):
-            for _, space in pass_tl.get("points", []):
-                point_max = max(point_max, space)
-        if point_max != tl["max_space_bytes"]:
+            for point in pass_tl.get("points", []):
+                reported_max = max(reported_max, point[1])
+                audited_max = max(audited_max, point[2])
+        if reported_max != tl["max_reported_bytes"]:
             errors.append(
-                f"{path}: timeline {tl['label']!r}: max_space_bytes="
-                f"{tl['max_space_bytes']} but points max to {point_max}")
+                f"{path}: timeline {tl['label']!r}: max_reported_bytes="
+                f"{tl['max_reported_bytes']} but points max to "
+                f"{reported_max}")
+        if audited_max != tl["max_audited_bytes"]:
+            errors.append(
+                f"{path}: timeline {tl['label']!r}: max_audited_bytes="
+                f"{tl['max_audited_bytes']} but points max to "
+                f"{audited_max}")
     return errors
 
 
@@ -239,6 +338,8 @@ def cmd_validate(args):
         if not errors:
             grouped = collect(records)
             errors += check_slopes(path, grouped)
+            errors += check_fits(path, grouped)
+            errors += check_audit(path, grouped)
             errors += check_timelines(path, grouped)
             errors += check_throughput_pairs(path, grouped)
             errors += check_driver_counters(path, grouped)
@@ -257,6 +358,7 @@ def cmd_report(args):
         records = read_manifest(path)
         grouped = collect(records)
         run = grouped["run"] or {}
+        fitted_by_curve = {f["curve"]: f for f in grouped["fits"]}
         print(f"== {path} ==")
         print(f"bench: {run.get('bench', '?')}  git: {run.get('git', '?')}  "
               f"threads: {run.get('threads', '?')}")
@@ -264,20 +366,30 @@ def cmd_report(args):
             results = batch["results"]
             est = [r["estimate"] for r in results]
             wall = sum(r["wall_seconds"] for r in results)
-            peak = max((r["peak_space_bytes"] for r in results), default=0)
+            reported = max((r["reported_peak_bytes"] for r in results),
+                           default=0)
+            audited = max((r["audited_peak_bytes"] for r in results),
+                          default=0)
             mean = sum(est) / len(est) if est else 0.0
+            audit_str = f", audited {audited}B" if audited else ""
             print(f"  batch {batch['label']}: {batch['trials']} trials, "
-                  f"mean estimate {mean:.4g}, peak space {peak}B, "
-                  f"wall {wall:.3f}s")
+                  f"mean estimate {mean:.4g}, peak space {reported}B"
+                  f"{audit_str}, wall {wall:.3f}s")
         for tl in grouped["timelines"]:
             npoints = sum(len(p.get("points", [])) for p in tl["passes"])
             print(f"  timeline {tl['label']}: {len(tl['passes'])} passes, "
-                  f"{npoints} points, max {tl['max_space_bytes']}B")
+                  f"{npoints} points, max reported "
+                  f"{tl['max_reported_bytes']}B, audited "
+                  f"{tl['max_audited_bytes']}B")
         for curve, points in sorted(grouped["curves"].items()):
             refit = fit_slope(points)
             slope_str = f", fitted slope {refit:.3f}" if refit is not None \
                 else ""
-            print(f"  curve {curve}: {len(points)} points{slope_str}")
+            fit = fitted_by_curve.get(curve)
+            fit_str = (f" (predicted exponent "
+                       f"{fit['predicted_exponent']:.3f})" if fit else "")
+            print(f"  curve {curve}: {len(points)} points{slope_str}"
+                  f"{fit_str}")
         for slope in grouped["slopes"]:
             verdict = "OK" if slope["consistent"] else "INCONSISTENT"
             print(f"  slope {slope['curve']}: measured "
@@ -285,10 +397,48 @@ def cmd_report(args):
                   f"{slope['predicted']:.3f} [{verdict}]")
             if not slope["consistent"]:
                 failed = True
+        for fit in grouped["fits"]:
+            print(f"  fit {fit['curve']}: exponent "
+                  f"{fit['fitted_exponent']:+.3f} vs predicted "
+                  f"{fit['predicted_exponent']:+.3f} "
+                  f"({fit['points']} points)")
         for snap in grouped["metrics"]:
             counters = snap.get("counters", {})
             for name in sorted(counters):
                 print(f"  metric {name} = {counters[name]}")
+    return 1 if failed else 0
+
+
+def cmd_fit(args):
+    """Refits every recorded space curve and prints the measured exponent
+    next to the paper's prediction. Exit 1 if any refit disagrees with the
+    bench's recorded fit, or (with --require) if a manifest has no fits."""
+    failed = False
+    for path in args.manifests:
+        records = read_manifest(path)
+        grouped = collect(records)
+        run = grouped["run"] or {}
+        bench = run.get("bench", os.path.basename(path))
+        if not grouped["fits"]:
+            level = "FAIL" if args.require else "note"
+            print(f"{level} {path}: no fit records")
+            failed = failed or args.require
+            continue
+        for fit in grouped["fits"]:
+            curve = fit["curve"]
+            points = grouped["curves"].get(curve, [])
+            refit = fit_slope(points)
+            status = "OK"
+            if refit is None:
+                status = "UNDERDETERMINED"
+            elif abs(refit - fit["fitted_exponent"]) > REFIT_TOLERANCE:
+                status = "MISMATCH"
+                failed = True
+            refit_str = f"{refit:+.4f}" if refit is not None else "n/a"
+            print(f"{bench}: {curve}: fitted {fit['fitted_exponent']:+.4f} "
+                  f"(refit {refit_str}) vs predicted "
+                  f"{fit['predicted_exponent']:+.4f} "
+                  f"[{len(points)} points] {status}")
     return 1 if failed else 0
 
 
@@ -308,13 +458,19 @@ def cmd_baseline(args):
         grouped = collect(records)
         run = grouped["run"] or {}
         bench = run.get("bench", os.path.basename(path))
+        fitted_by_curve = {f["curve"]: f for f in grouped["fits"]}
         entry = {"git": run.get("git", "unknown"), "curves": {}, "slopes": []}
         for curve, points in sorted(grouped["curves"].items()):
             refit = fit_slope(points)
-            entry["curves"][curve] = {
+            curve_entry = {
                 "points": [[x, y] for x, y in points],
                 "fitted_slope": refit,
             }
+            fit = fitted_by_curve.get(curve)
+            if fit is not None:
+                curve_entry["fitted_exponent"] = fit["fitted_exponent"]
+                curve_entry["predicted_exponent"] = fit["predicted_exponent"]
+            entry["curves"][curve] = curve_entry
         for slope in grouped["slopes"]:
             entry["slopes"].append({
                 "curve": slope["curve"],
@@ -330,8 +486,10 @@ def cmd_baseline(args):
                 "trials": batch["trials"],
                 "base_seed": batch["base_seed"],
                 "median_estimate": est[len(est) // 2] if est else 0.0,
-                "max_peak_space_bytes": max(
-                    (r["peak_space_bytes"] for r in results), default=0),
+                "max_reported_peak_bytes": max(
+                    (r["reported_peak_bytes"] for r in results), default=0),
+                "max_audited_peak_bytes": max(
+                    (r["audited_peak_bytes"] for r in results), default=0),
             }
         entry["batches"] = batches
         baseline["benches"][bench] = entry
@@ -353,6 +511,12 @@ def main():
     p = sub.add_parser("report", help="summarize manifests")
     p.add_argument("manifests", nargs="+")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("fit", help="refit space-vs-T exponents")
+    p.add_argument("manifests", nargs="+")
+    p.add_argument("--require", action="store_true",
+                   help="fail on manifests with no fit records")
+    p.set_defaults(func=cmd_fit)
 
     p = sub.add_parser("baseline", help="regenerate BENCH_baseline.json")
     p.add_argument("manifests", nargs="+")

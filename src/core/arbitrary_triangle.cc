@@ -12,8 +12,18 @@ ArbitraryOrderTriangleCounter::ArbitraryOrderTriangleCounter(
     const ArbitraryTriangleOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x8888888888888888ULL) {
+                   Mix64(options.seed) ^ 0x8888888888888888ULL,
+                   &space_domain_),
+      edges_by_vertex_(
+          decltype(edges_by_vertex_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<EdgeKey>& ArbitraryOrderTriangleCounter::EdgesByVertex(
+    VertexId v) {
+  return edges_by_vertex_
+      .try_emplace(v, obs::AccountedAllocator<EdgeKey>(&space_domain_))
+      .first->second;
 }
 
 void ArbitraryOrderTriangleCounter::OnEdgeEvicted(EdgeKey key,
@@ -84,8 +94,8 @@ void ArbitraryOrderTriangleCounter::OnEdge(VertexId u, VertexId v) {
       closing, std::move(state),
       [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
   if (result == sampling::OfferResult::kInserted) {
-    edges_by_vertex_[EdgeKeyLo(closing)].push_back(closing);
-    edges_by_vertex_[EdgeKeyHi(closing)].push_back(closing);
+    EdgesByVertex(EdgeKeyLo(closing)).push_back(closing);
+    EdgesByVertex(EdgeKeyHi(closing)).push_back(closing);
   }
 }
 

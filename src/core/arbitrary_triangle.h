@@ -17,10 +17,9 @@
 #define CYCLESTREAM_CORE_ARBITRARY_TRIANGLE_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/arbitrary_stream.h"
 
@@ -49,6 +48,9 @@ class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
   int passes() const override { return 1; }
   void OnEdge(VertexId u, VertexId v) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   ArbitraryTriangleResult result() const;
   double Estimate() const { return result().estimate; }
@@ -65,11 +67,16 @@ class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
 
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);
 
+  // Incident-edge list for `v`, creating it bound to space_domain_ if absent.
+  obs::AccountedVector<EdgeKey>& EdgesByVertex(VertexId v);
+
   ArbitraryTriangleOptions options_;
   std::uint64_t edge_events_ = 0;
   std::uint64_t detections_ = 0;
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   sampling::BottomKSampler<EdgeState> edge_sample_;
-  std::unordered_map<VertexId, std::vector<EdgeKey>> edges_by_vertex_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<EdgeKey>>
+      edges_by_vertex_;
 };
 
 }  // namespace core

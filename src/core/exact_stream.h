@@ -8,10 +8,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "stream/algorithm.h"
 
 namespace cyclestream {
@@ -20,7 +19,10 @@ namespace core {
 /// One-pass exact triangle counting with Θ(m) state.
 class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
  public:
-  ExactStreamTriangleCounter() = default;
+  ExactStreamTriangleCounter()
+      : edge_state_(decltype(edge_state_)::allocator_type(&space_domain_)),
+        current_list_(
+            decltype(current_list_)::allocator_type(&space_domain_)) {}
 
   int passes() const override { return 1; }
 
@@ -29,6 +31,9 @@ class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
   void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   std::uint64_t triangles() const { return triangles_; }
   std::uint64_t edge_count() const { return pair_events_ / 2; }
@@ -38,9 +43,10 @@ class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
   // list instead of per pair. Identical mutation sequence either way.
   void HandlePair(VertexId u, VertexId v);
 
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   // 0 = unseen, 1 = one copy seen, 2 = both copies seen.
-  std::unordered_map<EdgeKey, std::uint8_t> edge_state_;
-  std::vector<VertexId> current_list_;
+  obs::AccountedUnorderedMap<EdgeKey, std::uint8_t> edge_state_;
+  obs::AccountedVector<VertexId> current_list_;
   std::uint64_t pair_events_ = 0;
   std::uint64_t triangles_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "core/four_cycle.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <vector>
 
 #include "util/check.h"
 #include "util/hashing.h"
@@ -23,8 +25,22 @@ TwoPassFourCycleCounter::TwoPassFourCycleCounter(
     const FourCycleOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x5555555555555555ULL) {
+                   Mix64(options.seed) ^ 0x5555555555555555ULL,
+                   &space_domain_),
+      wedges_(decltype(wedges_)::allocator_type(&space_domain_)),
+      wedge_watchers_(
+          decltype(wedge_watchers_)::allocator_type(&space_domain_)),
+      touched_wedges_(
+          decltype(touched_wedges_)::allocator_type(&space_domain_)),
+      found_cycles_(decltype(found_cycles_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<std::uint32_t>& TwoPassFourCycleCounter::WedgeWatchers(
+    VertexId v) {
+  return wedge_watchers_
+      .try_emplace(v, obs::AccountedAllocator<std::uint32_t>(&space_domain_))
+      .first->second;
 }
 
 void TwoPassFourCycleCounter::BeginPass(int pass) { pass_ = pass; }
@@ -49,8 +65,8 @@ void TwoPassFourCycleCounter::BuildWedges() {
         state.wedge = MakeWedge(center, others[i], others[j]);
         std::uint32_t idx = static_cast<std::uint32_t>(wedges_.size());
         wedges_.push_back(state);
-        wedge_watchers_[state.wedge.end_lo].push_back(idx);
-        wedge_watchers_[state.wedge.end_hi].push_back(idx);
+        WedgeWatchers(state.wedge.end_lo).push_back(idx);
+        WedgeWatchers(state.wedge.end_hi).push_back(idx);
       }
     }
   }

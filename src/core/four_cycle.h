@@ -22,12 +22,10 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "graph/types.h"
 #include "graph/wedge.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/algorithm.h"
 
@@ -72,6 +70,9 @@ class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
   void EndList(VertexId u) override;
   void EndPass(int pass) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   FourCycleResult result() const;
   double Estimate() const { return result().estimate; }
@@ -95,15 +96,20 @@ class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
 
   void BuildWedges();
 
+  // Watcher list for `v`, creating it bound to space_domain_ if absent.
+  obs::AccountedVector<std::uint32_t>& WedgeWatchers(VertexId v);
+
   FourCycleOptions options_;
   int pass_ = -1;
   std::uint64_t pair_events_ = 0;
 
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   sampling::BottomKSampler<EdgeEntry> edge_sample_;
-  std::vector<WedgeState> wedges_;
-  std::unordered_map<VertexId, std::vector<std::uint32_t>> wedge_watchers_;
-  std::vector<std::uint32_t> touched_wedges_;
-  std::unordered_set<std::uint64_t> found_cycles_;
+  obs::AccountedVector<WedgeState> wedges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<std::uint32_t>>
+      wedge_watchers_;
+  obs::AccountedVector<std::uint32_t> touched_wedges_;
+  obs::AccountedUnorderedSet<std::uint64_t> found_cycles_;
   std::uint64_t wedge_incidences_ = 0;
   bool wedge_cap_hit_ = false;
   bool finished_ = false;

@@ -135,7 +135,10 @@ stream::RunReport ParallelCopies::Run(const stream::AdjacencyListStream& stream,
   merged.pairs_processed = stream.stream_length() *
                            static_cast<std::size_t>(merged.passes_requested);
   for (const stream::RunReport& r : chunk_reports) {
-    merged.peak_space_bytes += r.peak_space_bytes;
+    merged.reported_peak_bytes += r.reported_peak_bytes;
+    merged.audited_peak_bytes += r.audited_peak_bytes;
+    merged.max_divergence_bytes =
+        std::max(merged.max_divergence_bytes, r.max_divergence_bytes);
   }
   return merged;
 }

@@ -57,9 +57,11 @@ class ParallelCopies : public stream::StreamAlgorithm {
   /// partitioned into one contiguous chunk per worker; each worker replays
   /// the stream once per pass for its chunk. Copies never share mutable
   /// state, so each copy's final state (and estimate) is bit-identical
-  /// between the two modes; only `peak_space_bytes` differs (the parallel
-  /// path reports the sum of per-chunk peaks, an upper bound on the
-  /// lockstep peak).
+  /// between the two modes; only `reported_peak_bytes` differs (the
+  /// parallel path reports the sum of per-chunk peaks, an upper bound on
+  /// the lockstep peak). `audited_peak_bytes` stays 0 in both modes: the
+  /// group wrapper exposes no unified memory domain (each copy audits
+  /// itself only when driven directly).
   stream::RunReport Run(const stream::AdjacencyListStream& stream,
                         runtime::ThreadPool* pool = nullptr);
 
@@ -88,8 +90,8 @@ struct AmplifiedEstimate {
 /// read-only) stream is replayed once per pass per chunk. Copy c's seed is
 /// `Mix128To64(seed, c)` in both paths, so `copy_estimates` and `estimate`
 /// are bit-identical regardless of the pool or its size (tested). The
-/// report differs only in `peak_space_bytes`: the parallel path reports the
-/// sum of per-chunk peaks, an upper bound on the lockstep peak.
+/// report differs only in `reported_peak_bytes`: the parallel path reports
+/// the sum of per-chunk peaks, an upper bound on the lockstep peak.
 AmplifiedEstimate EstimateTriangles(const stream::AdjacencyListStream& stream,
                                     std::size_t sample_size, int copies,
                                     std::uint64_t seed,

@@ -12,8 +12,31 @@ OnePassFourCycleCounter::OnePassFourCycleCounter(
     const OnePassFourCycleOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x6666666666666666ULL) {
+                   Mix64(options.seed) ^ 0x6666666666666666ULL,
+                   &space_domain_),
+      edges_by_vertex_(
+          decltype(edges_by_vertex_)::allocator_type(&space_domain_)),
+      wedges_(decltype(wedges_)::allocator_type(&space_domain_)),
+      free_wedges_(decltype(free_wedges_)::allocator_type(&space_domain_)),
+      wedge_watchers_(
+          decltype(wedge_watchers_)::allocator_type(&space_domain_)),
+      touched_wedges_(
+          decltype(touched_wedges_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<EdgeKey>& OnePassFourCycleCounter::EdgesByVertex(
+    VertexId v) {
+  return edges_by_vertex_
+      .try_emplace(v, obs::AccountedAllocator<EdgeKey>(&space_domain_))
+      .first->second;
+}
+
+obs::AccountedVector<std::uint32_t>& OnePassFourCycleCounter::WedgeWatchers(
+    VertexId v) {
+  return wedge_watchers_
+      .try_emplace(v, obs::AccountedAllocator<std::uint32_t>(&space_domain_))
+      .first->second;
 }
 
 void OnePassFourCycleCounter::AddWedgesForNewEdge(EdgeKey key, VertexId lo,
@@ -42,8 +65,8 @@ void OnePassFourCycleCounter::AddWedgesForNewEdge(EdgeKey key, VertexId lo,
       w.edge_b = MakeEdgeKey(center, w.wedge.end_hi);
       w.live = true;
       ++live_wedges_;
-      wedge_watchers_[w.wedge.end_lo].push_back(idx);
-      wedge_watchers_[w.wedge.end_hi].push_back(idx);
+      WedgeWatchers(w.wedge.end_lo).push_back(idx);
+      WedgeWatchers(w.wedge.end_hi).push_back(idx);
       edge_sample_.Find(key)->wedges.push_back(idx);
       edge_sample_.Find(other)->wedges.push_back(idx);
     }
@@ -87,7 +110,7 @@ void OnePassFourCycleCounter::RemoveWedge(std::uint32_t idx) {
 }
 
 void OnePassFourCycleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
-  std::vector<std::uint32_t> wedges = std::move(state.wedges);
+  obs::AccountedVector<std::uint32_t> wedges = std::move(state.wedges);
   for (std::uint32_t idx : wedges) RemoveWedge(idx);
   for (VertexId endpoint : {state.lo, state.hi}) {
     auto it = edges_by_vertex_.find(endpoint);
@@ -114,15 +137,15 @@ void OnePassFourCycleCounter::OnListBatch(VertexId u,
 void OnePassFourCycleCounter::HandlePair(VertexId u, VertexId v) {
   ++pair_events_;
   EdgeKey key = MakeEdgeKey(u, v);
-  EdgeState state;
+  EdgeState state{obs::AccountedAllocator<std::uint32_t>(&space_domain_)};
   state.lo = EdgeKeyLo(key);
   state.hi = EdgeKeyHi(key);
   auto result = edge_sample_.Offer(
       key, std::move(state),
       [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
   if (result == sampling::OfferResult::kInserted) {
-    edges_by_vertex_[EdgeKeyLo(key)].push_back(key);
-    edges_by_vertex_[EdgeKeyHi(key)].push_back(key);
+    EdgesByVertex(EdgeKeyLo(key)).push_back(key);
+    EdgesByVertex(EdgeKeyHi(key)).push_back(key);
     AddWedgesForNewEdge(key, EdgeKeyLo(key), EdgeKeyHi(key));
   } else if (result == sampling::OfferResult::kAlreadyPresent) {
     edge_sample_.Find(key)->seen_twice = true;

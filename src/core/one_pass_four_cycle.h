@@ -17,11 +17,10 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
 #include "graph/types.h"
 #include "graph/wedge.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/algorithm.h"
 
@@ -53,6 +52,9 @@ class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
   void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   OnePassFourCycleResult result() const;
   double Estimate() const { return result().estimate; }
@@ -62,11 +64,16 @@ class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
   // list instead of per pair. Identical mutation sequence either way.
   void HandlePair(VertexId u, VertexId v);
 
+  // No default constructor: the nested wedge list must bind to the owning
+  // space domain (the sampler's map nodes carry the payload, so the vector
+  // keeps its allocator through moves and evictions).
   struct EdgeState {
+    explicit EdgeState(const obs::AccountedAllocator<std::uint32_t>& alloc)
+        : wedges(alloc) {}
     VertexId lo = 0;
     VertexId hi = 0;
     bool seen_twice = false;
-    std::vector<std::uint32_t> wedges;  // wedge slots touching this edge
+    obs::AccountedVector<std::uint32_t> wedges;  // wedge slots on this edge
   };
 
   struct WedgeState {
@@ -83,17 +90,24 @@ class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
   void RemoveWedge(std::uint32_t idx);
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);
 
+  // Accessors creating domain-bound nested vectors on first touch.
+  obs::AccountedVector<EdgeKey>& EdgesByVertex(VertexId v);
+  obs::AccountedVector<std::uint32_t>& WedgeWatchers(VertexId v);
+
   OnePassFourCycleOptions options_;
   std::uint64_t pair_events_ = 0;
   std::uint64_t detections_ = 0;
 
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   sampling::BottomKSampler<EdgeState> edge_sample_;
-  std::unordered_map<VertexId, std::vector<EdgeKey>> edges_by_vertex_;
-  std::vector<WedgeState> wedges_;
-  std::vector<std::uint32_t> free_wedges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<EdgeKey>>
+      edges_by_vertex_;
+  obs::AccountedVector<WedgeState> wedges_;
+  obs::AccountedVector<std::uint32_t> free_wedges_;
   std::size_t live_wedges_ = 0;
-  std::unordered_map<VertexId, std::vector<std::uint32_t>> wedge_watchers_;
-  std::vector<std::uint32_t> touched_wedges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<std::uint32_t>>
+      wedge_watchers_;
+  obs::AccountedVector<std::uint32_t> touched_wedges_;
 };
 
 }  // namespace core

@@ -12,8 +12,17 @@ OnePassTriangleCounter::OnePassTriangleCounter(
     const OnePassTriangleOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x3333333333333333ULL) {
+                   Mix64(options.seed) ^ 0x3333333333333333ULL,
+                   &space_domain_),
+      edge_watchers_(decltype(edge_watchers_)::allocator_type(&space_domain_)),
+      touched_edges_(decltype(touched_edges_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<EdgeKey>& OnePassTriangleCounter::Watchers(VertexId v) {
+  return edge_watchers_
+      .try_emplace(v, obs::AccountedAllocator<EdgeKey>(&space_domain_))
+      .first->second;
 }
 
 void OnePassTriangleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
@@ -56,8 +65,8 @@ void OnePassTriangleCounter::HandlePair(VertexId u, VertexId v) {
       key, std::move(state),
       [this](EdgeKey k, EdgeState&& evicted) { OnEdgeEvicted(k, std::move(evicted)); });
   if (result == sampling::OfferResult::kInserted) {
-    edge_watchers_[EdgeKeyLo(key)].push_back(key);
-    edge_watchers_[EdgeKeyHi(key)].push_back(key);
+    Watchers(EdgeKeyLo(key)).push_back(key);
+    Watchers(EdgeKeyHi(key)).push_back(key);
   } else if (result == sampling::OfferResult::kAlreadyPresent) {
     // Second copy of a sampled edge: from the next list onward, completions
     // close a triangle whose earliest edge is this one.

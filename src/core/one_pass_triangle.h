@@ -18,10 +18,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/algorithm.h"
 
@@ -55,6 +54,9 @@ class OnePassTriangleCounter final : public stream::StreamAlgorithm {
   void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   OnePassTriangleResult result() const;
   double Estimate() const { return result().estimate; }
@@ -75,12 +77,18 @@ class OnePassTriangleCounter final : public stream::StreamAlgorithm {
 
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);
 
+  // Watcher list for `v`, creating it bound to space_domain_ if absent
+  // (same insertion/bucket behaviour as operator[]).
+  obs::AccountedVector<EdgeKey>& Watchers(VertexId v);
+
   OnePassTriangleOptions options_;
   std::uint64_t pair_events_ = 0;
   std::uint64_t detections_ = 0;
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   sampling::BottomKSampler<EdgeState> edge_sample_;
-  std::unordered_map<VertexId, std::vector<EdgeKey>> edge_watchers_;
-  std::vector<EdgeKey> touched_edges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<EdgeKey>>
+      edge_watchers_;
+  obs::AccountedVector<EdgeKey> touched_edges_;
   bool finished_ = false;
 };
 

@@ -12,8 +12,17 @@ TriangleDistinguisher::TriangleDistinguisher(
     const TriangleDistinguisherOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x4444444444444444ULL) {
+                   Mix64(options.seed) ^ 0x4444444444444444ULL,
+                   &space_domain_),
+      edge_watchers_(decltype(edge_watchers_)::allocator_type(&space_domain_)),
+      touched_edges_(decltype(touched_edges_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<EdgeKey>& TriangleDistinguisher::Watchers(VertexId v) {
+  return edge_watchers_
+      .try_emplace(v, obs::AccountedAllocator<EdgeKey>(&space_domain_))
+      .first->second;
 }
 
 void TriangleDistinguisher::BeginPass(int pass) { pass_ = pass; }
@@ -47,8 +56,8 @@ void TriangleDistinguisher::HandlePair(VertexId u, VertexId v) {
           }
         });
     if (result == sampling::OfferResult::kInserted) {
-      edge_watchers_[EdgeKeyLo(key)].push_back(key);
-      edge_watchers_[EdgeKeyHi(key)].push_back(key);
+      Watchers(EdgeKeyLo(key)).push_back(key);
+      Watchers(EdgeKeyHi(key)).push_back(key);
     }
     return;  // counting happens only in the second pass
   }
@@ -135,8 +144,8 @@ void TriangleDistinguisher::RestoreState(
     EdgeState state{EdgeKeyLo(key), EdgeKeyHi(key), false, false};
     auto result = edge_sample_.Offer(key, std::move(state));
     CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
-    edge_watchers_[EdgeKeyLo(key)].push_back(key);
-    edge_watchers_[EdgeKeyHi(key)].push_back(key);
+    Watchers(EdgeKeyLo(key)).push_back(key);
+    Watchers(EdgeKeyHi(key)).push_back(key);
   }
   CYCLESTREAM_CHECK_EQ(pos, bytes.size());
 }

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/algorithm.h"
 
@@ -50,6 +50,9 @@ class TriangleDistinguisher final : public stream::StreamAlgorithm {
   void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   TriangleDistinguisherResult result() const;
 
@@ -77,13 +80,18 @@ class TriangleDistinguisher final : public stream::StreamAlgorithm {
     bool flag_hi = false;
   };
 
+  // Watcher list for `v`, creating it bound to space_domain_ if absent.
+  obs::AccountedVector<EdgeKey>& Watchers(VertexId v);
+
   TriangleDistinguisherOptions options_;
   int pass_ = -1;
   std::uint64_t pair_events_ = 0;
   std::uint64_t incidences_ = 0;
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
   sampling::BottomKSampler<EdgeState> edge_sample_;
-  std::unordered_map<VertexId, std::vector<EdgeKey>> edge_watchers_;
-  std::vector<EdgeKey> touched_edges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<EdgeKey>>
+      edge_watchers_;
+  obs::AccountedVector<EdgeKey> touched_edges_;
 };
 
 }  // namespace core

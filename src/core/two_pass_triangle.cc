@@ -24,10 +24,41 @@ TwoPassTriangleCounter::TwoPassTriangleCounter(
     const TwoPassTriangleOptions& options)
     : options_(options),
       edge_sample_(std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x1111111111111111ULL),
+                   Mix64(options.seed) ^ 0x1111111111111111ULL,
+                   &space_domain_),
+      edge_watchers_(decltype(edge_watchers_)::allocator_type(&space_domain_)),
+      touched_edges_(decltype(touched_edges_)::allocator_type(&space_domain_)),
       pair_sample_(kQSlackFactor * std::max<std::size_t>(options.sample_size, 1),
-                   Mix64(options.seed) ^ 0x2222222222222222ULL) {
+                   Mix64(options.seed) ^ 0x2222222222222222ULL,
+                   &space_domain_),
+      slab_(decltype(slab_)::allocator_type(&space_domain_)),
+      free_slots_(decltype(free_slots_)::allocator_type(&space_domain_)),
+      tri_edges_(decltype(tri_edges_)::allocator_type(&space_domain_)),
+      tri_verts_(decltype(tri_verts_)::allocator_type(&space_domain_)),
+      touched_tri_edges_(
+          decltype(touched_tri_edges_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.sample_size, 1u);
+}
+
+obs::AccountedVector<EdgeKey>& TwoPassTriangleCounter::Watchers(VertexId v) {
+  return edge_watchers_
+      .try_emplace(v, obs::AccountedAllocator<EdgeKey>(&space_domain_))
+      .first->second;
+}
+
+TwoPassTriangleCounter::TriEdgeWatch& TwoPassTriangleCounter::TriEdgeFor(
+    EdgeKey key) {
+  return tri_edges_
+      .try_emplace(key, obs::AccountedAllocator<TriEdgeWatch::Subscriber>(
+                            &space_domain_))
+      .first->second;
+}
+
+obs::AccountedVector<std::uint32_t>& TwoPassTriangleCounter::TriVerts(
+    VertexId v) {
+  return tri_verts_
+      .try_emplace(v, obs::AccountedAllocator<std::uint32_t>(&space_domain_))
+      .first->second;
 }
 
 EdgeKey TwoPassTriangleCounter::EdgeKeyOfSlot(const TriEntry& entry,
@@ -62,13 +93,13 @@ void TwoPassTriangleCounter::SubscribeEntry(std::uint32_t idx) {
   TriEntry& entry = slab_[idx];
   for (int slot = 0; slot < 3; ++slot) {
     EdgeKey key = EdgeKeyOfSlot(entry, slot);
-    TriEdgeWatch& watch = tri_edges_[key];
+    TriEdgeWatch& watch = TriEdgeFor(key);
     if (watch.subscribers.empty()) {
       watch.lo = EdgeKeyLo(key);
       watch.hi = EdgeKeyHi(key);
     }
     watch.subscribers.push_back({idx, static_cast<std::uint8_t>(slot)});
-    tri_verts_[entry.vert[slot]].push_back(idx);
+    TriVerts(entry.vert[slot]).push_back(idx);
   }
 }
 
@@ -130,7 +161,8 @@ void TwoPassTriangleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
   // the subscriber list we are scanning.
   auto it = tri_edges_.find(key);
   if (it != tri_edges_.end()) {
-    std::vector<std::pair<std::uint32_t, std::uint8_t>> subs = it->second.subscribers;
+    std::vector<TriEdgeWatch::Subscriber> subs(it->second.subscribers.begin(),
+                                               it->second.subscribers.end());
     for (const auto& [idx, slot] : subs) {
       if (slot != 2) continue;
       TriEntry& entry = slab_[idx];
@@ -210,8 +242,8 @@ void TwoPassTriangleCounter::HandlePair(VertexId u, VertexId v) {
           OnEdgeEvicted(k, std::move(evicted));
         });
     if (result == sampling::OfferResult::kInserted) {
-      edge_watchers_[EdgeKeyLo(key)].push_back(key);
-      edge_watchers_[EdgeKeyHi(key)].push_back(key);
+      Watchers(EdgeKeyLo(key)).push_back(key);
+      Watchers(EdgeKeyHi(key)).push_back(key);
     }
   }
 
@@ -408,8 +440,8 @@ void TwoPassTriangleCounter::RestoreState(
     state.tri_count = ReadU64(bytes, &pos);
     auto result = edge_sample_.Offer(key, std::move(state));
     CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
-    edge_watchers_[EdgeKeyLo(key)].push_back(key);
-    edge_watchers_[EdgeKeyHi(key)].push_back(key);
+    Watchers(EdgeKeyLo(key)).push_back(key);
+    Watchers(EdgeKeyHi(key)).push_back(key);
   }
 
   std::uint64_t pairs = ReadU64(bytes, &pos);

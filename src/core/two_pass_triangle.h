@@ -35,10 +35,11 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "sampling/bottom_k.h"
 #include "stream/algorithm.h"
 
@@ -89,6 +90,9 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
   void EndPass(int pass) override;
 
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   /// Estimate and diagnostics; valid after both passes.
   TwoPassTriangleResult result() const;
@@ -131,14 +135,18 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
   };
 
   // Shared per-edge watch used for H accumulation (several entries can
-  // subscribe to the same physical edge).
+  // subscribe to the same physical edge). No default constructor: every
+  // instance must bind its subscriber list to the owning space domain.
   struct TriEdgeWatch {
+    using Subscriber = std::pair<std::uint32_t, std::uint8_t>;
+    explicit TriEdgeWatch(const obs::AccountedAllocator<Subscriber>& alloc)
+        : subscribers(alloc) {}
     VertexId lo = 0;
     VertexId hi = 0;
     bool flag_lo = false;
     bool flag_hi = false;
     // (slab index, edge slot) pairs subscribed to this edge.
-    std::vector<std::pair<std::uint32_t, std::uint8_t>> subscribers;
+    obs::AccountedVector<Subscriber> subscribers;
   };
 
   // OnPair's body; non-virtual so OnListBatch pays one virtual call per
@@ -155,23 +163,33 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
   void HandleTriangleDetection(EdgeKey edge_key, EdgeState* edge,
                                VertexId apex);
 
+  // Accessors creating domain-bound nested containers on first touch (same
+  // insertion/bucket behaviour as operator[]).
+  obs::AccountedVector<EdgeKey>& Watchers(VertexId v);
+  TriEdgeWatch& TriEdgeFor(EdgeKey key);
+  obs::AccountedVector<std::uint32_t>& TriVerts(VertexId v);
+
   TwoPassTriangleOptions options_;
   int pass_ = -1;
   std::uint32_t list_pos_ = 0;          // index of current list in this pass
   std::uint64_t pair_events_ = 0;       // stream pairs seen in pass 1 (= 2m)
 
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
+
   // Edge sample S and its per-vertex watchers.
   sampling::BottomKSampler<EdgeState> edge_sample_;
-  std::unordered_map<VertexId, std::vector<EdgeKey>> edge_watchers_;
-  std::vector<EdgeKey> touched_edges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<EdgeKey>>
+      edge_watchers_;
+  obs::AccountedVector<EdgeKey> touched_edges_;
 
   // Pair sample Q: keys -> slab indices; slab holds TriEntry state.
   sampling::BottomKSampler<std::uint32_t> pair_sample_;
-  std::vector<TriEntry> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<EdgeKey, TriEdgeWatch> tri_edges_;
-  std::unordered_map<VertexId, std::vector<std::uint32_t>> tri_verts_;
-  std::vector<EdgeKey> touched_tri_edges_;
+  obs::AccountedVector<TriEntry> slab_;
+  obs::AccountedVector<std::uint32_t> free_slots_;
+  obs::AccountedUnorderedMap<EdgeKey, TriEdgeWatch> tri_edges_;
+  obs::AccountedUnorderedMap<VertexId, obs::AccountedVector<std::uint32_t>>
+      tri_verts_;
+  obs::AccountedVector<EdgeKey> touched_tri_edges_;
 
   std::uint64_t t_prime_ = 0;  // running candidate-pair count for current S
   // True once any candidate pair has been rejected by or evicted from Q;

@@ -9,13 +9,24 @@ namespace core {
 
 WedgeSamplingTriangleCounter::WedgeSamplingTriangleCounter(
     const WedgeSamplingOptions& options)
-    : options_(options), rng_(Mix64(options.seed) ^ 0x9999999999999999ULL) {
+    : options_(options),
+      rng_(Mix64(options.seed) ^ 0x9999999999999999ULL),
+      reservoir_(decltype(reservoir_)::allocator_type(&space_domain_)),
+      closure_watch_(decltype(closure_watch_)::allocator_type(&space_domain_)),
+      current_list_(decltype(current_list_)::allocator_type(&space_domain_)) {
   CYCLESTREAM_CHECK_GE(options.reservoir_size, 1u);
   reservoir_.reserve(options.reservoir_size);
 }
 
+obs::AccountedVector<std::uint32_t>& WedgeSamplingTriangleCounter::WatchersFor(
+    EdgeKey key) {
+  return closure_watch_
+      .try_emplace(key, obs::AccountedAllocator<std::uint32_t>(&space_domain_))
+      .first->second;
+}
+
 void WedgeSamplingTriangleCounter::WatchSlot(std::uint32_t slot) {
-  closure_watch_[WedgeEndpointsKey(reservoir_[slot].wedge)].push_back(slot);
+  WatchersFor(WedgeEndpointsKey(reservoir_[slot].wedge)).push_back(slot);
 }
 
 void WedgeSamplingTriangleCounter::UnwatchSlot(std::uint32_t slot) {

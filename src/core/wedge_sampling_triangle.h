@@ -19,11 +19,10 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
 #include "graph/types.h"
 #include "graph/wedge.h"
+#include "obs/accounting.h"
 #include "stream/algorithm.h"
 #include "util/random.h"
 
@@ -56,6 +55,9 @@ class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
   void OnPair(VertexId u, VertexId v) override;
   void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   std::size_t CurrentSpaceBytes() const override;
+  const obs::MemoryDomain* memory_domain() const override {
+    return &space_domain_;
+  }
 
   WedgeSamplingResult result() const;
   double Estimate() const { return result().estimate; }
@@ -75,13 +77,18 @@ class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
   void WatchSlot(std::uint32_t slot);
   void UnwatchSlot(std::uint32_t slot);
 
+  // Watch list for an endpoint-pair key, creating it bound to space_domain_.
+  obs::AccountedVector<std::uint32_t>& WatchersFor(EdgeKey key);
+
   WedgeSamplingOptions options_;
   Rng rng_;
   std::uint64_t wedge_count_ = 0;
-  std::vector<Slot> reservoir_;
+  obs::MemoryDomain space_domain_;  // must outlive the containers below
+  obs::AccountedVector<Slot> reservoir_;
   // Closure watch: endpoint-pair key -> reservoir slots waiting for it.
-  std::unordered_map<EdgeKey, std::vector<std::uint32_t>> closure_watch_;
-  std::vector<VertexId> current_list_;
+  obs::AccountedUnorderedMap<EdgeKey, obs::AccountedVector<std::uint32_t>>
+      closure_watch_;
+  obs::AccountedVector<VertexId> current_list_;
   VertexId current_center_ = 0;
 };
 

@@ -43,8 +43,13 @@ struct ProtocolRun {
   std::size_t max_message_bytes = 0;
   /// Sum over all boundaries and passes (the multi-round total).
   std::size_t total_message_bytes = 0;
-  /// Peak working space of the algorithm anywhere in the run.
-  std::size_t peak_space_bytes = 0;
+  /// Peak self-reported working space of the algorithm anywhere in the run.
+  std::size_t reported_peak_bytes = 0;
+  /// Peak allocator-measured live bytes at the same sample points (0 when
+  /// the algorithm exposes no memory domain).
+  std::size_t audited_peak_bytes = 0;
+  /// Largest |audited - reported| over all samples (0 when unaudited).
+  std::size_t max_divergence_bytes = 0;
 };
 
 /// Builds the player-grouped adjacency-list stream for a gadget: all of
@@ -85,7 +90,7 @@ ProtocolRun RunProtocol(const Gadget& gadget, AlgoT* algorithm,
   ProtocolRun run;
   stream::RunReport report;
   report.passes_requested = algorithm->passes();
-  stream::internal::MeteredSink<AlgoT> sink(algorithm, &report, trace.tracer);
+  stream::internal::MeteredSink<AlgoT> sink(algorithm, &report, trace);
   for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     algorithm->BeginPass(pass);
@@ -109,7 +114,9 @@ ProtocolRun RunProtocol(const Gadget& gadget, AlgoT* algorithm,
       run.message_bytes.push_back(algorithm->CurrentSpaceBytes());
     }
   }
-  run.peak_space_bytes = report.peak_space_bytes;
+  run.reported_peak_bytes = report.reported_peak_bytes;
+  run.audited_peak_bytes = report.audited_peak_bytes;
+  run.max_divergence_bytes = report.max_divergence_bytes;
   stream::internal::ExportDriverMetrics(report, trace.metrics);
   internal::FinishProtocolRun(&run);
   return run;
@@ -157,7 +164,7 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
       // A brand-new player knowing only the public options and the wire.
       auto player = std::make_unique<Algo>(options);
       if (!first_segment) player->RestoreState(wire);
-      stream::internal::MeteredSink<Algo> sink(player.get(), &report, nullptr);
+      stream::internal::MeteredSink<Algo> sink(player.get(), &report, {});
       if (seg_begin == 0) sink.BeginPass(pass);
       if (seg_begin == 0) player->BeginPass(pass);
       for (std::size_t i = seg_begin; i < seg_end; ++i) {
@@ -177,7 +184,9 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
       first_segment = false;
     }
   }
-  run.peak_space_bytes = report.peak_space_bytes;
+  run.reported_peak_bytes = report.reported_peak_bytes;
+  run.audited_peak_bytes = report.audited_peak_bytes;
+  run.max_divergence_bytes = report.max_divergence_bytes;
   internal::FinishProtocolRun(&run);
   return run;
 }

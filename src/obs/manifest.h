@@ -3,15 +3,24 @@
 // consumes.
 //
 // A manifest is a sequence of newline-delimited JSON records, each with a
-// "record" type tag and "schema_version". Record types (schema v1):
+// "record" type tag and "schema_version". Record types (schema v2):
 //
 //   run         — first line: bench name, git describe, seed, threads, argv
 //   batch       — one per bench batch (label, per-trial estimate/space/time)
-//   timeline    — space timeline of a traced trial (per-pass points)
+//   timeline    — space timeline of a traced trial (per-pass points, each
+//                 [pairs, reported_bytes, audited_bytes])
 //   curve_point — one (x, y) of a measured space curve
 //   slope       — measured vs predicted log-log slope for a curve
-//   metrics     — MetricsRegistry snapshot (counters + histograms)
+//   fit         — least-squares exponent fit of peak space vs T for one
+//                 curve (fitted_exponent next to predicted_exponent)
+//   metrics     — MetricsRegistry snapshot (counters + histograms with
+//                 max/p50/p95)
 //   run_end     — last line: totals and record count for truncation checks
+//
+// Schema v2 (this version) renames batch space fields to the
+// reported_/audited_ scheme: `max_peak_space_bytes` became
+// `max_reported_peak_bytes`, joined by `max_audited_peak_bytes` and
+// `max_divergence_bytes`; timeline points grew from 2-arrays to 3-arrays.
 //
 // Writers flush per line so a crashed run leaves a readable prefix.
 
@@ -29,7 +38,7 @@ namespace obs {
 
 /// Bump when record shapes change incompatibly; bench_report.py validates
 /// against this.
-inline constexpr int kManifestSchemaVersion = 1;
+inline constexpr int kManifestSchemaVersion = 2;
 
 /// The `git describe --always --dirty` of the built tree, captured at
 /// configure time; "unknown" when built outside a git checkout.

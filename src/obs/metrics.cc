@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -19,6 +20,7 @@ struct MetricsRegistry::Shard {
     std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 (overflow)
     std::uint64_t count = 0;
     double sum = 0.0;
+    double max = 0.0;
   };
 
   std::mutex mu;
@@ -102,6 +104,7 @@ void MetricsRegistry::ObserveHistogram(const std::string& name, double value) {
   cells.bucket_counts[static_cast<std::size_t>(it - info->bounds.begin())]++;
   cells.count++;
   cells.sum += value;
+  if (cells.count == 1 || value > cells.max) cells.max = value;
 }
 
 Snapshot MetricsRegistry::Read() const {
@@ -123,9 +126,36 @@ Snapshot MetricsRegistry::Read() const {
       }
       merged.count += cells.count;
       merged.sum += cells.sum;
+      if (cells.count > 0 && cells.max > merged.max) merged.max = cells.max;
     }
   }
   return out;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    cumulative += bucket_counts[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      if (i >= bounds.size()) return max;  // overflow bucket
+      return std::min(bounds[i], max);
+    }
+  }
+  return max;
+}
+
+std::vector<double> Log2Bounds(int lo_exp, int hi_exp) {
+  CYCLESTREAM_CHECK(lo_exp <= hi_exp);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(hi_exp - lo_exp) + 1);
+  for (int e = lo_exp; e <= hi_exp; ++e) {
+    bounds.push_back(std::ldexp(1.0, e));
+  }
+  return bounds;
 }
 
 void Counter::Increment(std::uint64_t delta) {
@@ -155,6 +185,9 @@ Json Snapshot::ToJson() const {
     Json entry = Json::Object();
     entry.Set("count", Json(h.count));
     entry.Set("sum", Json(h.sum));
+    entry.Set("max", Json(h.max));
+    entry.Set("p50", Json(h.Quantile(0.50)));
+    entry.Set("p95", Json(h.Quantile(0.95)));
     entry.Set("buckets", std::move(buckets));
     histograms_json.Set(name, std::move(entry));
   }

@@ -72,7 +72,18 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> bucket_counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Largest observed value (exact, not bucket-resolved; 0 when empty).
+  double max = 0.0;
+
+  /// Bucket-resolution quantile estimate for q in [0, 1]: the upper bound
+  /// of the first bucket whose cumulative count reaches q * count, capped
+  /// at `max` (the overflow bucket resolves to `max`). 0 when empty.
+  double Quantile(double q) const;
 };
+
+/// Upper bounds 2^lo_exp, 2^(lo_exp+1), ..., 2^hi_exp — the standard
+/// bucket layout for byte-size and count histograms here.
+std::vector<double> Log2Bounds(int lo_exp, int hi_exp);
 
 /// Merged view of the whole registry; maps are name-sorted so serialized
 /// output is deterministic.
@@ -81,7 +92,7 @@ struct Snapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// {"counters":{name:value,...},
-  ///  "histograms":{name:{"count":..,"sum":..,
+  ///  "histograms":{name:{"count":..,"sum":..,"max":..,"p50":..,"p95":..,
   ///                      "buckets":[{"le":bound|null,"count":..},...]}}}
   Json ToJson() const;
 };

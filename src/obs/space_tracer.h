@@ -1,11 +1,13 @@
-// SpaceTracer: records an algorithm's `CurrentSpaceBytes()` over the
-// course of a multi-pass run into per-pass timelines.
+// SpaceTracer: records an algorithm's space over the course of a
+// multi-pass run into per-pass timelines — both the self-reported
+// `CurrentSpaceBytes()` and, when the algorithm exposes a memory domain,
+// the allocator-measured live bytes.
 //
 // The stream driver (see `stream/driver.h`) owns the sampling points: it
 // calls `Sample()` at every adjacency-list boundary (the model's natural
 // measurement granularity), optionally mid-list every `pair_stride` pairs
 // for long lists, and once more at each pass end so the timeline maximum
-// equals `RunReport::peak_space_bytes` exactly. The tracer itself is a
+// equals `RunReport::reported_peak_bytes` exactly. The tracer itself is a
 // passive container — single-writer, no locking — so only one trial per
 // run should carry one (bench_util traces trial 0).
 
@@ -21,10 +23,13 @@
 namespace cyclestream {
 namespace obs {
 
-/// One sample: space in bytes after `pairs_processed` pairs of the pass.
+/// One sample after `pairs_processed` pairs of the pass: self-reported
+/// space plus allocator-audited live bytes (0 when the algorithm has no
+/// memory domain).
 struct SpacePoint {
   std::uint64_t pairs_processed = 0;
-  std::uint64_t space_bytes = 0;
+  std::uint64_t reported_bytes = 0;
+  std::uint64_t audited_bytes = 0;
 };
 
 /// All samples taken during one pass, in stream order.
@@ -32,10 +37,18 @@ struct SpaceTimeline {
   std::size_t pass = 0;
   std::vector<SpacePoint> points;
 
-  std::uint64_t MaxSpaceBytes() const {
+  std::uint64_t MaxReportedBytes() const {
     std::uint64_t max = 0;
     for (const SpacePoint& p : points) {
-      if (p.space_bytes > max) max = p.space_bytes;
+      if (p.reported_bytes > max) max = p.reported_bytes;
+    }
+    return max;
+  }
+
+  std::uint64_t MaxAuditedBytes() const {
+    std::uint64_t max = 0;
+    for (const SpacePoint& p : points) {
+      if (p.audited_bytes > max) max = p.audited_bytes;
     }
     return max;
   }
@@ -56,29 +69,44 @@ class SpaceTracer {
     timelines_.push_back(SpaceTimeline{pass, {}});
   }
 
-  /// Records one (pairs_processed, space) point for the current pass.
-  void Sample(std::uint64_t pairs_processed, std::uint64_t space_bytes) {
+  /// Records one (pairs_processed, reported, audited) point for the
+  /// current pass.
+  void Sample(std::uint64_t pairs_processed, std::uint64_t reported_bytes,
+              std::uint64_t audited_bytes = 0) {
     if (timelines_.empty()) return;  // driver always BeginPass()es first
-    timelines_.back().points.push_back(SpacePoint{pairs_processed, space_bytes});
+    timelines_.back().points.push_back(
+        SpacePoint{pairs_processed, reported_bytes, audited_bytes});
   }
 
   /// Results ----------------------------------------------------------
 
   const std::vector<SpaceTimeline>& timelines() const { return timelines_; }
 
-  /// Max space over every pass; equals RunReport::peak_space_bytes for
-  /// the run the driver traced (tested in obs_test).
-  std::uint64_t MaxSpaceBytes() const {
+  /// Max self-reported space over every pass; equals
+  /// RunReport::reported_peak_bytes for the run the driver traced
+  /// (tested in obs_test).
+  std::uint64_t MaxReportedBytes() const {
     std::uint64_t max = 0;
     for (const SpaceTimeline& t : timelines_) {
-      const std::uint64_t pass_max = t.MaxSpaceBytes();
+      const std::uint64_t pass_max = t.MaxReportedBytes();
       if (pass_max > max) max = pass_max;
     }
     return max;
   }
 
-  /// [{"pass":0,"points":[[pairs,bytes],...]},...] — points as 2-arrays
-  /// to keep long timelines compact in JSONL.
+  /// Max allocator-audited live bytes over every pass (0 for unaudited
+  /// algorithms); equals RunReport::audited_peak_bytes when traced.
+  std::uint64_t MaxAuditedBytes() const {
+    std::uint64_t max = 0;
+    for (const SpaceTimeline& t : timelines_) {
+      const std::uint64_t pass_max = t.MaxAuditedBytes();
+      if (pass_max > max) max = pass_max;
+    }
+    return max;
+  }
+
+  /// [{"pass":0,"points":[[pairs,reported,audited],...]},...] — points as
+  /// 3-arrays to keep long timelines compact in JSONL.
   Json ToJson() const {
     Json passes = Json::Array();
     for (const SpaceTimeline& t : timelines_) {
@@ -86,7 +114,8 @@ class SpaceTracer {
       for (const SpacePoint& p : t.points) {
         Json point = Json::Array();
         point.Push(Json(p.pairs_processed));
-        point.Push(Json(p.space_bytes));
+        point.Push(Json(p.reported_bytes));
+        point.Push(Json(p.audited_bytes));
         points.Push(std::move(point));
       }
       Json pass = Json::Object();

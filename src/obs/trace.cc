@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace cyclestream {
+namespace obs {
+
+TraceSession::TraceSession() : origin_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceSession::NowNs() const {
+  const auto delta = std::chrono::steady_clock::now() - origin_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+std::uint32_t TraceSession::ThreadLane() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t lane = next.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  return lane;
+}
+
+void TraceSession::EmitComplete(std::string name, std::string category,
+                                std::uint64_t start_ns, std::uint64_t end_ns,
+                                Json args) {
+  Event event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start_ns = start_ns;
+  event.end_ns = end_ns >= start_ns ? end_ns : start_ns;
+  event.tid = ThreadLane();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::SetProcessName(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
+}
+
+void TraceSession::Span::SetArg(std::string_view key, Json value) {
+  if (session_ == nullptr) return;
+  if (args_.kind() != Json::Kind::kObject) args_ = Json::Object();
+  args_.Set(std::string(key), std::move(value));
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Json TraceSession::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json trace_events = Json::Array();
+  if (!process_name_.empty()) {
+    Json args = Json::Object();
+    args.Set("name", Json(process_name_));
+    Json meta = Json::Object();
+    meta.Set("name", Json("process_name"));
+    meta.Set("ph", Json("M"));
+    meta.Set("pid", Json(1));
+    meta.Set("tid", Json(0));
+    meta.Set("args", std::move(args));
+    trace_events.Push(std::move(meta));
+  }
+  for (const Event& event : events_) {
+    Json row = Json::Object();
+    row.Set("name", Json(event.name));
+    row.Set("cat", Json(event.category));
+    row.Set("ph", Json("X"));
+    // Trace-event timestamps are microseconds; fractional values keep
+    // nanosecond resolution.
+    row.Set("ts", Json(static_cast<double>(event.start_ns) / 1000.0));
+    row.Set("dur",
+            Json(static_cast<double>(event.end_ns - event.start_ns) / 1000.0));
+    row.Set("pid", Json(1));
+    row.Set("tid", Json(event.tid));
+    if (event.args.kind() == Json::Kind::kObject) {
+      row.Set("args", event.args);
+    }
+    trace_events.Push(std::move(row));
+  }
+  Json out = Json::Object();
+  out.Set("traceEvents", std::move(trace_events));
+  out.Set("displayTimeUnit", Json("ms"));
+  return out;
+}
+
+Status TraceSession::WriteTo(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound("trace: cannot open '" + path + "' for writing");
+  }
+  const std::string text = ToJson().Dump();
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace cyclestream

@@ -1,0 +1,148 @@
+// Chrome trace-event recording: scoped execution spans written as a
+// trace-event JSON file loadable in Perfetto / chrome://tracing.
+//
+// A TraceSession collects "complete" events (ph:"X") — name, category,
+// start, duration, per-thread lane — under a mutex, so spans can be opened
+// from bench mainline, driver sinks, and ThreadPool workers concurrently.
+// Timestamps come from one steady_clock origin captured at session
+// construction; thread lanes are small dense ids handed out on first use
+// per thread, so traces stay readable regardless of OS thread ids.
+//
+// Span taxonomy (categories):
+//   pass     — one streaming pass of one algorithm (driver MeteredSink)
+//   list     — a strided window of adjacency lists within a pass
+//   validate — validator work on one list batch (ValidatedSink)
+//   trial    — one trial body on a ThreadPool worker (runtime)
+//   bench    — a bench phase (setup, batch label, report emission)
+//
+// All recording is skipped when callers hold a null session pointer — the
+// driver/runtime hooks cost one pointer test when tracing is off.
+
+#ifndef CYCLESTREAM_OBS_TRACE_H_
+#define CYCLESTREAM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace cyclestream {
+namespace obs {
+
+/// Collects complete-span trace events and serializes them as Chrome
+/// trace-event JSON. Thread-safe; spans may be recorded from any thread.
+class TraceSession {
+ public:
+  TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Nanoseconds since session construction (monotonic).
+  std::uint64_t NowNs() const;
+
+  /// Records one complete event covering [start_ns, end_ns] on the calling
+  /// thread's lane. `args` becomes the event's "args" object (pass a
+  /// default-constructed Json for none).
+  void EmitComplete(std::string name, std::string category,
+                    std::uint64_t start_ns, std::uint64_t end_ns,
+                    Json args = Json());
+
+  /// Names the process in trace viewers (emitted as a metadata event).
+  void SetProcessName(std::string name);
+
+  /// RAII span: records an EmitComplete from construction to End() (or
+  /// destruction). Move-only; a moved-from span records nothing.
+  class Span {
+   public:
+    Span() = default;
+    Span(TraceSession* session, std::string name, std::string category)
+        : session_(session),
+          name_(std::move(name)),
+          category_(std::move(category)),
+          start_ns_(session != nullptr ? session->NowNs() : 0) {}
+    Span(Span&& other) noexcept
+        : session_(other.session_),
+          name_(std::move(other.name_)),
+          category_(std::move(other.category_)),
+          start_ns_(other.start_ns_),
+          args_(std::move(other.args_)) {
+      other.session_ = nullptr;
+    }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        End();
+        session_ = other.session_;
+        name_ = std::move(other.name_);
+        category_ = std::move(other.category_);
+        start_ns_ = other.start_ns_;
+        args_ = std::move(other.args_);
+        other.session_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    /// Attaches/overwrites one argument shown on the event in the viewer.
+    void SetArg(std::string_view key, Json value);
+
+    /// Ends the span now; further End() calls are no-ops.
+    void End() {
+      if (session_ == nullptr) return;
+      session_->EmitComplete(std::move(name_), std::move(category_),
+                             start_ns_, session_->NowNs(), std::move(args_));
+      session_ = nullptr;
+    }
+
+   private:
+    TraceSession* session_ = nullptr;
+    std::string name_;
+    std::string category_;
+    std::uint64_t start_ns_ = 0;
+    Json args_;
+  };
+
+  /// Opens a span on `session`, which may be null (then the span is inert).
+  static Span Begin(TraceSession* session, std::string name,
+                    std::string category) {
+    return Span(session, std::move(name), std::move(category));
+  }
+
+  std::size_t event_count() const;
+
+  /// The full trace as a Chrome trace-event JSON object:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} with ph:"X" complete
+  /// events (ts/dur in microseconds) plus a process_name metadata event.
+  Json ToJson() const;
+
+  /// Serializes ToJson() to `path`. NotFound-style Status when the file
+  /// cannot be opened.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint32_t tid = 0;
+    Json args;
+  };
+
+  static std::uint32_t ThreadLane();
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::string process_name_;
+  std::vector<Event> events_;
+};
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_TRACE_H_

@@ -33,7 +33,7 @@ int TrialRunner::num_threads() const {
 
 std::vector<TrialResult> TrialRunner::Run(
     std::size_t num_trials, std::uint64_t base_seed, const TrialFn& fn,
-    std::vector<TrialTiming>* timings) const {
+    std::vector<TrialTiming>* timings, obs::TraceSession* spans) const {
   if (timings != nullptr) {
     timings->assign(num_trials, TrialTiming{});
   }
@@ -44,9 +44,16 @@ std::vector<TrialResult> TrialRunner::Run(
   const bool inline_run = pool_ == nullptr || num_trials <= 1;
   return Map<TrialResult>(
       num_trials, base_seed,
-      [&fn, timings, submit, inline_run](std::size_t i, std::uint64_t seed) {
+      [&fn, timings, submit, inline_run, spans](std::size_t i,
+                                                std::uint64_t seed) {
+        obs::TraceSession::Span span;
+        if (spans != nullptr) {
+          span = obs::TraceSession::Begin(
+              spans, "trial " + std::to_string(i), "trial");
+        }
         const auto start = std::chrono::steady_clock::now();
         TrialResult result = fn(i, seed);
+        span.End();
         if (timings != nullptr) {
           // Slot i is owned by trial i (pre-sized above), so no locking.
           TrialTiming& t = (*timings)[i];
@@ -78,11 +85,28 @@ std::vector<double> TrialRunner::AuxEstimates(
   return out;
 }
 
-std::size_t TrialRunner::MaxPeakSpace(const std::vector<TrialResult>& results) {
+std::size_t TrialRunner::MaxReportedPeak(
+    const std::vector<TrialResult>& results) {
   std::size_t peak = 0;
   for (const TrialResult& r : results)
-    peak = std::max(peak, r.peak_space_bytes);
+    peak = std::max(peak, r.reported_peak_bytes);
   return peak;
+}
+
+std::size_t TrialRunner::MaxAuditedPeak(
+    const std::vector<TrialResult>& results) {
+  std::size_t peak = 0;
+  for (const TrialResult& r : results)
+    peak = std::max(peak, r.audited_peak_bytes);
+  return peak;
+}
+
+std::size_t TrialRunner::MaxDivergence(
+    const std::vector<TrialResult>& results) {
+  std::size_t max = 0;
+  for (const TrialResult& r : results)
+    max = std::max(max, r.max_divergence_bytes);
+  return max;
 }
 
 double TrialRunner::TotalWallSeconds(const std::vector<TrialTiming>& timings) {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace cyclestream {
@@ -47,7 +48,13 @@ std::uint64_t TrialSeed(std::uint64_t base_seed, std::size_t trial_index);
 struct TrialResult {
   double estimate = 0.0;
   double aux = 0.0;
-  std::size_t peak_space_bytes = 0;
+  /// Peak self-reported CurrentSpaceBytes() of the trial's run.
+  std::size_t reported_peak_bytes = 0;
+  /// Peak allocator-measured live bytes (0 when the trial's algorithm
+  /// exposes no memory domain, or for amplified runs — see core/median.h).
+  std::size_t audited_peak_bytes = 0;
+  /// Largest |audited - reported| over the trial's space samples.
+  std::size_t max_divergence_bytes = 0;
 };
 
 /// Scheduling-dependent observations about one trial, collected by the
@@ -85,10 +92,13 @@ class TrialRunner {
   /// Runs `fn(i, TrialSeed(base_seed, i))` for i in [0, num_trials) and
   /// returns the results in trial order. If `timings` is non-null it is
   /// resized to num_trials and timings[i] receives trial i's wall time and
-  /// queue wait; the results themselves are identical either way.
+  /// queue wait; if `spans` is non-null every trial body is wrapped in a
+  /// "trial" execution span on its worker's lane. The results themselves
+  /// are identical either way.
   std::vector<TrialResult> Run(std::size_t num_trials, std::uint64_t base_seed,
                                const TrialFn& fn,
-                               std::vector<TrialTiming>* timings = nullptr) const;
+                               std::vector<TrialTiming>* timings = nullptr,
+                               obs::TraceSession* spans = nullptr) const;
 
   /// Generic deterministic map: out[i] = fn(i, TrialSeed(base_seed, i)).
   /// `R` must be default-constructible and move-assignable. Exceptions from
@@ -115,7 +125,9 @@ class TrialRunner {
   static std::vector<double> Estimates(const std::vector<TrialResult>& results);
   static std::vector<double> AuxEstimates(
       const std::vector<TrialResult>& results);
-  static std::size_t MaxPeakSpace(const std::vector<TrialResult>& results);
+  static std::size_t MaxReportedPeak(const std::vector<TrialResult>& results);
+  static std::size_t MaxAuditedPeak(const std::vector<TrialResult>& results);
+  static std::size_t MaxDivergence(const std::vector<TrialResult>& results);
   static double TotalWallSeconds(const std::vector<TrialTiming>& timings);
   static double TotalQueueWaitSeconds(const std::vector<TrialTiming>& timings);
 

@@ -22,11 +22,13 @@
 #define CYCLESTREAM_SAMPLING_BOTTOM_K_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "obs/accounting.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -45,9 +47,17 @@ template <typename Payload>
 class BottomKSampler {
  public:
   /// `capacity` is k (must be positive); `hash_seed` fixes the priority
-  /// function, and therefore the sample, for a given key sequence.
-  BottomKSampler(std::size_t capacity, std::uint64_t hash_seed)
-      : capacity_(capacity), hash_(hash_seed) {
+  /// function, and therefore the sample, for a given key sequence. When
+  /// `domain` is non-null the map and heap charge their heap bytes to it
+  /// (accounting never changes sampling behaviour or iteration order).
+  BottomKSampler(std::size_t capacity, std::uint64_t hash_seed,
+                 obs::MemoryDomain* domain = nullptr)
+      : capacity_(capacity),
+        hash_(hash_seed),
+        domain_(domain),
+        members_(0, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
+                 MapAlloc(domain)),
+        heap_(std::less<HeapEntry>(), HeapVec(HeapAlloc(domain))) {
     CYCLESTREAM_CHECK_GT(capacity, 0u);
     members_.reserve(capacity + 1);
   }
@@ -145,18 +155,28 @@ class BottomKSampler {
         heap_.size() <= 2 * members_.size()) {
       return;
     }
-    std::vector<HeapEntry> live;
+    HeapVec live{HeapAlloc(domain_)};
     live.reserve(members_.size());
     for (const auto& [key, payload] : members_) {
       live.push_back({PriorityOf(key), key});
     }
-    heap_ = std::priority_queue<HeapEntry>(live.begin(), live.end());
+    heap_ = Heap(std::less<HeapEntry>(), std::move(live));
   }
+
+  using MapAlloc =
+      obs::AccountedAllocator<std::pair<const std::uint64_t, Payload>>;
+  using Map = std::unordered_map<std::uint64_t, Payload,
+                                 std::hash<std::uint64_t>,
+                                 std::equal_to<std::uint64_t>, MapAlloc>;
+  using HeapAlloc = obs::AccountedAllocator<HeapEntry>;
+  using HeapVec = std::vector<HeapEntry, HeapAlloc>;
+  using Heap = std::priority_queue<HeapEntry, HeapVec>;
 
   std::size_t capacity_;
   SeededHash hash_;
-  std::unordered_map<std::uint64_t, Payload> members_;
-  std::priority_queue<HeapEntry> heap_;
+  obs::MemoryDomain* domain_;
+  Map members_;
+  Heap heap_;
 };
 
 }  // namespace sampling

@@ -19,6 +19,7 @@
 #include <span>
 
 #include "graph/types.h"
+#include "obs/accounting.h"
 
 namespace cyclestream {
 namespace stream {
@@ -66,6 +67,12 @@ class StreamAlgorithm {
 
   /// Live working-state footprint in bytes (see file comment).
   virtual std::size_t CurrentSpaceBytes() const = 0;
+
+  /// Accounting domain covering this algorithm's containers, or nullptr when
+  /// the algorithm does not audit its allocations. When non-null the driver
+  /// samples `memory_domain()->live_bytes()` alongside CurrentSpaceBytes()
+  /// at every list boundary and reports both (plus their max divergence).
+  virtual const obs::MemoryDomain* memory_domain() const { return nullptr; }
 };
 
 }  // namespace stream

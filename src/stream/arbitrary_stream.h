@@ -20,6 +20,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/accounting.h"
 #include "util/check.h"
 
 namespace cyclestream {
@@ -48,6 +49,9 @@ class EdgeStreamAlgorithm {
   }
   virtual void EndPass(int pass) { (void)pass; }
   virtual std::size_t CurrentSpaceBytes() const = 0;
+  /// Accounting domain for this algorithm's containers (nullptr = unaudited);
+  /// same contract as StreamAlgorithm::memory_domain().
+  virtual const obs::MemoryDomain* memory_domain() const { return nullptr; }
 };
 
 /// A graph materialized as a replayable arbitrary-order edge stream.
@@ -83,7 +87,12 @@ class ArbitraryOrderStream {
 /// Run report mirroring stream::RunReport for edge streams. There is no
 /// strict mode here, so `passes` is both requested and completed.
 struct EdgeRunReport {
-  std::size_t peak_space_bytes = 0;
+  /// Peak of the algorithm's self-reported CurrentSpaceBytes().
+  std::size_t reported_peak_bytes = 0;
+  /// Peak of allocator-measured live bytes (0 when memory_domain() is null).
+  std::size_t audited_peak_bytes = 0;
+  /// Largest |audited - reported| over all samples (0 when unaudited).
+  std::size_t max_divergence_bytes = 0;
   std::size_t edges_processed = 0;
   int passes = 0;
 };
@@ -106,11 +115,22 @@ EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
   struct Sink {
     AlgoT* algo;
     EdgeRunReport* report;
+    const obs::MemoryDomain* domain;
     void OnEdge(VertexId u, VertexId v) {
       algo->OnEdge(u, v);
       ++report->edges_processed;
-      report->peak_space_bytes =
-          std::max(report->peak_space_bytes, algo->CurrentSpaceBytes());
+      const std::size_t reported = algo->CurrentSpaceBytes();
+      report->reported_peak_bytes =
+          std::max(report->reported_peak_bytes, reported);
+      if (domain != nullptr) {
+        const std::size_t audited = domain->live_bytes();
+        report->audited_peak_bytes =
+            std::max(report->audited_peak_bytes, audited);
+        const std::size_t divergence =
+            audited > reported ? audited - reported : reported - audited;
+        report->max_divergence_bytes =
+            std::max(report->max_divergence_bytes, divergence);
+      }
     }
     void OnEdgeBatch(std::span<const Edge> edges) {
       // Per-edge space sampling is the report's contract; the batch entry
@@ -118,7 +138,7 @@ EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
       for (const Edge& e : edges) OnEdge(e.u, e.v);
     }
   };
-  Sink sink{algorithm, &report};
+  Sink sink{algorithm, &report, algorithm->memory_domain()};
   for (int pass = 0; pass < report.passes; ++pass) {
     algorithm->BeginPass(pass);
     stream.ReplayPass(sink);

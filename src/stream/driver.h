@@ -28,13 +28,23 @@
 // (`pair_stride != 0`), the sink falls back to per-pair delivery so every
 // stride sample fires at exactly the same pair count with the same value.
 //
+// Space audit: every space sample reads two quantities — the algorithm's
+// self-reported `CurrentSpaceBytes()` and, when `memory_domain()` is
+// non-null, the allocator-measured live bytes of the algorithm's
+// containers. The report carries both peaks plus the largest divergence
+// observed at any sample, so self-reporting bugs show up as a number
+// rather than staying invisible (tests/space_audit_test.cc pins the
+// allowed slack per estimator).
+//
 // Observability: both drivers take an optional `TraceOptions`. A
-// `SpaceTracer` receives the same space samples the report's peak is
+// `SpaceTracer` receives the same space samples the report's peaks are
 // computed from (plus optional mid-list samples every `pair_stride`
-// pairs), so the tracer's timeline max equals `peak_space_bytes` exactly;
-// a `MetricsRegistry` receives driver/validator counters at the end of
-// the run. Tracing never touches the algorithm's inputs, so traced and
-// untraced runs produce bit-identical estimates.
+// pairs), so the tracer's timeline max equals `reported_peak_bytes`
+// exactly; a `MetricsRegistry` receives driver/validator counters at the
+// end of the run; a `TraceSession` receives pass/list/validate execution
+// spans (Chrome trace-event format). Tracing never touches the
+// algorithm's inputs, so traced and untraced runs produce bit-identical
+// estimates.
 
 #ifndef CYCLESTREAM_STREAM_DRIVER_H_
 #define CYCLESTREAM_STREAM_DRIVER_H_
@@ -42,11 +52,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
+#include "obs/trace.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
 #include "stream/validator.h"
@@ -59,7 +71,10 @@ namespace stream {
 /// Space/throughput of one pass (RunReport::per_pass).
 struct PassReport {
   /// Peak of CurrentSpaceBytes() within this pass.
-  std::size_t peak_space_bytes = 0;
+  std::size_t reported_peak_bytes = 0;
+  /// Peak of allocator-measured live bytes within this pass (0 when the
+  /// algorithm exposes no memory domain).
+  std::size_t audited_peak_bytes = 0;
   /// Pairs delivered in this pass.
   std::size_t pairs_processed = 0;
 };
@@ -68,7 +83,12 @@ struct PassReport {
 struct RunReport {
   /// Peak of CurrentSpaceBytes() sampled at every list boundary and at pass
   /// boundaries, across all passes.
-  std::size_t peak_space_bytes = 0;
+  std::size_t reported_peak_bytes = 0;
+  /// Peak of allocator-measured live bytes at the same sample points
+  /// (0 when the algorithm exposes no memory domain).
+  std::size_t audited_peak_bytes = 0;
+  /// Largest |audited - reported| over all samples (0 when unaudited).
+  std::size_t max_divergence_bytes = 0;
   /// Total pairs delivered across all passes.
   std::size_t pairs_processed = 0;
   /// The algorithm's passes() at launch — the pass count the driver set out
@@ -91,6 +111,14 @@ struct TraceOptions {
   /// If set, receives "driver.*" counters (and, for checked runs,
   /// "validator.*") when the run finishes.
   obs::MetricsRegistry* metrics = nullptr;
+  /// If set, receives execution spans: one "pass" span per pass, one
+  /// strided "list" span per `list_span_stride` adjacency lists, and (in
+  /// checked runs) a strided "validate" span timing the validator's work
+  /// on one list per stride window.
+  obs::TraceSession* spans = nullptr;
+  /// Lists per "list" span; 1 = a span per list (hot — use on small
+  /// streams only).
+  std::size_t list_span_stride = 1024;
 };
 
 namespace internal {
@@ -105,18 +133,34 @@ class MeteredSink {
 
  public:
   MeteredSink(AlgoT* algorithm, RunReport* report,
-              obs::SpaceTracer* tracer = nullptr)
+              const TraceOptions& trace = {})
       : algorithm_(algorithm),
         report_(report),
-        tracer_(tracer),
-        pair_stride_(tracer != nullptr ? tracer->pair_stride() : 0) {}
+        domain_(algorithm->memory_domain()),
+        tracer_(trace.tracer),
+        spans_(trace.spans),
+        list_span_stride_(std::max<std::size_t>(trace.list_span_stride, 1)),
+        pair_stride_(trace.tracer != nullptr ? trace.tracer->pair_stride()
+                                             : 0) {}
 
   void BeginPass(int pass) {
     report_->per_pass.emplace_back();
     if (tracer_ != nullptr) tracer_->BeginPass(static_cast<std::size_t>(pass));
+    if (spans_ != nullptr) {
+      pass_span_ = obs::TraceSession::Begin(
+          spans_, "pass " + std::to_string(pass), "pass");
+      lists_in_window_ = 0;
+      window_start_vertex_ = 0;
+    }
   }
 
-  void BeginList(VertexId u) { algorithm_->BeginList(u); }
+  void BeginList(VertexId u) {
+    if (spans_ != nullptr && lists_in_window_ == 0) {
+      window_start_vertex_ = u;
+      list_span_ = obs::TraceSession::Begin(spans_, "lists", "list");
+    }
+    algorithm_->BeginList(u);
+  }
 
   void OnPair(VertexId u, VertexId v) {
     algorithm_->OnPair(u, v);
@@ -129,7 +173,8 @@ class MeteredSink {
       // CurrentSpaceBytes() mid-list is <= the boundary value for every
       // algorithm here, so the timeline max is unaffected.
       tracer_->Sample(report_->per_pass.back().pairs_processed,
-                      algorithm_->CurrentSpaceBytes());
+                      algorithm_->CurrentSpaceBytes(),
+                      domain_ != nullptr ? domain_->live_bytes() : 0);
     }
   }
 
@@ -149,23 +194,64 @@ class MeteredSink {
   void EndList(VertexId u) {
     algorithm_->EndList(u);
     SampleSpace();
+    if (spans_ != nullptr && ++lists_in_window_ >= list_span_stride_) {
+      CloseListSpan(u);
+    }
   }
 
-  void EndPass() { SampleSpace(); }
+  void EndPass() {
+    SampleSpace();
+    if (spans_ != nullptr) {
+      if (lists_in_window_ != 0) CloseListSpan(window_start_vertex_);
+      pass_span_.SetArg(
+          "pairs_processed",
+          obs::Json(report_->per_pass.back().pairs_processed));
+      pass_span_.End();
+    }
+  }
 
  private:
   void SampleSpace() {
-    const std::size_t space = algorithm_->CurrentSpaceBytes();
+    const std::size_t reported = algorithm_->CurrentSpaceBytes();
     PassReport& pass = report_->per_pass.back();
-    pass.peak_space_bytes = std::max(pass.peak_space_bytes, space);
-    report_->peak_space_bytes = std::max(report_->peak_space_bytes, space);
-    if (tracer_ != nullptr) tracer_->Sample(pass.pairs_processed, space);
+    pass.reported_peak_bytes = std::max(pass.reported_peak_bytes, reported);
+    report_->reported_peak_bytes =
+        std::max(report_->reported_peak_bytes, reported);
+    std::size_t audited = 0;
+    if (domain_ != nullptr) {
+      audited = domain_->live_bytes();
+      pass.audited_peak_bytes = std::max(pass.audited_peak_bytes, audited);
+      report_->audited_peak_bytes =
+          std::max(report_->audited_peak_bytes, audited);
+      const std::size_t divergence =
+          audited > reported ? audited - reported : reported - audited;
+      report_->max_divergence_bytes =
+          std::max(report_->max_divergence_bytes, divergence);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Sample(pass.pairs_processed, reported, audited);
+    }
+  }
+
+  void CloseListSpan(VertexId last_vertex) {
+    list_span_.SetArg("first_vertex", obs::Json(window_start_vertex_));
+    list_span_.SetArg("last_vertex", obs::Json(last_vertex));
+    list_span_.SetArg("lists", obs::Json(lists_in_window_));
+    list_span_.End();
+    lists_in_window_ = 0;
   }
 
   AlgoT* algorithm_;
   RunReport* report_;
+  const obs::MemoryDomain* domain_;
   obs::SpaceTracer* tracer_;
+  obs::TraceSession* spans_;
+  std::size_t list_span_stride_;
   std::size_t pair_stride_;
+  obs::TraceSession::Span pass_span_;
+  obs::TraceSession::Span list_span_;
+  std::size_t lists_in_window_ = 0;
+  VertexId window_start_vertex_ = 0;
 };
 
 // MeteredSink with a validator in front: the validator sees every event
@@ -175,11 +261,16 @@ template <typename AlgoT = StreamAlgorithm>
 class ValidatedSink {
  public:
   ValidatedSink(AlgoT* algorithm, RunReport* report,
-                StreamValidator* validator,
-                obs::SpaceTracer* tracer = nullptr)
-      : inner_(algorithm, report, tracer), validator_(validator) {}
+                StreamValidator* validator, const TraceOptions& trace = {})
+      : inner_(algorithm, report, trace),
+        validator_(validator),
+        spans_(trace.spans),
+        list_span_stride_(std::max<std::size_t>(trace.list_span_stride, 1)) {}
 
-  void BeginPass(int pass) { inner_.BeginPass(pass); }
+  void BeginPass(int pass) {
+    inner_.BeginPass(pass);
+    lists_in_window_ = 0;
+  }
 
   void BeginList(VertexId u) {
     validator_->BeginList(u);
@@ -196,7 +287,18 @@ class ValidatedSink {
     // every violation); its return value is how many leading pairs were
     // consumed while still ok() — exactly the pairs per-pair delivery
     // would have handed to the algorithm.
-    const std::size_t ok_prefix = validator_->OnList(u, list);
+    std::size_t ok_prefix;
+    if (spans_ != nullptr && lists_in_window_ == 0) {
+      auto span = obs::TraceSession::Begin(spans_, "validate", "validate");
+      span.SetArg("vertex", obs::Json(u));
+      span.SetArg("pairs", obs::Json(list.size()));
+      ok_prefix = validator_->OnList(u, list);
+    } else {
+      ok_prefix = validator_->OnList(u, list);
+    }
+    if (spans_ != nullptr && ++lists_in_window_ >= list_span_stride_) {
+      lists_in_window_ = 0;
+    }
     if (ok_prefix == list.size()) {
       inner_.OnList(u, list);
     } else {
@@ -214,6 +316,9 @@ class ValidatedSink {
  private:
   MeteredSink<AlgoT> inner_;
   StreamValidator* validator_;
+  obs::TraceSession* spans_;
+  std::size_t list_span_stride_;
+  std::size_t lists_in_window_ = 0;
 };
 
 // FaultInjectingStream keeps a pass cursor; rewind it so a driver call
@@ -254,7 +359,7 @@ RunReport RunPasses(const StreamT& stream, AlgoT* algorithm,
   RunReport report;
   report.passes_requested = algorithm->passes();
   CYCLESTREAM_CHECK_GE(report.passes_requested, 1);
-  internal::MeteredSink<AlgoT> sink(algorithm, &report, trace.tracer);
+  internal::MeteredSink<AlgoT> sink(algorithm, &report, trace);
   for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     algorithm->BeginPass(pass);
@@ -285,8 +390,7 @@ StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
   report.passes_requested = algorithm->passes();
   CYCLESTREAM_CHECK_GE(report.passes_requested, 1);
   StreamValidator validator(&stream.graph());
-  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator,
-                                      trace.tracer);
+  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator, trace);
   for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     validator.BeginPass(pass);

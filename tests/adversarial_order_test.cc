@@ -198,7 +198,7 @@ TEST_P(AdversarialOrderTest, CheckedDriverMatchesTrustedDriverUnderAnyOrder) {
     ASSERT_TRUE(checked_report.ok()) << checked_report.status().ToString();
     EXPECT_DOUBLE_EQ(checked.Estimate(), trusted.Estimate()) << OrderName(o);
     EXPECT_EQ(checked_report->pairs_processed, report.pairs_processed);
-    EXPECT_EQ(checked_report->peak_space_bytes, report.peak_space_bytes);
+    EXPECT_EQ(checked_report->reported_peak_bytes, report.reported_peak_bytes);
   }
 }
 

@@ -1,6 +1,6 @@
 // The tentpole invariant of the batched substrate: for every estimator,
 // batched (OnListBatch) and per-pair (OnPair) delivery are bit-identical —
-// same estimate, same peak_space_bytes, same per-pass reports — on every
+// same estimate, same reported_peak_bytes, same per-pass reports — on every
 // generator family. PairwiseOnly<> provides the reference per-pair replay
 // of the exact same stream object. A second group proves the validator's
 // span path: violation kinds, positions, counters, and the delivered
@@ -66,13 +66,13 @@ void ExpectDeliveryIdentical(const stream::AdjacencyListStream& s,
   stream::RunReport pair_report = stream::RunPasses(pairwise, paired.get());
 
   EXPECT_EQ(extract(*batched), extract(*paired));
-  EXPECT_EQ(batch_report.peak_space_bytes, pair_report.peak_space_bytes);
+  EXPECT_EQ(batch_report.reported_peak_bytes, pair_report.reported_peak_bytes);
   EXPECT_EQ(batch_report.pairs_processed, pair_report.pairs_processed);
   EXPECT_EQ(batch_report.passes_requested, pair_report.passes_requested);
   ASSERT_EQ(batch_report.per_pass.size(), pair_report.per_pass.size());
   for (std::size_t p = 0; p < batch_report.per_pass.size(); ++p) {
-    EXPECT_EQ(batch_report.per_pass[p].peak_space_bytes,
-              pair_report.per_pass[p].peak_space_bytes);
+    EXPECT_EQ(batch_report.per_pass[p].reported_peak_bytes,
+              pair_report.per_pass[p].reported_peak_bytes);
     EXPECT_EQ(batch_report.per_pass[p].pairs_processed,
               pair_report.per_pass[p].pairs_processed);
   }

@@ -53,8 +53,8 @@ TEST(ExactStream, SpaceIsLinearInEdges) {
   ExactStreamTriangleCounter counter;
   auto report = RunOn(g, &counter, 2);
   // Θ(m) state: at least 9 bytes per edge (key + state), under ~64.
-  EXPECT_GE(report.peak_space_bytes, 9 * g.num_edges());
-  EXPECT_LE(report.peak_space_bytes, 64 * g.num_edges());
+  EXPECT_GE(report.reported_peak_bytes, 9 * g.num_edges());
+  EXPECT_LE(report.reported_peak_bytes, 64 * g.num_edges());
 }
 
 }  // namespace

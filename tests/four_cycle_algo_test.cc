@@ -129,7 +129,7 @@ TEST(FourCycleAlgo, SpaceScalesWithSampleSize) {
     options.sample_size = m_prime;
     options.seed = 5;
     TwoPassFourCycleCounter counter(options);
-    return RunOn(g, &counter, 9).peak_space_bytes;
+    return RunOn(g, &counter, 9).reported_peak_bytes;
   };
   std::size_t s1 = peak(100);
   std::size_t s4 = peak(400);

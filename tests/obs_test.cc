@@ -20,6 +20,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
+#include "obs/trace.h"
 #include "runtime/trial_runner.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
@@ -179,11 +180,11 @@ TEST(SpaceTracer, TimelineMaxMatchesReportedPeak) {
   stream::RunReport report =
       stream::RunPasses(s, &counter, stream::TraceOptions{&tracer, nullptr});
   ASSERT_EQ(tracer.timelines().size(), 2u);
-  EXPECT_EQ(tracer.MaxSpaceBytes(), report.peak_space_bytes);
+  EXPECT_EQ(tracer.MaxReportedBytes(), report.reported_peak_bytes);
   // Per-pass timelines agree with the per-pass reports too.
   for (std::size_t p = 0; p < tracer.timelines().size(); ++p) {
-    EXPECT_EQ(tracer.timelines()[p].MaxSpaceBytes(),
-              report.per_pass[p].peak_space_bytes);
+    EXPECT_EQ(tracer.timelines()[p].MaxReportedBytes(),
+              report.per_pass[p].reported_peak_bytes);
     EXPECT_FALSE(tracer.timelines()[p].points.empty());
   }
 }
@@ -204,7 +205,7 @@ TEST(SpaceTracer, MidListStrideAddsPointsWithoutChangingMax) {
   obs::SpaceTracer fine = run(16);
   EXPECT_GT(fine.timelines()[0].points.size(),
             coarse.timelines()[0].points.size());
-  EXPECT_EQ(fine.MaxSpaceBytes(), coarse.MaxSpaceBytes());
+  EXPECT_EQ(fine.MaxReportedBytes(), coarse.MaxReportedBytes());
 }
 
 TEST(Driver, TracedAndUntracedRunsAreBitIdentical) {
@@ -241,10 +242,10 @@ TEST(Driver, PerPassReportsSumToTotals) {
   std::size_t pairs = 0, peak = 0;
   for (const stream::PassReport& p : report.per_pass) {
     pairs += p.pairs_processed;
-    peak = std::max(peak, p.peak_space_bytes);
+    peak = std::max(peak, p.reported_peak_bytes);
   }
   EXPECT_EQ(pairs, report.pairs_processed);
-  EXPECT_EQ(peak, report.peak_space_bytes);
+  EXPECT_EQ(peak, report.reported_peak_bytes);
   // Each pass delivers the full stream.
   for (const stream::PassReport& p : report.per_pass) {
     EXPECT_EQ(p.pairs_processed, 2 * g.num_edges());
@@ -313,7 +314,7 @@ TEST(TrialRunnerTiming, TimingsDoNotPerturbResults) {
   auto fn = [](std::size_t i, std::uint64_t seed) {
     runtime::TrialResult r;
     r.estimate = static_cast<double>(seed >> 8) + static_cast<double>(i);
-    r.peak_space_bytes = static_cast<std::size_t>(seed & 0xfff);
+    r.reported_peak_bytes = static_cast<std::size_t>(seed & 0xfff);
     return r;
   };
   runtime::TrialRunner parallel(4);
@@ -327,7 +328,7 @@ TEST(TrialRunnerTiming, TimingsDoNotPerturbResults) {
   for (std::size_t i = 0; i < with.size(); ++i) {
     EXPECT_EQ(with[i].estimate, without[i].estimate);
     EXPECT_EQ(with[i].estimate, sequential[i].estimate);
-    EXPECT_EQ(with[i].peak_space_bytes, sequential[i].peak_space_bytes);
+    EXPECT_EQ(with[i].reported_peak_bytes, sequential[i].reported_peak_bytes);
   }
   for (const runtime::TrialTiming& t : timings) {
     EXPECT_GE(t.wall_seconds, 0.0);
@@ -390,7 +391,7 @@ TEST(SpaceTracer, ToJsonRoundTrips) {
   obs::SpaceTracer tracer;
   tracer.BeginPass(0);
   tracer.Sample(10, 128);
-  tracer.Sample(20, 256);
+  tracer.Sample(20, 256, 300);
   tracer.BeginPass(1);
   tracer.Sample(10, 64);
   obs::Json j = tracer.ToJson();
@@ -400,7 +401,93 @@ TEST(SpaceTracer, ToJsonRoundTrips) {
   ASSERT_EQ(parsed->size(), 2u);
   EXPECT_EQ(parsed->at(0).Find("pass")->AsUint64(), 0u);
   EXPECT_EQ(parsed->at(0).Find("points")->size(), 2u);
+  // Points are [pairs, reported, audited] triples.
+  ASSERT_EQ(parsed->at(0).Find("points")->at(1).size(), 3u);
   EXPECT_EQ(parsed->at(0).Find("points")->at(1).at(1).AsUint64(), 256u);
+  EXPECT_EQ(parsed->at(0).Find("points")->at(1).at(2).AsUint64(), 300u);
+  EXPECT_EQ(tracer.MaxAuditedBytes(), 300u);
+}
+
+// --------------------------------------------------- Chrome trace file --
+
+TEST(TraceSession, EmitsValidChromeTraceJson) {
+  obs::TraceSession session;
+  session.SetProcessName("obs_test");
+  {
+    auto span = obs::TraceSession::Begin(&session, "outer", "bench");
+    span.SetArg("trials", obs::Json(std::uint64_t{7}));
+    auto inner = obs::TraceSession::Begin(&session, "inner", "pass");
+    inner.End();
+  }  // outer ends on destruction
+  EXPECT_EQ(session.event_count(), 2u);
+
+  obs::Json j = session.ToJson();
+  auto parsed = obs::Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  const obs::Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata event plus the two spans.
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ(events->at(0).Find("ph")->AsString(), "M");
+  for (std::size_t i = 1; i < events->size(); ++i) {
+    const obs::Json& e = events->at(i);
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");
+    ASSERT_NE(e.Find("ts"), nullptr);
+    ASSERT_NE(e.Find("dur"), nullptr);
+    EXPECT_GE(e.Find("dur")->AsDouble(), 0.0);
+    ASSERT_NE(e.Find("tid"), nullptr);
+  }
+  // Spans are recorded in end order: inner closes before outer.
+  EXPECT_EQ(events->at(1).Find("name")->AsString(), "inner");
+  EXPECT_EQ(events->at(2).Find("name")->AsString(), "outer");
+  EXPECT_EQ(events->at(2).Find("args")->Find("trials")->AsUint64(), 7u);
+}
+
+TEST(TraceSession, NullSessionSpansAreInert) {
+  auto span = obs::TraceSession::Begin(nullptr, "noop", "bench");
+  span.SetArg("k", obs::Json(std::uint64_t{1}));
+  span.End();  // must not crash; nothing recorded anywhere
+}
+
+TEST(TraceSession, WriteToProducesLoadableFile) {
+  obs::TraceSession session;
+  { auto span = obs::TraceSession::Begin(&session, "work", "bench"); }
+  const std::string path = TempPath("trace_test.json");
+  ASSERT_TRUE(session.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = obs::Json::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->Find("traceEvents"), nullptr);
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->AsString(), "ms");
+}
+
+TEST(TraceSession, DriverEmitsPassAndListSpans) {
+  Graph g = gen::ErdosRenyiGnp(120, 0.1, 51);
+  stream::AdjacencyListStream s(&g, 17);
+  core::TwoPassTriangleOptions options;
+  options.sample_size = 32;
+  options.seed = 5;
+  core::TwoPassTriangleCounter counter(options);
+  obs::TraceSession session;
+  stream::TraceOptions trace;
+  trace.spans = &session;
+  trace.list_span_stride = 16;
+  stream::RunPasses(s, &counter, trace);
+  // Two pass spans plus at least one strided list span per pass.
+  std::size_t pass_spans = 0, list_spans = 0;
+  const obs::Json j = session.ToJson();
+  const obs::Json* events = j.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::Json* cat = events->at(i).Find("cat");
+    if (cat == nullptr) continue;
+    if (cat->AsString() == "pass") ++pass_spans;
+    if (cat->AsString() == "list") ++list_spans;
+  }
+  EXPECT_EQ(pass_spans, 2u);
+  EXPECT_GE(list_spans, 2u);
 }
 
 }  // namespace

@@ -106,7 +106,7 @@ TEST(OnePassTriangle, SpaceScalesWithSampleSize) {
     options.sample_size = m_prime;
     options.seed = 5;
     OnePassTriangleCounter counter(options);
-    return RunOn(g, &counter, 9).peak_space_bytes;
+    return RunOn(g, &counter, 9).reported_peak_bytes;
   };
   std::size_t s1 = peak(100);
   std::size_t s4 = peak(400);

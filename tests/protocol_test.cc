@@ -94,7 +94,7 @@ TEST(Protocol, MessageCountMatchesPassesAndPlayers) {
   EXPECT_EQ(run.message_bytes.size(), 2u * 2 + 1);
   EXPECT_GT(run.max_message_bytes, 0u);
   EXPECT_GE(run.total_message_bytes, run.max_message_bytes);
-  EXPECT_GE(run.peak_space_bytes, run.max_message_bytes);
+  EXPECT_GE(run.reported_peak_bytes, run.max_message_bytes);
 }
 
 TEST(Protocol, TrivialAlgorithmMessageIsLinear) {

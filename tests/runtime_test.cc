@@ -77,7 +77,7 @@ TEST(TrialRunnerTest, BitIdenticalAcrossThreadCounts) {
     r.estimate = static_cast<double>(rng.Next64() >> 11) *
                  (1.0 + static_cast<double>(index));
     r.aux = static_cast<double>(rng.Next64() & 0xffff);
-    r.peak_space_bytes = static_cast<std::size_t>(rng.Next64() & 0xfff);
+    r.reported_peak_bytes = static_cast<std::size_t>(rng.Next64() & 0xfff);
     return r;
   };
   const std::size_t kTrials = 64;
@@ -91,7 +91,7 @@ TEST(TrialRunnerTest, BitIdenticalAcrossThreadCounts) {
     for (std::size_t i = 0; i < kTrials; ++i) {
       EXPECT_EQ(got[i].estimate, base[i].estimate) << "trial " << i;
       EXPECT_EQ(got[i].aux, base[i].aux) << "trial " << i;
-      EXPECT_EQ(got[i].peak_space_bytes, base[i].peak_space_bytes)
+      EXPECT_EQ(got[i].reported_peak_bytes, base[i].reported_peak_bytes)
           << "trial " << i;
     }
   }
@@ -133,15 +133,15 @@ TEST(TrialRunnerTest, BorrowedNullPoolRunsInline) {
 
 TEST(TrialRunnerTest, AggregationHelpers) {
   std::vector<runtime::TrialResult> results = {
-      {.estimate = 1.0, .aux = 10.0, .peak_space_bytes = 5},
-      {.estimate = 2.0, .aux = 20.0, .peak_space_bytes = 50},
-      {.estimate = 3.0, .aux = 30.0, .peak_space_bytes = 7},
+      {.estimate = 1.0, .aux = 10.0, .reported_peak_bytes = 5},
+      {.estimate = 2.0, .aux = 20.0, .reported_peak_bytes = 50},
+      {.estimate = 3.0, .aux = 30.0, .reported_peak_bytes = 7},
   };
   EXPECT_EQ(runtime::TrialRunner::Estimates(results),
             (std::vector<double>{1.0, 2.0, 3.0}));
   EXPECT_EQ(runtime::TrialRunner::AuxEstimates(results),
             (std::vector<double>{10.0, 20.0, 30.0}));
-  EXPECT_EQ(runtime::TrialRunner::MaxPeakSpace(results), 50u);
+  EXPECT_EQ(runtime::TrialRunner::MaxReportedPeak(results), 50u);
 }
 
 // Wall-clock parallel EstimateTriangles must reproduce the sequential

@@ -142,7 +142,7 @@ TEST(Driver, ReportsPeakSpace) {
   Probe probe(1);
   RunReport report = RunPasses(s, &probe);
   // Probe's space equals pairs seen so far; the peak is the total.
-  EXPECT_EQ(report.peak_space_bytes, 2 * g.num_edges());
+  EXPECT_EQ(report.reported_peak_bytes, 2 * g.num_edges());
 }
 
 }  // namespace

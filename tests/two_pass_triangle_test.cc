@@ -170,7 +170,7 @@ TEST(TwoPassTriangle, SpaceScalesWithSampleSizeNotGraph) {
     options.sample_size = m_prime;
     options.seed = 5;
     TwoPassTriangleCounter counter(options);
-    return RunOn(g, &counter, 9).peak_space_bytes;
+    return RunOn(g, &counter, 9).reported_peak_bytes;
   };
   // Quadrupling the sample size should grow space ~4x on the same graph.
   std::size_t s1 = peak(large, 100);

@@ -103,7 +103,7 @@ TEST(WedgeSampling, SpaceScalesWithReservoir) {
     options.reservoir_size = reservoir;
     options.seed = 5;
     WedgeSamplingTriangleCounter counter(options);
-    return RunOn(g, &counter, 9).peak_space_bytes;
+    return RunOn(g, &counter, 9).reported_peak_bytes;
   };
   std::size_t s1 = peak(200);
   std::size_t s8 = peak(1600);
