@@ -615,6 +615,21 @@ inline void PrintHeader(const BenchOptions& opts, const char* title,
   }
 }
 
+/// RFC 4180 CSV quoting: a field containing a comma, double quote, or line
+/// break is wrapped in double quotes with embedded quotes doubled; anything
+/// else passes through untouched. Without this, a string cell like
+/// "chung-lu, gamma=2.5" would silently add a column to its row.
+inline std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 /// Column kinds for Table: non-negative values are fixed-point precisions
 /// for doubles; kColInt formats integers; kColStr strings.
 constexpr int kColInt = -1;
@@ -672,7 +687,7 @@ class Table {
     for (std::size_t i = 0; i < columns_.size(); ++i) {
       if (csv_) {
         if (i > 0) out += ',';
-        out += columns_[i].name;
+        out += CsvEscape(columns_[i].name);
       } else {
         if (i > 0) out += ' ';
         out += Pad(columns_[i].name, columns_[i].width);
@@ -689,7 +704,7 @@ class Table {
       std::string text = cell.Format(column);
       if (csv_) {
         if (i > 0) out += ',';
-        out += text;
+        out += CsvEscape(text);
       } else {
         if (i > 0) out += ' ';
         out += Pad(text, column.width);

@@ -1,5 +1,8 @@
 #include "core/exact_stream.h"
 
+#include "snapshot/codec.h"
+#include "util/check.h"
+
 namespace cyclestream {
 namespace core {
 
@@ -35,6 +38,33 @@ void ExactStreamTriangleCounter::EndList(VertexId u) {
     ++edge_state_[MakeEdgeKey(u, v)];
   }
   current_list_.clear();
+}
+
+void ExactStreamTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(pair_events_);
+  w.WriteU64(triangles_);
+  snapshot::WriteScratchCapacity(w, current_list_);
+  snapshot::WriteBucketCount(w, edge_state_);
+  w.WriteU64(edge_state_.size());
+  for (const auto& [key, state] : edge_state_) {
+    w.WriteU64(key);
+    w.WriteU8(state);
+  }
+}
+
+Status ExactStreamTriangleCounter::Restore(snapshot::SnapshotReader& r) {
+  CYCLESTREAM_CHECK_EQ(edge_state_.size(), 0u);
+  pair_events_ = r.ReadU64();
+  triangles_ = r.ReadU64();
+  snapshot::ReadScratchCapacity(r, current_list_);
+  snapshot::RestoreBucketCount(r, edge_state_);
+  const std::uint64_t edges = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < edges && r.status().ok(); ++i) {
+    const EdgeKey key = r.ReadU64();
+    edge_state_.emplace(key, r.ReadU8());
+  }
+  return r.status();
 }
 
 std::size_t ExactStreamTriangleCounter::CurrentSpaceBytes() const {

@@ -38,6 +38,11 @@ class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
   std::uint64_t triangles() const { return triangles_; }
   std::uint64_t edge_count() const { return pair_events_ / 2; }
 
+  /// Snapshot contract (stream/algorithm.h): complete state at an
+  /// adjacency-list boundary, restore is bit-identical.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
  private:
   // OnPair's body; non-virtual so OnListBatch pays one virtual call per
   // list instead of per pair. Identical mutation sequence either way.

@@ -77,6 +77,13 @@ class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
   FourCycleResult result() const;
   double Estimate() const { return result().estimate; }
 
+  /// Snapshot contract (stream/algorithm.h). The restoring instance must be
+  /// constructed with the same options; mismatches → kFailedPrecondition.
+  /// Note: Q's wedge order is reproduced verbatim, so restores are
+  /// bit-identical even when `max_wedges` truncated BuildWedges.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
  private:
   // OnPair's body; non-virtual so OnListBatch pays one virtual call per
   // list instead of per pair. Identical mutation sequence either way.

@@ -58,6 +58,25 @@ std::size_t ParallelCopies::CurrentSpaceBytes() const {
   return total;
 }
 
+void ParallelCopies::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(copies_.size());
+  for (const auto& copy : copies_) copy->Serialize(w);
+}
+
+Status ParallelCopies::Restore(snapshot::SnapshotReader& r) {
+  const std::uint64_t count = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (count != copies_.size()) {
+    return Status::FailedPrecondition(
+        "parallel-copies snapshot copy count mismatch");
+  }
+  for (auto& copy : copies_) {
+    Status status = copy->Restore(r);
+    if (!status.ok()) return status;
+  }
+  return r.status();
+}
+
 namespace {
 
 // Non-owning view over a contiguous range of copies, driven as one

@@ -51,6 +51,11 @@ class ParallelCopies : public stream::StreamAlgorithm {
   std::size_t num_copies() const { return copies_.size(); }
   stream::StreamAlgorithm* copy(std::size_t i) { return copies_[i].get(); }
 
+  /// Snapshot contract: copies serialize in index order; restore requires
+  /// the same copy count (and each copy's own options to match).
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
   /// Drives every copy over all of its passes. With `pool == nullptr` this
   /// is exactly `stream::RunPasses(stream, this)` — the copies march in
   /// lockstep through one replay per pass. With a pool, the copies are

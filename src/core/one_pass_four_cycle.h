@@ -59,6 +59,11 @@ class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
   OnePassFourCycleResult result() const;
   double Estimate() const { return result().estimate; }
 
+  /// Snapshot contract (stream/algorithm.h). The restoring instance must be
+  /// constructed with the same options; mismatches → kFailedPrecondition.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
  private:
   // OnPair's body; non-virtual so OnListBatch pays one virtual call per
   // list instead of per pair. Identical mutation sequence either way.

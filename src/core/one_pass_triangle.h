@@ -61,6 +61,11 @@ class OnePassTriangleCounter final : public stream::StreamAlgorithm {
   OnePassTriangleResult result() const;
   double Estimate() const { return result().estimate; }
 
+  /// Snapshot contract (stream/algorithm.h). The restoring instance must be
+  /// constructed with the same options; mismatches → kFailedPrecondition.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
  private:
   struct EdgeState {
     VertexId lo = 0;

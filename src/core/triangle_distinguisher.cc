@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/codec.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -96,58 +97,55 @@ std::size_t TriangleDistinguisher::CurrentSpaceBytes() const {
          touched_edges_.capacity() * sizeof(EdgeKey);
 }
 
-namespace {
-
-void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-}
-
-std::uint64_t ReadU64(const std::vector<std::uint8_t>& in, std::size_t* pos) {
-  CYCLESTREAM_CHECK_LE(*pos + 8, in.size());
-  std::uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    value |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
-  }
-  *pos += 8;
-  return value;
-}
-
-}  // namespace
-
-std::vector<std::uint8_t> TriangleDistinguisher::SerializeState() const {
-  std::vector<std::uint8_t> out;
-  out.reserve(4 * 8 + 8 * edge_sample_.size());
-  AppendU64(&out, static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
-  AppendU64(&out, pair_events_);
-  AppendU64(&out, incidences_);
-  AppendU64(&out, edge_sample_.size());
-  edge_sample_.ForEach([&](EdgeKey key, const EdgeState& state) {
-    // Flags are per-list transients; boundaries only.
+void TriangleDistinguisher::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(options_.sample_size);
+  w.WriteU64(options_.seed);
+  w.WriteU64(static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
+  w.WriteU64(pair_events_);
+  w.WriteU64(incidences_);
+  edge_sample_.Serialize(w, [](snapshot::SnapshotWriter& /*pw*/,
+                               EdgeKey /*key*/, const EdgeState& state) {
+    // Flags are per-list transients; boundaries only. lo/hi derive from key.
     CYCLESTREAM_CHECK(!state.flag_lo && !state.flag_hi);
-    AppendU64(&out, key);
   });
-  return out;
+  snapshot::WriteBucketCount(w, edge_watchers_);
+  w.WriteU64(edge_watchers_.size());
+  for (const auto& [vertex, watchers] : edge_watchers_) {
+    w.WriteU32(vertex);
+    // Content order matters (swap-remove eviction), so verbatim.
+    snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
+                                       EdgeKey key) { vw.WriteU64(key); });
+  }
+  snapshot::WriteScratchCapacity(w, touched_edges_);
 }
 
-void TriangleDistinguisher::RestoreState(
-    const std::vector<std::uint8_t>& bytes) {
+Status TriangleDistinguisher::Restore(snapshot::SnapshotReader& r) {
   CYCLESTREAM_CHECK_EQ(edge_sample_.size(), 0u);
-  std::size_t pos = 0;
-  pass_ = static_cast<int>(ReadU64(bytes, &pos)) - 1;
-  pair_events_ = ReadU64(bytes, &pos);
-  incidences_ = ReadU64(bytes, &pos);
-  std::uint64_t count = ReadU64(bytes, &pos);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    EdgeKey key = ReadU64(bytes, &pos);
-    EdgeState state{EdgeKeyLo(key), EdgeKeyHi(key), false, false};
-    auto result = edge_sample_.Offer(key, std::move(state));
-    CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
-    Watchers(EdgeKeyLo(key)).push_back(key);
-    Watchers(EdgeKeyHi(key)).push_back(key);
+  const std::uint64_t sample_size = r.ReadU64();
+  const std::uint64_t seed = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (sample_size != options_.sample_size || seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "triangle distinguisher snapshot options mismatch");
   }
-  CYCLESTREAM_CHECK_EQ(pos, bytes.size());
+  pass_ = static_cast<int>(r.ReadU64()) - 1;
+  pair_events_ = r.ReadU64();
+  incidences_ = r.ReadU64();
+  Status sample_status =
+      edge_sample_.Restore(r, [](snapshot::SnapshotReader& /*pr*/, EdgeKey key) {
+        return EdgeState{EdgeKeyLo(key), EdgeKeyHi(key), false, false};
+      });
+  if (!sample_status.ok()) return sample_status;
+  snapshot::RestoreBucketCount(r, edge_watchers_);
+  const std::uint64_t watcher_lists = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < watcher_lists && r.status().ok(); ++i) {
+    const VertexId vertex = r.ReadU32();
+    snapshot::ReadVec(r, Watchers(vertex),
+                      [](snapshot::SnapshotReader& vr) { return vr.ReadU64(); });
+  }
+  snapshot::ReadScratchCapacity(r, touched_edges_);
+  return r.status();
 }
 
 TriangleDistinguisherResult TriangleDistinguisher::result() const {

@@ -56,17 +56,14 @@ class TriangleDistinguisher final : public stream::StreamAlgorithm {
 
   TriangleDistinguisherResult result() const;
 
-  /// Serializes the full algorithm state as a flat byte string. Only valid
-  /// at adjacency-list boundaries (per-list endpoint flags are transient and
-  /// must be clear). This is the literal protocol message of Section 5.1:
-  /// a player ships these bytes, the next player calls RestoreState on a
-  /// fresh instance constructed with the SAME options (the hash seed makes
-  /// sampling priorities reproducible) and resumes the stream.
-  std::vector<std::uint8_t> SerializeState() const;
-
-  /// Restores state produced by SerializeState into this instance (which
-  /// must be freshly constructed with identical options).
-  void RestoreState(const std::vector<std::uint8_t>& bytes);
+  /// Snapshot contract (stream/algorithm.h). Only valid at adjacency-list
+  /// boundaries (per-list endpoint flags are transient and must be clear).
+  /// The payload is the literal protocol message of Section 5.1: a player
+  /// ships the snapshot, the next player Restore()s it on a fresh instance
+  /// constructed with the SAME options (the hash seed makes sampling
+  /// priorities reproducible) and resumes the stream.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
   // OnPair's body; non-virtual so OnListBatch pays one virtual call per

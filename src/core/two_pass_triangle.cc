@@ -1,7 +1,9 @@
 #include "core/two_pass_triangle.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "snapshot/codec.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -370,100 +372,161 @@ std::size_t TwoPassTriangleCounter::CurrentSpaceBytes() const {
   return bytes;
 }
 
-namespace {
+void TwoPassTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(options_.sample_size);
+  w.WriteU64(options_.seed);
+  w.WriteBool(options_.use_lightest_edge_rule);
+  w.WriteU64(static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
+  w.WriteU32(list_pos_);
+  w.WriteU64(pair_events_);
+  w.WriteU64(t_prime_);
+  w.WriteBool(q_overflowed_);
+  w.WriteBool(finished_);
 
-void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-}
-
-std::uint64_t ReadU64(const std::vector<std::uint8_t>& in, std::size_t* pos) {
-  CYCLESTREAM_CHECK_LE(*pos + 8, in.size());
-  std::uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    value |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
-  }
-  *pos += 8;
-  return value;
-}
-
-}  // namespace
-
-std::vector<std::uint8_t> TwoPassTriangleCounter::SerializeState() const {
-  std::vector<std::uint8_t> out;
-  AppendU64(&out, static_cast<std::uint64_t>(pass_ + 1));
-  AppendU64(&out, list_pos_);
-  AppendU64(&out, pair_events_);
-  AppendU64(&out, t_prime_);
-  AppendU64(&out, q_overflowed_ ? 1 : 0);
-
-  AppendU64(&out, edge_sample_.size());
-  edge_sample_.ForEach([&](EdgeKey key, const EdgeState& state) {
+  edge_sample_.Serialize(w, [](snapshot::SnapshotWriter& pw, EdgeKey /*key*/,
+                               const EdgeState& state) {
     CYCLESTREAM_CHECK(!state.flag_lo && !state.flag_hi);
-    AppendU64(&out, key);
-    AppendU64(&out, state.first_pos);
-    AppendU64(&out, state.tri_count);
+    pw.WriteU32(state.first_pos);
+    pw.WriteU64(state.tri_count);
   });
+  snapshot::WriteBucketCount(w, edge_watchers_);
+  w.WriteU64(edge_watchers_.size());
+  for (const auto& [vertex, watchers] : edge_watchers_) {
+    w.WriteU32(vertex);
+    // Content order matters (swap-remove eviction), so verbatim.
+    snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
+                                       EdgeKey key) { vw.WriteU64(key); });
+  }
+  snapshot::WriteScratchCapacity(w, touched_edges_);
 
-  AppendU64(&out, pair_sample_.size());
-  pair_sample_.ForEach([&](std::uint64_t /*pair_key*/, const std::uint32_t& idx) {
-    const TriEntry& entry = slab_[idx];
-    for (int slot = 0; slot < 3; ++slot) AppendU64(&out, entry.vert[slot]);
-    for (int slot = 0; slot < 3; ++slot) AppendU64(&out, entry.h[slot]);
-    std::uint64_t seen_bits = (entry.seen[0] ? 1 : 0) |
-                              (entry.seen[1] ? 2 : 0) |
-                              (entry.seen[2] ? 4 : 0);
-    AppendU64(&out, seen_bits);
-  });
-  return out;
+  pair_sample_.Serialize(w, [](snapshot::SnapshotWriter& pw,
+                               std::uint64_t /*pair_key*/,
+                               const std::uint32_t& idx) { pw.WriteU32(idx); });
+  // The slab is serialized verbatim (live and dead slots): slab indices are
+  // stored in the pair sample, subscriber lists, and vertex subscriptions,
+  // so the slot layout itself is state.
+  snapshot::WriteVec(w, slab_,
+                     [](snapshot::SnapshotWriter& vw, const TriEntry& entry) {
+                       vw.WriteBool(entry.live);
+                       if (!entry.live) return;  // freed: defaults on reuse
+                       for (int slot = 0; slot < 3; ++slot) {
+                         vw.WriteU32(entry.vert[slot]);
+                       }
+                       for (int slot = 0; slot < 3; ++slot) {
+                         vw.WriteU64(entry.h[slot]);
+                       }
+                       vw.WriteU8((entry.seen[0] ? 1 : 0) |
+                                  (entry.seen[1] ? 2 : 0) |
+                                  (entry.seen[2] ? 4 : 0));
+                     });
+  snapshot::WriteVec(w, free_slots_,
+                     [](snapshot::SnapshotWriter& vw, std::uint32_t idx) {
+                       vw.WriteU32(idx);
+                     });
+  snapshot::WriteBucketCount(w, tri_edges_);
+  w.WriteU64(tri_edges_.size());
+  for (const auto& [key, watch] : tri_edges_) {
+    CYCLESTREAM_CHECK(!watch.flag_lo && !watch.flag_hi);
+    w.WriteU64(key);
+    snapshot::WriteVec(w, watch.subscribers,
+                       [](snapshot::SnapshotWriter& vw,
+                          const TriEdgeWatch::Subscriber& sub) {
+                         vw.WriteU32(sub.first);
+                         vw.WriteU8(sub.second);
+                       });
+  }
+  snapshot::WriteBucketCount(w, tri_verts_);
+  w.WriteU64(tri_verts_.size());
+  for (const auto& [vertex, subs] : tri_verts_) {
+    w.WriteU32(vertex);
+    snapshot::WriteVec(w, subs, [](snapshot::SnapshotWriter& vw,
+                                   std::uint32_t idx) { vw.WriteU32(idx); });
+  }
+  snapshot::WriteScratchCapacity(w, touched_tri_edges_);
 }
 
-void TwoPassTriangleCounter::RestoreState(
-    const std::vector<std::uint8_t>& bytes) {
+Status TwoPassTriangleCounter::Restore(snapshot::SnapshotReader& r) {
   CYCLESTREAM_CHECK_EQ(edge_sample_.size(), 0u);
   CYCLESTREAM_CHECK_EQ(pair_sample_.size(), 0u);
-  std::size_t pos = 0;
-  pass_ = static_cast<int>(ReadU64(bytes, &pos)) - 1;
-  list_pos_ = static_cast<std::uint32_t>(ReadU64(bytes, &pos));
-  pair_events_ = ReadU64(bytes, &pos);
-  t_prime_ = ReadU64(bytes, &pos);
-  q_overflowed_ = ReadU64(bytes, &pos) != 0;
-
-  std::uint64_t edges = ReadU64(bytes, &pos);
-  for (std::uint64_t i = 0; i < edges; ++i) {
-    EdgeKey key = ReadU64(bytes, &pos);
-    EdgeState state;
-    state.lo = EdgeKeyLo(key);
-    state.hi = EdgeKeyHi(key);
-    state.first_pos = static_cast<std::uint32_t>(ReadU64(bytes, &pos));
-    state.tri_count = ReadU64(bytes, &pos);
-    auto result = edge_sample_.Offer(key, std::move(state));
-    CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
-    Watchers(EdgeKeyLo(key)).push_back(key);
-    Watchers(EdgeKeyHi(key)).push_back(key);
+  const std::uint64_t sample_size = r.ReadU64();
+  const std::uint64_t seed = r.ReadU64();
+  const bool lightest = r.ReadBool();
+  if (!r.status().ok()) return r.status();
+  if (sample_size != options_.sample_size || seed != options_.seed ||
+      lightest != options_.use_lightest_edge_rule) {
+    return Status::FailedPrecondition(
+        "two-pass triangle snapshot options mismatch");
   }
+  pass_ = static_cast<int>(r.ReadU64()) - 1;
+  list_pos_ = r.ReadU32();
+  pair_events_ = r.ReadU64();
+  t_prime_ = r.ReadU64();
+  q_overflowed_ = r.ReadBool();
+  finished_ = r.ReadBool();
 
-  std::uint64_t pairs = ReadU64(bytes, &pos);
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    std::uint32_t idx = AllocEntry();
-    TriEntry& entry = slab_[idx];
-    for (int slot = 0; slot < 3; ++slot) {
-      entry.vert[slot] = static_cast<VertexId>(ReadU64(bytes, &pos));
-    }
-    for (int slot = 0; slot < 3; ++slot) entry.h[slot] = ReadU64(bytes, &pos);
-    std::uint64_t seen_bits = ReadU64(bytes, &pos);
+  Status sample_status = edge_sample_.Restore(
+      r, [](snapshot::SnapshotReader& pr, EdgeKey key) {
+        EdgeState state;
+        state.lo = EdgeKeyLo(key);
+        state.hi = EdgeKeyHi(key);
+        state.first_pos = pr.ReadU32();
+        state.tri_count = pr.ReadU64();
+        return state;
+      });
+  if (!sample_status.ok()) return sample_status;
+  snapshot::RestoreBucketCount(r, edge_watchers_);
+  const std::uint64_t watcher_lists = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < watcher_lists && r.status().ok(); ++i) {
+    const VertexId vertex = r.ReadU32();
+    snapshot::ReadVec(r, Watchers(vertex),
+                      [](snapshot::SnapshotReader& vr) { return vr.ReadU64(); });
+  }
+  snapshot::ReadScratchCapacity(r, touched_edges_);
+
+  Status pair_status = pair_sample_.Restore(
+      r, [](snapshot::SnapshotReader& pr, std::uint64_t /*pair_key*/) {
+        return pr.ReadU32();
+      });
+  if (!pair_status.ok()) return pair_status;
+  snapshot::ReadVec(r, slab_, [](snapshot::SnapshotReader& vr) {
+    TriEntry entry;
+    entry.live = vr.ReadBool();
+    if (!entry.live) return entry;
+    for (int slot = 0; slot < 3; ++slot) entry.vert[slot] = vr.ReadU32();
+    for (int slot = 0; slot < 3; ++slot) entry.h[slot] = vr.ReadU64();
+    const std::uint8_t seen_bits = vr.ReadU8();
     for (int slot = 0; slot < 3; ++slot) {
       entry.seen[slot] = (seen_bits >> slot) & 1;
     }
-    entry.live = true;
-    std::uint64_t pair_key =
-        PairKey(MakeEdgeKey(entry.vert[0], entry.vert[1]), entry.vert[2]);
-    auto result = pair_sample_.Offer(pair_key, idx);
-    CYCLESTREAM_CHECK(result == sampling::OfferResult::kInserted);
-    SubscribeEntry(idx);
+    return entry;
+  });
+  snapshot::ReadVec(r, free_slots_,
+                    [](snapshot::SnapshotReader& vr) { return vr.ReadU32(); });
+  snapshot::RestoreBucketCount(r, tri_edges_);
+  const std::uint64_t watched_edges = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < watched_edges && r.status().ok(); ++i) {
+    const EdgeKey key = r.ReadU64();
+    if (!r.status().ok()) break;
+    TriEdgeWatch& watch = TriEdgeFor(key);
+    watch.lo = EdgeKeyLo(key);
+    watch.hi = EdgeKeyHi(key);
+    snapshot::ReadVec(r, watch.subscribers, [](snapshot::SnapshotReader& vr) {
+      const std::uint32_t idx = vr.ReadU32();
+      return TriEdgeWatch::Subscriber{idx, vr.ReadU8()};
+    });
   }
-  CYCLESTREAM_CHECK_EQ(pos, bytes.size());
+  snapshot::RestoreBucketCount(r, tri_verts_);
+  const std::uint64_t vert_lists = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < vert_lists && r.status().ok(); ++i) {
+    const VertexId vertex = r.ReadU32();
+    snapshot::ReadVec(r, TriVerts(vertex),
+                      [](snapshot::SnapshotReader& vr) { return vr.ReadU32(); });
+  }
+  snapshot::ReadScratchCapacity(r, touched_tri_edges_);
+  return r.status();
 }
 
 TwoPassTriangleResult TwoPassTriangleCounter::result() const {

@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "graph/types.h"
 #include "obs/accounting.h"
@@ -97,19 +96,17 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
   /// Estimate and diagnostics; valid after both passes.
   TwoPassTriangleResult result() const;
 
-  /// Serializes the complete algorithm state (edge sample S with
-  /// first-appearance positions and tally counters, candidate set Q with H
-  /// statistics and seen flags, pass bookkeeping) as a flat byte string.
-  /// Valid only at adjacency-list boundaries (per-list flags are transient).
-  /// This is the Section 5.1 message for the paper's main algorithm: a
-  /// fresh instance with identical options resumes from these bytes alone
-  /// and reproduces the monolithic run exactly (tests assert bitwise-equal
+  /// Snapshot contract (stream/algorithm.h): the complete algorithm state
+  /// (edge sample S with first-appearance positions and tally counters,
+  /// candidate set Q with H statistics and seen flags, the slab and all
+  /// watcher indices verbatim, pass bookkeeping). Valid only at
+  /// adjacency-list boundaries (per-list flags are transient). The payload
+  /// is the Section 5.1 message for the paper's main algorithm: a fresh
+  /// instance with identical options resumes from these bytes alone and
+  /// reproduces the monolithic run exactly (tests assert bitwise-equal
   /// results on the Figure 1b gadgets).
-  std::vector<std::uint8_t> SerializeState() const;
-
-  /// Restores SerializeState output into this freshly constructed instance
-  /// (same options required: the seeds reproduce the sampling priorities).
-  void RestoreState(const std::vector<std::uint8_t>& bytes);
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
 
   double Estimate() const { return result().estimate; }
 

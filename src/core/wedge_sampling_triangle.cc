@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/codec.h"
 #include "util/check.h"
 
 namespace cyclestream {
@@ -88,6 +89,70 @@ void WedgeSamplingTriangleCounter::HandlePair(VertexId u, VertexId v) {
     OfferWedge(MakeWedge(current_center_, prev, v));
   }
   current_list_.push_back(v);
+}
+
+void WedgeSamplingTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(options_.reservoir_size);
+  w.WriteU64(options_.seed);
+  std::uint64_t rng_state[4];
+  rng_.GetState(rng_state);
+  for (std::uint64_t word : rng_state) w.WriteU64(word);
+  w.WriteU64(wedge_count_);
+  snapshot::WriteVec(w, reservoir_,
+                     [](snapshot::SnapshotWriter& vw, const Slot& slot) {
+                       vw.WriteU32(slot.wedge.center);
+                       vw.WriteU32(slot.wedge.end_lo);
+                       vw.WriteU32(slot.wedge.end_hi);
+                       vw.WriteBool(slot.closed);
+                     });
+  snapshot::WriteBucketCount(w, closure_watch_);
+  w.WriteU64(closure_watch_.size());
+  for (const auto& [key, slots] : closure_watch_) {
+    w.WriteU64(key);
+    // Content order matters (swap-remove on resample), so verbatim.
+    snapshot::WriteVec(w, slots, [](snapshot::SnapshotWriter& vw,
+                                    std::uint32_t slot) { vw.WriteU32(slot); });
+  }
+  // current_list_'s contents are never read after a list boundary (BeginList
+  // clears before any use); only its capacity is space-visible state.
+  // current_center_ likewise is overwritten by the next BeginList.
+  w.WriteU64(current_list_.capacity());
+}
+
+Status WedgeSamplingTriangleCounter::Restore(snapshot::SnapshotReader& r) {
+  CYCLESTREAM_CHECK_EQ(wedge_count_, 0u);
+  const std::uint64_t reservoir_size = r.ReadU64();
+  const std::uint64_t seed = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (reservoir_size != options_.reservoir_size || seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "wedge sampling snapshot options mismatch");
+  }
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) word = r.ReadU64();
+  wedge_count_ = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  rng_.SetState(rng_state);
+  reservoir_.clear();
+  snapshot::ReadVec(r, reservoir_, [](snapshot::SnapshotReader& vr) {
+    Slot slot;
+    slot.wedge.center = vr.ReadU32();
+    slot.wedge.end_lo = vr.ReadU32();
+    slot.wedge.end_hi = vr.ReadU32();
+    slot.closed = vr.ReadBool();
+    return slot;
+  });
+  snapshot::RestoreBucketCount(r, closure_watch_);
+  const std::uint64_t watch_lists = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (std::uint64_t i = 0; i < watch_lists && r.status().ok(); ++i) {
+    const EdgeKey key = r.ReadU64();
+    snapshot::ReadVec(r, WatchersFor(key),
+                      [](snapshot::SnapshotReader& vr) { return vr.ReadU32(); });
+  }
+  const std::uint64_t list_capacity = r.ReadU64();
+  if (r.status().ok()) current_list_.reserve(list_capacity);
+  return r.status();
 }
 
 std::size_t WedgeSamplingTriangleCounter::CurrentSpaceBytes() const {

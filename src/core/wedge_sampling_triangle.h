@@ -62,6 +62,11 @@ class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
   WedgeSamplingResult result() const;
   double Estimate() const { return result().estimate; }
 
+  /// Snapshot contract (stream/algorithm.h). The restoring instance must be
+  /// constructed with the same options; mismatches → kFailedPrecondition.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
+
  private:
   struct Slot {
     Wedge wedge;

@@ -27,10 +27,12 @@
 
 #include "core/triangle_distinguisher.h"
 #include "lowerbound/gadget.h"
+#include "snapshot/snapshot.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
 #include "stream/driver.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace lowerbound {
@@ -123,15 +125,19 @@ ProtocolRun RunProtocol(const Gadget& gadget, AlgoT* algorithm,
 }
 
 /// The reduction made fully literal: each player is a SEPARATE algorithm
-/// instance; at every boundary the current player's state is serialized to
-/// bytes and the next player resumes from those bytes alone. message_bytes
-/// are the actual serialized sizes. The final player's instance is written
-/// to *final_player, whose result must be identical to a monolithic
-/// RunProtocol with the same options and seeds — asserted in tests.
+/// instance; at every boundary the current player's state is serialized into
+/// a snapshot envelope and the next player resumes from those bytes alone.
+/// message_bytes are the actual envelope sizes (payload plus the fixed
+/// snapshot::kEnvelopeBytes framing) — the same bytes the crash-recovery
+/// checkpoints ship. The final player's instance is written to
+/// *final_player, whose result must be identical to a monolithic RunProtocol
+/// with the same options and seeds — asserted in tests.
 ///
-/// `Algo` must provide SerializeState()/RestoreState() (e.g.
-/// core::TriangleDistinguisher, core::TwoPassTriangleCounter) and be
-/// constructible from `Options`.
+/// `Algo` must implement the snapshot contract Serialize()/Restore()
+/// (stream/algorithm.h; e.g. core::TriangleDistinguisher,
+/// core::TwoPassTriangleCounter) and be constructible from `Options`.
+/// Restore failures are CHECKed: the wire was produced in-process, so a bad
+/// envelope is a programming error, not input corruption.
 template <typename Algo, typename Options>
 ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
                                   std::uint64_t seed,
@@ -163,7 +169,13 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
     for (const auto& [seg_begin, seg_end] : segments) {
       // A brand-new player knowing only the public options and the wire.
       auto player = std::make_unique<Algo>(options);
-      if (!first_segment) player->RestoreState(wire);
+      if (!first_segment) {
+        StatusOr<snapshot::SnapshotReader> reader =
+            snapshot::SnapshotReader::Open(wire);
+        CYCLESTREAM_CHECK(reader.ok());
+        CYCLESTREAM_CHECK(player->Restore(*reader).ok());
+        CYCLESTREAM_CHECK(reader->Final().ok());
+      }
       stream::internal::MeteredSink<Algo> sink(player.get(), &report, {});
       if (seg_begin == 0) sink.BeginPass(pass);
       if (seg_begin == 0) player->BeginPass(pass);
@@ -176,7 +188,9 @@ ProtocolRun RunSerializedProtocol(const Gadget& gadget, const Options& options,
       if (seg_end == order.size()) player->EndPass(pass);
       bool last_overall = pass + 1 == passes && seg_end == order.size();
       if (!last_overall) {
-        wire = player->SerializeState();
+        snapshot::SnapshotWriter writer;
+        player->Serialize(writer);
+        wire = std::move(writer).Finish();
         run.message_bytes.push_back(wire.size());
       } else {
         *final_player = std::move(player);

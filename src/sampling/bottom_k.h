@@ -21,16 +21,18 @@
 #ifndef CYCLESTREAM_SAMPLING_BOTTOM_K_H_
 #define CYCLESTREAM_SAMPLING_BOTTOM_K_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/accounting.h"
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 #include "util/hashing.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace sampling {
@@ -57,7 +59,7 @@ class BottomKSampler {
         domain_(domain),
         members_(0, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
                  MapAlloc(domain)),
-        heap_(std::less<HeapEntry>(), HeapVec(HeapAlloc(domain))) {
+        heap_(HeapAlloc(domain)) {
     CYCLESTREAM_CHECK_GT(capacity, 0u);
     members_.reserve(capacity + 1);
   }
@@ -75,10 +77,10 @@ class BottomKSampler {
       return OfferResult::kRejected;
     }
     members_.emplace(key, std::move(payload));
-    heap_.push({priority, key});
+    HeapPush({priority, key});
     while (members_.size() > capacity_) {
-      auto [top_priority, top_key] = heap_.top();
-      heap_.pop();
+      auto [top_priority, top_key] = heap_.front();
+      HeapPop();
       auto it = members_.find(top_key);
       if (it == members_.end()) continue;  // stale entry from Erase()
       Payload evicted = std::move(it->second);
@@ -139,15 +141,76 @@ class BottomKSampler {
            heap_.size() * sizeof(HeapEntry);
   }
 
+  /// Writes the complete sampler state into `w`: the member set with
+  /// payloads (via `write_payload(w, key, payload)`), plus the internal
+  /// max-heap verbatim — entry keys in array order and the backing vector's
+  /// capacity. Replaying the heap exactly (stale entries from Erase()
+  /// included) is what makes a restored sampler's admissions, evictions,
+  /// compactions, and MemoryBytes() trajectory bit-identical to the
+  /// original's; priorities are recomputed from the hash seed, never stored.
+  template <typename WritePayload>
+  void Serialize(snapshot::SnapshotWriter& w, WritePayload&& write_payload)
+      const {
+    w.WriteU64(members_.size());
+    for (const auto& [key, payload] : members_) {
+      w.WriteU64(key);
+      write_payload(w, key, payload);
+    }
+    w.WriteU64(heap_.size());
+    w.WriteU64(heap_.capacity());
+    for (const HeapEntry& entry : heap_) w.WriteU64(entry.second);
+  }
+
+  /// Rebuilds Serialize() output into this freshly constructed sampler
+  /// (same capacity and hash seed required — the seed reproduces the
+  /// priorities). `read_payload(r, key)` decodes one payload. Members are
+  /// installed directly (no Offer), so no eviction can fire mid-restore.
+  template <typename ReadPayload>
+  Status Restore(snapshot::SnapshotReader& r, ReadPayload&& read_payload) {
+    CYCLESTREAM_CHECK_EQ(members_.size(), 0u);
+    const std::uint64_t count = r.ReadU64();
+    for (std::uint64_t i = 0; i < count && r.status().ok(); ++i) {
+      const std::uint64_t key = r.ReadU64();
+      members_.emplace(key, read_payload(r, key));
+    }
+    const std::uint64_t heap_size = r.ReadU64();
+    const std::uint64_t heap_capacity = r.ReadU64();
+    if (!r.status().ok()) return r.status();
+    HeapVec restored{HeapAlloc(domain_)};
+    restored.reserve(heap_capacity);
+    for (std::uint64_t i = 0; i < heap_size && r.status().ok(); ++i) {
+      const std::uint64_t key = r.ReadU64();
+      restored.push_back({PriorityOf(key), key});
+    }
+    // Serialized in array order from a valid heap, so it is one already; no
+    // make_heap (which could permute equal-length layouts differently).
+    heap_ = std::move(restored);
+    return r.status();
+  }
+
  private:
   using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;  // priority, key
 
+  // std::priority_queue semantics over an explicit vector (so Serialize can
+  // copy the array verbatim): push_back + push_heap, front, pop_heap +
+  // pop_back — exactly the operations priority_queue performs, so behaviour
+  // and allocation trajectories are unchanged.
+  void HeapPush(HeapEntry entry) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
+  void HeapPop() {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+
   std::uint64_t MaxLivePriority() {
-    while (!heap_.empty() && !members_.contains(heap_.top().second)) {
-      heap_.pop();
+    while (!heap_.empty() && !members_.contains(heap_.front().second)) {
+      HeapPop();
     }
     CYCLESTREAM_CHECK(!heap_.empty());
-    return heap_.top().first;
+    return heap_.front().first;
   }
 
   void MaybeCompact() {
@@ -160,7 +223,8 @@ class BottomKSampler {
     for (const auto& [key, payload] : members_) {
       live.push_back({PriorityOf(key), key});
     }
-    heap_ = Heap(std::less<HeapEntry>(), std::move(live));
+    heap_ = std::move(live);
+    std::make_heap(heap_.begin(), heap_.end());
   }
 
   using MapAlloc =
@@ -170,13 +234,12 @@ class BottomKSampler {
                                  std::equal_to<std::uint64_t>, MapAlloc>;
   using HeapAlloc = obs::AccountedAllocator<HeapEntry>;
   using HeapVec = std::vector<HeapEntry, HeapAlloc>;
-  using Heap = std::priority_queue<HeapEntry, HeapVec>;
 
   std::size_t capacity_;
   SeededHash hash_;
   obs::MemoryDomain* domain_;
   Map members_;
-  Heap heap_;
+  HeapVec heap_;
 };
 
 }  // namespace sampling

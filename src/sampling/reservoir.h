@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/snapshot.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace sampling {
@@ -47,6 +49,41 @@ class ReservoirSampler {
   std::size_t capacity() const { return capacity_; }
 
   std::size_t MemoryBytes() const { return sample_.capacity() * sizeof(T); }
+
+  /// Writes full sampler state: RNG position, offer count, and the sample
+  /// array verbatim (slot order matters — Offer overwrites by index) with its
+  /// capacity. `write_item(w, item)` encodes one element.
+  template <typename WriteItem>
+  void Serialize(snapshot::SnapshotWriter& w, WriteItem&& write_item) const {
+    std::uint64_t rng_state[4];
+    rng_.GetState(rng_state);
+    for (std::uint64_t word : rng_state) w.WriteU64(word);
+    w.WriteU64(offered_);
+    w.WriteU64(sample_.size());
+    w.WriteU64(sample_.capacity());
+    for (const T& item : sample_) write_item(w, item);
+  }
+
+  /// Inverse of Serialize into a freshly constructed sampler of the same
+  /// capacity. `read_item(r)` decodes one element.
+  template <typename ReadItem>
+  Status Restore(snapshot::SnapshotReader& r, ReadItem&& read_item) {
+    CYCLESTREAM_CHECK_EQ(sample_.size(), 0u);
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.ReadU64();
+    offered_ = r.ReadU64();
+    const std::uint64_t size = r.ReadU64();
+    const std::uint64_t cap = r.ReadU64();
+    if (!r.status().ok()) return r.status();
+    rng_.SetState(rng_state);
+    sample_.clear();
+    sample_.shrink_to_fit();
+    sample_.reserve(cap);
+    for (std::uint64_t i = 0; i < size && r.status().ok(); ++i) {
+      sample_.push_back(read_item(r));
+    }
+    return r.status();
+  }
 
  private:
   std::size_t capacity_;

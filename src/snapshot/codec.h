@@ -1,0 +1,84 @@
+// Codec helpers for the container shapes estimators snapshot.
+//
+// The bit-identity contract (stream/algorithm.h) forces restores to rebuild
+// not just logical content but the allocation geometry that space accounting
+// observes: vector capacities are serialized and re-reserved exactly (a
+// fresh vector's reserve(n) allocates exactly n), and hash-table bucket
+// counts are serialized and re-established with rehash (libstdc++ rehash(b)
+// lands on exactly b when b came from the same prime table, which it did —
+// it is the source table's own bucket count). Transient scratch vectors that
+// are empty at every list boundary serialize as a capacity alone.
+//
+// All helpers follow the snapshot module's poisoned-reader discipline: they
+// check `reader.status()` before trusting any length field, so corrupt or
+// truncated payloads stop cleanly instead of driving huge allocations.
+
+#ifndef CYCLESTREAM_SNAPSHOT_CODEC_H_
+#define CYCLESTREAM_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+
+#include "snapshot/snapshot.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace snapshot {
+
+/// Vector with exact contents (in order) and exact capacity.
+/// `write_elem(w, elem)` encodes one element.
+template <typename Vec, typename WriteElem>
+void WriteVec(SnapshotWriter& w, const Vec& vec, WriteElem&& write_elem) {
+  w.WriteU64(vec.size());
+  w.WriteU64(vec.capacity());
+  for (const auto& elem : vec) write_elem(w, elem);
+}
+
+/// Inverse of WriteVec into an empty vector (allocator already bound).
+/// `read_elem(r)` decodes one element.
+template <typename Vec, typename ReadElem>
+void ReadVec(SnapshotReader& r, Vec& vec, ReadElem&& read_elem) {
+  CYCLESTREAM_CHECK_EQ(vec.size(), 0u);
+  const std::uint64_t size = r.ReadU64();
+  const std::uint64_t capacity = r.ReadU64();
+  if (!r.status().ok()) return;
+  vec.reserve(capacity);
+  for (std::uint64_t i = 0; i < size && r.status().ok(); ++i) {
+    vec.push_back(read_elem(r));
+  }
+}
+
+/// A scratch vector that is guaranteed empty at list boundaries (per-list
+/// transient): only its capacity is state.
+template <typename Vec>
+void WriteScratchCapacity(SnapshotWriter& w, const Vec& vec) {
+  CYCLESTREAM_CHECK_EQ(vec.size(), 0u);
+  w.WriteU64(vec.capacity());
+}
+
+template <typename Vec>
+void ReadScratchCapacity(SnapshotReader& r, Vec& vec) {
+  const std::uint64_t capacity = r.ReadU64();
+  if (r.status().ok()) vec.reserve(capacity);
+}
+
+/// Hash-table bucket count (map or set). Restore skips the rehash when the
+/// fresh table already sits at the serialized count — rehash(1) on a
+/// never-used libstdc++ table would otherwise materialize a bucket array
+/// the original (still on its static single bucket) never allocated.
+template <typename Table>
+void WriteBucketCount(SnapshotWriter& w, const Table& table) {
+  w.WriteU64(table.bucket_count());
+}
+
+template <typename Table>
+void RestoreBucketCount(SnapshotReader& r, Table& table) {
+  const std::uint64_t buckets = r.ReadU64();
+  if (r.status().ok() && buckets != table.bucket_count()) {
+    table.rehash(buckets);
+  }
+}
+
+}  // namespace snapshot
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SNAPSHOT_CODEC_H_

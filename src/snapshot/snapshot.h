@@ -1,0 +1,134 @@
+// Versioned, checksummed binary snapshots of estimator state.
+//
+// The paper's lower bounds (Section 5.1, after Assadi–Kol–Saxena–Yu) equate
+// the state an algorithm retains at a pass or player boundary with a one-way
+// communication message. This module makes that measurement literal: every
+// estimator serializes its complete working state into a flat byte envelope,
+// and the envelope's size *is* the message size the protocol simulation
+// reports. The same bytes double as crash-recovery checkpoints — the driver
+// snapshots at adjacency-list boundaries and resumes a fresh instance from
+// the last good snapshot (stream/driver.h, tests/chaos_recovery_test.cc).
+//
+// Envelope layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic  "CYSNAPSH"
+//   8       4     format version (kSnapshotVersion)
+//   12      8     payload length in bytes
+//   20      N     payload
+//   20+N    4     CRC-32 (IEEE) over bytes [0, 20+N)
+//
+// Corruption classes map to typed Status codes, checked in this order when a
+// reader is opened: short/overlong buffer and truncated payload →
+// kDataLoss; bad magic → kInvalidArgument; unsupported version →
+// kFailedPrecondition; checksum mismatch (bit flips anywhere) → kDataLoss.
+// A failed open never yields a reader, so restore paths cannot consume
+// corrupt bytes and produce a wrong estimate.
+//
+// Reads are additionally bounds-checked ("poisoned reader"): a read past the
+// declared payload marks the reader failed, every subsequent read returns
+// zero, and `status()` reports kDataLoss. Restore implementations finish by
+// returning `reader.status()`, so a structurally short payload (possible
+// only through a writer/reader version skew, since the CRC already vouches
+// for the bytes) surfaces as an error instead of garbage state.
+
+#ifndef CYCLESTREAM_SNAPSHOT_SNAPSHOT_H_
+#define CYCLESTREAM_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cyclestream {
+namespace snapshot {
+
+/// Current envelope format version. Bump on any layout change; readers
+/// reject other versions with kFailedPrecondition.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Envelope overhead in bytes (magic + version + length + CRC).
+inline constexpr std::size_t kEnvelopeBytes = 8 + 4 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`, seeded per the
+/// standard so that CRC("") == 0. Exposed for tests.
+std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+/// Accumulates a snapshot payload and seals it into an envelope. Writing
+/// cannot fail (memory buffer); `Finish()` stamps magic, version, length and
+/// checksum. A writer is single-use.
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  /// IEEE-754 bit pattern; round-trips doubles exactly.
+  void WriteDouble(double value);
+  void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+  /// Length-prefixed byte string.
+  void WriteBytes(std::span<const std::uint8_t> bytes);
+  void WriteString(const std::string& s);
+
+  /// Payload bytes written so far (envelope overhead not included).
+  std::size_t payload_size() const { return buffer_.size() - kHeaderBytes; }
+
+  /// Seals the envelope and returns the snapshot. The writer must not be
+  /// used afterwards.
+  std::vector<std::uint8_t> Finish() &&;
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+  std::vector<std::uint8_t> buffer_;  // header placeholder + payload
+};
+
+/// Validates and decodes a snapshot envelope. `Open` performs the full
+/// integrity check (magic, version, length, CRC) before any field is read;
+/// the returned reader then serves bounds-checked sequential reads.
+class SnapshotReader {
+ public:
+  /// Validates `bytes` and returns a reader over the payload, or the typed
+  /// error describing the corruption (see file comment for the mapping).
+  /// `bytes` must outlive the reader.
+  static StatusOr<SnapshotReader> Open(std::span<const std::uint8_t> bytes);
+
+  std::uint8_t ReadU8();
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  double ReadDouble();
+  bool ReadBool() { return ReadU8() != 0; }
+  /// Length-prefixed byte string (inverse of WriteBytes).
+  std::vector<std::uint8_t> ReadBytesVec();
+  std::string ReadString();
+
+  /// Bytes of payload not yet consumed.
+  std::size_t remaining() const { return payload_.size() - pos_; }
+
+  /// OK while every read so far was in bounds; kDataLoss once any read ran
+  /// past the payload. Restore implementations return this.
+  const Status& status() const { return status_; }
+
+  /// Convenience: `status()`, or kDataLoss if payload bytes were left over
+  /// (a layout mismatch as surely as running short).
+  Status Final() const;
+
+ private:
+  explicit SnapshotReader(std::span<const std::uint8_t> payload)
+      : payload_(payload) {}
+
+  // Takes `n` bytes, or poisons the reader and returns nullptr.
+  const std::uint8_t* Take(std::size_t n);
+
+  std::span<const std::uint8_t> payload_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace snapshot
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SNAPSHOT_SNAPSHOT_H_

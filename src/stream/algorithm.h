@@ -20,6 +20,9 @@
 
 #include "graph/types.h"
 #include "obs/accounting.h"
+#include "snapshot/snapshot.h"
+#include "util/check.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace stream {
@@ -73,6 +76,31 @@ class StreamAlgorithm {
   /// samples `memory_domain()->live_bytes()` alongside CurrentSpaceBytes()
   /// at every list boundary and reports both (plus their max divergence).
   virtual const obs::MemoryDomain* memory_domain() const { return nullptr; }
+
+  /// Writes the algorithm's complete working state into `w`. Contract: a
+  /// freshly constructed instance (same options and seed) that Restore()s
+  /// these bytes and then consumes the remainder of the stream must be
+  /// bit-identical to the uninterrupted instance — same estimate and the
+  /// same CurrentSpaceBytes() at every subsequent list boundary. Only legal
+  /// at adjacency-list boundaries (between EndList and the next BeginList,
+  /// or at pass boundaries). The payload size is also the one-way message
+  /// size the lower-bound protocol simulation charges (src/snapshot/,
+  /// lowerbound/protocol.h). Default: CHECK-fails — estimators must opt in.
+  virtual void Serialize(snapshot::SnapshotWriter& w) const {
+    (void)w;
+    CYCLESTREAM_CHECK(false && "algorithm does not implement Serialize");
+  }
+
+  /// Rebuilds state written by Serialize() on a same-options fresh instance.
+  /// Returns kFailedPrecondition when the snapshot's recorded options or
+  /// seed disagree with this instance's, and the reader's kDataLoss when the
+  /// payload runs short (see snapshot.h). On error the instance must not be
+  /// used further. Default: snapshots unsupported.
+  virtual Status Restore(snapshot::SnapshotReader& r) {
+    (void)r;
+    return Status::FailedPrecondition(
+        "algorithm does not support snapshot restore");
+  }
 };
 
 }  // namespace stream

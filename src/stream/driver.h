@@ -36,6 +36,16 @@
 // rather than staying invisible (tests/space_audit_test.cc pins the
 // allowed slack per estimator).
 //
+// Checkpointing: `RunPassesCheckedWithCheckpoints` snapshots the complete
+// run — driver report, validator, and algorithm state — after every
+// adjacency list, handing the envelope bytes to a caller callback.
+// `ResumePassesChecked` rebuilds the run from those bytes alone on fresh
+// objects and finishes the stream; the final estimate and RunReport are
+// bit-identical to an uninterrupted run (tests/chaos_recovery_test.cc
+// crashes at every boundary and asserts exactly that). Corrupt snapshots
+// come back as a typed error Status from the snapshot layer — a damaged
+// checkpoint can never turn into a silently wrong estimate.
+//
 // Observability: both drivers take an optional `TraceOptions`. A
 // `SpaceTracer` receives the same space samples the report's peaks are
 // computed from (plus optional mid-list samples every `pair_stride`
@@ -51,14 +61,17 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
 #include "stream/validator.h"
@@ -121,6 +134,23 @@ struct TraceOptions {
   std::size_t list_span_stride = 1024;
 };
 
+/// Caller verdict after receiving one checkpoint snapshot.
+enum class CheckpointAction {
+  kContinue,  // keep streaming
+  kStop,      // simulate a crash: deliver nothing further this run
+};
+
+/// Result of a checkpointed run. When `stopped` is true the run was cut
+/// short by the callback (a simulated crash) and `report` covers only the
+/// delivered prefix; resume from the last snapshot to finish it. `status`
+/// carries the validator verdict exactly as `RunPassesChecked` would
+/// return it (OK unless the stream broke the model contract).
+struct CheckpointedRun {
+  Status status;
+  bool stopped = false;
+  RunReport report;
+};
+
 namespace internal {
 
 // Adapter turning ReplayPass callbacks into StreamAlgorithm calls while
@@ -145,6 +175,20 @@ class MeteredSink {
 
   void BeginPass(int pass) {
     report_->per_pass.emplace_back();
+    if (tracer_ != nullptr) tracer_->BeginPass(static_cast<std::size_t>(pass));
+    if (spans_ != nullptr) {
+      pass_span_ = obs::TraceSession::Begin(
+          spans_, "pass " + std::to_string(pass), "pass");
+      lists_in_window_ = 0;
+      window_start_vertex_ = 0;
+    }
+  }
+
+  // BeginPass for a pass restored from a checkpoint: the restored report
+  // already holds the pass's in-progress PassReport, so only the tracing
+  // side effects run — no new per_pass entry.
+  void ResumePass(int pass) {
+    CYCLESTREAM_CHECK(!report_->per_pass.empty());
     if (tracer_ != nullptr) tracer_->BeginPass(static_cast<std::size_t>(pass));
     if (spans_ != nullptr) {
       pass_span_ = obs::TraceSession::Begin(
@@ -272,6 +316,11 @@ class ValidatedSink {
     lists_in_window_ = 0;
   }
 
+  void ResumePass(int pass) {
+    inner_.ResumePass(pass);
+    lists_in_window_ = 0;
+  }
+
   void BeginList(VertexId u) {
     validator_->BeginList(u);
     if (validator_->ok()) inner_.BeginList(u);
@@ -327,6 +376,160 @@ template <typename StreamT>
 void RewindIfResettable(const StreamT& stream) {
   if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
 }
+
+// RunReport codec for checkpoint payloads: the report travels inside the
+// snapshot so a resumed run's peaks/counters continue from the exact values
+// the crashed run had accumulated.
+inline void SerializeReport(const RunReport& report,
+                            snapshot::SnapshotWriter& w) {
+  w.WriteU64(report.reported_peak_bytes);
+  w.WriteU64(report.audited_peak_bytes);
+  w.WriteU64(report.max_divergence_bytes);
+  w.WriteU64(report.pairs_processed);
+  w.WriteU64(static_cast<std::uint64_t>(report.passes_requested));
+  w.WriteU64(report.per_pass.size());
+  for (const PassReport& pass : report.per_pass) {
+    w.WriteU64(pass.reported_peak_bytes);
+    w.WriteU64(pass.audited_peak_bytes);
+    w.WriteU64(pass.pairs_processed);
+  }
+}
+
+inline void RestoreReport(snapshot::SnapshotReader& r, RunReport* report) {
+  report->reported_peak_bytes = static_cast<std::size_t>(r.ReadU64());
+  report->audited_peak_bytes = static_cast<std::size_t>(r.ReadU64());
+  report->max_divergence_bytes = static_cast<std::size_t>(r.ReadU64());
+  report->pairs_processed = static_cast<std::size_t>(r.ReadU64());
+  report->passes_requested = static_cast<int>(r.ReadU64());
+  const std::uint64_t passes = r.ReadU64();
+  if (!r.status().ok()) return;
+  report->per_pass.clear();
+  report->per_pass.reserve(static_cast<std::size_t>(passes));
+  for (std::uint64_t i = 0; i < passes && r.status().ok(); ++i) {
+    PassReport pass;
+    pass.reported_peak_bytes = static_cast<std::size_t>(r.ReadU64());
+    pass.audited_peak_bytes = static_cast<std::size_t>(r.ReadU64());
+    pass.pairs_processed = static_cast<std::size_t>(r.ReadU64());
+    report->per_pass.push_back(pass);
+  }
+}
+
+// ValidatedSink that additionally snapshots the full run after every
+// completed adjacency list and hands the envelope to `on_checkpoint`. When
+// the callback answers kStop the sink goes inert — the crash point: no
+// event past the checkpointed boundary reaches the validator or algorithm.
+// No checkpoint is offered once the validator has flagged a violation
+// (resuming from a known-bad stream position would be meaningless; the last
+// good snapshot predates the violation by construction).
+template <typename AlgoT, typename CheckpointFn>
+class CheckpointingSink {
+ public:
+  CheckpointingSink(AlgoT* algorithm, RunReport* report,
+                    StreamValidator* validator, CheckpointFn* on_checkpoint,
+                    const TraceOptions& trace = {})
+      : inner_(algorithm, report, validator, trace),
+        algorithm_(algorithm),
+        report_(report),
+        validator_(validator),
+        on_checkpoint_(on_checkpoint) {}
+
+  void BeginPass(int pass) {
+    pass_ = pass;
+    lists_done_ = 0;
+    inner_.BeginPass(pass);
+  }
+
+  // Resume counterpart: the restored run re-enters pass `pass` with
+  // `lists_done` lists already delivered before the crash.
+  void ResumePass(int pass, std::size_t lists_done) {
+    pass_ = pass;
+    lists_done_ = lists_done;
+    inner_.ResumePass(pass);
+  }
+
+  void BeginList(VertexId u) {
+    if (!stopped_) inner_.BeginList(u);
+  }
+  void OnPair(VertexId u, VertexId v) {
+    if (!stopped_) inner_.OnPair(u, v);
+  }
+  void OnList(VertexId u, std::span<const VertexId> list) {
+    if (!stopped_) inner_.OnList(u, list);
+  }
+
+  void EndList(VertexId u) {
+    if (stopped_) return;
+    inner_.EndList(u);
+    ++lists_done_;
+    if (!validator_->ok()) return;
+    snapshot::SnapshotWriter w;
+    w.WriteU64(static_cast<std::uint64_t>(pass_));
+    w.WriteU64(lists_done_);
+    SerializeReport(*report_, w);
+    validator_->Serialize(w);
+    algorithm_->Serialize(w);
+    if ((*on_checkpoint_)(pass_, lists_done_, std::move(w).Finish()) ==
+        CheckpointAction::kStop) {
+      stopped_ = true;
+    }
+  }
+
+  void EndPass() { inner_.EndPass(); }
+
+  bool stopped() const { return stopped_; }
+
+ private:
+  ValidatedSink<AlgoT> inner_;
+  AlgoT* algorithm_;
+  RunReport* report_;
+  StreamValidator* validator_;
+  CheckpointFn* on_checkpoint_;
+  int pass_ = 0;
+  std::size_t lists_done_ = 0;
+  bool stopped_ = false;
+};
+
+// Swallows a ReplayPass: used to advance a stateful stream's pass cursor
+// (fault schedules key off the pass number) past already-completed passes
+// when resuming.
+struct DiscardSink {
+  void BeginList(VertexId) {}
+  void OnPair(VertexId, VertexId) {}
+  void OnList(VertexId, std::span<const VertexId>) {}
+  void EndList(VertexId) {}
+};
+
+// Replay adapter that drops the first `skip` complete adjacency lists —
+// the lists a checkpoint already covers — and forwards the rest untouched.
+// Exposes OnList so batched streams keep their batch path for the
+// forwarded suffix.
+template <typename SinkT>
+class ListSkippingSink {
+ public:
+  ListSkippingSink(SinkT* inner, std::size_t skip)
+      : inner_(inner), skip_(skip) {}
+
+  void BeginList(VertexId u) {
+    if (skip_ == 0) inner_->BeginList(u);
+  }
+  void OnPair(VertexId u, VertexId v) {
+    if (skip_ == 0) inner_->OnPair(u, v);
+  }
+  void OnList(VertexId u, std::span<const VertexId> list) {
+    if (skip_ == 0) inner_->OnList(u, list);
+  }
+  void EndList(VertexId u) {
+    if (skip_ == 0) {
+      inner_->EndList(u);
+    } else {
+      --skip_;
+    }
+  }
+
+ private:
+  SinkT* inner_;
+  std::size_t skip_;
+};
 
 inline void ExportDriverMetrics(const RunReport& report,
                                 obs::MetricsRegistry* metrics) {
@@ -392,6 +595,140 @@ StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
   StreamValidator validator(&stream.graph());
   internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator, trace);
   for (int pass = 0; pass < report.passes_requested; ++pass) {
+    sink.BeginPass(pass);
+    validator.BeginPass(pass);
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    validator.EndPass(pass);
+    algorithm->EndPass(pass);
+    sink.EndPass();
+    if (!validator.ok()) {
+      if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+      return validator.ToStatus();
+    }
+  }
+  internal::ExportDriverMetrics(report, trace.metrics);
+  if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+  return report;
+}
+
+/// `RunPassesChecked` with crash-recovery checkpoints: after every completed
+/// adjacency list (while the validator is still happy) the full run state —
+/// pass/list position, RunReport so far, validator, algorithm — is
+/// serialized into one snapshot envelope and passed to `on_checkpoint` as
+/// `(pass, lists_done, bytes)`. The callback decides the run's fate:
+/// kContinue keeps streaming, kStop simulates a crash at exactly that
+/// boundary (nothing further is delivered; `stopped` is set in the result).
+/// Feed the last snapshot to `ResumePassesChecked` on fresh objects to
+/// finish the run bit-identically.
+///
+/// Checkpointing never perturbs the run itself: with a kContinue-always
+/// callback, the estimate and RunReport equal a plain `RunPassesChecked`.
+template <typename StreamT, typename AlgoT, typename CheckpointFn>
+CheckpointedRun RunPassesCheckedWithCheckpoints(
+    const StreamT& stream, AlgoT* algorithm, CheckpointFn&& on_checkpoint,
+    const TraceOptions& trace = {}) {
+  static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  internal::RewindIfResettable(stream);
+  CheckpointedRun result;
+  result.report.passes_requested = algorithm->passes();
+  CYCLESTREAM_CHECK_GE(result.report.passes_requested, 1);
+  StreamValidator validator(&stream.graph());
+  auto* callback = &on_checkpoint;
+  internal::CheckpointingSink<AlgoT, std::remove_reference_t<CheckpointFn>>
+      sink(algorithm, &result.report, &validator, callback, trace);
+  for (int pass = 0; pass < result.report.passes_requested; ++pass) {
+    sink.BeginPass(pass);
+    validator.BeginPass(pass);
+    algorithm->BeginPass(pass);
+    stream.ReplayPass(sink);
+    if (sink.stopped()) {
+      // Crash point: pass-end bookkeeping belongs to the resumed run.
+      result.stopped = true;
+      return result;
+    }
+    validator.EndPass(pass);
+    algorithm->EndPass(pass);
+    sink.EndPass();
+    if (!validator.ok()) {
+      if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+      result.status = validator.ToStatus();
+      return result;
+    }
+  }
+  internal::ExportDriverMetrics(result.report, trace.metrics);
+  if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+  return result;
+}
+
+/// Resumes a checkpointed run from `snapshot` bytes alone. `algorithm` must
+/// be a FRESH instance constructed with the same options as the
+/// checkpointed one, and `stream` must replay the same stream; everything
+/// else — pass/list cursor, RunReport, validator bookkeeping, algorithm
+/// state — is restored from the snapshot. The remaining lists are then
+/// streamed under the same online validation as `RunPassesChecked`, and the
+/// returned RunReport (and the algorithm's estimate) is bit-identical to an
+/// uninterrupted checked run.
+///
+/// Every corruption class maps to a typed error before any state is
+/// trusted: truncated/bit-flipped envelopes → kDataLoss, wrong magic →
+/// kInvalidArgument, wrong version or an options/graph/pass-shape mismatch
+/// → kFailedPrecondition. On error the algorithm may be partially restored
+/// and must be discarded — but no estimate is ever produced from bad bytes.
+template <typename StreamT, typename AlgoT>
+StatusOr<RunReport> ResumePassesChecked(
+    const StreamT& stream, AlgoT* algorithm,
+    std::span<const std::uint8_t> snapshot_bytes,
+    const TraceOptions& trace = {}) {
+  static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
+  CYCLESTREAM_CHECK(algorithm != nullptr);
+  StatusOr<snapshot::SnapshotReader> reader =
+      snapshot::SnapshotReader::Open(snapshot_bytes);
+  if (!reader.ok()) return reader.status();
+  const std::uint64_t resume_pass64 = reader->ReadU64();
+  const std::uint64_t lists_done = reader->ReadU64();
+  RunReport report;
+  internal::RestoreReport(*reader, &report);
+  if (!reader->status().ok()) return reader->status();
+  const int resume_pass = static_cast<int>(resume_pass64);
+  if (report.passes_requested != algorithm->passes() || resume_pass < 0 ||
+      resume_pass >= report.passes_requested ||
+      report.per_pass.size() != static_cast<std::size_t>(resume_pass) + 1) {
+    return Status::FailedPrecondition(
+        "checkpoint pass bookkeeping does not match the algorithm");
+  }
+  StreamValidator validator(&stream.graph());
+  Status restored = validator.Restore(*reader);
+  if (!restored.ok()) return restored;
+  restored = algorithm->Restore(*reader);
+  if (!restored.ok()) return restored;
+  restored = reader->Final();
+  if (!restored.ok()) return restored;
+
+  internal::RewindIfResettable(stream);
+  if constexpr (requires { stream.ResetPasses(); }) {
+    // Stateful stream: burn the completed passes so its per-pass cursor
+    // (e.g. a fault schedule keyed on the pass number) lines up.
+    internal::DiscardSink discard;
+    for (int pass = 0; pass < resume_pass; ++pass) stream.ReplayPass(discard);
+  }
+
+  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator, trace);
+  // The resume pass was already begun before the crash: restore its tracing
+  // context without re-running BeginPass on the validator or algorithm, and
+  // skip the lists the checkpoint already covers.
+  sink.ResumePass(resume_pass);
+  internal::ListSkippingSink<decltype(sink)> skipping(&sink, lists_done);
+  stream.ReplayPass(skipping);
+  validator.EndPass(resume_pass);
+  algorithm->EndPass(resume_pass);
+  sink.EndPass();
+  if (!validator.ok()) {
+    if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
+    return validator.ToStatus();
+  }
+  for (int pass = resume_pass + 1; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     validator.BeginPass(pass);
     algorithm->BeginPass(pass);

@@ -93,7 +93,12 @@ FaultInjectingStream::FaultInjectingStream(const AdjacencyListStream* base,
     }
     case FaultKind::kTruncatePass: {
       CYCLESTREAM_CHECK_GE(base_->stream_length(), 1u);
-      truncate_after_ = rng.NextBounded(base_->stream_length());
+      if (spec_.truncate_at == FaultSpec::kDeriveFromSeed) {
+        truncate_after_ = rng.NextBounded(base_->stream_length());
+      } else {
+        CYCLESTREAM_CHECK_LT(spec_.truncate_at, base_->stream_length());
+        truncate_after_ = spec_.truncate_at;
+      }
       fault_position_ = truncate_after_;
       return;
     }

@@ -46,11 +46,23 @@ const char* FaultKindName(FaultKind kind);
 /// from `seed` in the decorator's constructor, so a spec plus a stream seed
 /// reproduces the same corrupted stream bit for bit.
 struct FaultSpec {
+  /// `truncate_at` sentinel: derive the cut position from `seed`.
+  static constexpr std::size_t kDeriveFromSeed =
+      static_cast<std::size_t>(-1);
+
   FaultKind kind = FaultKind::kNone;
   /// Pass to corrupt (0-based). `kReplayDivergence` requires pass >= 1 —
   /// pass 0 *defines* the order, so only later passes can diverge from it.
   int pass = 0;
   std::uint64_t seed = 0;
+  /// For `kTruncatePass` only: exact pair count after which the stream
+  /// stops (must be < stream_length()). The default derives a random cut
+  /// from `seed`. Setting it to a value that falls exactly on an
+  /// adjacency-list boundary produces a *clean-boundary* truncation — every
+  /// delivered list closes normally and the remaining lists simply never
+  /// arrive — which the validator must still flag (a truncated pass is a
+  /// truncated pass whether or not a list was mid-flight).
+  std::size_t truncate_at = kDeriveFromSeed;
 };
 
 /// An `AdjacencyListStream` with one injected model violation.
@@ -93,6 +105,10 @@ class FaultInjectingStream {
     // Deferred second segment of a split list.
     bool split_pending = false;
     for (VertexId u : base_->list_order()) {
+      if (corrupt && spec_.kind == FaultKind::kTruncatePass &&
+          emitted == truncate_after_) {
+        return;  // clean-boundary cut: this list never even begins
+      }
       auto list = base_->ListOf(u);
       if (corrupt && spec_.kind == FaultKind::kSplitList &&
           u == target_list_) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "snapshot/codec.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -242,6 +243,13 @@ void StreamValidator::EndPass(int pass) {
     Report(ViolationKind::kTruncatedPass, 0,
            "pass delivered " + std::to_string(position_) + " of " +
                std::to_string(2 * graph_->num_edges()) + " pairs");
+  } else if (ok() && open_list_index_ < graph_->num_vertices()) {
+    // All 2m pairs arrived but some adjacency lists never did — possible
+    // only when the cut lands on a list boundary and every remaining list
+    // is empty. Still a truncation: the model promises one list per vertex.
+    Report(ViolationKind::kTruncatedPass, 0,
+           "pass delivered " + std::to_string(open_list_index_) + " of " +
+               std::to_string(graph_->num_vertices()) + " adjacency lists");
   } else if (pass_ > 0 && ok() &&
              open_list_index_ != first_pass_order_.size()) {
     Report(ViolationKind::kReplayDivergence, 0,
@@ -272,6 +280,113 @@ void StreamValidator::ExportMetrics(obs::MetricsRegistry* metrics) const {
                      ViolationKindName(static_cast<ViolationKind>(i)))
         .Increment(counters_.violations_by_kind[i]);
   }
+}
+
+namespace {
+
+void WriteViolationOpt(snapshot::SnapshotWriter& w,
+                       const std::optional<Violation>& v) {
+  w.WriteBool(v.has_value());
+  if (!v.has_value()) return;
+  w.WriteU8(static_cast<std::uint8_t>(v->kind));
+  w.WriteU64(static_cast<std::uint64_t>(v->pass));
+  w.WriteU64(v->position);
+  w.WriteU32(v->list);
+  w.WriteString(v->detail);
+}
+
+std::optional<Violation> ReadViolationOpt(snapshot::SnapshotReader& r) {
+  if (!r.ReadBool()) return std::nullopt;
+  Violation v;
+  v.kind = static_cast<ViolationKind>(r.ReadU8());
+  v.pass = static_cast<int>(r.ReadU64());
+  v.position = r.ReadU64();
+  v.list = r.ReadU32();
+  v.detail = r.ReadString();
+  return v;
+}
+
+}  // namespace
+
+void StreamValidator::Serialize(snapshot::SnapshotWriter& w) const {
+  // Graph-shape guard: a checkpoint only resumes against the same graph.
+  w.WriteU64(graph_->num_vertices());
+  w.WriteU64(graph_->num_edges());
+  WriteViolationOpt(w, violation_);
+  WriteViolationOpt(w, pending_missing_);
+  w.WriteU64(counters_.events_checked);
+  w.WriteU64(counters_.passes_checked);
+  w.WriteU64(counters_.lists_checked);
+  w.WriteU64(counters_.pairs_checked);
+  w.WriteU64(counters_.violations_total);
+  for (std::uint64_t count : counters_.violations_by_kind) w.WriteU64(count);
+  w.WriteU64(static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
+  w.WriteBool(in_pass_);
+  w.WriteU64(position_);
+  // Only list-boundary snapshots are defined (no list may be open); the
+  // per-list transients (fingerprint, pair count, seen set) are therefore
+  // dead state and are not serialized.
+  CYCLESTREAM_CHECK(!list_open_);
+  w.WriteU64(open_list_index_);
+  w.WriteU64(closed_.size());
+  std::uint8_t packed = 0;
+  for (std::size_t i = 0; i < closed_.size(); ++i) {
+    if (closed_[i]) packed |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7 || i + 1 == closed_.size()) {
+      w.WriteU8(packed);
+      packed = 0;
+    }
+  }
+  w.WriteU64(first_pass_order_.size());
+  for (VertexId u : first_pass_order_) w.WriteU32(u);
+  for (std::uint64_t fp : first_pass_fingerprints_) w.WriteU64(fp);
+  w.WriteU64(first_pass_pairs_);
+}
+
+Status StreamValidator::Restore(snapshot::SnapshotReader& r) {
+  const std::uint64_t vertices = r.ReadU64();
+  const std::uint64_t edges = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (vertices != graph_->num_vertices() || edges != graph_->num_edges()) {
+    return Status::FailedPrecondition(
+        "validator snapshot was taken against a different graph");
+  }
+  violation_ = ReadViolationOpt(r);
+  pending_missing_ = ReadViolationOpt(r);
+  counters_.events_checked = r.ReadU64();
+  counters_.passes_checked = r.ReadU64();
+  counters_.lists_checked = r.ReadU64();
+  counters_.pairs_checked = r.ReadU64();
+  counters_.violations_total = r.ReadU64();
+  for (std::uint64_t& count : counters_.violations_by_kind) count = r.ReadU64();
+  pass_ = static_cast<int>(r.ReadU64()) - 1;
+  in_pass_ = r.ReadBool();
+  position_ = r.ReadU64();
+  list_open_ = false;
+  open_list_index_ = r.ReadU64();
+  const std::uint64_t closed_bits = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (closed_bits != closed_.size()) {
+    return Status::FailedPrecondition(
+        "validator snapshot closed-list bitmap size mismatch");
+  }
+  std::uint8_t packed = 0;
+  for (std::size_t i = 0; i < closed_bits; ++i) {
+    if (i % 8 == 0) packed = r.ReadU8();
+    closed_[i] = (packed >> (i % 8)) & 1;
+  }
+  const std::uint64_t first_lists = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  first_pass_order_.clear();
+  first_pass_fingerprints_.clear();
+  for (std::uint64_t i = 0; i < first_lists && r.status().ok(); ++i) {
+    first_pass_order_.push_back(r.ReadU32());
+  }
+  for (std::uint64_t i = 0; i < first_lists && r.status().ok(); ++i) {
+    first_pass_fingerprints_.push_back(r.ReadU64());
+  }
+  first_pass_pairs_ = r.ReadU64();
+  return r.status();
 }
 
 Status StreamValidator::ToStatus() const {

@@ -40,6 +40,7 @@
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
+#include "snapshot/snapshot.h"
 #include "util/status.h"
 
 namespace cyclestream {
@@ -136,6 +137,17 @@ class StreamValidator {
   /// "validator.pairs_checked", "validator.violations_total", and
   /// "validator.violations.<kind-name>" (only kinds with count > 0).
   void ExportMetrics(obs::MetricsRegistry* metrics) const;
+
+  /// Writes the validator's complete state (violations, counters, pass
+  /// bookkeeping, replay fingerprints) for crash-recovery checkpoints. Only
+  /// valid at adjacency-list boundaries. A fresh validator over the same
+  /// graph that Restore()s these bytes continues exactly where this one
+  /// stopped — same violations, same counters, same replay checking.
+  void Serialize(snapshot::SnapshotWriter& w) const;
+
+  /// Inverse of Serialize on a fresh validator for the same graph; returns
+  /// kFailedPrecondition when the snapshot's graph shape disagrees.
+  Status Restore(snapshot::SnapshotReader& r);
 
  private:
   // The per-pair contract checks, shared verbatim by OnPair and OnList so

@@ -63,6 +63,11 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+void Rng::SetState(const std::uint64_t in[4]) {
+  CYCLESTREAM_CHECK(in[0] != 0 || in[1] != 0 || in[2] != 0 || in[3] != 0);
+  for (int i = 0; i < 4; ++i) s_[i] = in[i];
+}
+
 Rng Rng::Fork() {
   Rng child(0);
   for (auto& word : child.s_) word = Next64();

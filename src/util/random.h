@@ -40,6 +40,16 @@ class Rng {
   /// Forks an independent generator; deterministic given this Rng's state.
   Rng Fork();
 
+  /// Copies the four state words out (for checkpointing; see src/snapshot/).
+  void GetState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+
+  /// Overwrites the state words; the generator resumes exactly where the
+  /// saved generator stood. All-zero state is invalid for xoshiro256** and
+  /// rejected by CHECK (it cannot be produced by GetState of a seeded Rng).
+  void SetState(const std::uint64_t in[4]);
+
   /// Fisher-Yates shuffle of `data[0..n)`.
   template <typename T>
   void Shuffle(T* data, std::size_t n) {

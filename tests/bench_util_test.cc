@@ -135,5 +135,36 @@ TEST(TableTest, IntColumnFormatsDoublesAsIntegers) {
   EXPECT_EQ(table.FormatRow({std::size_t{9}}), "9");
 }
 
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(bench::CsvEscape("plain"), "plain");
+  EXPECT_EQ(bench::CsvEscape(""), "");
+  EXPECT_EQ(bench::CsvEscape("has space"), "has space");
+  EXPECT_EQ(bench::CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(bench::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(bench::CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(bench::CsvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(TableTest, CsvModeQuotesFieldsWithCommasAndQuotes) {
+  // A generator label like "chung-lu, gamma=2.5" must stay one CSV column.
+  bench::BenchOptions opts;
+  opts.csv = true;
+  bench::Table table(
+      opts, {{"graph", 24, bench::kColStr}, {"T", 8, bench::kColInt}});
+  EXPECT_EQ(table.FormatRow({"chung-lu, gamma=2.5", std::size_t{12}}),
+            "\"chung-lu, gamma=2.5\",12");
+  EXPECT_EQ(table.FormatRow({"said \"ok\"", std::size_t{1}}),
+            "\"said \"\"ok\"\"\",1");
+  // Header fields are escaped too.
+  bench::Table weird(opts, {{"a,b", 6, bench::kColInt}});
+  EXPECT_EQ(weird.FormatHeader(), "\"a,b\"");
+  // Table (aligned) mode is untouched by escaping.
+  bench::BenchOptions aligned;
+  bench::Table plain(aligned,
+                     {{"graph", 21, bench::kColStr}, {"T", 4, bench::kColInt}});
+  EXPECT_EQ(plain.FormatRow({"chung-lu, gamma=2.5", std::size_t{12}}),
+            "  chung-lu, gamma=2.5   12");
+}
+
 }  // namespace
 }  // namespace cyclestream

@@ -272,6 +272,80 @@ TEST(RunPassesChecked, MatchesUncheckedDriverOnCleanStreams) {
   EXPECT_EQ(plain.passes_requested, strict->passes_requested);
 }
 
+TEST(FaultInjectingStream, TruncationOnListBoundaryIsStillFlagged) {
+  // truncate_at landing exactly on an adjacency-list boundary: every
+  // delivered list closes cleanly and the rest never arrive. The validator
+  // must still report a truncated pass — no open list is not the same as a
+  // complete pass.
+  Graph g = gen::Complete(6);  // every list has degree 5
+  AdjacencyListStream base(&g, 7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTruncatePass;
+  spec.pass = 0;
+  spec.truncate_at = 15;  // exactly three whole lists
+  FaultInjectingStream faulty(&base, spec);
+
+  // The cut really is clean: the sink sees balanced Begin/End for the
+  // three delivered lists and nothing after.
+  struct Recorder {
+    std::size_t begins = 0, ends = 0, pairs = 0;
+    void BeginList(VertexId) { ++begins; }
+    void OnPair(VertexId, VertexId) { ++pairs; }
+    void EndList(VertexId) { ++ends; }
+  } recorder;
+  faulty.ReplayPass(recorder);
+  EXPECT_EQ(recorder.begins, 3u);
+  EXPECT_EQ(recorder.ends, 3u);
+  EXPECT_EQ(recorder.pairs, 15u);
+
+  faulty.ResetPasses();
+  Status status = ValidateStream(faulty, 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated-pass"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(StreamValidator, MissingTrailingZeroDegreeListsAreFlagged) {
+  // A pass that delivers all 2m pairs but skips trailing zero-degree lists
+  // passes the pair-count check; the list count must catch it.
+  Graph g = Graph::FromEdges(4, {{0, 1}});  // vertices 2, 3 isolated
+  StreamValidator validator(&g);
+  validator.BeginPass(0);
+  validator.BeginList(0);
+  validator.OnPair(0, 1);
+  validator.EndList(0);
+  validator.BeginList(1);
+  validator.OnPair(1, 0);
+  validator.EndList(1);
+  // Lists 2 and 3 (degree zero) never arrive.
+  validator.EndPass(0);
+  ASSERT_FALSE(validator.ok());
+  EXPECT_EQ(validator.violation()->kind, ViolationKind::kTruncatedPass);
+  EXPECT_NE(validator.violation()->detail.find("adjacency lists"),
+            std::string::npos);
+}
+
+TEST(FaultInjectingStream, ExplicitTruncateAtIsExact) {
+  Graph g = gen::ErdosRenyiGnp(12, 0.4, 3);
+  AdjacencyListStream base(&g, 5);
+  for (std::size_t cut : {0u, 1u, 7u}) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kTruncatePass;
+    spec.truncate_at = cut;
+    FaultInjectingStream faulty(&base, spec);
+    EXPECT_EQ(faulty.fault_position(), cut);
+    struct Counter {
+      std::size_t pairs = 0;
+      void BeginList(VertexId) {}
+      void OnPair(VertexId, VertexId) { ++pairs; }
+      void EndList(VertexId) {}
+    } counter;
+    faulty.ReplayPass(counter);
+    EXPECT_EQ(counter.pairs, cut);
+  }
+}
+
 }  // namespace
 }  // namespace stream
 }  // namespace cyclestream

@@ -135,6 +135,50 @@ TEST(EdgeList, MissingSecondFieldFails) {
   std::remove(path.c_str());
 }
 
+TEST(EdgeList, FinalLineWithoutNewlineIsParsed) {
+  // A last line missing its terminating newline is still a line: the edge
+  // on it must be read, never silently dropped.
+  std::string path = TempPath("no_newline.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 2\n2 0";  // no trailing '\n'
+  }
+  auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.has_value()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(exact::CountTriangles(*g), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, MalformedFinalLineWithoutNewlineFailsWithPosition) {
+  // The same missing-newline last line, malformed: must be a parse error
+  // carrying path:line — not silent truncation to the valid prefix.
+  struct Case {
+    const char* tail;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"2 x", "malformed vertex id"},
+      {"2", "expected two vertex ids"},
+      {"2 0 junk", "trailing garbage"},
+      {"-3 0", "negative vertex id"},
+  };
+  for (const Case& c : cases) {
+    std::string path = TempPath("bad_tail.txt");
+    {
+      std::ofstream out(path);
+      out << "0 1\n1 2\n" << c.tail;  // no trailing '\n'
+    }
+    auto g = ReadEdgeList(path);
+    ASSERT_FALSE(g.has_value()) << "tail '" << c.tail << "'";
+    EXPECT_NE(g.status().message().find(path + ":3"), std::string::npos)
+        << g.status().ToString();
+    EXPECT_NE(g.status().message().find(c.needle), std::string::npos)
+        << g.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
 TEST(EdgeList, OptionalShimMatchesStatusOr) {
   std::string good = TempPath("shim_good.txt");
   {

@@ -160,9 +160,12 @@ TEST(SerializedProtocol, MessageSizeIsLinearInSample) {
     core::TriangleDistinguisherResult result;
     ProtocolRun run =
         RunSerializedDistinguisherProtocol(g, options, 7, &result);
-    // Wire format: 4 u64 header words + 8 bytes per sampled edge.
-    EXPECT_LE(run.max_message_bytes, 32 + 8 * sample);
-    EXPECT_GE(run.max_message_bytes, 32u);
+    // Wire = snapshot envelope + fixed header fields + O(1) words per
+    // sampled edge (key, heap entry, watcher-list entries): linear in the
+    // sample size with a generous constant.
+    EXPECT_LE(run.max_message_bytes,
+              snapshot::kEnvelopeBytes + 128 + 96 * sample);
+    EXPECT_GE(run.max_message_bytes, snapshot::kEnvelopeBytes + 40u);
     // 3 players, 2 passes: 5 internal boundaries.
     EXPECT_EQ(run.message_bytes.size(), 5u);
   }

@@ -1,0 +1,211 @@
+// The snapshot envelope layer: primitive round-trips, CRC vectors, and —
+// the part the chaos harness leans on — every corruption class mapping to
+// its typed Status code, never to a successfully-opened reader.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snapshot/snapshot.h"
+#include "util/status.h"
+
+namespace cyclestream {
+namespace snapshot {
+namespace {
+
+std::vector<std::uint8_t> SampleEnvelope() {
+  SnapshotWriter w;
+  w.WriteU8(0x5a);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteDouble(-2.5);
+  w.WriteBool(true);
+  w.WriteString("adjacency");
+  return std::move(w).Finish();
+}
+
+TEST(Snapshot, PrimitivesRoundTrip) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->ReadU8(), 0x5a);
+  EXPECT_EQ(r->ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r->ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r->ReadDouble(), -2.5);
+  EXPECT_TRUE(r->ReadBool());
+  EXPECT_EQ(r->ReadString(), "adjacency");
+  EXPECT_EQ(r->remaining(), 0u);
+  EXPECT_TRUE(r->Final().ok());
+}
+
+TEST(Snapshot, DoubleRoundTripsBitExactly) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-300, -1e300, 6.02e23};
+  SnapshotWriter w;
+  for (double v : values) w.WriteDouble(v);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  for (double v : values) {
+    double got = r->ReadDouble();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+  }
+}
+
+TEST(Snapshot, BytesRoundTrip) {
+  std::vector<std::uint8_t> blob = {0, 255, 7, 7, 0};
+  SnapshotWriter w;
+  w.WriteBytes(blob);
+  w.WriteBytes({});  // empty is legal
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadBytesVec(), blob);
+  EXPECT_TRUE(r->ReadBytesVec().empty());
+  EXPECT_TRUE(r->Final().ok());
+}
+
+TEST(Snapshot, EmptyPayloadEnvelopeIsValid) {
+  SnapshotWriter w;
+  EXPECT_EQ(w.payload_size(), 0u);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  EXPECT_EQ(bytes.size(), kEnvelopeBytes);
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->remaining(), 0u);
+  EXPECT_TRUE(r->Final().ok());
+}
+
+TEST(Snapshot, Crc32KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(Crc32({}), 0u);
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(check), 0xcbf43926u);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(Crc32(a), 0xe8b7be43u);
+}
+
+// --- Corruption classes. Each must be a typed open failure. ---
+
+TEST(SnapshotCorruption, TruncatedBufferIsDataLoss) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  for (std::size_t keep : {0u, 1u, 8u, 19u, 23u}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    StatusOr<SnapshotReader> r = SnapshotReader::Open(cut);
+    ASSERT_FALSE(r.ok()) << "kept " << keep;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "kept " << keep;
+  }
+  // Mid-payload cuts too (length field no longer matches the buffer).
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(cut);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotCorruption, TrailingGarbageIsDataLoss) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  bytes.push_back(0xcc);
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotCorruption, BadMagicIsInvalidArgument) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  bytes[0] ^= 0xff;
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotCorruption, WrongVersionIsFailedPrecondition) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  bytes[8] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+  // Version is CRC-covered, so restamp the checksum: the reader must reject
+  // on the version check itself, not merely via the CRC.
+  const std::uint32_t crc =
+      Crc32({bytes.data(), bytes.size() - 4});
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotCorruption, EveryPayloadBitFlipIsCaught) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<std::uint8_t> flipped = bytes;
+      flipped[i] ^= static_cast<std::uint8_t>(1u << bit);
+      StatusOr<SnapshotReader> r = SnapshotReader::Open(flipped);
+      EXPECT_FALSE(r.ok()) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(SnapshotCorruption, ChecksumMismatchIsDataLoss) {
+  std::vector<std::uint8_t> bytes = SampleEnvelope();
+  bytes[kEnvelopeBytes - 2] ^= 0x01;  // flip a CRC byte directly
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Poisoned-reader semantics (layout skew within a valid envelope). ---
+
+TEST(SnapshotReaderTest, ReadPastPayloadPoisonsAndReturnsZero) {
+  SnapshotWriter w;
+  w.WriteU32(41);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadU32(), 41u);
+  EXPECT_EQ(r->ReadU64(), 0u);  // past the end
+  EXPECT_EQ(r->status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r->ReadU32(), 0u);  // stays poisoned
+  EXPECT_FALSE(r->Final().ok());
+}
+
+TEST(SnapshotReaderTest, LeftoverBytesFailFinal) {
+  SnapshotWriter w;
+  w.WriteU64(1);
+  w.WriteU64(2);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadU64(), 1u);
+  EXPECT_TRUE(r->status().ok());  // reads so far are fine
+  EXPECT_EQ(r->Final().code(), StatusCode::kDataLoss);  // 8 bytes unread
+}
+
+TEST(SnapshotReaderTest, OversizedStringLengthIsCaught) {
+  // A length prefix larger than the remaining payload must poison, not
+  // allocate or read out of bounds.
+  SnapshotWriter w;
+  w.WriteU64(1u << 20);  // claims a 1 MiB string
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<SnapshotReader> r = SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ReadString();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(r->status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Snapshot, PayloadSizeMatchesEnvelope) {
+  SnapshotWriter w;
+  w.WriteU64(7);
+  w.WriteString("xy");
+  const std::size_t payload = w.payload_size();
+  EXPECT_EQ(payload, 8u + 8u + 2u);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  EXPECT_EQ(bytes.size(), payload + kEnvelopeBytes);
+}
+
+}  // namespace
+}  // namespace snapshot
+}  // namespace cyclestream
