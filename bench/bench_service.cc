@@ -1,0 +1,218 @@
+// Service saturation sweep: ingest throughput of the sharded many-stream
+// estimator service (src/service) across streams × shards, with the
+// determinism contract checked on every configuration.
+//
+// Each hosted stream replays one generator-family graph through one of the
+// seven estimator kinds. The sweep feeds all streams maximally interleaved
+// (event k of every stream before event k+1 of any) and measures end-to-end
+// adjacency-pair throughput from first Append to Flush. Afterward every
+// stream is queried and its estimate and RunReport are compared — bitwise —
+// against the single-stream driver run of the identical estimator: the
+// service must be a pure scheduling layer, never a semantic one.
+//
+// Manifest output (--metrics-out): one curve per shard count,
+// `service_pairs_per_sec/shards=N`, with x = hosted streams and
+// y = pairs/sec — the saturation curves committed to BENCH_baseline.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph.h"
+#include "service/estimator_host.h"
+#include "service/service.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+namespace {
+
+using service::EstimatorKind;
+using service::EstimatorService;
+using service::EstimatorSpec;
+using service::HostedEstimator;
+using service::kEstimatorKinds;
+using service::ServiceOptions;
+using service::StreamId;
+using service::StreamView;
+
+// One client-side event: a whole adjacency list, or a pass boundary.
+struct Event {
+  bool end_pass = false;
+  VertexId u = 0;
+  std::vector<VertexId> list;
+};
+
+// A (graph variant, estimator kind) template: the event tape all streams of
+// this combo replay, plus the driver-computed reference they must match.
+struct Template {
+  EstimatorSpec spec;
+  std::vector<Event> events;
+  double want_estimate = 0.0;
+  stream::RunReport want_report;
+  std::uint64_t pairs = 0;  // total OnPair events across all passes
+};
+
+constexpr int kGraphVariants = 4;
+
+std::vector<Template> BuildTemplates(std::size_t graph_n, double graph_p) {
+  std::vector<Template> out;
+  for (int variant = 0; variant < kGraphVariants; ++variant) {
+    Graph g = gen::ErdosRenyiGnp(graph_n, graph_p,
+                                 1000 + static_cast<std::uint64_t>(variant));
+    stream::AdjacencyListStream stream(&g,
+                                       17 + static_cast<std::uint64_t>(variant));
+    for (int k = 0; k < kEstimatorKinds; ++k) {
+      Template t;
+      t.spec.kind = static_cast<EstimatorKind>(k);
+      t.spec.slots = 16;
+      t.spec.seed = 100 + static_cast<std::uint64_t>(variant * kEstimatorKinds + k);
+
+      StatusOr<HostedEstimator> ref = service::MakeHosted(t.spec);
+      CYCLESTREAM_CHECK(ref.ok());
+      t.want_report = stream::RunPasses(stream, ref->algo.get());
+      t.want_estimate = ref->estimate(*ref->algo);
+      t.pairs = t.want_report.pairs_processed;
+
+      for (int pass = 0; pass < ref->algo->passes(); ++pass) {
+        for (VertexId u : stream.list_order()) {
+          auto span = stream.ListOf(u);
+          t.events.push_back(
+              {false, u, std::vector<VertexId>(span.begin(), span.end())});
+        }
+        t.events.push_back({true, 0, {}});
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+struct SweepPoint {
+  double wall_seconds = 0.0;
+  std::uint64_t pairs = 0;
+  std::size_t mismatches = 0;
+};
+
+// Hosts `streams` streams (round-robin over the templates) on a service with
+// `shards` shards, replays all tapes maximally interleaved, then verifies
+// every stream bitwise against its driver reference.
+SweepPoint RunConfig(const std::vector<Template>& templates,
+                     std::size_t streams, int shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  EstimatorService svc(options);
+
+  std::vector<std::future<Status>> created;
+  created.reserve(streams);
+  for (StreamId id = 1; id <= streams; ++id) {
+    created.push_back(
+        svc.Create(id, templates[(id - 1) % templates.size()].spec));
+  }
+  for (auto& f : created) CYCLESTREAM_CHECK(f.get().ok());
+
+  std::size_t longest = 0;
+  for (const Template& t : templates) {
+    longest = std::max(longest, t.events.size());
+  }
+
+  SweepPoint point;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < longest; ++k) {
+    for (StreamId id = 1; id <= streams; ++id) {
+      const Template& t = templates[(id - 1) % templates.size()];
+      if (k >= t.events.size()) continue;
+      const Event& e = t.events[k];
+      if (e.end_pass) {
+        svc.EndPass(id);
+      } else {
+        svc.Append(id, e.u, e.list);
+      }
+    }
+  }
+  svc.Flush();
+  point.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (StreamId id = 1; id <= streams; ++id) {
+    const Template& t = templates[(id - 1) % templates.size()];
+    point.pairs += t.pairs;
+    StatusOr<StreamView> view = svc.Query(id).get();
+    if (!view.ok() || !view->finished ||
+        view->estimate != t.want_estimate ||
+        view->report.pairs_processed != t.want_report.pairs_processed ||
+        view->report.reported_peak_bytes !=
+            t.want_report.reported_peak_bytes ||
+        view->report.audited_peak_bytes != t.want_report.audited_peak_bytes) {
+      ++point.mismatches;
+    }
+  }
+  return point;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseOptions(argc, argv);
+  bench::PrintHeader(
+      opts, "Service saturation: sharded many-stream ingest throughput",
+      "pairs/sec vs hosted streams per shard count; every configuration "
+      "verified bitwise against the single-stream driver");
+
+  const std::size_t graph_n = opts.full ? 64 : 32;
+  const double graph_p = 0.25;
+  const std::vector<std::size_t> stream_counts =
+      opts.full ? std::vector<std::size_t>{16, 64, 256, 1024}
+                : std::vector<std::size_t>{8, 32, 128};
+  const std::vector<int> shard_counts =
+      opts.full ? std::vector<int>{1, 2, 4, 8, 16}
+                : std::vector<int>{1, 2, 4, 8};
+
+  const std::vector<Template> templates = BuildTemplates(graph_n, graph_p);
+
+  bench::Table table(opts, {{"shards", 8, bench::kColInt},
+                            {"streams", 9, bench::kColInt},
+                            {"pairs", 12, bench::kColInt},
+                            {"wall_s", 9, 4},
+                            {"pairs/s", 12, 0}});
+  table.PrintHeader();
+
+  std::size_t total_mismatches = 0;
+  for (int shards : shard_counts) {
+    for (std::size_t streams : stream_counts) {
+      SweepPoint p = RunConfig(templates, streams, shards);
+      const double rate =
+          p.wall_seconds > 0.0
+              ? static_cast<double>(p.pairs) / p.wall_seconds
+              : 0.0;
+      total_mismatches += p.mismatches;
+      table.PrintRow({static_cast<std::size_t>(shards), streams, p.pairs,
+                      p.wall_seconds, rate});
+      bench::CurvePoint(
+          "service_pairs_per_sec/shards=" + std::to_string(shards),
+          static_cast<double>(streams), rate);
+    }
+  }
+
+  bench::Note(opts,
+              "\n%s: every (streams, shards) configuration matches the "
+              "single-stream driver bitwise (estimate + report)\n",
+              total_mismatches == 0 ? "PASS" : "FAIL");
+  if (total_mismatches != 0) {
+    bench::Note(opts, "  %zu stream(s) diverged\n", total_mismatches);
+  }
+  return total_mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace cyclestream
+
+int main(int argc, char** argv) { return cyclestream::Main(argc, argv); }

@@ -46,9 +46,9 @@ void ExactStreamTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
   snapshot::WriteScratchCapacity(w, current_list_);
   snapshot::WriteBucketCount(w, edge_state_);
   w.WriteU64(edge_state_.size());
-  for (const auto& [key, state] : edge_state_) {
+  for (const EdgeKey key : snapshot::SortedKeys(edge_state_)) {
     w.WriteU64(key);
-    w.WriteU8(state);
+    w.WriteU8(edge_state_.find(key)->second);
   }
 }
 

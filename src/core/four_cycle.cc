@@ -47,13 +47,22 @@ obs::AccountedVector<std::uint32_t>& TwoPassFourCycleCounter::WedgeWatchers(
 void TwoPassFourCycleCounter::BeginPass(int pass) { pass_ = pass; }
 
 void TwoPassFourCycleCounter::BuildWedges() {
-  // Group sampled edges by endpoint and form every wedge inside S.
+  // Group sampled edges by endpoint and form every wedge inside S. Centers
+  // are visited in sorted order so the wedge slab (and with it watcher
+  // lists, wedge indices, and any max_wedges truncation) is a pure function
+  // of the sample's content — a snapshot-restored instance, whose hash-map
+  // layout differs from the original's, must build the identical slab.
   std::unordered_map<VertexId, std::vector<VertexId>> incident;
   edge_sample_.ForEach([&](EdgeKey /*key*/, const EdgeEntry& e) {
     incident[e.lo].push_back(e.hi);
     incident[e.hi].push_back(e.lo);
   });
-  for (auto& [center, others] : incident) {
+  std::vector<VertexId> centers;
+  centers.reserve(incident.size());
+  for (const auto& [center, others] : incident) centers.push_back(center);
+  std::sort(centers.begin(), centers.end());
+  for (VertexId center : centers) {
+    std::vector<VertexId>& others = incident[center];
     std::sort(others.begin(), others.end());
     for (std::size_t i = 0; i < others.size(); ++i) {
       for (std::size_t j = i + 1; j < others.size(); ++j) {
@@ -153,7 +162,8 @@ void TwoPassFourCycleCounter::Serialize(snapshot::SnapshotWriter& w) const {
                      });
   snapshot::WriteBucketCount(w, wedge_watchers_);
   w.WriteU64(wedge_watchers_.size());
-  for (const auto& [vertex, watchers] : wedge_watchers_) {
+  for (const VertexId vertex : snapshot::SortedKeys(wedge_watchers_)) {
+    const auto& watchers = wedge_watchers_.find(vertex)->second;
     w.WriteU32(vertex);
     snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
                                        std::uint32_t idx) { vw.WriteU32(idx); });
@@ -161,7 +171,9 @@ void TwoPassFourCycleCounter::Serialize(snapshot::SnapshotWriter& w) const {
   snapshot::WriteScratchCapacity(w, touched_wedges_);
   snapshot::WriteBucketCount(w, found_cycles_);
   w.WriteU64(found_cycles_.size());
-  for (std::uint64_t key : found_cycles_) w.WriteU64(key);
+  for (std::uint64_t key : snapshot::SortedElements(found_cycles_)) {
+    w.WriteU64(key);
+  }
 }
 
 Status TwoPassFourCycleCounter::Restore(snapshot::SnapshotReader& r) {

@@ -200,10 +200,12 @@ void OnePassFourCycleCounter::Serialize(snapshot::SnapshotWriter& w) const {
   });
   snapshot::WriteBucketCount(w, edges_by_vertex_);
   w.WriteU64(edges_by_vertex_.size());
-  for (const auto& [vertex, edges] : edges_by_vertex_) {
+  for (const VertexId vertex : snapshot::SortedKeys(edges_by_vertex_)) {
     w.WriteU32(vertex);
-    snapshot::WriteVec(w, edges, [](snapshot::SnapshotWriter& vw,
-                                    EdgeKey key) { vw.WriteU64(key); });
+    snapshot::WriteVec(w, edges_by_vertex_.find(vertex)->second,
+                       [](snapshot::SnapshotWriter& vw, EdgeKey key) {
+                         vw.WriteU64(key);
+                       });
   }
   // The wedge slab: live slots carry real state; dead (free-listed) slots
   // are never read before being re-initialized, so they restore as defaults.
@@ -223,10 +225,12 @@ void OnePassFourCycleCounter::Serialize(snapshot::SnapshotWriter& w) const {
                      });
   snapshot::WriteBucketCount(w, wedge_watchers_);
   w.WriteU64(wedge_watchers_.size());
-  for (const auto& [vertex, watchers] : wedge_watchers_) {
+  for (const VertexId vertex : snapshot::SortedKeys(wedge_watchers_)) {
     w.WriteU32(vertex);
-    snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
-                                       std::uint32_t idx) { vw.WriteU32(idx); });
+    snapshot::WriteVec(w, wedge_watchers_.find(vertex)->second,
+                       [](snapshot::SnapshotWriter& vw, std::uint32_t idx) {
+                         vw.WriteU32(idx);
+                       });
   }
   snapshot::WriteScratchCapacity(w, touched_wedges_);
 }

@@ -110,11 +110,13 @@ void TriangleDistinguisher::Serialize(snapshot::SnapshotWriter& w) const {
   });
   snapshot::WriteBucketCount(w, edge_watchers_);
   w.WriteU64(edge_watchers_.size());
-  for (const auto& [vertex, watchers] : edge_watchers_) {
+  for (const VertexId vertex : snapshot::SortedKeys(edge_watchers_)) {
     w.WriteU32(vertex);
-    // Content order matters (swap-remove eviction), so verbatim.
-    snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
-                                       EdgeKey key) { vw.WriteU64(key); });
+    // Watcher content order matters (swap-remove eviction), so verbatim.
+    snapshot::WriteVec(w, edge_watchers_.find(vertex)->second,
+                       [](snapshot::SnapshotWriter& vw, EdgeKey key) {
+                         vw.WriteU64(key);
+                       });
   }
   snapshot::WriteScratchCapacity(w, touched_edges_);
 }

@@ -391,11 +391,13 @@ void TwoPassTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
   });
   snapshot::WriteBucketCount(w, edge_watchers_);
   w.WriteU64(edge_watchers_.size());
-  for (const auto& [vertex, watchers] : edge_watchers_) {
+  for (const VertexId vertex : snapshot::SortedKeys(edge_watchers_)) {
     w.WriteU32(vertex);
-    // Content order matters (swap-remove eviction), so verbatim.
-    snapshot::WriteVec(w, watchers, [](snapshot::SnapshotWriter& vw,
-                                       EdgeKey key) { vw.WriteU64(key); });
+    // Watcher content order matters (swap-remove eviction), so verbatim.
+    snapshot::WriteVec(w, edge_watchers_.find(vertex)->second,
+                       [](snapshot::SnapshotWriter& vw, EdgeKey key) {
+                         vw.WriteU64(key);
+                       });
   }
   snapshot::WriteScratchCapacity(w, touched_edges_);
 
@@ -425,7 +427,8 @@ void TwoPassTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
                      });
   snapshot::WriteBucketCount(w, tri_edges_);
   w.WriteU64(tri_edges_.size());
-  for (const auto& [key, watch] : tri_edges_) {
+  for (const EdgeKey key : snapshot::SortedKeys(tri_edges_)) {
+    const TriEdgeWatch& watch = tri_edges_.find(key)->second;
     CYCLESTREAM_CHECK(!watch.flag_lo && !watch.flag_hi);
     w.WriteU64(key);
     snapshot::WriteVec(w, watch.subscribers,
@@ -437,10 +440,12 @@ void TwoPassTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
   }
   snapshot::WriteBucketCount(w, tri_verts_);
   w.WriteU64(tri_verts_.size());
-  for (const auto& [vertex, subs] : tri_verts_) {
+  for (const VertexId vertex : snapshot::SortedKeys(tri_verts_)) {
     w.WriteU32(vertex);
-    snapshot::WriteVec(w, subs, [](snapshot::SnapshotWriter& vw,
-                                   std::uint32_t idx) { vw.WriteU32(idx); });
+    snapshot::WriteVec(w, tri_verts_.find(vertex)->second,
+                       [](snapshot::SnapshotWriter& vw, std::uint32_t idx) {
+                         vw.WriteU32(idx);
+                       });
   }
   snapshot::WriteScratchCapacity(w, touched_tri_edges_);
 }

@@ -107,11 +107,13 @@ void WedgeSamplingTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const 
                      });
   snapshot::WriteBucketCount(w, closure_watch_);
   w.WriteU64(closure_watch_.size());
-  for (const auto& [key, slots] : closure_watch_) {
+  for (const std::uint64_t key : snapshot::SortedKeys(closure_watch_)) {
     w.WriteU64(key);
-    // Content order matters (swap-remove on resample), so verbatim.
-    snapshot::WriteVec(w, slots, [](snapshot::SnapshotWriter& vw,
-                                    std::uint32_t slot) { vw.WriteU32(slot); });
+    // Slot content order matters (swap-remove on resample), so verbatim.
+    snapshot::WriteVec(w, closure_watch_.find(key)->second,
+                       [](snapshot::SnapshotWriter& vw, std::uint32_t slot) {
+                         vw.WriteU32(slot);
+                       });
   }
   // current_list_'s contents are never read after a list boundary (BeginList
   // clears before any use); only its capacity is space-visible state.

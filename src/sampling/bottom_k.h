@@ -142,19 +142,25 @@ class BottomKSampler {
   }
 
   /// Writes the complete sampler state into `w`: the member set with
-  /// payloads (via `write_payload(w, key, payload)`), plus the internal
-  /// max-heap verbatim — entry keys in array order and the backing vector's
-  /// capacity. Replaying the heap exactly (stale entries from Erase()
-  /// included) is what makes a restored sampler's admissions, evictions,
-  /// compactions, and MemoryBytes() trajectory bit-identical to the
-  /// original's; priorities are recomputed from the hash seed, never stored.
+  /// payloads (via `write_payload(w, key, payload)`) in ascending key order
+  /// — a pure function of content, so a restored sampler re-serializes to
+  /// identical bytes — plus the internal max-heap verbatim: entry keys in
+  /// array order and the backing vector's capacity. Replaying the heap
+  /// exactly (stale entries from Erase() included) is what makes a restored
+  /// sampler's admissions, evictions, compactions, and MemoryBytes()
+  /// trajectory bit-identical to the original's; priorities are recomputed
+  /// from the hash seed, never stored.
   template <typename WritePayload>
   void Serialize(snapshot::SnapshotWriter& w, WritePayload&& write_payload)
       const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(members_.size());
+    for (const auto& [key, payload] : members_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
     w.WriteU64(members_.size());
-    for (const auto& [key, payload] : members_) {
+    for (std::uint64_t key : keys) {
       w.WriteU64(key);
-      write_payload(w, key, payload);
+      write_payload(w, key, members_.find(key)->second);
     }
     w.WriteU64(heap_.size());
     w.WriteU64(heap_.capacity());
@@ -223,6 +229,11 @@ class BottomKSampler {
     for (const auto& [key, payload] : members_) {
       live.push_back({PriorityOf(key), key});
     }
+    // Canonical order before heapify: the compacted layout must be a pure
+    // function of the member set, not of hash-map iteration order, so that
+    // a snapshot-restored sampler (whose map layout differs) compacts to
+    // the exact same array — and therefore the same snapshot bytes.
+    std::sort(live.begin(), live.end());
     heap_ = std::move(live);
     std::make_heap(heap_.begin(), heap_.end());
   }

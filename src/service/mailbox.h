@@ -1,0 +1,96 @@
+// Multi-producer single-consumer mailbox: the per-shard ingestion queue of
+// the estimator service.
+//
+// Producers (client threads calling EstimatorService::Append / Query / ...)
+// push onto a Treiber-style atomic intrusive stack — one CAS per push, no
+// mutex, no producer-side blocking. The single consumer (the shard's drain
+// task on the worker pool) detaches the whole stack with one exchange and
+// reverses it, recovering FIFO order. FIFO across TakeAll rounds is
+// preserved: everything pushed after a detach is taken by a later detach.
+//
+// The queue is unbounded; backpressure is the callers' concern (the service
+// exposes Flush() as a drain barrier). Ordering guarantee, and the only one
+// the service's determinism contract needs: two pushes from the SAME
+// producer thread are consumed in push order. Pushes from different
+// producers race, and their relative order is scheduling-dependent — which
+// is why the service keys per-stream state to exactly one shard and lets
+// callers own the per-stream submission order.
+
+#ifndef CYCLESTREAM_SERVICE_MAILBOX_H_
+#define CYCLESTREAM_SERVICE_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cyclestream {
+namespace service {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  ~Mailbox() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Pushes one value; wait-free except for CAS retries under contention.
+  void Push(T value) {
+    Node* node = new Node{std::move(value), head_.load(std::memory_order_relaxed)};
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True when no pushed value is awaiting a TakeAll. Racy by nature; the
+  /// consumer uses it only inside the scheduled-flag handshake (see
+  /// service.cc) where the race is benign.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Detaches everything pushed so far and returns it in FIFO order.
+  /// Single-consumer: only one thread may call TakeAll at a time.
+  std::vector<T> TakeAll() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    std::vector<T> out;
+    for (Node* walk = node; walk != nullptr; walk = walk->next) ++count_scratch_;
+    out.reserve(count_scratch_);
+    count_scratch_ = 0;
+    // The stack holds newest-first; collect then reverse to FIFO.
+    while (node != nullptr) {
+      Node* next = node->next;
+      out.push_back(std::move(node->value));
+      delete node;
+      node = next;
+    }
+    for (std::size_t i = 0, j = out.size(); i + 1 < j; ++i, --j) {
+      std::swap(out[i], out[j - 1]);
+    }
+    return out;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::size_t count_scratch_ = 0;  // consumer-only reserve scratch
+};
+
+}  // namespace service
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SERVICE_MAILBOX_H_

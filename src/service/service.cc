@@ -1,0 +1,524 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "service/mailbox.h"
+#include "snapshot/snapshot.h"
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace cyclestream {
+namespace service {
+namespace {
+
+enum class OpKind : std::uint8_t {
+  kCreate,
+  kList,
+  kEndPass,
+  kQuery,
+  kCheckpoint,
+  kRestore,
+  kKill,
+  kBarrier,
+};
+
+constexpr double kLatencyBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                     1e-2, 0.1,  1.0,  10.0};
+
+}  // namespace
+
+// One mailbox message. Exactly one promise pointer is set, matching the
+// kind; data-path ops (kList, kEndPass) carry none.
+struct EstimatorService::Op {
+  OpKind kind = OpKind::kBarrier;
+  StreamId id = 0;
+  VertexId u = 0;
+  std::vector<VertexId> list;
+  EstimatorSpec spec;
+  std::vector<std::uint8_t> manifest;
+  std::chrono::steady_clock::time_point enqueued;
+  std::unique_ptr<std::promise<Status>> status_promise;
+  std::unique_ptr<std::promise<StatusOr<StreamView>>> view_promise;
+  std::unique_ptr<std::promise<StatusOr<std::vector<std::uint8_t>>>>
+      bytes_promise;
+  std::unique_ptr<std::promise<std::size_t>> count_promise;
+  std::unique_ptr<std::promise<void>> barrier_promise;
+};
+
+// Complete state of one hosted stream. Mirrors what the single-stream
+// driver tracks per run (MeteredSink + RunReport), so the service's view is
+// bit-identical to a sequential driver run of the same event sequence.
+struct EstimatorService::StreamState {
+  EstimatorSpec spec;
+  HostedEstimator hosted;
+  int pass = 0;
+  bool finished = false;
+  Status error;  // latched by misuse; OK in the normal lifecycle
+  stream::RunReport report;
+};
+
+struct EstimatorService::Shard {
+  std::size_t index = 0;
+  Mailbox<Op> mailbox;
+  std::atomic<bool> scheduled{false};
+  // Consumer-only (the shard's drain task): never touched off-thread.
+  std::map<StreamId, StreamState> streams;
+  // Bound metric handles (unset when the service runs unmetered).
+  obs::Counter ops, lists, pairs, queries, checkpoints, restores, kills,
+      drains, dropped, errors;
+  obs::Histogram queue_depth, latency, occupancy;
+};
+
+EstimatorService::EstimatorService(const ServiceOptions& options)
+    : drain_budget_(std::max<std::size_t>(options.drain_budget, 1)),
+      metrics_(options.metrics),
+      pool_(options.threads > 0 ? options.threads
+                                : std::max(options.shards, 1)) {
+  const int shards = std::max(options.shards, 1);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<std::size_t>(i);
+    if (metrics_ != nullptr) {
+      shard->ops = metrics_->GetCounter("service.ops");
+      shard->lists = metrics_->GetCounter("service.lists");
+      shard->pairs = metrics_->GetCounter("service.pairs");
+      shard->queries = metrics_->GetCounter("service.queries");
+      shard->checkpoints = metrics_->GetCounter("service.checkpoints");
+      shard->restores = metrics_->GetCounter("service.restores");
+      shard->kills = metrics_->GetCounter("service.kills");
+      shard->drains = metrics_->GetCounter("service.drains");
+      shard->dropped = metrics_->GetCounter("service.dropped_ops");
+      shard->errors = metrics_->GetCounter("service.errors_latched");
+      shard->queue_depth = metrics_->GetHistogram("service.queue_depth",
+                                                  obs::Log2Bounds(0, 20));
+      shard->latency = metrics_->GetHistogram(
+          "service.op_latency_seconds",
+          std::vector<double>(std::begin(kLatencyBounds),
+                              std::end(kLatencyBounds)));
+      shard->occupancy = metrics_->GetHistogram("service.shard_occupancy",
+                                                obs::Log2Bounds(0, 20));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+EstimatorService::~EstimatorService() {
+  // Resolve everything in flight; the pool destructor then finishes any
+  // still-running drain task and joins.
+  Flush();
+}
+
+int EstimatorService::ShardOf(StreamId id, int shards) {
+  CYCLESTREAM_CHECK_GE(shards, 1);
+  return static_cast<int>(Mix64(id) % static_cast<std::uint64_t>(shards));
+}
+
+EstimatorService::Shard& EstimatorService::ShardFor(StreamId id) {
+  return *shards_[static_cast<std::size_t>(ShardOf(id, shards()))];
+}
+
+void EstimatorService::Enqueue(Shard& shard, Op op) {
+  if (metrics_ != nullptr) {
+    op.enqueued = std::chrono::steady_clock::now();
+  }
+  shard.mailbox.Push(std::move(op));
+  // First producer to observe the shard unscheduled owns submitting its
+  // drain task; everyone else is guaranteed a consumer is (or will be)
+  // running and will see their op.
+  if (!shard.scheduled.exchange(true, std::memory_order_acq_rel)) {
+    pool_.Submit([this, i = shard.index] { Drain(i); });
+  }
+}
+
+void EstimatorService::Drain(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::size_t processed = 0;
+  for (;;) {
+    std::vector<Op> batch = shard.mailbox.TakeAll();
+    if (batch.empty()) {
+      // Release shard state to whichever producer re-schedules next.
+      shard.scheduled.store(false, std::memory_order_release);
+      if (shard.mailbox.Empty()) return;
+      // An op raced in after TakeAll; reclaim the consumer role unless
+      // its producer already submitted a replacement task.
+      if (shard.scheduled.exchange(true, std::memory_order_acq_rel)) return;
+      continue;
+    }
+    if (metrics_ != nullptr) {
+      shard.drains.Increment();
+      shard.queue_depth.Observe(static_cast<double>(batch.size()));
+      shard.occupancy.Observe(static_cast<double>(shard.streams.size()));
+      const auto now = std::chrono::steady_clock::now();
+      for (const Op& op : batch) {
+        shard.latency.Observe(
+            std::chrono::duration<double>(now - op.enqueued).count());
+      }
+    }
+    for (Op& op : batch) Process(shard, op);
+    processed += batch.size();
+    if (processed >= drain_budget_) {
+      // Yield the worker; keep the scheduled flag (this task still owns
+      // the consumer role, the continuation inherits it).
+      pool_.Submit([this, shard_index] { Drain(shard_index); });
+      return;
+    }
+  }
+}
+
+void EstimatorService::Process(Shard& shard, Op& op) {
+  if (metrics_ != nullptr) shard.ops.Increment();
+  switch (op.kind) {
+    case OpKind::kCreate: DoCreate(shard, op); return;
+    case OpKind::kList: DoList(shard, op); return;
+    case OpKind::kEndPass: DoEndPass(shard, op); return;
+    case OpKind::kQuery: DoQuery(shard, op); return;
+    case OpKind::kCheckpoint: DoCheckpoint(shard, op); return;
+    case OpKind::kRestore: DoRestore(shard, op); return;
+    case OpKind::kKill: DoKill(shard, op); return;
+    case OpKind::kBarrier: op.barrier_promise->set_value(); return;
+  }
+}
+
+// Mirrors internal::MeteredSink::SampleSpace exactly — the service's
+// reports must be bit-identical to the driver's.
+void EstimatorService::SampleSpace(StreamState& state) {
+  const std::size_t reported = state.hosted.algo->CurrentSpaceBytes();
+  stream::PassReport& pass = state.report.per_pass.back();
+  pass.reported_peak_bytes = std::max(pass.reported_peak_bytes, reported);
+  state.report.reported_peak_bytes =
+      std::max(state.report.reported_peak_bytes, reported);
+  const obs::MemoryDomain* domain = state.hosted.algo->memory_domain();
+  if (domain != nullptr) {
+    const std::size_t audited = domain->live_bytes();
+    pass.audited_peak_bytes = std::max(pass.audited_peak_bytes, audited);
+    state.report.audited_peak_bytes =
+        std::max(state.report.audited_peak_bytes, audited);
+    const std::size_t divergence =
+        audited > reported ? audited - reported : reported - audited;
+    state.report.max_divergence_bytes =
+        std::max(state.report.max_divergence_bytes, divergence);
+  }
+}
+
+void EstimatorService::DoCreate(Shard& shard, Op& op) {
+  if (shard.streams.count(op.id) != 0) {
+    op.status_promise->set_value(Status::FailedPrecondition(
+        "stream " + std::to_string(op.id) + " already exists"));
+    return;
+  }
+  StatusOr<HostedEstimator> hosted = MakeHosted(op.spec);
+  if (!hosted.ok()) {
+    op.status_promise->set_value(hosted.status());
+    return;
+  }
+  StreamState state;
+  state.spec = op.spec;
+  state.hosted = std::move(hosted).value();
+  state.report.passes_requested = state.hosted.algo->passes();
+  CYCLESTREAM_CHECK_GE(state.report.passes_requested, 1);
+  state.report.per_pass.emplace_back();
+  state.hosted.algo->BeginPass(0);
+  shard.streams.emplace(op.id, std::move(state));
+  op.status_promise->set_value(Status::Ok());
+}
+
+void EstimatorService::DoList(Shard& shard, Op& op) {
+  auto it = shard.streams.find(op.id);
+  if (it == shard.streams.end()) {
+    if (metrics_ != nullptr) shard.dropped.Increment();
+    return;
+  }
+  StreamState& state = it->second;
+  if (!state.error.ok()) return;  // already latched; drop silently
+  if (state.finished) {
+    state.error = Status::FailedPrecondition(
+        "append to stream " + std::to_string(op.id) +
+        " after its final pass ended");
+    if (metrics_ != nullptr) shard.errors.Increment();
+    return;
+  }
+  stream::StreamAlgorithm* algo = state.hosted.algo.get();
+  algo->BeginList(op.u);
+  algo->OnListBatch(op.u, std::span<const VertexId>(op.list));
+  state.report.pairs_processed += op.list.size();
+  state.report.per_pass.back().pairs_processed += op.list.size();
+  algo->EndList(op.u);
+  SampleSpace(state);
+  if (metrics_ != nullptr) {
+    shard.lists.Increment();
+    shard.pairs.Increment(op.list.size());
+  }
+}
+
+void EstimatorService::DoEndPass(Shard& shard, Op& op) {
+  auto it = shard.streams.find(op.id);
+  if (it == shard.streams.end()) {
+    if (metrics_ != nullptr) shard.dropped.Increment();
+    return;
+  }
+  StreamState& state = it->second;
+  if (!state.error.ok()) return;
+  if (state.finished) {
+    state.error = Status::FailedPrecondition(
+        "pass boundary on stream " + std::to_string(op.id) +
+        " after its final pass ended");
+    if (metrics_ != nullptr) shard.errors.Increment();
+    return;
+  }
+  state.hosted.algo->EndPass(state.pass);
+  SampleSpace(state);
+  ++state.pass;
+  if (state.pass < state.report.passes_requested) {
+    state.report.per_pass.emplace_back();
+    state.hosted.algo->BeginPass(state.pass);
+  } else {
+    state.finished = true;
+  }
+}
+
+void EstimatorService::DoQuery(Shard& shard, Op& op) {
+  if (metrics_ != nullptr) shard.queries.Increment();
+  auto it = shard.streams.find(op.id);
+  if (it == shard.streams.end()) {
+    op.view_promise->set_value(
+        Status::NotFound("unknown stream " + std::to_string(op.id)));
+    return;
+  }
+  const StreamState& state = it->second;
+  if (!state.error.ok()) {
+    op.view_promise->set_value(state.error);
+    return;
+  }
+  StreamView view;
+  view.spec = state.spec;
+  view.estimate = state.hosted.estimate(*state.hosted.algo);
+  view.pass = state.pass;
+  view.passes_requested = state.report.passes_requested;
+  view.finished = state.finished;
+  view.report = state.report;
+  op.view_promise->set_value(std::move(view));
+}
+
+void EstimatorService::DoCheckpoint(Shard& shard, Op& op) {
+  if (metrics_ != nullptr) shard.checkpoints.Increment();
+  snapshot::SnapshotWriter outer;
+  outer.WriteU64(shard.streams.size());
+  for (const auto& [id, state] : shard.streams) {
+    outer.WriteU64(id);
+    snapshot::SnapshotWriter inner;
+    SerializeSpec(state.spec, inner);
+    inner.WriteU64(static_cast<std::uint64_t>(state.pass));
+    inner.WriteBool(state.finished);
+    inner.WriteBool(!state.error.ok());
+    if (!state.error.ok()) {
+      inner.WriteU32(static_cast<std::uint32_t>(state.error.code()));
+      inner.WriteString(state.error.message());
+    }
+    stream::internal::SerializeReport(state.report, inner);
+    if (state.error.ok()) state.hosted.algo->Serialize(inner);
+    const std::vector<std::uint8_t> bytes = std::move(inner).Finish();
+    outer.WriteBytes(std::span<const std::uint8_t>(bytes));
+  }
+  op.bytes_promise->set_value(std::move(outer).Finish());
+}
+
+void EstimatorService::DoRestore(Shard& shard, Op& op) {
+  if (metrics_ != nullptr) shard.restores.Increment();
+  const int shard_index = static_cast<int>(shard.index);
+  StatusOr<snapshot::SnapshotReader> outer =
+      snapshot::SnapshotReader::Open(op.manifest);
+  if (!outer.ok()) {
+    op.status_promise->set_value(outer.status());
+    return;
+  }
+  const std::uint64_t count = outer->ReadU64();
+  std::map<StreamId, StreamState> restored;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const StreamId id = outer->ReadU64();
+    const std::vector<std::uint8_t> bytes = outer->ReadBytesVec();
+    if (!outer->status().ok()) {
+      op.status_promise->set_value(outer->status());
+      return;
+    }
+    if (ShardOf(id, shards()) != shard_index) {
+      op.status_promise->set_value(Status::FailedPrecondition(
+          "manifest stream " + std::to_string(id) +
+          " does not belong to shard " + std::to_string(shard_index)));
+      return;
+    }
+    StatusOr<snapshot::SnapshotReader> inner =
+        snapshot::SnapshotReader::Open(bytes);
+    if (!inner.ok()) {
+      op.status_promise->set_value(inner.status());
+      return;
+    }
+    StatusOr<EstimatorSpec> spec = RestoreSpec(*inner);
+    if (!spec.ok()) {
+      op.status_promise->set_value(spec.status());
+      return;
+    }
+    StatusOr<HostedEstimator> hosted = MakeHosted(*spec);
+    if (!hosted.ok()) {
+      op.status_promise->set_value(hosted.status());
+      return;
+    }
+    StreamState state;
+    state.spec = *spec;
+    state.hosted = std::move(hosted).value();
+    state.pass = static_cast<int>(inner->ReadU64());
+    state.finished = inner->ReadBool();
+    const bool has_error = inner->ReadBool();
+    if (has_error) {
+      const StatusCode code = static_cast<StatusCode>(inner->ReadU32());
+      std::string message = inner->ReadString();
+      if (inner->status().ok() && code != StatusCode::kOk) {
+        state.error = Status(code, std::move(message));
+      }
+    }
+    stream::internal::RestoreReport(*inner, &state.report);
+    if (!inner->status().ok()) {
+      op.status_promise->set_value(inner->status());
+      return;
+    }
+    // Pass bookkeeping must be self-consistent before the estimator's own
+    // payload is trusted (mirrors ResumePassesChecked's shape check).
+    const int passes = state.report.passes_requested;
+    const bool shape_ok =
+        passes == state.hosted.algo->passes() && state.pass >= 0 &&
+        (state.finished
+             ? (state.pass == passes &&
+                state.report.per_pass.size() ==
+                    static_cast<std::size_t>(passes))
+             : (state.pass < passes &&
+                state.report.per_pass.size() ==
+                    static_cast<std::size_t>(state.pass) + 1));
+    if (!shape_ok) {
+      op.status_promise->set_value(Status::FailedPrecondition(
+          "checkpoint pass bookkeeping does not match estimator for stream " +
+          std::to_string(id)));
+      return;
+    }
+    if (state.error.ok()) {
+      Status algo_status = state.hosted.algo->Restore(*inner);
+      if (!algo_status.ok()) {
+        op.status_promise->set_value(std::move(algo_status));
+        return;
+      }
+    }
+    Status final_status = inner->Final();
+    if (!final_status.ok()) {
+      op.status_promise->set_value(std::move(final_status));
+      return;
+    }
+    restored.emplace(id, std::move(state));
+  }
+  Status outer_final = outer->Final();
+  if (!outer_final.ok()) {
+    op.status_promise->set_value(std::move(outer_final));
+    return;
+  }
+  shard.streams = std::move(restored);
+  op.status_promise->set_value(Status::Ok());
+}
+
+void EstimatorService::DoKill(Shard& shard, Op& op) {
+  if (metrics_ != nullptr) shard.kills.Increment();
+  const std::size_t lost = shard.streams.size();
+  shard.streams.clear();
+  op.count_promise->set_value(lost);
+}
+
+std::future<Status> EstimatorService::Create(StreamId id, EstimatorSpec spec) {
+  Op op;
+  op.kind = OpKind::kCreate;
+  op.id = id;
+  op.spec = spec;
+  op.status_promise = std::make_unique<std::promise<Status>>();
+  std::future<Status> future = op.status_promise->get_future();
+  Enqueue(ShardFor(id), std::move(op));
+  return future;
+}
+
+void EstimatorService::Append(StreamId id, VertexId u,
+                              std::vector<VertexId> list) {
+  Op op;
+  op.kind = OpKind::kList;
+  op.id = id;
+  op.u = u;
+  op.list = std::move(list);
+  Enqueue(ShardFor(id), std::move(op));
+}
+
+void EstimatorService::EndPass(StreamId id) {
+  Op op;
+  op.kind = OpKind::kEndPass;
+  op.id = id;
+  Enqueue(ShardFor(id), std::move(op));
+}
+
+std::future<StatusOr<StreamView>> EstimatorService::Query(StreamId id) {
+  Op op;
+  op.kind = OpKind::kQuery;
+  op.id = id;
+  op.view_promise =
+      std::make_unique<std::promise<StatusOr<StreamView>>>();
+  std::future<StatusOr<StreamView>> future = op.view_promise->get_future();
+  Enqueue(ShardFor(id), std::move(op));
+  return future;
+}
+
+std::future<StatusOr<std::vector<std::uint8_t>>>
+EstimatorService::CheckpointShard(int shard) {
+  CYCLESTREAM_CHECK(shard >= 0 && shard < shards());
+  Op op;
+  op.kind = OpKind::kCheckpoint;
+  op.bytes_promise = std::make_unique<
+      std::promise<StatusOr<std::vector<std::uint8_t>>>>();
+  auto future = op.bytes_promise->get_future();
+  Enqueue(*shards_[static_cast<std::size_t>(shard)], std::move(op));
+  return future;
+}
+
+std::future<std::size_t> EstimatorService::KillShard(int shard) {
+  CYCLESTREAM_CHECK(shard >= 0 && shard < shards());
+  Op op;
+  op.kind = OpKind::kKill;
+  op.count_promise = std::make_unique<std::promise<std::size_t>>();
+  std::future<std::size_t> future = op.count_promise->get_future();
+  Enqueue(*shards_[static_cast<std::size_t>(shard)], std::move(op));
+  return future;
+}
+
+std::future<Status> EstimatorService::RestoreShard(
+    int shard, std::vector<std::uint8_t> manifest) {
+  CYCLESTREAM_CHECK(shard >= 0 && shard < shards());
+  Op op;
+  op.kind = OpKind::kRestore;
+  op.manifest = std::move(manifest);
+  op.status_promise = std::make_unique<std::promise<Status>>();
+  std::future<Status> future = op.status_promise->get_future();
+  Enqueue(*shards_[static_cast<std::size_t>(shard)], std::move(op));
+  return future;
+}
+
+void EstimatorService::Flush() {
+  std::vector<std::future<void>> barriers;
+  barriers.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = OpKind::kBarrier;
+    op.barrier_promise = std::make_unique<std::promise<void>>();
+    barriers.push_back(op.barrier_promise->get_future());
+    Enqueue(*shard, std::move(op));
+  }
+  for (auto& barrier : barriers) barrier.wait();
+}
+
+}  // namespace service
+}  // namespace cyclestream

@@ -16,7 +16,9 @@
 #ifndef CYCLESTREAM_SNAPSHOT_CODEC_H_
 #define CYCLESTREAM_SNAPSHOT_CODEC_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "snapshot/snapshot.h"
 #include "util/check.h"
@@ -59,6 +61,28 @@ template <typename Vec>
 void ReadScratchCapacity(SnapshotReader& r, Vec& vec) {
   const std::uint64_t capacity = r.ReadU64();
   if (r.status().ok()) vec.reserve(capacity);
+}
+
+/// Keys of a hash map in ascending order. Serializing map entries in sorted
+/// key order (instead of hash-iteration order) makes the encoding a pure
+/// function of the map's *content*: a restored table re-encodes to the same
+/// bytes even though its internal chain layout differs from the original's.
+/// This is what upgrades restore from "same digests" to "same snapshots".
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Elements of a hash set in ascending order (same rationale as SortedKeys).
+template <typename Set>
+std::vector<typename Set::key_type> SortedElements(const Set& set) {
+  std::vector<typename Set::key_type> elems(set.begin(), set.end());
+  std::sort(elems.begin(), elems.end());
+  return elems;
 }
 
 /// Hash-table bucket count (map or set). Restore skips the rehash when the

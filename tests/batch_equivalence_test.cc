@@ -32,25 +32,14 @@
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
 #include "stream/validator.h"
+#include "test_util.h"
 
 namespace cyclestream {
 namespace {
 
 // One graph per generator family; `seed` perturbs the random families (the
 // deterministic ones vary only through the stream order).
-std::vector<Graph> FamilyGraphs(std::uint64_t seed) {
-  std::vector<Graph> graphs;
-  graphs.push_back(gen::ErdosRenyiGnp(60, 0.15, seed));
-  graphs.push_back(gen::BarabasiAlbert(80, 3, seed));
-  graphs.push_back(gen::ChungLuPowerLaw(80, 6.0, 2.3, seed));
-  graphs.push_back(gen::Petersen());
-  gen::PlantedBackground bg;
-  bg.stars = 4;
-  bg.star_degree = 5;
-  graphs.push_back(gen::PlantedHeavyEdgeTriangles(12, bg));
-  graphs.push_back(gen::ProjectivePlaneGraph(3));
-  return graphs;
-}
+using testing_util::DenseFamilyGraphs;
 
 // Runs `make()`'s algorithm over `stream` twice — once with batched
 // delivery, once through PairwiseOnly — and asserts the full reports and
@@ -79,11 +68,11 @@ void ExpectDeliveryIdentical(const stream::AdjacencyListStream& s,
   EXPECT_EQ(batched->CurrentSpaceBytes(), paired->CurrentSpaceBytes());
 }
 
-constexpr std::uint64_t kSeeds[] = {1, 17, 4242};
+constexpr auto& kSeeds = testing_util::kFamilySeeds;
 
 TEST(BatchEquivalence, OnePassTriangle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::OnePassTriangleOptions options;
       options.sample_size = 32;
@@ -101,7 +90,7 @@ TEST(BatchEquivalence, OnePassTriangle) {
 
 TEST(BatchEquivalence, TwoPassTriangle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::TwoPassTriangleOptions options;
       options.sample_size = 32;
@@ -120,7 +109,7 @@ TEST(BatchEquivalence, TwoPassTriangle) {
 
 TEST(BatchEquivalence, WedgeSampling) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::WedgeSamplingOptions options;
       options.reservoir_size = 24;
@@ -141,7 +130,7 @@ TEST(BatchEquivalence, WedgeSampling) {
 
 TEST(BatchEquivalence, OnePassFourCycle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::OnePassFourCycleOptions options;
       options.sample_size = 32;
@@ -161,7 +150,7 @@ TEST(BatchEquivalence, OnePassFourCycle) {
 
 TEST(BatchEquivalence, TwoPassFourCycle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::FourCycleOptions options;
       options.sample_size = 32;
@@ -182,7 +171,7 @@ TEST(BatchEquivalence, TwoPassFourCycle) {
 
 TEST(BatchEquivalence, ExactStream) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       ExpectDeliveryIdentical(
           s, [&] { return std::make_unique<core::ExactStreamTriangleCounter>(); },
@@ -195,7 +184,7 @@ TEST(BatchEquivalence, ExactStream) {
 
 TEST(BatchEquivalence, TriangleDistinguisher) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : DenseFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 3 + 1);
       core::TriangleDistinguisherOptions options;
       options.sample_size = 32;

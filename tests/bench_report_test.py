@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_report.py (the bench-manifest tooling).
+
+Covers the pure helpers (slope fitting, audit slack policy, slot
+extraction), the schema validator (record types, required fields,
+schema_version, run_end trailer), the per-manifest cross-checks (slope and
+exponent refits, audit, timelines, throughput ordering, driver counters),
+and the validate/baseline commands end-to-end on temp-file manifests.
+
+Stdlib only; registered as the `bench_report_py` CTest target.
+"""
+
+import importlib.util
+import json
+import math
+import os
+import sys
+import tempfile
+import unittest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, "scripts", "bench_report.py")
+_spec = importlib.util.spec_from_file_location("bench_report", _SCRIPT)
+br = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(br)
+
+
+def record(rtype, **fields):
+    rec = {"record": rtype, "schema_version": br.SCHEMA_VERSION}
+    rec.update(fields)
+    return rec
+
+
+def result_row(trial=0, seed=1, estimate=1.0, reported=1024, audited=0):
+    return {"trial": trial, "seed": seed, "estimate": estimate, "aux": 0.0,
+            "reported_peak_bytes": reported, "audited_peak_bytes": audited,
+            "max_divergence_bytes": 0, "wall_seconds": 0.001,
+            "queue_wait_seconds": 0.0}
+
+
+def minimal_manifest(extra=None):
+    """A schema-valid manifest: run header, optional extras, run_end."""
+    records = [record("run", bench="test-bench", git="deadbeef")]
+    records.extend(extra or [])
+    records.append(record("run_end", records=len(records) + 1))
+    return records
+
+
+def write_manifest(records, directory):
+    path = os.path.join(directory, "manifest.jsonl")
+    with open(path, "w", encoding="utf-8") as f:
+        for rec in records:
+            f.write(json.dumps(rec) + "\n")
+    return path
+
+
+class FitSlopeTest(unittest.TestCase):
+    def test_exact_power_law_recovers_exponent(self):
+        for exponent in (-2.0 / 3.0, 0.5, 1.0, 2.0):
+            points = [(x, 7.0 * x ** exponent) for x in (1, 2, 4, 8, 16)]
+            self.assertAlmostEqual(br.fit_slope(points), exponent, places=12)
+
+    def test_underdetermined_inputs_return_none(self):
+        self.assertIsNone(br.fit_slope([]))
+        self.assertIsNone(br.fit_slope([(1, 1)]))
+        # Non-positive coordinates are dropped before fitting.
+        self.assertIsNone(br.fit_slope([(0, 1), (1, 0), (2, 5)]))
+        # Identical x values: zero variance in log(x).
+        self.assertIsNone(br.fit_slope([(4, 1), (4, 100)]))
+
+    def test_constant_curve_fits_zero(self):
+        self.assertAlmostEqual(
+            br.fit_slope([(1, 3), (10, 3), (100, 3)]), 0.0, places=12)
+
+
+class AuditSlackTest(unittest.TestCase):
+    def test_slack_policy_constants(self):
+        self.assertEqual(br.audit_slack_bytes(0), br.AUDIT_SLACK_FLOOR_BYTES)
+        self.assertEqual(
+            br.audit_slack_bytes(10),
+            br.AUDIT_SLACK_FLOOR_BYTES + 10 * br.AUDIT_SLACK_PER_SLOT_BYTES)
+
+    def test_within_slack_is_two_sided(self):
+        self.assertTrue(br.within_audit_slack(1000, 1000, 0))
+        # Just inside the multiplicative bound either way.
+        big = br.AUDIT_SLACK_FLOOR_BYTES * 10
+        self.assertTrue(br.within_audit_slack(
+            big, br.AUDIT_SLACK_MULTIPLIER * big, 0))
+        self.assertTrue(br.within_audit_slack(
+            br.AUDIT_SLACK_MULTIPLIER * big, big, 0))
+        # Far outside in either direction fails.
+        self.assertFalse(br.within_audit_slack(big, 100 * big, 0))
+        self.assertFalse(br.within_audit_slack(100 * big, big, 0))
+
+    def test_slots_widen_the_additive_term(self):
+        reported = br.AUDIT_SLACK_FLOOR_BYTES
+        audited = (br.AUDIT_SLACK_MULTIPLIER * reported +
+                   br.AUDIT_SLACK_FLOOR_BYTES +
+                   br.AUDIT_SLACK_PER_SLOT_BYTES * 100)
+        self.assertFalse(br.within_audit_slack(reported, audited + 1, 100))
+        self.assertTrue(br.within_audit_slack(reported, audited, 100))
+
+    def test_batch_slots_reads_sample_and_reservoir(self):
+        self.assertEqual(br.batch_slots({"config": {"sample": 32}}), 32)
+        self.assertEqual(br.batch_slots({"config": {"reservoir": 24}}), 24)
+        self.assertEqual(br.batch_slots({"config": {"n": 100}}), 0)
+        self.assertEqual(br.batch_slots({}), 0)
+
+
+class SchemaTest(unittest.TestCase):
+    def test_minimal_manifest_is_valid(self):
+        records = minimal_manifest()
+        self.assertEqual(br.check_schema("m", records), [])
+
+    def test_unknown_record_type(self):
+        records = minimal_manifest([record("mystery", x=1)])
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("unknown record type" in e for e in errors))
+
+    def test_wrong_schema_version(self):
+        records = minimal_manifest()
+        records[0]["schema_version"] = br.SCHEMA_VERSION + 1
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("schema_version" in e for e in errors))
+
+    def test_missing_required_field(self):
+        rec = record("slope", curve="c", measured=1.0, predicted=1.0)
+        del rec["predicted"]
+        rec["consistent"] = True
+        records = minimal_manifest([rec])
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("missing field 'predicted'" in e for e in errors))
+
+    def test_batch_results_are_field_checked(self):
+        row = result_row()
+        del row["wall_seconds"]
+        records = minimal_manifest(
+            [record("batch", label="b", trials=1, base_seed=1,
+                    results=[row])])
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("missing 'wall_seconds'" in e for e in errors))
+
+    def test_truncated_manifest_detected(self):
+        records = minimal_manifest()[:-1]  # drop run_end
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("run_end" in e for e in errors))
+
+    def test_run_end_count_mismatch_detected(self):
+        records = minimal_manifest()
+        records[-1]["records"] = 99
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("run_end.records=99" in e for e in errors))
+
+    def test_first_record_must_be_run(self):
+        records = [record("metrics", metrics={}),
+                   record("run_end", records=2)]
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("first record is not 'run'" in e for e in errors))
+
+
+class CrossCheckTest(unittest.TestCase):
+    def grouped(self, extra):
+        return br.collect(minimal_manifest(extra))
+
+    def curve_points(self, curve, exponent, xs=(1, 2, 4, 8)):
+        return [record("curve_point", curve=curve, x=x, y=5.0 * x ** exponent)
+                for x in xs]
+
+    def test_consistent_slope_passes(self):
+        extra = self.curve_points("c", 0.5)
+        measured = br.fit_slope([(r["x"], r["y"]) for r in extra])
+        extra.append(record("slope", curve="c", measured=measured,
+                            predicted=0.5, consistent=True))
+        self.assertEqual(br.check_slopes("m", self.grouped(extra)), [])
+
+    def test_inconsistent_verdict_fails(self):
+        extra = [record("slope", curve="c", measured=1.0, predicted=0.5,
+                        consistent=False)]
+        errors = br.check_slopes("m", self.grouped(extra))
+        self.assertTrue(any("inconsistent" in e for e in errors))
+
+    def test_refit_mismatch_beyond_tolerance_fails(self):
+        extra = self.curve_points("c", 0.5)
+        measured = br.fit_slope([(r["x"], r["y"]) for r in extra])
+        extra.append(record(
+            "slope", curve="c",
+            measured=measured + 10 * br.REFIT_TOLERANCE,
+            predicted=0.5, consistent=True))
+        errors = br.check_slopes("m", self.grouped(extra))
+        self.assertTrue(any("refit" in e for e in errors))
+
+    def test_refit_within_tolerance_passes(self):
+        extra = self.curve_points("c", 0.5)
+        measured = br.fit_slope([(r["x"], r["y"]) for r in extra])
+        extra.append(record(
+            "slope", curve="c",
+            measured=measured + 0.1 * br.REFIT_TOLERANCE,
+            predicted=0.5, consistent=True))
+        self.assertEqual(br.check_slopes("m", self.grouped(extra)), [])
+
+    def test_fit_point_count_and_exponent_checked(self):
+        extra = self.curve_points("c", -2.0 / 3.0)
+        refit = br.fit_slope([(r["x"], r["y"]) for r in extra])
+        extra.append(record("fit", curve="c", fitted_exponent=refit,
+                            predicted_exponent=-2.0 / 3.0,
+                            points=len(extra)))
+        self.assertEqual(br.check_fits("m", self.grouped(extra)), [])
+        bad = list(extra)
+        bad[-1] = record("fit", curve="c", fitted_exponent=refit + 1.0,
+                         predicted_exponent=-2.0 / 3.0,
+                         points=len(extra) + 3)
+        errors = br.check_fits("m", self.grouped(bad))
+        self.assertEqual(len(errors), 2)  # point count + exponent
+
+    def test_audit_skips_unaudited_and_flags_violations(self):
+        ok_rows = [result_row(audited=0),
+                   result_row(trial=1, reported=1024, audited=2048)]
+        bad_rows = [result_row(trial=2, reported=1024,
+                               audited=10 ** 9)]
+        extra = [record("batch", label="ok", trials=2, base_seed=1,
+                        config={"sample": 32}, results=ok_rows),
+                 record("batch", label="bad", trials=1, base_seed=1,
+                        config={"sample": 32}, results=bad_rows)]
+        errors = br.check_audit("m", self.grouped(extra))
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'bad'", errors[0])
+
+    def test_timeline_maxima_must_match_points(self):
+        tl = record("timeline", label="t", trial=0, seed=1, pair_stride=0,
+                    max_reported_bytes=100, max_audited_bytes=50,
+                    passes=[{"points": [[0, 100, 50], [5, 90, 40]]}])
+        self.assertEqual(br.check_timelines("m", self.grouped([tl])), [])
+        tl_bad = dict(tl)
+        tl_bad["max_reported_bytes"] = 101
+        errors = br.check_timelines("m", self.grouped([tl_bad]))
+        self.assertTrue(any("max_reported_bytes" in e for e in errors))
+
+    def test_batched_throughput_must_not_regress(self):
+        def curves(batched_y):
+            return [record("curve_point", curve="replay/er/pairwise",
+                           x=1, y=100.0),
+                    record("curve_point", curve="replay/er/batched",
+                           x=1, y=batched_y)]
+        self.assertEqual(
+            br.check_throughput_pairs("m", self.grouped(curves(150.0))), [])
+        errors = br.check_throughput_pairs("m", self.grouped(curves(50.0)))
+        self.assertTrue(any("below pairwise" in e for e in errors))
+
+    def test_driver_counters_ordering(self):
+        ok = record("metrics", metrics={"counters": {
+            "driver.passes": 4, "driver.passes_requested": 4}})
+        bad = record("metrics", metrics={"counters": {
+            "driver.passes": 5, "driver.passes_requested": 4}})
+        self.assertEqual(
+            br.check_driver_counters("m", self.grouped([ok])), [])
+        errors = br.check_driver_counters("m", self.grouped([bad]))
+        self.assertTrue(any("exceeds" in e for e in errors))
+
+
+class CommandTest(unittest.TestCase):
+    def run_validate(self, records):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_manifest(records, tmp)
+            args = type("Args", (), {"manifests": [path]})()
+            return br.cmd_validate(args)
+
+    def test_validate_accepts_valid_manifest(self):
+        extra = [record("curve_point", curve="c", x=x, y=2.0 * x)
+                 for x in (1, 2, 4)]
+        self.assertEqual(self.run_validate(minimal_manifest(extra)), 0)
+
+    def test_validate_rejects_truncation_and_bad_json(self):
+        self.assertEqual(self.run_validate(minimal_manifest()[:-1]), 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "broken.jsonl")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("{not json\n")
+            args = type("Args", (), {"manifests": [path]})()
+            self.assertEqual(br.cmd_validate(args), 1)
+
+    def test_baseline_round_trips_through_validate_schema(self):
+        extra = self.baseline_extra()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_manifest(minimal_manifest(extra), tmp)
+            out = os.path.join(tmp, "BENCH_baseline.json")
+            args = type("Args", (), {"manifests": [path], "out": out})()
+            self.assertEqual(br.cmd_baseline(args), 0)
+            with open(out, encoding="utf-8") as f:
+                baseline = json.load(f)
+        self.assertEqual(baseline["schema_version"], br.SCHEMA_VERSION)
+        bench = baseline["benches"]["test-bench"]
+        self.assertEqual(bench["git"], "deadbeef")
+        curve = bench["curves"]["c"]
+        self.assertEqual(len(curve["points"]), 4)
+        self.assertAlmostEqual(curve["fitted_slope"], 0.5, places=9)
+        self.assertAlmostEqual(curve["fitted_exponent"], 0.5, places=9)
+        self.assertEqual(bench["batches"]["b"]["trials"], 1)
+        self.assertEqual(
+            bench["batches"]["b"]["max_reported_peak_bytes"], 1024)
+
+    @staticmethod
+    def baseline_extra():
+        points = [record("curve_point", curve="c", x=x, y=3.0 * math.sqrt(x))
+                  for x in (1, 2, 4, 8)]
+        refit = br.fit_slope([(r["x"], r["y"]) for r in points])
+        return points + [
+            record("fit", curve="c", fitted_exponent=refit,
+                   predicted_exponent=0.5, points=len(points)),
+            record("slope", curve="c", measured=refit, predicted=0.5,
+                   consistent=True),
+            record("batch", label="b", trials=1, base_seed=7,
+                   config={"sample": 8}, results=[result_row()]),
+        ]
+
+
+if __name__ == "__main__":
+    unittest.main()

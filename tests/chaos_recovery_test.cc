@@ -13,24 +13,16 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/exact_stream.h"
-#include "core/four_cycle.h"
-#include "core/one_pass_four_cycle.h"
 #include "core/one_pass_triangle.h"
-#include "core/triangle_distinguisher.h"
 #include "core/two_pass_triangle.h"
-#include "core/wedge_sampling_triangle.h"
 #include "gen/barabasi_albert.h"
-#include "gen/chung_lu.h"
-#include "gen/classic.h"
 #include "gen/erdos_renyi.h"
 #include "graph/graph.h"
 #include "snapshot/snapshot.h"
@@ -38,173 +30,18 @@
 #include "stream/algorithm.h"
 #include "stream/driver.h"
 #include "stream/fault_injection.h"
+#include "test_util.h"
 #include "util/status.h"
 
 namespace cyclestream {
 namespace stream {
 namespace {
 
-// An estimator under chaos: a factory producing fresh same-options
-// instances, and a digest capturing the complete result bit-exactly
-// (hexfloat for doubles, so 1 ULP of drift fails the comparison).
-struct Estimator {
-  std::string name;
-  std::function<std::unique_ptr<StreamAlgorithm>()> make;
-  std::function<std::string(StreamAlgorithm*)> digest;
-};
-
-template <typename... Ts>
-std::string Digest(const Ts&... fields) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  ((out << fields << '|'), ...);
-  return out.str();
-}
-
-std::vector<Estimator> AllEstimators(std::uint64_t seed) {
-  std::vector<Estimator> out;
-  out.push_back(
-      {"exact-stream",
-       [] { return std::make_unique<core::ExactStreamTriangleCounter>(); },
-       [](StreamAlgorithm* a) {
-         auto* c = static_cast<core::ExactStreamTriangleCounter*>(a);
-         return Digest(c->triangles());
-       }});
-  {
-    core::OnePassTriangleOptions options;
-    options.sample_size = 9;
-    options.seed = seed + 1;
-    out.push_back(
-        {"one-pass-triangle",
-         [options] {
-           return std::make_unique<core::OnePassTriangleCounter>(options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r = static_cast<core::OnePassTriangleCounter*>(a)->result();
-           return Digest(r.estimate, r.edge_count, r.detections,
-                         r.edge_sample_size, r.k);
-         }});
-  }
-  {
-    core::TriangleDistinguisherOptions options;
-    options.sample_size = 8;
-    options.seed = seed + 2;
-    out.push_back(
-        {"triangle-distinguisher",
-         [options] {
-           return std::make_unique<core::TriangleDistinguisher>(options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r = static_cast<core::TriangleDistinguisher*>(a)->result();
-           return Digest(r.found_triangle, r.naive_estimate, r.edge_count,
-                         r.incidences, r.edge_sample_size);
-         }});
-  }
-  {
-    core::TwoPassTriangleOptions options;
-    options.sample_size = 10;
-    options.seed = seed + 3;
-    out.push_back(
-        {"two-pass-triangle",
-         [options] {
-           return std::make_unique<core::TwoPassTriangleCounter>(options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r = static_cast<core::TwoPassTriangleCounter*>(a)->result();
-           return Digest(r.estimate, r.edge_count, r.candidate_pairs,
-                         r.edge_sample_size, r.pair_sample_size, r.pairs_live,
-                         r.q_overflowed, r.rho_hits, r.k);
-         }});
-  }
-  {
-    core::WedgeSamplingOptions options;
-    options.reservoir_size = 12;
-    options.seed = seed + 4;
-    out.push_back(
-        {"wedge-sampling",
-         [options] {
-           return std::make_unique<core::WedgeSamplingTriangleCounter>(
-               options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r =
-               static_cast<core::WedgeSamplingTriangleCounter*>(a)->result();
-           return Digest(r.estimate, r.wedge_count, r.sampled, r.closed,
-                         r.transitivity_estimate);
-         }});
-  }
-  {
-    core::OnePassFourCycleOptions options;
-    options.sample_size = 9;
-    options.seed = seed + 5;
-    out.push_back(
-        {"one-pass-four-cycle",
-         [options] {
-           return std::make_unique<core::OnePassFourCycleCounter>(options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r = static_cast<core::OnePassFourCycleCounter*>(a)->result();
-           return Digest(r.estimate, r.edge_count, r.detections,
-                         r.edge_sample_size, r.wedge_count, r.k_squared);
-         }});
-  }
-  {
-    core::FourCycleOptions options;
-    options.sample_size = 10;
-    options.seed = seed + 6;
-    out.push_back(
-        {"two-pass-four-cycle",
-         [options] {
-           return std::make_unique<core::TwoPassFourCycleCounter>(options);
-         },
-         [](StreamAlgorithm* a) {
-           auto r = static_cast<core::TwoPassFourCycleCounter*>(a)->result();
-           return Digest(r.estimate, r.multiplicity_estimate, r.edge_count,
-                         r.edge_sample_size, r.wedge_count, r.distinct_cycles,
-                         r.wedge_incidences, r.wedge_cap_hit, r.k_squared);
-         }});
-  }
-  return out;
-}
-
-void ExpectReportsEqual(const RunReport& got, const RunReport& want) {
-  EXPECT_EQ(got.reported_peak_bytes, want.reported_peak_bytes);
-  EXPECT_EQ(got.audited_peak_bytes, want.audited_peak_bytes);
-  EXPECT_EQ(got.max_divergence_bytes, want.max_divergence_bytes);
-  EXPECT_EQ(got.pairs_processed, want.pairs_processed);
-  EXPECT_EQ(got.passes_requested, want.passes_requested);
-  ASSERT_EQ(got.per_pass.size(), want.per_pass.size());
-  for (std::size_t i = 0; i < got.per_pass.size(); ++i) {
-    EXPECT_EQ(got.per_pass[i].reported_peak_bytes,
-              want.per_pass[i].reported_peak_bytes)
-        << "pass " << i;
-    EXPECT_EQ(got.per_pass[i].audited_peak_bytes,
-              want.per_pass[i].audited_peak_bytes)
-        << "pass " << i;
-    EXPECT_EQ(got.per_pass[i].pairs_processed,
-              want.per_pass[i].pairs_processed)
-        << "pass " << i;
-  }
-}
-
-struct Family {
-  const char* name;
-  std::function<Graph(std::uint64_t)> make;
-};
-
-std::vector<Family> GeneratorFamilies() {
-  return {
-      {"complete", [](std::uint64_t) { return gen::Complete(8); }},
-      {"erdos-renyi",
-       [](std::uint64_t s) { return gen::ErdosRenyiGnp(14, 0.35, s); }},
-      {"barabasi-albert",
-       [](std::uint64_t s) { return gen::BarabasiAlbert(14, 3, s); }},
-      {"chung-lu",
-       [](std::uint64_t s) {
-         return gen::ChungLuPowerLaw(16, 4.0, 2.5, s + 1);
-       }},
-  };
-}
+using testing_util::ExpectReportsEqual;
+using testing_util::GeneratorFamilies;
+using testing_util::GraphFamily;
+using testing_util::SnapshotEstimator;
+using testing_util::SnapshotEstimators;
 
 // When CYCLESTREAM_CHAOS_DUMP_DIR is set (the CI chaos job points it at an
 // artifact directory), the snapshot blob behind the first failing boundary
@@ -221,7 +58,7 @@ void MaybeDumpSnapshot(const std::string& tag,
 }
 
 // Runs the full crash matrix for one (estimator, stream) combination.
-void CrashAtEveryBoundary(const Estimator& est,
+void CrashAtEveryBoundary(const SnapshotEstimator& est,
                           const AdjacencyListStream& stream,
                           const std::string& tag) {
   // HasFailure() is cumulative per TEST; only dump blobs for the first
@@ -272,10 +109,10 @@ void CrashAtEveryBoundary(const Estimator& est,
 
 TEST(ChaosRecovery, CrashAtEveryBoundaryRestoresBitIdentically) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
-    for (const Family& family : GeneratorFamilies()) {
+    for (const GraphFamily& family : GeneratorFamilies()) {
       Graph g = family.make(seed);
       AdjacencyListStream stream(&g, seed);
-      for (const Estimator& est : AllEstimators(seed)) {
+      for (const SnapshotEstimator& est : SnapshotEstimators(seed)) {
         const std::string tag = std::string(family.name) + "-" + est.name +
                                 "-seed" + std::to_string(seed);
         SCOPED_TRACE(tag);

@@ -1,0 +1,433 @@
+// The service layer's determinism contract: a sharded, multi-threaded
+// EstimatorService must produce estimates, RunReports, and checkpoint bytes
+// bit-identical to running each stream through the single-stream driver
+// sequentially — for ANY (streams, shards, threads) configuration — and a
+// shard killed mid-ingest and restored from its last checkpoint must finish
+// indistinguishable from an uninterrupted run.
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "service/estimator_host.h"
+#include "service/mailbox.h"
+#include "service/service.h"
+#include "stream/adjacency_stream.h"
+#include "stream/driver.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace cyclestream {
+namespace service {
+namespace {
+
+using testing_util::ExpectReportsEqual;
+using testing_util::GeneratorFamilies;
+using testing_util::GraphFamily;
+
+// ---------------------------------------------------------------------------
+// Mailbox.
+
+TEST(Mailbox, SingleProducerIsFifoAcrossTakes) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.Empty());
+  for (int i = 0; i < 5; ++i) box.Push(i);
+  EXPECT_FALSE(box.Empty());
+  EXPECT_EQ(box.TakeAll(), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(box.Empty());
+  box.Push(5);
+  box.Push(6);
+  EXPECT_EQ(box.TakeAll(), (std::vector<int>{5, 6}));
+  EXPECT_TRUE(box.TakeAll().empty());
+}
+
+TEST(Mailbox, DestructorDrainsUnclaimedNodes) {
+  // ASan would flag the leak if the destructor dropped them.
+  Mailbox<std::string> box;
+  box.Push("left");
+  box.Push("behind");
+}
+
+// ---------------------------------------------------------------------------
+// Estimator host.
+
+TEST(EstimatorHost, EveryKindConstructsAndSpecRoundTrips) {
+  for (int k = 0; k < kEstimatorKinds; ++k) {
+    EstimatorSpec spec;
+    spec.kind = static_cast<EstimatorKind>(k);
+    spec.slots = 9;
+    spec.seed = 77;
+    StatusOr<HostedEstimator> hosted = MakeHosted(spec);
+    ASSERT_TRUE(hosted.ok()) << KindName(spec.kind);
+    EXPECT_NE(hosted->algo, nullptr);
+    EXPECT_NE(hosted->estimate, nullptr);
+    EXPECT_GE(hosted->algo->passes(), 1);
+
+    snapshot::SnapshotWriter w;
+    SerializeSpec(spec, w);
+    std::vector<std::uint8_t> bytes = std::move(w).Finish();
+    StatusOr<snapshot::SnapshotReader> r = snapshot::SnapshotReader::Open(bytes);
+    ASSERT_TRUE(r.ok());
+    StatusOr<EstimatorSpec> back = RestoreSpec(*r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, spec);
+  }
+}
+
+TEST(EstimatorHost, UnknownKindIsInvalidArgument) {
+  EstimatorSpec spec;
+  spec.kind = static_cast<EstimatorKind>(99);
+  StatusOr<HostedEstimator> hosted = MakeHosted(spec);
+  ASSERT_FALSE(hosted.ok());
+  EXPECT_EQ(hosted.status().code(), StatusCode::kInvalidArgument);
+
+  snapshot::SnapshotWriter w;
+  SerializeSpec(spec, w);
+  std::vector<std::uint8_t> bytes = std::move(w).Finish();
+  StatusOr<snapshot::SnapshotReader> r = snapshot::SnapshotReader::Open(bytes);
+  ASSERT_TRUE(r.ok());
+  StatusOr<EstimatorSpec> back = RestoreSpec(*r);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding.
+
+TEST(ShardOf, StableInRangeAndLeavesNoShardEmpty) {
+  for (int shards : {1, 2, 4, 8}) {
+    std::set<int> hit;
+    for (StreamId id = 0; id < 10000; ++id) {
+      const int s = EstimatorService::ShardOf(id, shards);
+      EXPECT_EQ(s, EstimatorService::ShardOf(id, shards));
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, shards);
+      hit.insert(s);
+    }
+    EXPECT_EQ(hit.size(), static_cast<std::size_t>(shards));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity versus the single-stream driver.
+
+// One hosted stream's full client-side event tape plus its driver-computed
+// reference (estimate + report), so the same tape can be replayed against
+// any service configuration.
+struct Workload {
+  StreamId id = 0;
+  EstimatorSpec spec;
+  // Event tape: one entry per adjacency list in pass order; `end_pass`
+  // entries carry no list.
+  struct Event {
+    bool end_pass = false;
+    VertexId u = 0;
+    std::vector<VertexId> list;
+  };
+  std::vector<Event> events;
+  double want_estimate = 0.0;
+  stream::RunReport want_report;
+};
+
+// Builds one workload per (estimator kind, generator family): the stream id
+// spreads over shards, the reference runs through stream::RunPasses with
+// the exact same estimator options (via MakeHosted).
+std::vector<Workload> BuildWorkloads(std::uint64_t seed) {
+  std::vector<Workload> out;
+  StreamId next_id = 1000;
+  for (const GraphFamily& family : GeneratorFamilies()) {
+    Graph g = family.make(seed);
+    stream::AdjacencyListStream stream(&g, seed);
+    for (int k = 0; k < kEstimatorKinds; ++k) {
+      Workload w;
+      w.id = next_id++;
+      w.spec.kind = static_cast<EstimatorKind>(k);
+      w.spec.slots = 8 + static_cast<std::uint64_t>(k);
+      w.spec.seed = seed + static_cast<std::uint64_t>(k) + 1;
+
+      StatusOr<HostedEstimator> ref = MakeHosted(w.spec);
+      EXPECT_TRUE(ref.ok());
+      w.want_report = stream::RunPasses(stream, ref->algo.get());
+      w.want_estimate = ref->estimate(*ref->algo);
+
+      for (int pass = 0; pass < ref->algo->passes(); ++pass) {
+        for (VertexId u : stream.list_order()) {
+          auto span = stream.ListOf(u);
+          w.events.push_back(
+              {false, u, std::vector<VertexId>(span.begin(), span.end())});
+        }
+        w.events.push_back({true, 0, {}});
+      }
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+void CreateAll(EstimatorService& svc, const std::vector<Workload>& work) {
+  std::vector<std::future<Status>> created;
+  created.reserve(work.size());
+  for (const Workload& w : work) created.push_back(svc.Create(w.id, w.spec));
+  for (auto& f : created) EXPECT_TRUE(f.get().ok());
+}
+
+// Replays event index k of every stream before index k+1 of any — maximal
+// cross-stream interleaving while preserving each stream's own order.
+void FeedInterleaved(EstimatorService& svc, const std::vector<Workload>& work,
+                     std::size_t from, std::size_t to) {
+  std::size_t longest = 0;
+  for (const Workload& w : work) longest = std::max(longest, w.events.size());
+  for (std::size_t k = from; k < std::min(to, longest); ++k) {
+    for (const Workload& w : work) {
+      if (k >= w.events.size()) continue;
+      const Workload::Event& e = w.events[k];
+      if (e.end_pass) {
+        svc.EndPass(w.id);
+      } else {
+        svc.Append(w.id, e.u, e.list);
+      }
+    }
+  }
+}
+
+void ExpectMatchesReferences(EstimatorService& svc,
+                             const std::vector<Workload>& work) {
+  for (const Workload& w : work) {
+    SCOPED_TRACE("stream " + std::to_string(w.id) + " (" +
+                 KindName(w.spec.kind) + ")");
+    StatusOr<StreamView> view = svc.Query(w.id).get();
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view->spec, w.spec);
+    EXPECT_TRUE(view->finished);
+    EXPECT_EQ(view->pass, view->passes_requested);
+    EXPECT_EQ(view->estimate, w.want_estimate);
+    ExpectReportsEqual(view->report, w.want_report);
+  }
+}
+
+TEST(ServiceBitIdentity, AnyShardsThreadsConfigMatchesTheDriver) {
+  const std::vector<Workload> work = BuildWorkloads(7);
+  struct Config {
+    int shards;
+    int threads;
+    std::size_t drain_budget;
+  };
+  // Includes more-threads-than-shards, fewer-threads-than-shards, a single
+  // worker, and a tiny drain budget (forces mid-tape drain re-submission).
+  for (const Config& cfg : std::vector<Config>{
+           {1, 1, 1024}, {4, 2, 1024}, {8, 8, 1024}, {3, 5, 1024}, {4, 4, 3}}) {
+    SCOPED_TRACE("shards=" + std::to_string(cfg.shards) +
+                 " threads=" + std::to_string(cfg.threads) +
+                 " budget=" + std::to_string(cfg.drain_budget));
+    ServiceOptions options;
+    options.shards = cfg.shards;
+    options.threads = cfg.threads;
+    options.drain_budget = cfg.drain_budget;
+    EstimatorService svc(options);
+    EXPECT_EQ(svc.shards(), cfg.shards);
+    EXPECT_EQ(svc.threads(), cfg.threads);
+    CreateAll(svc, work);
+    FeedInterleaved(svc, work, 0, SIZE_MAX);
+    ExpectMatchesReferences(svc, work);
+  }
+}
+
+TEST(ServiceBitIdentity, MeteredAndUnmeteredRunsAgree) {
+  const std::vector<Workload> work = BuildWorkloads(11);
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.shards = 4;
+  options.metrics = &metrics;
+  EstimatorService svc(options);
+  CreateAll(svc, work);
+  FeedInterleaved(svc, work, 0, SIZE_MAX);
+  ExpectMatchesReferences(svc, work);
+  svc.Flush();
+
+  obs::Snapshot snap = metrics.Read();
+  EXPECT_GT(snap.counters["service.ops"], 0u);
+  EXPECT_GT(snap.counters["service.lists"], 0u);
+  EXPECT_GT(snap.counters["service.pairs"], 0u);
+  EXPECT_GT(snap.counters["service.queries"], 0u);
+  EXPECT_GT(snap.counters["service.drains"], 0u);
+  EXPECT_GT(snap.histograms["service.queue_depth"].count, 0u);
+  EXPECT_GT(snap.histograms["service.op_latency_seconds"].count, 0u);
+  EXPECT_GT(snap.histograms["service.shard_occupancy"].count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / kill / restore.
+
+TEST(ServiceChaos, KillAndRestoreAtAnyBatchBoundaryIsBitIdentical) {
+  const std::vector<Workload> work = BuildWorkloads(13);
+  std::size_t longest = 0;
+  for (const Workload& w : work) longest = std::max(longest, w.events.size());
+
+  // Uninterrupted control run, kept alive to compare final checkpoints.
+  ServiceOptions options;
+  options.shards = 4;
+  EstimatorService control(options);
+  CreateAll(control, work);
+  FeedInterleaved(control, work, 0, SIZE_MAX);
+  ExpectMatchesReferences(control, work);
+
+  // Split the tape at several boundaries, including mid-pass ones (the
+  // two-pass estimators' first pass ends mid-tape).
+  for (std::size_t split : {std::size_t{1}, longest / 3, longest / 2,
+                            longest - 1}) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    EstimatorService svc(options);
+    CreateAll(svc, work);
+    FeedInterleaved(svc, work, 0, split);
+    svc.Flush();
+
+    // Checkpoint every shard, then crash every shard.
+    std::vector<std::vector<std::uint8_t>> manifests;
+    for (int s = 0; s < svc.shards(); ++s) {
+      StatusOr<std::vector<std::uint8_t>> m = svc.CheckpointShard(s).get();
+      ASSERT_TRUE(m.ok()) << m.status().ToString();
+      manifests.push_back(std::move(m).value());
+    }
+    std::size_t lost = 0;
+    for (int s = 0; s < svc.shards(); ++s) lost += svc.KillShard(s).get();
+    EXPECT_EQ(lost, work.size());
+    // Dead streams answer kNotFound until restored.
+    EXPECT_EQ(svc.Query(work[0].id).get().status().code(),
+              StatusCode::kNotFound);
+
+    for (int s = 0; s < svc.shards(); ++s) {
+      Status restored = svc.RestoreShard(s, manifests[static_cast<std::size_t>(s)]).get();
+      ASSERT_TRUE(restored.ok()) << restored.ToString();
+    }
+    FeedInterleaved(svc, work, split, SIZE_MAX);
+    ExpectMatchesReferences(svc, work);
+
+    // Strongest form: the final whole-shard checkpoints are byte-identical
+    // to the uninterrupted service's.
+    for (int s = 0; s < svc.shards(); ++s) {
+      StatusOr<std::vector<std::uint8_t>> a = control.CheckpointShard(s).get();
+      StatusOr<std::vector<std::uint8_t>> b = svc.CheckpointShard(s).get();
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << "shard " << s;
+    }
+  }
+}
+
+TEST(ServiceChaos, RestoreRejectsForeignAndCorruptManifests) {
+  ServiceOptions options;
+  options.shards = 2;
+  EstimatorService svc(options);
+
+  // Park one stream on each shard.
+  StreamId on_shard0 = 0;
+  StreamId on_shard1 = 0;
+  for (StreamId id = 1;; ++id) {
+    if (on_shard0 == 0 && EstimatorService::ShardOf(id, 2) == 0) on_shard0 = id;
+    if (on_shard1 == 0 && EstimatorService::ShardOf(id, 2) == 1) on_shard1 = id;
+    if (on_shard0 != 0 && on_shard1 != 0) break;
+  }
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kExactStreamTriangle;
+  ASSERT_TRUE(svc.Create(on_shard0, spec).get().ok());
+  ASSERT_TRUE(svc.Create(on_shard1, spec).get().ok());
+  Graph g = testing_util::Triangle();
+  stream::AdjacencyListStream stream(&g, 3);
+  for (VertexId u : stream.list_order()) {
+    auto span = stream.ListOf(u);
+    svc.Append(on_shard0, u, {span.begin(), span.end()});
+    svc.Append(on_shard1, u, {span.begin(), span.end()});
+  }
+  svc.EndPass(on_shard0);
+  svc.EndPass(on_shard1);
+
+  StatusOr<std::vector<std::uint8_t>> manifest = svc.CheckpointShard(0).get();
+  ASSERT_TRUE(manifest.ok());
+
+  // Foreign: shard 0's manifest holds ids that hash to shard 0 only.
+  Status foreign = svc.RestoreShard(1, *manifest).get();
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.code(), StatusCode::kFailedPrecondition);
+
+  // Corrupt: flip a payload byte; every corruption class is a typed error.
+  std::vector<std::uint8_t> bad = *manifest;
+  bad[bad.size() / 2] ^= 0x40;
+  Status corrupt = svc.RestoreShard(0, bad).get();
+  EXPECT_FALSE(corrupt.ok());
+
+  // Truncated.
+  std::vector<std::uint8_t> cut(manifest->begin(), manifest->end() - 5);
+  Status truncated = svc.RestoreShard(0, cut).get();
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.code(), StatusCode::kDataLoss);
+
+  // Failed restores must leave the shard's pre-restore state untouched.
+  StatusOr<StreamView> view = svc.Query(on_shard0).get();
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->estimate, 1.0);  // the triangle
+  EXPECT_TRUE(view->finished);
+}
+
+// ---------------------------------------------------------------------------
+// API misuse surfaces as typed errors, never wrong answers.
+
+TEST(ServiceErrors, UnknownDuplicateAndMisusedStreams) {
+  ServiceOptions options;
+  options.shards = 2;
+  EstimatorService svc(options);
+
+  EXPECT_EQ(svc.Query(404).get().status().code(), StatusCode::kNotFound);
+
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kOnePassTriangle;
+  spec.slots = 4;
+  spec.seed = 5;
+  ASSERT_TRUE(svc.Create(1, spec).get().ok());
+  Status dup = svc.Create(1, spec).get();
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
+
+  Status bad_kind = svc.Create(2, EstimatorSpec{static_cast<EstimatorKind>(42),
+                                                1, 1})
+                        .get();
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_EQ(bad_kind.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(svc.Query(2).get().status().code(), StatusCode::kNotFound);
+
+  // Feeding a finished stream latches an error every later Query returns.
+  Graph g = testing_util::Triangle();
+  stream::AdjacencyListStream stream(&g, 1);
+  for (VertexId u : stream.list_order()) {
+    auto span = stream.ListOf(u);
+    svc.Append(1, u, {span.begin(), span.end()});
+  }
+  svc.EndPass(1);
+  ASSERT_TRUE(svc.Query(1).get().ok());
+  svc.EndPass(1);  // one pass too many
+  StatusOr<StreamView> latched = svc.Query(1).get();
+  ASSERT_FALSE(latched.ok());
+  EXPECT_EQ(latched.status().code(), StatusCode::kFailedPrecondition);
+  // Latched errors survive checkpoints.
+  const int shard = EstimatorService::ShardOf(1, 2);
+  StatusOr<std::vector<std::uint8_t>> manifest =
+      svc.CheckpointShard(shard).get();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(svc.KillShard(shard).get() >= 1);
+  ASSERT_TRUE(svc.RestoreShard(shard, *manifest).get().ok());
+  StatusOr<StreamView> still = svc.Query(1).get();
+  ASSERT_FALSE(still.ok());
+  EXPECT_EQ(still.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace cyclestream

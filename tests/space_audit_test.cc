@@ -30,25 +30,16 @@
 #include "obs/space_tracer.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
+#include "test_util.h"
 
 namespace cyclestream {
 namespace {
 
 // Four generator families covering sparse random, preferential-attachment,
 // heavy-tailed, and planted-structure streams.
-std::vector<Graph> FamilyGraphs(std::uint64_t seed) {
-  std::vector<Graph> graphs;
-  graphs.push_back(gen::ErdosRenyiGnp(80, 0.12, seed));
-  graphs.push_back(gen::BarabasiAlbert(100, 4, seed));
-  graphs.push_back(gen::ChungLuPowerLaw(100, 6.0, 2.3, seed));
-  gen::PlantedBackground bg;
-  bg.stars = 6;
-  bg.star_degree = 8;
-  graphs.push_back(gen::PlantedHeavyEdgeTriangles(16, bg));
-  return graphs;
-}
+using testing_util::AuditFamilyGraphs;
 
-constexpr std::uint64_t kSeeds[] = {1, 17, 4242};
+constexpr auto& kSeeds = testing_util::kFamilySeeds;
 
 // Runs `make()`'s algorithm with a full-resolution tracer and checks the
 // audit contract at every sampled boundary, then re-runs untraced and
@@ -99,7 +90,7 @@ void ExpectAuditedRun(const stream::AdjacencyListStream& s,
 
 TEST(SpaceAudit, OnePassTriangle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::OnePassTriangleOptions options;
       options.sample_size = 32;
@@ -117,7 +108,7 @@ TEST(SpaceAudit, OnePassTriangle) {
 
 TEST(SpaceAudit, TwoPassTriangle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::TwoPassTriangleOptions options;
       options.sample_size = 32;
@@ -136,7 +127,7 @@ TEST(SpaceAudit, TwoPassTriangle) {
 
 TEST(SpaceAudit, WedgeSampling) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::WedgeSamplingOptions options;
       options.reservoir_size = 24;
@@ -157,7 +148,7 @@ TEST(SpaceAudit, WedgeSampling) {
 
 TEST(SpaceAudit, OnePassFourCycle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::OnePassFourCycleOptions options;
       options.sample_size = 32;
@@ -177,7 +168,7 @@ TEST(SpaceAudit, OnePassFourCycle) {
 
 TEST(SpaceAudit, TwoPassFourCycle) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::FourCycleOptions options;
       options.sample_size = 32;
@@ -198,7 +189,7 @@ TEST(SpaceAudit, TwoPassFourCycle) {
 
 TEST(SpaceAudit, ExactStream) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       ExpectAuditedRun(
           s, /*configured_slots=*/2 * g.num_edges(),
@@ -212,7 +203,7 @@ TEST(SpaceAudit, ExactStream) {
 
 TEST(SpaceAudit, TriangleDistinguisher) {
   for (std::uint64_t seed : kSeeds) {
-    for (const Graph& g : FamilyGraphs(seed)) {
+    for (const Graph& g : AuditFamilyGraphs(seed)) {
       stream::AdjacencyListStream s(&g, seed * 5 + 1);
       core::TriangleDistinguisherOptions options;
       options.sample_size = 32;

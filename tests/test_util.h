@@ -1,12 +1,40 @@
 // Shared helpers for cyclestream tests.
+//
+// Beyond the small named graphs and statistics, this hosts the estimator
+// and generator-family matrices shared by the snapshot/chaos/service test
+// suites: `SnapshotEstimators` enumerates every estimator with a
+// Serialize/Restore contract (factory + bit-exact result digest), and the
+// family helpers produce one representative graph per generator family at
+// the sizes each suite wants. Keeping them here means a new estimator or
+// family lights up the chaos matrix, the fuzz matrix, the round-trip
+// matrix, and the service tests with one edit.
 
 #ifndef CYCLESTREAM_TESTS_TEST_UTIL_H_
 #define CYCLESTREAM_TESTS_TEST_UTIL_H_
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "core/exact_stream.h"
+#include "core/four_cycle.h"
+#include "core/one_pass_four_cycle.h"
+#include "core/one_pass_triangle.h"
+#include "core/triangle_distinguisher.h"
+#include "core/two_pass_triangle.h"
+#include "core/wedge_sampling_triangle.h"
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "gen/projective_plane.h"
 #include "graph/graph.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
@@ -50,6 +78,213 @@ inline double StdDev(const std::vector<double>& xs) {
   double ss = 0;
   for (double x : xs) ss += (x - mu) * (x - mu);
   return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+/// Bit-exact digest of result fields: doubles render as hexfloat, so one
+/// ULP of drift fails the comparison.
+template <typename... Ts>
+std::string Digest(const Ts&... fields) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  ((out << fields << '|'), ...);
+  return out.str();
+}
+
+/// An estimator under snapshot/chaos testing: a factory producing fresh
+/// same-options instances, and a digest capturing the complete result.
+struct SnapshotEstimator {
+  std::string name;
+  std::function<std::unique_ptr<stream::StreamAlgorithm>()> make;
+  std::function<std::string(stream::StreamAlgorithm*)> digest;
+};
+
+/// Every estimator with a Serialize/Restore contract, with small
+/// sample/reservoir sizes so sampling paths and evictions are exercised on
+/// test-sized graphs. `seed` perturbs each estimator's private seed.
+inline std::vector<SnapshotEstimator> SnapshotEstimators(std::uint64_t seed) {
+  using stream::StreamAlgorithm;
+  std::vector<SnapshotEstimator> out;
+  out.push_back(
+      {"exact-stream",
+       [] { return std::make_unique<core::ExactStreamTriangleCounter>(); },
+       [](StreamAlgorithm* a) {
+         auto* c = static_cast<core::ExactStreamTriangleCounter*>(a);
+         return Digest(c->triangles());
+       }});
+  {
+    core::OnePassTriangleOptions options;
+    options.sample_size = 9;
+    options.seed = seed + 1;
+    out.push_back(
+        {"one-pass-triangle",
+         [options] {
+           return std::make_unique<core::OnePassTriangleCounter>(options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r = static_cast<core::OnePassTriangleCounter*>(a)->result();
+           return Digest(r.estimate, r.edge_count, r.detections,
+                         r.edge_sample_size, r.k);
+         }});
+  }
+  {
+    core::TriangleDistinguisherOptions options;
+    options.sample_size = 8;
+    options.seed = seed + 2;
+    out.push_back(
+        {"triangle-distinguisher",
+         [options] {
+           return std::make_unique<core::TriangleDistinguisher>(options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r = static_cast<core::TriangleDistinguisher*>(a)->result();
+           return Digest(r.found_triangle, r.naive_estimate, r.edge_count,
+                         r.incidences, r.edge_sample_size);
+         }});
+  }
+  {
+    core::TwoPassTriangleOptions options;
+    options.sample_size = 10;
+    options.seed = seed + 3;
+    out.push_back(
+        {"two-pass-triangle",
+         [options] {
+           return std::make_unique<core::TwoPassTriangleCounter>(options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r = static_cast<core::TwoPassTriangleCounter*>(a)->result();
+           return Digest(r.estimate, r.edge_count, r.candidate_pairs,
+                         r.edge_sample_size, r.pair_sample_size, r.pairs_live,
+                         r.q_overflowed, r.rho_hits, r.k);
+         }});
+  }
+  {
+    core::WedgeSamplingOptions options;
+    options.reservoir_size = 12;
+    options.seed = seed + 4;
+    out.push_back(
+        {"wedge-sampling",
+         [options] {
+           return std::make_unique<core::WedgeSamplingTriangleCounter>(
+               options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r =
+               static_cast<core::WedgeSamplingTriangleCounter*>(a)->result();
+           return Digest(r.estimate, r.wedge_count, r.sampled, r.closed,
+                         r.transitivity_estimate);
+         }});
+  }
+  {
+    core::OnePassFourCycleOptions options;
+    options.sample_size = 9;
+    options.seed = seed + 5;
+    out.push_back(
+        {"one-pass-four-cycle",
+         [options] {
+           return std::make_unique<core::OnePassFourCycleCounter>(options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r = static_cast<core::OnePassFourCycleCounter*>(a)->result();
+           return Digest(r.estimate, r.edge_count, r.detections,
+                         r.edge_sample_size, r.wedge_count, r.k_squared);
+         }});
+  }
+  {
+    core::FourCycleOptions options;
+    options.sample_size = 10;
+    options.seed = seed + 6;
+    out.push_back(
+        {"two-pass-four-cycle",
+         [options] {
+           return std::make_unique<core::TwoPassFourCycleCounter>(options);
+         },
+         [](StreamAlgorithm* a) {
+           auto r = static_cast<core::TwoPassFourCycleCounter*>(a)->result();
+           return Digest(r.estimate, r.multiplicity_estimate, r.edge_count,
+                         r.edge_sample_size, r.wedge_count, r.distinct_cycles,
+                         r.wedge_incidences, r.wedge_cap_hit, r.k_squared);
+         }});
+  }
+  return out;
+}
+
+/// Asserts two run reports equal field-by-field, per-pass included.
+inline void ExpectReportsEqual(const stream::RunReport& got,
+                               const stream::RunReport& want) {
+  EXPECT_EQ(got.reported_peak_bytes, want.reported_peak_bytes);
+  EXPECT_EQ(got.audited_peak_bytes, want.audited_peak_bytes);
+  EXPECT_EQ(got.max_divergence_bytes, want.max_divergence_bytes);
+  EXPECT_EQ(got.pairs_processed, want.pairs_processed);
+  EXPECT_EQ(got.passes_requested, want.passes_requested);
+  ASSERT_EQ(got.per_pass.size(), want.per_pass.size());
+  for (std::size_t i = 0; i < got.per_pass.size(); ++i) {
+    EXPECT_EQ(got.per_pass[i].reported_peak_bytes,
+              want.per_pass[i].reported_peak_bytes)
+        << "pass " << i;
+    EXPECT_EQ(got.per_pass[i].audited_peak_bytes,
+              want.per_pass[i].audited_peak_bytes)
+        << "pass " << i;
+    EXPECT_EQ(got.per_pass[i].pairs_processed,
+              want.per_pass[i].pairs_processed)
+        << "pass " << i;
+  }
+}
+
+/// A named generator family producing one seeded graph.
+struct GraphFamily {
+  const char* name;
+  std::function<Graph(std::uint64_t)> make;
+};
+
+/// Small graphs (8-16 vertices), one per family — the chaos/fuzz/round-trip
+/// matrices crash or corrupt at every list boundary, so size is the cost
+/// knob. The deterministic families vary only through the stream order.
+inline std::vector<GraphFamily> GeneratorFamilies() {
+  return {
+      {"complete", [](std::uint64_t) { return gen::Complete(8); }},
+      {"erdos-renyi",
+       [](std::uint64_t s) { return gen::ErdosRenyiGnp(14, 0.35, s); }},
+      {"barabasi-albert",
+       [](std::uint64_t s) { return gen::BarabasiAlbert(14, 3, s); }},
+      {"chung-lu",
+       [](std::uint64_t s) {
+         return gen::ChungLuPowerLaw(16, 4.0, 2.5, s + 1);
+       }},
+  };
+}
+
+/// Stream seeds shared by the per-family matrices.
+inline constexpr std::uint64_t kFamilySeeds[] = {1, 17, 4242};
+
+/// Medium graphs (60-80 vertices), one per generator family plus the
+/// deterministic classics — the batch-equivalence matrix.
+inline std::vector<Graph> DenseFamilyGraphs(std::uint64_t seed) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::ErdosRenyiGnp(60, 0.15, seed));
+  graphs.push_back(gen::BarabasiAlbert(80, 3, seed));
+  graphs.push_back(gen::ChungLuPowerLaw(80, 6.0, 2.3, seed));
+  graphs.push_back(gen::Petersen());
+  gen::PlantedBackground bg;
+  bg.stars = 4;
+  bg.star_degree = 5;
+  graphs.push_back(gen::PlantedHeavyEdgeTriangles(12, bg));
+  graphs.push_back(gen::ProjectivePlaneGraph(3));
+  return graphs;
+}
+
+/// Larger graphs (80-100 vertices) covering sparse random,
+/// preferential-attachment, heavy-tailed, and planted-structure streams —
+/// the space-audit matrix.
+inline std::vector<Graph> AuditFamilyGraphs(std::uint64_t seed) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::ErdosRenyiGnp(80, 0.12, seed));
+  graphs.push_back(gen::BarabasiAlbert(100, 4, seed));
+  graphs.push_back(gen::ChungLuPowerLaw(100, 6.0, 2.3, seed));
+  gen::PlantedBackground bg;
+  bg.stars = 6;
+  bg.star_degree = 8;
+  graphs.push_back(gen::PlantedHeavyEdgeTriangles(16, bg));
+  return graphs;
 }
 
 }  // namespace testing_util
