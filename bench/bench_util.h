@@ -25,9 +25,17 @@
 //                 Perfetto / chrome://tracing) with execution spans: bench
 //                 phases, trials on their worker lanes, streaming passes,
 //                 strided list windows, and validator work.
+//   --log-level LVL      structured-log verbosity for obs::Logger::Global()
+//                 ("off"/"error"/"warn"/"info"/"debug"; default off, so
+//                 stdout/stderr stay byte-identical across thread counts).
+//                 Overrides the CYCLESTREAM_LOG environment variable.
+//   --log-file FILE      mirror log records to FILE in addition to stderr.
+//
+// Every value-carrying flag accepts both `--flag value` and `--flag=value`.
 //
 // None of the new flags touch stdout: manifests go to their files, wall
-// time to stderr, so bench tables stay byte-identical traced or not.
+// time and logs to stderr, so bench tables stay byte-identical traced,
+// logged, or not.
 //
 // Trial batches run through the shared runtime::TrialRunner returned by
 // bench::Runner(); call bench::ParseOptions first so --threads takes effect.
@@ -55,7 +63,9 @@
 #include <vector>
 
 #include "core/median.h"
+#include "obs/accuracy.h"
 #include "obs/json.h"
+#include "obs/logger.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
@@ -74,21 +84,45 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-/// Value of `--flag N`; `fallback` when absent or malformed.
+namespace internal {
+
+// "--flag=value" support: if argv[i] is `flag` immediately followed by
+// '=', returns the text after it; null otherwise. Both `--flag value` and
+// `--flag=value` spellings work for every value-carrying flag.
+inline const char* InlineFlagValue(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace internal
+
+/// Value of `--flag N` / `--flag=N`; `fallback` when absent or malformed.
 inline int FlagValue(int argc, char** argv, const char* flag, int fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      int value = std::atoi(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    const char* text = nullptr;
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      text = argv[i + 1];
+    } else {
+      text = internal::InlineFlagValue(argv[i], flag);
+    }
+    if (text != nullptr) {
+      int value = std::atoi(text);
       return value > 0 ? value : fallback;
     }
   }
   return fallback;
 }
 
-/// Value of `--flag STR`; empty when absent.
+/// Value of `--flag STR` / `--flag=STR`; empty when absent.
 inline std::string FlagString(int argc, char** argv, const char* flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[i + 1];
+    if (const char* text = internal::InlineFlagValue(argv[i], flag)) {
+      return text;
+    }
   }
   return "";
 }
@@ -102,6 +136,8 @@ struct BenchOptions {
   std::string trace_out;         // --trace-out FILE ("" = off)
   std::uint64_t trace_stride = 0;  // --trace-stride N (0 = boundaries only)
   std::string chrome_trace;      // --chrome-trace FILE ("" = off)
+  std::string log_level;         // --log-level LVL ("" = env/default)
+  std::string log_file;          // --log-file FILE ("" = stderr only)
 };
 
 namespace internal {
@@ -147,6 +183,9 @@ class Observability {
       chrome_trace_path_ = opts.chrome_trace;
       trace_session_ = std::make_unique<obs::TraceSession>();
       trace_session_->SetProcessName(BenchName(argc, argv));
+      // Lane 0 is the bench main thread (Configure runs before any trial
+      // workers exist); TrialRunner names worker lanes as they appear.
+      trace_session_->SetThreadName("main");
     }
     if (!opts.metrics_out.empty()) {
       auto writer = obs::ManifestWriter::Open(opts.metrics_out);
@@ -283,6 +322,18 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   opts.trace_stride = static_cast<std::uint64_t>(
       FlagValue(argc, argv, "--trace-stride", 0));
   opts.chrome_trace = FlagString(argc, argv, "--chrome-trace");
+  opts.log_level = FlagString(argc, argv, "--log-level");
+  opts.log_file = FlagString(argc, argv, "--log-file");
+  if (!opts.log_level.empty()) {
+    obs::Logger::Global().SetLevel(obs::ParseLogLevel(
+        opts.log_level, obs::Logger::Global().level()));
+  }
+  if (!opts.log_file.empty()) {
+    const Status status = obs::Logger::Global().OpenFileSink(opts.log_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[bench] %s\n", status.message().c_str());
+    }
+  }
   internal::RunnerSlot() =
       std::make_unique<runtime::TrialRunner>(opts.threads);
   internal::GlobalRunInfo() = {std::chrono::steady_clock::now(),
@@ -332,6 +383,9 @@ struct TrialCtx {
     trace.tracer = tracer;
     trace.metrics = internal::Observability::Get().registry();
     trace.spans = spans;
+    // Always wired: a disabled level costs one branch inside the driver's
+    // per-pass (not per-pair) log site.
+    trace.logger = &obs::Logger::Global();
     return stream::RunPasses(s, algo, trace);
   }
 
@@ -485,6 +539,30 @@ inline double LogLogSlope(const std::vector<double>& x,
   }
   double denom = n * sxx - sx * sx;
   return denom == 0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+/// The run's metrics registry (null when --metrics-out is off). Benches
+/// bind accuracy observers and extra counters here so they land in the
+/// metrics snapshot and any Prometheus scrape.
+inline obs::MetricsRegistry* Metrics() {
+  return internal::Observability::Get().registry();
+}
+
+/// Records an estimator's accuracy-vs-guarantee summary (obs/accuracy.h:
+/// per-trial relative error against the predicted (epsilon, delta) band)
+/// as an "accuracy" manifest record with the observer's ToJson fields
+/// flattened in. The observer's histogram/gauges already live in the
+/// metrics registry; this surfaces the verdict for
+/// `bench_report.py validate`. No-op when manifests are off.
+inline void RecordAccuracy(const obs::AccuracyObserver& observer) {
+  obs::Json record = obs::MakeRecord("accuracy");
+  // Named copy: items() returns a reference into the Json, so iterating a
+  // temporary's items() would dangle.
+  const obs::Json body = observer.ToJson();
+  for (const auto& [key, value] : body.items()) {
+    record.Set(key, value);
+  }
+  internal::Observability::Get().WriteMetricsRecord(record);
 }
 
 /// The run's Chrome-trace session (null when --chrome-trace is off) and a

@@ -93,6 +93,12 @@ int main(int argc, char** argv) {
       opts, "Table 1 / Theorem 4.6: two-pass O(1)-approx 4-cycle counting",
       "space m' = O(m / T^{3/8}) suffices for an O(1) approximation");
 
+  // O(1)-factor guarantee encoded as a relative-error band: estimates
+  // within kFactor of T have |est - T| / T <= kFactor - 1, at the same 80%
+  // success target MinimalSample searched for.
+  obs::AccuracyObserver accuracy(bench::Metrics(), "two_pass_four_cycle",
+                                 obs::AccuracyBand{kFactor - 1.0, 0.2});
+
   std::vector<std::size_t> block_sizes = {6, 9, 13, 19};  // T = C(c,2)^2
   bench::Table table(opts, {{"T", 8, bench::kColInt},
                             {"m", 8, bench::kColInt},
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
         1.5, g.num_edges(), 0.8, success);
 
     Outcome at_min = RunTrials(g, t_count, minimal, kTrials, 200 + t_count);
+    for (double e : at_min.estimates) accuracy.Observe(e, truth);
     bench::TrialStats stats = bench::Summarize(at_min.estimates, truth, 1.0);
 
     table.PrintRow({t_count, g.num_edges(), predicted, minimal,
@@ -135,6 +142,7 @@ int main(int argc, char** argv) {
   bench::Slope("fourcycle_min_sample_vs_T", slope, -3.0 / 8.0,
                slope < -0.15 && slope > -0.75);
   bench::FitCurve("fourcycle_space_vs_T", log_t, space_at_min, -3.0 / 8.0);
+  bench::RecordAccuracy(accuracy);
   bench::Note(opts, "\nlog-log slope of minimal m' vs T: %+.3f (paper "
               "predicts -3/8 = -0.375)\n", slope);
   bench::Note(opts, "shape verdict: %s\n",

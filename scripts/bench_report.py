@@ -18,6 +18,19 @@ This script is their consumer:
               bench's recorded fit.
   baseline  — regenerate BENCH_baseline.json from a set of manifests
               (curves with fitted exponents, slope verdicts, batch peaks).
+  scrape    — parse and validate Prometheus text exposition files written
+              by EstimatorService::ScrapeMetrics / obs::PeriodicScraper /
+              --scrape-out: every sample must belong to a # TYPE family,
+              histogram buckets must be cumulative and consistent with
+              _count, and --require names must be present (e.g.
+              service_queue_depth, service_op_latency_seconds,
+              service_errors_latched, accuracy_within_band).
+  diff      — compare two BENCH_baseline.json files (old new): per-bench
+              per-curve relative deltas on throughput/space points; exit 1
+              when any throughput point regresses by more than --threshold
+              (default 2%) below old, or a space point grows past it;
+              --only SUBSTRING restricts the comparison to curve/batch
+              names containing SUBSTRING (e.g. 'shards=4').
 
 Slope checking: benches record ``slope`` lines with the measured log-log
 slope of a space curve, the model's predicted exponent (e.g. -2/3 for the
@@ -47,6 +60,9 @@ REQUIRED_FIELDS = {
     "slope": ["curve", "measured", "predicted", "consistent"],
     "fit": ["curve", "fitted_exponent", "predicted_exponent", "points"],
     "metrics": ["metrics"],
+    "accuracy": ["estimator", "epsilon", "delta", "trials", "within",
+                 "frac_within", "within_band", "max_rel_error",
+                 "mean_rel_error"],
     "run_end": ["records"],
 }
 
@@ -153,7 +169,7 @@ def collect(records):
     """Groups a manifest's records: run header, batches, curves, slopes,
     exponent fits, timelines, metrics snapshots."""
     out = {"run": None, "batches": [], "curves": {}, "slopes": [],
-           "fits": [], "timelines": [], "metrics": []}
+           "fits": [], "timelines": [], "metrics": [], "accuracy": []}
     for rec in records:
         rtype = rec.get("record")
         if rtype == "run" and out["run"] is None:
@@ -171,6 +187,8 @@ def collect(records):
             out["timelines"].append(rec)
         elif rtype == "metrics":
             out["metrics"].append(rec["metrics"])
+        elif rtype == "accuracy":
+            out["accuracy"].append(rec)
     return out
 
 
@@ -325,6 +343,39 @@ def check_timelines(path, grouped):
     return errors
 
 
+def check_accuracy(path, grouped):
+    """Internal consistency of accuracy records (obs/accuracy.h): the
+    fraction must equal within/trials, and within_band must equal the
+    band test frac_within >= 1 - delta (vacuously true at 0 trials). A
+    False within_band is a recorded observation, not an error — benches
+    track the guarantee, they do not enforce it here."""
+    errors = []
+    for rec in grouped["accuracy"]:
+        name = rec.get("estimator", "?")
+        trials, within = rec.get("trials", 0), rec.get("within", 0)
+        if within > trials:
+            errors.append(f"{path}: accuracy {name!r}: within={within} "
+                          f"exceeds trials={trials}")
+            continue
+        want_frac = within / trials if trials else 0.0
+        if abs(rec.get("frac_within", 0.0) - want_frac) > 1e-9:
+            errors.append(
+                f"{path}: accuracy {name!r}: frac_within="
+                f"{rec.get('frac_within')} but within/trials={want_frac}")
+        want_band = trials == 0 or want_frac >= 1.0 - rec.get("delta", 0.0) \
+            - 1e-12
+        if bool(rec.get("within_band")) != want_band:
+            errors.append(
+                f"{path}: accuracy {name!r}: within_band="
+                f"{rec.get('within_band')} inconsistent with frac_within="
+                f"{want_frac:.4f} vs 1-delta="
+                f"{1.0 - rec.get('delta', 0.0):.4f}")
+        if rec.get("max_rel_error", 0.0) < 0.0 or \
+                rec.get("mean_rel_error", 0.0) < 0.0:
+            errors.append(f"{path}: accuracy {name!r}: negative error stat")
+    return errors
+
+
 def cmd_validate(args):
     failed = False
     for path in args.manifests:
@@ -343,6 +394,7 @@ def cmd_validate(args):
             errors += check_timelines(path, grouped)
             errors += check_throughput_pairs(path, grouped)
             errors += check_driver_counters(path, grouped)
+            errors += check_accuracy(path, grouped)
         if errors:
             failed = True
             for e in errors:
@@ -402,6 +454,12 @@ def cmd_report(args):
                   f"{fit['fitted_exponent']:+.3f} vs predicted "
                   f"{fit['predicted_exponent']:+.3f} "
                   f"({fit['points']} points)")
+        for rec in grouped["accuracy"]:
+            verdict = "WITHIN" if rec["within_band"] else "OUTSIDE"
+            print(f"  accuracy {rec['estimator']}: {rec['within']}/"
+                  f"{rec['trials']} trials within eps={rec['epsilon']:g} "
+                  f"(need >= {1.0 - rec['delta']:.3f}) [{verdict} band], "
+                  f"max rel err {rec['max_rel_error']:.3g}")
         for snap in grouped["metrics"]:
             counters = snap.get("counters", {})
             for name in sorted(counters):
@@ -500,6 +558,272 @@ def cmd_baseline(args):
     return 0
 
 
+def parse_prometheus(path):
+    """Parses a Prometheus text exposition (version 0.0.4) file into
+    (types, samples): types maps family name -> "counter"/"gauge"/
+    "histogram"; samples is a list of (name, labels_dict, value, lineno).
+    Raises ManifestError on syntactically invalid lines."""
+    types = {}
+    samples = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in (
+                            "counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                        raise ManifestError(
+                            f"{path}:{lineno}: malformed # TYPE line")
+                    if parts[2] in types:
+                        raise ManifestError(
+                            f"{path}:{lineno}: duplicate # TYPE for "
+                            f"{parts[2]!r}")
+                    types[parts[2]] = parts[3]
+                continue  # HELP / comments pass through
+            name, labels, value = parse_prometheus_sample(path, lineno, line)
+            samples.append((name, labels, value, lineno))
+    return types, samples
+
+
+def parse_prometheus_sample(path, lineno, line):
+    """One sample line: ``name{k="v",...} value`` or ``name value``."""
+    brace = line.find("{")
+    labels = {}
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise ManifestError(f"{path}:{lineno}: unbalanced braces")
+        name = line[:brace]
+        rest = line[close + 1:].strip()
+        body = line[brace + 1:close]
+        # Label values are escaped (\\, \", \n); split on unquoted commas.
+        i = 0
+        while i < len(body):
+            eq = body.find("=", i)
+            if eq < 0 or len(body) <= eq + 1 or body[eq + 1] != '"':
+                raise ManifestError(
+                    f"{path}:{lineno}: malformed label in {body!r}")
+            key = body[i:eq]
+            j = eq + 2
+            value_chars = []
+            while j < len(body):
+                c = body[j]
+                if c == "\\" and j + 1 < len(body):
+                    value_chars.append(
+                        {"n": "\n", "\\": "\\", '"': '"'}.get(
+                            body[j + 1], body[j + 1]))
+                    j += 2
+                    continue
+                if c == '"':
+                    break
+                value_chars.append(c)
+                j += 1
+            if j >= len(body) or body[j] != '"':
+                raise ManifestError(
+                    f"{path}:{lineno}: unterminated label value")
+            labels[key] = "".join(value_chars)
+            i = j + 1
+            if i < len(body) and body[i] == ",":
+                i += 1
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ManifestError(f"{path}:{lineno}: malformed sample line")
+        name, rest = parts
+    try:
+        value = float(rest)
+    except ValueError:
+        raise ManifestError(
+            f"{path}:{lineno}: non-numeric sample value {rest!r}") from None
+    if not all(c.isalnum() or c in "_:" for c in name) or not name:
+        raise ManifestError(f"{path}:{lineno}: invalid metric name {name!r}")
+    return name, labels, value
+
+
+def base_family(name):
+    """The # TYPE family a sample belongs to: histogram samples use the
+    _bucket/_sum/_count suffixes of their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check_scrape(path, types, samples):
+    """Structural validation of one parsed scrape. Returns error strings."""
+    errors = []
+    # Group histogram series by (family, non-le labels).
+    series = {}
+    for name, labels, value, lineno in samples:
+        family, suffix = base_family(name)
+        ftype = types.get(family) if suffix else types.get(name)
+        if suffix and ftype == "histogram":
+            key_labels = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            entry = series.setdefault((family, key_labels),
+                                      {"buckets": [], "sum": None,
+                                       "count": None})
+            if suffix == "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"{path}:{lineno}: histogram bucket "
+                                  f"without le label")
+                    continue
+                entry["buckets"].append(
+                    (math.inf if le == "+Inf" else float(le), value))
+            elif suffix == "_sum":
+                entry["sum"] = value
+            else:
+                entry["count"] = value
+        elif types.get(name) in ("counter", "gauge"):
+            if types[name] == "counter" and value < 0:
+                errors.append(f"{path}:{lineno}: negative counter {name}")
+        else:
+            errors.append(
+                f"{path}:{lineno}: sample {name!r} has no # TYPE family")
+    for (family, key_labels), entry in sorted(series.items()):
+        where = f"{path}: histogram {family}{dict(key_labels) or ''}"
+        buckets = entry["buckets"]
+        if not buckets or buckets[-1][0] != math.inf:
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+            continue
+        for (lo, c0), (hi, c1) in zip(buckets, buckets[1:]):
+            if hi <= lo:
+                errors.append(f"{where}: bucket bounds not increasing")
+                break
+            if c1 < c0:
+                errors.append(f"{where}: bucket counts not cumulative")
+                break
+        if entry["count"] is None or entry["sum"] is None:
+            errors.append(f"{where}: missing _count or _sum")
+        elif buckets[-1][1] != entry["count"]:
+            errors.append(f"{where}: +Inf bucket {buckets[-1][1]:g} != "
+                          f"_count {entry['count']:g}")
+    return errors
+
+
+def cmd_scrape(args):
+    failed = False
+    for path in args.files:
+        try:
+            types, samples = parse_prometheus(path)
+        except ManifestError as e:
+            print(f"FAIL {e}")
+            failed = True
+            continue
+        errors = check_scrape(path, types, samples)
+        families = {base_family(name)[0] for name, _, _, _ in samples}
+        for required in args.require or []:
+            if required not in families:
+                errors.append(f"{path}: required family {required!r} absent")
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"FAIL {e}")
+        else:
+            hist = sum(1 for t in types.values() if t == "histogram")
+            print(f"OK   {path}: {len(samples)} samples, "
+                  f"{len(types)} families ({hist} histograms)")
+    return 1 if failed else 0
+
+
+def baseline_curve_points(baseline):
+    """Flattens a BENCH_baseline.json into {(bench, curve, x): y}."""
+    points = {}
+    for bench, entry in baseline.get("benches", {}).items():
+        for curve, cdata in entry.get("curves", {}).items():
+            for x, y in cdata.get("points", []):
+                points[(bench, curve, x)] = y
+    return points
+
+
+def baseline_batch_peaks(baseline):
+    """Flattens batch peaks into {(bench, label): max_reported_peak}."""
+    peaks = {}
+    for bench, entry in baseline.get("benches", {}).items():
+        for label, bdata in entry.get("batches", {}).items():
+            peaks[(bench, label)] = bdata.get("max_reported_peak_bytes", 0)
+    return peaks
+
+
+# Curves where y is a rate (higher is better); a drop is a regression.
+# Everything else is treated as a size/space curve where growth regresses.
+THROUGHPUT_CURVE_MARKERS = ("pairs_per_sec", "per_sec", "throughput")
+
+
+def is_throughput_curve(curve):
+    return any(marker in curve for marker in THROUGHPUT_CURVE_MARKERS)
+
+
+def cmd_diff(args):
+    with open(args.old, "r", encoding="utf-8") as f:
+        old = json.load(f)
+    with open(args.new, "r", encoding="utf-8") as f:
+        new = json.load(f)
+    old_points = baseline_curve_points(old)
+    new_points = baseline_curve_points(new)
+    old_peaks = baseline_batch_peaks(old)
+    new_peaks = baseline_batch_peaks(new)
+    threshold = args.threshold / 100.0
+    breaches = []
+    compared = 0
+
+    only = getattr(args, "only", None)
+    min_x = getattr(args, "min_x", None)
+    for key in sorted(old_points):
+        if key not in new_points:
+            continue
+        bench, curve, x = key
+        if only and only not in curve:
+            continue
+        if min_x is not None and x < min_x:
+            continue
+        before, after = old_points[key], new_points[key]
+        if before <= 0:
+            continue
+        compared += 1
+        delta = (after - before) / before
+        direction = "throughput" if is_throughput_curve(curve) else "space"
+        regressed = (delta < -threshold if direction == "throughput"
+                     else delta > threshold)
+        marker = " REGRESSION" if regressed else ""
+        if regressed or args.verbose:
+            print(f"{bench}: {curve} @ x={x:g}: {before:.4g} -> {after:.4g} "
+                  f"({delta:+.2%}, {direction}){marker}")
+        if regressed:
+            breaches.append(key)
+
+    for key in sorted(old_peaks):
+        if key not in new_peaks:
+            continue
+        bench, label = key
+        if only and only not in label:
+            continue
+        before, after = old_peaks[key], new_peaks[key]
+        if before <= 0:
+            continue
+        compared += 1
+        delta = (after - before) / before
+        regressed = delta > threshold
+        if regressed or args.verbose:
+            marker = " REGRESSION" if regressed else ""
+            print(f"{bench}: batch {label!r} peak: {before}B -> {after}B "
+                  f"({delta:+.2%}, space){marker}")
+        if regressed:
+            breaches.append(key)
+
+    missing = sorted(set(old_points) - set(new_points))
+    for bench, curve, x in missing[:10]:
+        print(f"note {bench}: {curve} @ x={x:g} absent from {args.new}")
+    print(f"{'FAIL' if breaches else 'OK  '} compared {compared} points, "
+          f"{len(breaches)} regression(s) beyond {args.threshold:g}%")
+    return 1 if breaches else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -522,6 +846,31 @@ def main():
     p.add_argument("manifests", nargs="+")
     p.add_argument("--out", default="BENCH_baseline.json")
     p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("scrape",
+                       help="validate Prometheus text exposition files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--require", action="append", metavar="FAMILY",
+                   help="fail unless this metric family is present "
+                        "(repeatable)")
+    p.set_defaults(func=cmd_scrape)
+
+    p = sub.add_parser("diff",
+                       help="compare two BENCH_baseline.json files")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="regression threshold in percent (default 2)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every compared point, not just regressions")
+    p.add_argument("--only", default=None, metavar="SUBSTRING",
+                   help="compare only curves/batches whose name contains "
+                        "SUBSTRING (e.g. 'shards=4')")
+    p.add_argument("--min-x", type=float, default=None, dest="min_x",
+                   help="skip curve points with x below this (small-x "
+                        "points have millisecond windows dominated by "
+                        "thread-placement noise)")
+    p.set_defaults(func=cmd_diff)
 
     args = parser.parse_args()
     try:

@@ -1,0 +1,103 @@
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclestream {
+namespace obs {
+
+double RelativeError(double estimate, double truth) {
+  return std::fabs(estimate - truth) / std::max(truth, 1.0);
+}
+
+namespace {
+
+// `within/trials >= 1 - delta` with tolerance for the quotient and the
+// subtraction rounding in opposite directions: with delta = 1/3 and 2 of 3
+// trials within, 2.0/3.0 sits one ulp below 1.0 - 1.0/3.0 even though the
+// exact fractions are equal. bench_report.py uses the same 1e-12 slack.
+bool BandHolds(std::uint64_t within, std::uint64_t trials, double delta) {
+  if (trials == 0) return true;  // vacuous
+  const double frac = static_cast<double>(within) / static_cast<double>(trials);
+  return frac >= 1.0 - delta - 1e-12;
+}
+
+}  // namespace
+
+AccuracyObserver::AccuracyObserver(MetricsRegistry* registry,
+                                   std::string name, AccuracyBand band)
+    : name_(std::move(name)), band_(band) {
+  if (registry != nullptr) {
+    const std::string suffix = "/estimator=" + name_;
+    // Relative errors of interest span ~1e-3 (tight estimates) up to the
+    // multiplicative blow-ups of under-sampled sketches.
+    rel_error_ =
+        registry->GetHistogram("accuracy.rel_error" + suffix,
+                               Log2Bounds(-10, 6));
+    frac_within_ = registry->GetGauge("accuracy.frac_within" + suffix);
+    within_band_ = registry->GetGauge("accuracy.within_band" + suffix);
+  }
+}
+
+void AccuracyObserver::Observe(double estimate, double truth) {
+  const double rel = RelativeError(estimate, truth);
+  rel_error_.Observe(rel);
+  double frac;
+  bool in_band;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trials_++;
+    if (rel <= band_.epsilon) within_++;
+    sum_rel_error_ += rel;
+    if (rel > max_rel_error_) max_rel_error_ = rel;
+    frac = static_cast<double>(within_) / static_cast<double>(trials_);
+    in_band = BandHolds(within_, trials_, band_.delta);
+  }
+  frac_within_.Set(frac);
+  within_band_.Set(in_band ? 1.0 : 0.0);
+}
+
+std::uint64_t AccuracyObserver::trials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trials_;
+}
+
+std::uint64_t AccuracyObserver::within() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return within_;
+}
+
+double AccuracyObserver::FracWithin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(within_) / static_cast<double>(trials_);
+}
+
+bool AccuracyObserver::WithinBand() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BandHolds(within_, trials_, band_.delta);
+}
+
+Json AccuracyObserver::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double frac =
+      trials_ == 0
+          ? 0.0
+          : static_cast<double>(within_) / static_cast<double>(trials_);
+  const bool in_band = BandHolds(within_, trials_, band_.delta);
+  Json out = Json::Object();
+  out.Set("estimator", Json(name_));
+  out.Set("epsilon", Json(band_.epsilon));
+  out.Set("delta", Json(band_.delta));
+  out.Set("trials", Json(trials_));
+  out.Set("within", Json(within_));
+  out.Set("frac_within", Json(frac));
+  out.Set("within_band", Json(in_band));
+  out.Set("max_rel_error", Json(max_rel_error_));
+  out.Set("mean_rel_error",
+          Json(trials_ == 0 ? 0.0 : sum_rel_error_ / trials_));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cyclestream

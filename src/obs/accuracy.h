@@ -1,0 +1,89 @@
+// Accuracy-vs-guarantee tracking: when a workload has ground truth (all
+// synthetic generators do, via src/exact/), record per-trial relative
+// error and compare the measured hit rate against the estimator's
+// predicted (ε, δ) band.
+//
+// The paper's guarantees have the form "with probability >= 1 − δ the
+// estimate is within (1 ± ε) of the truth". An `AccuracyObserver` turns
+// that into live telemetry:
+//   * histogram `accuracy.rel_error/estimator=<name>` — per-trial
+//     |estimate − truth| / max(truth, 1), log2 buckets;
+//   * gauge `accuracy.frac_within/estimator=<name>` — fraction of trials
+//     with relative error <= ε so far;
+//   * gauge `accuracy.within_band/estimator=<name>` — 1 when that
+//     fraction is >= 1 − δ (the guarantee holds empirically), else 0.
+// Gauges update on every Observe(), so a mid-run scrape sees the current
+// band state. `ToJson()` emits the same numbers for the manifest
+// `accuracy` record checked by `bench_report.py validate`.
+
+#ifndef CYCLESTREAM_OBS_ACCURACY_H_
+#define CYCLESTREAM_OBS_ACCURACY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cyclestream {
+namespace obs {
+
+/// The predicted guarantee: relative error <= epsilon with probability
+/// >= 1 - delta. Defaults match the repo's standard bench configuration.
+struct AccuracyBand {
+  double epsilon = 0.5;
+  double delta = 1.0 / 3.0;
+};
+
+/// Relative error |estimate - truth| / max(truth, 1). The max(., 1)
+/// denominator keeps truth == 0 well-defined (absolute error there).
+double RelativeError(double estimate, double truth);
+
+/// Per-estimator accuracy tracker bound to a MetricsRegistry. Thread-safe;
+/// copy-free handle semantics are not needed (one observer per estimator
+/// per run, observed from trial completion, not the hot pair path).
+class AccuracyObserver {
+ public:
+  /// `name` labels the metrics (`/estimator=<name>`); `registry` may be
+  /// null, in which case only the in-memory tally is kept.
+  AccuracyObserver(MetricsRegistry* registry, std::string name,
+                   AccuracyBand band);
+
+  /// Records one trial and refreshes the gauges.
+  void Observe(double estimate, double truth);
+
+  const std::string& name() const { return name_; }
+  const AccuracyBand& band() const { return band_; }
+  std::uint64_t trials() const;
+  std::uint64_t within() const;
+
+  /// Fraction of trials with relative error <= epsilon (0 when empty).
+  double FracWithin() const;
+
+  /// True when FracWithin() >= 1 - delta — the empirical hit rate meets
+  /// the predicted band. Vacuously true when no trials were observed.
+  bool WithinBand() const;
+
+  /// {"estimator":..,"epsilon":..,"delta":..,"trials":..,"within":..,
+  ///  "frac_within":..,"within_band":..,"max_rel_error":..,
+  ///  "mean_rel_error":..} — the manifest `accuracy` record body.
+  Json ToJson() const;
+
+ private:
+  const std::string name_;
+  const AccuracyBand band_;
+  Histogram rel_error_;
+  Gauge frac_within_;
+  Gauge within_band_;
+  mutable std::mutex mu_;
+  std::uint64_t trials_ = 0;      // guarded by mu_
+  std::uint64_t within_ = 0;      // guarded by mu_
+  double sum_rel_error_ = 0.0;    // guarded by mu_
+  double max_rel_error_ = 0.0;    // guarded by mu_
+};
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_ACCURACY_H_

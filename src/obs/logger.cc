@@ -1,0 +1,101 @@
+#include "obs/logger.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace cyclestream {
+namespace obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "off";
+}
+
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "debug") return LogLevel::kDebug;
+  return fallback;
+}
+
+Logger::Logger(LogLevel level)
+    : level_(level), origin_(std::chrono::steady_clock::now()) {}
+
+Logger::~Logger() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = [] {
+    auto* l = new Logger(LogLevel::kOff);
+    if (const char* env = std::getenv("CYCLESTREAM_LOG")) {
+      l->SetLevel(ParseLogLevel(env, LogLevel::kOff));
+    }
+    return l;
+  }();
+  return *logger;
+}
+
+Status Logger::OpenFileSink(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound("logger: cannot open '" + path +
+                            "' for writing");
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  return Status::Ok();
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view msg, const Json& fields) {
+  if (!Enabled(level)) return;
+  const auto delta = std::chrono::steady_clock::now() - origin_;
+  const std::uint64_t ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+  // Fixed key order first, caller fields after — consumers can rely on a
+  // stable prefix without parsing ahead.
+  Json record = Json::Object();
+  record.Set("ts_ns", Json(ts_ns));
+  record.Set("level", Json(LogLevelName(level)));
+  record.Set("component", Json(std::string(component)));
+  record.Set("msg", Json(std::string(msg)));
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.items()) {
+      record.Set(key, value);
+    }
+  }
+  const std::string line = record.Dump();
+  const bool to_stderr = stderr_enabled_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (to_stderr) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  }
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);  // a crashed run leaves a readable prefix
+  }
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace cyclestream

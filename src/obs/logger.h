@@ -1,0 +1,144 @@
+// Structured, leveled logging for the live service layer.
+//
+// A `Logger` emits one JSONL record per event with a fixed key order —
+// `ts_ns`, `level`, `component`, `msg`, then any caller-supplied fields —
+// so operator tooling can tail the stream without a schema negotiation.
+// Sinks (stderr and/or a file) are written under one mutex; the *decision*
+// to log is a single relaxed atomic load, so a disabled level costs one
+// predictable branch on the hot path.
+//
+// Components bind through `LogScope`, a small value handle carrying the
+// component name ("service", "driver", "bench", ...). Scopes built on a
+// null logger are inert, mirroring the TraceSession span convention.
+//
+// Level resolution order (later wins): compiled default (off) →
+// `CYCLESTREAM_LOG` environment variable at first Global() use →
+// `--log-level` bench flag (bench_util calls SetLevel). `off` suppresses
+// everything including errors — benches default to it so stdout/stderr
+// comparisons across thread counts stay byte-identical.
+
+#ifndef CYCLESTREAM_OBS_LOGGER_H_
+#define CYCLESTREAM_OBS_LOGGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace cyclestream {
+namespace obs {
+
+/// Severity levels, ordered: a logger at level L emits records with
+/// severity <= L. kOff emits nothing.
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// "off"/"error"/"warn"/"info"/"debug" (lowercase).
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); `fallback` on anything else.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+/// Thread-safe leveled JSONL logger.
+class Logger {
+ public:
+  /// A logger at `level` writing to stderr (file sink optional, see
+  /// OpenFileSink).
+  explicit Logger(LogLevel level = LogLevel::kOff);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The process-wide logger. Its initial level comes from the
+  /// `CYCLESTREAM_LOG` environment variable ("error"/"warn"/"info"/
+  /// "debug"; unset or unrecognized = off), read once on first use.
+  static Logger& Global();
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void SetLevel(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// One branch; call before building expensive field objects.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(this->level()) &&
+           level != LogLevel::kOff;
+  }
+
+  /// Mirrors records to `path` (truncating) in addition to stderr.
+  /// NotFound-style Status when the file cannot be opened.
+  Status OpenFileSink(const std::string& path);
+
+  /// Toggles the stderr sink (on by default). A logger with the stderr
+  /// sink off and no file sink formats nothing.
+  void EnableStderr(bool enabled) {
+    stderr_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Emits one record if `level` is enabled. `fields` must be an object
+  /// (or null for none); its entries are appended after the fixed keys.
+  void Log(LogLevel level, std::string_view component, std::string_view msg,
+           const Json& fields = Json());
+
+  /// Records written to the sinks so far (post-filtering).
+  std::uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<LogLevel> level_;
+  std::atomic<bool> stderr_enabled_{true};
+  std::atomic<std::uint64_t> records_written_{0};
+  const std::chrono::steady_clock::time_point origin_;
+  std::mutex sink_mu_;            // guards file_ and interleaving of lines
+  std::FILE* file_ = nullptr;     // optional file sink
+};
+
+/// Component-bound logging handle. Copyable; inert when built on null.
+class LogScope {
+ public:
+  LogScope() = default;
+  LogScope(Logger* logger, std::string component)
+      : logger_(logger), component_(std::move(component)) {}
+
+  bool Enabled(LogLevel level) const {
+    return logger_ != nullptr && logger_->Enabled(level);
+  }
+
+  void Error(std::string_view msg, const Json& fields = Json()) const {
+    if (logger_ != nullptr) logger_->Log(LogLevel::kError, component_, msg, fields);
+  }
+  void Warn(std::string_view msg, const Json& fields = Json()) const {
+    if (logger_ != nullptr) logger_->Log(LogLevel::kWarn, component_, msg, fields);
+  }
+  void Info(std::string_view msg, const Json& fields = Json()) const {
+    if (logger_ != nullptr) logger_->Log(LogLevel::kInfo, component_, msg, fields);
+  }
+  void Debug(std::string_view msg, const Json& fields = Json()) const {
+    if (logger_ != nullptr) logger_->Log(LogLevel::kDebug, component_, msg, fields);
+  }
+
+  Logger* logger() const { return logger_; }
+  const std::string& component() const { return component_; }
+
+ private:
+  Logger* logger_ = nullptr;
+  std::string component_;
+};
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_LOGGER_H_

@@ -62,6 +62,10 @@ Counter MetricsRegistry::GetCounter(std::string_view name) {
   return Counter(this, std::string(name));
 }
 
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  return Gauge(this, std::string(name));
+}
+
 Histogram MetricsRegistry::GetHistogram(std::string_view name,
                                         std::vector<double> bounds) {
   CYCLESTREAM_CHECK(!bounds.empty());
@@ -83,6 +87,11 @@ void MetricsRegistry::IncrementCounter(const std::string& name,
   Shard* shard = LocalShard();
   std::lock_guard<std::mutex> lock(shard->mu);
   shard->counters[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
 }
 
 void MetricsRegistry::ObserveHistogram(const std::string& name, double value) {
@@ -110,6 +119,7 @@ void MetricsRegistry::ObserveHistogram(const std::string& name, double value) {
 Snapshot MetricsRegistry::Read() const {
   Snapshot out;
   std::lock_guard<std::mutex> lock(mu_);
+  out.gauges = gauges_;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     for (const auto& [name, value] : shard->counters) {
@@ -163,6 +173,11 @@ void Counter::Increment(std::uint64_t delta) {
   registry_->IncrementCounter(name_, delta);
 }
 
+void Gauge::Set(double value) {
+  if (registry_ == nullptr) return;
+  registry_->SetGauge(name_, value);
+}
+
 void Histogram::Observe(double value) {
   if (registry_ == nullptr) return;
   registry_->ObserveHistogram(name_, value);
@@ -172,6 +187,10 @@ Json Snapshot::ToJson() const {
   Json counters_json = Json::Object();
   for (const auto& [name, value] : counters) {
     counters_json.Set(name, Json(value));
+  }
+  Json gauges_json = Json::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_json.Set(name, Json(value));
   }
   Json histograms_json = Json::Object();
   for (const auto& [name, h] : histograms) {
@@ -193,6 +212,7 @@ Json Snapshot::ToJson() const {
   }
   Json out = Json::Object();
   out.Set("counters", std::move(counters_json));
+  out.Set("gauges", std::move(gauges_json));
   out.Set("histograms", std::move(histograms_json));
   return out;
 }

@@ -47,6 +47,25 @@ class Counter {
   std::string name_;
 };
 
+/// Handle to a named gauge — a point-in-time value, set not accumulated.
+/// Gauges live centrally in the registry (sets are rare: scrape-time
+/// state, accuracy bands), so the last `Set` wins process-wide rather
+/// than per-thread.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(double value);
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+};
+
 /// Handle to a named fixed-bucket histogram. `Observe(v)` increments the
 /// first bucket whose upper bound is >= v, or the implicit overflow
 /// bucket; count and sum are tracked alongside.
@@ -89,9 +108,11 @@ std::vector<double> Log2Bounds(int lo_exp, int hi_exp);
 /// output is deterministic.
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// {"counters":{name:value,...},
+  ///  "gauges":{name:value,...},
   ///  "histograms":{name:{"count":..,"sum":..,"max":..,"p50":..,"p95":..,
   ///                      "buckets":[{"le":bound|null,"count":..},...]}}}
   Json ToJson() const;
@@ -108,6 +129,9 @@ class MetricsRegistry {
   /// Returns a handle to the counter `name`, creating it on first write.
   Counter GetCounter(std::string_view name);
 
+  /// Returns a handle to the gauge `name`, creating it on first Set.
+  Gauge GetGauge(std::string_view name);
+
   /// Returns a handle to the histogram `name` with the given upper bucket
   /// bounds (must be strictly increasing and non-empty; CHECKed). Bounds
   /// are fixed by the first registration; later calls for the same name
@@ -121,6 +145,7 @@ class MetricsRegistry {
 
  private:
   friend class Counter;
+  friend class Gauge;
   friend class Histogram;
 
   struct HistogramInfo;
@@ -132,11 +157,15 @@ class MetricsRegistry {
   Shard* LocalShard();
 
   void IncrementCounter(const std::string& name, std::uint64_t delta);
+  void SetGauge(const std::string& name, double value);
   void ObserveHistogram(const std::string& name, double value);
 
   const std::uint64_t id_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Gauges are set rarely (scrape-time state, accuracy bands), so they
+  // live centrally under mu_; last Set wins across all threads.
+  std::map<std::string, double> gauges_;
   // Bucket layouts shared by every shard's instance of a histogram; behind
   // unique_ptr so addresses stay stable as the map grows.
   std::map<std::string, std::unique_ptr<HistogramInfo>, std::less<>> layouts_;

@@ -41,6 +41,18 @@ void TraceSession::SetProcessName(std::string name) {
   process_name_ = std::move(name);
 }
 
+void TraceSession::SetThreadName(std::string name) {
+  const std::uint32_t lane = ThreadLane();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing_lane, existing_name] : thread_names_) {
+    if (existing_lane == lane) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(lane, std::move(name));
+}
+
 void TraceSession::Span::SetArg(std::string_view key, Json value) {
   if (session_ == nullptr) return;
   if (args_.kind() != Json::Kind::kObject) args_ = Json::Object();
@@ -63,6 +75,17 @@ Json TraceSession::ToJson() const {
     meta.Set("ph", Json("M"));
     meta.Set("pid", Json(1));
     meta.Set("tid", Json(0));
+    meta.Set("args", std::move(args));
+    trace_events.Push(std::move(meta));
+  }
+  for (const auto& [lane, name] : thread_names_) {
+    Json args = Json::Object();
+    args.Set("name", Json(name));
+    Json meta = Json::Object();
+    meta.Set("name", Json("thread_name"));
+    meta.Set("ph", Json("M"));
+    meta.Set("pid", Json(1));
+    meta.Set("tid", Json(lane));
     meta.Set("args", std::move(args));
     trace_events.Push(std::move(meta));
   }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -53,6 +54,15 @@ class TraceSession {
 
   /// Names the process in trace viewers (emitted as a metadata event).
   void SetProcessName(std::string name);
+
+  /// Names the calling thread's lane in trace viewers (emitted as an
+  /// M-phase `thread_name` metadata event). Last call per thread wins;
+  /// runtime::TrialRunner names its ThreadPool workers through this so
+  /// Perfetto shows "worker-0", "worker-1", ... instead of bare lane ids.
+  void SetThreadName(std::string name);
+
+  /// The calling thread's dense lane id (the `tid` its events carry).
+  static std::uint32_t CurrentLane() { return ThreadLane(); }
 
   /// RAII span: records an EmitComplete from construction to End() (or
   /// destruction). Move-only; a moved-from span records nothing.
@@ -139,6 +149,7 @@ class TraceSession {
   std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
   std::string process_name_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
   std::vector<Event> events_;
 };
 

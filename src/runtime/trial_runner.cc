@@ -48,6 +48,13 @@ std::vector<TrialResult> TrialRunner::Run(
                                                 std::uint64_t seed) {
         obs::TraceSession::Span span;
         if (spans != nullptr) {
+          // Name the lane so Perfetto shows "trial-worker-N" instead of a
+          // bare lane id (idempotent; "main" for inline runs).
+          spans->SetThreadName(
+              inline_run ? "main"
+                         : "trial-worker-" +
+                               std::to_string(
+                                   obs::TraceSession::CurrentLane()));
           span = obs::TraceSession::Begin(
               spans, "trial " + std::to_string(i), "trial");
         }

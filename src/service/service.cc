@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/exposition.h"
 #include "service/mailbox.h"
 #include "snapshot/snapshot.h"
 #include "util/check.h"
@@ -77,6 +78,8 @@ struct EstimatorService::Shard {
 EstimatorService::EstimatorService(const ServiceOptions& options)
     : drain_budget_(std::max<std::size_t>(options.drain_budget, 1)),
       metrics_(options.metrics),
+      flight_(options.flight),
+      log_(options.logger, "service"),
       pool_(options.threads > 0 ? options.threads
                                 : std::max(options.shards, 1)) {
   const int shards = std::max(options.shards, 1);
@@ -85,6 +88,10 @@ EstimatorService::EstimatorService(const ServiceOptions& options)
     auto shard = std::make_unique<Shard>();
     shard->index = static_cast<std::size_t>(i);
     if (metrics_ != nullptr) {
+      // Error latches and drops carry a per-shard label suffix so a scrape
+      // can localize a failing shard; high-rate data-path counters stay
+      // unlabeled (one merged series).
+      const std::string by_shard = "/shard=" + std::to_string(i);
       shard->ops = metrics_->GetCounter("service.ops");
       shard->lists = metrics_->GetCounter("service.lists");
       shard->pairs = metrics_->GetCounter("service.pairs");
@@ -93,8 +100,13 @@ EstimatorService::EstimatorService(const ServiceOptions& options)
       shard->restores = metrics_->GetCounter("service.restores");
       shard->kills = metrics_->GetCounter("service.kills");
       shard->drains = metrics_->GetCounter("service.drains");
-      shard->dropped = metrics_->GetCounter("service.dropped_ops");
-      shard->errors = metrics_->GetCounter("service.errors_latched");
+      shard->dropped = metrics_->GetCounter("service.dropped_ops" + by_shard);
+      shard->errors =
+          metrics_->GetCounter("service.errors_latched" + by_shard);
+      // Materialize the error-class series at 0 so a clean run still
+      // exposes them — operators alert on value, not absence.
+      shard->dropped.Increment(0);
+      shard->errors.Increment(0);
       shard->queue_depth = metrics_->GetHistogram("service.queue_depth",
                                                   obs::Log2Bounds(0, 20));
       shard->latency = metrics_->GetHistogram(
@@ -105,6 +117,15 @@ EstimatorService::EstimatorService(const ServiceOptions& options)
                                                 obs::Log2Bounds(0, 20));
     }
     shards_.push_back(std::move(shard));
+  }
+  if (log_.Enabled(obs::LogLevel::kInfo)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shards", obs::Json(static_cast<std::uint64_t>(shards)));
+    fields.Set("threads",
+               obs::Json(static_cast<std::uint64_t>(pool_.num_threads())));
+    fields.Set("drain_budget",
+               obs::Json(static_cast<std::uint64_t>(drain_budget_)));
+    log_.Info("service started", fields);
   }
 }
 
@@ -126,6 +147,11 @@ EstimatorService::Shard& EstimatorService::ShardFor(StreamId id) {
 void EstimatorService::Enqueue(Shard& shard, Op op) {
   if (metrics_ != nullptr) {
     op.enqueued = std::chrono::steady_clock::now();
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kEnqueue,
+                    static_cast<std::uint32_t>(shard.index), op.id,
+                    static_cast<std::uint64_t>(op.kind));
   }
   shard.mailbox.Push(std::move(op));
   // First producer to observe the shard unscheduled owns submitting its
@@ -159,6 +185,20 @@ void EstimatorService::Drain(std::size_t shard_index) {
         shard.latency.Observe(
             std::chrono::duration<double>(now - op.enqueued).count());
       }
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kDrain,
+                      static_cast<std::uint32_t>(shard.index), batch.size(),
+                      shard.mailbox.Empty() ? 0 : 1);
+    }
+    if (log_.Enabled(obs::LogLevel::kDebug)) {
+      obs::Json fields = obs::Json::Object();
+      fields.Set("shard",
+                 obs::Json(static_cast<std::uint64_t>(shard.index)));
+      fields.Set("batch", obs::Json(static_cast<std::uint64_t>(batch.size())));
+      fields.Set("streams",
+                 obs::Json(static_cast<std::uint64_t>(shard.streams.size())));
+      log_.Debug("drain batch", fields);
     }
     for (Op& op : batch) Process(shard, op);
     processed += batch.size();
@@ -206,6 +246,26 @@ void EstimatorService::SampleSpace(StreamState& state) {
   }
 }
 
+void EstimatorService::OnErrorLatched(Shard& shard, StreamId id,
+                                      const Status& error) {
+  if (metrics_ != nullptr) shard.errors.Increment();
+  if (log_.Enabled(obs::LogLevel::kError)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    fields.Set("stream", obs::Json(id));
+    fields.Set("code", obs::Json(StatusCodeName(error.code())));
+    log_.Error(error.message(), fields);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kError,
+                    static_cast<std::uint32_t>(shard.index), id,
+                    static_cast<std::uint64_t>(error.code()));
+    // Fatal-Status hook: dump the rings while the crash context is fresh
+    // (no-op unless CYCLESTREAM_FLIGHT_DUMP names a path).
+    flight_->DumpToEnvPath();
+  }
+}
+
 void EstimatorService::DoCreate(Shard& shard, Op& op) {
   if (shard.streams.count(op.id) != 0) {
     op.status_promise->set_value(Status::FailedPrecondition(
@@ -225,6 +285,17 @@ void EstimatorService::DoCreate(Shard& shard, Op& op) {
   state.report.per_pass.emplace_back();
   state.hosted.algo->BeginPass(0);
   shard.streams.emplace(op.id, std::move(state));
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kCreate,
+                    static_cast<std::uint32_t>(shard.index), op.id);
+  }
+  if (log_.Enabled(obs::LogLevel::kDebug)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    fields.Set("stream", obs::Json(op.id));
+    fields.Set("kind", obs::Json(KindName(op.spec.kind)));
+    log_.Debug("stream created", fields);
+  }
   op.status_promise->set_value(Status::Ok());
 }
 
@@ -240,7 +311,7 @@ void EstimatorService::DoList(Shard& shard, Op& op) {
     state.error = Status::FailedPrecondition(
         "append to stream " + std::to_string(op.id) +
         " after its final pass ended");
-    if (metrics_ != nullptr) shard.errors.Increment();
+    OnErrorLatched(shard, op.id, state.error);
     return;
   }
   stream::StreamAlgorithm* algo = state.hosted.algo.get();
@@ -253,6 +324,11 @@ void EstimatorService::DoList(Shard& shard, Op& op) {
   if (metrics_ != nullptr) {
     shard.lists.Increment();
     shard.pairs.Increment(op.list.size());
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kList,
+                    static_cast<std::uint32_t>(shard.index), op.id,
+                    op.list.size());
   }
 }
 
@@ -268,12 +344,17 @@ void EstimatorService::DoEndPass(Shard& shard, Op& op) {
     state.error = Status::FailedPrecondition(
         "pass boundary on stream " + std::to_string(op.id) +
         " after its final pass ended");
-    if (metrics_ != nullptr) shard.errors.Increment();
+    OnErrorLatched(shard, op.id, state.error);
     return;
   }
   state.hosted.algo->EndPass(state.pass);
   SampleSpace(state);
   ++state.pass;
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kEndPass,
+                    static_cast<std::uint32_t>(shard.index), op.id,
+                    static_cast<std::uint64_t>(state.pass));
+  }
   if (state.pass < state.report.passes_requested) {
     state.report.per_pass.emplace_back();
     state.hosted.algo->BeginPass(state.pass);
@@ -286,11 +367,20 @@ void EstimatorService::DoQuery(Shard& shard, Op& op) {
   if (metrics_ != nullptr) shard.queries.Increment();
   auto it = shard.streams.find(op.id);
   if (it == shard.streams.end()) {
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kQuery,
+                      static_cast<std::uint32_t>(shard.index), op.id, 1);
+    }
     op.view_promise->set_value(
         Status::NotFound("unknown stream " + std::to_string(op.id)));
     return;
   }
   const StreamState& state = it->second;
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kQuery,
+                    static_cast<std::uint32_t>(shard.index), op.id,
+                    state.error.ok() ? 0 : 1);
+  }
   if (!state.error.ok()) {
     op.view_promise->set_value(state.error);
     return;
@@ -325,17 +415,57 @@ void EstimatorService::DoCheckpoint(Shard& shard, Op& op) {
     const std::vector<std::uint8_t> bytes = std::move(inner).Finish();
     outer.WriteBytes(std::span<const std::uint8_t>(bytes));
   }
-  op.bytes_promise->set_value(std::move(outer).Finish());
+  std::vector<std::uint8_t> manifest = std::move(outer).Finish();
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kCheckpoint,
+                    static_cast<std::uint32_t>(shard.index),
+                    shard.streams.size(), manifest.size());
+  }
+  if (log_.Enabled(obs::LogLevel::kInfo)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    fields.Set("streams",
+               obs::Json(static_cast<std::uint64_t>(shard.streams.size())));
+    fields.Set("bytes",
+               obs::Json(static_cast<std::uint64_t>(manifest.size())));
+    log_.Info("shard checkpoint", fields);
+  }
+  op.bytes_promise->set_value(std::move(manifest));
 }
 
 void EstimatorService::DoRestore(Shard& shard, Op& op) {
   if (metrics_ != nullptr) shard.restores.Increment();
+  Status status = DoRestoreImpl(shard, op);
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kRestore,
+                    static_cast<std::uint32_t>(shard.index),
+                    status.ok() ? 1 : 0,
+                    static_cast<std::uint64_t>(status.code()));
+  }
+  const obs::LogLevel level =
+      status.ok() ? obs::LogLevel::kInfo : obs::LogLevel::kError;
+  if (log_.Enabled(level)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    fields.Set("ok", obs::Json(status.ok()));
+    fields.Set("code", obs::Json(StatusCodeName(status.code())));
+    fields.Set("streams",
+               obs::Json(static_cast<std::uint64_t>(shard.streams.size())));
+    if (status.ok()) {
+      log_.Info("shard restored", fields);
+    } else {
+      log_.Error("shard restore failed: " + status.message(), fields);
+    }
+  }
+  op.status_promise->set_value(std::move(status));
+}
+
+Status EstimatorService::DoRestoreImpl(Shard& shard, Op& op) {
   const int shard_index = static_cast<int>(shard.index);
   StatusOr<snapshot::SnapshotReader> outer =
       snapshot::SnapshotReader::Open(op.manifest);
   if (!outer.ok()) {
-    op.status_promise->set_value(outer.status());
-    return;
+    return outer.status();
   }
   const std::uint64_t count = outer->ReadU64();
   std::map<StreamId, StreamState> restored;
@@ -343,30 +473,25 @@ void EstimatorService::DoRestore(Shard& shard, Op& op) {
     const StreamId id = outer->ReadU64();
     const std::vector<std::uint8_t> bytes = outer->ReadBytesVec();
     if (!outer->status().ok()) {
-      op.status_promise->set_value(outer->status());
-      return;
+      return outer->status();
     }
     if (ShardOf(id, shards()) != shard_index) {
-      op.status_promise->set_value(Status::FailedPrecondition(
+      return Status::FailedPrecondition(
           "manifest stream " + std::to_string(id) +
-          " does not belong to shard " + std::to_string(shard_index)));
-      return;
+          " does not belong to shard " + std::to_string(shard_index));
     }
     StatusOr<snapshot::SnapshotReader> inner =
         snapshot::SnapshotReader::Open(bytes);
     if (!inner.ok()) {
-      op.status_promise->set_value(inner.status());
-      return;
+      return inner.status();
     }
     StatusOr<EstimatorSpec> spec = RestoreSpec(*inner);
     if (!spec.ok()) {
-      op.status_promise->set_value(spec.status());
-      return;
+      return spec.status();
     }
     StatusOr<HostedEstimator> hosted = MakeHosted(*spec);
     if (!hosted.ok()) {
-      op.status_promise->set_value(hosted.status());
-      return;
+      return hosted.status();
     }
     StreamState state;
     state.spec = *spec;
@@ -383,8 +508,7 @@ void EstimatorService::DoRestore(Shard& shard, Op& op) {
     }
     stream::internal::RestoreReport(*inner, &state.report);
     if (!inner->status().ok()) {
-      op.status_promise->set_value(inner->status());
-      return;
+      return inner->status();
     }
     // Pass bookkeeping must be self-consistent before the estimator's own
     // payload is trusted (mirrors ResumePassesChecked's shape check).
@@ -399,38 +523,47 @@ void EstimatorService::DoRestore(Shard& shard, Op& op) {
                 state.report.per_pass.size() ==
                     static_cast<std::size_t>(state.pass) + 1));
     if (!shape_ok) {
-      op.status_promise->set_value(Status::FailedPrecondition(
+      return Status::FailedPrecondition(
           "checkpoint pass bookkeeping does not match estimator for stream " +
-          std::to_string(id)));
-      return;
+          std::to_string(id));
     }
     if (state.error.ok()) {
       Status algo_status = state.hosted.algo->Restore(*inner);
       if (!algo_status.ok()) {
-        op.status_promise->set_value(std::move(algo_status));
-        return;
+        return algo_status;
       }
     }
     Status final_status = inner->Final();
     if (!final_status.ok()) {
-      op.status_promise->set_value(std::move(final_status));
-      return;
+      return final_status;
     }
     restored.emplace(id, std::move(state));
   }
   Status outer_final = outer->Final();
   if (!outer_final.ok()) {
-    op.status_promise->set_value(std::move(outer_final));
-    return;
+    return outer_final;
   }
   shard.streams = std::move(restored);
-  op.status_promise->set_value(Status::Ok());
+  return Status::Ok();
 }
 
 void EstimatorService::DoKill(Shard& shard, Op& op) {
   if (metrics_ != nullptr) shard.kills.Increment();
   const std::size_t lost = shard.streams.size();
   shard.streams.clear();
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kKill,
+                    static_cast<std::uint32_t>(shard.index), lost);
+    // Chaos crash point: dump the rings so the post-mortem shows what the
+    // killed shard was doing (no-op unless CYCLESTREAM_FLIGHT_DUMP is set).
+    flight_->DumpToEnvPath();
+  }
+  if (log_.Enabled(obs::LogLevel::kWarn)) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    fields.Set("streams_lost", obs::Json(static_cast<std::uint64_t>(lost)));
+    log_.Warn("shard killed", fields);
+  }
   op.count_promise->set_value(lost);
 }
 
@@ -505,6 +638,11 @@ std::future<Status> EstimatorService::RestoreShard(
   std::future<Status> future = op.status_promise->get_future();
   Enqueue(*shards_[static_cast<std::size_t>(shard)], std::move(op));
   return future;
+}
+
+std::string EstimatorService::ScrapeMetrics() const {
+  if (metrics_ == nullptr) return std::string();
+  return obs::PrometheusText(metrics_->Read());
 }
 
 void EstimatorService::Flush() {

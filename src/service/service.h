@@ -39,8 +39,15 @@
 //
 // Observability: with a `MetricsRegistry` attached, shards record queue
 // depth per drain, per-op mailbox latency, shard occupancy, and counters
-// for every op class. Metrics never touch estimator inputs, so metered and
-// unmetered services produce bit-identical estimates.
+// for every op class (error latches and dropped ops are per-shard:
+// `service.errors_latched/shard=N`). `ScrapeMetrics()` renders the whole
+// registry in Prometheus text format at any instant. An attached
+// `obs::Logger` gets structured records for control ops and latched
+// errors; an attached `obs::FlightRecorder` gets a wait-free event per
+// enqueue/drain/op, dumped to `CYCLESTREAM_FLIGHT_DUMP` on any latched
+// Status and on chaos KillShard. Telemetry never touches estimator
+// inputs, so instrumented and bare services produce bit-identical
+// estimates.
 
 #ifndef CYCLESTREAM_SERVICE_SERVICE_H_
 #define CYCLESTREAM_SERVICE_SERVICE_H_
@@ -52,6 +59,8 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/flight_recorder.h"
+#include "obs/logger.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "service/estimator_host.h"
@@ -78,6 +87,10 @@ struct ServiceOptions {
   std::size_t drain_budget = 1024;
   /// Optional metrics sink (owned by the caller, must outlive the service).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional structured logger ("service" component scope; caller-owned).
+  obs::Logger* logger = nullptr;
+  /// Optional flight recorder for post-mortem event rings (caller-owned).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Point-in-time view of one stream, returned by Query.
@@ -151,6 +164,16 @@ class EstimatorService {
   /// processed on every shard.
   void Flush();
 
+  /// The attached MetricsRegistry rendered in Prometheus text exposition
+  /// format (obs/exposition.h) — counters, gauges, and cumulative-bucket
+  /// histograms, including the per-shard error counters and queue-depth/
+  /// latency histograms. Point-in-time: safe to call while shards are
+  /// draining. Empty string when the service runs unmetered.
+  std::string ScrapeMetrics() const;
+
+  /// The attached flight recorder (null when none was configured).
+  obs::FlightRecorder* flight_recorder() const { return flight_; }
+
  private:
   struct Op;
   struct StreamState;
@@ -169,10 +192,18 @@ class EstimatorService {
   void DoQuery(Shard& shard, Op& op);
   void DoCheckpoint(Shard& shard, Op& op);
   void DoRestore(Shard& shard, Op& op);
+  Status DoRestoreImpl(Shard& shard, Op& op);
   void DoKill(Shard& shard, Op& op);
+
+  /// Telemetry for a Status latched on a stream: per-shard error counter,
+  /// structured error record, flight kError event, and the fatal-Status
+  /// flight dump (CYCLESTREAM_FLIGHT_DUMP).
+  void OnErrorLatched(Shard& shard, StreamId id, const Status& error);
 
   const std::size_t drain_budget_;
   obs::MetricsRegistry* const metrics_;
+  obs::FlightRecorder* const flight_;
+  obs::LogScope log_;
   std::vector<std::unique_ptr<Shard>> shards_;
   runtime::ThreadPool pool_;  // declared last: destroyed (joined) first
 };

@@ -68,6 +68,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/logger.h"
 #include "obs/metrics.h"
 #include "obs/space_tracer.h"
 #include "obs/trace.h"
@@ -132,6 +133,10 @@ struct TraceOptions {
   /// Lists per "list" span; 1 = a span per list (hot — use on small
   /// streams only).
   std::size_t list_span_stride = 1024;
+  /// If set, receives structured "driver" records: one debug record per
+  /// completed pass (pass index, pairs, peak bytes). Never consulted on
+  /// the per-pair path.
+  obs::Logger* logger = nullptr;
 };
 
 /// Caller verdict after receiving one checkpoint snapshot.
@@ -543,6 +548,19 @@ inline void ExportDriverMetrics(const RunReport& report,
       .Increment(report.pairs_processed);
 }
 
+// One structured record per completed pass (debug level; no-op without a
+// logger or below debug).
+inline void LogPass(obs::Logger* logger, int pass, const RunReport& report) {
+  if (logger == nullptr || !logger->Enabled(obs::LogLevel::kDebug)) return;
+  const PassReport& p = report.per_pass.back();
+  obs::Json fields = obs::Json::Object();
+  fields.Set("pass", obs::Json(static_cast<std::uint64_t>(pass)));
+  fields.Set("pairs", obs::Json(static_cast<std::uint64_t>(p.pairs_processed)));
+  fields.Set("peak_bytes",
+             obs::Json(static_cast<std::uint64_t>(p.reported_peak_bytes)));
+  logger->Log(obs::LogLevel::kDebug, "driver", "pass complete", fields);
+}
+
 }  // namespace internal
 
 /// Runs all of `algorithm`'s passes over `stream` (replaying the identical
@@ -572,6 +590,7 @@ RunReport RunPasses(const StreamT& stream, AlgoT* algorithm,
     // accumulator) counts toward the peak, and the tracer must see every
     // sample the peak is computed from.
     sink.EndPass();
+    internal::LogPass(trace.logger, pass, report);
   }
   internal::ExportDriverMetrics(report, trace.metrics);
   return report;
@@ -602,6 +621,7 @@ StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
     validator.EndPass(pass);
     algorithm->EndPass(pass);
     sink.EndPass();
+    internal::LogPass(trace.logger, pass, report);
     if (!validator.ok()) {
       if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
       return validator.ToStatus();
@@ -651,6 +671,7 @@ CheckpointedRun RunPassesCheckedWithCheckpoints(
     validator.EndPass(pass);
     algorithm->EndPass(pass);
     sink.EndPass();
+    internal::LogPass(trace.logger, pass, result.report);
     if (!validator.ok()) {
       if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
       result.status = validator.ToStatus();
@@ -736,6 +757,7 @@ StatusOr<RunReport> ResumePassesChecked(
     validator.EndPass(pass);
     algorithm->EndPass(pass);
     sink.EndPass();
+    internal::LogPass(trace.logger, pass, report);
     if (!validator.ok()) {
       if (trace.metrics != nullptr) validator.ExportMetrics(trace.metrics);
       return validator.ToStatus();

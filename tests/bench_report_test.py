@@ -313,5 +313,215 @@ class CommandTest(unittest.TestCase):
         ]
 
 
+def accuracy_record(**overrides):
+    rec = record("accuracy", estimator="two-pass-triangle", epsilon=0.25,
+                 delta=0.2, trials=10, within=9, frac_within=0.9,
+                 within_band=True, max_rel_error=0.4, mean_rel_error=0.1)
+    rec.update(overrides)
+    return rec
+
+
+class AccuracyCheckTest(unittest.TestCase):
+    def check(self, rec):
+        return br.check_accuracy("m", {"accuracy": [rec]})
+
+    def test_consistent_record_passes(self):
+        self.assertEqual(self.check(accuracy_record()), [])
+
+    def test_outside_band_is_recorded_not_an_error(self):
+        rec = accuracy_record(within=2, frac_within=0.2, within_band=False)
+        self.assertEqual(self.check(rec), [])
+
+    def test_zero_trials_band_is_vacuously_true(self):
+        rec = accuracy_record(trials=0, within=0, frac_within=0.0,
+                              within_band=True)
+        self.assertEqual(self.check(rec), [])
+
+    def test_within_exceeding_trials_fails(self):
+        errors = self.check(accuracy_record(within=11))
+        self.assertTrue(any("exceeds trials" in e for e in errors))
+
+    def test_frac_mismatch_fails(self):
+        errors = self.check(accuracy_record(frac_within=0.5))
+        self.assertTrue(any("frac_within" in e for e in errors))
+
+    def test_band_verdict_mismatch_fails(self):
+        # 9/10 within at delta=0.2 meets the 0.8 bar; claiming False lies.
+        errors = self.check(accuracy_record(within_band=False))
+        self.assertTrue(any("within_band" in e for e in errors))
+
+    def test_accuracy_schema_fields_required(self):
+        rec = accuracy_record()
+        del rec["mean_rel_error"]
+        errors = br.check_schema("m", minimal_manifest([rec]))
+        self.assertTrue(any("mean_rel_error" in e for e in errors))
+
+
+def write_text(directory, name, text):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path
+
+
+VALID_SCRAPE = """\
+# TYPE accuracy_within_band gauge
+accuracy_within_band{estimator="two-pass-triangle"} 1.0
+# TYPE service_errors_latched counter
+service_errors_latched{shard="0"} 0
+service_errors_latched{shard="1"} 2
+# TYPE service_queue_depth histogram
+service_queue_depth_bucket{le="1.0"} 3
+service_queue_depth_bucket{le="2.0"} 5
+service_queue_depth_bucket{le="+Inf"} 6
+service_queue_depth_sum 11.0
+service_queue_depth_count 6
+"""
+
+
+class ScrapeTest(unittest.TestCase):
+    def parse(self, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            return br.parse_prometheus(write_text(tmp, "m.prom", text))
+
+    def errors(self, text):
+        types, samples = self.parse(text)
+        return br.check_scrape("m.prom", types, samples)
+
+    def test_valid_scrape_parses_clean(self):
+        types, samples = self.parse(VALID_SCRAPE)
+        self.assertEqual(types["service_queue_depth"], "histogram")
+        self.assertEqual(len(samples), 8)
+        self.assertEqual(self.errors(VALID_SCRAPE), [])
+
+    def test_label_unescaping(self):
+        types, samples = self.parse(
+            '# TYPE g gauge\ng{k="a\\"b\\\\c\\nd"} 1\n')
+        self.assertEqual(samples[0][1], {"k": 'a"b\\c\nd'})
+
+    def test_sample_without_type_family_fails(self):
+        errors = self.errors("mystery_metric 1\n")
+        self.assertTrue(any("no # TYPE family" in e for e in errors))
+
+    def test_missing_inf_bucket_fails(self):
+        text = ("# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\n"
+                "h_sum 1.0\nh_count 1\n")
+        self.assertTrue(any("+Inf" in e for e in self.errors(text)))
+
+    def test_non_cumulative_buckets_fail(self):
+        text = ("# TYPE h histogram\nh_bucket{le=\"1.0\"} 5\n"
+                "h_bucket{le=\"+Inf\"} 3\nh_sum 1.0\nh_count 3\n")
+        self.assertTrue(
+            any("not cumulative" in e for e in self.errors(text)))
+
+    def test_inf_bucket_must_equal_count(self):
+        text = ("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n"
+                "h_sum 1.0\nh_count 4\n")
+        self.assertTrue(any("_count" in e for e in self.errors(text)))
+
+    def test_negative_counter_fails(self):
+        text = "# TYPE c counter\nc -1\n"
+        self.assertTrue(any("negative counter" in e
+                            for e in self.errors(text)))
+
+    def test_bad_sample_line_raises(self):
+        with self.assertRaises(br.ManifestError):
+            self.parse("# TYPE g gauge\ng not-a-number\n")
+
+    def test_cmd_scrape_require_missing_family_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_text(tmp, "m.prom", VALID_SCRAPE)
+            ok = type("Args", (), {"files": [path],
+                                   "require": ["service_queue_depth"]})()
+            self.assertEqual(br.cmd_scrape(ok), 0)
+            bad = type("Args", (), {"files": [path],
+                                    "require": ["service_op_latency"]})()
+            self.assertEqual(br.cmd_scrape(bad), 1)
+
+
+def baseline_json(rate, space=50000, peak=4096):
+    return {
+        "schema_version": br.SCHEMA_VERSION,
+        "benches": {
+            "bench_service": {
+                "curves": {
+                    "service_pairs_per_sec/shards=4": {
+                        "points": [[8, rate]]},
+                    "space_vs_T": {"points": [[100, space]]},
+                },
+                "batches": {
+                    "b": {"max_reported_peak_bytes": peak},
+                },
+            },
+        },
+    }
+
+
+class DiffTest(unittest.TestCase):
+    def run_diff(self, old, new, threshold=2.0, only=None, min_x=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            old_path = write_text(tmp, "old.json", json.dumps(old))
+            new_path = write_text(tmp, "new.json", json.dumps(new))
+            args = type("Args", (), {"old": old_path, "new": new_path,
+                                     "threshold": threshold,
+                                     "verbose": False, "only": only,
+                                     "min_x": min_x})()
+            return br.cmd_diff(args)
+
+    def test_identical_baselines_pass(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6), baseline_json(1e6)), 0)
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6), baseline_json(0.95e6)), 1)
+
+    def test_throughput_drop_within_threshold_passes(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6), baseline_json(0.99e6)), 0)
+
+    def test_threshold_is_configurable(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6), baseline_json(0.95e6),
+                          threshold=10.0), 0)
+
+    def test_throughput_gain_passes(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6), baseline_json(2e6)), 0)
+
+    def test_min_x_skips_small_points(self):
+        # The only curve point sits at x=8; --min-x above that skips it.
+        old, new = baseline_json(1e6), baseline_json(0.5e6)
+        self.assertEqual(self.run_diff(old, new, min_x=32), 0)
+        self.assertEqual(self.run_diff(old, new, min_x=8), 1)
+
+    def test_only_filter_restricts_comparison(self):
+        # The throughput drop is on shards=4; filtering to a non-matching
+        # substring skips it (and the space/batch rows), so the diff passes.
+        old, new = baseline_json(1e6), baseline_json(0.5e6, peak=999999)
+        self.assertEqual(self.run_diff(old, new), 1)
+        self.assertEqual(self.run_diff(old, new, only="shards=8"), 0)
+        self.assertEqual(self.run_diff(old, new, only="shards=4"), 1)
+
+    def test_space_growth_beyond_threshold_fails(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6),
+                          baseline_json(1e6, space=60000)), 1)
+
+    def test_batch_peak_growth_fails(self):
+        self.assertEqual(
+            self.run_diff(baseline_json(1e6),
+                          baseline_json(1e6, peak=8192)), 1)
+
+    def test_point_missing_from_new_is_noted_not_failed(self):
+        new = baseline_json(1e6)
+        del new["benches"]["bench_service"]["curves"]["space_vs_T"]
+        self.assertEqual(self.run_diff(baseline_json(1e6), new), 0)
+
+    def test_throughput_curve_classifier(self):
+        self.assertTrue(br.is_throughput_curve("service_pairs_per_sec/x"))
+        self.assertFalse(br.is_throughput_curve("twopass_space_vs_T"))
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -2,6 +2,7 @@
 // registry under concurrent writers, space-timeline/driver agreement, and
 // JSONL manifest files.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <limits>
@@ -146,6 +147,72 @@ TEST(MetricsRegistry, HistogramBucketBoundaries) {
   EXPECT_EQ(hs.bucket_counts[3], 1u);
   EXPECT_EQ(hs.count, 5u);
   EXPECT_DOUBLE_EQ(hs.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistry, EmptyHistogramQuantilesAreZero) {
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("empty", obs::Log2Bounds(0, 8));
+  obs::Snapshot snap = registry.Read();
+  // No Observe() ever ran: the histogram has a layout but no cells, so it
+  // does not appear in the snapshot at all...
+  EXPECT_EQ(snap.histograms.count("empty"), 0u);
+  // ...and a default (zero-count) snapshot has well-defined quantiles.
+  obs::HistogramSnapshot hs;
+  hs.bounds = obs::Log2Bounds(0, 8);
+  hs.bucket_counts.assign(hs.bounds.size() + 1, 0);
+  EXPECT_EQ(hs.Quantile(0.50), 0.0);
+  EXPECT_EQ(hs.Quantile(0.95), 0.0);
+  EXPECT_EQ(hs.max, 0.0);
+}
+
+TEST(MetricsRegistry, SingleSampleHistogramQuantilesAreTheSample) {
+  obs::MetricsRegistry registry;
+  obs::Histogram h = registry.GetHistogram("one", obs::Log2Bounds(0, 20));
+  h.Observe(100.0);  // strictly inside the le=128 bucket
+  obs::Snapshot snap = registry.Read();
+  const obs::HistogramSnapshot& hs = snap.histograms.at("one");
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_EQ(hs.max, 100.0);
+  // Quantiles cap at the exact max, not the bucket bound (128).
+  EXPECT_EQ(hs.Quantile(0.50), 100.0);
+  EXPECT_EQ(hs.Quantile(0.95), 100.0);
+  EXPECT_EQ(hs.Quantile(0.0), 100.0);
+  EXPECT_EQ(hs.Quantile(1.0), 100.0);
+}
+
+TEST(MetricsRegistry, TopLog2BucketCapturesHugeValues) {
+  obs::MetricsRegistry registry;
+  obs::Histogram h = registry.GetHistogram("huge", obs::Log2Bounds(0, 62));
+  const double two63 = std::ldexp(1.0, 63);   // 2^63: above every bound
+  const double two80 = std::ldexp(1.0, 80);   // far beyond uint64 range
+  h.Observe(two63);
+  h.Observe(two80);
+  obs::Snapshot snap = registry.Read();
+  const obs::HistogramSnapshot& hs = snap.histograms.at("huge");
+  ASSERT_EQ(hs.bucket_counts.size(), hs.bounds.size() + 1);
+  // Both land in the overflow bucket; nothing wrapped into lower buckets.
+  EXPECT_EQ(hs.bucket_counts.back(), 2u);
+  for (std::size_t i = 0; i + 1 < hs.bucket_counts.size(); ++i) {
+    EXPECT_EQ(hs.bucket_counts[i], 0u) << "bucket " << i;
+  }
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.max, two80);
+  // Overflow-bucket quantiles resolve to the exact max.
+  EXPECT_EQ(hs.Quantile(0.95), two80);
+}
+
+TEST(MetricsRegistry, GaugesLastSetWins) {
+  obs::MetricsRegistry registry;
+  obs::Gauge g = registry.GetGauge("band.frac");
+  g.Set(0.25);
+  g.Set(0.75);
+  registry.GetGauge("other").Set(-1.5);
+  obs::Snapshot snap = registry.Read();
+  EXPECT_EQ(snap.gauges.at("band.frac"), 0.75);
+  EXPECT_EQ(snap.gauges.at("other"), -1.5);
+  obs::Json j = snap.ToJson();
+  ASSERT_NE(j.Find("gauges"), nullptr);
+  EXPECT_EQ(j.Find("gauges")->Find("band.frac")->AsDouble(), 0.75);
 }
 
 TEST(MetricsRegistry, SnapshotToJsonShape) {
@@ -441,6 +508,39 @@ TEST(TraceSession, EmitsValidChromeTraceJson) {
   EXPECT_EQ(events->at(1).Find("name")->AsString(), "inner");
   EXPECT_EQ(events->at(2).Find("name")->AsString(), "outer");
   EXPECT_EQ(events->at(2).Find("args")->Find("trials")->AsUint64(), 7u);
+}
+
+TEST(TraceSession, ThreadNameMetadataEvents) {
+  obs::TraceSession session;
+  session.SetProcessName("obs_test");
+  session.SetThreadName("main");
+  session.SetThreadName("renamed-main");  // last call per thread wins
+  std::thread worker([&session] {
+    session.SetThreadName("worker-a");
+    auto span = obs::TraceSession::Begin(&session, "work", "trial");
+  });
+  worker.join();
+  obs::Json j = session.ToJson();
+  const obs::Json* events = j.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // process_name + 2 thread_name metadata events + 1 span.
+  ASSERT_EQ(events->size(), 4u);
+  std::size_t thread_names = 0;
+  std::uint64_t worker_tid = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::Json& e = events->at(i);
+    if (e.Find("name")->AsString() != "thread_name") continue;
+    ++thread_names;
+    EXPECT_EQ(e.Find("ph")->AsString(), "M");
+    const std::string name = e.Find("args")->Find("name")->AsString();
+    EXPECT_TRUE(name == "renamed-main" || name == "worker-a") << name;
+    if (name == "worker-a") worker_tid = e.Find("tid")->AsUint64();
+  }
+  EXPECT_EQ(thread_names, 2u);
+  // The span recorded by the worker carries the worker's named lane.
+  const obs::Json& span_event = events->at(events->size() - 1);
+  EXPECT_EQ(span_event.Find("ph")->AsString(), "X");
+  EXPECT_EQ(span_event.Find("tid")->AsUint64(), worker_tid);
 }
 
 TEST(TraceSession, NullSessionSpansAreInert) {

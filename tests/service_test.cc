@@ -428,6 +428,67 @@ TEST(ServiceErrors, UnknownDuplicateAndMisusedStreams) {
   EXPECT_EQ(still.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ServiceErrors, LatchedStatusShowsInScrapeCountersAndFlightDump) {
+  // A typed error latched in one shard must be visible from the outside:
+  // the per-shard `service_errors_latched` counter moves in that shard
+  // only, and the flight recorder holds a kError event naming the stream.
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder flight(256);
+  ServiceOptions options;
+  options.shards = 2;
+  options.metrics = &metrics;
+  options.flight = &flight;
+  EstimatorService svc(options);
+
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kOnePassTriangle;
+  spec.slots = 4;
+  spec.seed = 5;
+  const StreamId id = 1;
+  const int bad_shard = EstimatorService::ShardOf(id, options.shards);
+  const int clean_shard = 1 - bad_shard;
+  ASSERT_TRUE(svc.Create(id, spec).get().ok());
+
+  Graph g = testing_util::Triangle();
+  stream::AdjacencyListStream stream(&g, 1);
+  for (VertexId u : stream.list_order()) {
+    auto span = stream.ListOf(u);
+    svc.Append(id, u, {span.begin(), span.end()});
+  }
+  svc.EndPass(id);
+  ASSERT_TRUE(svc.Query(id).get().ok());
+  svc.EndPass(id);  // one pass too many — latches kFailedPrecondition
+  ASSERT_EQ(svc.Query(id).get().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Scrape: the bad shard's counter reads 1, the clean shard's reads 0
+  // (materialized at construction so absence can't be mistaken for health).
+  const std::string scrape = svc.ScrapeMetrics();
+  EXPECT_NE(scrape.find("service_errors_latched{shard=\"" +
+                        std::to_string(bad_shard) + "\"} 1"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("service_errors_latched{shard=\"" +
+                        std::to_string(clean_shard) + "\"} 0"),
+            std::string::npos)
+      << scrape;
+
+  // Flight recorder: a kError event tagged with the shard, carrying the
+  // stream id (a) and the status code (b).
+  ASSERT_EQ(svc.flight_recorder(), &flight);
+  bool saw_error_event = false;
+  for (const obs::FlightEvent& e : flight.Collect()) {
+    if (e.kind != obs::FlightEventKind::kError) continue;
+    saw_error_event = true;
+    EXPECT_EQ(e.shard, static_cast<std::uint32_t>(bad_shard));
+    EXPECT_EQ(e.a, id);
+    EXPECT_EQ(e.b,
+              static_cast<std::uint64_t>(StatusCode::kFailedPrecondition));
+  }
+  EXPECT_TRUE(saw_error_event);
+  EXPECT_NE(flight.DumpText().find("\"kind\":\"error\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace cyclestream
