@@ -58,6 +58,7 @@
 #include "service/service.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
+#include "stream/random_order_stream.h"
 
 namespace cyclestream {
 namespace {
@@ -121,6 +122,31 @@ std::vector<Template> BuildTemplates(std::size_t graph_n, double graph_p) {
 
       StatusOr<HostedEstimator> ref = service::MakeHosted(t.spec);
       CYCLESTREAM_CHECK(ref.ok());
+      if (t.spec.kind == EstimatorKind::kRandomOrderTriangle) {
+        // Random-order kind: reference run and tape both come from a
+        // RandomOrderStream's u-runs. The service is model-agnostic — it
+        // replays whatever grammar the tape carries.
+        stream::RandomOrderStream ro(&g,
+                                     17 + static_cast<std::uint64_t>(variant));
+        t.want_report = stream::RunPasses(ro, ref->algo.get());
+        t.want_estimate = ref->estimate(*ref->algo);
+        t.pairs = t.want_report.pairs_processed;
+        t.truth = TruthFor(t.spec.kind, triangles, four_cycles);
+        for (int pass = 0; pass < ref->algo->passes(); ++pass) {
+          struct Tape {
+            std::vector<Event>* events;
+            void BeginList(VertexId u) { events->push_back({false, u, {}}); }
+            void OnPair(VertexId, VertexId v) {
+              events->back().list.push_back(v);
+            }
+            void EndList(VertexId) {}
+          } tape{&t.events};
+          ro.ReplayPass(tape);
+          t.events.push_back({true, 0, {}});
+        }
+        out.push_back(std::move(t));
+        continue;
+      }
       t.want_report = stream::RunPasses(stream, ref->algo.get());
       t.want_estimate = ref->estimate(*ref->algo);
       t.pairs = t.want_report.pairs_processed;

@@ -48,7 +48,7 @@ void ArbitraryOrderTriangleCounter::OnEdgeEvicted(EdgeKey key,
   }
 }
 
-void ArbitraryOrderTriangleCounter::OnEdge(VertexId u, VertexId v) {
+void ArbitraryOrderTriangleCounter::HandlePair(VertexId u, VertexId v) {
   ++edge_events_;
   EdgeKey closing = MakeEdgeKey(u, v);
 

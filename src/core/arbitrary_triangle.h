@@ -21,7 +21,8 @@
 #include "graph/types.h"
 #include "obs/accounting.h"
 #include "sampling/bottom_k.h"
-#include "stream/arbitrary_stream.h"
+#include "stream/algorithm.h"
+#include "stream/model.h"
 
 namespace cyclestream {
 namespace core {
@@ -39,14 +40,21 @@ struct ArbitraryTriangleResult {
   double k_squared = 1.0;
 };
 
-/// One-pass sampled-wedge triangle estimator for arbitrary-order streams.
-class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
+/// One-pass sampled-wedge triangle estimator for edge streams. Each stream
+/// element is one edge (canonical u < v, delivered exactly once), so the
+/// analysis holds in every edge model — arbitrary, random-order, perturbed —
+/// and `AcceptsModel` admits them all while refusing adjacency-list streams,
+/// whose elements are *pairs* (two per edge) and would be double-counted.
+class ArbitraryOrderTriangleCounter final
+    : public stream::PairDispatch<ArbitraryOrderTriangleCounter> {
  public:
   explicit ArbitraryOrderTriangleCounter(
       const ArbitraryTriangleOptions& options);
 
   int passes() const override { return 1; }
-  void OnEdge(VertexId u, VertexId v) override;
+  bool AcceptsModel(stream::StreamModel model) const override {
+    return stream::IsEdgeModel(model);
+  }
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
     return &space_domain_;
@@ -56,6 +64,8 @@ class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
   double Estimate() const { return result().estimate; }
 
  private:
+  friend class stream::PairDispatch<ArbitraryOrderTriangleCounter>;
+
   struct EdgeState {
     VertexId lo = 0;
     VertexId hi = 0;
@@ -64,6 +74,9 @@ class ArbitraryOrderTriangleCounter final : public stream::EdgeStreamAlgorithm {
     // attributed to both wedge edges; see OnEdgeEvicted.
     std::uint64_t detections = 0;
   };
+
+  // One arriving edge {u, v}, driven by PairDispatch for both deliveries.
+  void HandlePair(VertexId u, VertexId v);
 
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);
 

@@ -10,13 +10,6 @@ void ExactStreamTriangleCounter::BeginList(VertexId /*u*/) {
   current_list_.clear();
 }
 
-void ExactStreamTriangleCounter::OnPair(VertexId u, VertexId v) { HandlePair(u, v); }
-
-void ExactStreamTriangleCounter::OnListBatch(VertexId u,
-                                    std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void ExactStreamTriangleCounter::HandlePair(VertexId u, VertexId v) {
   ++pair_events_;
   current_list_.push_back(v);

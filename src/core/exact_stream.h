@@ -17,7 +17,7 @@ namespace cyclestream {
 namespace core {
 
 /// One-pass exact triangle counting with Θ(m) state.
-class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
+class ExactStreamTriangleCounter final : public stream::PairDispatch<ExactStreamTriangleCounter> {
  public:
   ExactStreamTriangleCounter()
       : edge_state_(decltype(edge_state_)::allocator_type(&space_domain_)),
@@ -27,8 +27,6 @@ class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
   int passes() const override { return 1; }
 
   void BeginList(VertexId u) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
@@ -44,8 +42,9 @@ class ExactStreamTriangleCounter final : public stream::StreamAlgorithm {
   Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<ExactStreamTriangleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   obs::MemoryDomain space_domain_;  // must outlive the containers below

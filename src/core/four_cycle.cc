@@ -82,13 +82,6 @@ void TwoPassFourCycleCounter::BuildWedges() {
   }
 }
 
-void TwoPassFourCycleCounter::OnPair(VertexId u, VertexId v) { HandlePair(u, v); }
-
-void TwoPassFourCycleCounter::OnListBatch(VertexId u,
-                                 std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void TwoPassFourCycleCounter::HandlePair(VertexId u, VertexId v) {
   if (pass_ == 0) {
     ++pair_events_;

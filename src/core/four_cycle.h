@@ -58,15 +58,13 @@ struct FourCycleResult {
 };
 
 /// Streaming implementation of Theorem 4.6.
-class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
+class TwoPassFourCycleCounter final : public stream::PairDispatch<TwoPassFourCycleCounter> {
  public:
   explicit TwoPassFourCycleCounter(const FourCycleOptions& options);
 
   int passes() const override { return 2; }
 
   void BeginPass(int pass) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   void EndPass(int pass) override;
   std::size_t CurrentSpaceBytes() const override;
@@ -85,8 +83,9 @@ class TwoPassFourCycleCounter final : public stream::StreamAlgorithm {
   Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<TwoPassFourCycleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   struct WedgeState {

@@ -28,6 +28,13 @@ bool ParallelCopies::requires_same_order() const {
   return false;
 }
 
+bool ParallelCopies::AcceptsModel(stream::StreamModel model) const {
+  for (const auto& copy : copies_) {
+    if (!copy->AcceptsModel(model)) return false;
+  }
+  return true;
+}
+
 void ParallelCopies::BeginPass(int pass) {
   for (auto& copy : copies_) copy->BeginPass(pass);
 }
@@ -75,91 +82,6 @@ Status ParallelCopies::Restore(snapshot::SnapshotReader& r) {
     if (!status.ok()) return status;
   }
   return r.status();
-}
-
-namespace {
-
-// Non-owning view over a contiguous range of copies, driven as one
-// StreamAlgorithm by a single worker.
-class CopySpan : public stream::StreamAlgorithm {
- public:
-  CopySpan(std::unique_ptr<stream::StreamAlgorithm>* copies, std::size_t n)
-      : copies_(copies), n_(n) {}
-
-  int passes() const override { return copies_[0]->passes(); }
-  bool requires_same_order() const override {
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (copies_[i]->requires_same_order()) return true;
-    }
-    return false;
-  }
-  void BeginPass(int pass) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginPass(pass);
-  }
-  void BeginList(VertexId u) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginList(u);
-  }
-  void OnPair(VertexId u, VertexId v) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnPair(u, v);
-  }
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnListBatch(u, list);
-  }
-  void EndList(VertexId u) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndList(u);
-  }
-  void EndPass(int pass) override {
-    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndPass(pass);
-  }
-  std::size_t CurrentSpaceBytes() const override {
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < n_; ++i) total += copies_[i]->CurrentSpaceBytes();
-    return total;
-  }
-
- private:
-  std::unique_ptr<stream::StreamAlgorithm>* copies_;
-  std::size_t n_;
-};
-
-}  // namespace
-
-stream::RunReport ParallelCopies::Run(const stream::AdjacencyListStream& stream,
-                                      runtime::ThreadPool* pool) {
-  if (pool == nullptr || pool->num_threads() <= 1 || copies_.size() <= 1) {
-    return stream::RunPasses(stream, this);
-  }
-  const std::size_t chunks = std::min<std::size_t>(
-      static_cast<std::size_t>(pool->num_threads()), copies_.size());
-  std::vector<stream::RunReport> chunk_reports(chunks);
-  std::vector<std::future<void>> pending;
-  pending.reserve(chunks);
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    // Even partition: remaining copies split over remaining chunks.
-    const std::size_t end = begin + (copies_.size() - begin) / (chunks - c);
-    pending.push_back(pool->Submit([this, &stream, &chunk_reports, c, begin,
-                                    end] {
-      CopySpan span(&copies_[begin], end - begin);
-      chunk_reports[c] = stream::RunPasses(stream, &span);
-    }));
-    begin = end;
-  }
-  for (auto& future : pending) future.get();
-
-  stream::RunReport merged;
-  merged.passes_requested = passes();
-  // The stream is multiplexed to all copies: one logical read per pass,
-  // matching the sequential report regardless of how many workers replayed.
-  merged.pairs_processed = stream.stream_length() *
-                           static_cast<std::size_t>(merged.passes_requested);
-  for (const stream::RunReport& r : chunk_reports) {
-    merged.reported_peak_bytes += r.reported_peak_bytes;
-    merged.audited_peak_bytes += r.audited_peak_bytes;
-    merged.max_divergence_bytes =
-        std::max(merged.max_divergence_bytes, r.max_divergence_bytes);
-  }
-  return merged;
 }
 
 double Median(std::vector<double> values) {

@@ -8,8 +8,10 @@
 #ifndef CYCLESTREAM_CORE_MEDIAN_H_
 #define CYCLESTREAM_CORE_MEDIAN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,16 +19,68 @@
 #include "core/four_cycle.h"
 #include "core/one_pass_triangle.h"
 #include "core/two_pass_triangle.h"
+#include "runtime/thread_pool.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
 #include "stream/driver.h"
 
 namespace cyclestream {
-namespace runtime {
-class ThreadPool;
-}  // namespace runtime
-
 namespace core {
+
+namespace internal {
+
+// Non-owning view over a contiguous range of copies, driven as one
+// StreamAlgorithm by a single worker.
+class CopySpan : public stream::StreamAlgorithm {
+ public:
+  CopySpan(std::unique_ptr<stream::StreamAlgorithm>* copies, std::size_t n)
+      : copies_(copies), n_(n) {}
+
+  int passes() const override { return copies_[0]->passes(); }
+  bool requires_same_order() const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (copies_[i]->requires_same_order()) return true;
+    }
+    return false;
+  }
+  bool AcceptsModel(stream::StreamModel model) const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!copies_[i]->AcceptsModel(model)) return false;
+    }
+    return true;
+  }
+  void BeginPass(int pass) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginPass(pass);
+  }
+  void BeginList(VertexId u) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->BeginList(u);
+  }
+  void OnPair(VertexId u, VertexId v) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnPair(u, v);
+  }
+  void OnListBatch(VertexId u, std::span<const VertexId> list) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->OnListBatch(u, list);
+  }
+  void EndList(VertexId u) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndList(u);
+  }
+  void EndPass(int pass) override {
+    for (std::size_t i = 0; i < n_; ++i) copies_[i]->EndPass(pass);
+  }
+  std::size_t CurrentSpaceBytes() const override {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      total += copies_[i]->CurrentSpaceBytes();
+    }
+    return total;
+  }
+
+ private:
+  std::unique_ptr<stream::StreamAlgorithm>* copies_;
+  std::size_t n_;
+};
+
+}  // namespace internal
 
 /// Runs R copies of an algorithm as one StreamAlgorithm. All copies must
 /// take the same number of passes.
@@ -37,6 +91,9 @@ class ParallelCopies : public stream::StreamAlgorithm {
 
   int passes() const override;
   bool requires_same_order() const override;
+  /// The group accepts a model iff every copy does — amplification never
+  /// weakens a copy's model requirement.
+  bool AcceptsModel(stream::StreamModel model) const override;
 
   void BeginPass(int pass) override;
   void BeginList(VertexId u) override;
@@ -56,8 +113,10 @@ class ParallelCopies : public stream::StreamAlgorithm {
   void Serialize(snapshot::SnapshotWriter& w) const override;
   Status Restore(snapshot::SnapshotReader& r) override;
 
-  /// Drives every copy over all of its passes. With `pool == nullptr` this
-  /// is exactly `stream::RunPasses(stream, this)` — the copies march in
+  /// Drives every copy over all of its passes, for any replayable stream
+  /// type (adjacency-list, arbitrary, random-order — the model gate applies
+  /// per chunk exactly as in the single-copy driver). With `pool == nullptr`
+  /// this is exactly `stream::RunPasses(stream, this)` — the copies march in
   /// lockstep through one replay per pass. With a pool, the copies are
   /// partitioned into one contiguous chunk per worker; each worker replays
   /// the stream once per pass for its chunk. Copies never share mutable
@@ -67,8 +126,45 @@ class ParallelCopies : public stream::StreamAlgorithm {
   /// the lockstep peak). `audited_peak_bytes` stays 0 in both modes: the
   /// group wrapper exposes no unified memory domain (each copy audits
   /// itself only when driven directly).
-  stream::RunReport Run(const stream::AdjacencyListStream& stream,
-                        runtime::ThreadPool* pool = nullptr);
+  template <typename StreamT>
+  stream::RunReport Run(const StreamT& stream,
+                        runtime::ThreadPool* pool = nullptr) {
+    if (pool == nullptr || pool->num_threads() <= 1 || copies_.size() <= 1) {
+      return stream::RunPasses(stream, this);
+    }
+    const std::size_t chunks = std::min<std::size_t>(
+        static_cast<std::size_t>(pool->num_threads()), copies_.size());
+    std::vector<stream::RunReport> chunk_reports(chunks);
+    std::vector<std::future<void>> pending;
+    pending.reserve(chunks);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      // Even partition: remaining copies split over remaining chunks.
+      const std::size_t end = begin + (copies_.size() - begin) / (chunks - c);
+      pending.push_back(pool->Submit([this, &stream, &chunk_reports, c, begin,
+                                      end] {
+        internal::CopySpan span(&copies_[begin], end - begin);
+        chunk_reports[c] = stream::RunPasses(stream, &span);
+      }));
+      begin = end;
+    }
+    for (auto& future : pending) future.get();
+
+    stream::RunReport merged;
+    merged.passes_requested = passes();
+    // The stream is multiplexed to all copies: one logical read per pass,
+    // matching the sequential report regardless of how many workers
+    // replayed.
+    merged.pairs_processed = stream.stream_length() *
+                             static_cast<std::size_t>(merged.passes_requested);
+    for (const stream::RunReport& r : chunk_reports) {
+      merged.reported_peak_bytes += r.reported_peak_bytes;
+      merged.audited_peak_bytes += r.audited_peak_bytes;
+      merged.max_divergence_bytes =
+          std::max(merged.max_divergence_bytes, r.max_divergence_bytes);
+    }
+    return merged;
+  }
 
  private:
   std::vector<std::unique_ptr<stream::StreamAlgorithm>> copies_;

@@ -128,13 +128,6 @@ void OnePassFourCycleCounter::OnEdgeEvicted(EdgeKey key, EdgeState&& state) {
   }
 }
 
-void OnePassFourCycleCounter::OnPair(VertexId u, VertexId v) { HandlePair(u, v); }
-
-void OnePassFourCycleCounter::OnListBatch(VertexId u,
-                                 std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void OnePassFourCycleCounter::HandlePair(VertexId u, VertexId v) {
   ++pair_events_;
   EdgeKey key = MakeEdgeKey(u, v);

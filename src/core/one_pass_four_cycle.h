@@ -42,14 +42,12 @@ struct OnePassFourCycleResult {
 };
 
 /// Single-pass 4-cycle estimator; exact when sample_size >= m.
-class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
+class OnePassFourCycleCounter final : public stream::PairDispatch<OnePassFourCycleCounter> {
  public:
   explicit OnePassFourCycleCounter(const OnePassFourCycleOptions& options);
 
   int passes() const override { return 1; }
 
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
@@ -65,8 +63,9 @@ class OnePassFourCycleCounter final : public stream::StreamAlgorithm {
   Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<OnePassFourCycleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   // No default constructor: the nested wedge list must bind to the owning

@@ -47,15 +47,6 @@ void OnePassTriangleCounter::BeginPass(int pass) {
   CYCLESTREAM_CHECK_EQ(pass, 0);
 }
 
-void OnePassTriangleCounter::OnPair(VertexId u, VertexId v) {
-  HandlePair(u, v);
-}
-
-void OnePassTriangleCounter::OnListBatch(VertexId u,
-                                         std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void OnePassTriangleCounter::HandlePair(VertexId u, VertexId v) {
   ++pair_events_;
   EdgeKey key = MakeEdgeKey(u, v);

@@ -43,15 +43,13 @@ struct OnePassTriangleResult {
 };
 
 /// Single-pass estimator; exact when sample_size >= m.
-class OnePassTriangleCounter final : public stream::StreamAlgorithm {
+class OnePassTriangleCounter final : public stream::PairDispatch<OnePassTriangleCounter> {
  public:
   explicit OnePassTriangleCounter(const OnePassTriangleOptions& options);
 
   int passes() const override { return 1; }
 
   void BeginPass(int pass) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
@@ -76,8 +74,9 @@ class OnePassTriangleCounter final : public stream::StreamAlgorithm {
     std::uint64_t detections = 0;
   };
 
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<OnePassTriangleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   void OnEdgeEvicted(EdgeKey key, EdgeState&& state);

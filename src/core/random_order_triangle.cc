@@ -1,0 +1,140 @@
+#include "core/random_order_triangle.h"
+
+#include <algorithm>
+
+#include "snapshot/codec.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace core {
+
+RandomOrderTriangleCounter::RandomOrderTriangleCounter(
+    const RandomOrderTriangleOptions& options)
+    : options_(options),
+      prefix_edges_(decltype(prefix_edges_)::allocator_type(&space_domain_)),
+      prefix_set_(decltype(prefix_set_)::allocator_type(&space_domain_)),
+      prefix_adjacency_(
+          decltype(prefix_adjacency_)::allocator_type(&space_domain_)) {
+  CYCLESTREAM_CHECK_GE(options.prefix_size, 1u);
+}
+
+void RandomOrderTriangleCounter::BeginPass(int pass) {
+  CYCLESTREAM_CHECK_EQ(pass, 0);
+}
+
+obs::AccountedVector<VertexId>& RandomOrderTriangleCounter::Neighbors(
+    VertexId v) {
+  return prefix_adjacency_
+      .try_emplace(v, obs::AccountedAllocator<VertexId>(&space_domain_))
+      .first->second;
+}
+
+void RandomOrderTriangleCounter::IndexPrefixEdge(EdgeKey key) {
+  prefix_set_.insert(key);
+  Neighbors(EdgeKeyLo(key)).push_back(EdgeKeyHi(key));
+  Neighbors(EdgeKeyHi(key)).push_back(EdgeKeyLo(key));
+}
+
+std::uint64_t RandomOrderTriangleCounter::CountCommonPrefixNeighbors(
+    VertexId u, VertexId v) const {
+  auto au = prefix_adjacency_.find(u);
+  auto av = prefix_adjacency_.find(v);
+  if (au == prefix_adjacency_.end() || av == prefix_adjacency_.end()) return 0;
+  // Scan the sparser endpoint, probe the other via the prefix set.
+  VertexId other = v;
+  const obs::AccountedVector<VertexId>* scan = &au->second;
+  if (av->second.size() < scan->size()) {
+    scan = &av->second;
+    other = u;
+  }
+  std::uint64_t common = 0;
+  for (VertexId w : *scan) {
+    if (w == other) continue;  // the closing edge itself is not a wedge apex
+    if (prefix_set_.count(MakeEdgeKey(w, other)) != 0) ++common;
+  }
+  return common;
+}
+
+void RandomOrderTriangleCounter::HandlePair(VertexId u, VertexId v) {
+  ++edge_events_;
+  if (prefix_edges_.size() < options_.prefix_size) {
+    EdgeKey key = MakeEdgeKey(u, v);
+    prefix_edges_.push_back(key);
+    IndexPrefixEdge(key);
+    return;
+  }
+  detections_ += CountCommonPrefixNeighbors(u, v);
+}
+
+std::size_t RandomOrderTriangleCounter::CurrentSpaceBytes() const {
+  constexpr std::size_t kMapEntryOverhead = 48;
+  constexpr std::size_t kSetEntryOverhead = 16;
+  std::size_t adjacency_bytes = 0;
+  for (const auto& [vertex, nbrs] : prefix_adjacency_) {
+    (void)vertex;
+    adjacency_bytes += nbrs.capacity() * sizeof(VertexId);
+  }
+  return prefix_edges_.capacity() * sizeof(EdgeKey) +
+         prefix_set_.size() * kSetEntryOverhead +
+         prefix_adjacency_.size() * kMapEntryOverhead + adjacency_bytes;
+}
+
+void RandomOrderTriangleCounter::Serialize(snapshot::SnapshotWriter& w) const {
+  w.WriteU64(options_.prefix_size);
+  w.WriteU64(options_.seed);
+  w.WriteU64(edge_events_);
+  w.WriteU64(detections_);
+  // Arrival order only: the set and adjacency index are replay-derived, and
+  // because both the original and the replay insert the same sequence into
+  // empty containers, capacities and bucket counts agree bit for bit.
+  snapshot::WriteVec(w, prefix_edges_,
+                     [](snapshot::SnapshotWriter& vw, EdgeKey key) {
+                       vw.WriteU64(key);
+                     });
+}
+
+Status RandomOrderTriangleCounter::Restore(snapshot::SnapshotReader& r) {
+  CYCLESTREAM_CHECK_EQ(edge_events_, 0u);
+  const std::uint64_t prefix_size = r.ReadU64();
+  const std::uint64_t seed = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (prefix_size != options_.prefix_size || seed != options_.seed) {
+    return Status::FailedPrecondition(
+        "random-order triangle snapshot options mismatch");
+  }
+  edge_events_ = r.ReadU64();
+  detections_ = r.ReadU64();
+  snapshot::ReadVec(r, prefix_edges_,
+                    [](snapshot::SnapshotReader& vr) { return vr.ReadU64(); });
+  if (!r.status().ok()) return r.status();
+  for (EdgeKey key : prefix_edges_) IndexPrefixEdge(key);
+  return r.status();
+}
+
+RandomOrderTriangleResult RandomOrderTriangleCounter::result() const {
+  RandomOrderTriangleResult res;
+  res.edge_count = edge_events_;
+  res.detections = detections_;
+  res.prefix_edges = prefix_edges_.size();
+
+  const double m = static_cast<double>(edge_events_);
+  const double s = static_cast<double>(prefix_edges_.size());
+  if (edge_events_ <= options_.prefix_size) {
+    // Whole stream fit in the prefix: the stored graph is the input graph,
+    // so count its triangles exactly (each is found once per edge → /3).
+    std::uint64_t closures = 0;
+    for (EdgeKey key : prefix_edges_) {
+      closures += CountCommonPrefixNeighbors(EdgeKeyLo(key), EdgeKeyHi(key));
+    }
+    res.detections = closures / 3;
+    res.estimate = static_cast<double>(res.detections);
+    return res;
+  }
+  if (prefix_edges_.size() < 2) return res;  // no wedge fits: estimate 0
+  res.scale = m * (m - 1.0) * (m - 2.0) / (3.0 * s * (s - 1.0) * (m - s));
+  res.estimate = res.scale * static_cast<double>(detections_);
+  return res;
+}
+
+}  // namespace core
+}  // namespace cyclestream

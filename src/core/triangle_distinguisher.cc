@@ -28,13 +28,6 @@ obs::AccountedVector<EdgeKey>& TriangleDistinguisher::Watchers(VertexId v) {
 
 void TriangleDistinguisher::BeginPass(int pass) { pass_ = pass; }
 
-void TriangleDistinguisher::OnPair(VertexId u, VertexId v) { HandlePair(u, v); }
-
-void TriangleDistinguisher::OnListBatch(VertexId u,
-                               std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void TriangleDistinguisher::HandlePair(VertexId u, VertexId v) {
   if (pass_ == 0) {
     ++pair_events_;

@@ -39,15 +39,13 @@ struct TriangleDistinguisherResult {
 };
 
 /// Two-pass distinguisher (second pass may use any list order).
-class TriangleDistinguisher final : public stream::StreamAlgorithm {
+class TriangleDistinguisher final : public stream::PairDispatch<TriangleDistinguisher> {
  public:
   explicit TriangleDistinguisher(const TriangleDistinguisherOptions& options);
 
   int passes() const override { return 2; }
 
   void BeginPass(int pass) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
@@ -66,8 +64,9 @@ class TriangleDistinguisher final : public stream::StreamAlgorithm {
   Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<TriangleDistinguisher>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   struct EdgeState {

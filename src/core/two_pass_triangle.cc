@@ -220,15 +220,6 @@ void TwoPassTriangleCounter::BeginPass(int pass) {
 
 void TwoPassTriangleCounter::BeginList(VertexId /*u*/) {}
 
-void TwoPassTriangleCounter::OnPair(VertexId u, VertexId v) {
-  HandlePair(u, v);
-}
-
-void TwoPassTriangleCounter::OnListBatch(VertexId u,
-                                         std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void TwoPassTriangleCounter::HandlePair(VertexId u, VertexId v) {
   if (pass_ == 0) {
     ++pair_events_;

@@ -74,7 +74,7 @@ struct TwoPassTriangleResult {
 
 /// Streaming implementation of Theorem 3.7. Requires two passes in the same
 /// order. Construct, run via stream::RunPasses, then read result().
-class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
+class TwoPassTriangleCounter final : public stream::PairDispatch<TwoPassTriangleCounter> {
  public:
   explicit TwoPassTriangleCounter(const TwoPassTriangleOptions& options);
 
@@ -83,8 +83,6 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
 
   void BeginPass(int pass) override;
   void BeginList(VertexId u) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   void EndList(VertexId u) override;
   void EndPass(int pass) override;
 
@@ -146,8 +144,9 @@ class TwoPassTriangleCounter final : public stream::StreamAlgorithm {
     obs::AccountedVector<Subscriber> subscribers;
   };
 
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Identical mutation sequence either way.
+  friend class stream::PairDispatch<TwoPassTriangleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries.
   void HandlePair(VertexId u, VertexId v);
 
   EdgeKey EdgeKeyOfSlot(const TriEntry& entry, int slot) const;

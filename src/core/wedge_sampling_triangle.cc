@@ -65,15 +65,6 @@ void WedgeSamplingTriangleCounter::BeginList(VertexId u) {
   current_list_.clear();
 }
 
-void WedgeSamplingTriangleCounter::OnPair(VertexId u, VertexId v) {
-  HandlePair(u, v);
-}
-
-void WedgeSamplingTriangleCounter::OnListBatch(VertexId u,
-                                               std::span<const VertexId> list) {
-  for (VertexId v : list) HandlePair(u, v);
-}
-
 void WedgeSamplingTriangleCounter::HandlePair(VertexId u, VertexId v) {
   // Closure check first: the arriving pair {u, v} closes watched wedges
   // with endpoint set {u, v}. (A wedge sampled in this same list has its

@@ -45,15 +45,13 @@ struct WedgeSamplingResult {
 
 /// Single-pass reservoir wedge sampler; exact when the reservoir holds all
 /// P2 wedges.
-class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
+class WedgeSamplingTriangleCounter final : public stream::PairDispatch<WedgeSamplingTriangleCounter> {
  public:
   explicit WedgeSamplingTriangleCounter(const WedgeSamplingOptions& options);
 
   int passes() const override { return 1; }
 
   void BeginList(VertexId u) override;
-  void OnPair(VertexId u, VertexId v) override;
-  void OnListBatch(VertexId u, std::span<const VertexId> list) override;
   std::size_t CurrentSpaceBytes() const override;
   const obs::MemoryDomain* memory_domain() const override {
     return &space_domain_;
@@ -73,9 +71,10 @@ class WedgeSamplingTriangleCounter final : public stream::StreamAlgorithm {
     bool closed = false;
   };
 
-  // OnPair's body; non-virtual so OnListBatch pays one virtual call per
-  // list instead of per pair. Wedge offers (and thus rng_ draws) happen in
-  // the identical sequence under both deliveries.
+  friend class stream::PairDispatch<WedgeSamplingTriangleCounter>;
+
+  // Per-element mutation, driven by PairDispatch for both deliveries —
+  // wedge offers (and thus rng_ draws) happen in the identical sequence.
   void HandlePair(VertexId u, VertexId v);
 
   void OfferWedge(const Wedge& w);

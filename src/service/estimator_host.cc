@@ -7,6 +7,7 @@
 #include "core/four_cycle.h"
 #include "core/one_pass_four_cycle.h"
 #include "core/one_pass_triangle.h"
+#include "core/random_order_triangle.h"
 #include "core/triangle_distinguisher.h"
 #include "core/two_pass_triangle.h"
 #include "core/wedge_sampling_triangle.h"
@@ -42,6 +43,7 @@ const char* KindName(EstimatorKind kind) {
     case EstimatorKind::kWedgeSamplingTriangle: return "wedge-sampling";
     case EstimatorKind::kOnePassFourCycle: return "one-pass-four-cycle";
     case EstimatorKind::kTwoPassFourCycle: return "two-pass-four-cycle";
+    case EstimatorKind::kRandomOrderTriangle: return "random-order-triangle";
   }
   return "unknown";
 }
@@ -102,6 +104,14 @@ StatusOr<HostedEstimator> MakeHosted(const EstimatorSpec& spec) {
       options.seed = spec.seed;
       hosted.algo = std::make_unique<core::TwoPassFourCycleCounter>(options);
       hosted.estimate = &EstimateOf<core::TwoPassFourCycleCounter>;
+      return hosted;
+    }
+    case EstimatorKind::kRandomOrderTriangle: {
+      core::RandomOrderTriangleOptions options;
+      options.prefix_size = slots;
+      options.seed = spec.seed;
+      hosted.algo = std::make_unique<core::RandomOrderTriangleCounter>(options);
+      hosted.estimate = &EstimateOf<core::RandomOrderTriangleCounter>;
       return hosted;
     }
   }

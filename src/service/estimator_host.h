@@ -32,13 +32,15 @@ enum class EstimatorKind : std::uint8_t {
   kWedgeSamplingTriangle = 4,
   kOnePassFourCycle = 5,
   kTwoPassFourCycle = 6,
+  kRandomOrderTriangle = 7,
 };
 
-inline constexpr int kEstimatorKinds = 7;
+inline constexpr int kEstimatorKinds = 8;
 
 /// Flat construction recipe for a hosted estimator. `slots` is the kind's
-/// space knob (edge-sample size m', or reservoir capacity for wedge
-/// sampling; ignored by the exact counter), `seed` its hash/sampling seed.
+/// space knob (edge-sample size m', reservoir capacity for wedge sampling,
+/// or prefix size for the random-order counter; ignored by the exact
+/// counter), `seed` its hash/sampling seed.
 struct EstimatorSpec {
   EstimatorKind kind = EstimatorKind::kExactStreamTriangle;
   std::uint64_t slots = 1;

@@ -11,7 +11,8 @@ namespace stream {
 
 AdjacencyListStream::AdjacencyListStream(const Graph* graph,
                                          std::uint64_t seed)
-    : graph_(graph) {
+    : graph_(graph),
+      descriptor_{StreamModel::kAdjacencyList, seed, 0.0} {
   CYCLESTREAM_CHECK(graph != nullptr);
   list_order_.resize(graph_->num_vertices());
   std::iota(list_order_.begin(), list_order_.end(), 0);
@@ -23,7 +24,9 @@ AdjacencyListStream::AdjacencyListStream(const Graph* graph,
 AdjacencyListStream::AdjacencyListStream(const Graph* graph,
                                          std::vector<VertexId> list_order,
                                          std::uint64_t seed)
-    : graph_(graph), list_order_(std::move(list_order)) {
+    : graph_(graph),
+      descriptor_{StreamModel::kAdjacencyList, seed, 0.0},
+      list_order_(std::move(list_order)) {
   CYCLESTREAM_CHECK(graph != nullptr);
   // The order must be a permutation of all vertices: each list appears once.
   std::vector<bool> seen(graph_->num_vertices(), false);

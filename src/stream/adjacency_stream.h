@@ -17,6 +17,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "stream/model.h"
 
 namespace cyclestream {
 namespace stream {
@@ -35,6 +36,10 @@ class AdjacencyListStream {
                       std::uint64_t seed);
 
   const Graph& graph() const { return *graph_; }
+
+  /// The model this stream implements: plain adjacency-list order, with the
+  /// seed its list/within-list permutations were derived from.
+  const ModelDescriptor& descriptor() const { return descriptor_; }
 
   /// Vertices in the order their adjacency lists appear (empty lists
   /// included; they emit no pairs).
@@ -71,6 +76,7 @@ class AdjacencyListStream {
   void BuildShuffledLists(std::uint64_t seed);
 
   const Graph* graph_;
+  ModelDescriptor descriptor_;
   std::vector<VertexId> list_order_;
   // Within-list orders, stored contiguously with per-vertex offsets.
   std::vector<VertexId> list_entries_;
@@ -89,6 +95,16 @@ class PairwiseOnly {
 
   const Graph& graph() const { return stream_->graph(); }
   std::size_t stream_length() const { return stream_->stream_length(); }
+
+  /// Forwards the wrapped stream's model: forcing per-pair delivery does
+  /// not change which contract applies.
+  ModelDescriptor descriptor() const { return DescriptorOf(*stream_); }
+
+  auto MakeContract() const
+    requires requires(const StreamT& s) { s.MakeContract(); }
+  {
+    return stream_->MakeContract();
+  }
 
   void ResetPasses() const {
     if constexpr (requires { stream_->ResetPasses(); }) {

@@ -21,6 +21,7 @@
 #include "graph/types.h"
 #include "obs/accounting.h"
 #include "snapshot/snapshot.h"
+#include "stream/model.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -52,6 +53,16 @@ class StreamAlgorithm {
   /// True if passes after the first must replay the first pass's order.
   /// (Always legal for the driver to replay; this documents the requirement.)
   virtual bool requires_same_order() const { return false; }
+
+  /// Stream models this algorithm's analysis is valid in. The driver
+  /// refuses to run an algorithm over a stream whose declared model it
+  /// does not accept (`RunPasses` CHECKs; the checked runners return a
+  /// typed kFailedPrecondition). Default: adjacency-list order only — the
+  /// historical assumption every Table 1 estimator was written under.
+  /// Edge-order algorithms override (see stream/model.h's IsEdgeModel).
+  virtual bool AcceptsModel(StreamModel model) const {
+    return model == StreamModel::kAdjacencyList;
+  }
 
   virtual void BeginPass(int pass) { (void)pass; }
   virtual void BeginList(VertexId u) { (void)u; }
@@ -103,7 +114,30 @@ class StreamAlgorithm {
   }
 };
 
+/// CRTP mixin implementing the two-level delivery for algorithms whose
+/// batch handling is exactly "one HandlePair per element" — which is every
+/// estimator here. `Derived` implements `HandlePair(VertexId, VertexId)`
+/// (private is fine with a `friend stream::PairDispatch<Derived>;`) and the
+/// mixin provides matching OnPair/OnListBatch overrides, making the
+/// bit-identity contract between the two paths true by construction instead
+/// of by seven hand-copied loop bodies. The overrides are `final`: an
+/// algorithm with a genuinely different batch strategy should derive from
+/// StreamAlgorithm directly.
+template <typename Derived>
+class PairDispatch : public StreamAlgorithm {
+ public:
+  void OnPair(VertexId u, VertexId v) final {
+    static_cast<Derived*>(this)->HandlePair(u, v);
+  }
+
+  void OnListBatch(VertexId u, std::span<const VertexId> list) final {
+    auto* self = static_cast<Derived*>(this);
+    for (VertexId v : list) self->HandlePair(u, v);
+  }
+};
+
 }  // namespace stream
 }  // namespace cyclestream
 
 #endif  // CYCLESTREAM_STREAM_ALGORITHM_H_
+

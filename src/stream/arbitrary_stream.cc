@@ -5,13 +5,27 @@
 namespace cyclestream {
 namespace stream {
 
+void EdgeStreamBase::FinalizeOrder() {
+  CYCLESTREAM_CHECK(run_offsets_.empty());  // once only
+  run_entries_.reserve(order_.size());
+  for (const Edge& e : order_) {
+    if (run_vertex_.empty() || run_vertex_.back() != e.u) {
+      run_vertex_.push_back(e.u);
+      run_offsets_.push_back(run_entries_.size());
+    }
+    run_entries_.push_back(e.v);
+  }
+  run_offsets_.push_back(run_entries_.size());
+}
+
 ArbitraryOrderStream::ArbitraryOrderStream(const Graph* graph,
                                            std::uint64_t seed)
-    : graph_(graph) {
-  CYCLESTREAM_CHECK(graph != nullptr);
+    : EdgeStreamBase(graph,
+                     ModelDescriptor{StreamModel::kArbitrary, seed, 0.0}) {
   order_ = graph_->edges();
   Rng rng(seed);
   rng.Shuffle(order_.data(), order_.size());
+  FinalizeOrder();
 }
 
 }  // namespace stream

@@ -1,151 +1,123 @@
-// The arbitrary-order (single-copy) insertion stream model.
+// The single-copy edge-stream substrates (arbitrary order here; the
+// random-order / ε-perturbed variants live in stream/random_order_stream.h
+// and share `EdgeStreamBase`).
 //
 // The paper's Section 1.1 contrasts the adjacency-list model against the
 // classic arbitrary-order model, where each edge appears exactly once at an
 // arbitrary position and no grouping promise holds. In that model sublinear
 // one-pass triangle counting is impossible without extra parameters (Ω(m)
 // to distinguish 0 from T < n triangles [Braverman et al.]), which is what
-// makes the adjacency-list results interesting. This substrate exists so
+// makes the adjacency-list results interesting. These substrates exist so
 // the model gap is measurable: bench/model_comparison runs matched
-// estimators over both models on the same graphs.
+// estimators over all models on the same graphs.
+//
+// Unified delivery: edge streams speak the SAME two-level event grammar as
+// AdjacencyListStream — BeginList(u) / OnPair(u, v) or OnList(u, span) /
+// EndList(u) — by grouping maximal runs of consecutive edges sharing a
+// first endpoint (canonical u < v orientation) into "u-runs". A u-run is
+// packaging, not a promise: in a random permutation nearly every run has
+// length 1, so the driver's run-boundary space samples are effectively
+// per-edge, and the per-model contract (stream/contract.h) never checks
+// contiguity on these streams. The payoff is that every driver entry point,
+// sink decorator, checkpoint path, and the estimator service consume edge
+// streams with zero special-casing — the PR-4 `OnEdgeBatch` side channel is
+// gone.
 
 #ifndef CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
 #define CYCLESTREAM_STREAM_ARBITRARY_STREAM_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <span>
-#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/types.h"
-#include "obs/accounting.h"
+#include "stream/contract.h"
+#include "stream/model.h"
 #include "util/check.h"
 
 namespace cyclestream {
 namespace stream {
 
-/// Interface for algorithms over arbitrary-order edge streams.
-///
-/// Mirrors StreamAlgorithm's two-level delivery: edges arrive either one
-/// OnEdge(u, v) call at a time or as a single OnEdgeBatch(span) call per
-/// replayed chunk. The default OnEdgeBatch loops OnEdge, and overriders are
-/// bound by the same bit-identity contract as OnListBatch (stream/
-/// algorithm.h): identical estimate and identical CurrentSpaceBytes() after
-/// every edge of the span.
-class EdgeStreamAlgorithm {
+/// Shared substrate for the edge-order models: a fixed edge permutation
+/// replayed pass after pass through the unified two-level event grammar.
+/// Subclasses build `order_` (and their descriptor) then call
+/// `FinalizeOrder()` once.
+class EdgeStreamBase {
  public:
-  virtual ~EdgeStreamAlgorithm() = default;
-
-  virtual int passes() const = 0;
-  virtual void BeginPass(int pass) { (void)pass; }
-  /// One stream element: the undirected edge {u, v}, seen exactly once.
-  virtual void OnEdge(VertexId u, VertexId v) = 0;
-  /// A contiguous run of stream elements — one call replacing
-  /// edges.size() OnEdge calls.
-  virtual void OnEdgeBatch(std::span<const Edge> edges) {
-    for (const Edge& e : edges) OnEdge(e.u, e.v);
-  }
-  virtual void EndPass(int pass) { (void)pass; }
-  virtual std::size_t CurrentSpaceBytes() const = 0;
-  /// Accounting domain for this algorithm's containers (nullptr = unaudited);
-  /// same contract as StreamAlgorithm::memory_domain().
-  virtual const obs::MemoryDomain* memory_domain() const { return nullptr; }
-};
-
-/// A graph materialized as a replayable arbitrary-order edge stream.
-class ArbitraryOrderStream {
- public:
-  /// Edge order shuffled deterministically from `seed`.
-  ArbitraryOrderStream(const Graph* graph, std::uint64_t seed);
-
   const Graph& graph() const { return *graph_; }
+
+  /// Number of elements in one pass (m — each edge exactly once).
   std::size_t stream_length() const { return order_.size(); }
 
   /// The edges in stream order.
   const std::vector<Edge>& order() const { return order_; }
 
-  /// Replays one pass. Same capability detection as
-  /// AdjacencyListStream::ReplayPass: a sink exposing OnEdgeBatch receives
-  /// the whole pass as one span (the model has no list boundaries to split
-  /// on); other sinks get the per-edge fn.OnEdge(u, v) loop.
+  /// The model this stream implements.
+  const ModelDescriptor& descriptor() const { return descriptor_; }
+
+  /// The per-model contract for this stream: exactly-once-per-edge checks,
+  /// plus declared-permutation checks when the model pins its order.
+  /// The stream must outlive the returned contract.
+  EdgeStreamContract MakeContract() const {
+    return EdgeStreamContract(
+        graph_, descriptor_,
+        HasDeclaredOrder(descriptor_.model) ? &order_ : nullptr);
+  }
+
+  /// Replays one pass through the unified grammar: for each u-run,
+  /// fn.BeginList(u), the run's elements as OnPair(u, v) calls — or one
+  /// OnList(u, span) when the sink supports batching — then fn.EndList(u).
+  /// Each element (u, v) is the undirected edge {u, v}, seen exactly once
+  /// per pass, with u < v.
   template <typename Sink>
   void ReplayPass(Sink&& fn) const {
-    if constexpr (requires { fn.OnEdgeBatch(std::span<const Edge>{}); }) {
-      fn.OnEdgeBatch(std::span<const Edge>(order_));
-    } else {
-      for (const Edge& e : order_) fn.OnEdge(e.u, e.v);
+    for (std::size_t run = 0; run + 1 < run_offsets_.size(); ++run) {
+      const VertexId u = run_vertex_[run];
+      const std::span<const VertexId> elems(
+          run_entries_.data() + run_offsets_[run],
+          run_offsets_[run + 1] - run_offsets_[run]);
+      fn.BeginList(u);
+      if constexpr (requires { fn.OnList(u, elems); }) {
+        fn.OnList(u, elems);
+      } else {
+        for (VertexId v : elems) fn.OnPair(u, v);
+      }
+      fn.EndList(u);
     }
   }
+
+ protected:
+  EdgeStreamBase(const Graph* graph, ModelDescriptor descriptor)
+      : graph_(graph), descriptor_(descriptor) {
+    CYCLESTREAM_CHECK(graph != nullptr);
+    CYCLESTREAM_CHECK(IsEdgeModel(descriptor.model));
+  }
+
+  /// Flattens `order_` into u-runs (maximal consecutive subsequences with
+  /// the same first endpoint). Call exactly once, after `order_` is final.
+  void FinalizeOrder();
+
+  const Graph* graph_;
+  ModelDescriptor descriptor_;
+  std::vector<Edge> order_;
 
  private:
-  const Graph* graph_;
-  std::vector<Edge> order_;
+  // u-runs, flattened: run r covers second endpoints
+  // run_entries_[run_offsets_[r] .. run_offsets_[r+1]) under first
+  // endpoint run_vertex_[r].
+  std::vector<VertexId> run_vertex_;
+  std::vector<VertexId> run_entries_;
+  std::vector<std::size_t> run_offsets_;
 };
 
-/// Run report mirroring stream::RunReport for edge streams. There is no
-/// strict mode here, so `passes` is both requested and completed.
-struct EdgeRunReport {
-  /// Peak of the algorithm's self-reported CurrentSpaceBytes().
-  std::size_t reported_peak_bytes = 0;
-  /// Peak of allocator-measured live bytes (0 when memory_domain() is null).
-  std::size_t audited_peak_bytes = 0;
-  /// Largest |audited - reported| over all samples (0 when unaudited).
-  std::size_t max_divergence_bytes = 0;
-  std::size_t edges_processed = 0;
-  int passes = 0;
+/// A graph materialized as a replayable arbitrary-order edge stream: each
+/// edge exactly once, positions shuffled deterministically from `seed`, no
+/// order promise declared (the contract checks exactly-once only).
+class ArbitraryOrderStream final : public EdgeStreamBase {
+ public:
+  ArbitraryOrderStream(const Graph* graph, std::uint64_t seed);
 };
-
-/// Runs all passes of `algorithm` over `stream`, sampling space after every
-/// edge (the model has no list boundaries). `AlgoT` is deduced like in
-/// stream::RunPasses: a concrete (final) algorithm pointer devirtualizes
-/// the per-edge calls; an `EdgeStreamAlgorithm*` keeps them virtual.
-/// Because space is sampled after *every* edge, the metering sink consumes
-/// batches by looping its own per-edge handler — results are bit-identical
-/// to per-edge delivery by construction.
-template <typename AlgoT>
-EdgeRunReport RunEdgePasses(const ArbitraryOrderStream& stream,
-                            AlgoT* algorithm) {
-  static_assert(std::is_base_of_v<EdgeStreamAlgorithm, AlgoT>);
-  CYCLESTREAM_CHECK(algorithm != nullptr);
-  EdgeRunReport report;
-  report.passes = algorithm->passes();
-  CYCLESTREAM_CHECK_GE(report.passes, 1);
-  struct Sink {
-    AlgoT* algo;
-    EdgeRunReport* report;
-    const obs::MemoryDomain* domain;
-    void OnEdge(VertexId u, VertexId v) {
-      algo->OnEdge(u, v);
-      ++report->edges_processed;
-      const std::size_t reported = algo->CurrentSpaceBytes();
-      report->reported_peak_bytes =
-          std::max(report->reported_peak_bytes, reported);
-      if (domain != nullptr) {
-        const std::size_t audited = domain->live_bytes();
-        report->audited_peak_bytes =
-            std::max(report->audited_peak_bytes, audited);
-        const std::size_t divergence =
-            audited > reported ? audited - reported : reported - audited;
-        report->max_divergence_bytes =
-            std::max(report->max_divergence_bytes, divergence);
-      }
-    }
-    void OnEdgeBatch(std::span<const Edge> edges) {
-      // Per-edge space sampling is the report's contract; the batch entry
-      // point only saves the stream-side dispatch.
-      for (const Edge& e : edges) OnEdge(e.u, e.v);
-    }
-  };
-  Sink sink{algorithm, &report, algorithm->memory_domain()};
-  for (int pass = 0; pass < report.passes; ++pass) {
-    algorithm->BeginPass(pass);
-    stream.ReplayPass(sink);
-    algorithm->EndPass(pass);
-  }
-  return report;
-}
 
 }  // namespace stream
 }  // namespace cyclestream

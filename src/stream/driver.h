@@ -1,19 +1,34 @@
-// Multi-pass driver: runs a StreamAlgorithm over an adjacency-list stream
-// and measures its peak working space.
+// Multi-pass driver: runs a StreamAlgorithm over a stream of any model
+// (adjacency-list, arbitrary, random-order, ε-perturbed) and measures its
+// peak working space.
+//
+// Model awareness: every stream declares a `ModelDescriptor`
+// (stream/model.h; plain adjacency-list when it declares nothing) and every
+// algorithm declares which models it accepts (`AcceptsModel`). The driver
+// enforces the match — `RunPasses` CHECK-aborts on a mismatch, the checked
+// runners return a typed kFailedPrecondition — so an adjacency-list
+// estimator can never silently consume an edge stream whose promises its
+// analysis does not hold under. The checked runners validate with the
+// *model's own* contract via `MakeContractForStream`: adjacency streams get
+// `AdjacencyListContract` (contiguity + replay), edge streams get
+// `EdgeStreamContract` (exactly-once + declared-permutation checks).
 //
 // Two modes:
 //   - `RunPasses` trusts the stream (the historical behaviour): the stream
 //     is assumed to honour the model contract, and a malformed stream
 //     produces an arbitrary estimate or a CHECK abort inside the algorithm.
-//   - `RunPassesChecked` is the opt-in strict mode: a `StreamValidator`
+//   - `RunPassesChecked` is the opt-in strict mode: the per-model contract
 //     observes every event before the algorithm does, the algorithm stops
 //     receiving elements at the first contract violation, and the run
 //     returns an error `Status` (with the violation's stream position)
 //     instead of a wrong answer.
 //
-// Both are templates over the stream type so `AdjacencyListStream` and
-// `FaultInjectingStream` (or any type with `graph()` / `ReplayPass`) drive
-// identically. They are also templates over the algorithm type: called with
+// Both are templates over the stream type so `AdjacencyListStream`,
+// `ArbitraryOrderStream`, `RandomOrderStream`, and `FaultInjectingStream`
+// (or any type with `graph()` / `ReplayPass` speaking the two-level event
+// grammar) drive identically — edge streams package their elements as
+// u-runs (stream/arbitrary_stream.h), so there is no separate edge-stream
+// driver. They are also templates over the algorithm type: called with
 // a concrete (ideally `final`) algorithm pointer, the metering sinks bind
 // the callbacks statically — one devirtualized OnListBatch per adjacency
 // list instead of 2m virtual OnPair calls per pass. Called through a
@@ -75,6 +90,7 @@
 #include "snapshot/snapshot.h"
 #include "stream/adjacency_stream.h"
 #include "stream/algorithm.h"
+#include "stream/model.h"
 #include "stream/validator.h"
 #include "util/check.h"
 #include "util/status.h"
@@ -303,14 +319,17 @@ class MeteredSink {
   VertexId window_start_vertex_ = 0;
 };
 
-// MeteredSink with a validator in front: the validator sees every event
-// first, and the algorithm stops receiving events at the first violation so
-// it is never fed contract-breaking input.
-template <typename AlgoT = StreamAlgorithm>
+// MeteredSink with a per-model contract in front: the contract sees every
+// event first, and the algorithm stops receiving events at the first
+// violation so it is never fed contract-breaking input. ValidatorT is the
+// concrete contract type (AdjacencyListContract, EdgeStreamContract, ...)
+// so its per-event calls bind statically.
+template <typename AlgoT = StreamAlgorithm,
+          typename ValidatorT = StreamValidator>
 class ValidatedSink {
  public:
   ValidatedSink(AlgoT* algorithm, RunReport* report,
-                StreamValidator* validator, const TraceOptions& trace = {})
+                ValidatorT* validator, const TraceOptions& trace = {})
       : inner_(algorithm, report, trace),
         validator_(validator),
         spans_(trace.spans),
@@ -369,7 +388,7 @@ class ValidatedSink {
 
  private:
   MeteredSink<AlgoT> inner_;
-  StreamValidator* validator_;
+  ValidatorT* validator_;
   obs::TraceSession* spans_;
   std::size_t list_span_stride_;
   std::size_t lists_in_window_ = 0;
@@ -380,6 +399,17 @@ class ValidatedSink {
 template <typename StreamT>
 void RewindIfResettable(const StreamT& stream) {
   if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
+}
+
+// Model-compatibility gate: OK iff the algorithm declares it accepts the
+// stream's declared model.
+template <typename StreamT, typename AlgoT>
+Status CheckModelAccepted(const StreamT& stream, const AlgoT* algorithm) {
+  const ModelDescriptor descriptor = DescriptorOf(stream);
+  if (algorithm->AcceptsModel(descriptor.model)) return Status::Ok();
+  return Status::FailedPrecondition(
+      std::string("algorithm does not accept the ") +
+      StreamModelName(descriptor.model) + " stream model");
 }
 
 // RunReport codec for checkpoint payloads: the report travels inside the
@@ -426,11 +456,12 @@ inline void RestoreReport(snapshot::SnapshotReader& r, RunReport* report) {
 // No checkpoint is offered once the validator has flagged a violation
 // (resuming from a known-bad stream position would be meaningless; the last
 // good snapshot predates the violation by construction).
-template <typename AlgoT, typename CheckpointFn>
+template <typename AlgoT, typename CheckpointFn,
+          typename ValidatorT = StreamValidator>
 class CheckpointingSink {
  public:
   CheckpointingSink(AlgoT* algorithm, RunReport* report,
-                    StreamValidator* validator, CheckpointFn* on_checkpoint,
+                    ValidatorT* validator, CheckpointFn* on_checkpoint,
                     const TraceOptions& trace = {})
       : inner_(algorithm, report, validator, trace),
         algorithm_(algorithm),
@@ -484,10 +515,10 @@ class CheckpointingSink {
   bool stopped() const { return stopped_; }
 
  private:
-  ValidatedSink<AlgoT> inner_;
+  ValidatedSink<AlgoT, ValidatorT> inner_;
   AlgoT* algorithm_;
   RunReport* report_;
-  StreamValidator* validator_;
+  ValidatorT* validator_;
   CheckpointFn* on_checkpoint_;
   int pass_ = 0;
   std::size_t lists_done_ = 0;
@@ -576,6 +607,7 @@ RunReport RunPasses(const StreamT& stream, AlgoT* algorithm,
                     const TraceOptions& trace = {}) {
   static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
+  CYCLESTREAM_CHECK(internal::CheckModelAccepted(stream, algorithm).ok());
   internal::RewindIfResettable(stream);
   RunReport report;
   report.passes_requested = algorithm->passes();
@@ -607,12 +639,17 @@ StatusOr<RunReport> RunPassesChecked(const StreamT& stream,
                                      const TraceOptions& trace = {}) {
   static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
+  if (Status model_check = internal::CheckModelAccepted(stream, algorithm);
+      !model_check.ok()) {
+    return model_check;
+  }
   internal::RewindIfResettable(stream);
   RunReport report;
   report.passes_requested = algorithm->passes();
   CYCLESTREAM_CHECK_GE(report.passes_requested, 1);
-  StreamValidator validator(&stream.graph());
-  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator, trace);
+  auto validator = MakeContractForStream(stream);
+  internal::ValidatedSink<AlgoT, decltype(validator)> sink(
+      algorithm, &report, &validator, trace);
   for (int pass = 0; pass < report.passes_requested; ++pass) {
     sink.BeginPass(pass);
     validator.BeginPass(pass);
@@ -650,13 +687,19 @@ CheckpointedRun RunPassesCheckedWithCheckpoints(
     const TraceOptions& trace = {}) {
   static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
-  internal::RewindIfResettable(stream);
   CheckpointedRun result;
+  if (Status model_check = internal::CheckModelAccepted(stream, algorithm);
+      !model_check.ok()) {
+    result.status = std::move(model_check);
+    return result;
+  }
+  internal::RewindIfResettable(stream);
   result.report.passes_requested = algorithm->passes();
   CYCLESTREAM_CHECK_GE(result.report.passes_requested, 1);
-  StreamValidator validator(&stream.graph());
+  auto validator = MakeContractForStream(stream);
   auto* callback = &on_checkpoint;
-  internal::CheckpointingSink<AlgoT, std::remove_reference_t<CheckpointFn>>
+  internal::CheckpointingSink<AlgoT, std::remove_reference_t<CheckpointFn>,
+                              decltype(validator)>
       sink(algorithm, &result.report, &validator, callback, trace);
   for (int pass = 0; pass < result.report.passes_requested; ++pass) {
     sink.BeginPass(pass);
@@ -704,6 +747,10 @@ StatusOr<RunReport> ResumePassesChecked(
     const TraceOptions& trace = {}) {
   static_assert(std::is_base_of_v<StreamAlgorithm, AlgoT>);
   CYCLESTREAM_CHECK(algorithm != nullptr);
+  if (Status model_check = internal::CheckModelAccepted(stream, algorithm);
+      !model_check.ok()) {
+    return model_check;
+  }
   StatusOr<snapshot::SnapshotReader> reader =
       snapshot::SnapshotReader::Open(snapshot_bytes);
   if (!reader.ok()) return reader.status();
@@ -719,7 +766,7 @@ StatusOr<RunReport> ResumePassesChecked(
     return Status::FailedPrecondition(
         "checkpoint pass bookkeeping does not match the algorithm");
   }
-  StreamValidator validator(&stream.graph());
+  auto validator = MakeContractForStream(stream);
   Status restored = validator.Restore(*reader);
   if (!restored.ok()) return restored;
   restored = algorithm->Restore(*reader);
@@ -735,7 +782,8 @@ StatusOr<RunReport> ResumePassesChecked(
     for (int pass = 0; pass < resume_pass; ++pass) stream.ReplayPass(discard);
   }
 
-  internal::ValidatedSink<AlgoT> sink(algorithm, &report, &validator, trace);
+  internal::ValidatedSink<AlgoT, decltype(validator)> sink(
+      algorithm, &report, &validator, trace);
   // The resume pass was already begun before the crash: restore its tracing
   // context without re-running BeginPass on the validator or algorithm, and
   // skip the lists the checkpoint already covers.

@@ -1,5 +1,6 @@
 #include "stream/fault_injection.h"
 
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -21,6 +22,43 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+bool FaultAppliesTo(FaultKind kind, StreamModel model) {
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDropPair:
+    case FaultKind::kDuplicatePair:
+    case FaultKind::kTruncatePass:
+    case FaultKind::kReplayDivergence:
+      return true;  // any element sequence can lose/repeat/cut/permute
+    case FaultKind::kSplitList:
+    case FaultKind::kDropReverseEdge:
+      // Need adjacency-list structure: contiguous lists / both pair copies.
+      return model == StreamModel::kAdjacencyList;
+  }
+  return false;
+}
+
+Status FaultSpec::ValidateFor(StreamModel model) const {
+  if (pass < 0) {
+    return Status::InvalidArgument("fault pass must be >= 0");
+  }
+  if (!FaultAppliesTo(kind, model)) {
+    return Status::InvalidArgument(
+        std::string(FaultKindName(kind)) +
+        " fault does not apply to the " + StreamModelName(model) +
+        " stream model");
+  }
+  if (kind == FaultKind::kReplayDivergence && pass == 0 &&
+      !HasDeclaredOrder(model)) {
+    return Status::InvalidArgument(
+        std::string("replay-divergence at pass 0 is undetectable in the ") +
+        StreamModelName(model) +
+        " stream model: pass 0 defines the order; only declared-order "
+        "models (random-order, adversarial-perturbed) pin pass 0 by seed");
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 // Lists with at least `min_degree` entries, in stream order.
@@ -34,6 +72,14 @@ std::vector<VertexId> EligibleLists(const AdjacencyListStream& base,
 }
 
 }  // namespace
+
+StatusOr<FaultInjectingStream> FaultInjectingStream::Make(
+    const AdjacencyListStream* base, FaultSpec spec) {
+  CYCLESTREAM_CHECK(base != nullptr);
+  Status valid = spec.ValidateFor(StreamModel::kAdjacencyList);
+  if (!valid.ok()) return valid;
+  return FaultInjectingStream(base, spec);
+}
 
 FaultInjectingStream::FaultInjectingStream(const AdjacencyListStream* base,
                                            FaultSpec spec)

@@ -1,29 +1,44 @@
-// Deliberate model violations: a fault-injecting stream decorator.
+// Deliberate model violations: fault-injecting stream decorators.
 //
 // `FaultInjectingStream` wraps an `AdjacencyListStream` and replays it with
-// one seeded, deterministic violation of the adjacency-list contract — the
-// exact violation classes `stream::StreamValidator` detects. It exists to
+// one seeded, deterministic violation of the adjacency-list contract;
+// `EdgeFaultInjectingStream` does the same for the edge-order models
+// (arbitrary / random-order / ε-perturbed). These are the exact violation
+// classes the per-model contracts (stream/contract.h) detect. They exist to
 // make the model boundary executable: tests inject each fault and assert the
-// validator flags it (and nothing else), benches measure what estimators do
+// contract flags it (and nothing else), benches measure what estimators do
 // when the model's promises bend, and `RunPassesChecked` demonstrates
 // recoverable rejection instead of a wrong estimate or a CHECK abort.
 //
-// The decorator mirrors the `AdjacencyListStream` replay interface
-// (`graph()`, `stream_length()`, `ReplayPass(sink)`) so it drops into the
-// driver and the validator unchanged. Faults that depend on the pass number
-// (truncating pass 1, diverging replay) key off an internal pass counter
-// advanced by each `ReplayPass` call; `ResetPasses()` rewinds it so one
-// decorator can be replayed from scratch.
+// Model applicability is itself part of the contract: each fault class
+// declares which models it applies to (`FaultAppliesTo`), and
+// `FaultSpec::ValidateFor` / the `Make` factories reject model-inapplicable
+// injections with a typed kInvalidArgument Status — there is no adjacency
+// list to split in an edge stream, and silently injecting nothing would let
+// a test "pass" while testing nothing.
+//
+// The decorators mirror the stream replay interface (`graph()`,
+// `stream_length()`, `ReplayPass(sink)`, `descriptor()`) so they drop into
+// the driver and the contracts unchanged. Faults that depend on the pass
+// number (truncating pass 1, diverging replay) key off an internal pass
+// counter advanced by each `ReplayPass` call; `ResetPasses()` rewinds it so
+// one decorator can be replayed from scratch.
 
 #ifndef CYCLESTREAM_STREAM_FAULT_INJECTION_H_
 #define CYCLESTREAM_STREAM_FAULT_INJECTION_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "graph/types.h"
 #include "stream/adjacency_stream.h"
+#include "stream/arbitrary_stream.h"
+#include "stream/model.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/status.h"
 
 namespace cyclestream {
 namespace stream {
@@ -36,11 +51,19 @@ enum class FaultKind {
   kDuplicatePair,     // one stream element is delivered twice
   kDropReverseEdge,   // edge {u,v}: the copy in the later list vanishes
   kTruncatePass,      // the target pass stops mid-stream
-  kReplayDivergence,  // the target pass permutes one list's entries
+  kReplayDivergence,  // the target pass permutes adjacent elements
 };
 
 /// Stable, log-friendly name of a fault kind ("split-list", ...).
 const char* FaultKindName(FaultKind kind);
+
+/// Whether `kind` is meaningful under `model`. Contiguity faults
+/// (split-list) and pair-copy faults (drop-reverse-edge) presuppose the
+/// adjacency-list model's structure; drop/duplicate/truncate/divergence
+/// corrupt any element sequence. Pass-number constraints (replay divergence
+/// needs a pass whose order is already pinned) are checked by
+/// `FaultSpec::ValidateFor`, not here.
+bool FaultAppliesTo(FaultKind kind, StreamModel model);
 
 /// Which fault to inject and where. Targets are derived deterministically
 /// from `seed` in the decorator's constructor, so a spec plus a stream seed
@@ -51,11 +74,14 @@ struct FaultSpec {
       static_cast<std::size_t>(-1);
 
   FaultKind kind = FaultKind::kNone;
-  /// Pass to corrupt (0-based). `kReplayDivergence` requires pass >= 1 —
-  /// pass 0 *defines* the order, so only later passes can diverge from it.
+  /// Pass to corrupt (0-based). `kReplayDivergence` requires a pass whose
+  /// order is already pinned: pass >= 1 everywhere (pass 0 *defines* the
+  /// replay order), except that declared-order models (random-order,
+  /// ε-perturbed) also admit pass 0 — their permutation is pinned by the
+  /// seed, so even the first pass can detectably diverge.
   int pass = 0;
   std::uint64_t seed = 0;
-  /// For `kTruncatePass` only: exact pair count after which the stream
+  /// For `kTruncatePass` only: exact element count after which the stream
   /// stops (must be < stream_length()). The default derives a random cut
   /// from `seed`. Setting it to a value that falls exactly on an
   /// adjacency-list boundary produces a *clean-boundary* truncation — every
@@ -63,6 +89,12 @@ struct FaultSpec {
   /// arrive — which the validator must still flag (a truncated pass is a
   /// truncated pass whether or not a list was mid-flight).
   std::size_t truncate_at = kDeriveFromSeed;
+
+  /// OK iff this spec can be injected into a stream of `model`: the fault
+  /// class must apply to the model (`FaultAppliesTo`) and the pass
+  /// constraints above must hold. Violations come back as typed
+  /// kInvalidArgument Statuses naming the fault and the model.
+  Status ValidateFor(StreamModel model) const;
 };
 
 /// An `AdjacencyListStream` with one injected model violation.
@@ -70,11 +102,22 @@ class FaultInjectingStream {
  public:
   /// Wraps `base` (which must outlive the decorator). CHECK-fails if the
   /// graph cannot host the fault (e.g. splitting a list needs a vertex of
-  /// degree >= 2, dropping a pair needs an edge).
+  /// degree >= 2, dropping a pair needs an edge) or if the spec fails
+  /// `ValidateFor` — use `Make` to get a typed Status instead.
   FaultInjectingStream(const AdjacencyListStream* base, FaultSpec spec);
+
+  /// Validating factory: kInvalidArgument when the spec does not apply to
+  /// the adjacency-list model (e.g. replay divergence at pass 0), instead
+  /// of the constructor's CHECK.
+  static StatusOr<FaultInjectingStream> Make(const AdjacencyListStream* base,
+                                             FaultSpec spec);
 
   const Graph& graph() const { return base_->graph(); }
   const FaultSpec& spec() const { return spec_; }
+
+  /// The wrapped stream's model: injecting faults does not change which
+  /// contract applies (the faults are exactly what the contract catches).
+  const ModelDescriptor& descriptor() const { return base_->descriptor(); }
 
   /// Length of an *uncorrupted* pass (2m); a faulty pass may deliver fewer
   /// or more pairs.
@@ -180,6 +223,141 @@ class FaultInjectingStream {
 
   VertexId target_list_ = 0;      // list hosting the fault
   std::size_t target_index_ = 0;  // index within that list
+  std::size_t truncate_after_ = 0;
+  std::size_t fault_position_ = 0;
+};
+
+/// An edge-order stream (any `EdgeStreamBase` subclass) with one injected
+/// model violation. Supports exactly the faults that apply to edge models —
+/// drop, duplicate, truncate, divergence — and rejects the rest through
+/// `Make` with the same typed Status `FaultSpec::ValidateFor` produces.
+///
+/// Replay detail: every element is delivered as its own singleton u-run
+/// (BeginList/OnPair/EndList). Runs are packaging, not promises, so this is
+/// contract-neutral; it sidesteps re-deriving run boundaries around
+/// injected/removed elements. On a declared-order stream, a pass-0
+/// divergence or drop surfaces as kPermutationDivergence at the fault
+/// position; on an arbitrary stream, drops surface at end of pass as
+/// kMissingPair and only duplicates carry an in-stream position.
+template <typename BaseT>
+class EdgeFaultInjectingStream {
+  static_assert(std::is_base_of_v<EdgeStreamBase, BaseT>);
+
+ public:
+  /// Validating factory; `base` must outlive the decorator.
+  static StatusOr<EdgeFaultInjectingStream> Make(const BaseT* base,
+                                                 FaultSpec spec) {
+    CYCLESTREAM_CHECK(base != nullptr);
+    Status valid = spec.ValidateFor(base->descriptor().model);
+    if (!valid.ok()) return valid;
+    return EdgeFaultInjectingStream(base, spec);
+  }
+
+  const Graph& graph() const { return base_->graph(); }
+  const FaultSpec& spec() const { return spec_; }
+  const ModelDescriptor& descriptor() const { return base_->descriptor(); }
+
+  /// Forwards the base stream's contract (including its declared
+  /// permutation, when the model pins one) — the injected fault is exactly
+  /// what that contract is supposed to catch.
+  EdgeStreamContract MakeContract() const { return base_->MakeContract(); }
+
+  /// Length of an *uncorrupted* pass (m); a faulty pass may deliver fewer
+  /// or more elements.
+  std::size_t stream_length() const { return base_->stream_length(); }
+
+  /// Stream position (element index) at which the fault first manifests in
+  /// the corrupted pass.
+  std::size_t fault_position() const { return fault_position_; }
+
+  int next_pass() const { return next_pass_; }
+  void ResetPasses() const { next_pass_ = 0; }
+
+  template <typename Sink>
+  void ReplayPass(Sink&& sink) const {
+    const int pass = next_pass_++;
+    const bool corrupt =
+        pass == spec_.pass && spec_.kind != FaultKind::kNone;
+    const std::vector<Edge>& order = base_->order();
+    std::size_t emitted = 0;
+    auto emit = [&sink, &emitted](VertexId u, VertexId v) {
+      sink.BeginList(u);
+      sink.OnPair(u, v);
+      sink.EndList(u);
+      ++emitted;
+    };
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (corrupt && spec_.kind == FaultKind::kTruncatePass &&
+          emitted == truncate_after_) {
+        return;
+      }
+      const Edge& e = order[i];
+      if (corrupt && i == target_pos_) {
+        switch (spec_.kind) {
+          case FaultKind::kDropPair:
+            continue;  // this element vanishes
+          case FaultKind::kDuplicatePair:
+            emit(e.u, e.v);
+            emit(e.u, e.v);
+            continue;
+          case FaultKind::kReplayDivergence:
+            // Swap elements target_pos_ and target_pos_ + 1.
+            emit(order[i + 1].u, order[i + 1].v);
+            emit(e.u, e.v);
+            ++i;
+            continue;
+          default:
+            break;
+        }
+      }
+      emit(e.u, e.v);
+    }
+  }
+
+ private:
+  EdgeFaultInjectingStream(const BaseT* base, FaultSpec spec)
+      : base_(base), spec_(spec) {
+    Rng rng(spec_.seed);
+    const std::size_t m = base_->stream_length();
+    switch (spec_.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kDropPair:
+        CYCLESTREAM_CHECK_GE(m, 1u);
+        target_pos_ = rng.NextBounded(m);
+        fault_position_ = target_pos_;
+        break;
+      case FaultKind::kDuplicatePair:
+        CYCLESTREAM_CHECK_GE(m, 1u);
+        target_pos_ = rng.NextBounded(m);
+        // The second (duplicate) delivery is the offending element.
+        fault_position_ = target_pos_ + 1;
+        break;
+      case FaultKind::kReplayDivergence:
+        CYCLESTREAM_CHECK_GE(m, 2u);
+        target_pos_ = rng.NextBounded(m - 1);
+        fault_position_ = target_pos_;
+        break;
+      case FaultKind::kTruncatePass:
+        CYCLESTREAM_CHECK_GE(m, 1u);
+        if (spec_.truncate_at == FaultSpec::kDeriveFromSeed) {
+          truncate_after_ = rng.NextBounded(m);
+        } else {
+          CYCLESTREAM_CHECK_LT(spec_.truncate_at, m);
+          truncate_after_ = spec_.truncate_at;
+        }
+        fault_position_ = truncate_after_;
+        break;
+      default:
+        CYCLESTREAM_CHECK(false);  // Make() rejected it already
+    }
+  }
+
+  const BaseT* base_;
+  FaultSpec spec_;
+  mutable int next_pass_ = 0;
+
+  std::size_t target_pos_ = 0;  // element index hosting the fault
   std::size_t truncate_after_ = 0;
   std::size_t fault_position_ = 0;
 };

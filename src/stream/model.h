@@ -1,0 +1,104 @@
+// Stream models as a first-class scenario dimension.
+//
+// The paper's headline results depend on *which* stream model the algorithm
+// lives in: adjacency-list order buys exponents (m/T^{2/3} triangles,
+// m/sqrt(C4) 4-cycles) that arbitrary order provably cannot match, and
+// random order is a third regime with its own algorithms and lower bounds —
+// Chiplunkar–Kallaugher–Kapralov–Price prove factorial lower bounds that
+// survive even "almost-random" (adversarially ε-perturbed) orders, and
+// Assadi–Sundaresan give random-order gap cycle counting lower bounds.
+//
+// Every stream substrate exposes a `ModelDescriptor`, every algorithm
+// declares which models it accepts (`StreamAlgorithm::AcceptsModel`), the
+// driver enforces the match, and per-model contract validators
+// (stream/contract.h, stream/validator.h) check exactly the promises each
+// model actually makes — list contiguity and replay for adjacency lists,
+// exactly-once-per-edge and declared-permutation checks for edge models.
+
+#ifndef CYCLESTREAM_STREAM_MODEL_H_
+#define CYCLESTREAM_STREAM_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyclestream {
+namespace stream {
+
+/// The stream-order regimes cyclestream can materialize.
+enum class StreamModel : std::uint8_t {
+  /// Paper Section 1.2: pairs `uv` and `vu` both appear; all pairs sharing a
+  /// first vertex are contiguous (one adjacency list per vertex); multi-pass
+  /// replays are order-identical.
+  kAdjacencyList = 0,
+  /// Classic insertion streams: each edge appears exactly once, at an
+  /// adversarially arbitrary position. No grouping or order promise at all.
+  kArbitrary = 1,
+  /// Each edge exactly once, at a position drawn from a seeded uniform
+  /// permutation. The seed is part of the model descriptor, so the promised
+  /// order is checkable.
+  kRandomOrder = 2,
+  /// The CKKP "almost-random" regime: a uniform permutation after an
+  /// adversary relocates up to an ε fraction of the stream.
+  kAdversarialPerturbed = 3,
+};
+
+/// Number of StreamModel values (for by-model tables).
+inline constexpr std::size_t kNumStreamModels = 4;
+
+/// Stable, log/bench-friendly name ("adjacency-list", "arbitrary",
+/// "random-order", "adversarial-perturbed").
+inline const char* StreamModelName(StreamModel model) {
+  switch (model) {
+    case StreamModel::kAdjacencyList: return "adjacency-list";
+    case StreamModel::kArbitrary: return "arbitrary";
+    case StreamModel::kRandomOrder: return "random-order";
+    case StreamModel::kAdversarialPerturbed: return "adversarial-perturbed";
+  }
+  return "unknown";
+}
+
+/// True for the single-copy edge-stream models (everything except
+/// adjacency-list order, whose elements are directed pair copies).
+inline bool IsEdgeModel(StreamModel model) {
+  return model != StreamModel::kAdjacencyList;
+}
+
+/// True when the model pins down the exact pass-0 order from its seed (so a
+/// contract can check the delivered permutation, and a pass-0 reorder is a
+/// detectable violation rather than an unfalsifiable claim).
+inline bool HasDeclaredOrder(StreamModel model) {
+  return model == StreamModel::kRandomOrder ||
+         model == StreamModel::kAdversarialPerturbed;
+}
+
+/// What a stream substrate promises its consumers. Streams expose this via
+/// `descriptor()`; downstream layers (driver, contracts, fault injection,
+/// benches) key their behaviour off it instead of assuming adjacency lists.
+struct ModelDescriptor {
+  StreamModel model = StreamModel::kAdjacencyList;
+  /// Seed the stream's order was derived from (list/permutation shuffles).
+  std::uint64_t order_seed = 0;
+  /// Perturbation fraction for kAdversarialPerturbed (0 otherwise).
+  double epsilon = 0.0;
+
+  friend bool operator==(const ModelDescriptor& a,
+                         const ModelDescriptor& b) = default;
+};
+
+/// The descriptor a stream declares, or the default (plain adjacency-list)
+/// for streams predating the model abstraction. Lets the driver and benches
+/// ask any stream-shaped type for its model without requiring every wrapper
+/// to forward `descriptor()`.
+template <typename StreamT>
+ModelDescriptor DescriptorOf(const StreamT& stream) {
+  if constexpr (requires { stream.descriptor(); }) {
+    return stream.descriptor();
+  } else {
+    return ModelDescriptor{};
+  }
+}
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_MODEL_H_

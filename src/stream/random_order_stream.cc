@@ -1,0 +1,37 @@
+#include "stream/random_order_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cyclestream {
+namespace stream {
+
+RandomOrderStream::RandomOrderStream(const Graph* graph, std::uint64_t seed,
+                                     double epsilon)
+    : EdgeStreamBase(
+          graph,
+          ModelDescriptor{epsilon > 0.0 ? StreamModel::kAdversarialPerturbed
+                                        : StreamModel::kRandomOrder,
+                          seed, epsilon}) {
+  CYCLESTREAM_CHECK_GE(epsilon, 0.0);
+  CYCLESTREAM_CHECK_LT(epsilon, 1.0);
+  order_ = graph_->edges();
+  Rng rng(seed);
+  rng.Shuffle(order_.data(), order_.size());
+  if (epsilon > 0.0) {
+    perturbed_prefix_ = static_cast<std::size_t>(
+        std::floor(epsilon * static_cast<double>(order_.size())));
+    // The adversary's move: relocate the permutation's tail to the front,
+    // relative orders preserved on both sides — at most ⌊εm⌋ elements
+    // touched, the strongest allowance CKKP's almost-random model grants.
+    std::rotate(order_.begin(), order_.end() - perturbed_prefix_,
+                order_.end());
+  }
+  FinalizeOrder();
+}
+
+}  // namespace stream
+}  // namespace cyclestream

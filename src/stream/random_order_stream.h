@@ -1,0 +1,60 @@
+// The random-order edge-stream model, with optional adversarial
+// ε-perturbation.
+//
+// Random order is the third first-class regime in the streaming-cycles
+// literature: Chiplunkar–Kallaugher–Kapralov–Price prove factorial lower
+// bounds that survive even "almost-random" orders — a uniform permutation
+// an adversary has perturbed by relocating at most an ε fraction of the
+// elements — and Assadi–Sundaresan give random-order gap cycle counting
+// lower bounds. On the algorithms side, random arrival order is itself a
+// resource: a prefix of the stream is a uniform edge sample for free, which
+// is exactly what core/random_order_triangle.h exploits.
+//
+// `RandomOrderStream` materializes both regimes over `EdgeStreamBase`:
+//   - ε = 0: a seeded uniform (Fisher–Yates) permutation of the edges;
+//     model kRandomOrder. The permutation is a deterministic function of
+//     (graph, seed), so the stream *declares* its order and the contract
+//     checks the delivered pass-0 sequence element-by-element
+//     (kPermutationDivergence on mismatch).
+//   - ε > 0: the CKKP adversary, instantiated as the worst case for
+//     prefix-sampling estimators: the LAST ⌊εm⌋ elements of the uniform
+//     permutation are relocated to the front (relative order preserved —
+//     exactly "relocate ⌊εm⌋ elements" and nothing else). This front-loads
+//     edges the prefix sampler will over-trust; model
+//     kAdversarialPerturbed, with the perturbation baked into the declared
+//     order so the contract still pins every position.
+
+#ifndef CYCLESTREAM_STREAM_RANDOM_ORDER_STREAM_H_
+#define CYCLESTREAM_STREAM_RANDOM_ORDER_STREAM_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "stream/arbitrary_stream.h"
+#include "stream/model.h"
+
+namespace cyclestream {
+namespace stream {
+
+/// A graph materialized as a seeded random-order edge stream, optionally
+/// ε-perturbed. Replays the identical permutation every pass.
+class RandomOrderStream final : public EdgeStreamBase {
+ public:
+  /// Uniform permutation from `seed`; `epsilon` in [0, 1) relocates the
+  /// permutation's last ⌊ε·m⌋ elements to the front (0 = unperturbed).
+  /// `graph` must outlive the stream.
+  RandomOrderStream(const Graph* graph, std::uint64_t seed,
+                    double epsilon = 0.0);
+
+  /// Number of elements the adversary relocated to the front (⌊ε·m⌋;
+  /// 0 for the pure random-order model).
+  std::size_t perturbed_prefix() const { return perturbed_prefix_; }
+
+ private:
+  std::size_t perturbed_prefix_ = 0;
+};
+
+}  // namespace stream
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_RANDOM_ORDER_STREAM_H_

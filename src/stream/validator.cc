@@ -21,47 +21,19 @@ std::uint64_t ExtendFingerprint(std::uint64_t fp, VertexId v,
 
 }  // namespace
 
-const char* ViolationKindName(ViolationKind kind) {
-  switch (kind) {
-    case ViolationKind::kSplitList: return "split-list";
-    case ViolationKind::kInterleavedList: return "interleaved-list";
-    case ViolationKind::kForeignPair: return "foreign-pair";
-    case ViolationKind::kDuplicatePair: return "duplicate-pair";
-    case ViolationKind::kMissingPair: return "missing-pair";
-    case ViolationKind::kTruncatedPass: return "truncated-pass";
-    case ViolationKind::kReplayDivergence: return "replay-divergence";
-  }
-  return "unknown";
-}
-
-std::string Violation::ToString() const {
-  std::string out = ViolationKindName(kind);
-  out += " at pass " + std::to_string(pass);
-  out += " pair " + std::to_string(position);
-  out += " (list " + std::to_string(list) + ")";
-  if (!detail.empty()) {
-    out += ": ";
-    out += detail;
-  }
-  return out;
-}
-
-StreamValidator::StreamValidator(const Graph* graph) : graph_(graph) {
-  CYCLESTREAM_CHECK(graph != nullptr);
+AdjacencyListContract::AdjacencyListContract(const Graph* graph,
+                                             ModelDescriptor descriptor)
+    : ModelContract(graph, descriptor) {
+  CYCLESTREAM_CHECK(!IsEdgeModel(descriptor.model));
   closed_.assign(graph_->num_vertices(), false);
   first_pass_order_.reserve(graph_->num_vertices());
   first_pass_fingerprints_.reserve(graph_->num_vertices());
 }
 
-void StreamValidator::CountViolation(ViolationKind kind) {
-  ++counters_.violations_total;
-  ++counters_.violations_by_kind[static_cast<std::size_t>(kind)];
-}
-
-void StreamValidator::Report(ViolationKind kind, VertexId list,
-                             std::string detail) {
+void AdjacencyListContract::Report(ViolationKind kind, VertexId list,
+                                   std::string detail) {
   CountViolation(kind);  // every observed violation, not just the first
-  if (violation_.has_value()) return;  // keep the first
+  if (violation().has_value()) return;  // keep the first
   // A provisional missing-pair is chronologically earlier than the current
   // event, so it wins (unless the caller discarded it as a split first).
   if (pending_missing_.has_value()) {
@@ -74,20 +46,20 @@ void StreamValidator::Report(ViolationKind kind, VertexId list,
   v.position = position_;
   v.list = list;
   v.detail = std::move(detail);
-  violation_ = std::move(v);
+  SetFirst(std::move(v));
 }
 
-void StreamValidator::FlushPending() {
+void AdjacencyListContract::FlushPending() {
   if (pending_missing_.has_value()) {
     // Only now is the stash a confirmed drop (a reopen would have
     // discarded it as a split), so only now does it count.
     CountViolation(ViolationKind::kMissingPair);
-    if (!violation_.has_value()) violation_ = std::move(*pending_missing_);
+    SetFirst(std::move(*pending_missing_));
   }
   pending_missing_.reset();
 }
 
-void StreamValidator::BeginPass(int pass) {
+void AdjacencyListContract::BeginPass(int pass) {
   ++counters_.events_checked;
   ++counters_.passes_checked;
   CYCLESTREAM_CHECK(!in_pass_);
@@ -100,7 +72,7 @@ void StreamValidator::BeginPass(int pass) {
   closed_.assign(graph_->num_vertices(), false);
 }
 
-void StreamValidator::BeginList(VertexId u) {
+void AdjacencyListContract::BeginList(VertexId u) {
   ++counters_.events_checked;
   ++counters_.lists_checked;
   CYCLESTREAM_CHECK(in_pass_);
@@ -141,23 +113,11 @@ void StreamValidator::BeginList(VertexId u) {
   seen_in_list_.clear();
 }
 
-void StreamValidator::OnPair(VertexId u, VertexId v) { CheckPair(u, v); }
-
-std::size_t StreamValidator::OnList(VertexId u,
-                                    std::span<const VertexId> list) {
-  std::size_t ok_prefix = 0;
-  for (VertexId v : list) {
-    // Track where ok() flips rather than deriving the prefix from the
-    // violation's position: a promoted pending_missing_ records an earlier
-    // position (its short list's end), not the pair that tripped it.
-    const bool was_ok = ok();
-    CheckPair(u, v);
-    if (was_ok && ok()) ++ok_prefix;
-  }
-  return ok_prefix;
+void AdjacencyListContract::OnPair(VertexId u, VertexId v) {
+  CheckPair(u, v);
 }
 
-void StreamValidator::CheckPair(VertexId u, VertexId v) {
+void AdjacencyListContract::CheckPair(VertexId u, VertexId v) {
   ++counters_.events_checked;
   ++counters_.pairs_checked;
   CYCLESTREAM_CHECK(in_pass_);
@@ -181,7 +141,7 @@ void StreamValidator::CheckPair(VertexId u, VertexId v) {
   ++position_;
 }
 
-void StreamValidator::EndList(VertexId u) {
+void AdjacencyListContract::EndList(VertexId u) {
   ++counters_.events_checked;
   CYCLESTREAM_CHECK(in_pass_);
   if (!list_open_ || u != open_list_) {
@@ -230,7 +190,7 @@ void StreamValidator::EndList(VertexId u) {
   ++open_list_index_;
 }
 
-void StreamValidator::EndPass(int pass) {
+void AdjacencyListContract::EndPass(int pass) {
   ++counters_.events_checked;
   CYCLESTREAM_CHECK(in_pass_);
   CYCLESTREAM_CHECK_EQ(pass, pass_);
@@ -261,68 +221,9 @@ void StreamValidator::EndPass(int pass) {
   in_pass_ = false;
 }
 
-void StreamValidator::ExportMetrics(obs::MetricsRegistry* metrics) const {
-  if (metrics == nullptr) return;
-  metrics->GetCounter("validator.events_checked")
-      .Increment(counters_.events_checked);
-  metrics->GetCounter("validator.passes_checked")
-      .Increment(counters_.passes_checked);
-  metrics->GetCounter("validator.lists_checked")
-      .Increment(counters_.lists_checked);
-  metrics->GetCounter("validator.pairs_checked")
-      .Increment(counters_.pairs_checked);
-  metrics->GetCounter("validator.violations_total")
-      .Increment(counters_.violations_total);
-  for (std::size_t i = 0; i < kNumViolationKinds; ++i) {
-    if (counters_.violations_by_kind[i] == 0) continue;
-    metrics
-        ->GetCounter(std::string("validator.violations.") +
-                     ViolationKindName(static_cast<ViolationKind>(i)))
-        .Increment(counters_.violations_by_kind[i]);
-  }
-}
-
-namespace {
-
-void WriteViolationOpt(snapshot::SnapshotWriter& w,
-                       const std::optional<Violation>& v) {
-  w.WriteBool(v.has_value());
-  if (!v.has_value()) return;
-  w.WriteU8(static_cast<std::uint8_t>(v->kind));
-  w.WriteU64(static_cast<std::uint64_t>(v->pass));
-  w.WriteU64(v->position);
-  w.WriteU32(v->list);
-  w.WriteString(v->detail);
-}
-
-std::optional<Violation> ReadViolationOpt(snapshot::SnapshotReader& r) {
-  if (!r.ReadBool()) return std::nullopt;
-  Violation v;
-  v.kind = static_cast<ViolationKind>(r.ReadU8());
-  v.pass = static_cast<int>(r.ReadU64());
-  v.position = r.ReadU64();
-  v.list = r.ReadU32();
-  v.detail = r.ReadString();
-  return v;
-}
-
-}  // namespace
-
-void StreamValidator::Serialize(snapshot::SnapshotWriter& w) const {
-  // Graph-shape guard: a checkpoint only resumes against the same graph.
-  w.WriteU64(graph_->num_vertices());
-  w.WriteU64(graph_->num_edges());
-  WriteViolationOpt(w, violation_);
-  WriteViolationOpt(w, pending_missing_);
-  w.WriteU64(counters_.events_checked);
-  w.WriteU64(counters_.passes_checked);
-  w.WriteU64(counters_.lists_checked);
-  w.WriteU64(counters_.pairs_checked);
-  w.WriteU64(counters_.violations_total);
-  for (std::uint64_t count : counters_.violations_by_kind) w.WriteU64(count);
-  w.WriteU64(static_cast<std::uint64_t>(pass_ + 1));  // -1-safe
-  w.WriteBool(in_pass_);
-  w.WriteU64(position_);
+void AdjacencyListContract::Serialize(snapshot::SnapshotWriter& w) const {
+  SerializeCommon(w);
+  internal::WriteViolationOpt(w, pending_missing_);
   // Only list-boundary snapshots are defined (no list may be open); the
   // per-list transients (fingerprint, pair count, seen set) are therefore
   // dead state and are not serialized.
@@ -343,25 +244,10 @@ void StreamValidator::Serialize(snapshot::SnapshotWriter& w) const {
   w.WriteU64(first_pass_pairs_);
 }
 
-Status StreamValidator::Restore(snapshot::SnapshotReader& r) {
-  const std::uint64_t vertices = r.ReadU64();
-  const std::uint64_t edges = r.ReadU64();
-  if (!r.status().ok()) return r.status();
-  if (vertices != graph_->num_vertices() || edges != graph_->num_edges()) {
-    return Status::FailedPrecondition(
-        "validator snapshot was taken against a different graph");
-  }
-  violation_ = ReadViolationOpt(r);
-  pending_missing_ = ReadViolationOpt(r);
-  counters_.events_checked = r.ReadU64();
-  counters_.passes_checked = r.ReadU64();
-  counters_.lists_checked = r.ReadU64();
-  counters_.pairs_checked = r.ReadU64();
-  counters_.violations_total = r.ReadU64();
-  for (std::uint64_t& count : counters_.violations_by_kind) count = r.ReadU64();
-  pass_ = static_cast<int>(r.ReadU64()) - 1;
-  in_pass_ = r.ReadBool();
-  position_ = r.ReadU64();
+Status AdjacencyListContract::Restore(snapshot::SnapshotReader& r) {
+  Status common = RestoreCommon(r);
+  if (!common.ok()) return common;
+  pending_missing_ = internal::ReadViolationOpt(r);
   list_open_ = false;
   open_list_index_ = r.ReadU64();
   const std::uint64_t closed_bits = r.ReadU64();
@@ -387,21 +273,6 @@ Status StreamValidator::Restore(snapshot::SnapshotReader& r) {
   }
   first_pass_pairs_ = r.ReadU64();
   return r.status();
-}
-
-Status StreamValidator::ToStatus() const {
-  if (ok()) return Status::Ok();
-  const Violation& v = *violation_;
-  switch (v.kind) {
-    case ViolationKind::kMissingPair:
-    case ViolationKind::kTruncatedPass:
-      return Status::DataLoss(v.ToString());
-    case ViolationKind::kForeignPair:
-    case ViolationKind::kDuplicatePair:
-      return Status::InvalidArgument(v.ToString());
-    default:
-      return Status::FailedPrecondition(v.ToString());
-  }
 }
 
 }  // namespace stream

@@ -1,12 +1,15 @@
-// Online validation of the adjacency-list model's contract.
+// The adjacency-list model's contract checker.
 //
 // The model makes exactly one structural promise — every adjacency list is
 // contiguous — plus, for multi-pass algorithms, the replay promise that later
 // passes deliver the identical order. Every algorithm in Table 1 silently
-// assumes both. `StreamValidator` turns those assumptions into an executable
-// contract: it consumes the same BeginPass/BeginList/OnPair/EndList/EndPass
-// events an algorithm does, uses O(n) working space, and reports the *first*
-// violation together with its stream position (pass, pair index, list).
+// assumes both. `AdjacencyListContract` turns those assumptions into an
+// executable contract: it consumes the same BeginPass/BeginList/OnPair/
+// EndList/EndPass events an algorithm does, uses O(n) working space, and
+// reports the *first* violation together with its stream position (pass,
+// pair index, list). It is the adjacency-list member of the per-model
+// contract hierarchy rooted at stream/contract.h — list-contiguity checks
+// live ONLY here; the edge-order models get `EdgeStreamContract` instead.
 //
 // Detected violation classes (see `stream/fault_injection.h` for the
 // matching injectors):
@@ -28,7 +31,6 @@
 #ifndef CYCLESTREAM_STREAM_VALIDATOR_H_
 #define CYCLESTREAM_STREAM_VALIDATOR_H_
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -39,137 +41,53 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
-#include "obs/metrics.h"
 #include "snapshot/snapshot.h"
+#include "stream/contract.h"
+#include "stream/model.h"
 #include "util/status.h"
 
 namespace cyclestream {
 namespace stream {
 
-/// Classes of model-contract violations a stream can exhibit.
-enum class ViolationKind {
-  kSplitList,        // a list begins again after it already ended
-  kInterleavedList,  // a list begins while another is still open
-  kForeignPair,      // pair (u, v) where {u, v} is not an edge / u unknown
-  kDuplicatePair,    // the same pair delivered twice in one list
-  kMissingPair,      // a list ended before delivering its full degree
-  kTruncatedPass,    // pass ended mid-list or short of the full stream
-  kReplayDivergence, // a later pass diverged from the first pass's order
-};
-
-/// Number of ViolationKind values (for by-kind counter arrays).
-inline constexpr std::size_t kNumViolationKinds = 7;
-
-/// Name of a violation kind ("split-list", ...). Stable, test-friendly.
-const char* ViolationKindName(ViolationKind kind);
-
-/// The first contract violation observed in a stream.
-struct Violation {
-  ViolationKind kind;
-  int pass = 0;               // pass in which the violation surfaced
-  std::size_t position = 0;   // pairs delivered before the violation (0-based)
-  VertexId list = 0;          // adjacency list being streamed (if any)
-  std::string detail;         // human-readable specifics
-
-  /// "replay-divergence at pass 1 pair 17 (list 4): ..." — the message used
-  /// for the Status produced by `StreamValidator::ToStatus()`.
-  std::string ToString() const;
-};
-
-/// Sink that checks a stream of adjacency-list events against the model
-/// contract for `graph`. Feed it events (directly, via
-/// `AdjacencyListStream::ReplayPass`, or through `RunPassesChecked`), then
-/// inspect `ok()` / `violation()` / `ToStatus()`. Only the first violation
-/// is recorded; subsequent events are still consumed cheaply so a driver
-/// can finish its replay loop without special-casing.
-class StreamValidator {
+/// Contract checker for adjacency-list-ordered streams. Feed it events
+/// (directly, via `AdjacencyListStream::ReplayPass`, or through
+/// `RunPassesChecked`), then inspect `ok()` / `violation()` / `ToStatus()`.
+class AdjacencyListContract final : public ModelContract {
  public:
   /// Validates against `graph` (the ground truth for pair membership and
-  /// degrees). `graph` must outlive the validator.
-  explicit StreamValidator(const Graph* graph);
+  /// degrees). `graph` must outlive the contract. The descriptor defaults
+  /// to a plain adjacency-list model; streams with a seeded order pass
+  /// their own.
+  explicit AdjacencyListContract(const Graph* graph,
+                                 ModelDescriptor descriptor = {});
 
-  /// Begins pass `pass` (0-based, consecutive). Must be called before the
-  /// pass's list events; `EndPass` must close it.
-  void BeginPass(int pass);
+  void BeginPass(int pass) override;
+  void BeginList(VertexId u) override;
+  void OnPair(VertexId u, VertexId v) override;
+  void EndList(VertexId u) override;
+  void EndPass(int pass) override;
 
-  void BeginList(VertexId u);
-  void OnPair(VertexId u, VertexId v);
-
-  /// Batched form of `list.size()` OnPair calls: checks every element of
-  /// `list` (identical counters, violation positions, and fingerprints to
-  /// the per-pair loop; the whole span is consumed even after a violation)
-  /// and returns the number of leading pairs consumed while `ok()` still
-  /// held — the prefix a strict driver may deliver to its algorithm,
-  /// matching exactly what per-pair interleaving would have delivered.
-  std::size_t OnList(VertexId u, std::span<const VertexId> list);
-
-  void EndList(VertexId u);
-
-  /// Ends the current pass, running end-of-pass checks (truncation).
-  void EndPass(int pass);
-
-  /// True while no violation has been observed.
-  bool ok() const { return !violation_.has_value(); }
-
-  /// The first violation, if any.
-  const std::optional<Violation>& violation() const { return violation_; }
-
-  /// OK, or a Status describing the first violation (kFailedPrecondition
-  /// for contiguity/replay breaks, kDataLoss for missing pairs/truncation,
-  /// kInvalidArgument for foreign/duplicate pairs).
-  Status ToStatus() const;
-
-  /// Work/violation tallies over the validator's lifetime. Unlike
-  /// `violation()` (first only), `violations_by_kind` counts every
-  /// violation *observed* — a provisional missing-pair counts only once
-  /// it is confirmed (a reopen reclassifies it as the split it really is).
-  struct CheckCounters {
-    std::uint64_t events_checked = 0;  // all Begin*/On*/End* events
-    std::uint64_t passes_checked = 0;
-    std::uint64_t lists_checked = 0;
-    std::uint64_t pairs_checked = 0;
-    std::uint64_t violations_total = 0;
-    std::array<std::uint64_t, kNumViolationKinds> violations_by_kind{};
-  };
-  const CheckCounters& counters() const { return counters_; }
-
-  /// Publishes the counters to `metrics` as "validator.events_checked",
-  /// "validator.pairs_checked", "validator.violations_total", and
-  /// "validator.violations.<kind-name>" (only kinds with count > 0).
-  void ExportMetrics(obs::MetricsRegistry* metrics) const;
-
-  /// Writes the validator's complete state (violations, counters, pass
+  /// Writes the contract's complete state (violations, counters, pass
   /// bookkeeping, replay fingerprints) for crash-recovery checkpoints. Only
-  /// valid at adjacency-list boundaries. A fresh validator over the same
-  /// graph that Restore()s these bytes continues exactly where this one
-  /// stopped — same violations, same counters, same replay checking.
-  void Serialize(snapshot::SnapshotWriter& w) const;
-
-  /// Inverse of Serialize on a fresh validator for the same graph; returns
-  /// kFailedPrecondition when the snapshot's graph shape disagrees.
-  Status Restore(snapshot::SnapshotReader& r);
+  /// valid at adjacency-list boundaries.
+  void Serialize(snapshot::SnapshotWriter& w) const override;
+  Status Restore(snapshot::SnapshotReader& r) override;
 
  private:
-  // The per-pair contract checks, shared verbatim by OnPair and OnList so
-  // the two deliveries observe identical positions and counters.
+  // The per-pair contract checks, shared verbatim by OnPair and the base
+  // OnList loop so the two deliveries observe identical positions and
+  // counters.
   void CheckPair(VertexId u, VertexId v);
 
   void Report(ViolationKind kind, VertexId list, std::string detail);
   void FlushPending();
-  void CountViolation(ViolationKind kind);
 
-  const Graph* graph_;
-  std::optional<Violation> violation_;
-  CheckCounters counters_;
   // A short list is only *provisionally* a missing pair: if the same list
   // reopens later in the pass, the truth is a split list. The provisional
   // violation is promoted at the next unrelated violation or at EndPass,
   // keeping its original (earlier) position.
   std::optional<Violation> pending_missing_;
 
-  int pass_ = -1;
-  bool in_pass_ = false;
-  std::size_t position_ = 0;        // pairs delivered this pass
   bool list_open_ = false;
   VertexId open_list_ = 0;
   std::size_t open_list_index_ = 0;  // lists begun this pass
@@ -186,26 +104,44 @@ class StreamValidator {
   std::size_t first_pass_pairs_ = 0;
 };
 
+/// Historical name: the adjacency-list contract predates the per-model
+/// hierarchy and most call sites (driver defaults, tests) still say
+/// StreamValidator.
+using StreamValidator = AdjacencyListContract;
+
+/// The contract a stream's model calls for: streams that know their model
+/// expose `MakeContract()` (edge-order streams return an
+/// `EdgeStreamContract` wired to their declared permutation); everything
+/// else is validated as a plain adjacency-list stream.
+template <typename StreamT>
+auto MakeContractForStream(const StreamT& stream) {
+  if constexpr (requires { stream.MakeContract(); }) {
+    return stream.MakeContract();
+  } else {
+    return AdjacencyListContract(&stream.graph(), DescriptorOf(stream));
+  }
+}
+
 /// Convenience: replays `passes` passes of `stream` through a fresh
-/// validator and returns the resulting Status. Works for any stream with
-/// `graph()` and `ReplayPass(sink)` (AdjacencyListStream,
-/// FaultInjectingStream, ...).
+/// per-model contract and returns the resulting Status. Works for any
+/// stream with `graph()` and `ReplayPass(sink)` (AdjacencyListStream,
+/// ArbitraryOrderStream, RandomOrderStream, FaultInjectingStream, ...).
 template <typename StreamT>
 Status ValidateStream(const StreamT& stream, int passes = 1) {
   if constexpr (requires { stream.ResetPasses(); }) stream.ResetPasses();
-  StreamValidator validator(&stream.graph());
+  auto contract = MakeContractForStream(stream);
   struct Forward {
-    StreamValidator* v;
-    void BeginList(VertexId u) { v->BeginList(u); }
-    void OnPair(VertexId u, VertexId w) { v->OnPair(u, w); }
-    void EndList(VertexId u) { v->EndList(u); }
-  } sink{&validator};
+    decltype(contract)* c;
+    void BeginList(VertexId u) { c->BeginList(u); }
+    void OnPair(VertexId u, VertexId w) { c->OnPair(u, w); }
+    void EndList(VertexId u) { c->EndList(u); }
+  } sink{&contract};
   for (int pass = 0; pass < passes; ++pass) {
-    validator.BeginPass(pass);
+    contract.BeginPass(pass);
     stream.ReplayPass(sink);
-    validator.EndPass(pass);
+    contract.EndPass(pass);
   }
-  return validator.ToStatus();
+  return contract.ToStatus();
 }
 
 }  // namespace stream

@@ -10,26 +10,52 @@
 #include "gen/erdos_renyi.h"
 #include "gen/planted.h"
 #include "stream/arbitrary_stream.h"
+#include "stream/driver.h"
 #include "test_util.h"
 
 namespace cyclestream {
 namespace {
 
-struct EdgeRecorder {
+// Records the unified two-level grammar an edge stream speaks: BeginList /
+// OnPair / EndList, with each pair being one edge (canonical u < v).
+struct GrammarRecorder {
   std::vector<Edge> edges;
-  void OnEdge(VertexId u, VertexId v) { edges.push_back({u, v}); }
+  std::vector<VertexId> runs;
+  void BeginList(VertexId u) { runs.push_back(u); }
+  void OnPair(VertexId u, VertexId v) { edges.push_back({u, v}); }
+  void EndList(VertexId u) { (void)u; }
 };
 
 TEST(ArbitraryOrderStream, EveryEdgeExactlyOnce) {
   Graph g = gen::ErdosRenyiGnp(60, 0.2, 1);
   stream::ArbitraryOrderStream s(&g, 7);
-  EdgeRecorder rec;
+  GrammarRecorder rec;
   s.ReplayPass(rec);
   EXPECT_EQ(rec.edges.size(), g.num_edges());
   std::map<EdgeKey, int> seen;
   for (const Edge& e : rec.edges) ++seen[MakeEdgeKey(e.u, e.v)];
   for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
   EXPECT_EQ(seen.size(), g.num_edges());
+}
+
+TEST(ArbitraryOrderStream, RunsAreMaximalSameFirstEndpointSubsequences) {
+  Graph g = gen::ErdosRenyiGnp(40, 0.3, 11);
+  stream::ArbitraryOrderStream s(&g, 5);
+  GrammarRecorder rec;
+  s.ReplayPass(rec);
+  // The run vertices are the canonical first endpoints in stream order,
+  // with adjacent duplicates merged — packaging, not an order promise.
+  std::vector<VertexId> expected;
+  for (const Edge& e : s.order()) {
+    if (expected.empty() || expected.back() != e.u) expected.push_back(e.u);
+  }
+  EXPECT_EQ(rec.runs, expected);
+  // Edges arrive in exactly the declared order.
+  ASSERT_EQ(rec.edges.size(), s.order().size());
+  for (std::size_t i = 0; i < rec.edges.size(); ++i) {
+    EXPECT_EQ(MakeEdgeKey(rec.edges[i].u, rec.edges[i].v),
+              MakeEdgeKey(s.order()[i].u, s.order()[i].v));
+  }
 }
 
 TEST(ArbitraryOrderStream, SeededShuffleReplaysIdentically) {
@@ -39,15 +65,22 @@ TEST(ArbitraryOrderStream, SeededShuffleReplaysIdentically) {
   EXPECT_NE(s1.order(), s3.order());
 }
 
-TEST(ArbitraryOrderStream, RunEdgePassesReports) {
+TEST(ArbitraryOrderStream, DescriptorDeclaresArbitraryModel) {
+  Graph g = gen::Complete(6);
+  stream::ArbitraryOrderStream s(&g, 3);
+  EXPECT_EQ(s.descriptor().model, stream::StreamModel::kArbitrary);
+  EXPECT_EQ(s.descriptor().order_seed, 3u);
+}
+
+TEST(ArbitraryOrderStream, UnifiedDriverRunsEdgeAlgorithms) {
   Graph g = gen::Complete(8);
   stream::ArbitraryOrderStream s(&g, 3);
   core::ArbitraryTriangleOptions options;
   options.sample_size = g.num_edges();
   core::ArbitraryOrderTriangleCounter counter(options);
-  stream::EdgeRunReport report = stream::RunEdgePasses(s, &counter);
-  EXPECT_EQ(report.edges_processed, g.num_edges());
-  EXPECT_EQ(report.passes, 1);
+  stream::RunReport report = stream::RunPasses(s, &counter);
+  EXPECT_EQ(report.pairs_processed, g.num_edges());
+  EXPECT_EQ(report.passes_requested, 1);
   EXPECT_GT(report.reported_peak_bytes, 0u);
 }
 
@@ -58,7 +91,7 @@ double RunArbitrary(const Graph& g, std::size_t sample,
   options.sample_size = sample;
   options.seed = algo_seed;
   core::ArbitraryOrderTriangleCounter counter(options);
-  stream::RunEdgePasses(s, &counter);
+  stream::RunPasses(s, &counter);
   return counter.Estimate();
 }
 
@@ -99,7 +132,7 @@ TEST(ArbitraryTriangle, EvictionRollbackKeepsCountsConsistent) {
     options.sample_size = 2;
     options.seed = seed;
     core::ArbitraryOrderTriangleCounter counter(options);
-    stream::RunEdgePasses(s, &counter);
+    stream::RunPasses(s, &counter);
     auto res = counter.result();
     EXPECT_GE(res.estimate, 0.0);
     EXPECT_LE(res.detections, 1u);  // at most the surviving pair's wedge
@@ -121,7 +154,7 @@ TEST(ArbitraryTriangle, NeedsTwoSampledEdgesPerDetection) {
     options.sample_size = sample;
     options.seed = 900 + trial;
     core::ArbitraryOrderTriangleCounter counter(options);
-    stream::RunEdgePasses(s, &counter);
+    stream::RunPasses(s, &counter);
     arb_detections += counter.result().detections;
   }
   arb_detections /= kTrials;

@@ -23,6 +23,7 @@
 #include "service/service.h"
 #include "stream/adjacency_stream.h"
 #include "stream/driver.h"
+#include "stream/random_order_stream.h"
 #include "test_util.h"
 #include "util/status.h"
 
@@ -156,6 +157,28 @@ std::vector<Workload> BuildWorkloads(std::uint64_t seed) {
 
       StatusOr<HostedEstimator> ref = MakeHosted(w.spec);
       EXPECT_TRUE(ref.ok());
+      if (w.spec.kind == EstimatorKind::kRandomOrderTriangle) {
+        // This kind declares the random-order model: its reference run and
+        // tape come from a RandomOrderStream's u-runs — the service itself
+        // is model-agnostic and replays whatever grammar the tape carries.
+        stream::RandomOrderStream ro(&g, seed);
+        w.want_report = stream::RunPasses(ro, ref->algo.get());
+        w.want_estimate = ref->estimate(*ref->algo);
+        for (int pass = 0; pass < ref->algo->passes(); ++pass) {
+          struct Tape {
+            std::vector<Workload::Event>* events;
+            void BeginList(VertexId u) { events->push_back({false, u, {}}); }
+            void OnPair(VertexId, VertexId v) {
+              events->back().list.push_back(v);
+            }
+            void EndList(VertexId) {}
+          } tape{&w.events};
+          ro.ReplayPass(tape);
+          w.events.push_back({true, 0, {}});
+        }
+        out.push_back(std::move(w));
+        continue;
+      }
       w.want_report = stream::RunPasses(stream, ref->algo.get());
       w.want_estimate = ref->estimate(*ref->algo);
 
