@@ -24,6 +24,14 @@
 //                            the sweep — a forced dump exercising the same
 //                            path as the fatal-Status/chaos triggers.
 //   --log-level LVL          structured service/driver logs (bench_util).
+//   --chrome-trace FILE      request tracing: every client call stamps a
+//                            TraceContext, and one stream's life (enqueue →
+//                            drain → estimator batch → query reply) renders
+//                            as a single connected flow in Perfetto.
+//   --prof                   hardware counters on the shard drain loops
+//                            ("service.drain" scope): prof manifest records
+//                            plus per-shard-count drain-cost curves
+//                            (`prof/service_drain/shards=N/...`).
 //   --reps N                 best-of-N runs per configuration (default 1;
 //                            small-stream points get proportionally more).
 //                            Use >= 100 when refreshing BENCH_baseline.json
@@ -178,12 +186,15 @@ struct SweepPoint {
 SweepPoint RunConfig(const std::vector<Template>& templates,
                      std::size_t streams, int shards,
                      obs::MetricsRegistry* registry,
-                     obs::FlightRecorder* flight) {
+                     obs::FlightRecorder* flight,
+                     obs::TraceSession* trace, obs::Profiler* prof) {
   ServiceOptions options;
   options.shards = shards;
   options.metrics = registry;
   options.logger = &obs::Logger::Global();
   options.flight = flight;
+  options.trace = trace;
+  options.prof = prof;
   EstimatorService svc(options);
 
   std::vector<std::future<Status>> created;
@@ -232,6 +243,15 @@ SweepPoint RunConfig(const std::vector<Template>& templates,
     }
   }
   return point;
+}
+
+// Cumulative "service.drain" totals — deltas around a configuration's reps
+// give that configuration's drain-loop hardware-counter cost.
+obs::ProfCounters DrainTotals(obs::Profiler* prof) {
+  if (prof == nullptr) return obs::ProfCounters();
+  const auto aggregates = prof->Read();
+  const auto it = aggregates.find("service.drain");
+  return it == aggregates.end() ? obs::ProfCounters() : it->second.totals;
 }
 
 }  // namespace
@@ -295,10 +315,12 @@ int Main(int argc, char** argv) {
   std::unique_ptr<obs::PeriodicScraper> scraper;
   if (!scrape_out.empty() && registry != nullptr) {
     scrape_pool = std::make_unique<runtime::ThreadPool>(1);
+    // Self-observing: the scraper's own duration/error series land in the
+    // registry it scrapes (visible from the second scrape onward).
     scraper = std::make_unique<obs::PeriodicScraper>(
         scrape_pool.get(),
         [registry] { return obs::PrometheusText(registry->Read()); },
-        scrape_out, std::chrono::milliseconds(scrape_interval_ms));
+        scrape_out, std::chrono::milliseconds(scrape_interval_ms), registry);
   }
 
   bench::Table table(opts, {{"shards", 8, bench::kColInt},
@@ -316,6 +338,9 @@ int Main(int argc, char** argv) {
   // they get proportionally more reps (same total sampling time per point).
   const int reps = std::max(1, bench::FlagValue(argc, argv, "--reps", 1));
 
+  obs::TraceSession* trace = bench::TraceSpans();
+  obs::Profiler* prof = bench::Prof();
+
   std::size_t total_mismatches = 0;
   for (int shards : shard_counts) {
     for (std::size_t streams : stream_counts) {
@@ -325,12 +350,17 @@ int Main(int argc, char** argv) {
                     : static_cast<int>(
                           (static_cast<std::size_t>(reps) * longest_x) /
                           streams);
+      const obs::ProfCounters drain_before = DrainTotals(prof);
+      int reps_run = 1;
       SweepPoint p =
-          RunConfig(templates, streams, shards, registry, flight_ptr);
+          RunConfig(templates, streams, shards, registry, flight_ptr, trace,
+                    prof);
       for (int r = 1; r < point_reps; ++r) {
         SweepPoint q =
-            RunConfig(templates, streams, shards, registry, flight_ptr);
+            RunConfig(templates, streams, shards, registry, flight_ptr,
+                      trace, prof);
         total_mismatches += q.mismatches;
+        ++reps_run;
         if (q.wall_seconds < p.wall_seconds) p = q;
       }
       const double rate =
@@ -343,6 +373,32 @@ int Main(int argc, char** argv) {
       bench::CurvePoint(
           "service_pairs_per_sec/shards=" + std::to_string(shards),
           static_cast<double>(streams), rate);
+      if (prof != nullptr) {
+        // Drain-loop cost curves per shard count: x = hosted streams,
+        // y = per-pair counter rate over every rep of this configuration.
+        // Task-clock exists on any backend; the hardware-derived curves
+        // need a real PMU (on the rusage fallback they are simply absent,
+        // and the manifest's prof records carry the fallback flag).
+        const obs::ProfCounters d = DrainTotals(prof).Minus(drain_before);
+        const double pairs_done =
+            static_cast<double>(p.pairs) * static_cast<double>(reps_run);
+        if (pairs_done > 0.0) {
+          const std::string base =
+              "prof/service_drain/shards=" + std::to_string(shards);
+          bench::CurvePoint(base + "/task_clock_ns_per_pair",
+                            static_cast<double>(streams),
+                            static_cast<double>(d.task_clock_ns) / pairs_done);
+          if (prof->backend() == obs::ProfBackend::kPerfEvent &&
+              d.cycles > 0) {
+            bench::CurvePoint(base + "/ipc", static_cast<double>(streams),
+                              d.Ipc());
+            bench::CurvePoint(base + "/cache_miss_per_pair",
+                              static_cast<double>(streams),
+                              static_cast<double>(d.cache_misses) /
+                                  pairs_done);
+          }
+        }
+      }
     }
   }
 

@@ -25,6 +25,13 @@
 //                 Perfetto / chrome://tracing) with execution spans: bench
 //                 phases, trials on their worker lanes, streaming passes,
 //                 strided list windows, and validator work.
+//   --prof        open hardware counters (obs::Profiler): per-pass and
+//                 per-trial cycles/instructions/cache/branch counts land in
+//                 `prof` manifest records, Prometheus prof.* gauges, and
+//                 Chrome-trace counter tracks. Falls back to a
+//                 task-clock-only rusage backend when perf_event_open is
+//                 denied (no PMU / perf_event_paranoid); the fallback is
+//                 flagged in every surface, never fatal.
 //   --log-level LVL      structured-log verbosity for obs::Logger::Global()
 //                 ("off"/"error"/"warn"/"info"/"debug"; default off, so
 //                 stdout/stderr stay byte-identical across thread counts).
@@ -64,10 +71,12 @@
 
 #include "core/median.h"
 #include "obs/accuracy.h"
+#include "obs/build_info.h"
 #include "obs/json.h"
 #include "obs/logger.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/space_tracer.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
@@ -136,6 +145,7 @@ struct BenchOptions {
   std::string trace_out;         // --trace-out FILE ("" = off)
   std::uint64_t trace_stride = 0;  // --trace-stride N (0 = boundaries only)
   std::string chrome_trace;      // --chrome-trace FILE ("" = off)
+  bool prof = false;             // --prof (hardware counters)
   std::string log_level;         // --log-level LVL ("" = env/default)
   std::string log_file;          // --log-file FILE ("" = stderr only)
 };
@@ -206,13 +216,27 @@ class Observability {
         trace_writer_.emplace(std::move(writer).value());
       }
     }
+    if (opts.prof) {
+      obs::Profiler::Options prof_options;
+      prof_options.trace = trace_session_.get();
+      profiler_ = std::make_unique<obs::Profiler>(prof_options);
+      std::fprintf(stderr, "[bench] prof backend: %s%s\n",
+                   obs::ProfBackendName(profiler_->backend()),
+                   profiler_->fallback() ? " (perf_event denied, fell back)"
+                                         : "");
+    }
+    if (registry_ != nullptr) {
+      obs::SetBuildInfoGauge(registry_.get());
+    }
     if (!enabled()) return;
     obs::Json run = obs::MakeRecord("run");
     run.Set("bench", obs::Json(BenchName(argc, argv)));
     run.Set("git", obs::Json(obs::GitDescribe()));
+    run.Set("build_info", obs::BuildInfoJson());
     run.Set("threads", obs::Json(opts.threads));
     run.Set("full", obs::Json(opts.full));
     run.Set("trace_stride", obs::Json(opts.trace_stride));
+    run.Set("prof", obs::Json(opts.prof));
     obs::Json args = obs::Json::Array();
     for (int i = 1; i < argc; ++i) args.Push(obs::Json(argv[i]));
     run.Set("argv", std::move(args));
@@ -230,6 +254,9 @@ class Observability {
   /// The run's execution-span session, or null when --chrome-trace is off.
   obs::TraceSession* trace_session() { return trace_session_.get(); }
 
+  /// The run's hardware-counter profiler, or null when --prof is off.
+  obs::Profiler* profiler() { return profiler_.get(); }
+
   /// batch / curve_point / slope / metrics records: metrics manifest only.
   void WriteMetricsRecord(const obs::Json& record) {
     if (metrics_writer_.has_value()) metrics_writer_->Write(record);
@@ -246,6 +273,26 @@ class Observability {
   void Finish() {
     if (finished_) return;
     finished_ = true;
+    if (profiler_ != nullptr) {
+      // Profiler aggregates fan out to every surface here, off the hot
+      // path: one `prof` manifest record per scope, and prof.* gauges in
+      // the registry (which the metrics record below then snapshots).
+      if (registry_ != nullptr) profiler_->ExportMetrics(registry_.get());
+      for (const auto& [scope, agg] : profiler_->Read()) {
+        obs::Json record = obs::MakeRecord("prof");
+        record.Set("scope", obs::Json(scope));
+        record.Set("backend",
+                   obs::Json(obs::ProfBackendName(profiler_->backend())));
+        record.Set("fallback", obs::Json(profiler_->fallback()));
+        record.Set("count", obs::Json(agg.count));
+        const obs::Json totals = agg.totals.ToJson();
+        for (const auto& [key, value] : totals.items()) {
+          record.Set(key, value);
+        }
+        record.Set("ipc", obs::Json(agg.totals.Ipc()));
+        WriteMetricsRecord(record);
+      }
+    }
     if (trace_session_ != nullptr) {
       const Status status = trace_session_->WriteTo(chrome_trace_path_);
       if (!status.ok()) {
@@ -300,6 +347,7 @@ class Observability {
   std::optional<obs::ManifestWriter> trace_writer_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceSession> trace_session_;
+  std::unique_ptr<obs::Profiler> profiler_;
   std::string chrome_trace_path_;
   std::uint64_t trace_stride_ = 0;
   bool finished_ = false;
@@ -322,6 +370,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   opts.trace_stride = static_cast<std::uint64_t>(
       FlagValue(argc, argv, "--trace-stride", 0));
   opts.chrome_trace = FlagString(argc, argv, "--chrome-trace");
+  opts.prof = HasFlag(argc, argv, "--prof");
   opts.log_level = FlagString(argc, argv, "--log-level");
   opts.log_file = FlagString(argc, argv, "--log-file");
   if (!opts.log_level.empty()) {
@@ -383,6 +432,7 @@ struct TrialCtx {
     trace.tracer = tracer;
     trace.metrics = internal::Observability::Get().registry();
     trace.spans = spans;
+    trace.prof = internal::Observability::Get().profiler();
     // Always wired: a disabled level costs one branch inside the driver's
     // per-pass (not per-pair) log site.
     trace.logger = &obs::Logger::Global();
@@ -422,7 +472,7 @@ inline std::vector<runtime::TrialResult> RunBatch(
         TrialCtx ctx{i, seed, i == 0 ? traced : nullptr, spans};
         return fn(ctx);
       },
-      &timings, spans);
+      &timings, spans, ob.profiler());
   batch_span.End();
   if (!ob.enabled()) return results;
 
@@ -573,6 +623,13 @@ inline obs::TraceSession* TraceSpans() {
 
 inline obs::TraceSession::Span Phase(const std::string& name) {
   return obs::TraceSession::Begin(TraceSpans(), name, "bench");
+}
+
+/// The run's hardware-counter profiler (null when --prof is off). Benches
+/// open extra scopes on it for phases they want attributed beyond the
+/// driver's per-pass and the runtime's per-trial scopes.
+inline obs::Profiler* Prof() {
+  return internal::Observability::Get().profiler();
 }
 
 /// Records the least-squares log-log exponent fit of a measured space

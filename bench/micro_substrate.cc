@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "core/median.h"
+#include "obs/build_info.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "core/one_pass_triangle.h"
 #include "core/two_pass_triangle.h"
@@ -390,6 +392,91 @@ void WriteReplayThroughputCurves(obs::ManifestWriter& writer) {
   }
 }
 
+// Hardware-counter curves behind --prof: one profiled replay per (graph
+// family, delivery mode), emitted as curve_point rows so the baseline can
+// carry per-pair IPC / cache-miss curves. Per-pair task-clock is always
+// available; the hardware-derived curves (ipc, cycles, cache and branch
+// misses per pair) only exist on a real PMU — on the rusage fallback the
+// run still validates, it just carries the task-clock curve alone, and the
+// `prof` records' fallback flag says why.
+void WriteProfCurves(obs::ManifestWriter& writer, obs::Profiler* prof) {
+  if (prof == nullptr) return;
+  constexpr int kReps = 3;
+  struct Row {
+    const char* curve;
+    const Graph* graph;
+    bool batched;
+  };
+  const Row rows[] = {
+      {"prof/er/pairwise", &SharedReplayGraph(), false},
+      {"prof/er/batched", &SharedReplayGraph(), true},
+      {"prof/powerlaw/pairwise", &SharedSocialGraph(), false},
+      {"prof/powerlaw/batched", &SharedSocialGraph(), true},
+  };
+  const bool perf = prof->backend() == obs::ProfBackend::kPerfEvent;
+  for (const Row& row : rows) {
+    const Graph& g = *row.graph;
+    const double pairs = static_cast<double>(2 * g.num_edges());
+    stream::AdjacencyListStream s(&g, 3);
+    stream::PairwiseOnly<stream::AdjacencyListStream> pairwise(&s);
+    // Best-of-reps, like MeasureReplayPairsPerSec: per-pair counter rates
+    // are throughput-shaped, so the minimum-interference rep is the signal.
+    obs::ProfCounters best;
+    for (int r = 0; r < kReps; ++r) {
+      obs::ProfScope scope =
+          obs::Profiler::Begin(prof, std::string("micro.replay/") + row.curve);
+      ReplayTally tally;
+      stream::RunReport report;
+      if (row.batched) {
+        report = stream::RunPasses(s, &tally);
+      } else {
+        stream::StreamAlgorithm* base = &tally;
+        report = stream::RunPasses(pairwise, base);
+      }
+      benchmark::DoNotOptimize(report.pairs_processed);
+      benchmark::DoNotOptimize(tally.sum());
+      const obs::ProfCounters delta = scope.End();
+      if (r == 0 || delta.task_clock_ns < best.task_clock_ns) best = delta;
+    }
+    auto emit = [&](const char* metric, double y) {
+      obs::Json point = obs::MakeRecord("curve_point");
+      point.Set("curve", obs::Json(std::string(row.curve) + "/" + metric));
+      point.Set("x", obs::Json(pairs));
+      point.Set("y", obs::Json(y));
+      writer.Write(point);
+    };
+    emit("task_clock_ns_per_pair",
+         static_cast<double>(best.task_clock_ns) / pairs);
+    if (perf && best.cycles > 0) {
+      emit("ipc", best.Ipc());
+      emit("cycles_per_pair", static_cast<double>(best.cycles) / pairs);
+      emit("cache_miss_per_pair",
+           static_cast<double>(best.cache_misses) / pairs);
+      emit("branch_miss_per_pair",
+           static_cast<double>(best.branch_misses) / pairs);
+    }
+  }
+}
+
+// One `prof` manifest record per scope aggregate (same shape as the
+// bench_util emitter, so bench_report.py validates both the same way).
+void WriteProfRecords(obs::ManifestWriter& writer, obs::Profiler* prof) {
+  if (prof == nullptr) return;
+  for (const auto& [scope, agg] : prof->Read()) {
+    obs::Json record = obs::MakeRecord("prof");
+    record.Set("scope", obs::Json(scope));
+    record.Set("backend", obs::Json(obs::ProfBackendName(prof->backend())));
+    record.Set("fallback", obs::Json(prof->fallback()));
+    record.Set("count", obs::Json(agg.count));
+    const obs::Json totals = agg.totals.ToJson();
+    for (const auto& [key, value] : totals.items()) {
+      record.Set(key, value);
+    }
+    record.Set("ipc", obs::Json(agg.totals.Ipc()));
+    writer.Write(record);
+  }
+}
+
 }  // namespace
 }  // namespace cyclestream
 
@@ -404,6 +491,7 @@ int main(int argc, char** argv) {
   using namespace cyclestream;
   std::string metrics_out;
   std::string chrome_trace;
+  bool prof_enabled = false;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -429,6 +517,10 @@ int main(int argc, char** argv) {
       chrome_trace = v;
       continue;
     }
+    if (arg == "--prof") {
+      prof_enabled = true;
+      continue;
+    }
     if ((arg == "--trace-out" || arg == "--trace-stride") && i + 1 < argc) {
       ++i;
       continue;
@@ -445,6 +537,15 @@ int main(int argc, char** argv) {
   if (!chrome_trace.empty()) {
     spans = std::make_unique<obs::TraceSession>();
     spans->SetProcessName("micro_substrate");
+  }
+  std::unique_ptr<obs::Profiler> prof;
+  if (prof_enabled) {
+    obs::Profiler::Options prof_options;
+    prof_options.trace = spans.get();
+    prof = std::make_unique<obs::Profiler>(prof_options);
+    std::fprintf(stderr, "[bench] prof backend: %s%s\n",
+                 obs::ProfBackendName(prof->backend()),
+                 prof->fallback() ? " (perf_event denied, fell back)" : "");
   }
   {
     auto span =
@@ -465,8 +566,19 @@ int main(int argc, char** argv) {
     obs::Json run = obs::MakeRecord("run");
     run.Set("bench", obs::Json("micro_substrate"));
     run.Set("git", obs::Json(obs::GitDescribe()));
+    run.Set("build_info", obs::BuildInfoJson());
+    run.Set("prof", obs::Json(prof != nullptr));
     writer->Write(run);
     WriteReplayThroughputCurves(*writer);
+    if (prof != nullptr) {
+      auto prof_span =
+          obs::TraceSession::Begin(spans.get(), "prof-curves", "bench");
+      WriteProfCurves(*writer, prof.get());
+      prof_span.End();
+      WriteProfRecords(*writer, prof.get());
+      prof->ExportMetrics(&MicroRegistry());
+      obs::SetBuildInfoGauge(&MicroRegistry());
+    }
     obs::Json metrics = obs::MakeRecord("metrics");
     metrics.Set("metrics", MicroRegistry().Read().ToJson());
     writer->Write(metrics);

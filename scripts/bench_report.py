@@ -6,10 +6,15 @@ The C++ benches emit newline-delimited JSON run manifests via
 This script is their consumer:
 
   validate  — schema-check one or more manifests (record types, required
-              fields, schema_version, run_end truncation trailer), plus the
-              ground-truth space audit: every batch result's
-              allocator-audited peak must agree with the self-reported peak
-              within the slack documented in src/obs/accounting.h.
+              fields, schema_version, run_end truncation trailer, the run
+              header's build_info stamp), plus the ground-truth space
+              audit: every batch result's allocator-audited peak must
+              agree with the self-reported peak within the slack
+              documented in src/obs/accounting.h. "prof" records
+              (hardware-counter aggregates from src/obs/prof.h) must carry
+              non-negative counters, an IPC inside a sanity band when the
+              perf_event backend measured real cycles, and a fallback flag
+              consistent with the backend name.
   report    — human-readable summary: batches, space curves with fitted
               log-log slopes, exponent fits, slope checks, metrics.
   fit       — refit every "fit" record's space curve (log-log least
@@ -30,7 +35,10 @@ This script is their consumer:
               when any throughput point regresses by more than --threshold
               (default 2%) below old, or a space point grows past it;
               --only SUBSTRING restricts the comparison to curve/batch
-              names containing SUBSTRING (e.g. 'shards=4').
+              names containing SUBSTRING (e.g. 'shards=4'). Curves under
+              the "prof/" prefix (hardware-counter rates) are recorded in
+              baselines but never gated — they measure the machine, not
+              the code.
 
 Slope checking: benches record ``slope`` lines with the measured log-log
 slope of a space curve, the model's predicted exponent (e.g. -2/3 for the
@@ -48,11 +56,15 @@ import math
 import os
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+# Counter fields every prof record carries (obs/prof.h ProfCounters).
+PROF_COUNTER_FIELDS = ("cycles", "instructions", "cache_references",
+                       "cache_misses", "branch_misses", "task_clock_ns")
 
 # Required fields per record type (beyond "record" and "schema_version").
 REQUIRED_FIELDS = {
-    "run": ["bench", "git"],
+    "run": ["bench", "git", "build_info"],
     "batch": ["label", "trials", "base_seed", "results"],
     "timeline": ["label", "trial", "seed", "pair_stride",
                  "max_reported_bytes", "max_audited_bytes", "passes"],
@@ -63,8 +75,29 @@ REQUIRED_FIELDS = {
     "accuracy": ["estimator", "epsilon", "delta", "trials", "within",
                  "frac_within", "within_band", "max_rel_error",
                  "mean_rel_error"],
+    "prof": ["scope", "backend", "fallback", "count",
+             *PROF_COUNTER_FIELDS, "ipc"],
     "run_end": ["records"],
 }
+
+# Fields the run header's build_info object must carry (obs/build_info.h).
+BUILD_INFO_FIELDS = ("git_sha", "compiler", "compiler_version", "build_type",
+                     "flags")
+
+# Hardware-counter backends a prof record may name (obs/prof.h). A record
+# whose backend is not "perf_event" came from the graceful-degradation
+# chain and must say so via fallback (unless rusage was requested
+# explicitly, in which case fallback stays false — so only the converse
+# is checkable: perf_event implies fallback == false).
+PROF_BACKENDS = ("perf_event", "rusage")
+
+# Sanity band for instructions-per-cycle when the perf_event backend
+# measured real cycles. Anything outside is a counter-plumbing bug, not a
+# slow program: sub-0.05 IPC means the cycle counter ran while the
+# instruction counter did not, and >8 exceeds the retire width of any
+# deployed core.
+PROF_IPC_MIN = 0.05
+PROF_IPC_MAX = 8.0
 
 RESULT_FIELDS = ["trial", "seed", "estimate", "aux", "reported_peak_bytes",
                  "audited_peak_bytes", "max_divergence_bytes",
@@ -137,6 +170,14 @@ def check_schema(path, records):
                 for field in RESULT_FIELDS:
                     if field not in row:
                         err(i, f"batch result {j} missing {field!r}")
+        if rtype == "run" and "build_info" in rec:
+            info = rec["build_info"]
+            if not isinstance(info, dict):
+                err(i, "build_info is not an object")
+            else:
+                for field in BUILD_INFO_FIELDS:
+                    if field not in info:
+                        err(i, f"build_info missing field {field!r}")
 
     if records and isinstance(records[0], dict):
         if records[0].get("record") != "run":
@@ -169,7 +210,8 @@ def collect(records):
     """Groups a manifest's records: run header, batches, curves, slopes,
     exponent fits, timelines, metrics snapshots."""
     out = {"run": None, "batches": [], "curves": {}, "slopes": [],
-           "fits": [], "timelines": [], "metrics": [], "accuracy": []}
+           "fits": [], "timelines": [], "metrics": [], "accuracy": [],
+           "profs": []}
     for rec in records:
         rtype = rec.get("record")
         if rtype == "run" and out["run"] is None:
@@ -189,6 +231,8 @@ def collect(records):
             out["metrics"].append(rec["metrics"])
         elif rtype == "accuracy":
             out["accuracy"].append(rec)
+        elif rtype == "prof":
+            out["profs"].append(rec)
     return out
 
 
@@ -376,6 +420,46 @@ def check_accuracy(path, grouped):
     return errors
 
 
+def check_prof(path, grouped):
+    """Sanity of hardware-counter aggregates: counters and counts are
+    non-negative, the backend is one the profiler can name, the fallback
+    flag is consistent with it (a perf_event record is by definition not a
+    fallback), and when perf_event measured real cycles the recorded IPC
+    both matches instructions/cycles and sits inside the plausibility
+    band [PROF_IPC_MIN, PROF_IPC_MAX]. Rusage-backend records carry zero
+    hardware counters by construction and skip the IPC band."""
+    errors = []
+    for rec in grouped["profs"]:
+        scope = rec.get("scope", "?")
+        where = f"{path}: prof {scope!r}"
+        if rec.get("count", 0) < 0:
+            errors.append(f"{where}: negative count {rec.get('count')}")
+        for field in PROF_COUNTER_FIELDS + ("ipc",):
+            value = rec.get(field, 0)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"{where}: bad {field}={value!r}")
+        backend = rec.get("backend")
+        if backend not in PROF_BACKENDS:
+            errors.append(f"{where}: unknown backend {backend!r}")
+            continue
+        if backend == "perf_event" and rec.get("fallback"):
+            errors.append(f"{where}: perf_event backend flagged as "
+                          "fallback")
+        cycles = rec.get("cycles", 0)
+        if backend == "perf_event" and cycles > 0:
+            want_ipc = rec.get("instructions", 0) / cycles
+            ipc = rec.get("ipc", 0.0)
+            if abs(ipc - want_ipc) > 1e-6 * max(1.0, want_ipc):
+                errors.append(
+                    f"{where}: ipc={ipc:.4f} but instructions/cycles="
+                    f"{want_ipc:.4f}")
+            if not PROF_IPC_MIN <= ipc <= PROF_IPC_MAX:
+                errors.append(
+                    f"{where}: ipc={ipc:.4f} outside plausibility band "
+                    f"[{PROF_IPC_MIN:g}, {PROF_IPC_MAX:g}]")
+    return errors
+
+
 def cmd_validate(args):
     failed = False
     for path in args.manifests:
@@ -395,6 +479,7 @@ def cmd_validate(args):
             errors += check_throughput_pairs(path, grouped)
             errors += check_driver_counters(path, grouped)
             errors += check_accuracy(path, grouped)
+            errors += check_prof(path, grouped)
         if errors:
             failed = True
             for e in errors:
@@ -414,6 +499,12 @@ def cmd_report(args):
         print(f"== {path} ==")
         print(f"bench: {run.get('bench', '?')}  git: {run.get('git', '?')}  "
               f"threads: {run.get('threads', '?')}")
+        info = run.get("build_info")
+        if isinstance(info, dict):
+            print(f"build: {info.get('compiler', '?')} "
+                  f"{info.get('compiler_version', '?')} "
+                  f"{info.get('build_type', '?')} [{info.get('flags', '')}] "
+                  f"@ {info.get('git_sha', '?')[:12]}")
         for batch in grouped["batches"]:
             results = batch["results"]
             est = [r["estimate"] for r in results]
@@ -460,6 +551,13 @@ def cmd_report(args):
                   f"{rec['trials']} trials within eps={rec['epsilon']:g} "
                   f"(need >= {1.0 - rec['delta']:.3f}) [{verdict} band], "
                   f"max rel err {rec['max_rel_error']:.3g}")
+        for rec in grouped["profs"]:
+            fb = ", FALLBACK" if rec.get("fallback") else ""
+            ipc = rec.get("ipc", 0.0)
+            ipc_str = f", ipc {ipc:.2f}" if ipc > 0 else ""
+            print(f"  prof {rec['scope']}: {rec['count']} scopes via "
+                  f"{rec['backend']}{fb}, task clock "
+                  f"{rec.get('task_clock_ns', 0) / 1e6:.2f}ms{ipc_str}")
         for snap in grouped["metrics"]:
             counters = snap.get("counters", {})
             for name in sorted(counters):
@@ -754,6 +852,12 @@ def baseline_batch_peaks(baseline):
 # Everything else is treated as a size/space curve where growth regresses.
 THROUGHPUT_CURVE_MARKERS = ("pairs_per_sec", "per_sec", "throughput")
 
+# Hardware-counter curves (prefix "prof/"): kept in the baseline for
+# inspection but excluded from diff gating — IPC and cache-miss rates are
+# a property of the machine (and of whether the runner's PMU is exposed
+# at all), not of the code, so a cross-host diff would always "regress".
+PROF_CURVE_PREFIX = "prof/"
+
 
 def is_throughput_curve(curve):
     return any(marker in curve for marker in THROUGHPUT_CURVE_MARKERS)
@@ -778,6 +882,8 @@ def cmd_diff(args):
         if key not in new_points:
             continue
         bench, curve, x = key
+        if curve.startswith(PROF_CURVE_PREFIX):
+            continue  # hardware-dependent; recorded but never gated
         if only and only not in curve:
             continue
         if min_x is not None and x < min_x:
@@ -816,7 +922,9 @@ def cmd_diff(args):
         if regressed:
             breaches.append(key)
 
-    missing = sorted(set(old_points) - set(new_points))
+    missing = sorted((bench, curve, x)
+                     for bench, curve, x in set(old_points) - set(new_points)
+                     if not curve.startswith(PROF_CURVE_PREFIX))
     for bench, curve, x in missing[:10]:
         print(f"note {bench}: {curve} @ x={x:g} absent from {args.new}")
     print(f"{'FAIL' if breaches else 'OK  '} compared {compared} points, "

@@ -1,0 +1,81 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics.h"
+
+#ifndef CYCLESTREAM_GIT_SHA
+#define CYCLESTREAM_GIT_SHA "unknown"
+#endif
+#ifndef CYCLESTREAM_GIT_DESCRIBE
+#define CYCLESTREAM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CYCLESTREAM_COMPILER_ID
+#define CYCLESTREAM_COMPILER_ID "unknown"
+#endif
+#ifndef CYCLESTREAM_COMPILER_VERSION
+#define CYCLESTREAM_COMPILER_VERSION "unknown"
+#endif
+#ifndef CYCLESTREAM_BUILD_TYPE
+#define CYCLESTREAM_BUILD_TYPE "unspecified"
+#endif
+#ifndef CYCLESTREAM_BUILD_FLAGS
+#define CYCLESTREAM_BUILD_FLAGS ""
+#endif
+
+namespace cyclestream {
+namespace obs {
+
+namespace {
+
+// Label values ride inside the registry's "name/k=v,k2=v2" convention:
+// the three structural characters must not appear in a value.
+std::string LabelSafe(std::string value) {
+  for (char& c : value) {
+    if (c == '/' || c == ',' || c == '=') c = '-';
+  }
+  return value;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = CYCLESTREAM_GIT_SHA;
+    b.git_describe = CYCLESTREAM_GIT_DESCRIBE;
+    b.compiler = CYCLESTREAM_COMPILER_ID;
+    b.compiler_version = CYCLESTREAM_COMPILER_VERSION;
+    b.build_type = CYCLESTREAM_BUILD_TYPE;
+    b.flags = CYCLESTREAM_BUILD_FLAGS;
+    return b;
+  }();
+  return info;
+}
+
+Json BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  Json out = Json::Object();
+  out.Set("git_sha", Json(info.git_sha));
+  out.Set("git_describe", Json(info.git_describe));
+  out.Set("compiler", Json(info.compiler));
+  out.Set("compiler_version", Json(info.compiler_version));
+  out.Set("build_type", Json(info.build_type));
+  out.Set("flags", Json(info.flags));
+  return out;
+}
+
+void SetBuildInfoGauge(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const BuildInfo& info = GetBuildInfo();
+  const std::string sha = info.git_sha.size() > 12
+                              ? info.git_sha.substr(0, 12)
+                              : info.git_sha;
+  registry
+      ->GetGauge("build_info/git=" + LabelSafe(sha) +
+                 ",compiler=" + LabelSafe(info.compiler) + "-" +
+                 LabelSafe(info.compiler_version) +
+                 ",build_type=" + LabelSafe(info.build_type))
+      .Set(1.0);
+}
+
+}  // namespace obs
+}  // namespace cyclestream

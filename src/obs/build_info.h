@@ -1,0 +1,42 @@
+// Build-info stamping: the exact commit, compiler, and flag set baked
+// into this binary at configure time (see src/CMakeLists.txt), so every
+// manifest header and Prometheus scrape is attributable to one build.
+
+#ifndef CYCLESTREAM_OBS_BUILD_INFO_H_
+#define CYCLESTREAM_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace cyclestream {
+namespace obs {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  std::string git_sha;           // full commit hash, "unknown" outside git
+  std::string git_describe;      // describe --always --dirty
+  std::string compiler;          // e.g. "GNU" / "Clang"
+  std::string compiler_version;  // e.g. "12.2.0"
+  std::string build_type;        // CMAKE_BUILD_TYPE or "unspecified"
+  std::string flags;             // effective CXX flags incl. sanitizer mode
+};
+
+/// The stamp compiled into this binary. Constant for the process.
+const BuildInfo& GetBuildInfo();
+
+/// {"git_sha":...,"git_describe":...,"compiler":...,"compiler_version":...,
+///  "build_type":...,"flags":...} — the manifest run header's
+/// "build_info" field.
+Json BuildInfoJson();
+
+/// Sets the conventional info-style gauge
+/// `build_info{git=...,compiler=...,build_type=...} 1` so scrapes name
+/// the binary they came from. No-op on a null registry.
+void SetBuildInfoGauge(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_OBS_BUILD_INFO_H_

@@ -56,9 +56,17 @@ class PeriodicScraper {
   /// Starts scraping every `interval` onto `path`. The first scrape
   /// happens after one interval, not immediately; Stop() always writes a
   /// final scrape so the file exists even for short runs.
+  ///
+  /// `self_metrics` (optional) makes the scraper observe itself into the
+  /// registry it typically scrapes: `scraper.scrape_seconds` (histogram
+  /// of render+write duration), `scraper.scrapes` and `scraper.errors`
+  /// (counters; an error is a failed temp-file open or rename, which was
+  /// previously silent). Self-samples recorded during scrape N appear in
+  /// scrape N+1 — the registry read happens inside `scrape()`.
   PeriodicScraper(runtime::ThreadPool* pool,
                   std::function<std::string()> scrape, std::string path,
-                  std::chrono::milliseconds interval);
+                  std::chrono::milliseconds interval,
+                  MetricsRegistry* self_metrics = nullptr);
 
   /// Stops the loop (idempotent) and joins the worker-side task.
   ~PeriodicScraper();
@@ -80,6 +88,10 @@ class PeriodicScraper {
   const std::function<std::string()> scrape_;
   const std::string path_;
   const std::chrono::milliseconds interval_;
+  Histogram scrape_seconds_;
+  Counter scrape_count_;
+  Counter scrape_errors_;
+  const bool self_metrics_ = false;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;          // guarded by mu_

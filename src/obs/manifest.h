@@ -3,9 +3,10 @@
 // consumes.
 //
 // A manifest is a sequence of newline-delimited JSON records, each with a
-// "record" type tag and "schema_version". Record types (schema v2):
+// "record" type tag and "schema_version". Record types (schema v3):
 //
-//   run         — first line: bench name, git describe, seed, threads, argv
+//   run         — first line: bench name, git describe, build_info stamp
+//                 (exact sha / compiler / flags), seed, threads, argv
 //   batch       — one per bench batch (label, per-trial estimate/space/time)
 //   timeline    — space timeline of a traced trial (per-pass points, each
 //                 [pairs, reported_bytes, audited_bytes])
@@ -15,12 +16,17 @@
 //                 curve (fitted_exponent next to predicted_exponent)
 //   metrics     — MetricsRegistry snapshot (counters + histograms with
 //                 max/p50/p95)
+//   accuracy    — per-estimator (epsilon, delta) band verdicts
+//   prof        — one hardware-counter aggregate per ProfScope name:
+//                 backend ("perf_event"/"rusage"), fallback flag, scope
+//                 count, cycles/instructions/cache/branch/task-clock
+//                 totals, derived ipc (0 when unavailable)
 //   run_end     — last line: totals and record count for truncation checks
 //
-// Schema v2 (this version) renames batch space fields to the
-// reported_/audited_ scheme: `max_peak_space_bytes` became
-// `max_reported_peak_bytes`, joined by `max_audited_peak_bytes` and
-// `max_divergence_bytes`; timeline points grew from 2-arrays to 3-arrays.
+// Schema v3 (this version) adds the `prof` record type and the run
+// header's required `build_info` object. v2 renamed batch space fields
+// to the reported_/audited_ scheme and widened timeline points to
+// 3-arrays.
 //
 // Writers flush per line so a crashed run leaves a readable prefix.
 
@@ -38,7 +44,7 @@ namespace obs {
 
 /// Bump when record shapes change incompatibly; bench_report.py validates
 /// against this.
-inline constexpr int kManifestSchemaVersion = 2;
+inline constexpr int kManifestSchemaVersion = 3;
 
 /// The `git describe --always --dirty` of the built tree, captured at
 /// configure time; "unknown" when built outside a git checkout.

@@ -36,6 +36,37 @@ void TraceSession::EmitComplete(std::string name, std::string category,
   events_.push_back(std::move(event));
 }
 
+void TraceSession::EmitCounter(std::string name, std::uint64_t ts_ns,
+                               Json values) {
+  Event event;
+  event.name = std::move(name);
+  event.category = "prof";
+  event.phase = 'C';
+  event.start_ns = ts_ns;
+  event.end_ns = ts_ns;
+  event.tid = ThreadLane();
+  event.args = std::move(values);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::EmitFlow(FlowPhase phase, std::string name,
+                            std::string category, std::uint64_t flow_id,
+                            std::uint64_t ts_ns) {
+  Event event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = phase == FlowPhase::kStart ? 's'
+                : phase == FlowPhase::kStep ? 't'
+                                            : 'f';
+  event.start_ns = ts_ns;
+  event.end_ns = ts_ns;
+  event.flow_id = flow_id;
+  event.tid = ThreadLane();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
 void TraceSession::SetProcessName(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   process_name_ = std::move(name);
@@ -93,14 +124,25 @@ Json TraceSession::ToJson() const {
     Json row = Json::Object();
     row.Set("name", Json(event.name));
     row.Set("cat", Json(event.category));
-    row.Set("ph", Json("X"));
+    row.Set("ph", Json(std::string(1, event.phase)));
     // Trace-event timestamps are microseconds; fractional values keep
     // nanosecond resolution.
     row.Set("ts", Json(static_cast<double>(event.start_ns) / 1000.0));
-    row.Set("dur",
-            Json(static_cast<double>(event.end_ns - event.start_ns) / 1000.0));
+    if (event.phase == 'X') {
+      row.Set("dur", Json(static_cast<double>(event.end_ns - event.start_ns) /
+                          1000.0));
+    }
     row.Set("pid", Json(1));
     row.Set("tid", Json(event.tid));
+    if (event.phase == 's' || event.phase == 't' || event.phase == 'f') {
+      // String id: 64-bit flow ids survive JSON intact (doubles wouldn't).
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%llx",
+                    static_cast<unsigned long long>(event.flow_id));
+      row.Set("id", Json(std::string(hex)));
+      // Bind the flow end to the enclosing slice, not the next one.
+      if (event.phase == 'f') row.Set("bp", Json("e"));
+    }
     if (event.args.kind() == Json::Kind::kObject) {
       row.Set("args", event.args);
     }

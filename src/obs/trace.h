@@ -52,6 +52,23 @@ class TraceSession {
                     std::uint64_t start_ns, std::uint64_t end_ns,
                     Json args = Json());
 
+  /// Records one counter-track sample (ph:"C"): `values` is an object of
+  /// series-name → number, rendered by Perfetto as a stacked counter
+  /// track named `name`. Used for hardware-counter tracks (obs::Profiler).
+  void EmitCounter(std::string name, std::uint64_t ts_ns, Json values);
+
+  /// Phases of a flow (an arrow chain connecting slices across threads):
+  /// one kStart, any number of kStep, one kEnd, all sharing `flow_id`.
+  enum class FlowPhase { kStart, kStep, kEnd };
+
+  /// Records one flow event at `ts_ns` on the calling thread's lane.
+  /// Viewers bind it to the slice enclosing `ts_ns` on that lane, so emit
+  /// it from inside the span it should attach to. The service stamps
+  /// every mailbox envelope with a TraceContext and threads one flow per
+  /// stream through enqueue → drain → estimator batch → query reply.
+  void EmitFlow(FlowPhase phase, std::string name, std::string category,
+                std::uint64_t flow_id, std::uint64_t ts_ns);
+
   /// Names the process in trace viewers (emitted as a metadata event).
   void SetProcessName(std::string name);
 
@@ -138,8 +155,11 @@ class TraceSession {
   struct Event {
     std::string name;
     std::string category;
+    // 'X' complete, 'C' counter, 's'/'t'/'f' flow start/step/end.
+    char phase = 'X';
     std::uint64_t start_ns = 0;
     std::uint64_t end_ns = 0;
+    std::uint64_t flow_id = 0;  // flow events only
     std::uint32_t tid = 0;
     Json args;
   };

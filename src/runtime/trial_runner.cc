@@ -33,7 +33,8 @@ int TrialRunner::num_threads() const {
 
 std::vector<TrialResult> TrialRunner::Run(
     std::size_t num_trials, std::uint64_t base_seed, const TrialFn& fn,
-    std::vector<TrialTiming>* timings, obs::TraceSession* spans) const {
+    std::vector<TrialTiming>* timings, obs::TraceSession* spans,
+    obs::Profiler* prof) const {
   if (timings != nullptr) {
     timings->assign(num_trials, TrialTiming{});
   }
@@ -44,8 +45,8 @@ std::vector<TrialResult> TrialRunner::Run(
   const bool inline_run = pool_ == nullptr || num_trials <= 1;
   return Map<TrialResult>(
       num_trials, base_seed,
-      [&fn, timings, submit, inline_run, spans](std::size_t i,
-                                                std::uint64_t seed) {
+      [&fn, timings, submit, inline_run, spans, prof](std::size_t i,
+                                                      std::uint64_t seed) {
         obs::TraceSession::Span span;
         if (spans != nullptr) {
           // Name the lane so Perfetto shows "trial-worker-N" instead of a
@@ -58,8 +59,11 @@ std::vector<TrialResult> TrialRunner::Run(
           span = obs::TraceSession::Begin(
               spans, "trial " + std::to_string(i), "trial");
         }
+        obs::ProfScope prof_scope =
+            obs::Profiler::Begin(prof, "runtime.trial");
         const auto start = std::chrono::steady_clock::now();
         TrialResult result = fn(i, seed);
+        prof_scope.End();
         span.End();
         if (timings != nullptr) {
           // Slot i is owned by trial i (pre-sized above), so no locking.

@@ -31,6 +31,26 @@ enum class OpKind : std::uint8_t {
 constexpr double kLatencyBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
                                      1e-2, 0.1,  1.0,  10.0};
 
+// Distinct flow-id namespace per service instance (never reused).
+std::uint64_t NextServiceSalt() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL;
+}
+
+const char* OpName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate: return "create";
+    case OpKind::kList: return "append";
+    case OpKind::kEndPass: return "end_pass";
+    case OpKind::kQuery: return "query";
+    case OpKind::kCheckpoint: return "checkpoint";
+    case OpKind::kRestore: return "restore";
+    case OpKind::kKill: return "kill";
+    case OpKind::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 // One mailbox message. Exactly one promise pointer is set, matching the
@@ -38,6 +58,7 @@ constexpr double kLatencyBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
 struct EstimatorService::Op {
   OpKind kind = OpKind::kBarrier;
   StreamId id = 0;
+  TraceContext trace;
   VertexId u = 0;
   std::vector<VertexId> list;
   EstimatorSpec spec;
@@ -73,12 +94,18 @@ struct EstimatorService::Shard {
   obs::Counter ops, lists, pairs, queries, checkpoints, restores, kills,
       drains, dropped, errors;
   obs::Histogram queue_depth, latency, occupancy;
+  // Latency attribution beyond mailbox wait: whole-batch drain time and
+  // single-op estimator compute time.
+  obs::Histogram drain_seconds, process_seconds;
 };
 
 EstimatorService::EstimatorService(const ServiceOptions& options)
     : drain_budget_(std::max<std::size_t>(options.drain_budget, 1)),
       metrics_(options.metrics),
       flight_(options.flight),
+      trace_(options.trace),
+      prof_(options.prof),
+      trace_salt_(NextServiceSalt()),
       log_(options.logger, "service"),
       pool_(options.threads > 0 ? options.threads
                                 : std::max(options.shards, 1)) {
@@ -115,6 +142,14 @@ EstimatorService::EstimatorService(const ServiceOptions& options)
                               std::end(kLatencyBounds)));
       shard->occupancy = metrics_->GetHistogram("service.shard_occupancy",
                                                 obs::Log2Bounds(0, 20));
+      shard->drain_seconds = metrics_->GetHistogram(
+          "service.drain_batch_seconds",
+          std::vector<double>(std::begin(kLatencyBounds),
+                              std::end(kLatencyBounds)));
+      shard->process_seconds = metrics_->GetHistogram(
+          "service.op_process_seconds",
+          std::vector<double>(std::begin(kLatencyBounds),
+                              std::end(kLatencyBounds)));
     }
     shards_.push_back(std::move(shard));
   }
@@ -144,9 +179,37 @@ EstimatorService::Shard& EstimatorService::ShardFor(StreamId id) {
   return *shards_[static_cast<std::size_t>(ShardOf(id, shards()))];
 }
 
+TraceContext EstimatorService::StampTrace(StreamId id) {
+  TraceContext context;
+  if (trace_ == nullptr) return context;  // all-zero: data path untouched
+  // Stable per-stream flow id, salted per service instance so two services
+  // sharing one TraceSession (e.g. a sweep) never merge their arrow
+  // chains. Mix64 maps exactly one input to 0, which would read as
+  // "untraced" — nudge it to 1.
+  context.trace_id = Mix64(id ^ trace_salt_);
+  if (context.trace_id == 0) context.trace_id = 1;
+  context.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
 void EstimatorService::Enqueue(Shard& shard, Op op) {
-  if (metrics_ != nullptr) {
+  if (metrics_ != nullptr || trace_ != nullptr) {
     op.enqueued = std::chrono::steady_clock::now();
+  }
+  if (trace_ != nullptr && op.trace.trace_id != 0) {
+    // Producer side of the request flow: a small slice on the caller's
+    // lane with the flow anchor inside it, so the arrow starts (Create) or
+    // steps (everything else) from where the client handed the op off.
+    const std::uint64_t start = trace_->NowNs();
+    trace_->EmitFlow(op.kind == OpKind::kCreate
+                         ? obs::TraceSession::FlowPhase::kStart
+                         : obs::TraceSession::FlowPhase::kStep,
+                     "stream", "service", op.trace.trace_id, start);
+    obs::Json args = obs::Json::Object();
+    args.Set("stream", obs::Json(op.id));
+    args.Set("span", obs::Json(op.trace.span_id));
+    trace_->EmitComplete(std::string("service.enqueue ") + OpName(op.kind),
+                         "service", start, trace_->NowNs(), std::move(args));
   }
   if (flight_ != nullptr) {
     flight_->Record(obs::FlightEventKind::kEnqueue,
@@ -200,7 +263,26 @@ void EstimatorService::Drain(std::size_t shard_index) {
                  obs::Json(static_cast<std::uint64_t>(shard.streams.size())));
       log_.Debug("drain batch", fields);
     }
+    obs::TraceSession::Span drain_span;
+    if (trace_ != nullptr) {
+      drain_span = obs::TraceSession::Begin(trace_, "service.drain",
+                                            "service");
+      drain_span.SetArg("shard",
+                        obs::Json(static_cast<std::uint64_t>(shard.index)));
+      drain_span.SetArg("batch",
+                        obs::Json(static_cast<std::uint64_t>(batch.size())));
+    }
+    obs::ProfScope drain_prof = obs::Profiler::Begin(prof_, "service.drain");
+    const auto batch_start = std::chrono::steady_clock::now();
     for (Op& op : batch) Process(shard, op);
+    if (metrics_ != nullptr) {
+      shard.drain_seconds.Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        batch_start)
+              .count());
+    }
+    drain_prof.End();
+    drain_span.End();
     processed += batch.size();
     if (processed >= drain_budget_) {
       // Yield the worker; keep the scheduled flag (this task still owns
@@ -213,15 +295,40 @@ void EstimatorService::Drain(std::size_t shard_index) {
 
 void EstimatorService::Process(Shard& shard, Op& op) {
   if (metrics_ != nullptr) shard.ops.Increment();
+  obs::TraceSession::Span span;
+  if (trace_ != nullptr) {
+    span = obs::TraceSession::Begin(
+        trace_, std::string("service.") + OpName(op.kind), "service");
+    span.SetArg("stream", obs::Json(op.id));
+    span.SetArg("shard", obs::Json(static_cast<std::uint64_t>(shard.index)));
+    if (op.trace.trace_id != 0) {
+      span.SetArg("span", obs::Json(op.trace.span_id));
+      // Consumer side of the request flow, anchored inside this op's
+      // slice. The stream's arrow chain terminates at its Query reply.
+      trace_->EmitFlow(op.kind == OpKind::kQuery
+                           ? obs::TraceSession::FlowPhase::kEnd
+                           : obs::TraceSession::FlowPhase::kStep,
+                       "stream", "service", op.trace.trace_id,
+                       trace_->NowNs());
+    }
+  }
+  std::chrono::steady_clock::time_point start;
+  if (metrics_ != nullptr) start = std::chrono::steady_clock::now();
   switch (op.kind) {
-    case OpKind::kCreate: DoCreate(shard, op); return;
-    case OpKind::kList: DoList(shard, op); return;
-    case OpKind::kEndPass: DoEndPass(shard, op); return;
-    case OpKind::kQuery: DoQuery(shard, op); return;
-    case OpKind::kCheckpoint: DoCheckpoint(shard, op); return;
-    case OpKind::kRestore: DoRestore(shard, op); return;
-    case OpKind::kKill: DoKill(shard, op); return;
-    case OpKind::kBarrier: op.barrier_promise->set_value(); return;
+    case OpKind::kCreate: DoCreate(shard, op); break;
+    case OpKind::kList: DoList(shard, op); break;
+    case OpKind::kEndPass: DoEndPass(shard, op); break;
+    case OpKind::kQuery: DoQuery(shard, op); break;
+    case OpKind::kCheckpoint: DoCheckpoint(shard, op); break;
+    case OpKind::kRestore: DoRestore(shard, op); break;
+    case OpKind::kKill: DoKill(shard, op); break;
+    case OpKind::kBarrier: op.barrier_promise->set_value(); break;
+  }
+  if (metrics_ != nullptr) {
+    shard.process_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
   }
 }
 
@@ -571,6 +678,7 @@ std::future<Status> EstimatorService::Create(StreamId id, EstimatorSpec spec) {
   Op op;
   op.kind = OpKind::kCreate;
   op.id = id;
+  op.trace = StampTrace(id);
   op.spec = spec;
   op.status_promise = std::make_unique<std::promise<Status>>();
   std::future<Status> future = op.status_promise->get_future();
@@ -583,6 +691,7 @@ void EstimatorService::Append(StreamId id, VertexId u,
   Op op;
   op.kind = OpKind::kList;
   op.id = id;
+  op.trace = StampTrace(id);
   op.u = u;
   op.list = std::move(list);
   Enqueue(ShardFor(id), std::move(op));
@@ -592,6 +701,7 @@ void EstimatorService::EndPass(StreamId id) {
   Op op;
   op.kind = OpKind::kEndPass;
   op.id = id;
+  op.trace = StampTrace(id);
   Enqueue(ShardFor(id), std::move(op));
 }
 
@@ -599,6 +709,7 @@ std::future<StatusOr<StreamView>> EstimatorService::Query(StreamId id) {
   Op op;
   op.kind = OpKind::kQuery;
   op.id = id;
+  op.trace = StampTrace(id);
   op.view_promise =
       std::make_unique<std::promise<StatusOr<StreamView>>>();
   std::future<StatusOr<StreamView>> future = op.view_promise->get_future();
@@ -642,6 +753,9 @@ std::future<Status> EstimatorService::RestoreShard(
 
 std::string EstimatorService::ScrapeMetrics() const {
   if (metrics_ == nullptr) return std::string();
+  // Refresh the profiler's gauge surface so a scrape carries the latest
+  // drain-loop hardware-counter aggregates alongside the op metrics.
+  if (prof_ != nullptr) prof_->ExportMetrics(metrics_);
   return obs::PrometheusText(metrics_->Read());
 }
 

@@ -48,10 +48,26 @@
 // Status and on chaos KillShard. Telemetry never touches estimator
 // inputs, so instrumented and bare services produce bit-identical
 // estimates.
+//
+// Request tracing: with an `obs::TraceSession` attached, every client call
+// stamps its mailbox envelope with a `TraceContext` (trace id derived from
+// the stream id, fresh span id per request). The producer side emits a
+// small "service.enqueue" slice with a flow event inside it ('s' on
+// Create, 't' afterwards); the consumer side wraps each op in a
+// "service.<op>" slice carrying a matching flow step ('f' on Query). One
+// stream's life — enqueue, drain, estimator batch, query reply — renders
+// as a single connected arrow chain in Perfetto. Latency attribution
+// splits three ways in the metrics registry: `service.op_latency_seconds`
+// (mailbox queue wait), `service.drain_batch_seconds` (whole drain batch),
+// `service.op_process_seconds` (single-op estimator compute). With an
+// `obs::Profiler` attached, each drain batch runs under a "service.drain"
+// ProfScope, so shard-worker hardware counters land in the profiler's
+// aggregates and on the scrape surface.
 
 #ifndef CYCLESTREAM_SERVICE_SERVICE_H_
 #define CYCLESTREAM_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -62,6 +78,8 @@
 #include "obs/flight_recorder.h"
 #include "obs/logger.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "service/estimator_host.h"
 #include "stream/driver.h"
@@ -74,6 +92,18 @@ namespace service {
 /// through a stable hash, so a given id always lands on the same shard for
 /// a fixed shard count.
 using StreamId = std::uint64_t;
+
+/// Identity a request carries through the mailbox. `trace_id` is stable
+/// per stream (a hash of the stream id, never 0 when tracing is on) and
+/// doubles as the Chrome-trace flow id, so every envelope of one stream
+/// joins the same arrow chain; `span_id` is unique per request and links
+/// the producer-side enqueue slice to the consumer-side process slice in
+/// event args. Both are 0 when no TraceSession is attached — the data
+/// path then never touches the tracing fields.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
 
 struct ServiceOptions {
   /// Number of shards (state partitions). Clamped to >= 1.
@@ -91,6 +121,13 @@ struct ServiceOptions {
   obs::Logger* logger = nullptr;
   /// Optional flight recorder for post-mortem event rings (caller-owned).
   obs::FlightRecorder* flight = nullptr;
+  /// Optional Chrome-trace session: request spans + per-stream flow events
+  /// (caller-owned, must outlive the service). Null = no tracing, and the
+  /// request path costs one pointer test per op.
+  obs::TraceSession* trace = nullptr;
+  /// Optional hardware-counter profiler: each drain batch runs under a
+  /// "service.drain" ProfScope (caller-owned). Null = one branch per batch.
+  obs::Profiler* prof = nullptr;
 };
 
 /// Point-in-time view of one stream, returned by Query.
@@ -180,6 +217,9 @@ class EstimatorService {
   struct Shard;
 
   Shard& ShardFor(StreamId id);
+  /// Stamps a fresh TraceContext for a request on `id` (all-zero when no
+  /// trace session is attached).
+  TraceContext StampTrace(StreamId id);
   void Enqueue(Shard& shard, Op op);
   void Drain(std::size_t shard_index);
   void Process(Shard& shard, Op& op);
@@ -203,6 +243,10 @@ class EstimatorService {
   const std::size_t drain_budget_;
   obs::MetricsRegistry* const metrics_;
   obs::FlightRecorder* const flight_;
+  obs::TraceSession* const trace_;
+  obs::Profiler* const prof_;
+  const std::uint64_t trace_salt_;  // per-instance flow-id namespace
+  std::atomic<std::uint64_t> next_span_id_{1};
   obs::LogScope log_;
   std::vector<std::unique_ptr<Shard>> shards_;
   runtime::ThreadPool pool_;  // declared last: destroyed (joined) first

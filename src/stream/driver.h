@@ -85,6 +85,7 @@
 
 #include "obs/logger.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/space_tracer.h"
 #include "obs/trace.h"
 #include "snapshot/snapshot.h"
@@ -107,6 +108,12 @@ struct PassReport {
   std::size_t audited_peak_bytes = 0;
   /// Pairs delivered in this pass.
   std::size_t pairs_processed = 0;
+  /// Hardware counters spent in this pass (all zero unless
+  /// TraceOptions::prof was set). Observability, not algorithm state:
+  /// excluded from snapshot serialization, so a resumed run's counters
+  /// cover only post-resume work and checkpoint bytes stay identical
+  /// with profiling on or off.
+  obs::ProfCounters prof;
 };
 
 /// Result of driving an algorithm over a stream.
@@ -129,6 +136,8 @@ struct RunReport {
   /// Per-pass breakdown; size() == passes completed (may be <
   /// passes_requested if a checked run aborted on a violation).
   std::vector<PassReport> per_pass;
+  /// Sum of per_pass prof counters (see PassReport::prof).
+  obs::ProfCounters prof;
 };
 
 /// Optional instrumentation for a driver run. Default-constructed ==
@@ -153,6 +162,11 @@ struct TraceOptions {
   /// completed pass (pass index, pairs, peak bytes). Never consulted on
   /// the per-pair path.
   obs::Logger* logger = nullptr;
+  /// If set, every pass runs under a ProfScope named
+  /// "driver.pass/pass=N" and its hardware-counter delta lands in
+  /// PassReport::prof / RunReport::prof. One branch per pass when null;
+  /// nothing on the per-pair path either way.
+  obs::Profiler* prof = nullptr;
 };
 
 /// Caller verdict after receiving one checkpoint snapshot.
@@ -190,6 +204,7 @@ class MeteredSink {
         domain_(algorithm->memory_domain()),
         tracer_(trace.tracer),
         spans_(trace.spans),
+        prof_(trace.prof),
         list_span_stride_(std::max<std::size_t>(trace.list_span_stride, 1)),
         pair_stride_(trace.tracer != nullptr ? trace.tracer->pair_stride()
                                              : 0) {}
@@ -203,6 +218,7 @@ class MeteredSink {
       lists_in_window_ = 0;
       window_start_vertex_ = 0;
     }
+    BeginPassProf(pass);
   }
 
   // BeginPass for a pass restored from a checkpoint: the restored report
@@ -217,6 +233,7 @@ class MeteredSink {
       lists_in_window_ = 0;
       window_start_vertex_ = 0;
     }
+    BeginPassProf(pass);
   }
 
   void BeginList(VertexId u) {
@@ -273,9 +290,21 @@ class MeteredSink {
           obs::Json(report_->per_pass.back().pairs_processed));
       pass_span_.End();
     }
+    if (prof_ != nullptr) {
+      const obs::ProfCounters delta = pass_prof_.End();
+      report_->per_pass.back().prof.Add(delta);
+      report_->prof.Add(delta);
+    }
   }
 
  private:
+  void BeginPassProf(int pass) {
+    if (prof_ != nullptr) {
+      pass_prof_ = obs::Profiler::Begin(
+          prof_, "driver.pass/pass=" + std::to_string(pass));
+    }
+  }
+
   void SampleSpace() {
     const std::size_t reported = algorithm_->CurrentSpaceBytes();
     PassReport& pass = report_->per_pass.back();
@@ -311,10 +340,12 @@ class MeteredSink {
   const obs::MemoryDomain* domain_;
   obs::SpaceTracer* tracer_;
   obs::TraceSession* spans_;
+  obs::Profiler* prof_;
   std::size_t list_span_stride_;
   std::size_t pair_stride_;
   obs::TraceSession::Span pass_span_;
   obs::TraceSession::Span list_span_;
+  obs::ProfScope pass_prof_;
   std::size_t lists_in_window_ = 0;
   VertexId window_start_vertex_ = 0;
 };
@@ -414,7 +445,12 @@ Status CheckModelAccepted(const StreamT& stream, const AlgoT* algorithm) {
 
 // RunReport codec for checkpoint payloads: the report travels inside the
 // snapshot so a resumed run's peaks/counters continue from the exact values
-// the crashed run had accumulated.
+// the crashed run had accumulated. Prof counters are deliberately NOT part
+// of the codec: they are observability, not stream-position state, and
+// hardware counts are nondeterministic — serializing them would make
+// checkpoint bytes differ between profiled and unprofiled runs and break
+// the chaos harness's bit-identity checks. A resumed run's prof counters
+// therefore cover only post-resume work.
 inline void SerializeReport(const RunReport& report,
                             snapshot::SnapshotWriter& w) {
   w.WriteU64(report.reported_peak_bytes);
@@ -577,6 +613,19 @@ inline void ExportDriverMetrics(const RunReport& report,
       .Increment(static_cast<std::uint64_t>(report.passes_requested));
   metrics->GetCounter("driver.pairs_processed")
       .Increment(report.pairs_processed);
+  if (!report.prof.IsZero()) {
+    metrics->GetCounter("driver.prof.cycles").Increment(report.prof.cycles);
+    metrics->GetCounter("driver.prof.instructions")
+        .Increment(report.prof.instructions);
+    metrics->GetCounter("driver.prof.cache_references")
+        .Increment(report.prof.cache_references);
+    metrics->GetCounter("driver.prof.cache_misses")
+        .Increment(report.prof.cache_misses);
+    metrics->GetCounter("driver.prof.branch_misses")
+        .Increment(report.prof.branch_misses);
+    metrics->GetCounter("driver.prof.task_clock_ns")
+        .Increment(report.prof.task_clock_ns);
+  }
 }
 
 // One structured record per completed pass (debug level; no-op without a

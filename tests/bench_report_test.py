@@ -38,9 +38,18 @@ def result_row(trial=0, seed=1, estimate=1.0, reported=1024, audited=0):
             "queue_wait_seconds": 0.0}
 
 
+def build_info(**overrides):
+    info = {"git_sha": "deadbeef", "compiler": "GNU",
+            "compiler_version": "12.2.0", "build_type": "RelWithDebInfo",
+            "flags": "-O2 -g -DNDEBUG"}
+    info.update(overrides)
+    return info
+
+
 def minimal_manifest(extra=None):
     """A schema-valid manifest: run header, optional extras, run_end."""
-    records = [record("run", bench="test-bench", git="deadbeef")]
+    records = [record("run", bench="test-bench", git="deadbeef",
+                      build_info=build_info())]
     records.extend(extra or [])
     records.append(record("run_end", records=len(records) + 1))
     return records
@@ -156,6 +165,23 @@ class SchemaTest(unittest.TestCase):
                    record("run_end", records=2)]
         errors = br.check_schema("m", records)
         self.assertTrue(any("first record is not 'run'" in e for e in errors))
+
+    def test_run_without_build_info_fails(self):
+        records = minimal_manifest()
+        del records[0]["build_info"]
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("build_info" in e for e in errors))
+
+    def test_build_info_fields_are_checked(self):
+        records = minimal_manifest()
+        del records[0]["build_info"]["compiler_version"]
+        errors = br.check_schema("m", records)
+        self.assertTrue(
+            any("build_info missing field 'compiler_version'" in e
+                for e in errors))
+        records[0]["build_info"] = "not-an-object"
+        errors = br.check_schema("m", records)
+        self.assertTrue(any("not an object" in e for e in errors))
 
 
 class CrossCheckTest(unittest.TestCase):
@@ -357,6 +383,74 @@ class AccuracyCheckTest(unittest.TestCase):
         self.assertTrue(any("mean_rel_error" in e for e in errors))
 
 
+def prof_record(**overrides):
+    rec = record("prof", scope="service.drain", backend="perf_event",
+                 fallback=False, count=100, cycles=1e9, instructions=2e9,
+                 cache_references=1e7, cache_misses=1e6, branch_misses=1e5,
+                 task_clock_ns=4e8, ipc=2.0)
+    rec.update(overrides)
+    return rec
+
+
+class ProfCheckTest(unittest.TestCase):
+    def check(self, rec):
+        return br.check_prof("m", {"profs": [rec]})
+
+    def test_perf_event_record_passes(self):
+        self.assertEqual(self.check(prof_record()), [])
+
+    def test_rusage_fallback_record_passes(self):
+        # The graceful-degradation path: zero hardware counters, only task
+        # clock, fallback flagged. No IPC band applies.
+        rec = prof_record(backend="rusage", fallback=True, cycles=0,
+                          instructions=0, cache_references=0, cache_misses=0,
+                          branch_misses=0, ipc=0.0)
+        self.assertEqual(self.check(rec), [])
+
+    def test_negative_counter_fails(self):
+        errors = self.check(prof_record(cache_misses=-1))
+        self.assertTrue(any("cache_misses" in e for e in errors))
+
+    def test_unknown_backend_fails(self):
+        errors = self.check(prof_record(backend="tsc"))
+        self.assertTrue(any("unknown backend" in e for e in errors))
+
+    def test_perf_event_cannot_be_a_fallback(self):
+        errors = self.check(prof_record(fallback=True))
+        self.assertTrue(any("fallback" in e for e in errors))
+
+    def test_ipc_must_match_counters(self):
+        errors = self.check(prof_record(ipc=1.5))  # 2e9/1e9 = 2.0
+        self.assertTrue(any("instructions/cycles" in e for e in errors))
+
+    def test_ipc_outside_band_fails(self):
+        low = prof_record(instructions=1e7, ipc=0.01)
+        self.assertTrue(any("plausibility band" in e
+                            for e in self.check(low)))
+        high = prof_record(instructions=16e9, ipc=16.0)
+        self.assertTrue(any("plausibility band" in e
+                            for e in self.check(high)))
+
+    def test_rusage_skips_ipc_band(self):
+        # rusage reads no cycle counter; a zero IPC is expected, not a bug.
+        rec = prof_record(backend="rusage", fallback=True, cycles=0,
+                          instructions=0, ipc=0.0)
+        self.assertEqual(self.check(rec), [])
+
+    def test_prof_schema_fields_required(self):
+        rec = prof_record()
+        del rec["task_clock_ns"]
+        errors = br.check_schema("m", minimal_manifest([rec]))
+        self.assertTrue(any("task_clock_ns" in e for e in errors))
+
+    def test_validate_wires_in_prof_checks(self):
+        records = minimal_manifest([prof_record(fallback=True)])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_manifest(records, tmp)
+            args = type("Args", (), {"manifests": [path]})()
+            self.assertEqual(br.cmd_validate(args), 1)
+
+
 def write_text(directory, name, text):
     path = os.path.join(directory, name)
     with open(path, "w", encoding="utf-8") as f:
@@ -521,6 +615,23 @@ class DiffTest(unittest.TestCase):
     def test_throughput_curve_classifier(self):
         self.assertTrue(br.is_throughput_curve("service_pairs_per_sec/x"))
         self.assertFalse(br.is_throughput_curve("twopass_space_vs_T"))
+
+    def test_prof_curves_are_never_gated(self):
+        # Hardware-counter curves measure the machine, not the code: a 10x
+        # swing in cache misses per pair (e.g. a different runner, or the
+        # PMU disappearing entirely) must not fail the diff.
+        def with_prof(base, miss_rate):
+            base["benches"]["bench_service"]["curves"][
+                "prof/service_drain/shards=4/cache_miss_per_pair"] = {
+                    "points": [[8, miss_rate]]}
+            return base
+        old = with_prof(baseline_json(1e6), 0.5)
+        new = with_prof(baseline_json(1e6), 5.0)
+        self.assertEqual(self.run_diff(old, new), 0)
+        # Absent from new entirely (fallback runner): still passes.
+        self.assertEqual(
+            self.run_diff(with_prof(baseline_json(1e6), 0.5),
+                          baseline_json(1e6)), 0)
 
 
 if __name__ == "__main__":

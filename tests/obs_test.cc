@@ -549,6 +549,59 @@ TEST(TraceSession, NullSessionSpansAreInert) {
   span.End();  // must not crash; nothing recorded anywhere
 }
 
+TEST(TraceSession, FlowEventsSerializeWithHexIdsAndEnclosingBinding) {
+  obs::TraceSession session;
+  // A full-width flow id: must survive JSON intact, which rules out
+  // numeric ids (doubles lose bits past 2^53).
+  const std::uint64_t flow = 0xdeadbeefcafebabeULL;
+  session.EmitFlow(obs::TraceSession::FlowPhase::kStart, "stream", "service",
+                   flow, session.NowNs());
+  session.EmitFlow(obs::TraceSession::FlowPhase::kStep, "stream", "service",
+                   flow, session.NowNs());
+  session.EmitFlow(obs::TraceSession::FlowPhase::kEnd, "stream", "service",
+                   flow, session.NowNs());
+  obs::Json j = session.ToJson();
+  const obs::Json* events = j.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 3u);
+  const char* want_ph[] = {"s", "t", "f"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const obs::Json& e = events->at(i);
+    EXPECT_EQ(e.Find("ph")->AsString(), want_ph[i]);
+    EXPECT_EQ(e.Find("id")->AsString(), "0xdeadbeefcafebabe");
+    EXPECT_EQ(e.Find("name")->AsString(), "stream");
+    ASSERT_NE(e.Find("ts"), nullptr);
+    EXPECT_EQ(e.Find("dur"), nullptr);  // flow events are instants
+    if (e.Find("ph")->AsString() == "f") {
+      // bp:"e" binds the arrow head to the enclosing slice, not the next
+      // slice on the lane — without it Perfetto draws the arrow one op late.
+      ASSERT_NE(e.Find("bp"), nullptr);
+      EXPECT_EQ(e.Find("bp")->AsString(), "e");
+    } else {
+      EXPECT_EQ(e.Find("bp"), nullptr);
+    }
+  }
+}
+
+TEST(TraceSession, CounterEventsSerializeAsCounterTrack) {
+  obs::TraceSession session;
+  obs::Json values = obs::Json::Object();
+  values.Set("cycles", obs::Json(std::uint64_t{12345}));
+  values.Set("task_clock_ns", obs::Json(std::uint64_t{678}));
+  session.EmitCounter("prof/driver.pass", session.NowNs(), std::move(values));
+  obs::Json j = session.ToJson();
+  const obs::Json* events = j.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 1u);
+  const obs::Json& e = events->at(0);
+  EXPECT_EQ(e.Find("ph")->AsString(), "C");
+  EXPECT_EQ(e.Find("name")->AsString(), "prof/driver.pass");
+  const obs::Json* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("cycles")->AsUint64(), 12345u);
+  EXPECT_EQ(args->Find("task_clock_ns")->AsUint64(), 678u);
+}
+
 TEST(TraceSession, WriteToProducesLoadableFile) {
   obs::TraceSession session;
   { auto span = obs::TraceSession::Begin(&session, "work", "bench"); }

@@ -1,0 +1,356 @@
+// Hardware-counter profiling (src/obs/prof.h): counter arithmetic, the
+// backend fallback chain, scope attribution (inclusive nesting, move
+// semantics, thread affinity), the one-branch disabled path, and the
+// export surfaces (Prometheus gauges, Chrome-trace counter tracks).
+//
+// These tests run wherever the suite runs: a CI container usually denies
+// perf_event_open, so assertions never require the perf backend — they
+// require the *contract*: construction never fails, the resolved backend
+// is one of the named ones, task-clock advances under CPU work on every
+// backend, and the fallback flag tells the truth.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+
+namespace cyclestream {
+namespace obs {
+namespace {
+
+// Spins long enough for CLOCK_THREAD_CPUTIME_ID to visibly advance (its
+// resolution is ns, but schedulers bill in bigger quanta). Returns a value
+// so the loop cannot be optimized away.
+std::uint64_t BurnCpu(std::uint64_t iters = 2'000'000) {
+  volatile std::uint64_t acc = 1;
+  for (std::uint64_t i = 0; i < iters; ++i) acc = acc * 6364136223846793005ULL + 1;
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// ProfCounters arithmetic.
+
+TEST(ProfCounters, AddAndMinusAreFieldwise) {
+  ProfCounters a;
+  a.cycles = 100;
+  a.instructions = 200;
+  a.task_clock_ns = 50;
+  ProfCounters b;
+  b.cycles = 7;
+  b.cache_misses = 3;
+  a.Add(b);
+  EXPECT_EQ(a.cycles, 107u);
+  EXPECT_EQ(a.instructions, 200u);
+  EXPECT_EQ(a.cache_misses, 3u);
+
+  ProfCounters d = a.Minus(b);
+  EXPECT_EQ(d.cycles, 100u);
+  EXPECT_EQ(d.cache_misses, 0u);
+  EXPECT_EQ(d.task_clock_ns, 50u);
+}
+
+TEST(ProfCounters, MinusSaturatesAtZero) {
+  ProfCounters small;
+  small.cycles = 5;
+  ProfCounters big;
+  big.cycles = 9;
+  EXPECT_EQ(small.Minus(big).cycles, 0u);
+}
+
+TEST(ProfCounters, IpcIsZeroWithoutCycles) {
+  ProfCounters c;
+  c.instructions = 1000;
+  EXPECT_EQ(c.Ipc(), 0.0);
+  c.cycles = 500;
+  EXPECT_DOUBLE_EQ(c.Ipc(), 2.0);
+}
+
+TEST(ProfCounters, IsZeroAndToJsonFieldNames) {
+  ProfCounters c;
+  EXPECT_TRUE(c.IsZero());
+  c.branch_misses = 1;
+  EXPECT_FALSE(c.IsZero());
+
+  const Json j = c.ToJson();
+  ASSERT_TRUE(j.is_object());
+  // Field names are the manifest `prof` record schema — bench_report.py
+  // PROF_COUNTER_FIELDS must stay in sync with this list.
+  for (const char* field :
+       {"cycles", "instructions", "cache_references", "cache_misses",
+        "branch_misses", "task_clock_ns"}) {
+    ASSERT_NE(j.Find(field), nullptr) << field;
+  }
+  EXPECT_EQ(j.Find("branch_misses")->AsDouble(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// CounterSet: backend resolution and monotonicity.
+
+TEST(CounterSet, ConstructionNeverFailsAndResolvesANamedBackend) {
+  CounterSet set;  // asks for perf, takes what the kernel gives
+  const ProfBackend backend = set.backend();
+  EXPECT_TRUE(backend == ProfBackend::kPerfEvent ||
+              backend == ProfBackend::kRusage);
+  const std::string name = ProfBackendName(backend);
+  EXPECT_TRUE(name == "perf_event" || name == "rusage") << name;
+}
+
+TEST(CounterSet, ReadIsMonotoneAndTaskClockAdvancesUnderWork) {
+  CounterSet set;
+  const ProfCounters before = set.Read();
+  BurnCpu();
+  const ProfCounters after = set.Read();
+  EXPECT_GE(after.task_clock_ns, before.task_clock_ns);
+  EXPECT_GE(after.cycles, before.cycles);
+  EXPECT_GE(after.instructions, before.instructions);
+  // Task clock is the one counter every backend provides; real CPU work
+  // must move it.
+  EXPECT_GT(after.task_clock_ns, before.task_clock_ns);
+}
+
+TEST(CounterSet, ExplicitRusageBackendIsHonored) {
+  CounterSet set(ProfBackend::kRusage);
+  EXPECT_EQ(set.backend(), ProfBackend::kRusage);
+  const ProfCounters before = set.Read();
+  EXPECT_EQ(before.cycles, 0u);  // rusage has no hardware counters
+  BurnCpu();
+  const ProfCounters after = set.Read();
+  EXPECT_EQ(after.cycles, 0u);
+  EXPECT_GT(after.task_clock_ns, before.task_clock_ns);
+}
+
+TEST(CounterSet, DisabledBackendReadsAllZeros) {
+  CounterSet set(ProfBackend::kDisabled);
+  EXPECT_EQ(set.backend(), ProfBackend::kDisabled);
+  BurnCpu();
+  EXPECT_TRUE(set.Read().IsZero());
+}
+
+// ---------------------------------------------------------------------------
+// Profiler + ProfScope: attribution.
+
+TEST(Profiler, FallbackFlagTellsTheTruth) {
+  Profiler prof;  // requests perf
+  if (prof.backend() == ProfBackend::kPerfEvent) {
+    EXPECT_FALSE(prof.fallback());
+  } else {
+    EXPECT_EQ(prof.backend(), ProfBackend::kRusage);
+    EXPECT_TRUE(prof.fallback());
+  }
+
+  Profiler::Options opts;
+  opts.backend = ProfBackend::kRusage;
+  Profiler explicit_rusage(opts);
+  // An explicitly requested rusage backend is not a fallback.
+  EXPECT_EQ(explicit_rusage.backend(), ProfBackend::kRusage);
+  EXPECT_FALSE(explicit_rusage.fallback());
+}
+
+TEST(Profiler, ScopeDeltaLandsInTheNamedAggregate) {
+  Profiler prof;
+  {
+    ProfScope scope = Profiler::Begin(&prof, "test.work");
+    BurnCpu();
+  }
+  const auto aggregates = prof.Read();
+  ASSERT_EQ(aggregates.count("test.work"), 1u);
+  const Profiler::Aggregate& agg = aggregates.at("test.work");
+  EXPECT_EQ(agg.count, 1u);
+  EXPECT_GT(agg.totals.task_clock_ns, 0u);
+}
+
+TEST(Profiler, EndReturnsTheDeltaAndSecondEndIsZero) {
+  Profiler prof;
+  ProfScope scope = Profiler::Begin(&prof, "test.end");
+  BurnCpu();
+  const ProfCounters delta = scope.End();
+  EXPECT_GT(delta.task_clock_ns, 0u);
+  EXPECT_TRUE(scope.End().IsZero());
+  EXPECT_EQ(prof.Read().at("test.end").count, 1u);  // folded exactly once
+}
+
+TEST(Profiler, NestingIsInclusiveLikeWallClockSpans) {
+  Profiler prof;
+  {
+    ProfScope outer = Profiler::Begin(&prof, "test.outer");
+    BurnCpu();
+    {
+      ProfScope inner = Profiler::Begin(&prof, "test.inner");
+      BurnCpu();
+    }
+  }
+  const auto aggregates = prof.Read();
+  const std::uint64_t outer_ns = aggregates.at("test.outer").totals.task_clock_ns;
+  const std::uint64_t inner_ns = aggregates.at("test.inner").totals.task_clock_ns;
+  EXPECT_GT(inner_ns, 0u);
+  // The inner scope's time is part of the outer delta too.
+  EXPECT_GE(outer_ns, inner_ns);
+}
+
+TEST(Profiler, NullProfilerScopeIsInert) {
+  ProfScope scope = Profiler::Begin(nullptr, "ignored");
+  BurnCpu();
+  EXPECT_TRUE(scope.End().IsZero());
+}
+
+TEST(Profiler, MovedFromScopeDoesNotDoubleCount) {
+  Profiler prof;
+  {
+    ProfScope a = Profiler::Begin(&prof, "test.move");
+    BurnCpu();
+    ProfScope b = std::move(a);
+    // `a` is disarmed; only `b`'s destructor folds the delta.
+  }
+  EXPECT_EQ(prof.Read().at("test.move").count, 1u);
+}
+
+TEST(Profiler, RepeatedScopesAccumulateCountAndTotals) {
+  Profiler prof;
+  for (int i = 0; i < 5; ++i) {
+    ProfScope scope = Profiler::Begin(&prof, "test.loop");
+    BurnCpu(200'000);
+  }
+  const auto scopes = prof.Read();
+  const Profiler::Aggregate& agg = scopes.at("test.loop");
+  EXPECT_EQ(agg.count, 5u);
+  EXPECT_GT(agg.totals.task_clock_ns, 0u);
+}
+
+TEST(Profiler, AccumulateFoldsWithoutABackend) {
+  Profiler prof;
+  ProfCounters delta;
+  delta.cycles = 42;
+  prof.Accumulate("manual", delta);
+  prof.Accumulate("manual", delta);
+  const auto scopes = prof.Read();
+  const Profiler::Aggregate& agg = scopes.at("manual");
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_EQ(agg.totals.cycles, 84u);
+}
+
+TEST(Profiler, ConcurrentScopesFromManyThreadsAreSafe) {
+  // Each thread gets its own CounterSet from the registry-style cache;
+  // only the aggregate fold takes the lock. TSan runs this test.
+  Profiler prof;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&prof, t] {
+      for (int i = 0; i < 50; ++i) {
+        ProfScope scope = Profiler::Begin(
+            &prof, "test.thread/" + std::to_string(t % 2));
+        BurnCpu(20'000);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto aggregates = prof.Read();
+  EXPECT_EQ(aggregates.at("test.thread/0").count, 100u);
+  EXPECT_EQ(aggregates.at("test.thread/1").count, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Export surfaces.
+
+TEST(Profiler, ExportMetricsWritesGaugesAndFallbackFlag) {
+  Profiler prof;
+  {
+    ProfScope scope = Profiler::Begin(&prof, "test.export");
+    BurnCpu();
+  }
+  MetricsRegistry registry;
+  prof.ExportMetrics(&registry);
+  const Snapshot snap = registry.Read();
+  ASSERT_EQ(snap.gauges.count("prof.task_clock_seconds/scope=test.export"), 1u);
+  EXPECT_GT(snap.gauges.at("prof.task_clock_seconds/scope=test.export"), 0.0);
+  ASSERT_EQ(snap.gauges.count("prof.fallback"), 1u);
+  const double fallback = snap.gauges.at("prof.fallback");
+  EXPECT_EQ(fallback, prof.fallback() ? 1.0 : 0.0);
+  prof.ExportMetrics(nullptr);  // null registry is a no-op, not a crash
+}
+
+TEST(Profiler, ExportMetricsSanitizesCommasInScopeNames) {
+  // ',' separates labels in the internal metric-name grammar; a scope
+  // name containing one must not fabricate extra labels.
+  Profiler prof;
+  ProfCounters delta;
+  delta.task_clock_ns = 1;
+  prof.Accumulate("weird,name", delta);
+  MetricsRegistry registry;
+  prof.ExportMetrics(&registry);
+  const Snapshot snap = registry.Read();
+  EXPECT_EQ(snap.gauges.count("prof.task_clock_seconds/scope=weird;name"), 1u);
+}
+
+TEST(Profiler, ScopeEndEmitsCounterTrackSampleWhenTraced) {
+  TraceSession trace;
+  Profiler::Options opts;
+  opts.trace = &trace;
+  Profiler prof(opts);
+  const std::size_t before = trace.event_count();
+  {
+    ProfScope scope = Profiler::Begin(&prof, "test.traced");
+    BurnCpu();
+  }
+  ASSERT_GT(trace.event_count(), before);
+  // The new event is a ph:"C" counter sample carrying the scope name.
+  const Json doc = trace.ToJson();
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_counter = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const Json* ph = e.Find("ph");
+    if (ph != nullptr && ph->AsString() == "C") {
+      saw_counter = true;
+      EXPECT_NE(e.Find("name")->AsString().find("test.traced"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+// ---------------------------------------------------------------------------
+// Build-info stamping (satellite of the profiling surface: every manifest
+// and scrape identifies the binary that produced it).
+
+TEST(BuildInfo, JsonCarriesTheRequiredFields) {
+  const Json info = BuildInfoJson();
+  ASSERT_TRUE(info.is_object());
+  for (const char* field : {"git_sha", "compiler", "compiler_version",
+                            "build_type", "flags"}) {
+    const Json* v = info.Find(field);
+    ASSERT_NE(v, nullptr) << field;
+    EXPECT_TRUE(v->is_string()) << field;
+    EXPECT_FALSE(v->AsString().empty()) << field;
+  }
+}
+
+TEST(BuildInfo, GaugeLandsInTheRegistryWithLabels) {
+  MetricsRegistry registry;
+  SetBuildInfoGauge(&registry);
+  const Snapshot snap = registry.Read();
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("build_info", 0) == 0) {
+      found = true;
+      EXPECT_EQ(value, 1.0);  // info-style gauge: constant 1, data in labels
+      EXPECT_NE(name.find("git="), std::string::npos);
+      EXPECT_NE(name.find("compiler="), std::string::npos);
+      EXPECT_NE(name.find("build_type="), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+  SetBuildInfoGauge(nullptr);  // tolerated, like every null sink here
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cyclestream

@@ -364,6 +364,38 @@ TEST(PeriodicScraper, PeriodicTicksRewriteTheFile) {
   std::remove(path.c_str());
 }
 
+TEST(PeriodicScraper, SelfObservabilityRecordsScrapesAndErrors) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(1);
+  const std::string path = TempPath("scraper_self.prom");
+  runtime::ThreadPool pool(1);
+  {
+    PeriodicScraper scraper(
+        &pool, [&registry] { return PrometheusText(registry.Read()); }, path,
+        std::chrono::milliseconds(60000), &registry);
+    scraper.Stop();  // final scrape observes itself
+  }
+  Snapshot snap = registry.Read();
+  EXPECT_GE(snap.counters["scraper.scrapes"], 1u);
+  EXPECT_EQ(snap.counters["scraper.errors"], 0u);
+  ASSERT_GT(snap.histograms["scraper.scrape_seconds"].count, 0u);
+  // The scrape's own metrics land in the file it writes (the final scrape
+  // renders the registry after observing at least one earlier state; the
+  // family names must be present once a prior scrape happened).
+  std::remove(path.c_str());
+
+  // Unwritable path: the error counter moves instead of the success path.
+  {
+    PeriodicScraper scraper(
+        &pool, [&registry] { return PrometheusText(registry.Read()); },
+        "/nonexistent-dir/self.prom", std::chrono::milliseconds(60000),
+        &registry);
+    scraper.Stop();
+  }
+  snap = registry.Read();
+  EXPECT_GE(snap.counters["scraper.errors"], 1u);
+}
+
 TEST(PeriodicScraper, StopIsIdempotent) {
   const std::string path = TempPath("scraper_idem.prom");
   runtime::ThreadPool pool(1);
